@@ -1,0 +1,91 @@
+// Experiment F7 — Figure 7 of the paper: the interactive workflow
+// execution screen.
+//
+// "This screen guides the administrator step by step through the tool
+// workflow ... Only the first execution of the modules should be in order,
+// after that each module can be re-executed as many times as needed and in
+// any order." The bench walks the module buttons in order on scenario 1,
+// printing each result panel (including the disabled-button state), then
+// demonstrates a re-execution after an administrator edit, and times the
+// interactive stepping.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "diads/workflow.h"
+#include "common/strings.h"
+#include "workload/scenario.h"
+
+using namespace diads;
+using diag::InteractiveSession;
+
+namespace {
+
+workload::ScenarioOutput& Shared() {
+  static workload::ScenarioOutput scenario = workload::RunScenario(
+      workload::ScenarioId::kS1SanMisconfiguration, {}).value();
+  return scenario;
+}
+
+void BM_InteractiveFullWalk(benchmark::State& state) {
+  workload::ScenarioOutput& scenario = Shared();
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  for (auto _ : state) {
+    InteractiveSession session(scenario.MakeContext(), diag::WorkflowConfig{},
+                               &symptoms);
+    while (auto module = session.NextModule()) {
+      benchmark::DoNotOptimize(session.Run(*module));
+    }
+  }
+}
+BENCHMARK(BM_InteractiveFullWalk)->Unit(benchmark::kMillisecond);
+
+std::string ButtonBar(const InteractiveSession& session) {
+  using Module = InteractiveSession::Module;
+  std::string bar = "buttons: ";
+  for (Module module : {Module::kPd, Module::kCo, Module::kDa, Module::kCr,
+                        Module::kSd, Module::kIa}) {
+    bar += StrFormat("[%s%s] ", InteractiveSession::ModuleName(module),
+                     session.CanRun(module) ? "" : " (disabled)");
+  }
+  return bar;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::ScenarioOutput& scenario = Shared();
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  InteractiveSession session(scenario.MakeContext(), diag::WorkflowConfig{},
+                             &symptoms);
+
+  std::printf("=== Figure 7: interactive workflow execution ===\n");
+  std::printf("%s\n\n", ButtonBar(session).c_str());
+  while (auto module = session.NextModule()) {
+    std::printf(">> administrator clicks %s\n",
+                InteractiveSession::ModuleName(*module));
+    Result<std::string> panel = session.Run(*module);
+    if (!panel.ok()) {
+      std::fprintf(stderr, "module failed: %s\n",
+                   panel.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n%s\n\n", panel->c_str(), ButtonBar(session).c_str());
+  }
+
+  // Interactive editing: the administrator distrusts the O7 false positive
+  // (a V2 leaf swept into the COS by pipeline propagation), removes it, and
+  // re-executes DA — the paper's "administrator can edit these results
+  // before they are fed to the next module".
+  std::printf(">> administrator removes O7 from the COS and re-runs DA\n");
+  if (session.RemoveFromCos(7).ok()) {
+    Result<std::string> panel = session.Run(InteractiveSession::Module::kDa);
+    if (panel.ok()) std::printf("%s\n", panel->c_str());
+  } else {
+    std::printf("(O7 was not in the COS this run)\n");
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

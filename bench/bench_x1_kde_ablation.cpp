@@ -1,0 +1,163 @@
+// Experiment X1 — the paper's Section-5 observation:
+//
+//   "Compared to correlation analysis using advanced models (e.g., Bayesian
+//   networks), KDE can produce accurate results with few tens of samples,
+//   and is more robust to noise in the data."
+//
+// Setup mirrors Module CO: an operator's healthy running time is N(100, 8);
+// degraded runs are shifted +2.5 sigma. A detector sees `n` *healthy*
+// training samples (a fraction of which are polluted by monitoring spikes —
+// the Section 1.1 noise) and must label batches of 5 clean observations,
+// flagging a batch when its mean anomaly score >= 0.8 (DIADS's aggregation
+// and threshold).
+//
+// Detectors compared on identical data:
+//   * KDE (DIADS): Gaussian-kernel CDF, Silverman bandwidth — whose
+//     min(sigma, IQR/1.34) spread estimate is robust to outliers;
+//   * Parametric Gaussian: fit mean/sigma to the same samples, score with
+//     the normal CDF — the non-robust single-model alternative; training
+//     spikes inflate sigma and wash the shift out;
+//   * Supervised naive-Bayes (reference): additionally gets *labelled
+//     degraded* training samples — information DIADS's setting only has in
+//     small, equally polluted quantities.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "stats/anomaly.h"
+#include "stats/descriptive.h"
+#include "stats/naive_bayes.h"
+
+using namespace diads;
+
+namespace {
+
+constexpr double kHealthyMean = 100, kSigma = 8, kShift = 2.5 * kSigma;
+constexpr int kBatch = 5;
+constexpr double kThreshold = 0.8;
+
+double Polluted(SeededRng& rng, double mean, double noise_fraction) {
+  if (rng.Bernoulli(noise_fraction)) {
+    // A monitoring spike: wildly wrong in either direction.
+    return mean + rng.Uniform(-6 * kSigma, 10 * kSigma);
+  }
+  return rng.Normal(mean, kSigma);
+}
+
+double NormalCdf(double x, double mean, double sigma) {
+  return 0.5 * (1.0 + std::erf((x - mean) / (sigma * std::sqrt(2.0))));
+}
+
+struct CellAccuracy {
+  double kde = 0;
+  double gaussian = 0;
+  double bayes = 0;
+};
+
+CellAccuracy MeasureCell(int samples, double noise_fraction, int trials,
+                         uint64_t seed) {
+  SeededRng rng(seed);
+  int kde_ok = 0, gauss_ok = 0, bayes_ok = 0, decisions = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> healthy, degraded_train;
+    for (int i = 0; i < samples; ++i) {
+      healthy.push_back(Polluted(rng, kHealthyMean, noise_fraction));
+      degraded_train.push_back(
+          Polluted(rng, kHealthyMean + kShift, noise_fraction));
+    }
+    Result<stats::Kde> kde = stats::Kde::Fit(healthy);
+    Result<stats::GaussianNaiveBayes> bayes =
+        stats::GaussianNaiveBayes::Fit(healthy, degraded_train);
+    if (!kde.ok() || !bayes.ok()) continue;
+    const double mu = stats::Mean(healthy);
+    const double sigma = std::max(1e-6, stats::StdDev(healthy));
+
+    for (bool is_degraded : {false, true}) {
+      const double true_mean =
+          is_degraded ? kHealthyMean + kShift : kHealthyMean;
+      double kde_score = 0, gauss_score = 0, bayes_votes = 0;
+      for (int i = 0; i < kBatch; ++i) {
+        const double u = rng.Normal(true_mean, kSigma);
+        kde_score += kde->Cdf(u);
+        gauss_score += NormalCdf(u, mu, sigma);
+        bayes_votes += bayes->Classify(u) ? 1.0 : 0.0;
+      }
+      kde_score /= kBatch;
+      gauss_score /= kBatch;
+      ++decisions;
+      if ((kde_score >= kThreshold) == is_degraded) ++kde_ok;
+      if ((gauss_score >= kThreshold) == is_degraded) ++gauss_ok;
+      if ((bayes_votes / kBatch >= 0.5) == is_degraded) ++bayes_ok;
+    }
+  }
+  CellAccuracy out;
+  out.kde = decisions ? static_cast<double>(kde_ok) / decisions : 0;
+  out.gaussian = decisions ? static_cast<double>(gauss_ok) / decisions : 0;
+  out.bayes = decisions ? static_cast<double>(bayes_ok) / decisions : 0;
+  return out;
+}
+
+void BM_KdeFitAndScore(benchmark::State& state) {
+  SeededRng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    samples.push_back(rng.Normal(100, 8));
+  }
+  for (auto _ : state) {
+    Result<stats::Kde> kde = stats::Kde::Fit(samples);
+    benchmark::DoNotOptimize(kde->Cdf(130.0));
+  }
+}
+BENCHMARK(BM_KdeFitAndScore)->Arg(10)->Arg(20)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int sample_counts[] = {5, 10, 20, 40, 80};
+  const double noise_levels[] = {0.0, 0.1, 0.2, 0.3};
+  const int trials = 400;
+
+  std::printf("=== X1: KDE vs parametric models — accuracy by sample count "
+              "and noise ===\n");
+  std::printf("(batch labelling accuracy over %d trials per cell; shift = "
+              "2.5 sigma; threshold %.1f)\n",
+              trials, kThreshold);
+  TablePrinter table({"Healthy samples", "Noise", "KDE (DIADS)",
+                      "Parametric Gaussian", "Supervised NB (reference)"});
+  double clean_gap = 0, noisy_gap = 0;
+  int clean_cells = 0, noisy_cells = 0;
+  for (int samples : sample_counts) {
+    for (double noise : noise_levels) {
+      const CellAccuracy cell = MeasureCell(
+          samples, noise, trials,
+          42 + static_cast<uint64_t>(samples * 1000 + noise * 100));
+      table.AddRow({StrFormat("%d", samples), FormatPercent(noise, 0),
+                    FormatPercent(cell.kde), FormatPercent(cell.gaussian),
+                    FormatPercent(cell.bayes)});
+      if (noise == 0) {
+        clean_gap += cell.kde - cell.gaussian;
+        ++clean_cells;
+      }
+      if (noise >= 0.2) {
+        noisy_gap += cell.kde - cell.gaussian;
+        ++noisy_cells;
+      }
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "Paper's claim shape: KDE ~ parametric on clean data (mean gap %+.1f "
+      "pts) but clearly more robust under noise (mean gap %+.1f pts at "
+      "noise >= 20%%).\n\n",
+      clean_gap / clean_cells * 100, noisy_gap / noisy_cells * 100);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Experiment X2 — DIADS vs the silo tools (Section 5's comparative
+// narrative).
+//
+// Runs every Table-1 scenario through three diagnosers — DIADS, the
+// SAN-only tool, and the DB-only tool — and scores each against the
+// injected ground truth:
+//
+//   * top-1 correct: the tool's first-ranked cause is a ground-truth cause;
+//   * false positives: causes the tool endorses (high band / above its own
+//     threshold) that match no ground-truth entry.
+//
+// Expected shape (Section 5): DIADS correct on all scenarios with few false
+// positives; the SAN-only tool flags volumes whenever any volume moved
+// (wrong or empty on DB-layer problems); the DB-only tool explains
+// SAN problems with generic database causes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/db_only.h"
+#include "baseline/san_only.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "diads/workflow.h"
+#include "workload/scenario.h"
+
+using namespace diads;
+
+namespace {
+
+struct ToolScore {
+  bool top1 = false;
+  int false_positives = 0;
+  std::string top_desc;
+};
+
+/// Maps a SAN-only "contended volume" verdict onto the ground truth: it
+/// counts as correct only if the truth is a contention cause on that
+/// volume.
+bool SanCauseMatches(const baseline::SanOnlyCause& cause,
+                     const workload::ScenarioOutput& scenario) {
+  const ComponentRegistry& registry = scenario.testbed->registry;
+  for (const workload::GroundTruthCause& truth : scenario.ground_truth) {
+    const bool contention_type =
+        truth.type == diag::RootCauseType::kSanMisconfigurationContention ||
+        truth.type == diag::RootCauseType::kExternalWorkloadContention;
+    if (contention_type &&
+        registry.NameOf(cause.volume) == truth.subject_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DbCauseMatches(const baseline::DbOnlyCause& cause,
+                    const workload::ScenarioOutput& scenario) {
+  for (const workload::GroundTruthCause& truth : scenario.ground_truth) {
+    if (truth.type == cause.mapped_type) return true;
+  }
+  return false;
+}
+
+struct ScenarioScores {
+  ToolScore diads, san_only, db_only;
+};
+
+Result<ScenarioScores> ScoreScenario(workload::ScenarioId id) {
+  DIADS_ASSIGN_OR_RETURN(workload::ScenarioOutput scenario,
+                         workload::RunScenario(id, {}));
+  const ComponentRegistry& registry = scenario.testbed->registry;
+  ScenarioScores out;
+
+  // DIADS.
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  diag::Workflow workflow(scenario.MakeContext(), diag::WorkflowConfig{},
+                          &symptoms);
+  DIADS_ASSIGN_OR_RETURN(diag::DiagnosisReport report, workflow.Diagnose());
+  if (!report.causes.empty()) {
+    const diag::RootCause& top = report.causes.front();
+    out.diads.top_desc = diag::RootCauseTypeName(top.type);
+    for (const workload::GroundTruthCause& truth : scenario.ground_truth) {
+      if (workload::MatchesGroundTruth(truth, top, registry)) {
+        out.diads.top1 = true;
+      }
+    }
+    for (const diag::RootCause& cause : report.causes) {
+      // Endorsed = high confidence AND not impact-neutralised.
+      if (cause.band != diag::ConfidenceBand::kHigh) continue;
+      if (cause.impact_pct.value_or(100.0) < 10.0) continue;
+      bool matches = false;
+      for (const workload::GroundTruthCause& truth : scenario.ground_truth) {
+        if (workload::MatchesGroundTruth(truth, cause, registry)) {
+          matches = true;
+        }
+      }
+      if (!matches) ++out.diads.false_positives;
+    }
+  }
+
+  // SAN-only.
+  baseline::SanOnlyDiagnoser san(&scenario.testbed->topology,
+                                 &scenario.testbed->store);
+  DIADS_ASSIGN_OR_RETURN(
+      std::vector<baseline::SanOnlyCause> san_causes,
+      san.Diagnose(scenario.satisfactory_window,
+                   scenario.unsatisfactory_window));
+  if (!san_causes.empty()) {
+    out.san_only.top_desc =
+        "contention on " + registry.NameOf(san_causes.front().volume);
+    out.san_only.top1 = SanCauseMatches(san_causes.front(), scenario);
+    for (const baseline::SanOnlyCause& cause : san_causes) {
+      if (!SanCauseMatches(cause, scenario)) ++out.san_only.false_positives;
+    }
+  } else {
+    out.san_only.top_desc = "(no anomalous volume)";
+  }
+
+  // DB-only.
+  baseline::DbOnlyDiagnoser db(&scenario.testbed->runs,
+                               &scenario.testbed->store,
+                               scenario.testbed->database);
+  DIADS_ASSIGN_OR_RETURN(std::vector<baseline::DbOnlyCause> db_causes,
+                         db.Diagnose("Q2"));
+  if (!db_causes.empty()) {
+    out.db_only.top_desc = diag::RootCauseTypeName(db_causes.front().mapped_type);
+    out.db_only.top1 = DbCauseMatches(db_causes.front(), scenario);
+    for (const baseline::DbOnlyCause& cause : db_causes) {
+      if (!DbCauseMatches(cause, scenario)) ++out.db_only.false_positives;
+    }
+  } else {
+    out.db_only.top_desc = "(nothing anomalous)";
+  }
+  return out;
+}
+
+void BM_SanOnlyDiagnosis(benchmark::State& state) {
+  static workload::ScenarioOutput scenario = workload::RunScenario(
+      workload::ScenarioId::kS1SanMisconfiguration, {}).value();
+  baseline::SanOnlyDiagnoser san(&scenario.testbed->topology,
+                                 &scenario.testbed->store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san.Diagnose(scenario.satisfactory_window,
+                                          scenario.unsatisfactory_window));
+  }
+}
+BENCHMARK(BM_SanOnlyDiagnosis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const workload::ScenarioId scenarios[] = {
+      workload::ScenarioId::kS1SanMisconfiguration,
+      workload::ScenarioId::kS1bBurstyV2,
+      workload::ScenarioId::kS2DualExternalContention,
+      workload::ScenarioId::kS3DataPropertyChange,
+      workload::ScenarioId::kS4ConcurrentDbSan,
+      workload::ScenarioId::kS5LockingWithNoise,
+  };
+  std::printf("=== X2: DIADS vs SAN-only vs DB-only diagnosis ===\n");
+  TablePrinter table({"Scenario", "DIADS top (FP)", "SAN-only top (FP)",
+                      "DB-only top (FP)"});
+  int diads_correct = 0, san_correct = 0, db_correct = 0;
+  for (workload::ScenarioId id : scenarios) {
+    Result<ScenarioScores> scores = ScoreScenario(id);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", workload::ScenarioName(id),
+                   scores.status().ToString().c_str());
+      continue;
+    }
+    auto cell = [](const ToolScore& score) {
+      return StrFormat("%s %s (FP:%d)", score.top1 ? "[ok]" : "[x]",
+                       score.top_desc.c_str(), score.false_positives);
+    };
+    table.AddRow({workload::ScenarioName(id), cell(scores->diads),
+                  cell(scores->san_only), cell(scores->db_only)});
+    diads_correct += scores->diads.top1;
+    san_correct += scores->san_only.top1;
+    db_correct += scores->db_only.top1;
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("Top-1 accuracy: DIADS %d/6, SAN-only %d/6, DB-only %d/6\n\n",
+              diads_correct, san_correct, db_correct);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

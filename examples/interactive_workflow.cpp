@@ -1,0 +1,125 @@
+// Interactive workflow session — the Figure 7 experience on a terminal.
+//
+// Drives the InteractiveSession with commands from stdin (or, with
+// --scripted, a canned session), mirroring the paper's screen: module
+// buttons that unlock in order on the first pass, free re-execution
+// afterwards, and administrator edits to the correlated operator set.
+//
+//   $ ./interactive_workflow --scripted     # run the canned session
+//   $ ./interactive_workflow                # type commands: pd co da cr sd
+//                                           # ia, drop <n>, add <n>, quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diads/workflow.h"
+#include "workload/scenario.h"
+
+using namespace diads;
+using diag::InteractiveSession;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands: pd | co | da | cr | sd | ia   run a module\n"
+      "          next                          run the next module in order\n"
+      "          drop <opnum> / add <opnum>    edit the COS\n"
+      "          help | quit\n");
+}
+
+bool ParseModule(const std::string& token, InteractiveSession::Module* out) {
+  using Module = InteractiveSession::Module;
+  if (token == "pd") *out = Module::kPd;
+  else if (token == "co") *out = Module::kCo;
+  else if (token == "da") *out = Module::kDa;
+  else if (token == "cr") *out = Module::kCr;
+  else if (token == "sd") *out = Module::kSd;
+  else if (token == "ia") *out = Module::kIa;
+  else return false;
+  return true;
+}
+
+void Execute(InteractiveSession& session, const std::string& line) {
+  std::istringstream in(line);
+  std::string token;
+  if (!(in >> token)) return;
+  if (token == "help") {
+    PrintHelp();
+    return;
+  }
+  if (token == "drop" || token == "add") {
+    int op_number = 0;
+    if (!(in >> op_number)) {
+      std::printf("usage: %s <operator-number>\n", token.c_str());
+      return;
+    }
+    Status status = token == "drop" ? session.RemoveFromCos(op_number)
+                                    : session.AddToCos(op_number);
+    std::printf("%s\n", status.ok()
+                            ? "done (re-run da/cr/sd/ia to propagate)"
+                            : status.ToString().c_str());
+    return;
+  }
+  InteractiveSession::Module module;
+  if (token == "next") {
+    auto next = session.NextModule();
+    if (!next.has_value()) {
+      std::printf("all modules have run; re-run any by name\n");
+      return;
+    }
+    module = *next;
+  } else if (!ParseModule(token, &module)) {
+    std::printf("unknown command '%s' (try help)\n", token.c_str());
+    return;
+  }
+  Result<std::string> panel = session.Run(module);
+  std::printf("%s\n", panel.ok() ? panel->c_str()
+                                 : panel.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool scripted = argc > 1 && std::strcmp(argv[1], "--scripted") == 0;
+
+  std::printf("Simulating scenario 1 (SAN misconfiguration on V1)...\n");
+  Result<workload::ScenarioOutput> scenario = workload::RunScenario(
+      workload::ScenarioId::kS1SanMisconfiguration, {});
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  InteractiveSession session(scenario->MakeContext(), diag::WorkflowConfig{},
+                             &symptoms);
+
+  if (scripted) {
+    // The canned session: full first pass, then the paper's "administrator
+    // can edit these results" move — drop a V2 false positive from the COS
+    // and re-run the downstream modules.
+    const std::vector<std::string> script = {
+        "pd", "co", "da", "cr", "sd", "ia",
+        "drop 7", "da", "sd", "ia"};
+    for (const std::string& line : script) {
+      std::printf("\ndiads> %s\n", line.c_str());
+      Execute(session, line);
+    }
+    return 0;
+  }
+
+  PrintHelp();
+  std::string line;
+  while (true) {
+    std::printf("diads> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "quit" || line == "exit") break;
+    Execute(session, line);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// APG browser — the text-mode equivalent of the paper's Figures 3 and 6.
+//
+// Figure 3 is the query-selection screen: one row per query execution with
+// plan, start/end times, duration, and the administrator's unsatisfactory
+// check-box. Figure 6 is the APG visualization screen: the APG as a
+// navigable tree on the left, and on the right a table of time-series
+// performance metrics for the selected component, each sample carrying an
+// unsatisfactory flag inherited from the runs it overlaps.
+#ifndef DIADS_APG_BROWSER_H_
+#define DIADS_APG_BROWSER_H_
+
+#include <string>
+
+#include "apg/apg.h"
+#include "db/run_record.h"
+#include "monitor/timeseries.h"
+
+namespace diads::apg {
+
+/// Read-only browsing facade over an APG + monitoring data + run history.
+class ApgBrowser {
+ public:
+  /// All pointers must outlive the browser.
+  ApgBrowser(const Apg* apg, const monitor::TimeSeriesStore* store,
+             const db::RunCatalog* runs);
+
+  /// Figure 3: the query-selection table for `query`.
+  std::string RenderQuerySelectionScreen(const std::string& query) const;
+
+  /// Figure 6 (left panel): the path from the Return operator through
+  /// `op_index` down to the disks, as an indented tree.
+  Result<std::string> RenderTreePath(int op_index) const;
+
+  /// Figure 6 (right panel): the time-series table for one component over
+  /// `window`. Each row is one sample: time, value per metric, and the
+  /// unsatisfactory check-box (set when the sample time falls inside an
+  /// unsatisfactory run of `query`).
+  std::string RenderMetricTable(ComponentId component,
+                                const TimeInterval& window,
+                                const std::string& query) const;
+
+ private:
+  bool SampleUnsatisfactory(SimTimeMs t, const std::string& query) const;
+
+  const Apg* apg_;
+  const monitor::TimeSeriesStore* store_;
+  const db::RunCatalog* runs_;
+};
+
+}  // namespace diads::apg
+
+#endif  // DIADS_APG_BROWSER_H_

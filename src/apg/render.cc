@@ -1,0 +1,170 @@
+#include "apg/render.h"
+
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace diads::apg {
+namespace {
+
+std::string VolumeTag(const Apg& apg, int op_index) {
+  Result<ComponentId> vol = apg.VolumeOfOp(op_index);
+  if (!vol.ok()) return std::string();
+  return " [" + apg.topology().registry().NameOf(*vol) + "]";
+}
+
+}  // namespace
+
+std::string RenderApgAscii(const Apg& apg) {
+  const db::Plan& plan = apg.plan();
+  const ComponentRegistry& registry = apg.topology().registry();
+  std::string out;
+  out += StrFormat("=== APG: query %s, plan P%s ===\n",
+                   plan.query_name().c_str(), plan.FingerprintHex().c_str());
+  out += "--- Database layer (plan operators; scans tagged with volume) ---\n";
+  std::function<void(int, int)> walk = [&](int index, int depth) {
+    const db::PlanOp& op = plan.op(index);
+    out += StrFormat("%*sO%-3d %s", depth * 2, "", op.op_number,
+                     db::OpTypeName(op.type));
+    if (op.is_scan()) {
+      out += " on " + op.table;
+      if (!op.table_alias.empty() && op.table_alias != op.table) {
+        out += " " + op.table_alias;
+      }
+      out += VolumeTag(apg, index);
+    }
+    out += '\n';
+    for (int child : op.children) walk(child, depth + 1);
+  };
+  walk(plan.root_index(), 0);
+
+  out += "--- SAN layer ---\n";
+  const san::SanTopology& topo = apg.topology();
+  out += StrFormat("Server: %s (DB: %s)\n",
+                   registry.NameOf(apg.db_server()).c_str(),
+                   registry.NameOf(apg.database()).c_str());
+  for (ComponentId hba : topo.server(apg.db_server()).hbas) {
+    out += StrFormat("  HBA: %s\n", registry.NameOf(hba).c_str());
+  }
+  for (ComponentId sw : topo.AllSwitches()) {
+    out += StrFormat("  %s switch: %s\n",
+                     topo.fc_switch(sw).is_core ? "Core" : "Edge",
+                     registry.NameOf(sw).c_str());
+  }
+  for (ComponentId subsystem : topo.AllSubsystems()) {
+    out += StrFormat("  Subsystem: %s (%s)\n",
+                     registry.NameOf(subsystem).c_str(),
+                     topo.subsystem(subsystem).model.c_str());
+    for (ComponentId pool : topo.subsystem(subsystem).pools) {
+      out += StrFormat("    Pool %s (%s):\n", registry.NameOf(pool).c_str(),
+                       san::RaidLevelName(topo.pool(pool).raid));
+      std::vector<std::string> disk_names;
+      for (ComponentId d : topo.pool(pool).disks) {
+        disk_names.push_back(registry.NameOf(d) +
+                             (topo.disk(d).failed ? "(failed)" : ""));
+      }
+      out += "      Disks: " + Join(disk_names, ", ") + "\n";
+      const std::vector<ComponentId> plan_vols = apg.PlanVolumes();
+      for (ComponentId v : topo.pool(pool).volumes) {
+        const bool used =
+            std::find(plan_vols.begin(), plan_vols.end(), v) != plan_vols.end();
+        std::vector<std::string> tables;
+        for (const std::string& t : apg.catalog().TableNames()) {
+          Result<ComponentId> tv = apg.catalog().VolumeOfTable(t);
+          if (tv.ok() && *tv == v) tables.push_back(t);
+        }
+        out += StrFormat("      Volume %s (%.0f GB)%s%s\n",
+                         registry.NameOf(v).c_str(), topo.volume(v).size_gb,
+                         used ? " <- plan tables: " : "",
+                         used ? Join(tables, ", ").c_str() : "");
+      }
+    }
+  }
+  if (!apg.workloads().empty()) {
+    out += "  External workloads:\n";
+    for (const WorkloadBinding& wb : apg.workloads()) {
+      out += StrFormat("    %s -> %s\n",
+                       registry.NameOf(wb.workload).c_str(),
+                       registry.NameOf(wb.volume).c_str());
+    }
+  }
+  return out;
+}
+
+std::string RenderApgDot(const Apg& apg) {
+  const db::Plan& plan = apg.plan();
+  const ComponentRegistry& registry = apg.topology().registry();
+  std::string out = "digraph apg {\n  rankdir=TB;\n";
+  // Plan layer.
+  for (const db::PlanOp& op : plan.ops()) {
+    std::string label = StrFormat("O%d %s", op.op_number,
+                                  db::OpTypeName(op.type));
+    if (op.is_scan()) label += "\\n" + op.table;
+    out += StrFormat("  op%d [shape=box,label=\"%s\"];\n", op.index,
+                     label.c_str());
+  }
+  for (const db::PlanOp& op : plan.ops()) {
+    for (int child : op.children) {
+      out += StrFormat("  op%d -> op%d;\n", op.index, child);
+    }
+  }
+  // Scan -> volume edges, and the SAN chain for each volume.
+  std::set<uint32_t> emitted;
+  auto emit_component = [&](ComponentId c) {
+    if (!emitted.insert(c.value).second) return;
+    out += StrFormat("  c%u [shape=ellipse,label=\"%s\\n%s\"];\n", c.value,
+                     ComponentKindName(registry.KindOf(c)),
+                     registry.NameOf(c).c_str());
+  };
+  for (int leaf : plan.LeafIndexes()) {
+    Result<ComponentId> vol = apg.VolumeOfOp(leaf);
+    if (!vol.ok()) continue;
+    Result<std::vector<ComponentId>> inner = apg.InnerPath(leaf);
+    if (!inner.ok()) continue;
+    for (ComponentId c : *inner) emit_component(c);
+    out += StrFormat("  op%d -> c%u [style=dashed];\n", leaf, vol->value);
+    // Chain the inner path in order.
+    for (size_t i = 0; i + 1 < inner->size(); ++i) {
+      out += StrFormat("  c%u -> c%u [color=gray];\n", (*inner)[i].value,
+                       (*inner)[i + 1].value);
+    }
+    Result<std::vector<ComponentId>> outer = apg.OuterPath(leaf);
+    if (outer.ok()) {
+      for (ComponentId c : *outer) {
+        emit_component(c);
+        out += StrFormat("  c%u -> c%u [style=dotted,label=\"outer\"];\n",
+                         c.value, vol->value);
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderDependencyPaths(const Apg& apg, int op_index) {
+  const ComponentRegistry& registry = apg.topology().registry();
+  const db::PlanOp& op = apg.plan().op(op_index);
+  std::string out = StrFormat("O%d %s", op.op_number, db::OpTypeName(op.type));
+  if (op.is_scan()) out += " on " + op.table;
+  out += "\n  inner: ";
+  Result<std::vector<ComponentId>> inner = apg.InnerPath(op_index);
+  if (inner.ok()) {
+    std::vector<std::string> names;
+    for (ComponentId c : *inner) names.push_back(registry.NameOf(c));
+    out += Join(names, " -> ");
+  }
+  out += "\n  outer: ";
+  Result<std::vector<ComponentId>> outer = apg.OuterPath(op_index);
+  if (outer.ok() && !outer->empty()) {
+    std::vector<std::string> names;
+    for (ComponentId c : *outer) names.push_back(registry.NameOf(c));
+    out += Join(names, ", ");
+  } else {
+    out += "(none)";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace diads::apg

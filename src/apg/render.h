@@ -1,0 +1,29 @@
+// APG rendering — the textual equivalent of Figure 1.
+//
+// RenderApgAscii produces the full two-layer picture: the plan tree on top
+// (operators tagged with the volume their scans read) and the SAN layer
+// below (server -> HBA -> switches -> subsystem -> pools -> volumes ->
+// disks, plus outer-path sharer volumes and workloads). RenderApgDot emits
+// Graphviz for the same graph.
+#ifndef DIADS_APG_RENDER_H_
+#define DIADS_APG_RENDER_H_
+
+#include <string>
+
+#include "apg/apg.h"
+
+namespace diads::apg {
+
+/// ASCII rendering of the whole APG (plan layer + SAN layer).
+std::string RenderApgAscii(const Apg& apg);
+
+/// Graphviz (dot) rendering of the whole APG.
+std::string RenderApgDot(const Apg& apg);
+
+/// One operator's dependency paths, e.g. for the paper's O23 example:
+/// "inner: Server dbserver -> HBA ... -> Disk 5..10; outer: V3, V4, ...".
+std::string RenderDependencyPaths(const Apg& apg, int op_index);
+
+}  // namespace diads::apg
+
+#endif  // DIADS_APG_RENDER_H_

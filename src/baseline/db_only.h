@@ -1,0 +1,51 @@
+// Database-only diagnoser — the other silo baseline.
+//
+// Section 5: "A database-only tool can pinpoint the slowdown in the
+// operators, but it would likely give several false positives like a
+// suboptimal buffer pool setting or a suboptimal choice of execution plan."
+// This baseline sees only database-side data (run records and DB metrics,
+// no SAN view): it finds anomalous operators with the same KDE scoring,
+// then maps them to generic database root causes with rule-of-thumb
+// heuristics — producing exactly those plausible-but-wrong suggestions when
+// the real problem lives in the SAN.
+#ifndef DIADS_BASELINE_DB_ONLY_H_
+#define DIADS_BASELINE_DB_ONLY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "db/run_record.h"
+#include "diads/diagnosis.h"
+#include "monitor/timeseries.h"
+#include "stats/anomaly.h"
+
+namespace diads::baseline {
+
+struct DbOnlyCause {
+  diag::RootCauseType mapped_type = diag::RootCauseType::kBufferPoolPressure;
+  double score = 0;  ///< Heuristic plausibility, 0..100.
+  std::string description;
+};
+
+/// Diagnoses from database-side data only.
+class DbOnlyDiagnoser {
+ public:
+  DbOnlyDiagnoser(const db::RunCatalog* runs,
+                  const monitor::TimeSeriesStore* store, ComponentId database,
+                  stats::AnomalyConfig config = {});
+
+  /// Returns generic DB causes ranked by plausibility.
+  Result<std::vector<DbOnlyCause>> Diagnose(const std::string& query) const;
+
+ private:
+  const db::RunCatalog* runs_;
+  const monitor::TimeSeriesStore* store_;
+  ComponentId database_;
+  stats::AnomalyConfig config_;
+};
+
+}  // namespace diads::baseline
+
+#endif  // DIADS_BASELINE_DB_ONLY_H_

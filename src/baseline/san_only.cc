@@ -1,0 +1,65 @@
+#include "baseline/san_only.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+#include "monitor/metrics.h"
+
+namespace diads::baseline {
+
+SanOnlyDiagnoser::SanOnlyDiagnoser(const san::SanTopology* topology,
+                                   const monitor::TimeSeriesStore* store,
+                                   stats::AnomalyConfig config)
+    : topology_(topology), store_(store), config_(config) {
+  assert(topology_ && store_);
+}
+
+Result<std::vector<SanOnlyCause>> SanOnlyDiagnoser::Diagnose(
+    const TimeInterval& satisfactory_window,
+    const TimeInterval& unsatisfactory_window) const {
+  double total_gb = 0;
+  for (ComponentId v : topology_->AllVolumes()) {
+    total_gb += topology_->volume(v).size_gb;
+  }
+  if (total_gb <= 0) total_gb = 1;
+
+  std::vector<SanOnlyCause> out;
+  for (ComponentId volume : topology_->AllVolumes()) {
+    double best_score = 0;
+    monitor::MetricId best_metric = monitor::MetricId::kVolTotalIos;
+    for (monitor::MetricId metric : store_->MetricsFor(volume)) {
+      const std::vector<double> baseline =
+          store_->ValuesIn(volume, metric, satisfactory_window);
+      const std::vector<double> observed =
+          store_->ValuesIn(volume, metric, unsatisfactory_window);
+      if (baseline.size() < 2 || observed.empty()) continue;
+      Result<stats::AnomalyScore> score =
+          stats::ScoreAnomaly(baseline, observed, config_);
+      DIADS_RETURN_IF_ERROR(score.status());
+      if (score->score > best_score) {
+        best_score = score->score;
+        best_metric = metric;
+      }
+    }
+    if (best_score < config_.threshold) continue;
+    SanOnlyCause cause;
+    cause.volume = volume;
+    cause.anomaly_score = best_score;
+    cause.data_share = topology_->volume(volume).size_gb / total_gb;
+    cause.rank_score = best_score * (0.5 + cause.data_share);
+    cause.description = StrFormat(
+        "volume '%s': %s anomalous (score %.3f), holds %.0f%% of the data",
+        topology_->registry().NameOf(volume).c_str(),
+        monitor::MetricShortName(best_metric), best_score,
+        cause.data_share * 100.0);
+    out.push_back(std::move(cause));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SanOnlyCause& a, const SanOnlyCause& b) {
+              return a.rank_score > b.rank_score;
+            });
+  return out;
+}
+
+}  // namespace diads::baseline

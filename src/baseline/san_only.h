@@ -1,0 +1,56 @@
+// SAN-only diagnoser — the silo baseline DIADS is compared against.
+//
+// Section 5: "a SAN-only diagnosis tool may spot higher I/O loads in both V1
+// and V2, and attribute both of these as potential root causes. Even worse,
+// the tool may give more importance to V2 because most of the data is on
+// V2." This baseline implements exactly that behaviour: it sees only SAN
+// metrics (no plans, no operators, no record counts), scores each volume's
+// storage metrics between the satisfactory and unsatisfactory windows with
+// the same KDE machinery, and ranks candidates by anomaly score weighted by
+// the volume's share of stored data.
+#ifndef DIADS_BASELINE_SAN_ONLY_H_
+#define DIADS_BASELINE_SAN_ONLY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "monitor/timeseries.h"
+#include "san/topology.h"
+#include "stats/anomaly.h"
+
+namespace diads::baseline {
+
+struct SanOnlyCause {
+  ComponentId volume;
+  double anomaly_score = 0;   ///< Max over the volume's storage metrics.
+  double data_share = 0;      ///< Volume size / total size.
+  double rank_score = 0;      ///< anomaly * (0.5 + data_share) — the "more
+                              ///< data = more important" heuristic.
+  std::string description;
+};
+
+/// Diagnoses purely from SAN telemetry between two time windows.
+class SanOnlyDiagnoser {
+ public:
+  SanOnlyDiagnoser(const san::SanTopology* topology,
+                   const monitor::TimeSeriesStore* store,
+                   stats::AnomalyConfig config = {});
+
+  /// Scores every volume; returns candidates with anomaly >= threshold,
+  /// ranked by rank_score descending.
+  Result<std::vector<SanOnlyCause>> Diagnose(
+      const TimeInterval& satisfactory_window,
+      const TimeInterval& unsatisfactory_window) const;
+
+ private:
+  const san::SanTopology* topology_;
+  const monitor::TimeSeriesStore* store_;
+  stats::AnomalyConfig config_;
+};
+
+}  // namespace diads::baseline
+
+#endif  // DIADS_BASELINE_SAN_ONLY_H_

@@ -1,0 +1,104 @@
+#include "common/event_log.h"
+
+#include <algorithm>
+
+namespace diads {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kVolumeCreated:
+      return "VolumeCreated";
+    case EventType::kVolumeDeleted:
+      return "VolumeDeleted";
+    case EventType::kZoningChanged:
+      return "ZoningChanged";
+    case EventType::kLunMappingChanged:
+      return "LunMappingChanged";
+    case EventType::kDiskFailed:
+      return "DiskFailed";
+    case EventType::kDiskRecovered:
+      return "DiskRecovered";
+    case EventType::kRaidRebuildStarted:
+      return "RaidRebuildStarted";
+    case EventType::kRaidRebuildCompleted:
+      return "RaidRebuildCompleted";
+    case EventType::kExternalWorkloadStarted:
+      return "ExternalWorkloadStarted";
+    case EventType::kExternalWorkloadStopped:
+      return "ExternalWorkloadStopped";
+    case EventType::kVolumePerfDegraded:
+      return "VolumePerfDegraded";
+    case EventType::kSubsystemHighLoad:
+      return "SubsystemHighLoad";
+    case EventType::kIndexCreated:
+      return "IndexCreated";
+    case EventType::kIndexDropped:
+      return "IndexDropped";
+    case EventType::kDbParamChanged:
+      return "DbParamChanged";
+    case EventType::kTableStatsChanged:
+      return "TableStatsChanged";
+    case EventType::kDmlBatch:
+      return "DmlBatch";
+    case EventType::kTableLockContention:
+      return "TableLockContention";
+  }
+  return "Unknown";
+}
+
+bool IsPlanAffectingEvent(EventType type) {
+  switch (type) {
+    case EventType::kIndexCreated:
+    case EventType::kIndexDropped:
+    case EventType::kDbParamChanged:
+    case EventType::kTableStatsChanged:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status EventLog::Append(SystemEvent event) {
+  if (events_.empty() || events_.back().time <= event.time) {
+    events_.push_back(std::move(event));
+    return Status::Ok();
+  }
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event.time,
+      [](SimTimeMs t, const SystemEvent& e) { return t < e.time; });
+  events_.insert(pos, std::move(event));
+  return Status::Ok();
+}
+
+std::vector<SystemEvent> EventLog::EventsIn(
+    const TimeInterval& interval) const {
+  std::vector<SystemEvent> out;
+  // events_ is sorted by time; binary search the window.
+  auto lo = std::lower_bound(
+      events_.begin(), events_.end(), interval.begin,
+      [](const SystemEvent& e, SimTimeMs t) { return e.time < t; });
+  for (auto it = lo; it != events_.end() && it->time < interval.end; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<SystemEvent> EventLog::EventsOfTypeIn(
+    EventType type, const TimeInterval& interval) const {
+  std::vector<SystemEvent> out;
+  for (const SystemEvent& e : EventsIn(interval)) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SystemEvent> EventLog::EventsForComponentIn(
+    ComponentId component, const TimeInterval& interval) const {
+  std::vector<SystemEvent> out;
+  for (const SystemEvent& e : EventsIn(interval)) {
+    if (e.subject == component) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace diads

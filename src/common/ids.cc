@@ -1,0 +1,106 @@
+#include "common/ids.h"
+
+#include <cassert>
+
+namespace diads {
+
+const char* ComponentKindName(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kServer:
+      return "Server";
+    case ComponentKind::kHba:
+      return "HBA";
+    case ComponentKind::kFcPort:
+      return "FCPort";
+    case ComponentKind::kFcSwitch:
+      return "FCSwitch";
+    case ComponentKind::kStorageSubsystem:
+      return "StorageSubsystem";
+    case ComponentKind::kDisk:
+      return "Disk";
+    case ComponentKind::kStoragePool:
+      return "StoragePool";
+    case ComponentKind::kVolume:
+      return "Volume";
+    case ComponentKind::kDatabase:
+      return "Database";
+    case ComponentKind::kTablespace:
+      return "Tablespace";
+    case ComponentKind::kTable:
+      return "Table";
+    case ComponentKind::kIndex:
+      return "Index";
+    case ComponentKind::kPlanOperator:
+      return "PlanOperator";
+    case ComponentKind::kQuery:
+      return "Query";
+    case ComponentKind::kWorkload:
+      return "Workload";
+  }
+  return "Unknown";
+}
+
+Result<ComponentId> ComponentRegistry::Register(ComponentKind kind,
+                                                std::string name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("component name must be non-empty");
+  }
+  auto [it, inserted] =
+      by_name_.emplace(name, static_cast<uint32_t>(entries_.size()));
+  if (!inserted) {
+    return Status::AlreadyExists("component already registered: " + name);
+  }
+  entries_.push_back(Entry{kind, std::move(name)});
+  return ComponentId{it->second};
+}
+
+ComponentId ComponentRegistry::MustRegister(ComponentKind kind,
+                                            std::string name) {
+  Result<ComponentId> result = Register(kind, std::move(name));
+  assert(result.ok());
+  return result.value();
+}
+
+Result<ComponentId> ComponentRegistry::GetOrRegister(ComponentKind kind,
+                                                     std::string name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    ComponentId id{it->second};
+    if (entries_[id.value].kind != kind) {
+      return Status::AlreadyExists(
+          "component registered with a different kind: " + name);
+    }
+    return id;
+  }
+  return Register(kind, std::move(name));
+}
+
+Result<ComponentId> ComponentRegistry::FindByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no component named: " + name);
+  }
+  return ComponentId{it->second};
+}
+
+const std::string& ComponentRegistry::NameOf(ComponentId id) const {
+  assert(Contains(id));
+  return entries_[id.value].name;
+}
+
+ComponentKind ComponentRegistry::KindOf(ComponentId id) const {
+  assert(Contains(id));
+  return entries_[id.value].kind;
+}
+
+std::vector<ComponentId> ComponentRegistry::AllOfKind(
+    ComponentKind kind) const {
+  std::vector<ComponentId> out;
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].kind == kind) out.push_back(ComponentId{i});
+  }
+  return out;
+}
+
+}  // namespace diads

@@ -1,0 +1,127 @@
+// Component identity shared across the database, SAN, monitoring, and APG
+// layers.
+//
+// Every monitored entity in a DIADS deployment — a physical disk, a storage
+// volume, a plan operator, the database server — registers once in a
+// ComponentRegistry and is referred to everywhere else by its ComponentId.
+// This gives the time-series store, the event log, and the Annotated Plan
+// Graph a single uniform key space, which is exactly the property the paper's
+// APG abstraction relies on ("ties together the execution path of queries in
+// the database and the SAN").
+#ifndef DIADS_COMMON_IDS_H_
+#define DIADS_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads {
+
+/// The kind of a monitored component. Spans both layers: SAN hardware and
+/// logical entities, plus database-layer entities (tablespaces, operators).
+enum class ComponentKind {
+  // SAN layer — physical.
+  kServer,
+  kHba,
+  kFcPort,
+  kFcSwitch,
+  kStorageSubsystem,
+  kDisk,
+  // SAN layer — logical.
+  kStoragePool,
+  kVolume,
+  // Database layer.
+  kDatabase,
+  kTablespace,
+  kTable,
+  kIndex,
+  kPlanOperator,
+  kQuery,
+  // Workload layer (e.g., a competing application stream).
+  kWorkload,
+};
+
+/// Returns a stable display name, e.g. "Volume" for kVolume.
+const char* ComponentKindName(ComponentKind kind);
+
+/// Opaque handle for a registered component. Valid ids are dense indices
+/// into the owning ComponentRegistry.
+struct ComponentId {
+  uint32_t value = kInvalidValue;
+
+  static constexpr uint32_t kInvalidValue = 0xFFFFFFFFu;
+
+  bool valid() const { return value != kInvalidValue; }
+  friend bool operator==(ComponentId a, ComponentId b) {
+    return a.value == b.value;
+  }
+  friend bool operator!=(ComponentId a, ComponentId b) {
+    return a.value != b.value;
+  }
+  friend bool operator<(ComponentId a, ComponentId b) {
+    return a.value < b.value;
+  }
+};
+
+/// Registry of every monitored component in a deployment.
+///
+/// Names are unique within the registry; registering a duplicate name is an
+/// error (configuration bugs surface early rather than aliasing time series).
+class ComponentRegistry {
+ public:
+  ComponentRegistry() = default;
+
+  // Movable, not copyable: ids are identities, silently forking the registry
+  // would alias them.
+  ComponentRegistry(const ComponentRegistry&) = delete;
+  ComponentRegistry& operator=(const ComponentRegistry&) = delete;
+  ComponentRegistry(ComponentRegistry&&) = default;
+  ComponentRegistry& operator=(ComponentRegistry&&) = default;
+
+  /// Registers a component; returns its id or kAlreadyExists.
+  Result<ComponentId> Register(ComponentKind kind, std::string name);
+
+  /// Registers, asserting the name is fresh. Convenience for builders whose
+  /// names are generated and therefore unique by construction.
+  ComponentId MustRegister(ComponentKind kind, std::string name);
+
+  /// Returns the existing id for `name` (kind must match) or registers it.
+  /// Used for entities that are re-derived deterministically, e.g. plan
+  /// operators named "Q2/P<fingerprint>/O7" recreated on re-optimization.
+  Result<ComponentId> GetOrRegister(ComponentKind kind, std::string name);
+
+  /// Looks up a component id by its unique name.
+  Result<ComponentId> FindByName(const std::string& name) const;
+
+  bool Contains(ComponentId id) const { return id.value < entries_.size(); }
+  const std::string& NameOf(ComponentId id) const;
+  ComponentKind KindOf(ComponentId id) const;
+
+  /// All ids of a given kind, in registration order.
+  std::vector<ComponentId> AllOfKind(ComponentKind kind) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    ComponentKind kind;
+    std::string name;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace diads
+
+template <>
+struct std::hash<diads::ComponentId> {
+  size_t operator()(diads::ComponentId id) const noexcept {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+
+#endif  // DIADS_COMMON_IDS_H_

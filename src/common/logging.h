@@ -1,0 +1,29 @@
+// Minimal leveled logging.
+//
+// The library is quiet by default (kWarning); examples and the interactive
+// workflow raise the level to narrate what DIADS is doing, mirroring the
+// module-by-module result panels of the paper's GUI (Figure 7).
+#ifndef DIADS_COMMON_LOGGING_H_
+#define DIADS_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace diads {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits a log line to stderr if `level` passes the global threshold.
+void Log(LogLevel level, const std::string& message);
+
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace diads
+
+#endif  // DIADS_COMMON_LOGGING_H_

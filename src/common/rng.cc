@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace diads {
+namespace {
+
+// FNV-1a over the name, mixed with the parent seed via splitmix64 finalizer.
+uint64_t MixSeed(uint64_t seed, const std::string& name) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  h += 0x9E3779B97f4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+SeededRng SeededRng::Child(const std::string& name) const {
+  return SeededRng(MixSeed(seed_, name));
+}
+
+double SeededRng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double SeededRng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t SeededRng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double SeededRng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double SeededRng::LogNormal(double log_mean, double log_stddev) {
+  return std::lognormal_distribution<double>(log_mean, log_stddev)(engine_);
+}
+
+double SeededRng::Exponential(double rate) {
+  assert(rate > 0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+bool SeededRng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+int64_t SeededRng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean == 0) return 0;
+  return std::poisson_distribution<int64_t>(mean)(engine_);
+}
+
+size_t SeededRng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace diads

@@ -1,0 +1,68 @@
+// Deterministic, forkable random number generation.
+//
+// Every source of randomness in the testbed (noise models, workload jitter,
+// fault timing) draws from a SeededRng. Child streams forked by name are
+// independent of the order in which sibling streams are consumed, so adding a
+// new consumer never perturbs existing benchmark output — a property the
+// reproducibility story of EXPERIMENTS.md depends on.
+#ifndef DIADS_COMMON_RNG_H_
+#define DIADS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace diads {
+
+/// A named, seeded random stream.
+class SeededRng {
+ public:
+  explicit SeededRng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Forks an independent child stream. The child's seed is a hash of this
+  /// stream's seed and `name`, so it does not depend on draw order.
+  SeededRng Child(const std::string& name) const;
+
+  uint64_t seed() const { return seed_; }
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Normal draw with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+  /// Log-normal draw parameterised by the mean/stddev of the underlying
+  /// normal (natural-log scale).
+  double LogNormal(double log_mean, double log_stddev);
+  /// Exponential draw with the given rate (lambda).
+  double Exponential(double rate);
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Poisson draw with the given mean.
+  int64_t Poisson(double mean);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace diads
+
+#endif  // DIADS_COMMON_RNG_H_

@@ -1,0 +1,67 @@
+#include "common/sim_time.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace diads {
+
+std::string FormatSimTime(SimTimeMs t) {
+  const int64_t day = t / kMsPerDay;
+  int64_t rem = t % kMsPerDay;
+  if (rem < 0) rem += kMsPerDay;
+  const int hh = static_cast<int>(rem / kMsPerHour);
+  const int mm = static_cast<int>((rem % kMsPerHour) / kMsPerMinute);
+  const int ss = static_cast<int>((rem % kMsPerMinute) / kMsPerSecond);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02d:%02d:%02d",
+                static_cast<long long>(day), hh, mm, ss);
+  return buf;
+}
+
+std::string FormatDuration(SimTimeMs d) {
+  char buf[48];
+  if (d < kMsPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(d));
+  } else if (d < kMsPerMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1fs",
+                  static_cast<double>(d) / kMsPerSecond);
+  } else if (d < kMsPerHour) {
+    std::snprintf(buf, sizeof(buf), "%lldm %02llds",
+                  static_cast<long long>(d / kMsPerMinute),
+                  static_cast<long long>((d % kMsPerMinute) / kMsPerSecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldh %02lldm",
+                  static_cast<long long>(d / kMsPerHour),
+                  static_cast<long long>((d % kMsPerHour) / kMsPerMinute));
+  }
+  return buf;
+}
+
+TimeInterval TimeInterval::Intersect(const TimeInterval& other) const {
+  TimeInterval out;
+  out.begin = std::max(begin, other.begin);
+  out.end = std::min(end, other.end);
+  if (out.end < out.begin) out.end = out.begin;
+  return out;
+}
+
+double TimeInterval::OverlapFraction(const TimeInterval& other) const {
+  if (empty()) return 0.0;
+  const TimeInterval inter = Intersect(other);
+  return static_cast<double>(inter.duration()) /
+         static_cast<double>(duration());
+}
+
+std::string TimeInterval::ToString() const {
+  return "[" + FormatSimTime(begin) + ", " + FormatSimTime(end) + ")";
+}
+
+void SimClock::Advance(SimTimeMs delta) {
+  assert(delta >= 0);
+  now_ += delta;
+}
+
+void SimClock::AdvanceTo(SimTimeMs t) { now_ = std::max(now_, t); }
+
+}  // namespace diads

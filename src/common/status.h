@@ -1,0 +1,145 @@
+// Status / Result<T> error handling for the DIADS library.
+//
+// Library code does not throw exceptions (Google C++ style); fallible
+// operations return a Status, or a Result<T> when they also produce a value.
+#ifndef DIADS_COMMON_STATUS_H_
+#define DIADS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace diads {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy; the
+/// message is only allocated on the error path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error return type.
+///
+/// Either holds a T (when status().ok()) or an error Status. Accessing
+/// value() on an error result is a programming bug and asserts in debug
+/// builds.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace diads
+
+/// Propagates an error Status from an expression; usable inside functions
+/// returning Status or Result<T>.
+#define DIADS_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::diads::Status _diads_status = (expr);    \
+    if (!_diads_status.ok()) return _diads_status; \
+  } while (0)
+
+#define DIADS_MACRO_CONCAT_INNER(a, b) a##b
+#define DIADS_MACRO_CONCAT(a, b) DIADS_MACRO_CONCAT_INNER(a, b)
+
+#define DIADS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Evaluates a Result<T> expression, propagating the error or assigning the
+/// value to `lhs` (which may be a declaration, e.g. `db::Plan plan`).
+#define DIADS_ASSIGN_OR_RETURN(lhs, expr) \
+  DIADS_ASSIGN_OR_RETURN_IMPL(            \
+      DIADS_MACRO_CONCAT(_diads_result_, __LINE__), lhs, expr)
+
+#endif  // DIADS_COMMON_STATUS_H_

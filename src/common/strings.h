@@ -1,0 +1,40 @@
+// Small string utilities used across the library (join/split/trim and
+// printf-style formatting into std::string).
+#ifndef DIADS_COMMON_STRINGS_H_
+#define DIADS_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace diads {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// Formats a double with `digits` decimal places (fixed notation).
+std::string FormatDouble(double v, int digits);
+
+/// Formats a fraction in [0,1] as a percentage, e.g. 0.998 -> "99.8%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace diads
+
+#endif  // DIADS_COMMON_STRINGS_H_

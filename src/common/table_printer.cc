@@ -1,0 +1,69 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace diads {
+namespace {
+
+void AppendPadded(std::string* out, const std::string& s, size_t width) {
+  *out += s;
+  for (size_t i = s.size(); i < width; ++i) *out += ' ';
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::string rule = "+";
+  for (size_t w : widths) {
+    rule += std::string(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule;
+  out += "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += ' ';
+    AppendPadded(&out, headers_[c], widths[c]);
+    out += " |";
+  }
+  out += '\n';
+  out += rule;
+
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += rule;
+      continue;
+    }
+    out += "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out += ' ';
+      AppendPadded(&out, row.cells[c], widths[c]);
+      out += " |";
+    }
+    out += '\n';
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace diads

@@ -1,0 +1,47 @@
+// Console table rendering.
+//
+// The paper's evaluation output is tabular (Table 1, Table 2) and its GUI
+// surfaces are tables (Figures 3, 6). TablePrinter renders aligned ASCII
+// tables so that benches and examples can print paper-shaped artifacts.
+#ifndef DIADS_COMMON_TABLE_PRINTER_H_
+#define DIADS_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace diads {
+
+/// Builds and renders a fixed-column ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table, e.g.:
+  ///   +------+-------+
+  ///   | Col  | Col2  |
+  ///   +------+-------+
+  ///   | a    | b     |
+  ///   +------+-------+
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace diads
+
+#endif  // DIADS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,38 @@
+#include "db/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace diads::db {
+
+BufferPool::BufferPool(const Catalog* catalog, double size_mb)
+    : catalog_(catalog), size_mb_(size_mb) {
+  assert(catalog != nullptr);
+}
+
+double BufferPool::HitRate(const std::string& table) const {
+  auto it = overrides_.find(table);
+  if (it != overrides_.end()) return it->second;
+
+  Result<const TableDef*> def = catalog_->FindTable(table);
+  if (!def.ok()) return 0.5;
+  const double table_mb =
+      (*def)->actual_stats.pages() * kPageSizeBytes / (1024.0 * 1024.0);
+  if (table_mb <= 0.5) return 0.995;  // Tiny tables live in cache.
+
+  // Working-set model: the buffer pool is shared across the database in
+  // proportion to size; re-scans of a table hit with probability roughly
+  // min(1, cache_share / table_size). Repeated report-generation runs keep
+  // the working set warm, hence the generous share.
+  const double total_mb = std::max(1.0, catalog_->TotalSizeMb());
+  const double share_mb = size_mb_ * std::min(1.0, table_mb / total_mb) +
+                          0.15 * size_mb_;
+  return std::clamp(share_mb / table_mb, 0.02, 0.995);
+}
+
+void BufferPool::OverrideHitRate(const std::string& table, double hit_rate) {
+  overrides_[table] = std::clamp(hit_rate, 0.0, 1.0);
+}
+
+}  // namespace diads::db

@@ -1,0 +1,44 @@
+// Buffer pool hit-rate model.
+//
+// The executor charges physical I/O only for buffer misses. The model is a
+// working-set approximation: a table's hit rate grows with the fraction of
+// the table that fits in its share of the buffer pool, with small hot
+// tables (nation, region) pinned near 100%. This is what makes the paper's
+// scenario 2 behave correctly: V2 hosts small, well-cached tables, so
+// external contention on V2 barely moves query operators even though V2's
+// SAN metrics look anomalous — Module DA then prunes V2.
+#ifndef DIADS_DB_BUFFER_POOL_H_
+#define DIADS_DB_BUFFER_POOL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "db/catalog.h"
+
+namespace diads::db {
+
+/// Estimates per-table buffer hit rates for a given pool size.
+class BufferPool {
+ public:
+  /// `catalog` must outlive the pool.
+  BufferPool(const Catalog* catalog, double size_mb);
+
+  /// Hit probability for page reads of `table`, in [0, 0.995].
+  double HitRate(const std::string& table) const;
+
+  /// Overrides the hit rate of one table (used by fault injection to model
+  /// cache-unfriendly access patterns).
+  void OverrideHitRate(const std::string& table, double hit_rate);
+
+  void set_size_mb(double size_mb) { size_mb_ = size_mb; }
+  double size_mb() const { return size_mb_; }
+
+ private:
+  const Catalog* catalog_;
+  double size_mb_;
+  std::unordered_map<std::string, double> overrides_;
+};
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_BUFFER_POOL_H_

@@ -1,0 +1,167 @@
+// Database catalog: tablespaces, tables, indexes, and statistics.
+//
+// Models the PostgreSQL-side state DIADS consumes. Two points matter for
+// diagnosis fidelity:
+//
+//   * Tablespace -> volume mapping. Section 3.1.2: APG construction "begins
+//     with the parsing of the database configuration file that defines the
+//     mapping of the database tablespaces to the storage volumes in the
+//     SAN", in either System Managed Storage (file system on a volume) or
+//     Database Managed Storage (raw volume) mode. The catalog stores this
+//     mapping; it is the bridge between plan operators and SAN components.
+//
+//   * Dual statistics. Each table carries *optimizer* statistics (what
+//     ANALYZE last recorded — the optimizer plans with these) and *actual*
+//     statistics (ground truth — execution cardinality follows these).
+//     Scenario 3's fault ("SQL DML causes a subtle change in data
+//     properties") widens the gap: actual stats move, plans stay, record
+//     counts drift, and Module CR picks up the drift.
+#ifndef DIADS_DB_CATALOG_H_
+#define DIADS_DB_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_log.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace diads::db {
+
+/// How a tablespace maps to SAN storage (Section 3.1.2).
+enum class StorageMode {
+  kSystemManaged,    ///< SMS: file system created on a SAN volume.
+  kDatabaseManaged,  ///< DMS: raw SAN volume managed by the database.
+};
+
+const char* StorageModeName(StorageMode mode);
+
+constexpr double kPageSizeBytes = 8192.0;
+
+/// Per-column statistics (enough for selectivity estimation).
+struct ColumnStats {
+  std::string name;
+  double ndv = 1000;      ///< Number of distinct values.
+  double width_bytes = 8;
+};
+
+/// Statistics snapshot for a table.
+struct TableStats {
+  double row_count = 0;
+  double row_width_bytes = 100;
+
+  double pages() const {
+    return row_count * row_width_bytes / kPageSizeBytes;
+  }
+};
+
+struct TablespaceDef {
+  ComponentId id;
+  std::string name;
+  ComponentId volume;  ///< SAN volume backing this tablespace.
+  StorageMode mode = StorageMode::kSystemManaged;
+};
+
+struct TableDef {
+  ComponentId id;
+  std::string name;
+  std::string tablespace;
+  TableStats optimizer_stats;  ///< What ANALYZE last saw.
+  TableStats actual_stats;     ///< Ground truth.
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* FindColumn(const std::string& column) const;
+};
+
+struct IndexDef {
+  ComponentId id;
+  std::string name;
+  std::string table;
+  std::string column;
+  bool unique = false;
+  int height = 3;            ///< B-tree height (root-to-leaf page reads).
+  double leaf_pages = 1000;
+  /// Correlation between index order and heap order, in [0, 1]; high
+  /// clustering means an index range scan touches few heap pages.
+  double clustering = 0.8;
+  bool dropped = false;
+};
+
+/// The catalog. Registers every tablespace/table/index as a component so
+/// that the event log and APG can reference them.
+class Catalog {
+ public:
+  /// `registry` is shared with the SAN topology and must outlive the
+  /// catalog. `event_log` may be null (schema changes then go unlogged).
+  Catalog(ComponentRegistry* registry, EventLog* event_log);
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+
+  // --- Definition ---------------------------------------------------------
+  Status AddTablespace(const std::string& name, ComponentId volume,
+                       StorageMode mode);
+  Status AddTable(const std::string& name, const std::string& tablespace,
+                  TableStats stats, std::vector<ColumnStats> columns);
+  Status AddIndex(const std::string& index_name, const std::string& table,
+                  const std::string& column, bool unique, double clustering);
+
+  // --- Schema / statistics changes (logged as events) ---------------------
+  /// Drops an index; logs kIndexDropped.
+  Status DropIndex(SimTimeMs t, const std::string& index_name);
+  /// Re-creates a dropped index; logs kIndexCreated.
+  Status RecreateIndex(SimTimeMs t, const std::string& index_name);
+  /// Applies a bulk DML: actual row count scales by `factor`; logs
+  /// kDmlBatch. Optimizer stats are NOT updated (that is Analyze's job).
+  Status ApplyDml(SimTimeMs t, const std::string& table, double factor,
+                  const std::string& description);
+  /// Refreshes optimizer stats from actual stats; logs kTableStatsChanged.
+  Status Analyze(SimTimeMs t, const std::string& table);
+
+  // --- Silent what-if mutators --------------------------------------------
+  // Used by Module PD's what-if probe, which must temporarily revert a
+  // schema change, re-optimize, and restore — without polluting the event
+  // log with synthetic events.
+  Status SetIndexDroppedSilently(const std::string& index_name, bool dropped);
+  Status SetOptimizerStatsSilently(const std::string& table, TableStats stats);
+
+  // --- Lookup -------------------------------------------------------------
+  Result<const TablespaceDef*> FindTablespace(const std::string& name) const;
+  Result<const TableDef*> FindTable(const std::string& name) const;
+  Result<const IndexDef*> FindIndex(const std::string& name) const;
+  /// Non-dropped indexes on `table` (optionally restricted to `column`).
+  std::vector<const IndexDef*> IndexesOn(
+      const std::string& table,
+      const std::string& column = std::string()) const;
+
+  /// The SAN volume backing a table (through its tablespace).
+  Result<ComponentId> VolumeOfTable(const std::string& table) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TablespaceNames() const;
+
+  /// Total size of all tables (actual stats), in MB.
+  double TotalSizeMb() const;
+
+  const ComponentRegistry& registry() const { return *registry_; }
+
+ private:
+  Status LogEvent(SimTimeMs t, EventType type, ComponentId subject,
+                  std::string description,
+                  std::map<std::string, std::string> attrs = {});
+
+  ComponentRegistry* registry_;
+  EventLog* event_log_;
+  std::unordered_map<std::string, TablespaceDef> tablespaces_;
+  std::unordered_map<std::string, TableDef> tables_;
+  std::unordered_map<std::string, IndexDef> indexes_;
+  std::vector<std::string> table_order_;       ///< Definition order.
+  std::vector<std::string> tablespace_order_;
+};
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_CATALOG_H_

@@ -1,0 +1,403 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace diads::db {
+namespace {
+
+/// Scans carry their planned table row count through est_pages/est_rows;
+/// the executor needs actual/planned ratios per *alias* (a table may appear
+/// under several aliases with independent scan ops, like partsupp in Q2).
+struct SubtreeInfo {
+  std::set<std::string> aliases;  ///< Scan aliases in the subtree.
+};
+
+}  // namespace
+
+Executor::Executor(ExecutorContext ctx, SeededRng rng)
+    : ctx_(ctx), rng_(std::move(rng)) {
+  assert(ctx_.catalog && ctx_.topology && ctx_.perf_model &&
+         ctx_.buffer_pool && ctx_.locks && ctx_.activity);
+}
+
+Result<std::vector<Executor::OpWork>> Executor::ComputeActualRows(
+    const Plan& plan) {
+  std::vector<OpWork> work(plan.size());
+  std::vector<double> subtree_ratio(plan.size(), 1.0);
+
+  // Per-scan actual/planned row ratio. Approximation (documented in the
+  // header): nested-loop inner scans scale with their own table's growth
+  // but not with the outer side's probe-count growth; the fault scenarios
+  // mutate the probed table (partsupp), for which this is exact.
+  std::function<double(int)> walk = [&](int index) -> double {
+    const PlanOp& op = plan.op(index);
+    double ratio = 1.0;
+    for (int child : op.children) ratio *= walk(child);
+    if (op.is_scan()) {
+      Result<const TableDef*> table = ctx_.catalog->FindTable(op.table);
+      if (table.ok()) {
+        const double planned = std::max(1.0, op.est_rows);
+        // est_rows already includes filters/probe counts; scale by the
+        // table-level actual/optimizer ratio. Optimizer stats at plan time
+        // equal the catalog's optimizer stats unless ANALYZE ran after
+        // planning — use the actual/optimizer gap, which is exactly the
+        // un-analyzed data drift the executor should see.
+        const double table_ratio =
+            (*table)->actual_stats.row_count /
+            std::max(1.0, (*table)->optimizer_stats.row_count);
+        ratio *= table_ratio;
+        const double jitter = std::max(0.8, rng_.Normal(1.0, 0.015));
+        work[static_cast<size_t>(index)].actual_rows =
+            std::max(0.0, planned * table_ratio * jitter);
+        work[static_cast<size_t>(index)].physical_reads =
+            op.est_pages * table_ratio * jitter;
+      } else {
+        work[static_cast<size_t>(index)].actual_rows = op.est_rows;
+        work[static_cast<size_t>(index)].physical_reads = op.est_pages;
+      }
+    } else {
+      double rows = op.est_rows * ratio;
+      if (op.type == OpType::kAggregate) {
+        // Group count is NDV-capped: data growth adds rows per group, not
+        // groups.
+        rows = std::min(rows, op.est_rows * 1.02);
+      }
+      if (op.type == OpType::kLimit) {
+        double child_rows = op.children.empty()
+                                ? rows
+                                : work[static_cast<size_t>(op.children[0])]
+                                      .actual_rows;
+        rows = std::min(op.est_rows, child_rows);
+      }
+      work[static_cast<size_t>(index)].actual_rows = std::max(1.0, rows);
+    }
+    subtree_ratio[static_cast<size_t>(index)] = ratio;
+    return ratio;
+  };
+  walk(plan.root_index());
+
+  // Buffer pool split of page fetches, and scan access pattern.
+  for (const PlanOp& op : plan.ops()) {
+    OpWork& w = work[static_cast<size_t>(op.index)];
+    if (!op.is_scan()) continue;
+    const double pages = w.physical_reads;  // Total page touches so far.
+    const double hit = ctx_.buffer_pool->HitRate(op.table);
+    w.buffer_hits = pages * hit;
+    w.physical_reads = pages * (1.0 - hit);
+    Result<ComponentId> volume = ctx_.catalog->VolumeOfTable(op.table);
+    if (volume.ok()) w.volume = *volume;
+    if (op.type == OpType::kSeqScan) {
+      w.seq_fraction = 0.9;
+    } else {
+      Result<const IndexDef*> index = ctx_.catalog->FindIndex(op.index_name);
+      w.seq_fraction = index.ok() ? 0.5 * (*index)->clustering : 0.2;
+    }
+  }
+  return work;
+}
+
+void Executor::ComputeCpuWork(const Plan& plan, std::vector<OpWork>* work) {
+  const DbParams& p = ctx_.params;
+  const double unit = p.cpu_ms_per_cost_unit;
+  for (const PlanOp& op : plan.ops()) {
+    OpWork& w = (*work)[static_cast<size_t>(op.index)];
+    const double out_rows = w.actual_rows;
+    double child_rows = 0;
+    for (int c : op.children) {
+      child_rows += (*work)[static_cast<size_t>(c)].actual_rows;
+    }
+    double cost_units = 0;
+    switch (op.type) {
+      case OpType::kSeqScan:
+        cost_units = (w.buffer_hits + w.physical_reads) * 0.1 +
+                     out_rows * p.cpu_tuple_cost;
+        break;
+      case OpType::kIndexScan:
+        cost_units = out_rows * (p.cpu_index_tuple_cost + p.cpu_tuple_cost);
+        break;
+      case OpType::kHashJoin:
+        cost_units = child_rows * p.cpu_operator_cost +
+                     out_rows * p.cpu_tuple_cost;
+        break;
+      case OpType::kHash:
+        cost_units = child_rows * p.cpu_operator_cost * 1.5;
+        break;
+      case OpType::kMergeJoin:
+        cost_units = child_rows * p.cpu_operator_cost +
+                     out_rows * p.cpu_tuple_cost;
+        break;
+      case OpType::kNestLoopJoin:
+        cost_units = out_rows * p.cpu_tuple_cost;
+        break;
+      case OpType::kSort: {
+        const double n = std::max(2.0, child_rows);
+        cost_units = 2.0 * n * std::log2(n) * p.cpu_operator_cost;
+        break;
+      }
+      case OpType::kAggregate:
+        cost_units = child_rows * p.cpu_operator_cost +
+                     out_rows * p.cpu_tuple_cost;
+        break;
+      case OpType::kMaterialize:
+        cost_units = child_rows * p.cpu_operator_cost;
+        break;
+      case OpType::kResult:
+      case OpType::kLimit:
+      case OpType::kFilter:
+        cost_units = out_rows * p.cpu_tuple_cost * 0.1;
+        break;
+    }
+    const double jitter = std::max(0.7, rng_.Normal(1.0, 0.04));
+    w.cpu_ms = cost_units * unit * jitter;
+  }
+}
+
+int Executor::AssignPipelines(const Plan& plan,
+                              std::vector<OpWork>* work) const {
+  int next_pipeline = 0;
+  std::function<void(int, int)> assign = [&](int index, int pipeline) {
+    const PlanOp& op = plan.op(index);
+    int my_pipeline = pipeline;
+    if (IsBlockingOutput(op.type)) {
+      // Blocking op and its subtree form a fresh pipeline; the blocking
+      // op's consuming/sorting work happens there.
+      my_pipeline = next_pipeline++;
+    }
+    (*work)[static_cast<size_t>(index)].pipeline = my_pipeline;
+    for (int child : op.children) assign(child, my_pipeline);
+  };
+  const int root_pipeline = next_pipeline++;
+  assign(plan.root_index(), root_pipeline);
+  return next_pipeline;
+}
+
+Result<QueryRunRecord> Executor::Execute(std::shared_ptr<const Plan> plan,
+                                         SimTimeMs start_time) {
+  if (plan == nullptr || plan->size() == 0) {
+    return Status::InvalidArgument("cannot execute an empty plan");
+  }
+  Result<std::vector<OpWork>> work_r = ComputeActualRows(*plan);
+  DIADS_RETURN_IF_ERROR(work_r.status());
+  std::vector<OpWork> work = std::move(*work_r);
+  ComputeCpuWork(*plan, &work);
+  const int n_pipelines = AssignPipelines(*plan, &work);
+
+  // Pipeline execution order: post-order over the pipeline tree, i.e.
+  // producers (hash builds, sort inputs) before their consumers. Equivalent
+  // to ordering ops post-order and listing pipelines by last-visited.
+  // A pipeline completes when its topmost member is done, which in post-
+  // order is the pipeline's *last* occurrence; ordering pipelines by last
+  // occurrence puts every producer (hash build, sort input) before its
+  // consumer.
+  std::vector<int> pipeline_order;
+  {
+    std::vector<int> op_post_order;
+    std::function<void(int)> visit = [&](int index) {
+      for (int child : plan->op(index).children) visit(child);
+      op_post_order.push_back(index);
+    };
+    visit(plan->root_index());
+
+    std::vector<int> last_pos(static_cast<size_t>(n_pipelines), -1);
+    for (size_t i = 0; i < op_post_order.size(); ++i) {
+      const int p = work[static_cast<size_t>(op_post_order[i])].pipeline;
+      last_pos[static_cast<size_t>(p)] = static_cast<int>(i);
+    }
+    pipeline_order.resize(static_cast<size_t>(n_pipelines));
+    for (int p = 0; p < n_pipelines; ++p) pipeline_order[static_cast<size_t>(p)] = p;
+    std::sort(pipeline_order.begin(), pipeline_order.end(),
+              [&last_pos](int a, int b) {
+                return last_pos[static_cast<size_t>(a)] <
+                       last_pos[static_cast<size_t>(b)];
+              });
+  }
+
+  // Per-pipeline totals.
+  std::vector<double> pipeline_cpu(static_cast<size_t>(n_pipelines), 0.0);
+  std::vector<std::vector<int>> pipeline_scans(
+      static_cast<size_t>(n_pipelines));
+  std::vector<std::vector<int>> pipeline_members(
+      static_cast<size_t>(n_pipelines));
+  for (const PlanOp& op : plan->ops()) {
+    OpWork& w = work[static_cast<size_t>(op.index)];
+    pipeline_cpu[static_cast<size_t>(w.pipeline)] += w.cpu_ms;
+    pipeline_members[static_cast<size_t>(w.pipeline)].push_back(op.index);
+    if (op.is_scan() && w.volume.valid() && w.physical_reads > 0) {
+      pipeline_scans[static_cast<size_t>(w.pipeline)].push_back(op.index);
+    }
+  }
+
+  // Schedule pipelines sequentially with a 2-step latency fixed point.
+  std::vector<TimeInterval> pipeline_span(static_cast<size_t>(n_pipelines));
+  SimTimeMs cursor = start_time;
+  for (int p : pipeline_order) {
+    const auto pi = static_cast<size_t>(p);
+    // Processor sharing: background CPU demand on the server (competing
+    // jobs, the CPU-saturation fault) stretches this backend's compute.
+    const double bg_cpu =
+        ctx_.perf_model
+            ->ServerStats(ctx_.db_server,
+                          TimeInterval{cursor, cursor + Minutes(5)})
+            .cpu_utilization;
+    const double cpu_stretch = 1.0 / std::max(0.15, 1.0 - bg_cpu);
+    // The stretch is real compute-wait: reflect it in each member's self
+    // time so Module IA's attribution sees it.
+    if (cpu_stretch > 1.0) {
+      for (int member : pipeline_members[pi]) {
+        work[static_cast<size_t>(member)].cpu_ms *= cpu_stretch;
+      }
+    }
+    double duration_ms = pipeline_cpu[pi] * cpu_stretch;
+
+    // Lock waits for scans starting in this pipeline.
+    for (int scan : pipeline_scans[pi]) {
+      OpWork& w = work[static_cast<size_t>(scan)];
+      const PlanOp& op = plan->op(scan);
+      w.lock_wait_ms =
+          static_cast<double>(ctx_.locks->WaitFor(op.table, cursor));
+      duration_ms += w.lock_wait_ms;
+    }
+
+    // Iteration 0: latency without self-load.
+    double io_ms = 0;
+    for (int scan : pipeline_scans[pi]) {
+      OpWork& w = work[static_cast<size_t>(scan)];
+      const double lat =
+          ctx_.perf_model->VolumeReadLatencyMs(w.volume, cursor);
+      w.io_wait_ms = w.physical_reads * lat;
+      io_ms += w.io_wait_ms;
+    }
+    // Iteration 1: include self-load at the estimated duration.
+    const double d0 = std::max(1.0, duration_ms + io_ms);
+    io_ms = 0;
+    for (int scan : pipeline_scans[pi]) {
+      OpWork& w = work[static_cast<size_t>(scan)];
+      san::IoProfile self;
+      self.read_iops = w.physical_reads / (d0 / 1000.0);
+      self.seq_fraction = w.seq_fraction;
+      const SimTimeMs mid = cursor + static_cast<SimTimeMs>(d0 / 2);
+      const double lat =
+          ctx_.perf_model->VolumeReadLatencyMs(w.volume, mid, self);
+      w.io_wait_ms = w.physical_reads * lat;
+      io_ms += w.io_wait_ms;
+    }
+    duration_ms += io_ms;
+    // Scheduling noise: process wakeups, background autovacuum, cache
+    // effects. Absolute (not relative), so short CPU-only pipelines carry
+    // realistic baseline variance — without it a 10 ms hash-build pipeline
+    // is so repeatable that a 1 ms drift looks like a 5-sigma anomaly.
+    duration_ms += std::max(0.0, rng_.Normal(30.0, 15.0));
+    duration_ms = std::max(duration_ms, 1.0);
+
+    pipeline_span[pi] =
+        TimeInterval{cursor, cursor + static_cast<SimTimeMs>(duration_ms)};
+    cursor = pipeline_span[pi].end;
+  }
+
+  const TimeInterval run_interval{start_time, cursor};
+
+  // Register SAN load + CPU for the run so the monitors see it.
+  for (int p = 0; p < n_pipelines; ++p) {
+    const auto pi = static_cast<size_t>(p);
+    if (pipeline_span[pi].empty()) continue;
+    const double dur_s =
+        static_cast<double>(pipeline_span[pi].duration()) / 1000.0;
+    for (int scan : pipeline_scans[pi]) {
+      OpWork& w = work[static_cast<size_t>(scan)];
+      san::LoadEvent load;
+      load.volume = w.volume;
+      load.interval = pipeline_span[pi];
+      load.profile.read_iops = w.physical_reads / std::max(1e-3, dur_s);
+      load.profile.seq_fraction = w.seq_fraction;
+      load.profile.avg_block_kb = 8.0;
+      load.source = ctx_.database;
+      Result<san::IoPath> path =
+          ctx_.topology->ResolvePath(ctx_.db_server, w.volume);
+      if (path.ok()) {
+        load.path_ports = path->ports;
+        load.path_switches = path->switches;
+      }
+      DIADS_RETURN_IF_ERROR(ctx_.perf_model->AddLoad(std::move(load)));
+    }
+    const double cpu_util =
+        std::min(1.0, pipeline_cpu[pi] /
+                          std::max(1.0, static_cast<double>(
+                                            pipeline_span[pi].duration())));
+    const int cores =
+        std::max(1, ctx_.topology->server(ctx_.db_server).cpu_cores);
+    DIADS_RETURN_IF_ERROR(ctx_.perf_model->AddCpuLoad(
+        ctx_.db_server, pipeline_span[pi], cpu_util / cores));
+  }
+
+  // Build the run record. Spans: ops take their pipeline's span; Sort/
+  // Aggregate emission extends to the end of the consumer's pipeline.
+  QueryRunRecord record;
+  record.query_name = plan->query_name();
+  record.plan = plan;
+  record.plan_fingerprint = plan->Fingerprint();
+  record.interval = run_interval;
+  for (const PlanOp& op : plan->ops()) {
+    const OpWork& w = work[static_cast<size_t>(op.index)];
+    OperatorRunStats stats;
+    stats.op_index = op.index;
+    stats.op_number = op.op_number;
+    const TimeInterval& span = pipeline_span[static_cast<size_t>(w.pipeline)];
+    stats.start = span.begin;
+    stats.stop = span.end;
+    if (SpanExtendsToOutput(op.type)) {
+      const int parent = plan->ParentOf(op.index);
+      if (parent >= 0) {
+        const int parent_pipeline =
+            work[static_cast<size_t>(parent)].pipeline;
+        stats.stop = std::max(
+            stats.stop,
+            pipeline_span[static_cast<size_t>(parent_pipeline)].end);
+      }
+    }
+    stats.est_rows = op.est_rows;
+    stats.actual_rows = w.actual_rows;
+    stats.physical_reads = w.physical_reads;
+    stats.buffer_hits = w.buffer_hits;
+    stats.io_wait_ms = w.io_wait_ms;
+    stats.cpu_ms = w.cpu_ms;
+    stats.lock_wait_ms = w.lock_wait_ms;
+    record.operators.push_back(stats);
+  }
+
+  // Record database-level activity for the collectors.
+  {
+    const double dur_s =
+        std::max(1e-3, static_cast<double>(run_interval.duration()) / 1000.0);
+    DbActivityCounters counters;
+    int index_scan_count = 0;
+    int seq_scan_count = 0;
+    for (const PlanOp& op : plan->ops()) {
+      const OpWork& w = work[static_cast<size_t>(op.index)];
+      if (!op.is_scan()) continue;
+      counters.blocks_read_per_sec += w.physical_reads / dur_s;
+      counters.buffer_hits_per_sec += w.buffer_hits / dur_s;
+      counters.lock_wait_ms_per_sec += w.lock_wait_ms / dur_s;
+      if (op.type == OpType::kIndexScan) {
+        ++index_scan_count;
+        counters.index_reads_per_sec += w.physical_reads / dur_s;
+        counters.index_fetches_per_sec += w.actual_rows / dur_s;
+      } else {
+        ++seq_scan_count;
+      }
+    }
+    counters.index_scans_per_sec = index_scan_count / dur_s;
+    counters.seq_scans_per_sec = seq_scan_count / dur_s;
+    counters.locks_held = static_cast<double>(index_scan_count + seq_scan_count);
+    DIADS_RETURN_IF_ERROR(ctx_.activity->AddActivity(run_interval, counters));
+  }
+
+  return record;
+}
+
+}  // namespace diads::db

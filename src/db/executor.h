@@ -1,0 +1,107 @@
+// Query executor — a pipelined execution timing model.
+//
+// Executes a Plan against the simulated testbed and produces the per-
+// operator start/stop times and record counts DIADS consumes. The model
+// follows single-backend PostgreSQL semantics:
+//
+//   * The plan is decomposed into pipelines at blocking operators (Sort,
+//     Aggregate, Hash build, Materialize). Pipelines execute sequentially
+//     in dependency order (hash builds before probes, sort inputs before
+//     consumers) on the single backend process.
+//
+//   * Every operator in a pipeline runs interleaved with its pipeline
+//     peers, so each op's measured span [tb, te] equals the pipeline's
+//     span. This is the physical mechanism behind the paper's "event
+//     propagation" observation in Module CO: when a leaf scan on a
+//     contended volume stalls, the spans of all operators in its pipeline
+//     stretch with it, while operators in other pipelines (separated by
+//     blocking boundaries) keep their durations.
+//
+//   * Scan I/O waits come from the SAN performance model: physical reads x
+//     the volume's current latency, with a two-step fixed point so the
+//     query's own load contributes to the latency it experiences. The
+//     executor then registers its I/O as SAN load events, so the
+//     monitoring collectors see the query's traffic on V1/V2.
+//
+//   * Actual record counts derive from the plan's estimates scaled by the
+//     catalog's actual-vs-planned statistics ratios (exact for this
+//     multiplicative cardinality model; the one approximation — nested-loop
+//     inner scans do not rescale with *outer* data growth — is documented
+//     at ComputeActualRows).
+#ifndef DIADS_DB_EXECUTOR_H_
+#define DIADS_DB_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "db/buffer_pool.h"
+#include "db/catalog.h"
+#include "db/db_activity.h"
+#include "db/lock_manager.h"
+#include "db/optimizer.h"
+#include "db/plan.h"
+#include "db/run_record.h"
+#include "san/perf_model.h"
+#include "san/topology.h"
+
+namespace diads::db {
+
+/// Everything the executor needs. All pointers must outlive the executor.
+struct ExecutorContext {
+  const Catalog* catalog = nullptr;
+  const san::SanTopology* topology = nullptr;
+  san::SanPerfModel* perf_model = nullptr;  ///< Mutated: load registration.
+  BufferPool* buffer_pool = nullptr;
+  const LockManager* locks = nullptr;
+  DbActivityModel* activity = nullptr;      ///< Mutated: DB counters.
+  ComponentId db_server;                    ///< SAN server hosting the DB.
+  ComponentId database;                     ///< kDatabase component.
+  DbParams params;
+};
+
+/// Executes plans and produces run records.
+class Executor {
+ public:
+  /// `rng` drives per-run jitter (row-count and CPU noise); fork a child
+  /// stream per executor.
+  Executor(ExecutorContext ctx, SeededRng rng);
+
+  /// Executes `plan` starting at `start_time`. Registers the run's I/O and
+  /// CPU load with the SAN model and its counters with the activity model.
+  Result<QueryRunRecord> Execute(std::shared_ptr<const Plan> plan,
+                                 SimTimeMs start_time);
+
+  const ExecutorContext& context() const { return ctx_; }
+
+ private:
+  struct OpWork {
+    double actual_rows = 0;
+    double physical_reads = 0;
+    double buffer_hits = 0;
+    double cpu_ms = 0;
+    double io_wait_ms = 0;    ///< Filled during scheduling.
+    double lock_wait_ms = 0;  ///< Filled during scheduling.
+    ComponentId volume;       ///< Scan target volume (invalid otherwise).
+    double seq_fraction = 0;
+    int pipeline = -1;
+  };
+
+  /// Phase A: actual rows/pages per op (see header comment).
+  Result<std::vector<OpWork>> ComputeActualRows(const Plan& plan);
+  /// Phase B: CPU work per op from actual rows.
+  void ComputeCpuWork(const Plan& plan, std::vector<OpWork>* work);
+  /// Phase C: pipeline decomposition; returns pipeline count.
+  int AssignPipelines(const Plan& plan, std::vector<OpWork>* work) const;
+
+  ExecutorContext ctx_;
+  SeededRng rng_;
+};
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_EXECUTOR_H_

@@ -1,0 +1,32 @@
+#include "db/lock_manager.h"
+
+namespace diads::db {
+
+Status LockManager::AddContention(LockContentionWindow window) {
+  if (window.window.empty()) {
+    return Status::InvalidArgument("contention window is empty");
+  }
+  if (window.wait_ms < 0) {
+    return Status::InvalidArgument("wait must be non-negative");
+  }
+  windows_.push_back(std::move(window));
+  return Status::Ok();
+}
+
+SimTimeMs LockManager::WaitFor(const std::string& table, SimTimeMs t) const {
+  SimTimeMs wait = 0;
+  for (const LockContentionWindow& w : windows_) {
+    if (w.table == table && w.window.Contains(t)) wait += w.wait_ms;
+  }
+  return wait;
+}
+
+double LockManager::ExtraLocksHeldAt(SimTimeMs t) const {
+  double locks = 0;
+  for (const LockContentionWindow& w : windows_) {
+    if (w.window.Contains(t)) locks += w.extra_locks_held;
+  }
+  return locks;
+}
+
+}  // namespace diads::db

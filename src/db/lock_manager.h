@@ -1,0 +1,49 @@
+// Table lock contention model.
+//
+// Scenario 5 of the paper injects a "DB problem (locking-based)": a
+// competing transaction holds table locks, stalling the report query's
+// scans. The lock manager records contention windows; during execution,
+// a scan of a contended table pays the configured wait before its I/O
+// starts. The injector also raises the database's Locks Held / Lock Wait
+// metrics so Module SD's locking symptoms can fire.
+#ifndef DIADS_DB_LOCK_MANAGER_H_
+#define DIADS_DB_LOCK_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace diads::db {
+
+/// One contention window on a table.
+struct LockContentionWindow {
+  std::string table;
+  TimeInterval window;
+  /// Wait imposed on a scan that starts inside the window.
+  SimTimeMs wait_ms = 0;
+  /// Average extra locks held during the window (for the metric feed).
+  double extra_locks_held = 0;
+};
+
+/// Registry of lock contention windows.
+class LockManager {
+ public:
+  Status AddContention(LockContentionWindow window);
+
+  /// Total wait a scan of `table` starting at time `t` must pay.
+  SimTimeMs WaitFor(const std::string& table, SimTimeMs t) const;
+
+  /// Extra locks held across all tables at time `t`.
+  double ExtraLocksHeldAt(SimTimeMs t) const;
+
+  const std::vector<LockContentionWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<LockContentionWindow> windows_;
+};
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_LOCK_MANAGER_H_

@@ -1,0 +1,58 @@
+// The Figure-1 plan fixture.
+//
+// Figure 1 of the paper shows the APG for TPC-H Q2: a 25-operator plan
+// (O1-O25) with 9 leaf operators, where exactly two leaves — the main
+// block's partsupp scan and the subquery block's partsupp scan — read
+// volume V1, and the remaining seven leaves read V2.
+//
+// MakePaperQ2Plan() hand-builds that plan so the preorder numbering lands
+// the two V1 leaves at O8 and O22, matching the ids the paper's Section 5
+// narrative uses ("the leaf operators (O8 and O22) connected to volume
+// V1"). The tree (children listed probe-side first, preorder = O-number):
+//
+//   O1  Result
+//   O2   Sort                              (top-100 suppliers)
+//   O3    Hash Join                        (ps_supplycost = min(...))
+//   O4     Hash Join                       (s_nationkey = n_nationkey)
+//   O5      Hash Join                      (ps_suppkey = s_suppkey)
+//   O6       Nested Loop                   (partsupp probe per part)
+//   O7        Index Scan part       [V2]   (p_size = 15, p_type like BRASS)
+//   O8        Index Scan partsupp   [V1]   (ps_partkey = p_partkey)
+//   O9       Hash
+//   O10       Seq Scan supplier     [V2]
+//   O11      Hash
+//   O12       Hash Join                    (n_regionkey = r_regionkey)
+//   O13        Seq Scan nation      [V2]
+//   O14        Hash
+//   O15         Seq Scan region     [V2]   (r_name = 'EUROPE')
+//   O16     Hash                           (subquery result build)
+//   O17      Aggregate                     (min cost group by ps_partkey)
+//   O18       Hash Join                    (n2_regionkey = r2_regionkey)
+//   O19        Nested Loop                 (n2 lookup per row)
+//   O20         Nested Loop                (partsupp2 probe per supplier)
+//   O21          Seq Scan supplier2 [V2]
+//   O22          Index Scan partsupp2 [V1] (ps_suppkey = s_suppkey)
+//   O23         Index Scan nation2  [V2]   (n_nationkey = s_nationkey)
+//   O24        Hash
+//   O25         Seq Scan region2    [V2]   (r_name = 'EUROPE')
+//
+// Under the pipelined execution model this yields the paper's event-
+// propagation shape: contention on V1 stretches the two pipelines holding
+// O8 and O22 — {O2..O8} and {O17..O23} — while the root Result (O1), the
+// hash-build pipelines ({O9,O10}, {O11..O15}, {O24,O25}) and the build
+// node O16 keep their durations.
+#ifndef DIADS_DB_PAPER_PLAN_H_
+#define DIADS_DB_PAPER_PLAN_H_
+
+#include "common/status.h"
+#include "db/plan.h"
+
+namespace diads::db {
+
+/// Builds the Figure-1 Q2 plan with row/page estimates calibrated for the
+/// scale-factor-1 BuildTpchCatalog statistics.
+Result<Plan> MakePaperQ2Plan();
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_PAPER_PLAN_H_

@@ -1,0 +1,217 @@
+#include "db/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace diads::db {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kResult:
+      return "Result";
+    case OpType::kLimit:
+      return "Limit";
+    case OpType::kSort:
+      return "Sort";
+    case OpType::kAggregate:
+      return "Aggregate";
+    case OpType::kHashJoin:
+      return "Hash Join";
+    case OpType::kHash:
+      return "Hash";
+    case OpType::kMergeJoin:
+      return "Merge Join";
+    case OpType::kNestLoopJoin:
+      return "Nested Loop";
+    case OpType::kMaterialize:
+      return "Materialize";
+    case OpType::kFilter:
+      return "Filter";
+    case OpType::kSeqScan:
+      return "Seq Scan";
+    case OpType::kIndexScan:
+      return "Index Scan";
+  }
+  return "?";
+}
+
+bool IsBlockingOutput(OpType type) {
+  switch (type) {
+    case OpType::kSort:
+    case OpType::kAggregate:
+    case OpType::kHash:
+    case OpType::kMaterialize:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SpanExtendsToOutput(OpType type) {
+  return type == OpType::kSort || type == OpType::kAggregate;
+}
+
+bool IsScan(OpType type) {
+  return type == OpType::kSeqScan || type == OpType::kIndexScan;
+}
+
+std::vector<int> Plan::LeafIndexes() const {
+  std::vector<int> out;
+  for (const PlanOp& op : ops_) {
+    if (op.children.empty()) out.push_back(op.index);
+  }
+  return out;
+}
+
+int Plan::ParentOf(int index) const {
+  for (const PlanOp& op : ops_) {
+    for (int c : op.children) {
+      if (c == index) return op.index;
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Plan::AncestorsOf(int index) const {
+  std::vector<int> out;
+  int cur = ParentOf(index);
+  while (cur >= 0) {
+    out.push_back(cur);
+    cur = ParentOf(cur);
+  }
+  return out;
+}
+
+Result<int> Plan::IndexOfOpNumber(int op_number) const {
+  for (const PlanOp& op : ops_) {
+    if (op.op_number == op_number) return op.index;
+  }
+  return Status::NotFound(StrFormat("no operator O%d in plan", op_number));
+}
+
+uint64_t Plan::Fingerprint() const {
+  // Post-order structural hash rooted at root_.
+  std::function<uint64_t(int)> hash_subtree = [&](int index) -> uint64_t {
+    const PlanOp& op = ops_[static_cast<size_t>(index)];
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(op.type) + 0x51ull);
+    for (char c : op.table) mix(static_cast<uint64_t>(c));
+    for (char c : op.table_alias) mix(static_cast<uint64_t>(c));
+    for (char c : op.index_name) mix(static_cast<uint64_t>(c));
+    for (int child : op.children) mix(hash_subtree(child) * 0x9E3779B97f4A7C15ull);
+    return h;
+  };
+  if (root_ < 0) return 0;
+  return hash_subtree(root_);
+}
+
+std::string Plan::FingerprintHex() const {
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(Fingerprint()));
+}
+
+std::string Plan::Render(bool with_estimates) const {
+  std::string out;
+  std::function<void(int, int)> walk = [&](int index, int depth) {
+    const PlanOp& op = ops_[static_cast<size_t>(index)];
+    out += StrFormat("%*sO%-3d %s", depth * 2, "", op.op_number,
+                     OpTypeName(op.type));
+    if (op.is_scan()) {
+      out += " on " + op.table;
+      if (op.table_alias != op.table && !op.table_alias.empty()) {
+        out += " " + op.table_alias;
+      }
+      if (!op.index_name.empty()) out += " using " + op.index_name;
+    }
+    if (!op.detail.empty()) out += "  (" + op.detail + ")";
+    if (with_estimates) {
+      out += StrFormat("  [rows=%.0f cost=%.1f]", op.est_rows, op.est_cost);
+    }
+    out += '\n';
+    for (int child : op.children) walk(child, depth + 1);
+  };
+  if (root_ >= 0) walk(root_, 0);
+  return out;
+}
+
+int PlanBuilder::AddOp(OpType type, std::vector<int> children,
+                       std::string detail) {
+  PlanOp op;
+  op.index = static_cast<int>(ops_.size());
+  op.type = type;
+  op.children = std::move(children);
+  op.detail = std::move(detail);
+  ops_.push_back(std::move(op));
+  return ops_.back().index;
+}
+
+int PlanBuilder::AddScan(OpType type, const std::string& alias,
+                         const std::string& table,
+                         const std::string& index_name) {
+  assert(IsScan(type));
+  const int index = AddOp(type, {});
+  ops_[static_cast<size_t>(index)].table_alias = alias;
+  ops_[static_cast<size_t>(index)].table = table;
+  ops_[static_cast<size_t>(index)].index_name = index_name;
+  return index;
+}
+
+void PlanBuilder::SetEstimates(int index, double rows, double cost,
+                               double pages) {
+  PlanOp& op = ops_[static_cast<size_t>(index)];
+  op.est_rows = rows;
+  op.est_cost = cost;
+  op.est_pages = pages;
+}
+
+void PlanBuilder::SetDetail(int index, std::string detail) {
+  ops_[static_cast<size_t>(index)].detail = std::move(detail);
+}
+
+Result<Plan> PlanBuilder::Build(int root_index) {
+  if (root_index < 0 || root_index >= static_cast<int>(ops_.size())) {
+    return Status::InvalidArgument("root index out of range");
+  }
+  // Validate: every op except the root has exactly one parent; all ops
+  // reachable from the root.
+  std::vector<int> parent_count(ops_.size(), 0);
+  for (const PlanOp& op : ops_) {
+    for (int c : op.children) {
+      if (c < 0 || c >= static_cast<int>(ops_.size())) {
+        return Status::InvalidArgument("child index out of range");
+      }
+      ++parent_count[static_cast<size_t>(c)];
+    }
+  }
+  for (const PlanOp& op : ops_) {
+    const int expected = (op.index == root_index) ? 0 : 1;
+    if (parent_count[static_cast<size_t>(op.index)] != expected) {
+      return Status::InvalidArgument(StrFormat(
+          "op %d has %d parents, expected %d", op.index,
+          parent_count[static_cast<size_t>(op.index)], expected));
+    }
+  }
+
+  Plan plan;
+  plan.query_name_ = query_name_;
+  plan.ops_ = std::move(ops_);
+  plan.root_ = root_index;
+
+  // Preorder numbering: root = O1.
+  int next = 1;
+  std::function<void(int)> number = [&](int index) {
+    plan.ops_[static_cast<size_t>(index)].op_number = next++;
+    for (int c : plan.ops_[static_cast<size_t>(index)].children) number(c);
+  };
+  number(root_index);
+  return plan;
+}
+
+}  // namespace diads::db

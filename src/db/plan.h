@@ -1,0 +1,147 @@
+// Physical query plans.
+//
+// A Plan is an operator tree in the PostgreSQL style: explicit Hash build
+// nodes under hash joins, Sort/Aggregate/Materialize as blocking operators,
+// scans at the leaves. Operators carry the optimizer's row/cost estimates;
+// Figure 1's APG hangs SAN dependency paths off exactly this tree, and the
+// paper identifies operators by plan-order numbers O1..On, which
+// AssignOperatorNumbers() reproduces (preorder, root = O1).
+//
+// Plan fingerprints (structural hashes) implement Module PD's "look for
+// changes in the plan used to execute Q": two runs used the same plan iff
+// their fingerprints match.
+#ifndef DIADS_DB_PLAN_H_
+#define DIADS_DB_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads::db {
+
+/// Physical operator kinds.
+enum class OpType {
+  kResult,        ///< Plan root; returns rows to the client.
+  kLimit,
+  kSort,          ///< Blocking; emission spans the consumer pipeline.
+  kAggregate,     ///< Blocking (hash/group aggregate).
+  kHashJoin,      ///< Pipelined on the probe (first) child.
+  kHash,          ///< Blocking hash-table build under a HashJoin.
+  kMergeJoin,
+  kNestLoopJoin,  ///< Pipelined on both children.
+  kMaterialize,   ///< Blocking buffer of the inner relation.
+  kFilter,
+  kSeqScan,
+  kIndexScan,
+};
+
+const char* OpTypeName(OpType type);
+
+/// True for operators that consume their entire input before producing any
+/// output (pipeline breakers).
+bool IsBlockingOutput(OpType type);
+
+/// True for blocking operators whose *emission* phase runs inside the
+/// consumer pipeline, so their measured span stretches from the start of
+/// the input pipeline to the end of the consumer pipeline (Sort, Aggregate).
+/// Hash/Materialize builds finish when their input does.
+bool SpanExtendsToOutput(OpType type);
+
+/// True for leaf scans.
+bool IsScan(OpType type);
+
+/// One operator node.
+struct PlanOp {
+  int index = -1;       ///< Position in Plan::ops().
+  int op_number = 0;    ///< Paper-style label: O<op_number>, preorder.
+  OpType type = OpType::kResult;
+  std::vector<int> children;   ///< Indices into Plan::ops().
+
+  // Scan details (empty unless the op is a scan).
+  std::string table_alias;
+  std::string table;
+  std::string index_name;
+
+  // Optimizer annotations.
+  double est_rows = 0;
+  double est_cost = 0;      ///< Cumulative cost in optimizer cost units.
+  double est_pages = 0;     ///< Estimated page fetches (scans).
+
+  std::string detail;       ///< Human-readable condition/keys.
+
+  bool is_scan() const { return IsScan(type); }
+};
+
+/// Immutable operator tree.
+class Plan {
+ public:
+  Plan() = default;
+
+  const std::vector<PlanOp>& ops() const { return ops_; }
+  const PlanOp& op(int index) const { return ops_[static_cast<size_t>(index)]; }
+  int root_index() const { return root_; }
+  size_t size() const { return ops_.size(); }
+  const std::string& query_name() const { return query_name_; }
+
+  /// Indices of leaf (scan) operators.
+  std::vector<int> LeafIndexes() const;
+
+  /// Parent index of an op (-1 for the root).
+  int ParentOf(int index) const;
+
+  /// Ancestor indices from parent up to the root.
+  std::vector<int> AncestorsOf(int index) const;
+
+  /// Op index for a paper-style operator number; NotFound if out of range.
+  Result<int> IndexOfOpNumber(int op_number) const;
+
+  /// Structural fingerprint: hashes types, scan targets, and tree shape —
+  /// not estimates, so a stats refresh alone does not change the
+  /// fingerprint unless it changes the plan structure.
+  uint64_t Fingerprint() const;
+  std::string FingerprintHex() const;
+
+  /// EXPLAIN-style indented rendering.
+  std::string Render(bool with_estimates = true) const;
+
+ private:
+  friend class PlanBuilder;
+  std::vector<PlanOp> ops_;
+  int root_ = -1;
+  std::string query_name_;
+};
+
+/// Builds plans bottom-up. Children must be added before their parent.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string query_name)
+      : query_name_(std::move(query_name)) {}
+
+  /// Adds an operator; returns its index.
+  int AddOp(OpType type, std::vector<int> children,
+            std::string detail = std::string());
+
+  /// Adds a scan leaf.
+  int AddScan(OpType type, const std::string& alias, const std::string& table,
+              const std::string& index_name = std::string());
+
+  /// Sets estimates on an op.
+  void SetEstimates(int index, double rows, double cost, double pages = 0);
+
+  /// Sets the human-readable condition/keys text on an op.
+  void SetDetail(int index, std::string detail);
+
+  /// Finalizes: validates single-rootedness, assigns preorder operator
+  /// numbers (root = O1, children visited in order).
+  Result<Plan> Build(int root_index);
+
+ private:
+  std::string query_name_;
+  std::vector<PlanOp> ops_;
+};
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_PLAN_H_

@@ -1,0 +1,81 @@
+#include "db/query.h"
+
+namespace diads::db {
+
+const TableRef* QuerySpec::FindAlias(const std::string& alias) const {
+  for (const TableRef& t : tables) {
+    if (t.alias == alias) return &t;
+  }
+  return nullptr;
+}
+
+QuerySpec MakeTpchQ2Spec() {
+  QuerySpec q;
+  q.name = "Q2";
+
+  // Main block: part x partsupp x supplier x nation x region with
+  // p_size = 15 AND p_type LIKE '%BRASS' (selectivity 1/50 * 1/5) and
+  // r_name = 'EUROPE' (1/5).
+  q.tables = {
+      {"p", "part", 1.0 / 50.0 * 1.0 / 5.0, "p_size"},
+      {"ps", "partsupp", 1.0, ""},
+      {"s", "supplier", 1.0, ""},
+      {"n", "nation", 1.0, ""},
+      {"r", "region", 1.0 / 5.0, "r_regionkey"},
+  };
+  q.joins = {
+      {"p", "p_partkey", "ps", "ps_partkey"},
+      {"s", "s_suppkey", "ps", "ps_suppkey"},
+      {"s", "s_nationkey", "n", "n_nationkey"},
+      {"n", "n_regionkey", "r", "r_regionkey"},
+  };
+  q.sort = true;   // ORDER BY s_acctbal DESC, n_name, s_name, p_partkey.
+  q.limit = 100;
+
+  // Subquery block: min(ps_supplycost) per part over partsupp x supplier x
+  // nation x region (EUROPE only), unnested into a grouped block.
+  auto sub = std::make_unique<QuerySpec>();
+  sub->name = "Q2.sub";
+  sub->tables = {
+      {"ps2", "partsupp", 1.0, ""},
+      {"s2", "supplier", 1.0, ""},
+      {"n2", "nation", 1.0, ""},
+      {"r2", "region", 1.0 / 5.0, "r_regionkey"},
+  };
+  sub->joins = {
+      {"s2", "s_suppkey", "ps2", "ps_suppkey"},
+      {"s2", "s_nationkey", "n2", "n_nationkey"},
+      {"n2", "n_regionkey", "r2", "r_regionkey"},
+  };
+  sub->aggregate = true;
+  sub->agg_group_alias = "ps2";
+  sub->agg_group_column = "ps_partkey";
+
+  q.subplan = std::move(sub);
+  q.subplan_join = {"ps", "ps_partkey", "ps2", "ps_partkey"};
+  // ps_supplycost = min(...): on average one of the four suppliers per part
+  // survives.
+  q.subplan_join_selectivity = 0.25;
+  return q;
+}
+
+QuerySpec MakeSupplierRollupSpec() {
+  QuerySpec q;
+  q.name = "SupplierRollup";
+  q.tables = {
+      {"s", "supplier", 1.0, ""},
+      {"n", "nation", 1.0, ""},
+      {"r", "region", 1.0 / 5.0, "r_regionkey"},
+  };
+  q.joins = {
+      {"s", "s_nationkey", "n", "n_nationkey"},
+      {"n", "n_regionkey", "r", "r_regionkey"},
+  };
+  q.aggregate = true;
+  q.agg_group_alias = "n";
+  q.agg_group_column = "n_name";
+  q.sort = true;
+  return q;
+}
+
+}  // namespace diads::db

@@ -1,0 +1,81 @@
+// Logical query specifications.
+//
+// DIADS never parses SQL — its inputs are executed plans and their
+// statistics (Section 3). A QuerySpec is the logical description the
+// optimizer consumes: base tables with local-predicate selectivities, an
+// equi-join graph, optional aggregation/sort, and an optional decorrelated
+// subquery block (TPC-H Q2's "min supplycost" subquery becomes a separate
+// block whose aggregated output joins back into the main block — the
+// standard unnesting PostgreSQL applies to that query shape).
+#ifndef DIADS_DB_QUERY_H_
+#define DIADS_DB_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads::db {
+
+/// One base-table occurrence in a query block. The same catalog table may
+/// appear under different aliases (partsupp appears in both Q2 blocks).
+struct TableRef {
+  std::string alias;
+  std::string table;
+  /// Combined selectivity of local predicates on this table (1.0 = none).
+  double filter_selectivity = 1.0;
+  /// Column a sargable local predicate restricts; empty if none. An index
+  /// on this column enables an index-scan access path for the filter.
+  std::string filter_column;
+};
+
+/// Equi-join predicate between two aliases.
+struct JoinPredicate {
+  std::string left_alias;
+  std::string left_column;
+  std::string right_alias;
+  std::string right_column;
+};
+
+/// A query block (and optionally one nested subquery block).
+struct QuerySpec {
+  std::string name;
+  std::vector<TableRef> tables;
+  std::vector<JoinPredicate> joins;
+
+  /// Group-by aggregation over the block's join result.
+  bool aggregate = false;
+  /// Alias.column the aggregation groups on (determines output rows).
+  std::string agg_group_alias;
+  std::string agg_group_column;
+
+  /// ORDER BY on the final result.
+  bool sort = false;
+  /// LIMIT (0 = none). Q2 returns the top 100 suppliers.
+  int limit = 0;
+
+  /// Decorrelated subquery block, joined to the main block's output.
+  std::unique_ptr<QuerySpec> subplan;
+  /// Join predicate tying the main block to the subplan output:
+  /// main alias/column vs. the subplan's group column.
+  JoinPredicate subplan_join;
+  /// Selectivity of the residual correlated predicate (Q2:
+  /// ps_supplycost = min(...) keeps ~1/avg-suppliers-per-part rows).
+  double subplan_join_selectivity = 1.0;
+
+  const TableRef* FindAlias(const std::string& alias) const;
+};
+
+/// TPC-H Q2 ("minimum cost supplier") over the BuildTpchCatalog schema,
+/// shaped to produce the paper's Figure-1 plan: nine leaf scans, two of
+/// which (main-block partsupp and subquery partsupp) hit volume V1.
+QuerySpec MakeTpchQ2Spec();
+
+/// A simpler single-block reporting query (supplier x nation x region roll-
+/// up) used by examples and tests that do not need Q2's full shape.
+QuerySpec MakeSupplierRollupSpec();
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_QUERY_H_

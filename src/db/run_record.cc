@@ -1,0 +1,93 @@
+#include "db/run_record.h"
+
+#include "common/strings.h"
+
+namespace diads::db {
+
+const char* RunLabelName(RunLabel label) {
+  switch (label) {
+    case RunLabel::kUnlabeled:
+      return "unlabeled";
+    case RunLabel::kSatisfactory:
+      return "satisfactory";
+    case RunLabel::kUnsatisfactory:
+      return "unsatisfactory";
+  }
+  return "?";
+}
+
+const OperatorRunStats* QueryRunRecord::FindOp(int op_index) const {
+  for (const OperatorRunStats& s : operators) {
+    if (s.op_index == op_index) return &s;
+  }
+  return nullptr;
+}
+
+int RunCatalog::AddRun(QueryRunRecord record) {
+  record.run_id = static_cast<int>(runs_.size());
+  runs_.push_back(std::move(record));
+  labels_.push_back(RunLabel::kUnlabeled);
+  return runs_.back().run_id;
+}
+
+Status RunCatalog::SetLabel(int run_id, RunLabel label) {
+  if (run_id < 0 || run_id >= static_cast<int>(runs_.size())) {
+    return Status::NotFound(StrFormat("no run with id %d", run_id));
+  }
+  labels_[static_cast<size_t>(run_id)] = label;
+  return Status::Ok();
+}
+
+Status RunCatalog::LabelByDurationThreshold(const std::string& query,
+                                            SimTimeMs threshold_ms) {
+  if (threshold_ms <= 0) {
+    return Status::InvalidArgument("threshold must be positive");
+  }
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].query_name != query) continue;
+    labels_[i] = runs_[i].duration_ms() > threshold_ms
+                     ? RunLabel::kUnsatisfactory
+                     : RunLabel::kSatisfactory;
+  }
+  return Status::Ok();
+}
+
+Status RunCatalog::LabelByTimeWindow(const std::string& query,
+                                     const TimeInterval& window,
+                                     RunLabel label) {
+  if (window.empty()) {
+    return Status::InvalidArgument("labeling window is empty");
+  }
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].query_name != query) continue;
+    if (window.Contains(runs_[i].interval.begin)) labels_[i] = label;
+  }
+  return Status::Ok();
+}
+
+Result<const QueryRunRecord*> RunCatalog::FindRun(int run_id) const {
+  if (run_id < 0 || run_id >= static_cast<int>(runs_.size())) {
+    return Status::NotFound(StrFormat("no run with id %d", run_id));
+  }
+  return &runs_[static_cast<size_t>(run_id)];
+}
+
+RunLabel RunCatalog::LabelOf(int run_id) const {
+  if (run_id < 0 || run_id >= static_cast<int>(labels_.size())) {
+    return RunLabel::kUnlabeled;
+  }
+  return labels_[static_cast<size_t>(run_id)];
+}
+
+std::vector<const QueryRunRecord*> RunCatalog::RunsWithLabel(
+    const std::string& query, RunLabel label) const {
+  std::vector<const QueryRunRecord*> out;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].query_name == query && labels_[i] == label) {
+      out.push_back(&runs_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace diads::db

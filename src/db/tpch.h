@@ -1,0 +1,40 @@
+// TPC-H-like schema and layout factory.
+//
+// The paper's testbed "runs TPC-H queries on a PostgreSQL database server
+// configured to access tables using two Ext3 file system volumes V1 and V2"
+// (Section 5). This factory creates the TPC-H tables (minus lineitem/orders/
+// customer, which Q2 does not touch) with scale-factor-derived statistics
+// and the paper's volume layout:
+//
+//   * V1 hosts the partsupp tablespace — partsupp is scanned by both the
+//     main query block and the correlated subquery, giving the two V1 leaf
+//     operators (O8, O22) of the Figure 1 narrative;
+//   * V2 hosts everything else (part, supplier, nation, region and all
+//     indexes) — the remaining seven leaf operators, and "most of the data".
+#ifndef DIADS_DB_TPCH_H_
+#define DIADS_DB_TPCH_H_
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "db/catalog.h"
+
+namespace diads::db {
+
+/// Options for the TPC-H layout.
+struct TpchOptions {
+  double scale_factor = 1.0;
+  /// SAN volume for the partsupp tablespace ("V1" in the paper).
+  ComponentId volume_v1;
+  /// SAN volume for all other tablespaces ("V2").
+  ComponentId volume_v2;
+  StorageMode storage_mode = StorageMode::kSystemManaged;
+};
+
+/// Populates `catalog` with the TPC-H Q2 working set: region, nation,
+/// supplier, part, partsupp, their primary/foreign-key indexes, and the
+/// tablespace->volume mapping described above.
+Status BuildTpchCatalog(const TpchOptions& options, Catalog* catalog);
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_TPCH_H_

@@ -1,0 +1,25 @@
+// Module CO — Correlated Operators (Section 4.1).
+//
+// Finds the correlated operator set (COS): the operators "whose change in
+// performance best explains plan P's slowdown". For each operator, a KDE is
+// fit to its running times over satisfactory runs; the anomaly score is the
+// estimated prob(S <= u) aggregated over the unsatisfactory observations u.
+// Operators scoring >= the threshold (0.8 in Section 5) join COS.
+#ifndef DIADS_DIADS_CORRELATED_OPERATORS_H_
+#define DIADS_DIADS_CORRELATED_OPERATORS_H_
+
+#include "diads/diagnosis.h"
+
+namespace diads::diag {
+
+/// Runs Module CO. Requires at least two satisfactory and one
+/// unsatisfactory run of the APG's plan.
+Result<CoResult> RunCorrelatedOperators(const DiagnosisContext& ctx,
+                                        const WorkflowConfig& config);
+
+/// Renders the module result as a console panel (Figure 7's result pane).
+std::string RenderCoResult(const DiagnosisContext& ctx, const CoResult& co);
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_CORRELATED_OPERATORS_H_

@@ -1,0 +1,25 @@
+// Module CR — Correlated Record-counts (Section 4.1).
+//
+// Checks whether COS operators' record counts moved between satisfactory
+// and unsatisfactory runs. "Significant correlations mean that data
+// properties have changed" — the fingerprint of scenario 3's bulk DML.
+// Scoring is two-sided (ScoreDeviation): the row counts may have grown or
+// shrunk.
+#ifndef DIADS_DIADS_CORRELATED_RECORDS_H_
+#define DIADS_DIADS_CORRELATED_RECORDS_H_
+
+#include "diads/diagnosis.h"
+
+namespace diads::diag {
+
+/// Runs Module CR over the COS from Module CO.
+Result<CrResult> RunCorrelatedRecords(const DiagnosisContext& ctx,
+                                      const WorkflowConfig& config,
+                                      const CoResult& co);
+
+/// Console panel.
+std::string RenderCrResult(const DiagnosisContext& ctx, const CrResult& cr);
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_CORRELATED_RECORDS_H_

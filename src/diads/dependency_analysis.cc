@@ -1,0 +1,115 @@
+#include "diads/dependency_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "stats/correlation.h"
+
+namespace diads::diag {
+
+Result<DaResult> RunDependencyAnalysis(const DiagnosisContext& ctx,
+                                       const WorkflowConfig& config,
+                                       const CoResult& co) {
+  const std::vector<const db::QueryRunRecord*> good = ctx.SatisfactoryRuns();
+  const std::vector<const db::QueryRunRecord*> bad = ctx.UnsatisfactoryRuns();
+  if (good.size() < 2 || bad.empty()) {
+    return Status::FailedPrecondition(
+        "Module DA needs labelled runs on both sides");
+  }
+
+  // Gather the candidate components: union of dependency paths (inner and
+  // outer) of COS operators, remembering which COS operators depend on each.
+  std::map<ComponentId, std::set<int>> component_ops;
+  for (int op_index : co.correlated_operator_set) {
+    Result<std::vector<ComponentId>> inner = ctx.apg->InnerPath(op_index);
+    DIADS_RETURN_IF_ERROR(inner.status());
+    for (ComponentId c : *inner) component_ops[c].insert(op_index);
+    Result<std::vector<ComponentId>> outer = ctx.apg->OuterPath(op_index);
+    DIADS_RETURN_IF_ERROR(outer.status());
+    for (ComponentId c : *outer) component_ops[c].insert(op_index);
+  }
+
+  DaResult out;
+  for (const auto& [component, ops] : component_ops) {
+    // Score every metric the store has for this component.
+    for (monitor::MetricId metric : ctx.store->MetricsFor(component)) {
+      int missing_good = 0;
+      int missing_bad = 0;
+      const std::vector<double> baseline =
+          MetricPerRun(*ctx.store, component, metric, good, &missing_good);
+      const std::vector<double> observed =
+          MetricPerRun(*ctx.store, component, metric, bad, &missing_bad);
+      if (baseline.size() < 2 || observed.empty()) continue;
+
+      Result<stats::AnomalyScore> score =
+          stats::ScoreAnomaly(baseline, observed, config.metric_anomaly);
+      DIADS_RETURN_IF_ERROR(score.status());
+
+      // Correlation of the metric with the running time of the dependent
+      // COS operators across *all* labelled runs (property (ii)).
+      double best_corr = 0;
+      if (missing_good == 0 && missing_bad == 0) {
+        std::vector<const db::QueryRunRecord*> all_runs = good;
+        all_runs.insert(all_runs.end(), bad.begin(), bad.end());
+        std::vector<double> metric_series =
+            MetricPerRun(*ctx.store, component, metric, all_runs, nullptr);
+        for (int op_index : ops) {
+          const std::vector<double> spans = OperatorSpans(all_runs, op_index);
+          if (spans.size() != metric_series.size()) continue;
+          const double corr =
+              stats::SpearmanCorrelation(metric_series, spans);
+          if (std::fabs(corr) > std::fabs(best_corr)) best_corr = corr;
+        }
+      }
+
+      MetricAnomaly m;
+      m.component = component;
+      m.metric = metric;
+      m.anomaly_score = score->score;
+      m.correlation = best_corr;
+      m.correlated = score->anomalous &&
+                     std::fabs(best_corr) >= config.correlation_threshold;
+      out.metrics.push_back(m);
+    }
+  }
+
+  // CCS: components with at least one correlated metric.
+  std::set<ComponentId> ccs;
+  for (const MetricAnomaly& m : out.metrics) {
+    if (m.correlated) ccs.insert(m.component);
+  }
+  out.correlated_component_set.assign(ccs.begin(), ccs.end());
+  return out;
+}
+
+std::string RenderDaResult(const DiagnosisContext& ctx, const DaResult& da) {
+  const ComponentRegistry& registry = ctx.topology->registry();
+  TablePrinter table(
+      {"Component", "Metric", "Anomaly score", "Correlation", "In CCS"});
+  std::vector<MetricAnomaly> sorted = da.metrics;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricAnomaly& a, const MetricAnomaly& b) {
+              return a.anomaly_score > b.anomaly_score;
+            });
+  size_t shown = 0;
+  for (const MetricAnomaly& m : sorted) {
+    if (shown++ >= 24) break;  // Panel stays readable; full data in DaResult.
+    table.AddRow({registry.NameOf(m.component),
+                  monitor::MetricShortName(m.metric),
+                  FormatDouble(m.anomaly_score, 3),
+                  FormatDouble(m.correlation, 2), m.correlated ? "yes" : ""});
+  }
+  std::vector<std::string> ccs_names;
+  for (ComponentId c : da.correlated_component_set) {
+    ccs_names.push_back(registry.NameOf(c));
+  }
+  return StrFormat("=== Module DA: dependency analysis (CCS = {%s}) ===\n",
+                   Join(ccs_names, ", ").c_str()) +
+         table.Render();
+}
+
+}  // namespace diads::diag

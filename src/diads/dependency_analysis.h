@@ -1,0 +1,30 @@
+// Module DA — Dependency Analysis (Section 4.1).
+//
+// Identifies the correlated component set (CCS): components that (i) lie on
+// the dependency path (inner or outer) of at least one COS operator, and
+// (ii) have at least one performance metric significantly correlated with
+// that operator's running time. Property (ii) is the pruning step: being on
+// a dependency path is necessary but not sufficient — the component's
+// metrics must both look anomalous (KDE score) and co-move with the
+// operator's slowdown (rank correlation across runs).
+//
+// Table 2 of the paper is exactly this module's per-metric anomaly-score
+// output for volumes V1 and V2.
+#ifndef DIADS_DIADS_DEPENDENCY_ANALYSIS_H_
+#define DIADS_DIADS_DEPENDENCY_ANALYSIS_H_
+
+#include "diads/diagnosis.h"
+
+namespace diads::diag {
+
+/// Runs Module DA over the COS from Module CO.
+Result<DaResult> RunDependencyAnalysis(const DiagnosisContext& ctx,
+                                       const WorkflowConfig& config,
+                                       const CoResult& co);
+
+/// Console panel.
+std::string RenderDaResult(const DiagnosisContext& ctx, const DaResult& da);
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_DEPENDENCY_ANALYSIS_H_

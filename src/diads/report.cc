@@ -1,0 +1,154 @@
+#include "diads/report.h"
+
+#include "common/strings.h"
+#include "diads/correlated_operators.h"
+#include "diads/correlated_records.h"
+#include "diads/dependency_analysis.h"
+#include "diads/impact_analysis.h"
+#include "diads/plan_diff.h"
+#include "diads/symptoms_db.h"
+
+namespace diads::diag {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') needs_quotes = true;
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string RenderFullReport(const DiagnosisContext& ctx,
+                             const DiagnosisReport& report) {
+  const ComponentRegistry& registry = ctx.topology->registry();
+  std::string out;
+  out += StrFormat("==================== DIADS diagnosis report ============"
+                   "========\nQuery: %s\nAnalysis window: %s\n",
+                   ctx.query.c_str(), ctx.AnalysisWindow().ToString().c_str());
+  out += StrFormat(
+      "Runs: %zu satisfactory, %zu unsatisfactory\n\nANSWER: %s\n\n",
+      ctx.SatisfactoryRuns().size(), ctx.UnsatisfactoryRuns().size(),
+      report.summary.c_str());
+
+  const RootCause* top = report.TopCause();
+  if (top != nullptr) {
+    out += "Recommended action: ";
+    switch (top->type) {
+      case RootCauseType::kSanMisconfigurationContention:
+        out += StrFormat(
+            "review the recent volume/zoning/mapping changes around '%s' "
+            "with the SAN team; the new volume shares its physical disks.",
+            registry.Contains(top->subject)
+                ? registry.NameOf(top->subject).c_str()
+                : "?");
+        break;
+      case RootCauseType::kExternalWorkloadContention:
+        out += "relocate or throttle the competing workload, or move the "
+               "affected tablespace to an unshared pool.";
+        break;
+      case RootCauseType::kDataPropertyChange:
+        out += "run ANALYZE so the optimizer sees the new data profile, and "
+               "re-evaluate the plan.";
+        break;
+      case RootCauseType::kLockContention:
+        out += "identify the competing transaction holding table locks "
+               "(pg_locks) and reschedule or shorten it.";
+        break;
+      case RootCauseType::kPlanChange:
+        out += "review the configuration/schema event identified by Module "
+               "PD; revert it or tune the new plan.";
+        break;
+      case RootCauseType::kRaidRebuild:
+        out += "expect degraded performance until the rebuild completes; "
+               "consider rate-limiting the rebuild.";
+        break;
+      case RootCauseType::kDiskFailure:
+        out += "replace the failed disk; performance recovers after the "
+               "array heals.";
+        break;
+      case RootCauseType::kBufferPoolPressure:
+        out += "revisit the buffer pool sizing change.";
+        break;
+      case RootCauseType::kCpuSaturation:
+        out += "move the competing job off the database server or cap its "
+               "CPU share.";
+        break;
+    }
+    out += "\n\n";
+  }
+
+  out += RenderPdResult(ctx, report.pd) + "\n";
+  out += RenderCoResult(ctx, report.co) + "\n";
+  out += RenderDaResult(ctx, report.da) + "\n";
+  out += RenderCrResult(ctx, report.cr) + "\n";
+  out += RenderIaResult(ctx, report.causes) + "\n";
+  return out;
+}
+
+std::string ExportCausesCsv(const DiagnosisContext& ctx,
+                            const DiagnosisReport& report) {
+  const ComponentRegistry& registry = ctx.topology->registry();
+  std::string out = "cause,subject,confidence,band,impact_pct\n";
+  for (const RootCause& cause : report.causes) {
+    out += StrFormat(
+        "%s,%s,%.1f,%s,%s\n",
+        CsvEscape(RootCauseTypeName(cause.type)).c_str(),
+        CsvEscape(registry.Contains(cause.subject)
+                      ? registry.NameOf(cause.subject)
+                      : "")
+            .c_str(),
+        cause.confidence, ConfidenceBandName(cause.band),
+        cause.impact_pct.has_value()
+            ? FormatDouble(*cause.impact_pct, 1).c_str()
+            : "");
+  }
+  return out;
+}
+
+std::string ExportOperatorScoresCsv(const DiagnosisContext& ctx,
+                                    const DiagnosisReport& report) {
+  std::string out =
+      "operator,type,table,anomaly_score,in_cos,record_deviation,in_crs\n";
+  for (const OperatorAnomaly& a : report.co.scores) {
+    const db::PlanOp& op = ctx.apg->plan().op(a.op_index);
+    double deviation = 0;
+    bool in_crs = false;
+    for (const RecordCountAnomaly& r : report.cr.scores) {
+      if (r.op_index == a.op_index) {
+        deviation = r.deviation_score;
+        in_crs = r.significant;
+      }
+    }
+    out += StrFormat("O%d,%s,%s,%.4f,%d,%.4f,%d\n", a.op_number,
+                     CsvEscape(db::OpTypeName(op.type)).c_str(),
+                     CsvEscape(op.table).c_str(), a.score,
+                     a.anomalous ? 1 : 0, deviation, in_crs ? 1 : 0);
+  }
+  return out;
+}
+
+std::string ExportMetricScoresCsv(const DiagnosisContext& ctx,
+                                  const DiagnosisReport& report) {
+  const ComponentRegistry& registry = ctx.topology->registry();
+  std::string out =
+      "component,kind,metric,anomaly_score,correlation,in_ccs\n";
+  for (const MetricAnomaly& m : report.da.metrics) {
+    out += StrFormat(
+        "%s,%s,%s,%.4f,%.4f,%d\n",
+        CsvEscape(registry.NameOf(m.component)).c_str(),
+        ComponentKindName(registry.KindOf(m.component)),
+        CsvEscape(monitor::MetricShortName(m.metric)).c_str(),
+        m.anomaly_score, m.correlation,
+        report.da.InCcs(m.component) ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace diads::diag

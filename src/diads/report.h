@@ -1,0 +1,43 @@
+// Diagnosis report rendering and export.
+//
+// Two consumers need the workflow's output in different shapes:
+//
+//   * the administrator reading the result — RenderFullReport produces the
+//     complete document: the ticket-style answer first, then every module's
+//     panel (the batch-mode equivalent of walking Figure 7's screens);
+//
+//   * downstream analysis — ExportCausesCsv / ExportOperatorScoresCsv /
+//     ExportMetricScoresCsv emit machine-readable tables, which is how the
+//     EXPERIMENTS.md numbers were lifted and how a deployment would feed
+//     dashboards.
+#ifndef DIADS_DIADS_REPORT_H_
+#define DIADS_DIADS_REPORT_H_
+
+#include <string>
+
+#include "diads/diagnosis.h"
+
+namespace diads::diag {
+
+/// The complete human-readable report document.
+std::string RenderFullReport(const DiagnosisContext& ctx,
+                             const DiagnosisReport& report);
+
+/// CSV: cause,subject,confidence,band,impact_pct.
+std::string ExportCausesCsv(const DiagnosisContext& ctx,
+                            const DiagnosisReport& report);
+
+/// CSV: operator,type,table,anomaly_score,in_cos,record_deviation,in_crs.
+std::string ExportOperatorScoresCsv(const DiagnosisContext& ctx,
+                                    const DiagnosisReport& report);
+
+/// CSV: component,kind,metric,anomaly_score,correlation,in_ccs.
+std::string ExportMetricScoresCsv(const DiagnosisContext& ctx,
+                                  const DiagnosisReport& report);
+
+/// Escapes one CSV field (quotes fields containing commas/quotes/newlines).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_REPORT_H_

@@ -1,0 +1,91 @@
+// Symptom expression language.
+//
+// Section 4.1: symptoms are "represented in a high-level language used to
+// express complex symptoms over a base set of symptoms", including temporal
+// properties ("contention occurred before failure"). This file implements
+// that language: a small expression grammar over named symptom predicates,
+// with boolean connectives and a `before(...)` temporal combinator, plus a
+// `$V` volume variable so one root-cause entry can be instantiated per
+// candidate volume.
+//
+//   expr    := or
+//   or      := and ('or' and)*
+//   and     := unary ('and' unary)*
+//   unary   := 'not' unary | primary
+//   primary := call | '(' expr ')'
+//   call    := IDENT '(' [arg (',' arg)*] ')'
+//   arg     := IDENT '=' value | call        (calls as args feed before())
+//   value   := IDENT | NUMBER | '$V'
+//
+// Base predicates (evaluated against the module results):
+//   op_anomaly_any(volume=$V)       some COS leaf reads the volume
+//   op_anomaly_majority(volume=$V)  more than half the volume's leaves in COS
+//   op_anomaly_exists()             COS is non-empty
+//   volume_metric_anomaly(volume=$V)  a storage metric of the volume scored
+//                                     anomalous in Module DA
+//   metric_anomaly(component=<name>, metric=<short-name>)
+//   component_correlated(component=$V)   component is in the CCS
+//   record_count_change()            Module CR flagged data-property change
+//   record_count_change(volume=$V)   a CRS leaf reads the volume
+//   no_record_count_change()
+//   event(type=<EventType>)          event in the analysis window
+//   event_near(type=<T>, volume=$V)  event whose subject is the volume, a
+//                                    disk-sharing volume, or the its pool
+//   before(event(...), event(...))   temporal ordering of first occurrences
+//   lock_wait_high() / locks_held_high()
+//   db_blocks_read_high()
+//   cpu_high()                       DB server CPU anomalous
+//   plan_changed() / no_plan_change() / plan_change_explained()
+#ifndef DIADS_DIADS_SYMPTOM_EXPR_H_
+#define DIADS_DIADS_SYMPTOM_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "diads/diagnosis.h"
+
+namespace diads::diag {
+
+/// Parsed symptom expression tree.
+struct SymptomExpr {
+  enum class Kind { kCall, kNot, kAnd, kOr };
+  Kind kind = Kind::kCall;
+  std::string callee;                           ///< For kCall.
+  std::map<std::string, std::string> args;      ///< Named args (kCall).
+  std::vector<SymptomExpr> children;            ///< Operands / call args.
+
+  std::string ToString() const;
+};
+
+/// Parses an expression; reports the offending position on error.
+Result<SymptomExpr> ParseSymptomExpr(const std::string& text);
+
+/// Everything a predicate can look at.
+struct SymptomEvalContext {
+  const DiagnosisContext* ctx = nullptr;
+  const WorkflowConfig* config = nullptr;
+  const PdResult* pd = nullptr;
+  const CoResult* co = nullptr;
+  const DaResult* da = nullptr;
+  const CrResult* cr = nullptr;
+  /// Binding for the `$V` variable (invalid when the entry is unbound).
+  ComponentId bound_volume;
+};
+
+/// Evaluates an expression to a boolean. Unknown predicates or unresolvable
+/// component names are errors (a symptoms database typo should not silently
+/// evaluate to false).
+Result<bool> EvaluateSymptom(const SymptomExpr& expr,
+                             const SymptomEvalContext& eval);
+
+/// Reverse of monitor::MetricShortName for the names used in expressions.
+Result<monitor::MetricId> ParseMetricShortName(const std::string& name);
+
+/// Reverse of EventTypeName.
+Result<EventType> ParseEventTypeName(const std::string& name);
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_SYMPTOM_EXPR_H_

@@ -1,0 +1,104 @@
+// The DIADS diagnosis workflow (Figure 2) — batch and interactive modes.
+//
+// Batch mode (Section 6's default) runs PD -> CO -> DA -> CR -> SD -> IA and
+// returns only the final report. Interactive mode (Figure 7) exposes the
+// same modules one step at a time: results render after each module, the
+// administrator can re-execute or bypass modules, edit the correlated
+// operator set before it feeds Module DA, and stop early once the answer is
+// clear — exactly the affordances the paper's workflow-execution screen
+// describes ("Only the first execution of the modules should be in order,
+// after that each module can be re-executed as many times as needed").
+#ifndef DIADS_DIADS_WORKFLOW_H_
+#define DIADS_DIADS_WORKFLOW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diads/correlated_operators.h"
+#include "diads/correlated_records.h"
+#include "diads/dependency_analysis.h"
+#include "diads/diagnosis.h"
+#include "diads/impact_analysis.h"
+#include "diads/plan_diff.h"
+#include "diads/symptoms_db.h"
+
+namespace diads::diag {
+
+/// Batch workflow entry point.
+class Workflow {
+ public:
+  /// `symptoms_db` may be null: DIADS still narrows the search space via
+  /// CO/DA/CR (Section 5 notes it "produces good results even when the
+  /// symptoms database is incomplete"); causes then come from a fallback
+  /// that reports the correlated components directly.
+  Workflow(DiagnosisContext ctx, WorkflowConfig config,
+           const SymptomsDb* symptoms_db);
+
+  /// Runs the full drill-down and roll-up.
+  Result<DiagnosisReport> Diagnose(
+      ImpactMethod impact_method = ImpactMethod::kInverseDependency) const;
+
+  const DiagnosisContext& context() const { return ctx_; }
+  const WorkflowConfig& config() const { return config_; }
+
+ private:
+  DiagnosisContext ctx_;
+  WorkflowConfig config_;
+  const SymptomsDb* symptoms_db_;
+};
+
+/// Builds causes straight from CO/DA/CR results when no symptoms database
+/// is available: every CCS volume becomes an unexplained-contention
+/// candidate, record-count changes a data-property candidate. Confidence is
+/// capped at medium (the point of the symptoms DB is semantic certainty).
+std::vector<RootCause> FallbackCauses(const DiagnosisContext& ctx,
+                                      const WorkflowConfig& config,
+                                      const CoResult& co, const DaResult& da,
+                                      const CrResult& cr);
+
+/// One-paragraph human summary of a report.
+std::string SummarizeReport(const DiagnosisContext& ctx,
+                            const DiagnosisReport& report);
+
+/// Interactive workflow session (Figure 7).
+class InteractiveSession {
+ public:
+  enum class Module { kPd, kCo, kDa, kCr, kSd, kIa };
+
+  InteractiveSession(DiagnosisContext ctx, WorkflowConfig config,
+                     const SymptomsDb* symptoms_db);
+
+  /// True when the module's prerequisites have run at least once.
+  bool CanRun(Module module) const;
+
+  /// Executes (or re-executes) a module; returns its rendered result panel.
+  Result<std::string> Run(Module module);
+
+  /// The next module in first-pass order, or nullopt when all have run.
+  std::optional<Module> NextModule() const;
+
+  /// Administrator edit: remove an operator (by O-number) from the COS
+  /// before running later modules. Interactive mode's result-editing knob.
+  Status RemoveFromCos(int op_number);
+
+  /// Administrator edit: force an operator into the COS.
+  Status AddToCos(int op_number);
+
+  /// Report assembled from whatever has run so far.
+  const DiagnosisReport& report() const { return report_; }
+
+  static const char* ModuleName(Module module);
+
+ private:
+  DiagnosisContext ctx_;
+  WorkflowConfig config_;
+  const SymptomsDb* symptoms_db_;
+  DiagnosisReport report_;
+  bool ran_pd_ = false, ran_co_ = false, ran_da_ = false, ran_cr_ = false,
+       ran_sd_ = false, ran_ia_ = false;
+};
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_WORKFLOW_H_

@@ -1,0 +1,173 @@
+#include "monitor/metrics.h"
+
+#include <cassert>
+
+namespace diads::monitor {
+namespace {
+
+using K = ComponentKind;
+using L = MetricLayer;
+
+const std::vector<MetricMeta>& Catalog() {
+  static const std::vector<MetricMeta> kCatalog = {
+      // Database layer.
+      {MetricId::kDbLocksHeld, "Locks Held", "count", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbLockWaitMs, "Lock Wait Time", "ms", L::kDatabase,
+       K::kDatabase, false},
+      {MetricId::kDbSpaceUsageMb, "Space Usage", "MB", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbBlocksRead, "Blocks Read", "blocks/s", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbBufferHits, "Buffer Hits", "hits/s", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbIndexScans, "Index Scans", "scans/s", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbIndexReads, "Index Reads", "reads/s", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbIndexFetches, "Index Fetches", "fetches/s", L::kDatabase,
+       K::kDatabase, true},
+      {MetricId::kDbSequentialScans, "Sequential Scans", "scans/s",
+       L::kDatabase, K::kDatabase, true},
+      // Server layer.
+      {MetricId::kServerCpuPct, "CPU Usage (%ge)", "%", L::kServer, K::kServer,
+       true},
+      {MetricId::kServerCpuMhz, "CPU Usage (Mhz)", "MHz", L::kServer,
+       K::kServer, true},
+      {MetricId::kServerHandles, "Handles", "count", L::kServer, K::kServer,
+       true},
+      {MetricId::kServerThreads, "Threads", "count", L::kServer, K::kServer,
+       true},
+      {MetricId::kServerProcesses, "Processes", "count", L::kServer,
+       K::kServer, true},
+      {MetricId::kServerHeapKb, "Heap Memory Usage(KB)", "KB", L::kServer,
+       K::kServer, true},
+      {MetricId::kServerPhysMemPct, "Physical Memory Usage (%)", "%",
+       L::kServer, K::kServer, true},
+      {MetricId::kServerKernelMemKb, "Kernel Memory(KB)", "KB", L::kServer,
+       K::kServer, true},
+      {MetricId::kServerSwapKb, "Memory Being Swapped(KB)", "KB", L::kServer,
+       K::kServer, true},
+      {MetricId::kServerReservedMemKb, "Reserved Memory Capacity(KB)", "KB",
+       L::kServer, K::kServer, true},
+      // Network layer.
+      {MetricId::kPortBytesTx, "Bytes Transmitted", "MB/s", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortBytesRx, "Bytes Received", "MB/s", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortPacketsTx, "Packets Transmitted", "frames/s",
+       L::kNetwork, K::kFcPort, true},
+      {MetricId::kPortPacketsRx, "Packets Received", "frames/s", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortLipCount, "LIP Count", "count", L::kNetwork, K::kFcPort,
+       true},
+      {MetricId::kPortNosCount, "NOS Count", "count", L::kNetwork, K::kFcPort,
+       true},
+      {MetricId::kPortErrorFrames, "Error Frames", "frames", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortDumpedFrames, "Dumped Frames", "frames", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortLinkFailures, "Link Failures", "count", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortCrcErrors, "CRC Errors", "count", L::kNetwork,
+       K::kFcPort, true},
+      {MetricId::kPortAddressErrors, "Address Errors", "count", L::kNetwork,
+       K::kFcPort, true},
+      // Storage layer.
+      {MetricId::kVolBytesRead, "Bytes Read", "B/s", L::kStorage, K::kVolume,
+       true},
+      {MetricId::kVolBytesWritten, "Bytes Written", "B/s", L::kStorage,
+       K::kVolume, true},
+      {MetricId::kVolContaminatingWrites, "Contaminating Writes", "ops/s",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolPhysReadOps, "PhysicalStorageRead Operations", "ops/s",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolPhysReadTimeMs, "Physical Storage Read Time", "ms",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolPhysWriteOps, "PhysicalStorageWriteOperations", "ops/s",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolPhysWriteTimeMs, "Physical Storage Write Time", "ms",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolSeqReadRequests, "Sequential Read Requests", "ops/s",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolSeqWriteRequests, "Sequential Write Requests", "ops/s",
+       L::kStorage, K::kVolume, true},
+      {MetricId::kVolTotalIos, "Total IOs", "ops/s", L::kStorage, K::kVolume,
+       true},
+      // Derived extras (not in Figure 4).
+      {MetricId::kVolReadLatencyMs, "Volume Read Latency", "ms", L::kStorage,
+       K::kVolume, false},
+      {MetricId::kVolWriteLatencyMs, "Volume Write Latency", "ms", L::kStorage,
+       K::kVolume, false},
+      {MetricId::kDiskUtilization, "Disk Utilization", "fraction", L::kStorage,
+       K::kDisk, false},
+      {MetricId::kDiskIops, "Disk IOPS", "ops/s", L::kStorage, K::kDisk,
+       false},
+  };
+  return kCatalog;
+}
+
+}  // namespace
+
+const char* MetricLayerName(MetricLayer layer) {
+  switch (layer) {
+    case MetricLayer::kDatabase:
+      return "Database";
+    case MetricLayer::kServer:
+      return "Server";
+    case MetricLayer::kNetwork:
+      return "Network";
+    case MetricLayer::kStorage:
+      return "Storage";
+  }
+  return "?";
+}
+
+const MetricMeta& GetMetricMeta(MetricId id) {
+  for (const MetricMeta& m : Catalog()) {
+    if (m.id == id) return m;
+  }
+  assert(false && "unknown metric id");
+  return Catalog().front();
+}
+
+const std::vector<MetricMeta>& AllMetrics() { return Catalog(); }
+
+std::vector<MetricId> MetricsForKind(ComponentKind kind) {
+  std::vector<MetricId> out;
+  for (const MetricMeta& m : Catalog()) {
+    if (m.component_kind == kind) out.push_back(m.id);
+  }
+  return out;
+}
+
+const char* MetricShortName(MetricId id) {
+  switch (id) {
+    case MetricId::kVolPhysReadOps:
+      return "readIO";
+    case MetricId::kVolPhysWriteOps:
+      return "writeIO";
+    case MetricId::kVolPhysReadTimeMs:
+      return "readTime";
+    case MetricId::kVolPhysWriteTimeMs:
+      return "writeTime";
+    case MetricId::kVolReadLatencyMs:
+      return "readLatency";
+    case MetricId::kVolWriteLatencyMs:
+      return "writeLatency";
+    case MetricId::kVolTotalIos:
+      return "totalIOs";
+    case MetricId::kDiskUtilization:
+      return "busy";
+    case MetricId::kServerCpuPct:
+      return "cpu";
+    case MetricId::kDbLockWaitMs:
+      return "lockWait";
+    case MetricId::kDbLocksHeld:
+      return "locksHeld";
+    default:
+      return GetMetricMeta(id).name;
+  }
+}
+
+}  // namespace diads::monitor

@@ -1,0 +1,40 @@
+#include "monitor/noise.h"
+
+#include <algorithm>
+
+namespace diads::monitor {
+
+void NoiseModel::AddOverride(NoiseOverride override_spec) {
+  overrides_.push_back(std::move(override_spec));
+}
+
+const NoiseSpec& NoiseModel::SpecFor(ComponentId component, MetricId metric,
+                                     SimTimeMs t) const {
+  // Later overrides win: scan backwards.
+  for (auto it = overrides_.rbegin(); it != overrides_.rend(); ++it) {
+    const NoiseOverride& o = *it;
+    if (!o.window.Contains(t)) continue;
+    if (o.component.valid() && !(o.component == component)) continue;
+    if (o.metric.has_value() && *o.metric != metric) continue;
+    return o.spec;
+  }
+  return default_spec_;
+}
+
+std::optional<double> NoiseModel::Apply(ComponentId component, MetricId metric,
+                                        SimTimeMs t, double clean_value) {
+  const NoiseSpec& spec = SpecFor(component, metric, t);
+  if (spec.dropout_prob > 0 && rng_.Bernoulli(spec.dropout_prob)) {
+    return std::nullopt;
+  }
+  double v = clean_value * (1.0 + spec.bias_fraction);
+  if (spec.gaussian_rel_sigma > 0) {
+    v *= std::max(0.0, rng_.Normal(1.0, spec.gaussian_rel_sigma));
+  }
+  if (spec.spike_prob > 0 && rng_.Bernoulli(spec.spike_prob)) {
+    v *= spec.spike_scale;
+  }
+  return v;
+}
+
+}  // namespace diads::monitor

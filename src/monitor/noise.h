@@ -1,0 +1,79 @@
+// Monitoring noise models.
+//
+// Section 1.1: "the monitoring intervals are large (5 minutes or higher),
+// which may lead to inaccuracies (referred to as noisy data)". Two noise
+// sources are modelled:
+//
+//   * measurement noise applied by the collector to every sample (relative
+//     Gaussian jitter, occasional spikes, dropouts), and
+//   * targeted noise overrides that the fault injector registers to create
+//     *spurious symptoms* — e.g. scenario 5's "spurious symptoms of volume
+//     contention due to noise", where a volume's latency metrics are biased
+//     upward although no contention exists.
+#ifndef DIADS_MONITOR_NOISE_H_
+#define DIADS_MONITOR_NOISE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "monitor/metrics.h"
+
+namespace diads::monitor {
+
+/// Parameters of the sample-level noise process.
+struct NoiseSpec {
+  /// Relative sigma of multiplicative Gaussian jitter (0.05 = 5%).
+  double gaussian_rel_sigma = 0.05;
+  /// Probability a sample is a spike.
+  double spike_prob = 0.0;
+  /// Multiplier applied to spiked samples.
+  double spike_scale = 3.0;
+  /// Probability a sample is dropped entirely (collector missed it).
+  double dropout_prob = 0.0;
+  /// Constant relative bias added to the value (0.5 = +50%). Used by fault
+  /// injection to fabricate spurious symptoms.
+  double bias_fraction = 0.0;
+};
+
+/// A targeted override: `spec` replaces the default noise for samples of
+/// `metric` (or all metrics if unset) on `component` (or all components if
+/// invalid) within `window`.
+struct NoiseOverride {
+  ComponentId component;               ///< Invalid id = any component.
+  std::optional<MetricId> metric;      ///< nullopt = any metric.
+  TimeInterval window;
+  NoiseSpec spec;
+};
+
+/// Applies measurement noise to collector samples.
+class NoiseModel {
+ public:
+  /// `rng` is forked per model; pass a child stream.
+  NoiseModel(NoiseSpec default_spec, SeededRng rng)
+      : default_spec_(default_spec), rng_(std::move(rng)) {}
+
+  /// Registers a targeted override (later overrides win on overlap).
+  void AddOverride(NoiseOverride override_spec);
+
+  /// Returns the noisy value, or nullopt if the sample is dropped.
+  std::optional<double> Apply(ComponentId component, MetricId metric,
+                              SimTimeMs t, double clean_value);
+
+  /// The spec in force for a given sample.
+  const NoiseSpec& SpecFor(ComponentId component, MetricId metric,
+                           SimTimeMs t) const;
+
+  size_t override_count() const { return overrides_.size(); }
+
+ private:
+  NoiseSpec default_spec_;
+  std::vector<NoiseOverride> overrides_;
+  SeededRng rng_;
+};
+
+}  // namespace diads::monitor
+
+#endif  // DIADS_MONITOR_NOISE_H_

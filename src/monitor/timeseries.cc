@@ -1,0 +1,106 @@
+#include "monitor/timeseries.h"
+
+#include <algorithm>
+
+namespace diads::monitor {
+namespace {
+
+const std::vector<Sample>& EmptySeries() {
+  static const std::vector<Sample> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+Status TimeSeriesStore::Append(ComponentId component, MetricId metric,
+                               SimTimeMs time, double value) {
+  std::vector<Sample>& s = series_[SeriesKey{component, metric}];
+  if (!s.empty() && time < s.back().time) {
+    return Status::InvalidArgument(
+        "samples must be appended in non-decreasing time order");
+  }
+  s.push_back(Sample{time, value});
+  ++total_samples_;
+  return Status::Ok();
+}
+
+std::vector<Sample> TimeSeriesStore::Slice(ComponentId component,
+                                           MetricId metric,
+                                           const TimeInterval& interval) const {
+  std::vector<Sample> out;
+  const std::vector<Sample>& s = Series(component, metric);
+  auto lo = std::lower_bound(
+      s.begin(), s.end(), interval.begin,
+      [](const Sample& a, SimTimeMs t) { return a.time < t; });
+  for (auto it = lo; it != s.end() && it->time < interval.end; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeriesStore::ValuesIn(
+    ComponentId component, MetricId metric,
+    const TimeInterval& interval) const {
+  std::vector<double> out;
+  for (const Sample& s : Slice(component, metric, interval)) {
+    out.push_back(s.value);
+  }
+  return out;
+}
+
+Result<double> TimeSeriesStore::MeanIn(ComponentId component, MetricId metric,
+                                       const TimeInterval& interval) const {
+  std::vector<Sample> slice = Slice(component, metric, interval);
+  // Samples are stamped at the *end* of the collection interval they
+  // aggregate, so the sample covering this window's tail lands at the first
+  // grid point at or after interval.end. Include it: for a run shorter than
+  // the monitoring interval it is often the only reading that reflects the
+  // run at all (Section 1.1's coarse-interval reality).
+  const std::vector<Sample>& series = Series(component, metric);
+  auto tail = std::lower_bound(
+      series.begin(), series.end(), interval.end,
+      [](const Sample& s, SimTimeMs t) { return s.time < t; });
+  if (tail != series.end()) slice.push_back(*tail);
+  if (!slice.empty()) {
+    double sum = 0;
+    for (const Sample& s : slice) sum += s.value;
+    return sum / static_cast<double>(slice.size());
+  }
+  // No samples at all in or after the window: report the newest stale one.
+  Result<Sample> latest = LatestAtOrBefore(component, metric, interval.begin);
+  DIADS_RETURN_IF_ERROR(latest.status());
+  return latest->value;
+}
+
+Result<Sample> TimeSeriesStore::LatestAtOrBefore(ComponentId component,
+                                                 MetricId metric,
+                                                 SimTimeMs t) const {
+  const std::vector<Sample>& s = Series(component, metric);
+  auto it = std::upper_bound(
+      s.begin(), s.end(), t,
+      [](SimTimeMs tt, const Sample& a) { return tt < a.time; });
+  if (it == s.begin()) {
+    return Status::NotFound("no sample at or before requested time");
+  }
+  return *(it - 1);
+}
+
+const std::vector<Sample>& TimeSeriesStore::Series(ComponentId component,
+                                                   MetricId metric) const {
+  auto it = series_.find(SeriesKey{component, metric});
+  if (it == series_.end()) return EmptySeries();
+  return it->second;
+}
+
+std::vector<MetricId> TimeSeriesStore::MetricsFor(ComponentId component) const {
+  std::vector<MetricId> out;
+  for (const auto& [key, samples] : series_) {
+    if (key.component == component && !samples.empty()) {
+      out.push_back(key.metric);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace diads::monitor

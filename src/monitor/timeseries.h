@@ -1,0 +1,92 @@
+// Time-series store for monitoring data.
+//
+// The paper's deployment stores all monitoring data "as time-series data in
+// a DB2 database" (Section 6). This store is the in-memory equivalent: one
+// append-only series per (component, metric) pair, sampled at the monitoring
+// interval (5 minutes by default — Section 1.1 notes intervals are "5
+// minutes or higher" in production, which is what makes the data noisy).
+//
+// The diagnosis modules consume per-run aggregates: "the annotation of an
+// operator O consists of the performance data ... collected in the [tb, te]
+// time interval" (Section 3). MeanIn/ValuesIn provide exactly that slicing.
+#ifndef DIADS_MONITOR_TIMESERIES_H_
+#define DIADS_MONITOR_TIMESERIES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "monitor/metrics.h"
+
+namespace diads::monitor {
+
+/// One sample point.
+struct Sample {
+  SimTimeMs time = 0;
+  double value = 0;
+};
+
+/// Key of one series.
+struct SeriesKey {
+  ComponentId component;
+  MetricId metric;
+
+  friend bool operator==(const SeriesKey& a, const SeriesKey& b) {
+    return a.component == b.component && a.metric == b.metric;
+  }
+};
+
+struct SeriesKeyHash {
+  size_t operator()(const SeriesKey& k) const noexcept {
+    return std::hash<uint32_t>()(k.component.value) * 1000003u ^
+           static_cast<size_t>(k.metric);
+  }
+};
+
+/// Append-only store of monitoring samples.
+class TimeSeriesStore {
+ public:
+  /// Appends a sample; time must be non-decreasing within a series.
+  Status Append(ComponentId component, MetricId metric, SimTimeMs time,
+                double value);
+
+  /// All samples of a series with time in [interval.begin, interval.end).
+  std::vector<Sample> Slice(ComponentId component, MetricId metric,
+                            const TimeInterval& interval) const;
+
+  /// Values (without timestamps) in the interval.
+  std::vector<double> ValuesIn(ComponentId component, MetricId metric,
+                               const TimeInterval& interval) const;
+
+  /// Mean of the samples in the interval; NotFound if there are none.
+  /// When the interval is shorter than the sampling period, falls back to
+  /// the nearest sample at or before interval.begin (the value the
+  /// monitoring tool would report for that window).
+  Result<double> MeanIn(ComponentId component, MetricId metric,
+                        const TimeInterval& interval) const;
+
+  /// Latest sample at or before `t`; NotFound if the series is empty or
+  /// starts after `t`.
+  Result<Sample> LatestAtOrBefore(ComponentId component, MetricId metric,
+                                  SimTimeMs t) const;
+
+  /// Whole series (empty if absent).
+  const std::vector<Sample>& Series(ComponentId component,
+                                    MetricId metric) const;
+
+  /// Metrics that have at least one sample for `component`.
+  std::vector<MetricId> MetricsFor(ComponentId component) const;
+
+  size_t series_count() const { return series_.size(); }
+  size_t total_samples() const { return total_samples_; }
+
+ private:
+  std::unordered_map<SeriesKey, std::vector<Sample>, SeriesKeyHash> series_;
+  size_t total_samples_ = 0;
+};
+
+}  // namespace diads::monitor
+
+#endif  // DIADS_MONITOR_TIMESERIES_H_

@@ -1,0 +1,80 @@
+#include "san/config_db.h"
+
+#include "common/strings.h"
+
+namespace diads::san {
+
+Status ConfigDatabase::LogEvent(SimTimeMs t, EventType type,
+                                ComponentId subject, std::string description) {
+  SystemEvent event;
+  event.time = t;
+  event.type = type;
+  event.subject = subject;
+  event.description = std::move(description);
+  return event_log_->Append(std::move(event));
+}
+
+Result<ComponentId> ConfigDatabase::ProvisionVolume(SimTimeMs t,
+                                                    const std::string& name,
+                                                    ComponentId pool,
+                                                    double size_gb) {
+  Result<ComponentId> vol = topology_->AddVolume(name, pool, size_gb);
+  DIADS_RETURN_IF_ERROR(vol.status());
+  DIADS_RETURN_IF_ERROR(LogEvent(
+      t, EventType::kVolumeCreated, *vol,
+      StrFormat("volume '%s' (%.0f GB) created in pool '%s'", name.c_str(),
+                size_gb, topology_->registry().NameOf(pool).c_str())));
+  return *vol;
+}
+
+Status ConfigDatabase::ChangeZoning(SimTimeMs t, const std::string& zone_name,
+                                    const std::vector<ComponentId>& ports) {
+  DIADS_RETURN_IF_ERROR(topology_->AddZone(zone_name, ports));
+  ComponentId subject = ports.empty() ? ComponentId{} : ports.front();
+  return LogEvent(t, EventType::kZoningChanged, subject,
+                  StrFormat("zone '%s' changed (%zu ports)",
+                            zone_name.c_str(), ports.size()));
+}
+
+Status ConfigDatabase::ChangeLunMapping(SimTimeMs t, ComponentId server,
+                                        ComponentId volume) {
+  DIADS_RETURN_IF_ERROR(topology_->MapLun(server, volume));
+  return LogEvent(
+      t, EventType::kLunMappingChanged, volume,
+      StrFormat("volume '%s' mapped to server '%s'",
+                topology_->registry().NameOf(volume).c_str(),
+                topology_->registry().NameOf(server).c_str()));
+}
+
+Status ConfigDatabase::FailDisk(SimTimeMs t, ComponentId disk) {
+  DIADS_RETURN_IF_ERROR(topology_->SetDiskFailed(disk, true));
+  return LogEvent(t, EventType::kDiskFailed, disk,
+                  StrFormat("disk '%s' failed",
+                            topology_->registry().NameOf(disk).c_str()));
+}
+
+Status ConfigDatabase::RecoverDisk(SimTimeMs t, ComponentId disk) {
+  DIADS_RETURN_IF_ERROR(topology_->SetDiskFailed(disk, false));
+  return LogEvent(t, EventType::kDiskRecovered, disk,
+                  StrFormat("disk '%s' recovered",
+                            topology_->registry().NameOf(disk).c_str()));
+}
+
+Status ConfigDatabase::RecordRaidRebuild(const TimeInterval& window,
+                                         ComponentId pool) {
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(window.begin, EventType::kRaidRebuildStarted, pool,
+               StrFormat("RAID rebuild started on pool '%s'",
+                         topology_->registry().NameOf(pool).c_str())));
+  return LogEvent(window.end, EventType::kRaidRebuildCompleted, pool,
+                  StrFormat("RAID rebuild completed on pool '%s'",
+                            topology_->registry().NameOf(pool).c_str()));
+}
+
+Status ConfigDatabase::RecordPerfTrigger(SimTimeMs t, EventType type,
+                                         ComponentId subject,
+                                         const std::string& description) {
+  return LogEvent(t, type, subject, description);
+}
+
+}  // namespace diads::san

@@ -1,0 +1,70 @@
+// SAN configuration database — the management-tool layer.
+//
+// Plays the role IBM TotalStorage Productivity Center (TPC) plays in the
+// paper's deployment (Section 6): administrators perform configuration
+// actions through it, it mutates the topology, and it records a timestamped
+// configuration-change event for each action. Those events are exactly what
+// Module SD's symptom signatures match against in scenario 1 ("creation of
+// the new volume V'" + "creation of a new zoning and mapping relationship").
+#ifndef DIADS_SAN_CONFIG_DB_H_
+#define DIADS_SAN_CONFIG_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/event_log.h"
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "san/topology.h"
+
+namespace diads::san {
+
+/// Management front-end over a SanTopology: every mutation is logged.
+class ConfigDatabase {
+ public:
+  /// Both pointers must outlive the ConfigDatabase.
+  ConfigDatabase(SanTopology* topology, EventLog* event_log)
+      : topology_(topology), event_log_(event_log) {}
+
+  /// Provisions a new volume in `pool` and logs kVolumeCreated.
+  Result<ComponentId> ProvisionVolume(SimTimeMs t, const std::string& name,
+                                      ComponentId pool, double size_gb);
+
+  /// Adds ports to a zone and logs kZoningChanged.
+  Status ChangeZoning(SimTimeMs t, const std::string& zone_name,
+                      const std::vector<ComponentId>& ports);
+
+  /// Maps `volume` to `server` (LUN masking) and logs kLunMappingChanged.
+  Status ChangeLunMapping(SimTimeMs t, ComponentId server, ComponentId volume);
+
+  /// Marks a disk failed and logs kDiskFailed.
+  Status FailDisk(SimTimeMs t, ComponentId disk);
+
+  /// Marks a disk recovered and logs kDiskRecovered.
+  Status RecoverDisk(SimTimeMs t, ComponentId disk);
+
+  /// Logs the start/completion of a RAID rebuild on a pool. The performance
+  /// impact itself is injected through the SanPerfModel by the fault
+  /// injector; the config DB records the events DIADS can correlate.
+  Status RecordRaidRebuild(const TimeInterval& window, ComponentId pool);
+
+  /// Logs a user-defined performance trigger (Section 3, item vi), e.g.
+  /// "degradation in volume performance".
+  Status RecordPerfTrigger(SimTimeMs t, EventType type, ComponentId subject,
+                           const std::string& description);
+
+  const SanTopology& topology() const { return *topology_; }
+  const EventLog& event_log() const { return *event_log_; }
+
+ private:
+  Status LogEvent(SimTimeMs t, EventType type, ComponentId subject,
+                  std::string description);
+
+  SanTopology* topology_;
+  EventLog* event_log_;
+};
+
+}  // namespace diads::san
+
+#endif  // DIADS_SAN_CONFIG_DB_H_

@@ -1,0 +1,366 @@
+#include "san/perf_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace diads::san {
+
+IoProfile& IoProfile::Add(const IoProfile& other) {
+  const double total = total_iops() + other.total_iops();
+  if (total > 0) {
+    // Blend seq_fraction and block size weighted by iops.
+    seq_fraction = (seq_fraction * total_iops() +
+                    other.seq_fraction * other.total_iops()) /
+                   total;
+    avg_block_kb = (avg_block_kb * total_iops() +
+                    other.avg_block_kb * other.total_iops()) /
+                   total;
+  }
+  read_iops += other.read_iops;
+  write_iops += other.write_iops;
+  return *this;
+}
+
+SanPerfModel::SanPerfModel(const SanTopology* topology, PerfParams params)
+    : topology_(topology), params_(params) {
+  assert(topology != nullptr);
+}
+
+Status SanPerfModel::AddLoad(LoadEvent event) {
+  if (event.interval.empty()) {
+    return Status::InvalidArgument("load event interval is empty");
+  }
+  if (event.profile.read_iops < 0 || event.profile.write_iops < 0) {
+    return Status::InvalidArgument("load event iops must be non-negative");
+  }
+  const size_t index = events_.size();
+  events_by_volume_[event.volume].push_back(index);
+  events_by_pool_[topology_->volume(event.volume).pool].push_back(index);
+  events_.push_back(std::move(event));
+  return Status::Ok();
+}
+
+Status SanPerfModel::AddPoolOverhead(ComponentId pool,
+                                     const TimeInterval& interval,
+                                     double utilization) {
+  if (utilization < 0 || utilization > 1) {
+    return Status::InvalidArgument("pool overhead utilization must be in [0,1]");
+  }
+  pool_overheads_.push_back(PoolOverhead{pool, interval, utilization});
+  return Status::Ok();
+}
+
+Status SanPerfModel::AddCpuLoad(ComponentId server,
+                                const TimeInterval& interval,
+                                double utilization) {
+  if (utilization < 0) {
+    return Status::InvalidArgument("cpu utilization must be non-negative");
+  }
+  cpu_loads_.push_back(CpuLoad{server, interval, utilization});
+  return Status::Ok();
+}
+
+IoProfile SanPerfModel::VolumeLoadAt(ComponentId volume, SimTimeMs t) const {
+  IoProfile total;
+  auto it = events_by_volume_.find(volume);
+  if (it == events_by_volume_.end()) return total;
+  for (size_t idx : it->second) {
+    const LoadEvent& e = events_[idx];
+    if (e.interval.Contains(t)) total.Add(e.profile);
+  }
+  return total;
+}
+
+double SanPerfModel::ReadServiceMs(const IoProfile& p) const {
+  const double miss = 1.0 - params_.read_cache_hit_fraction;
+  const double disk_ms = p.seq_fraction * params_.disk_seq_read_ms +
+                         (1.0 - p.seq_fraction) * params_.disk_random_read_ms;
+  return params_.read_cache_hit_fraction * params_.cache_hit_ms +
+         miss * disk_ms;
+}
+
+double SanPerfModel::WriteDiskServiceMs(const IoProfile& p) const {
+  return p.seq_fraction * params_.disk_seq_write_ms +
+         (1.0 - p.seq_fraction) * params_.disk_random_write_ms;
+}
+
+double SanPerfModel::QueueInflation(double rho) const {
+  if (rho >= 1.0) return params_.max_queue_inflation;
+  return std::min(1.0 / (1.0 - rho), params_.max_queue_inflation);
+}
+
+SanPerfModel::DiskDemand SanPerfModel::DiskDemandAt(
+    ComponentId disk, SimTimeMs t, const IoProfile& extra_self,
+    ComponentId extra_self_volume) const {
+  DiskDemand demand;
+  const DiskInfo& disk_info = topology_->disk(disk);
+  if (disk_info.failed) return demand;
+  const PoolInfo& pool = topology_->pool(disk_info.pool);
+  const int n_disks = topology_->ActiveDiskCount(pool.id);
+  if (n_disks == 0) return demand;
+  const double raid_penalty = RaidWritePenalty(pool.raid);
+
+  auto accumulate = [&](const IoProfile& p) {
+    if (p.total_iops() <= 0) return;
+    const double read_miss_ops =
+        p.read_iops * (1.0 - params_.read_cache_hit_fraction) /
+        static_cast<double>(n_disks);
+    const double write_ops =
+        p.write_iops * raid_penalty / static_cast<double>(n_disks);
+    const double read_ms = p.seq_fraction * params_.disk_seq_read_ms +
+                           (1.0 - p.seq_fraction) * params_.disk_random_read_ms;
+    const double write_ms = WriteDiskServiceMs(p);
+    demand.read_ops += read_miss_ops;
+    demand.write_ops += write_ops;
+    demand.read_busy += read_miss_ops * read_ms / 1000.0;
+    demand.write_busy += write_ops * write_ms / 1000.0;
+  };
+
+  auto it = events_by_pool_.find(pool.id);
+  if (it != events_by_pool_.end()) {
+    for (size_t idx : it->second) {
+      const LoadEvent& e = events_[idx];
+      if (e.interval.Contains(t)) accumulate(e.profile);
+    }
+  }
+  if (extra_self_volume.valid() &&
+      topology_->volume(extra_self_volume).pool == pool.id) {
+    accumulate(extra_self);
+  }
+  for (const PoolOverhead& o : pool_overheads_) {
+    if (o.pool == pool.id && o.interval.Contains(t)) {
+      demand.write_busy += o.utilization;
+    }
+  }
+  return demand;
+}
+
+double SanPerfModel::DiskUtilizationAt(ComponentId disk, SimTimeMs t) const {
+  const DiskDemand d = DiskDemandAt(disk, t, IoProfile{}, ComponentId{});
+  return std::min(d.read_busy + d.write_busy, 1.5);
+}
+
+double SanPerfModel::VolumeReadLatencyMs(ComponentId volume, SimTimeMs t,
+                                         const IoProfile& extra_self) const {
+  const VolumeInfo& vol = topology_->volume(volume);
+  const std::vector<ComponentId> disks = topology_->DisksOfVolume(volume);
+  if (disks.empty()) return params_.max_queue_inflation *
+                            params_.disk_random_read_ms;
+  double rho_sum = 0;
+  for (ComponentId d : disks) {
+    const DiskDemand demand = DiskDemandAt(d, t, extra_self, volume);
+    rho_sum += std::min(demand.read_busy + demand.write_busy, 1.2);
+  }
+  const double rho = rho_sum / static_cast<double>(disks.size());
+
+  IoProfile own = VolumeLoadAt(volume, t);
+  own.Add(extra_self);
+  // Fall back to a random-read profile when the volume is otherwise idle.
+  if (own.total_iops() <= 0) own.read_iops = 1.0;
+  const double service = ReadServiceMs(own);
+  (void)vol;
+  return params_.controller_overhead_ms + params_.fabric_latency_ms +
+         service * QueueInflation(rho);
+}
+
+double SanPerfModel::VolumeWriteLatencyMs(ComponentId volume, SimTimeMs t,
+                                          const IoProfile& extra_self) const {
+  const std::vector<ComponentId> disks = topology_->DisksOfVolume(volume);
+  if (disks.empty()) return params_.max_queue_inflation *
+                            params_.disk_random_write_ms;
+  double rho_sum = 0;
+  for (ComponentId d : disks) {
+    const DiskDemand demand = DiskDemandAt(d, t, extra_self, volume);
+    rho_sum += std::min(demand.read_busy + demand.write_busy, 1.2);
+  }
+  const double rho = rho_sum / static_cast<double>(disks.size());
+
+  // Write-back cache: fast acknowledge until destaging falls behind, then
+  // back-pressure grows quadratically with backend over-utilisation.
+  double latency = params_.write_cache_ms + params_.fabric_latency_ms;
+  if (rho > params_.destage_threshold) {
+    const double over = (rho - params_.destage_threshold) /
+                        (1.0 - params_.destage_threshold);
+    latency += params_.write_cache_ms * params_.destage_pressure_scale *
+               over * over;
+  }
+  return latency;
+}
+
+std::vector<SimTimeMs> SanPerfModel::SegmentBoundaries(
+    const TimeInterval& interval) const {
+  std::vector<SimTimeMs> cuts{interval.begin, interval.end};
+  auto add_cut = [&](SimTimeMs t) {
+    if (t > interval.begin && t < interval.end) cuts.push_back(t);
+  };
+  for (const LoadEvent& e : events_) {
+    add_cut(e.interval.begin);
+    add_cut(e.interval.end);
+  }
+  for (const PoolOverhead& o : pool_overheads_) {
+    add_cut(o.interval.begin);
+    add_cut(o.interval.end);
+  }
+  for (const CpuLoad& c : cpu_loads_) {
+    add_cut(c.interval.begin);
+    add_cut(c.interval.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+template <typename Fn>
+double SanPerfModel::AverageOver(const TimeInterval& interval,
+                                 Fn&& fn) const {
+  if (interval.empty()) return 0.0;
+  const std::vector<SimTimeMs> cuts = SegmentBoundaries(interval);
+  double integral = 0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const SimTimeMs mid = cuts[i] + (cuts[i + 1] - cuts[i]) / 2;
+    integral += fn(mid) * static_cast<double>(cuts[i + 1] - cuts[i]);
+  }
+  return integral / static_cast<double>(interval.duration());
+}
+
+VolumeIntervalStats SanPerfModel::VolumeStats(
+    ComponentId volume, const TimeInterval& interval) const {
+  VolumeIntervalStats out;
+  if (interval.empty()) return out;
+
+  out.read_iops = AverageOver(interval, [&](SimTimeMs t) {
+    return VolumeLoadAt(volume, t).read_iops;
+  });
+  out.write_iops = AverageOver(interval, [&](SimTimeMs t) {
+    return VolumeLoadAt(volume, t).write_iops;
+  });
+  out.seq_read_iops = AverageOver(interval, [&](SimTimeMs t) {
+    const IoProfile p = VolumeLoadAt(volume, t);
+    return p.read_iops * p.seq_fraction;
+  });
+  out.seq_write_iops = AverageOver(interval, [&](SimTimeMs t) {
+    const IoProfile p = VolumeLoadAt(volume, t);
+    return p.write_iops * p.seq_fraction;
+  });
+  out.bytes_read_per_sec = AverageOver(interval, [&](SimTimeMs t) {
+    const IoProfile p = VolumeLoadAt(volume, t);
+    return p.read_iops * p.avg_block_kb * 1024.0;
+  });
+  out.bytes_written_per_sec = AverageOver(interval, [&](SimTimeMs t) {
+    const IoProfile p = VolumeLoadAt(volume, t);
+    return p.write_iops * p.avg_block_kb * 1024.0;
+  });
+  out.read_latency_ms = AverageOver(interval, [&](SimTimeMs t) {
+    return VolumeReadLatencyMs(volume, t);
+  });
+  out.write_latency_ms = AverageOver(interval, [&](SimTimeMs t) {
+    return VolumeWriteLatencyMs(volume, t);
+  });
+
+  // Backend ("physical storage") view: aggregate over the volume's disks,
+  // which includes every sharer volume in the same pool. The latency is
+  // weighted by whether the backend is read- or write-busy.
+  const std::vector<ComponentId> disks = topology_->DisksOfVolume(volume);
+  out.physical_read_ops = AverageOver(interval, [&](SimTimeMs t) {
+    double ops = 0;
+    for (ComponentId d : disks) {
+      ops += DiskDemandAt(d, t, IoProfile{}, ComponentId{}).read_ops;
+    }
+    return ops;
+  });
+  out.physical_write_ops = AverageOver(interval, [&](SimTimeMs t) {
+    double ops = 0;
+    for (ComponentId d : disks) {
+      ops += DiskDemandAt(d, t, IoProfile{}, ComponentId{}).write_ops;
+    }
+    return ops;
+  });
+  out.physical_read_time_ms = AverageOver(interval, [&](SimTimeMs t) {
+    double rho_sum = 0;
+    for (ComponentId d : disks) {
+      const DiskDemand demand = DiskDemandAt(d, t, IoProfile{}, ComponentId{});
+      rho_sum += std::min(demand.read_busy + demand.write_busy, 1.2);
+    }
+    const double rho =
+        disks.empty() ? 0.0 : rho_sum / static_cast<double>(disks.size());
+    return params_.disk_random_read_ms * QueueInflation(rho);
+  });
+  out.physical_write_time_ms = AverageOver(interval, [&](SimTimeMs t) {
+    double rho_sum = 0;
+    for (ComponentId d : disks) {
+      const DiskDemand demand = DiskDemandAt(d, t, IoProfile{}, ComponentId{});
+      rho_sum += std::min(demand.read_busy + demand.write_busy, 1.2);
+    }
+    const double rho =
+        disks.empty() ? 0.0 : rho_sum / static_cast<double>(disks.size());
+    return params_.disk_random_write_ms * QueueInflation(rho);
+  });
+  out.total_ios = out.read_iops + out.write_iops;
+  return out;
+}
+
+DiskIntervalStats SanPerfModel::DiskStats(ComponentId disk,
+                                          const TimeInterval& interval) const {
+  DiskIntervalStats out;
+  out.utilization = AverageOver(interval, [&](SimTimeMs t) {
+    return DiskUtilizationAt(disk, t);
+  });
+  out.iops = AverageOver(interval, [&](SimTimeMs t) {
+    const DiskDemand d = DiskDemandAt(disk, t, IoProfile{}, ComponentId{});
+    return d.read_ops + d.write_ops;
+  });
+  return out;
+}
+
+PortIntervalStats SanPerfModel::PortStats(ComponentId port,
+                                          const TimeInterval& interval) const {
+  PortIntervalStats out;
+  if (interval.empty()) return out;
+  // Attribute each load event's byte stream to the ports along its path.
+  // Reads flow subsystem -> server (rx at HBA port), writes the reverse; at
+  // the port level we report both directions symmetrically.
+  for (const LoadEvent& e : events_) {
+    const double overlap = [&] {
+      const TimeInterval inter = e.interval.Intersect(interval);
+      return static_cast<double>(inter.duration()) /
+             static_cast<double>(interval.duration());
+    }();
+    if (overlap <= 0) continue;
+    bool on_path = false;
+    for (ComponentId p : e.path_ports) {
+      if (p == port) {
+        on_path = true;
+        break;
+      }
+    }
+    if (!on_path) continue;
+    const double read_mb_s =
+        e.profile.read_iops * e.profile.avg_block_kb / 1024.0;
+    const double write_mb_s =
+        e.profile.write_iops * e.profile.avg_block_kb / 1024.0;
+    out.mb_rx_per_sec += overlap * read_mb_s;
+    out.mb_tx_per_sec += overlap * write_mb_s;
+    // ~1 FC frame per 2 KB payload.
+    out.frames_rx_per_sec += overlap * read_mb_s * 512.0;
+    out.frames_tx_per_sec += overlap * write_mb_s * 512.0;
+  }
+  return out;
+}
+
+ServerIntervalStats SanPerfModel::ServerStats(
+    ComponentId server, const TimeInterval& interval) const {
+  ServerIntervalStats out;
+  out.cpu_utilization = AverageOver(interval, [&](SimTimeMs t) {
+    double u = 0;
+    for (const CpuLoad& c : cpu_loads_) {
+      if (c.server == server && c.interval.Contains(t)) u += c.utilization;
+    }
+    return std::min(u, 1.0);
+  });
+  return out;
+}
+
+}  // namespace diads::san

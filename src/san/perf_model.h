@@ -1,0 +1,207 @@
+// SAN performance model.
+//
+// A utilisation-based queueing model of the storage stack. Load sources
+// (query executions, external application workloads, RAID rebuilds) register
+// piecewise-constant I/O demand on volumes; the model derives
+//
+//   * per-disk utilisation: a pool stripes its volumes' I/O uniformly over
+//     its active disks, so volumes carved from the same pool contend — the
+//     physical channel behind the paper's scenario 1 ("a volume V' that gets
+//     mapped to the same physical disks as V1");
+//   * per-volume read/write latency: service time inflated by 1/(1-rho)
+//     queueing delay (capped), with a write-back cache model for writes;
+//   * per-component interval statistics for the monitoring collectors,
+//     including both the volume's own ("logical") traffic and the backend
+//     ("physical storage") traffic on its disks including all sharers —
+//     the PhysicalStorageRead/Write Operations/Time metrics of Figure 4.
+//
+// Everything is piecewise-constant in time, so interval averages integrate
+// exactly over load-event boundaries; spikes shorter than the monitoring
+// interval get averaged away, reproducing the paper's noisy-data challenge.
+#ifndef DIADS_SAN_PERF_MODEL_H_
+#define DIADS_SAN_PERF_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "san/topology.h"
+
+namespace diads::san {
+
+/// A constant-rate I/O demand description.
+struct IoProfile {
+  double read_iops = 0.0;
+  double write_iops = 0.0;
+  /// Fraction of the I/O that is sequential, in [0, 1].
+  double seq_fraction = 0.0;
+  double avg_block_kb = 8.0;
+
+  IoProfile& Add(const IoProfile& other);
+  double total_iops() const { return read_iops + write_iops; }
+};
+
+/// One registered demand: `profile` applies to `volume` during `interval`.
+/// `source` identifies the generating query/workload (used to attribute
+/// fabric traffic to ports along `path_ports`/`path_switches`).
+struct LoadEvent {
+  ComponentId volume;
+  TimeInterval interval;
+  IoProfile profile;
+  ComponentId source;
+  std::vector<ComponentId> path_ports;
+  std::vector<ComponentId> path_switches;
+};
+
+/// Tunable physical constants of the model.
+struct PerfParams {
+  double disk_random_read_ms = 6.0;  ///< 15k-rpm seek + rotation.
+  double disk_seq_read_ms = 0.4;
+  double disk_random_write_ms = 6.5;
+  double disk_seq_write_ms = 0.5;
+  double controller_overhead_ms = 0.3;
+  double fabric_latency_ms = 0.05;
+  double cache_hit_ms = 0.15;          ///< Subsystem read-cache hit service.
+  double read_cache_hit_fraction = 0.15;
+  double write_cache_ms = 0.4;         ///< Write-back cache acknowledge.
+  /// Backend utilisation above which write destaging backs up into the
+  /// foreground write latency.
+  double destage_threshold = 0.60;
+  double destage_pressure_scale = 18.0;
+  double max_queue_inflation = 14.0;   ///< Cap on 1/(1-rho).
+};
+
+/// Interval-averaged statistics for one volume.
+struct VolumeIntervalStats {
+  // Logical (the volume's own traffic).
+  double read_iops = 0;
+  double write_iops = 0;
+  double seq_read_iops = 0;
+  double seq_write_iops = 0;
+  double bytes_read_per_sec = 0;
+  double bytes_written_per_sec = 0;
+  double read_latency_ms = 0;
+  double write_latency_ms = 0;
+  // Physical / backend (the volume's disks, including sharer volumes).
+  double physical_read_ops = 0;   ///< Backend read ops/s on backing disks.
+  double physical_write_ops = 0;  ///< Backend write ops/s on backing disks.
+  double physical_read_time_ms = 0;
+  double physical_write_time_ms = 0;
+  double total_ios = 0;  ///< Logical read+write ops/s.
+};
+
+/// Interval-averaged statistics for one disk.
+struct DiskIntervalStats {
+  double utilization = 0;  ///< Mean rho, in [0, ~1].
+  double iops = 0;
+};
+
+/// Interval-averaged statistics for one FC port.
+struct PortIntervalStats {
+  double mb_tx_per_sec = 0;
+  double mb_rx_per_sec = 0;
+  double frames_tx_per_sec = 0;
+  double frames_rx_per_sec = 0;
+};
+
+/// Interval-averaged server statistics.
+struct ServerIntervalStats {
+  double cpu_utilization = 0;  ///< In [0, 1].
+};
+
+/// The performance model. Not thread-safe; the simulation is
+/// single-threaded.
+class SanPerfModel {
+ public:
+  /// `topology` must outlive the model.
+  explicit SanPerfModel(const SanTopology* topology, PerfParams params = {});
+
+  /// Registers an I/O demand. Events may be added in any time order.
+  Status AddLoad(LoadEvent event);
+
+  /// Registers direct backend overhead on every disk of `pool` (RAID
+  /// rebuild, scrubbing): `utilization` is added to each disk's rho.
+  Status AddPoolOverhead(ComponentId pool, const TimeInterval& interval,
+                         double utilization);
+
+  /// Registers CPU demand on a server (query execution, competing jobs).
+  Status AddCpuLoad(ComponentId server, const TimeInterval& interval,
+                    double utilization);
+
+  // --- Instantaneous queries ---------------------------------------------
+  /// Aggregate volume demand at time t (all registered events).
+  IoProfile VolumeLoadAt(ComponentId volume, SimTimeMs t) const;
+
+  /// Backend utilisation rho of one disk at time t.
+  double DiskUtilizationAt(ComponentId disk, SimTimeMs t) const;
+
+  /// Read latency seen by a request to `volume` at time t if `extra_self`
+  /// demand is added on top of the registered load (the executor passes its
+  /// own demand here to close the self-contention loop).
+  double VolumeReadLatencyMs(ComponentId volume, SimTimeMs t,
+                             const IoProfile& extra_self = {}) const;
+  double VolumeWriteLatencyMs(ComponentId volume, SimTimeMs t,
+                              const IoProfile& extra_self = {}) const;
+
+  // --- Interval-averaged queries (for monitoring collectors) -------------
+  VolumeIntervalStats VolumeStats(ComponentId volume,
+                                  const TimeInterval& interval) const;
+  DiskIntervalStats DiskStats(ComponentId disk,
+                              const TimeInterval& interval) const;
+  PortIntervalStats PortStats(ComponentId port,
+                              const TimeInterval& interval) const;
+  ServerIntervalStats ServerStats(ComponentId server,
+                                  const TimeInterval& interval) const;
+
+  const PerfParams& params() const { return params_; }
+  size_t load_event_count() const { return events_.size(); }
+
+ private:
+  struct CpuLoad {
+    ComponentId server;
+    TimeInterval interval;
+    double utilization;
+  };
+  struct PoolOverhead {
+    ComponentId pool;
+    TimeInterval interval;
+    double utilization;
+  };
+
+  /// Demand on `disk` at time t, split by op type, in disk-seconds/sec.
+  struct DiskDemand {
+    double read_busy = 0;   ///< rho contribution from reads.
+    double write_busy = 0;  ///< rho contribution from writes (incl. RAID).
+    double read_ops = 0;    ///< Backend read ops/s.
+    double write_ops = 0;   ///< Backend write ops/s.
+  };
+  DiskDemand DiskDemandAt(ComponentId disk, SimTimeMs t,
+                          const IoProfile& extra_self,
+                          ComponentId extra_self_volume) const;
+
+  double ReadServiceMs(const IoProfile& p) const;
+  double WriteDiskServiceMs(const IoProfile& p) const;
+  double QueueInflation(double rho) const;
+
+  /// Averages an instantaneous function over the interval by integrating
+  /// across the piecewise-constant segments induced by event boundaries.
+  template <typename Fn>
+  double AverageOver(const TimeInterval& interval, Fn&& fn) const;
+
+  /// Sorted distinct event boundary times inside `interval`.
+  std::vector<SimTimeMs> SegmentBoundaries(const TimeInterval& interval) const;
+
+  const SanTopology* topology_;
+  PerfParams params_;
+  std::vector<LoadEvent> events_;
+  std::unordered_map<ComponentId, std::vector<size_t>> events_by_volume_;
+  std::unordered_map<ComponentId, std::vector<size_t>> events_by_pool_;
+  std::vector<CpuLoad> cpu_loads_;
+  std::vector<PoolOverhead> pool_overheads_;
+};
+
+}  // namespace diads::san
+
+#endif  // DIADS_SAN_PERF_MODEL_H_

@@ -1,0 +1,439 @@
+#include "san/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace diads::san {
+namespace {
+
+uint64_t PackPair(ComponentId a, ComponentId b) {
+  return (static_cast<uint64_t>(a.value) << 32) | b.value;
+}
+
+}  // namespace
+
+const char* RaidLevelName(RaidLevel level) {
+  switch (level) {
+    case RaidLevel::kRaid0:
+      return "RAID0";
+    case RaidLevel::kRaid1:
+      return "RAID1";
+    case RaidLevel::kRaid5:
+      return "RAID5";
+    case RaidLevel::kRaid10:
+      return "RAID10";
+  }
+  return "RAID?";
+}
+
+double RaidWritePenalty(RaidLevel level) {
+  switch (level) {
+    case RaidLevel::kRaid0:
+      return 1.0;
+    case RaidLevel::kRaid1:
+      return 2.0;
+    case RaidLevel::kRaid5:
+      return 4.0;
+    case RaidLevel::kRaid10:
+      return 2.0;
+  }
+  return 1.0;
+}
+
+std::vector<ComponentId> IoPath::AllComponents() const {
+  std::vector<ComponentId> out;
+  out.push_back(server);
+  out.push_back(hba);
+  for (ComponentId p : ports) out.push_back(p);
+  for (ComponentId s : switches) out.push_back(s);
+  out.push_back(subsystem);
+  out.push_back(pool);
+  out.push_back(volume);
+  for (ComponentId d : disks) out.push_back(d);
+  return out;
+}
+
+SanTopology::SanTopology(ComponentRegistry* registry) : registry_(registry) {
+  assert(registry != nullptr);
+}
+
+Status SanTopology::ExpectKind(ComponentId id, ComponentKind kind) const {
+  if (!registry_->Contains(id)) {
+    return Status::NotFound(
+        StrFormat("component id %u not registered", id.value));
+  }
+  if (registry_->KindOf(id) != kind) {
+    return Status::InvalidArgument(StrFormat(
+        "component '%s' is a %s, expected %s",
+        registry_->NameOf(id).c_str(),
+        ComponentKindName(registry_->KindOf(id)), ComponentKindName(kind)));
+  }
+  return Status::Ok();
+}
+
+Result<ComponentId> SanTopology::AddServer(const std::string& name,
+                                           const std::string& os) {
+  Result<ComponentId> id = registry_->Register(ComponentKind::kServer, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  ServerInfo info;
+  info.id = *id;
+  info.os = os;
+  servers_.emplace(*id, std::move(info));
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddHba(const std::string& name,
+                                        ComponentId server) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(server, ComponentKind::kServer));
+  Result<ComponentId> id = registry_->Register(ComponentKind::kHba, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  HbaInfo info;
+  info.id = *id;
+  info.server = server;
+  hbas_.emplace(*id, std::move(info));
+  servers_.at(server).hbas.push_back(*id);
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddSwitch(const std::string& name,
+                                           bool is_core) {
+  Result<ComponentId> id = registry_->Register(ComponentKind::kFcSwitch, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  FcSwitchInfo info;
+  info.id = *id;
+  info.is_core = is_core;
+  switches_.emplace(*id, std::move(info));
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddSubsystem(const std::string& name,
+                                              const std::string& model) {
+  Result<ComponentId> id =
+      registry_->Register(ComponentKind::kStorageSubsystem, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  SubsystemInfo info;
+  info.id = *id;
+  info.model = model;
+  subsystems_.emplace(*id, std::move(info));
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddPort(const std::string& name,
+                                         PortOwner owner_kind,
+                                         ComponentId owner, double gbps) {
+  switch (owner_kind) {
+    case PortOwner::kHba:
+      DIADS_RETURN_IF_ERROR(ExpectKind(owner, ComponentKind::kHba));
+      break;
+    case PortOwner::kSwitch:
+      DIADS_RETURN_IF_ERROR(ExpectKind(owner, ComponentKind::kFcSwitch));
+      break;
+    case PortOwner::kSubsystem:
+      DIADS_RETURN_IF_ERROR(
+          ExpectKind(owner, ComponentKind::kStorageSubsystem));
+      break;
+  }
+  Result<ComponentId> id = registry_->Register(ComponentKind::kFcPort, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  FcPortInfo info;
+  info.id = *id;
+  info.owner_kind = owner_kind;
+  info.owner = owner;
+  info.gbps = gbps;
+  ports_.emplace(*id, std::move(info));
+  switch (owner_kind) {
+    case PortOwner::kHba:
+      hbas_.at(owner).ports.push_back(*id);
+      break;
+    case PortOwner::kSwitch:
+      switches_.at(owner).ports.push_back(*id);
+      break;
+    case PortOwner::kSubsystem:
+      subsystems_.at(owner).ports.push_back(*id);
+      break;
+  }
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddPool(const std::string& name,
+                                         ComponentId subsystem,
+                                         RaidLevel raid) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(subsystem, ComponentKind::kStorageSubsystem));
+  Result<ComponentId> id =
+      registry_->Register(ComponentKind::kStoragePool, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  PoolInfo info;
+  info.id = *id;
+  info.subsystem = subsystem;
+  info.raid = raid;
+  pools_.emplace(*id, std::move(info));
+  subsystems_.at(subsystem).pools.push_back(*id);
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddDisk(const std::string& name,
+                                         ComponentId pool, double capacity_gb,
+                                         int rpm) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(pool, ComponentKind::kStoragePool));
+  Result<ComponentId> id = registry_->Register(ComponentKind::kDisk, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  DiskInfo info;
+  info.id = *id;
+  info.pool = pool;
+  info.capacity_gb = capacity_gb;
+  info.rpm = rpm;
+  disks_.emplace(*id, std::move(info));
+  pools_.at(pool).disks.push_back(*id);
+  return *id;
+}
+
+Result<ComponentId> SanTopology::AddVolume(const std::string& name,
+                                           ComponentId pool, double size_gb) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(pool, ComponentKind::kStoragePool));
+  Result<ComponentId> id = registry_->Register(ComponentKind::kVolume, name);
+  DIADS_RETURN_IF_ERROR(id.status());
+  VolumeInfo info;
+  info.id = *id;
+  info.pool = pool;
+  info.size_gb = size_gb;
+  volumes_.emplace(*id, std::move(info));
+  pools_.at(pool).volumes.push_back(*id);
+  return *id;
+}
+
+Status SanTopology::Link(ComponentId port_a, ComponentId port_b) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(port_a, ComponentKind::kFcPort));
+  DIADS_RETURN_IF_ERROR(ExpectKind(port_b, ComponentKind::kFcPort));
+  if (port_a == port_b) {
+    return Status::InvalidArgument("cannot link a port to itself");
+  }
+  ports_.at(port_a).links.push_back(port_b);
+  ports_.at(port_b).links.push_back(port_a);
+  return Status::Ok();
+}
+
+Status SanTopology::AddZone(const std::string& zone_name,
+                            const std::vector<ComponentId>& zone_ports) {
+  for (ComponentId p : zone_ports) {
+    DIADS_RETURN_IF_ERROR(ExpectKind(p, ComponentKind::kFcPort));
+  }
+  for (Zone& z : zones_) {
+    if (z.name == zone_name) {
+      z.member_ports.insert(zone_ports.begin(), zone_ports.end());
+      return Status::Ok();
+    }
+  }
+  Zone z;
+  z.name = zone_name;
+  z.member_ports.insert(zone_ports.begin(), zone_ports.end());
+  zones_.push_back(std::move(z));
+  return Status::Ok();
+}
+
+Status SanTopology::MapLun(ComponentId server, ComponentId volume) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(server, ComponentKind::kServer));
+  DIADS_RETURN_IF_ERROR(ExpectKind(volume, ComponentKind::kVolume));
+  lun_map_.insert(PackPair(server, volume));
+  return Status::Ok();
+}
+
+Status SanTopology::SetDiskFailed(ComponentId disk, bool failed) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(disk, ComponentKind::kDisk));
+  disks_.at(disk).failed = failed;
+  return Status::Ok();
+}
+
+const ServerInfo& SanTopology::server(ComponentId id) const {
+  return servers_.at(id);
+}
+const HbaInfo& SanTopology::hba(ComponentId id) const { return hbas_.at(id); }
+const FcPortInfo& SanTopology::port(ComponentId id) const {
+  return ports_.at(id);
+}
+const FcSwitchInfo& SanTopology::fc_switch(ComponentId id) const {
+  return switches_.at(id);
+}
+const SubsystemInfo& SanTopology::subsystem(ComponentId id) const {
+  return subsystems_.at(id);
+}
+const PoolInfo& SanTopology::pool(ComponentId id) const {
+  return pools_.at(id);
+}
+const VolumeInfo& SanTopology::volume(ComponentId id) const {
+  return volumes_.at(id);
+}
+const DiskInfo& SanTopology::disk(ComponentId id) const {
+  return disks_.at(id);
+}
+
+std::vector<ComponentId> SanTopology::AllServers() const {
+  return registry_->AllOfKind(ComponentKind::kServer);
+}
+std::vector<ComponentId> SanTopology::AllSwitches() const {
+  return registry_->AllOfKind(ComponentKind::kFcSwitch);
+}
+std::vector<ComponentId> SanTopology::AllSubsystems() const {
+  return registry_->AllOfKind(ComponentKind::kStorageSubsystem);
+}
+std::vector<ComponentId> SanTopology::AllPools() const {
+  return registry_->AllOfKind(ComponentKind::kStoragePool);
+}
+std::vector<ComponentId> SanTopology::AllVolumes() const {
+  return registry_->AllOfKind(ComponentKind::kVolume);
+}
+std::vector<ComponentId> SanTopology::AllDisks() const {
+  return registry_->AllOfKind(ComponentKind::kDisk);
+}
+
+std::vector<ComponentId> SanTopology::DisksOfVolume(ComponentId vol) const {
+  std::vector<ComponentId> out;
+  auto it = volumes_.find(vol);
+  if (it == volumes_.end()) return out;
+  for (ComponentId d : pools_.at(it->second.pool).disks) {
+    if (!disks_.at(d).failed) out.push_back(d);
+  }
+  return out;
+}
+
+int SanTopology::ActiveDiskCount(ComponentId pool_id) const {
+  auto it = pools_.find(pool_id);
+  if (it == pools_.end()) return 0;
+  int n = 0;
+  for (ComponentId d : it->second.disks) {
+    if (!disks_.at(d).failed) ++n;
+  }
+  return n;
+}
+
+std::vector<ComponentId> SanTopology::VolumesSharingDisks(
+    ComponentId vol) const {
+  std::vector<ComponentId> out;
+  auto it = volumes_.find(vol);
+  if (it == volumes_.end()) return out;
+  // Volumes in the same pool stripe over the same disks by construction.
+  for (ComponentId other : pools_.at(it->second.pool).volumes) {
+    if (other != vol) out.push_back(other);
+  }
+  return out;
+}
+
+bool SanTopology::LunMapped(ComponentId server, ComponentId volume) const {
+  return lun_map_.count(PackPair(server, volume)) > 0;
+}
+
+bool SanTopology::InSameZone(ComponentId port_a, ComponentId port_b) const {
+  for (const Zone& z : zones_) {
+    if (z.member_ports.count(port_a) && z.member_ports.count(port_b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<IoPath> SanTopology::ResolvePath(ComponentId server_id,
+                                        ComponentId volume_id) const {
+  DIADS_RETURN_IF_ERROR(ExpectKind(server_id, ComponentKind::kServer));
+  DIADS_RETURN_IF_ERROR(ExpectKind(volume_id, ComponentKind::kVolume));
+  if (!LunMapped(server_id, volume_id)) {
+    return Status::FailedPrecondition(StrFormat(
+        "LUN masking forbids server '%s' from accessing volume '%s'",
+        registry_->NameOf(server_id).c_str(),
+        registry_->NameOf(volume_id).c_str()));
+  }
+  const VolumeInfo& vol = volumes_.at(volume_id);
+  const PoolInfo& pool_info = pools_.at(vol.pool);
+  const SubsystemInfo& subsys = subsystems_.at(pool_info.subsystem);
+
+  // BFS from each HBA port over physical links to a port of the volume's
+  // subsystem. Zoning is checked between the originating HBA port and the
+  // terminating subsystem port (standard single-initiator zoning semantics).
+  const ServerInfo& srv = servers_.at(server_id);
+  for (ComponentId hba_id : srv.hbas) {
+    for (ComponentId start : hbas_.at(hba_id).ports) {
+      std::unordered_map<ComponentId, ComponentId> parent;
+      std::deque<ComponentId> queue{start};
+      parent[start] = start;
+      while (!queue.empty()) {
+        ComponentId cur = queue.front();
+        queue.pop_front();
+        const FcPortInfo& cur_port = ports_.at(cur);
+        if (cur_port.owner_kind == PortOwner::kSubsystem &&
+            cur_port.owner == subsys.id && InSameZone(start, cur)) {
+          // Reconstruct the port chain start..cur.
+          std::vector<ComponentId> chain;
+          for (ComponentId p = cur; p != start; p = parent.at(p)) {
+            chain.push_back(p);
+          }
+          chain.push_back(start);
+          std::reverse(chain.begin(), chain.end());
+
+          IoPath path;
+          path.server = server_id;
+          path.hba = hba_id;
+          path.ports = chain;
+          for (ComponentId p : chain) {
+            const FcPortInfo& info = ports_.at(p);
+            if (info.owner_kind == PortOwner::kSwitch &&
+                (path.switches.empty() ||
+                 path.switches.back() != info.owner)) {
+              path.switches.push_back(info.owner);
+            }
+          }
+          path.subsystem = subsys.id;
+          path.pool = pool_info.id;
+          path.volume = volume_id;
+          path.disks = DisksOfVolume(volume_id);
+          return path;
+        }
+        // Expand: physical links, plus intra-switch port fanout (a frame
+        // entering a switch can leave through any of its ports).
+        for (ComponentId next : cur_port.links) {
+          if (parent.emplace(next, cur).second) queue.push_back(next);
+        }
+        if (cur_port.owner_kind == PortOwner::kSwitch) {
+          for (ComponentId sibling : switches_.at(cur_port.owner).ports) {
+            if (parent.emplace(sibling, cur).second) {
+              queue.push_back(sibling);
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::NotFound(StrFormat(
+      "no zoned fabric route from server '%s' to volume '%s'",
+      registry_->NameOf(server_id).c_str(),
+      registry_->NameOf(volume_id).c_str()));
+}
+
+Status SanTopology::Validate() const {
+  for (const auto& [id, pool_info] : pools_) {
+    if (pool_info.disks.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("pool '%s' has no disks", registry_->NameOf(id).c_str()));
+    }
+  }
+  for (const auto& [id, vol] : volumes_) {
+    if (ActiveDiskCount(vol.pool) == 0) {
+      return Status::FailedPrecondition(
+          StrFormat("volume '%s' has no active disks",
+                    registry_->NameOf(id).c_str()));
+    }
+  }
+  for (const auto& [id, hba_info] : hbas_) {
+    bool cabled = false;
+    for (ComponentId p : hba_info.ports) {
+      if (!ports_.at(p).links.empty()) cabled = true;
+    }
+    if (!hba_info.ports.empty() && !cabled) {
+      return Status::FailedPrecondition(StrFormat(
+          "HBA '%s' has ports but no cabling", registry_->NameOf(id).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace diads::san

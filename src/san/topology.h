@@ -1,0 +1,234 @@
+// SAN topology model.
+//
+// Models the storage stack of Section 3.1.1: servers with Host Bus Adapters
+// (HBAs) whose Fibre Channel ports connect through a hierarchy of edge/core
+// FC switches to storage-subsystem ports; subsystems aggregate physical disks
+// into RAID storage pools, which are carved into storage volumes; zoning
+// restricts which subsystem ports a server port may reach, and LUN
+// masking/mapping restricts which volumes a server may access.
+//
+// The topology answers the two questions the APG needs:
+//   * inner dependency path: the physical chain server -> HBA -> switches ->
+//     subsystem -> pool -> volume -> disks for a (server, volume) pair;
+//   * outer dependency path: the volumes that share physical disks with a
+//     given volume (the channel through which "another application workload
+//     ... mapped to the same physical disks" causes contention — the paper's
+//     scenario 1).
+#ifndef DIADS_SAN_TOPOLOGY_H_
+#define DIADS_SAN_TOPOLOGY_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace diads::san {
+
+/// RAID organisation of a storage pool. Affects how volume I/O spreads over
+/// member disks (data disks vs. parity overhead).
+enum class RaidLevel { kRaid0, kRaid1, kRaid5, kRaid10 };
+
+const char* RaidLevelName(RaidLevel level);
+
+/// Write amplification factor at the disk level for a RAID scheme (e.g.,
+/// RAID5 turns one logical write into ~4 disk operations in the classic
+/// read-modify-write path; the subsystem cache absorbs part of that, which
+/// the performance model accounts for separately).
+double RaidWritePenalty(RaidLevel level);
+
+struct ServerInfo {
+  ComponentId id;
+  std::string os;  ///< e.g. "RedHat Linux".
+  int cpu_cores = 8;
+  double cpu_ghz = 2.4;
+  std::vector<ComponentId> hbas;
+};
+
+struct HbaInfo {
+  ComponentId id;
+  ComponentId server;
+  std::vector<ComponentId> ports;
+};
+
+/// Where an FC port lives.
+enum class PortOwner { kHba, kSwitch, kSubsystem };
+
+struct FcPortInfo {
+  ComponentId id;
+  PortOwner owner_kind = PortOwner::kHba;
+  ComponentId owner;
+  double gbps = 4.0;
+  /// Ports this port is cabled to (physical links).
+  std::vector<ComponentId> links;
+};
+
+struct FcSwitchInfo {
+  ComponentId id;
+  bool is_core = false;  ///< Core vs. edge switch in the fabric hierarchy.
+  std::vector<ComponentId> ports;
+};
+
+struct SubsystemInfo {
+  ComponentId id;
+  std::string model;  ///< e.g. "IBM DS6000".
+  std::vector<ComponentId> ports;
+  std::vector<ComponentId> pools;
+  double cache_gb = 4.0;
+};
+
+struct PoolInfo {
+  ComponentId id;
+  ComponentId subsystem;
+  RaidLevel raid = RaidLevel::kRaid5;
+  std::vector<ComponentId> disks;
+  std::vector<ComponentId> volumes;
+};
+
+struct VolumeInfo {
+  ComponentId id;
+  ComponentId pool;
+  double size_gb = 100.0;
+};
+
+struct DiskInfo {
+  ComponentId id;
+  ComponentId pool;
+  double capacity_gb = 146.0;
+  int rpm = 15000;
+  bool failed = false;
+};
+
+/// A named zone: the set of FC ports allowed to see each other through the
+/// fabric. A server port can reach a subsystem port only if some zone
+/// contains both.
+struct Zone {
+  std::string name;
+  std::unordered_set<ComponentId> member_ports;
+};
+
+/// The end-to-end physical chain from a server to the disks backing a
+/// volume, in dependency order. This is the APG inner dependency path for
+/// any operator reading that volume through that server (Section 3).
+struct IoPath {
+  ComponentId server;
+  ComponentId hba;
+  std::vector<ComponentId> ports;     ///< Traversed ports, HBA-side first.
+  std::vector<ComponentId> switches;  ///< Traversed switches, edge first.
+  ComponentId subsystem;
+  ComponentId pool;
+  ComponentId volume;
+  std::vector<ComponentId> disks;
+
+  /// All components in traversal order (server first, disks last).
+  std::vector<ComponentId> AllComponents() const;
+};
+
+/// Mutable SAN topology. Construction-order rules: a component's parents
+/// must exist before it (e.g., AddPool requires its subsystem).
+class SanTopology {
+ public:
+  /// The registry is shared with the database layer and must outlive the
+  /// topology.
+  explicit SanTopology(ComponentRegistry* registry);
+
+  SanTopology(const SanTopology&) = delete;
+  SanTopology& operator=(const SanTopology&) = delete;
+  SanTopology(SanTopology&&) = default;
+
+  // --- Builders -----------------------------------------------------------
+  Result<ComponentId> AddServer(const std::string& name, const std::string& os);
+  Result<ComponentId> AddHba(const std::string& name, ComponentId server);
+  Result<ComponentId> AddSwitch(const std::string& name, bool is_core);
+  Result<ComponentId> AddSubsystem(const std::string& name,
+                                   const std::string& model);
+  Result<ComponentId> AddPort(const std::string& name, PortOwner owner_kind,
+                              ComponentId owner, double gbps = 4.0);
+  Result<ComponentId> AddPool(const std::string& name, ComponentId subsystem,
+                              RaidLevel raid);
+  Result<ComponentId> AddDisk(const std::string& name, ComponentId pool,
+                              double capacity_gb = 146.0, int rpm = 15000);
+  Result<ComponentId> AddVolume(const std::string& name, ComponentId pool,
+                                double size_gb);
+
+  /// Cables two ports together (bidirectional physical link).
+  Status Link(ComponentId port_a, ComponentId port_b);
+
+  /// Creates (or extends) a zone containing the given ports.
+  Status AddZone(const std::string& zone_name,
+                 const std::vector<ComponentId>& ports);
+
+  /// LUN mapping/masking: allows `server` to access `volume`.
+  Status MapLun(ComponentId server, ComponentId volume);
+
+  /// Marks a disk failed/recovered; the performance model spreads pool load
+  /// over the surviving disks.
+  Status SetDiskFailed(ComponentId disk, bool failed);
+
+  // --- Accessors ----------------------------------------------------------
+  const ComponentRegistry& registry() const { return *registry_; }
+  ComponentRegistry* mutable_registry() { return registry_; }
+
+  const ServerInfo& server(ComponentId id) const;
+  const HbaInfo& hba(ComponentId id) const;
+  const FcPortInfo& port(ComponentId id) const;
+  const FcSwitchInfo& fc_switch(ComponentId id) const;
+  const SubsystemInfo& subsystem(ComponentId id) const;
+  const PoolInfo& pool(ComponentId id) const;
+  const VolumeInfo& volume(ComponentId id) const;
+  const DiskInfo& disk(ComponentId id) const;
+
+  std::vector<ComponentId> AllServers() const;
+  std::vector<ComponentId> AllSwitches() const;
+  std::vector<ComponentId> AllSubsystems() const;
+  std::vector<ComponentId> AllPools() const;
+  std::vector<ComponentId> AllVolumes() const;
+  std::vector<ComponentId> AllDisks() const;
+
+  // --- Derived queries ----------------------------------------------------
+  /// Disks backing a volume (its pool's non-failed disks).
+  std::vector<ComponentId> DisksOfVolume(ComponentId volume) const;
+
+  /// Number of non-failed disks in a pool.
+  int ActiveDiskCount(ComponentId pool) const;
+
+  /// Volumes that share at least one physical disk with `volume`, excluding
+  /// `volume` itself. These are the APG outer-dependency-path volumes.
+  std::vector<ComponentId> VolumesSharingDisks(ComponentId volume) const;
+
+  /// True if LUN masking allows the server to access the volume.
+  bool LunMapped(ComponentId server, ComponentId volume) const;
+
+  /// True if zoning allows the two ports to communicate.
+  bool InSameZone(ComponentId port_a, ComponentId port_b) const;
+
+  /// Resolves the physical I/O path from `server` to `volume`, honouring
+  /// cabling, zoning, and LUN masking. Fails with kFailedPrecondition when
+  /// configuration forbids access and kNotFound when no cabled route exists.
+  Result<IoPath> ResolvePath(ComponentId server, ComponentId volume) const;
+
+  /// Structural validation: every volume's pool has disks, every HBA has a
+  /// cabled port, etc. Returns the first problem found.
+  Status Validate() const;
+
+ private:
+  Status ExpectKind(ComponentId id, ComponentKind kind) const;
+
+  ComponentRegistry* registry_;
+  std::unordered_map<ComponentId, ServerInfo> servers_;
+  std::unordered_map<ComponentId, HbaInfo> hbas_;
+  std::unordered_map<ComponentId, FcPortInfo> ports_;
+  std::unordered_map<ComponentId, FcSwitchInfo> switches_;
+  std::unordered_map<ComponentId, SubsystemInfo> subsystems_;
+  std::unordered_map<ComponentId, PoolInfo> pools_;
+  std::unordered_map<ComponentId, VolumeInfo> volumes_;
+  std::unordered_map<ComponentId, DiskInfo> disks_;
+  std::vector<Zone> zones_;
+  std::unordered_set<uint64_t> lun_map_;  ///< (server,volume) packed pairs.
+};
+
+}  // namespace diads::san
+
+#endif  // DIADS_SAN_TOPOLOGY_H_

@@ -1,0 +1,64 @@
+#include "stats/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace diads::stats {
+namespace {
+
+double Aggregate(std::vector<double> scores, AnomalyAggregation how) {
+  switch (how) {
+    case AnomalyAggregation::kMean:
+      return Mean(scores);
+    case AnomalyAggregation::kMedian:
+      return Median(std::move(scores));
+    case AnomalyAggregation::kMax:
+      return Max(scores);
+  }
+  return 0.0;
+}
+
+Result<AnomalyScore> ScoreImpl(const std::vector<double>& baseline,
+                               const std::vector<double>& observations,
+                               const AnomalyConfig& config, bool two_sided) {
+  if (baseline.empty()) {
+    return Status::InvalidArgument("anomaly scoring requires baseline samples");
+  }
+  if (observations.empty()) {
+    return Status::InvalidArgument("anomaly scoring requires observations");
+  }
+  Result<Kde> kde = Kde::Fit(baseline, config.bandwidth_rule);
+  DIADS_RETURN_IF_ERROR(kde.status());
+
+  std::vector<double> per_obs;
+  per_obs.reserve(observations.size());
+  for (double u : observations) {
+    const double p = kde->Cdf(u);
+    per_obs.push_back(two_sided ? 2.0 * std::fabs(p - 0.5) : p);
+  }
+
+  AnomalyScore out;
+  out.score = Aggregate(std::move(per_obs), config.aggregation);
+  out.anomalous = out.score >= config.threshold;
+  out.baseline_count = baseline.size();
+  out.observation_count = observations.size();
+  return out;
+}
+
+}  // namespace
+
+Result<AnomalyScore> ScoreAnomaly(const std::vector<double>& baseline,
+                                  const std::vector<double>& observations,
+                                  const AnomalyConfig& config) {
+  return ScoreImpl(baseline, observations, config, /*two_sided=*/false);
+}
+
+Result<AnomalyScore> ScoreDeviation(const std::vector<double>& baseline,
+                                    const std::vector<double>& observations,
+                                    const AnomalyConfig& config) {
+  return ScoreImpl(baseline, observations, config, /*two_sided=*/true);
+}
+
+}  // namespace diads::stats

@@ -1,0 +1,29 @@
+// Correlation measures.
+//
+// Module DA prunes an operator's dependency path by checking whether a
+// component's performance metric is "significantly correlated with O's
+// running time" (Section 4.1). Pearson captures linear co-movement; Spearman
+// (rank) is robust to the latency nonlinearities a queueing system produces.
+#ifndef DIADS_STATS_CORRELATION_H_
+#define DIADS_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace diads::stats {
+
+/// Pearson linear correlation of two equal-length series. Returns 0 when
+/// either series is constant or the lengths differ / are < 2.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson over midranks). Same degenerate-case
+/// conventions as PearsonCorrelation.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Midranks of `xs` (ties averaged), 1-based as in classical statistics.
+std::vector<double> MidRanks(const std::vector<double>& xs);
+
+}  // namespace diads::stats
+
+#endif  // DIADS_STATS_CORRELATION_H_

@@ -1,0 +1,54 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diads::stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return ss / static_cast<double>(n - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50); }
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0) return xs.front();
+  if (p >= 100) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double Iqr(const std::vector<double>& xs) {
+  return Percentile(xs, 75) - Percentile(xs, 25);
+}
+
+}  // namespace diads::stats

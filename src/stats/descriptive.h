@@ -1,0 +1,28 @@
+// Descriptive statistics over small samples.
+//
+// DIADS works with "a few tens of samples" (Section 5) — one observation per
+// query run — so these helpers are written for exactness over tiny n rather
+// than streaming scale.
+#ifndef DIADS_STATS_DESCRIPTIVE_H_
+#define DIADS_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace diads::stats {
+
+double Mean(const std::vector<double>& xs);
+/// Sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+/// Median via sorting a copy; 0 for empty input.
+double Median(std::vector<double> xs);
+/// Linear-interpolated percentile, p in [0, 100]; 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+/// Interquartile range (P75 - P25).
+double Iqr(const std::vector<double>& xs);
+
+}  // namespace diads::stats
+
+#endif  // DIADS_STATS_DESCRIPTIVE_H_

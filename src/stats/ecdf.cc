@@ -1,0 +1,31 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+
+namespace diads::stats {
+
+Result<Ecdf> Ecdf::Fit(std::vector<double> samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("ECDF requires at least one sample");
+  }
+  std::sort(samples.begin(), samples.end());
+  return Ecdf(std::move(samples));
+}
+
+double Ecdf::Cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+}  // namespace diads::stats

@@ -1,0 +1,36 @@
+// Empirical cumulative distribution function.
+//
+// Used as a bandwidth-free alternative to the KDE CDF in tests (the two must
+// agree asymptotically) and by the baseline diagnosers, which the paper
+// describes as using simpler statistics than DIADS.
+#ifndef DIADS_STATS_ECDF_H_
+#define DIADS_STATS_ECDF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads::stats {
+
+/// Empirical CDF over a fixed sample.
+class Ecdf {
+ public:
+  /// Builds an ECDF; requires at least one sample.
+  static Result<Ecdf> Fit(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  double Cdf(double x) const;
+
+  /// Inverse CDF (quantile); q in [0, 1] clamped.
+  double Quantile(double q) const;
+
+  size_t sample_count() const { return sorted_.size(); }
+
+ private:
+  explicit Ecdf(std::vector<double> sorted) : sorted_(std::move(sorted)) {}
+  std::vector<double> sorted_;
+};
+
+}  // namespace diads::stats
+
+#endif  // DIADS_STATS_ECDF_H_

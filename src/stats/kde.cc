@@ -1,0 +1,84 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace diads::stats {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kInvSqrt2 = 0.7071067811865476;
+
+// Floor the bandwidth at a small fraction of the data magnitude so that
+// zero-spread samples (e.g., an operator whose time is quantised by the
+// 5-minute monitoring interval) still yield a usable, sharply peaked
+// estimate instead of a division by zero.
+double BandwidthFloor(const std::vector<double>& samples) {
+  double scale = 0;
+  for (double s : samples) scale = std::max(scale, std::fabs(s));
+  return std::max(1e-9, scale * 1e-6);
+}
+
+}  // namespace
+
+double SelectBandwidth(const std::vector<double>& samples,
+                       BandwidthRule rule) {
+  const double n = static_cast<double>(samples.size());
+  const double sigma = StdDev(samples);
+  double h = 0;
+  switch (rule) {
+    case BandwidthRule::kSilverman: {
+      const double iqr = Iqr(samples);
+      double spread = sigma;
+      if (iqr > 0) spread = std::min(spread > 0 ? spread : iqr, iqr / 1.34);
+      h = 0.9 * spread * std::pow(n, -0.2);
+      break;
+    }
+    case BandwidthRule::kScott:
+      h = 1.06 * sigma * std::pow(n, -0.2);
+      break;
+  }
+  return std::max(h, BandwidthFloor(samples));
+}
+
+Result<Kde> Kde::Fit(std::vector<double> samples, BandwidthRule rule) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KDE requires at least one sample");
+  }
+  const double h = SelectBandwidth(samples, rule);
+  return Kde(std::move(samples), h);
+}
+
+Result<Kde> Kde::FitWithBandwidth(std::vector<double> samples,
+                                  double bandwidth) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KDE requires at least one sample");
+  }
+  if (bandwidth <= 0) {
+    return Status::InvalidArgument("KDE bandwidth must be positive");
+  }
+  return Kde(std::move(samples), bandwidth);
+}
+
+double Kde::Pdf(double x) const {
+  double sum = 0;
+  for (double s : samples_) {
+    const double z = (x - s) / bandwidth_;
+    sum += std::exp(-0.5 * z * z);
+  }
+  return sum * kInvSqrt2Pi /
+         (bandwidth_ * static_cast<double>(samples_.size()));
+}
+
+double Kde::Cdf(double x) const {
+  double sum = 0;
+  for (double s : samples_) {
+    const double z = (x - s) / bandwidth_;
+    sum += 0.5 * (1.0 + std::erf(z * kInvSqrt2));
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace diads::stats

@@ -1,0 +1,65 @@
+// Kernel Density Estimation.
+//
+// Module CO of the paper (Section 4.1) fits a KDE to an operator's running
+// times over *satisfactory* runs and scores an unsatisfactory observation u
+// by prob(S <= u) — the CDF of the estimated density at u. Scores near 1
+// mean "u is far above the healthy range". The same estimator powers Modules
+// DA (component performance metrics) and CR (record counts).
+//
+// We use a Gaussian kernel. The CDF is then an average of normal CDFs
+// centred on the sample points, computable in closed form with erf.
+#ifndef DIADS_STATS_KDE_H_
+#define DIADS_STATS_KDE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads::stats {
+
+/// Bandwidth selection rules for Kde.
+enum class BandwidthRule {
+  /// Silverman's rule of thumb: 0.9 * min(sigma, IQR/1.34) * n^(-1/5).
+  kSilverman,
+  /// Scott's rule: 1.06 * sigma * n^(-1/5).
+  kScott,
+};
+
+/// A one-dimensional Gaussian kernel density estimate.
+class Kde {
+ public:
+  /// Fits a KDE to `samples` (at least one sample required). When the data
+  /// is degenerate (zero spread), a bandwidth floor relative to the data
+  /// magnitude keeps the estimate well-defined.
+  static Result<Kde> Fit(std::vector<double> samples,
+                         BandwidthRule rule = BandwidthRule::kSilverman);
+
+  /// Fits with an explicit bandwidth (> 0).
+  static Result<Kde> FitWithBandwidth(std::vector<double> samples,
+                                      double bandwidth);
+
+  /// Estimated density at x.
+  double Pdf(double x) const;
+
+  /// Estimated P(S <= x). This is the paper's anomaly score when x is an
+  /// observation from an unsatisfactory run.
+  double Cdf(double x) const;
+
+  double bandwidth() const { return bandwidth_; }
+  size_t sample_count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  Kde(std::vector<double> samples, double bandwidth)
+      : samples_(std::move(samples)), bandwidth_(bandwidth) {}
+
+  std::vector<double> samples_;
+  double bandwidth_;
+};
+
+/// Computes the bandwidth the given rule would select for `samples`.
+double SelectBandwidth(const std::vector<double>& samples, BandwidthRule rule);
+
+}  // namespace diads::stats
+
+#endif  // DIADS_STATS_KDE_H_

@@ -1,0 +1,42 @@
+#include "stats/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace diads::stats {
+
+Result<GaussianNaiveBayes> GaussianNaiveBayes::Fit(
+    const std::vector<double>& class0_samples,
+    const std::vector<double>& class1_samples) {
+  if (class0_samples.size() < 2 || class1_samples.size() < 2) {
+    return Status::InvalidArgument(
+        "naive Bayes requires >= 2 samples per class");
+  }
+  const double m0 = Mean(class0_samples);
+  const double m1 = Mean(class1_samples);
+  // Variance floor keeps the likelihood finite for near-constant classes.
+  const double scale = std::max({std::fabs(m0), std::fabs(m1), 1e-9});
+  const double floor = scale * 1e-6;
+  const double s0 = std::max(StdDev(class0_samples), floor);
+  const double s1 = std::max(StdDev(class1_samples), floor);
+  return GaussianNaiveBayes(m0, s0, m1, s1);
+}
+
+double GaussianNaiveBayes::LogLikelihood(double x, double mean,
+                                         double stddev) const {
+  const double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev);
+}
+
+double GaussianNaiveBayes::PosteriorClass1(double x) const {
+  const double l0 = LogLikelihood(x, mean0_, std0_);
+  const double l1 = LogLikelihood(x, mean1_, std1_);
+  const double m = std::max(l0, l1);
+  const double e0 = std::exp(l0 - m);
+  const double e1 = std::exp(l1 - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace diads::stats

@@ -1,0 +1,48 @@
+// Gaussian naive-Bayes classifier.
+//
+// Section 5 observes that "compared to correlation analysis using advanced
+// models (e.g., Bayesian networks), KDE can produce accurate results with few
+// tens of samples, and is more robust to noise". This classifier is the
+// "advanced model" foil for that ablation (bench_x1_kde_ablation): it learns
+// per-class Gaussians over labelled runs and classifies an observation as
+// satisfactory/unsatisfactory — a parametric, label-hungry approach that
+// degrades with tiny samples, exactly the failure mode the paper calls out.
+#ifndef DIADS_STATS_NAIVE_BAYES_H_
+#define DIADS_STATS_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads::stats {
+
+/// Binary Gaussian naive-Bayes over one feature dimension per call site.
+class GaussianNaiveBayes {
+ public:
+  /// Fits per-class Gaussians. Both classes need >= 2 samples.
+  static Result<GaussianNaiveBayes> Fit(
+      const std::vector<double>& class0_samples,
+      const std::vector<double>& class1_samples);
+
+  /// Posterior P(class = 1 | x) under equal priors.
+  double PosteriorClass1(double x) const;
+
+  /// True if x is more likely drawn from class 1.
+  bool Classify(double x) const { return PosteriorClass1(x) >= 0.5; }
+
+  double mean0() const { return mean0_; }
+  double mean1() const { return mean1_; }
+
+ private:
+  GaussianNaiveBayes(double m0, double s0, double m1, double s1)
+      : mean0_(m0), std0_(s0), mean1_(m1), std1_(s1) {}
+
+  double LogLikelihood(double x, double mean, double stddev) const;
+
+  double mean0_, std0_;
+  double mean1_, std1_;
+};
+
+}  // namespace diads::stats
+
+#endif  // DIADS_STATS_NAIVE_BAYES_H_

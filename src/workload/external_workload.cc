@@ -1,0 +1,99 @@
+#include "workload/external_workload.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace diads::workload {
+
+ExternalWorkloadGen::ExternalWorkloadGen(Testbed* testbed)
+    : testbed_(testbed), rng_(testbed->rng.Child("external-workload")) {}
+
+Status ExternalWorkloadGen::LogWorkloadEvent(EventType type, SimTimeMs t,
+                                             ComponentId volume,
+                                             const std::string& description) {
+  SystemEvent event;
+  event.time = t;
+  event.type = type;
+  event.subject = volume;
+  event.description = description;
+  return testbed_->event_log.Append(std::move(event));
+}
+
+Status ExternalWorkloadGen::StartAmbient(ComponentId volume,
+                                         const TimeInterval& window,
+                                         const san::IoProfile& base,
+                                         SimTimeMs chunk) {
+  if (window.empty() || chunk <= 0) {
+    return Status::InvalidArgument("ambient window/chunk must be non-empty");
+  }
+  for (SimTimeMs t = window.begin; t < window.end; t += chunk) {
+    const double intensity = rng_.Uniform(0.6, 1.4);
+    san::LoadEvent load;
+    load.volume = volume;
+    load.interval = TimeInterval{t, std::min(t + chunk, window.end)};
+    load.profile = base;
+    load.profile.read_iops *= intensity;
+    load.profile.write_iops *= intensity;
+    load.source = volume;
+    DIADS_RETURN_IF_ERROR(testbed_->perf_model.AddLoad(std::move(load)));
+  }
+  return Status::Ok();
+}
+
+Status ExternalWorkloadGen::StartSteady(ComponentId volume,
+                                        const TimeInterval& window,
+                                        const san::IoProfile& profile,
+                                        bool log_events,
+                                        const std::string& description) {
+  if (window.empty()) {
+    return Status::InvalidArgument("steady-load window must be non-empty");
+  }
+  san::LoadEvent load;
+  load.volume = volume;
+  load.interval = window;
+  load.profile = profile;
+  load.source = volume;
+  DIADS_RETURN_IF_ERROR(testbed_->perf_model.AddLoad(std::move(load)));
+  if (log_events) {
+    DIADS_RETURN_IF_ERROR(LogWorkloadEvent(
+        EventType::kExternalWorkloadStarted, window.begin, volume,
+        description + " started"));
+  }
+  return Status::Ok();
+}
+
+Status ExternalWorkloadGen::StartBursty(ComponentId volume,
+                                        const TimeInterval& window,
+                                        const san::IoProfile& burst_profile,
+                                        SimTimeMs period, SimTimeMs burst_len,
+                                        bool log_events,
+                                        const std::string& description) {
+  if (window.empty() || period <= 0 || burst_len <= 0 || burst_len > period) {
+    return Status::InvalidArgument("invalid bursty-load parameters");
+  }
+  for (SimTimeMs t = window.begin; t < window.end; t += period) {
+    // Jitter the burst position inside its period so bursts do not align
+    // with the monitoring grid.
+    const SimTimeMs slack = period - burst_len;
+    const SimTimeMs offset =
+        slack > 0 ? rng_.UniformInt(0, slack) : SimTimeMs{0};
+    san::LoadEvent load;
+    load.volume = volume;
+    load.interval =
+        TimeInterval{t + offset,
+                     std::min(t + offset + burst_len, window.end)};
+    if (load.interval.empty()) continue;
+    load.profile = burst_profile;
+    load.source = volume;
+    DIADS_RETURN_IF_ERROR(testbed_->perf_model.AddLoad(std::move(load)));
+  }
+  if (log_events) {
+    DIADS_RETURN_IF_ERROR(LogWorkloadEvent(
+        EventType::kExternalWorkloadStarted, window.begin, volume,
+        description + " started (bursty)"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace diads::workload

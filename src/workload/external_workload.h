@@ -1,0 +1,65 @@
+// External workload generation.
+//
+// Other applications share the paper's production SAN; their I/O is what
+// creates cross-volume contention. The generator registers piecewise-
+// constant load on a volume in three shapes:
+//
+//   * ambient: hourly-varying low-level load (the healthy variance every
+//     KDE baseline needs — without it, a perfectly flat baseline would make
+//     any microscopic wiggle look anomalous);
+//   * steady: a constant profile over a window (scenario 2's competing
+//     workloads, scenario 1's workload on the misconfigured volume V');
+//   * bursty: short high-intensity bursts on a duty cycle (Section 5's
+//     "extra I/O load on Volume V2 in a bursty manner" — intense enough to
+//     spike latency metrics, brief enough to be diluted by the 5-minute
+//     monitoring averages).
+//
+// Each Start* call can log kExternalWorkloadStarted/Stopped events. The
+// scenario-1 injector suppresses them: the misconfigured volume belongs to
+// a server outside the monitored environment, so DIADS only sees the
+// configuration events — exactly the paper's setup.
+#ifndef DIADS_WORKLOAD_EXTERNAL_WORKLOAD_H_
+#define DIADS_WORKLOAD_EXTERNAL_WORKLOAD_H_
+
+#include "common/rng.h"
+#include "san/perf_model.h"
+#include "workload/testbed.h"
+
+namespace diads::workload {
+
+/// Generator of external (non-database) I/O load.
+class ExternalWorkloadGen {
+ public:
+  /// `testbed` must outlive the generator.
+  explicit ExternalWorkloadGen(Testbed* testbed);
+
+  /// Low-level load whose intensity re-rolls every `chunk` (default 1 h),
+  /// uniformly in [0.6, 1.4] x `base`. No events are logged (ambient load
+  /// predates the diagnosis window).
+  Status StartAmbient(ComponentId volume, const TimeInterval& window,
+                      const san::IoProfile& base,
+                      SimTimeMs chunk = Hours(1));
+
+  /// Constant load over the window. Logs start/stop events against
+  /// `subject` (usually the volume) unless `log_events` is false.
+  Status StartSteady(ComponentId volume, const TimeInterval& window,
+                     const san::IoProfile& profile, bool log_events,
+                     const std::string& description);
+
+  /// Bursts of `burst_len` every `period` over the window.
+  Status StartBursty(ComponentId volume, const TimeInterval& window,
+                     const san::IoProfile& burst_profile, SimTimeMs period,
+                     SimTimeMs burst_len, bool log_events,
+                     const std::string& description);
+
+ private:
+  Status LogWorkloadEvent(EventType type, SimTimeMs t, ComponentId volume,
+                          const std::string& description);
+
+  Testbed* testbed_;
+  SeededRng rng_;
+};
+
+}  // namespace diads::workload
+
+#endif  // DIADS_WORKLOAD_EXTERNAL_WORKLOAD_H_

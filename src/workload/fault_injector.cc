@@ -1,0 +1,175 @@
+#include "workload/fault_injector.h"
+
+#include "common/strings.h"
+
+namespace diads::workload {
+
+FaultInjector::FaultInjector(Testbed* testbed)
+    : testbed_(testbed), workloads_(testbed) {}
+
+Status FaultInjector::InjectSanMisconfiguration(SimTimeMs config_time,
+                                                const TimeInterval& load_window,
+                                                double write_iops) {
+  Testbed& tb = *testbed_;
+  // The misconfiguration: V' lands in P1 — the same physical disks as V1.
+  DIADS_ASSIGN_OR_RETURN(
+      ComponentId v_prime,
+      tb.config_db.ProvisionVolume(config_time, "V-prime", tb.pool1, 150));
+  DIADS_RETURN_IF_ERROR(tb.config_db.ChangeZoning(
+      config_time + Seconds(30), "app-zone-vprime",
+      {tb.app_hba_port, tb.subsystem_port1}));
+  DIADS_RETURN_IF_ERROR(tb.config_db.ChangeLunMapping(
+      config_time + Seconds(60), tb.app_server, v_prime));
+
+  // The application workload on V': write-heavy, steady, and — critically —
+  // not logged (the app server is outside the monitored environment).
+  san::IoProfile profile;
+  profile.write_iops = write_iops;
+  profile.read_iops = write_iops * 0.2;
+  profile.seq_fraction = 0.2;
+  profile.avg_block_kb = 8;
+  return workloads_.StartSteady(v_prime, load_window, profile,
+                                /*log_events=*/false,
+                                "unmonitored workload on V-prime");
+}
+
+Status FaultInjector::InjectExternalContention(ComponentId volume,
+                                               const TimeInterval& window,
+                                               double read_iops,
+                                               double write_iops) {
+  san::IoProfile profile;
+  profile.read_iops = read_iops;
+  profile.write_iops = write_iops;
+  profile.seq_fraction = 0.3;
+  return workloads_.StartSteady(
+      volume, window, profile, /*log_events=*/true,
+      StrFormat("external workload on %s",
+                testbed_->registry.NameOf(volume).c_str()));
+}
+
+Status FaultInjector::InjectBurstyLoad(ComponentId volume,
+                                       const TimeInterval& window,
+                                       double read_iops, SimTimeMs period,
+                                       SimTimeMs burst_len) {
+  // Read-heavy bursts: they inflate the backend queue (write *time* rises)
+  // without moving the write-operation counters much — the paper's Table 2
+  // shows exactly that split (V2 writeTime 0.879 vs writeIO 0.512).
+  san::IoProfile profile;
+  profile.read_iops = read_iops;
+  profile.write_iops = read_iops * 0.05;
+  profile.seq_fraction = 0.1;
+  return workloads_.StartBursty(
+      volume, window, profile, period, burst_len, /*log_events=*/false,
+      StrFormat("bursty load on %s",
+                testbed_->registry.NameOf(volume).c_str()));
+}
+
+Status FaultInjector::InjectDataPropertyChange(SimTimeMs t,
+                                               const std::string& table,
+                                               double factor) {
+  return testbed_->catalog.ApplyDml(
+      t, table, factor,
+      StrFormat("bulk DML changed data properties of '%s' (x%.2f rows)",
+                table.c_str(), factor));
+}
+
+Status FaultInjector::InjectLockContention(const TimeInterval& window,
+                                           const std::string& table,
+                                           SimTimeMs wait_ms,
+                                           double extra_locks_held) {
+  db::LockContentionWindow contention;
+  contention.table = table;
+  contention.window = window;
+  contention.wait_ms = wait_ms;
+  contention.extra_locks_held = extra_locks_held;
+  DIADS_RETURN_IF_ERROR(testbed_->locks.AddContention(contention));
+
+  Result<const db::TableDef*> def = testbed_->catalog.FindTable(table);
+  DIADS_RETURN_IF_ERROR(def.status());
+  SystemEvent event;
+  event.time = window.begin;
+  event.type = EventType::kTableLockContention;
+  event.subject = (*def)->id;
+  event.description = StrFormat(
+      "competing transaction holding locks on '%s' (%s waits)", table.c_str(),
+      FormatDuration(wait_ms).c_str());
+  event.attrs["table"] = table;
+  return testbed_->event_log.Append(std::move(event));
+}
+
+Status FaultInjector::InjectSpuriousVolumeSymptoms(ComponentId volume,
+                                                   const TimeInterval& window,
+                                                   double bias_fraction) {
+  monitor::NoiseOverride override_spec;
+  override_spec.component = volume;
+  override_spec.window = window;
+  override_spec.spec = monitor::NoiseSpec{};
+  override_spec.spec.gaussian_rel_sigma = 0.15;
+  override_spec.spec.bias_fraction = bias_fraction;
+  // Only latency-style metrics are biased: a stuck sensor or averaging
+  // artifact inflates times, not operation counts.
+  override_spec.metric = monitor::MetricId::kVolPhysWriteTimeMs;
+  testbed_->noise.AddOverride(override_spec);
+  override_spec.metric = monitor::MetricId::kVolPhysReadTimeMs;
+  testbed_->noise.AddOverride(override_spec);
+  override_spec.metric = monitor::MetricId::kVolReadLatencyMs;
+  testbed_->noise.AddOverride(override_spec);
+  override_spec.metric = monitor::MetricId::kVolWriteLatencyMs;
+  testbed_->noise.AddOverride(override_spec);
+  return Status::Ok();
+}
+
+Status FaultInjector::InjectRaidRebuild(ComponentId pool,
+                                        const TimeInterval& window,
+                                        double overhead_utilization) {
+  DIADS_RETURN_IF_ERROR(
+      testbed_->perf_model.AddPoolOverhead(pool, window,
+                                           overhead_utilization));
+  return testbed_->config_db.RecordRaidRebuild(window, pool);
+}
+
+Status FaultInjector::InjectDiskFailure(SimTimeMs t, ComponentId disk) {
+  return testbed_->config_db.FailDisk(t, disk);
+}
+
+Status FaultInjector::InjectDiskRecovery(SimTimeMs t, ComponentId disk) {
+  return testbed_->config_db.RecoverDisk(t, disk);
+}
+
+Status FaultInjector::InjectIndexDrop(SimTimeMs t,
+                                      const std::string& index_name) {
+  // Catalog::DropIndex logs the kIndexDropped event with the "index"
+  // attribute Module PD's what-if probe keys on.
+  return testbed_->catalog.DropIndex(t, index_name);
+}
+
+Status FaultInjector::InjectParamChange(SimTimeMs t, const std::string& param,
+                                        double new_value) {
+  Result<double> old_value = db::GetParamByName(testbed_->db_params, param);
+  DIADS_RETURN_IF_ERROR(old_value.status());
+  DIADS_RETURN_IF_ERROR(
+      db::SetParamByName(&testbed_->db_params, param, new_value));
+  SystemEvent event;
+  event.time = t;
+  event.type = EventType::kDbParamChanged;
+  event.subject = testbed_->database;
+  event.description = StrFormat("parameter '%s' changed %.2f -> %.2f",
+                                param.c_str(), *old_value, new_value);
+  event.attrs["param"] = param;
+  event.attrs["old_value"] = FormatDouble(*old_value, 6);
+  event.attrs["new_value"] = FormatDouble(new_value, 6);
+  return testbed_->event_log.Append(std::move(event));
+}
+
+Status FaultInjector::InjectAnalyze(SimTimeMs t, const std::string& table) {
+  // Catalog::Analyze logs kTableStatsChanged with table/old_row_count attrs.
+  return testbed_->catalog.Analyze(t, table);
+}
+
+Status FaultInjector::InjectCpuSaturation(const TimeInterval& window,
+                                          double utilization) {
+  return testbed_->perf_model.AddCpuLoad(testbed_->db_server, window,
+                                         utilization);
+}
+
+}  // namespace diads::workload

@@ -1,0 +1,95 @@
+// Fault injector (Section 6).
+//
+// "A fault injector that can inject a variety of faults at the database and
+// SAN levels, including SAN misconfiguration, server, disk, or volume
+// contention, RAID rebuilds, changes in data properties, and table-locking
+// problems. ... This module is used for test purposes and verification of
+// the correctness of the DIADS results."
+//
+// Every injector perturbs the real simulated state (SAN load, catalog
+// statistics, lock windows, noise overrides) and emits exactly the events a
+// production environment would log — no injector tells DIADS what the
+// answer is.
+#ifndef DIADS_WORKLOAD_FAULT_INJECTOR_H_
+#define DIADS_WORKLOAD_FAULT_INJECTOR_H_
+
+#include <string>
+
+#include "workload/external_workload.h"
+#include "workload/testbed.h"
+
+namespace diads::workload {
+
+/// Fault injection over a testbed.
+class FaultInjector {
+ public:
+  /// `testbed` must outlive the injector.
+  explicit FaultInjector(Testbed* testbed);
+
+  /// Scenario 1: a SAN misconfiguration. At `config_time` a new volume V'
+  /// is provisioned in V1's pool and zoned/mapped to the app server; from
+  /// `load_window.begin` the (unmonitored) application writes to V',
+  /// contending with V1 on the shared disks. Only configuration events are
+  /// logged — the workload itself is invisible to the monitoring tool.
+  Status InjectSanMisconfiguration(SimTimeMs config_time,
+                                   const TimeInterval& load_window,
+                                   double write_iops = 90.0);
+
+  /// Volume contention from a *known* external workload (logged).
+  Status InjectExternalContention(ComponentId volume,
+                                  const TimeInterval& window,
+                                  double read_iops, double write_iops);
+
+  /// Bursty load (Section 5's robustness twist on scenario 1).
+  Status InjectBurstyLoad(ComponentId volume, const TimeInterval& window,
+                          double read_iops, SimTimeMs period = Minutes(5),
+                          SimTimeMs burst_len = Seconds(30));
+
+  /// Scenario 3: bulk DML multiplies a table's actual row count; optimizer
+  /// statistics stay stale (no ANALYZE), so the plan is unchanged but
+  /// record counts and I/O drift.
+  Status InjectDataPropertyChange(SimTimeMs t, const std::string& table,
+                                  double factor);
+
+  /// Scenario 5: a competing transaction holds locks on `table`; scans
+  /// starting in the window wait `wait_ms`. Logs kTableLockContention.
+  Status InjectLockContention(const TimeInterval& window,
+                              const std::string& table, SimTimeMs wait_ms,
+                              double extra_locks_held = 12.0);
+
+  /// Scenario 5's second half: fabricate contention-like readings on a
+  /// volume's latency metrics (noise bias), with no real load behind them.
+  Status InjectSpuriousVolumeSymptoms(ComponentId volume,
+                                      const TimeInterval& window,
+                                      double bias_fraction = 1.5);
+
+  /// RAID rebuild on a pool: backend overhead on every disk + events.
+  Status InjectRaidRebuild(ComponentId pool, const TimeInterval& window,
+                           double overhead_utilization = 0.35);
+
+  /// Disk failure at `t`. Topology state has no time dimension, so the
+  /// disk stays failed until InjectDiskRecovery is called at the right
+  /// point of the simulated history.
+  Status InjectDiskFailure(SimTimeMs t, ComponentId disk);
+  Status InjectDiskRecovery(SimTimeMs t, ComponentId disk);
+
+  /// Plan-change faults: drop an index / change an optimizer parameter /
+  /// ANALYZE after data drift. Each logs the corresponding event with the
+  /// attributes Module PD's what-if probe needs.
+  Status InjectIndexDrop(SimTimeMs t, const std::string& index_name);
+  Status InjectParamChange(SimTimeMs t, const std::string& param,
+                           double new_value);
+  Status InjectAnalyze(SimTimeMs t, const std::string& table);
+
+  /// Database server CPU saturation from a competing job.
+  Status InjectCpuSaturation(const TimeInterval& window,
+                             double utilization = 0.85);
+
+ private:
+  Testbed* testbed_;
+  ExternalWorkloadGen workloads_;
+};
+
+}  // namespace diads::workload
+
+#endif  // DIADS_WORKLOAD_FAULT_INJECTOR_H_

@@ -1,0 +1,314 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace diads::workload {
+
+const char* ScenarioName(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kS1SanMisconfiguration:
+      return "S1-san-misconfiguration";
+    case ScenarioId::kS1bBurstyV2:
+      return "S1b-bursty-v2";
+    case ScenarioId::kS2DualExternalContention:
+      return "S2-dual-external-contention";
+    case ScenarioId::kS3DataPropertyChange:
+      return "S3-data-property-change";
+    case ScenarioId::kS4ConcurrentDbSan:
+      return "S4-concurrent-db-san";
+    case ScenarioId::kS5LockingWithNoise:
+      return "S5-locking-with-noise";
+    case ScenarioId::kS6IndexDrop:
+      return "S6-index-drop";
+    case ScenarioId::kS7ParamChange:
+      return "S7-param-change";
+    case ScenarioId::kS8AnalyzeAfterDrift:
+      return "S8-analyze-after-drift";
+    case ScenarioId::kS9CpuSaturation:
+      return "S9-cpu-saturation";
+    case ScenarioId::kS10RaidRebuild:
+      return "S10-raid-rebuild";
+    case ScenarioId::kS11DiskFailure:
+      return "S11-disk-failure";
+  }
+  return "?";
+}
+
+const char* ScenarioDescription(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kS1SanMisconfiguration:
+      return "SAN misconfiguration leading to contention in volume V1";
+    case ScenarioId::kS1bBurstyV2:
+      return "S1 plus bursty extra load on V2 with little query impact";
+    case ScenarioId::kS2DualExternalContention:
+      return "Contention caused by external workloads on volumes V1 and V2; "
+             "with only the former affecting query performance";
+    case ScenarioId::kS3DataPropertyChange:
+      return "SQL DML causes a subtle change in data properties; problem "
+             "propagates to SAN causing volume contention";
+    case ScenarioId::kS4ConcurrentDbSan:
+      return "Concurrent DB (change in data properties) and SAN "
+             "(misconfiguration) problems";
+    case ScenarioId::kS5LockingWithNoise:
+      return "DB problem (locking-based) and spurious symptoms of volume "
+             "contention due to noise";
+    case ScenarioId::kS6IndexDrop:
+      return "Index drop forces the optimizer onto a slower plan";
+    case ScenarioId::kS7ParamChange:
+      return "random_page_cost misconfiguration flips the plan";
+    case ScenarioId::kS8AnalyzeAfterDrift:
+      return "ANALYZE after silent data drift changes the plan";
+    case ScenarioId::kS9CpuSaturation:
+      return "A competing job saturates the database server's CPUs";
+    case ScenarioId::kS10RaidRebuild:
+      return "RAID rebuild on V1's pool steals backend bandwidth";
+    case ScenarioId::kS11DiskFailure:
+      return "Disk failure concentrates V1's load on the surviving disks";
+  }
+  return "?";
+}
+
+diag::DiagnosisContext ScenarioOutput::MakeContext() const {
+  diag::DiagnosisContext ctx;
+  ctx.runs = &testbed->runs;
+  ctx.query = "Q2";
+  ctx.store = &testbed->store;
+  ctx.events = &testbed->event_log;
+  ctx.apg = apg.get();
+  ctx.topology = &testbed->topology;
+  ctx.catalog = &testbed->catalog;
+  ctx.database = testbed->database;
+  ctx.plan_whatif_probe = testbed->MakeWhatIfProber();
+  return ctx;
+}
+
+bool MatchesGroundTruth(const GroundTruthCause& truth,
+                        const diag::RootCause& cause,
+                        const ComponentRegistry& registry) {
+  if (truth.type != cause.type) return false;
+  if (truth.subject_name.empty()) return true;
+  if (!registry.Contains(cause.subject)) return false;
+  return registry.NameOf(cause.subject) == truth.subject_name;
+}
+
+namespace {
+
+/// Executes `count` Q2 runs starting at `*cursor`, advancing it by the
+/// period. Returns the covered interval.
+Result<TimeInterval> RunBatch(Testbed& tb, int count, SimTimeMs* cursor,
+                              SimTimeMs period,
+                              std::shared_ptr<const db::Plan> plan) {
+  const SimTimeMs begin = *cursor;
+  SimTimeMs last_end = begin;
+  for (int i = 0; i < count; ++i) {
+    Result<int> run = tb.RunQ2(*cursor, plan);
+    DIADS_RETURN_IF_ERROR(run.status());
+    Result<const db::QueryRunRecord*> record = tb.runs.FindRun(*run);
+    DIADS_RETURN_IF_ERROR(record.status());
+    last_end = (*record)->interval.end;
+    *cursor += period;
+    if (*cursor < last_end) {
+      // A run overran its slot (heavily degraded system): keep runs
+      // non-overlapping, the next starts right after with a small gap.
+      *cursor = last_end + Minutes(1);
+    }
+  }
+  return TimeInterval{begin, last_end};
+}
+
+/// The ambient background every scenario shares: app workloads on V3/V4.
+Status StartBackground(Testbed& tb, ExternalWorkloadGen& gen,
+                       const TimeInterval& span) {
+  // 20-minute re-roll: enough run-to-run variance to keep every KDE
+  // baseline honest, without multi-hour drifts that would make healthy
+  // volumes look anomalous between the two labelling windows.
+  san::IoProfile v3_profile;
+  v3_profile.read_iops = 25;
+  v3_profile.write_iops = 12;
+  v3_profile.seq_fraction = 0.4;
+  DIADS_RETURN_IF_ERROR(
+      gen.StartAmbient(tb.v3, span, v3_profile, Minutes(20)));
+  san::IoProfile v4_profile;
+  v4_profile.read_iops = 35;
+  v4_profile.write_iops = 15;
+  v4_profile.seq_fraction = 0.5;
+  DIADS_RETURN_IF_ERROR(
+      gen.StartAmbient(tb.v4, span, v4_profile, Minutes(20)));
+  // Light steady CPU noise on the database server.
+  return tb.perf_model.AddCpuLoad(tb.db_server, span, 0.08);
+}
+
+}  // namespace
+
+Result<ScenarioOutput> RunScenario(ScenarioId id,
+                                   const ScenarioOptions& options) {
+  ScenarioOptions opts = options;
+  opts.testbed.seed = options.seed;
+  DIADS_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> tb,
+                         BuildFigure1Testbed(opts.testbed));
+  ExternalWorkloadGen workloads(tb.get());
+  FaultInjector injector(tb.get());
+
+  const SimTimeMs t0 = opts.start;
+  // Generous horizon estimate; background load must cover everything.
+  const SimTimeMs horizon =
+      t0 + opts.period * (opts.satisfactory_runs + opts.unsatisfactory_runs +
+                          8) +
+      Hours(6);
+  DIADS_RETURN_IF_ERROR(
+      StartBackground(*tb, workloads, TimeInterval{t0 - Hours(1), horizon}));
+
+  const bool plan_change_scenario = id == ScenarioId::kS6IndexDrop ||
+                                    id == ScenarioId::kS7ParamChange ||
+                                    id == ScenarioId::kS8AnalyzeAfterDrift;
+
+  // Pre-fault plan: the Figure-1 paper plan for the Table-1 scenarios, the
+  // optimizer's choice for the plan-change scenarios.
+  std::shared_ptr<const db::Plan> pre_plan = tb->paper_plan;
+  if (plan_change_scenario) {
+    if (id == ScenarioId::kS8AnalyzeAfterDrift) {
+      // Silent drift before the history: part grew 8x, the optimizer does
+      // not know yet. The satisfactory era runs a stale-statistics plan;
+      // the ANALYZE at the fault point flips the join strategy.
+      DIADS_RETURN_IF_ERROR(tb->catalog.ApplyDml(
+          t0 - Hours(2), "part", 8.0,
+          "silent data drift (part grew 8x) before the run history"));
+    }
+    DIADS_ASSIGN_OR_RETURN(db::Plan plan, tb->OptimizeQ2());
+    pre_plan = std::make_shared<const db::Plan>(std::move(plan));
+  }
+
+  SimTimeMs cursor = t0;
+  DIADS_ASSIGN_OR_RETURN(
+      TimeInterval sat_span,
+      RunBatch(*tb, opts.satisfactory_runs, &cursor, opts.period, pre_plan));
+
+  // --- Fault injection at the transition ----------------------------------
+  const SimTimeMs t_fault = cursor + Minutes(2);
+  cursor = t_fault + Minutes(8);
+  const TimeInterval fault_window{t_fault, horizon};
+  ScenarioOutput out;
+  out.id = id;
+
+  switch (id) {
+    case ScenarioId::kS1SanMisconfiguration:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectSanMisconfiguration(t_fault, fault_window));
+      out.ground_truth = {{diag::RootCauseType::kSanMisconfigurationContention,
+                           "V1", true}};
+      break;
+    case ScenarioId::kS1bBurstyV2:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectSanMisconfiguration(t_fault, fault_window));
+      DIADS_RETURN_IF_ERROR(injector.InjectBurstyLoad(
+          tb->v2, fault_window, 620.0, Minutes(5), Seconds(45)));
+      out.ground_truth = {{diag::RootCauseType::kSanMisconfigurationContention,
+                           "V1", true}};
+      break;
+    case ScenarioId::kS2DualExternalContention:
+      DIADS_RETURN_IF_ERROR(injector.InjectExternalContention(
+          tb->v1, fault_window, 30.0, 95.0));
+      DIADS_RETURN_IF_ERROR(injector.InjectExternalContention(
+          tb->v2, fault_window, 80.0, 20.0));
+      out.ground_truth = {
+          {diag::RootCauseType::kExternalWorkloadContention, "V1", true}};
+      break;
+    case ScenarioId::kS3DataPropertyChange:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectDataPropertyChange(t_fault, "partsupp", 1.7));
+      out.ground_truth = {{diag::RootCauseType::kDataPropertyChange,
+                           "table:partsupp", true}};
+      break;
+    case ScenarioId::kS4ConcurrentDbSan:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectDataPropertyChange(t_fault, "partsupp", 1.5));
+      DIADS_RETURN_IF_ERROR(injector.InjectSanMisconfiguration(
+          t_fault + Minutes(1), fault_window));
+      out.ground_truth = {
+          {diag::RootCauseType::kSanMisconfigurationContention, "V1", true},
+          {diag::RootCauseType::kDataPropertyChange, "table:partsupp", true}};
+      break;
+    case ScenarioId::kS5LockingWithNoise:
+      DIADS_RETURN_IF_ERROR(injector.InjectLockContention(
+          fault_window, "partsupp", Seconds(40)));
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectSpuriousVolumeSymptoms(tb->v2, fault_window, 1.5));
+      out.ground_truth = {
+          {diag::RootCauseType::kLockContention, "table:partsupp", true}};
+      break;
+    case ScenarioId::kS6IndexDrop:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectIndexDrop(t_fault, "partsupp_partkey_idx"));
+      out.ground_truth = {{diag::RootCauseType::kPlanChange, "", true}};
+      break;
+    case ScenarioId::kS7ParamChange:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectParamChange(t_fault, "random_page_cost", 40.0));
+      out.ground_truth = {{diag::RootCauseType::kPlanChange, "", true}};
+      break;
+    case ScenarioId::kS8AnalyzeAfterDrift:
+      DIADS_RETURN_IF_ERROR(injector.InjectAnalyze(t_fault, "part"));
+      out.ground_truth = {{diag::RootCauseType::kPlanChange, "", true}};
+      break;
+    case ScenarioId::kS9CpuSaturation:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectCpuSaturation(fault_window, 0.72));
+      out.ground_truth = {
+          {diag::RootCauseType::kCpuSaturation, "postgres@dbserver", true}};
+      break;
+    case ScenarioId::kS10RaidRebuild:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectRaidRebuild(tb->pool1, fault_window, 0.45));
+      out.ground_truth = {{diag::RootCauseType::kRaidRebuild, "V1", true}};
+      break;
+    case ScenarioId::kS11DiskFailure: {
+      Result<ComponentId> disk1 = tb->registry.FindByName("disk1");
+      DIADS_RETURN_IF_ERROR(disk1.status());
+      DIADS_RETURN_IF_ERROR(injector.InjectDiskFailure(t_fault, *disk1));
+      // The array reacts as a real DS6000 would: an automatic RAID rebuild
+      // onto the hot spare, stealing backend bandwidth from the survivors.
+      DIADS_RETURN_IF_ERROR(injector.InjectRaidRebuild(
+          tb->pool1, TimeInterval{t_fault + Minutes(1), fault_window.end},
+          0.30));
+      out.ground_truth = {{diag::RootCauseType::kDiskFailure, "V1", true},
+                          {diag::RootCauseType::kRaidRebuild, "V1", true}};
+      break;
+    }
+  }
+
+  // Post-fault plan: re-optimized for plan-change scenarios.
+  std::shared_ptr<const db::Plan> post_plan = pre_plan;
+  if (plan_change_scenario) {
+    DIADS_ASSIGN_OR_RETURN(db::Plan plan, tb->OptimizeQ2());
+    post_plan = std::make_shared<const db::Plan>(std::move(plan));
+  }
+
+  DIADS_ASSIGN_OR_RETURN(
+      TimeInterval unsat_span,
+      RunBatch(*tb, opts.unsatisfactory_runs, &cursor, opts.period,
+               post_plan));
+
+  // --- Monitoring, labelling, APG ------------------------------------------
+  DIADS_RETURN_IF_ERROR(
+      tb->CollectMonitors(t0 - Minutes(30), unsat_span.end + Minutes(30)));
+  DIADS_RETURN_IF_ERROR(tb->runs.LabelByTimeWindow(
+      "Q2", TimeInterval{t0 - Minutes(1), t_fault},
+      db::RunLabel::kSatisfactory));
+  DIADS_RETURN_IF_ERROR(tb->runs.LabelByTimeWindow(
+      "Q2", TimeInterval{t_fault, unsat_span.end + Minutes(1)},
+      db::RunLabel::kUnsatisfactory));
+
+  // The APG is built for the plan under diagnosis: the shared plan for
+  // same-plan scenarios, the *pre-fault* plan for plan-change ones (PD
+  // stops the drill-down there anyway).
+  DIADS_ASSIGN_OR_RETURN(apg::Apg apg, tb->BuildApg(pre_plan));
+  out.apg = std::make_unique<apg::Apg>(std::move(apg));
+  out.satisfactory_window = sat_span;
+  out.unsatisfactory_window = unsat_span;
+  out.testbed = std::move(tb);
+  return out;
+}
+
+}  // namespace diads::workload

@@ -1,0 +1,100 @@
+// The evaluation scenarios (Table 1 of the paper, plus plan-change extras).
+//
+// Each scenario builds a fresh Figure-1 testbed, executes a history of
+// periodic Q2 runs (the report-generation workload), injects its fault(s)
+// at the transition point, executes the post-fault runs, collects the
+// monitors over the whole span, and labels runs by time window — the
+// paper's "all runs from 8 AM to 2 PM were satisfactory" style of
+// declarative labelling.
+//
+//   S1  SAN misconfiguration -> contention in V1             (Table 1, row 1)
+//   S1b S1 plus bursty, low-impact extra load on V2          (Section 5 twist)
+//   S2  External workloads on V1 and V2; only V1's matters   (row 2)
+//   S3  DML changes data properties; propagates to the SAN   (row 3)
+//   S4  Concurrent DB (data properties) + SAN (misconfig)    (row 4)
+//   S5  Lock contention + spurious V2 contention symptoms    (row 5)
+//   S6  Index drop changes the plan                          (Module PD)
+//   S7  random_page_cost change flips the plan               (Module PD)
+//   S8  ANALYZE after silent data drift changes the plan     (Module PD)
+//   S9  Database server CPU saturation                       (Section 6's
+//   S10 RAID rebuild on V1's pool                             injector list:
+//   S11 Disk failure in V1's pool                             "server, disk,
+//                                                             or volume
+//                                                             contention,
+//                                                             RAID rebuilds")
+#ifndef DIADS_WORKLOAD_SCENARIO_H_
+#define DIADS_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apg/apg.h"
+#include "diads/diagnosis.h"
+#include "workload/fault_injector.h"
+#include "workload/testbed.h"
+
+namespace diads::workload {
+
+enum class ScenarioId {
+  kS1SanMisconfiguration,
+  kS1bBurstyV2,
+  kS2DualExternalContention,
+  kS3DataPropertyChange,
+  kS4ConcurrentDbSan,
+  kS5LockingWithNoise,
+  kS6IndexDrop,
+  kS7ParamChange,
+  kS8AnalyzeAfterDrift,
+  kS9CpuSaturation,
+  kS10RaidRebuild,
+  kS11DiskFailure,
+};
+
+const char* ScenarioName(ScenarioId id);
+const char* ScenarioDescription(ScenarioId id);
+
+struct ScenarioOptions {
+  uint64_t seed = 42;
+  int satisfactory_runs = 20;
+  int unsatisfactory_runs = 10;
+  SimTimeMs period = Minutes(30);     ///< Gap between run starts.
+  SimTimeMs start = Hours(8);         ///< Day-0 08:00.
+  TestbedOptions testbed;
+};
+
+/// What the injector actually did — the answer key for evaluation.
+struct GroundTruthCause {
+  diag::RootCauseType type;
+  std::string subject_name;  ///< Registry name ("V1", "table:partsupp", ...).
+  bool primary = true;       ///< False for injected-but-negligible faults.
+};
+
+/// A finished scenario: the testbed (owning all state), the APG of the
+/// diagnosed plan, labelled windows, and the ground truth.
+struct ScenarioOutput {
+  std::unique_ptr<Testbed> testbed;
+  std::unique_ptr<apg::Apg> apg;
+  TimeInterval satisfactory_window;
+  TimeInterval unsatisfactory_window;
+  std::vector<GroundTruthCause> ground_truth;
+  ScenarioId id = ScenarioId::kS1SanMisconfiguration;
+
+  /// Assembles the DiagnosisContext over this scenario's state. The output
+  /// borrows from `testbed` and `apg`; keep the ScenarioOutput alive.
+  diag::DiagnosisContext MakeContext() const;
+};
+
+/// Runs a scenario end to end.
+Result<ScenarioOutput> RunScenario(ScenarioId id,
+                                   const ScenarioOptions& options = {});
+
+/// True if `cause` matches a ground-truth entry (type and, when the truth
+/// names a subject, subject).
+bool MatchesGroundTruth(const GroundTruthCause& truth,
+                        const diag::RootCause& cause,
+                        const ComponentRegistry& registry);
+
+}  // namespace diads::workload
+
+#endif  // DIADS_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,134 @@
+// The Figure-1 testbed.
+//
+// Assembles the complete evaluation environment of Section 5: a PostgreSQL-
+// like database on a RedHat server, connected through an edge/core FC
+// fabric to an IBM DS6000-class storage subsystem with two RAID pools —
+// P1 (disks 1-4) carrying volumes V1 and V3, P2 (disks 5-10) carrying V2
+// and V4 — plus a second application server whose workloads drive V3/V4 as
+// ambient background (the "production SAN ... shared by other applications"
+// of Section 5). TPC-H tables are laid out with partsupp on V1 and
+// everything else on V2, and the Figure-1 Q2 plan (25 operators, leaves O8
+// and O22 on V1) is preloaded.
+#ifndef DIADS_WORKLOAD_TESTBED_H_
+#define DIADS_WORKLOAD_TESTBED_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apg/apg.h"
+#include "common/event_log.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "db/buffer_pool.h"
+#include "db/catalog.h"
+#include "db/db_activity.h"
+#include "db/executor.h"
+#include "db/lock_manager.h"
+#include "db/optimizer.h"
+#include "db/paper_plan.h"
+#include "db/query.h"
+#include "db/run_record.h"
+#include "db/tpch.h"
+#include "monitor/noise.h"
+#include "monitor/san_collector.h"
+#include "monitor/timeseries.h"
+#include "san/config_db.h"
+#include "san/perf_model.h"
+#include "san/topology.h"
+
+namespace diads::workload {
+
+/// Testbed construction knobs.
+struct TestbedOptions {
+  uint64_t seed = 42;
+  double scale_factor = 1.0;
+  SimTimeMs monitoring_interval = Minutes(5);
+  /// Small enough that partsupp does not fully fit — its scans do real I/O.
+  double buffer_pool_mb = 96.0;
+  db::DbParams db_params;
+  /// Production-realistic measurement noise (Section 1.1: coarse intervals
+  /// make the data noisy): 12% multiplicative jitter, occasional spikes,
+  /// and dropped samples (a dropped sample makes DIADS fall back to the
+  /// previous, possibly stale, reading).
+  monitor::NoiseSpec default_noise{/*gaussian_rel_sigma=*/0.12,
+                                   /*spike_prob=*/0.02,
+                                   /*spike_scale=*/2.5,
+                                   /*dropout_prob=*/0.08,
+                                   /*bias_fraction=*/0.0};
+};
+
+/// The assembled environment. Non-copyable, non-movable (members hold
+/// pointers into each other); create via BuildFigure1Testbed.
+class Testbed {
+ public:
+  explicit Testbed(const TestbedOptions& options);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // --- Sub-systems, in dependency order -----------------------------------
+  TestbedOptions options;
+  SeededRng rng;
+  ComponentRegistry registry;
+  EventLog event_log;
+  san::SanTopology topology;
+  san::ConfigDatabase config_db;
+  san::SanPerfModel perf_model;
+  monitor::TimeSeriesStore store;
+  monitor::NoiseModel noise;
+  monitor::SanCollector san_collector;
+  db::Catalog catalog;
+  db::BufferPool buffer_pool;
+  db::LockManager locks;
+  db::DbActivityModel activity;
+  db::DbCollector db_collector;
+  db::DbParams db_params;        ///< Live executor/optimizer parameters.
+  db::RunCatalog runs;
+  apg::ApgBuilder apg_builder;
+
+  // --- Named components (populated by BuildFigure1Testbed) ----------------
+  ComponentId db_server, app_server;
+  ComponentId db_hba_port, app_hba_port;
+  ComponentId edge_switch1, core_switch, edge_switch2;
+  ComponentId subsystem, subsystem_port0, subsystem_port1;
+  ComponentId pool1, pool2;
+  ComponentId v1, v2, v3, v4;
+  ComponentId database;   ///< The kDatabase component.
+  ComponentId query_q2;   ///< The kQuery component.
+  ComponentId workload_v3, workload_v4;  ///< Ambient background workloads.
+
+  db::QuerySpec q2_spec;
+  std::shared_ptr<const db::Plan> paper_plan;
+
+  // --- Operations -----------------------------------------------------------
+  /// Executes one Q2 run at `at` with the given plan (nullptr = paper plan)
+  /// and appends it to the run catalog. Returns the run id.
+  Result<int> RunQ2(SimTimeMs at, std::shared_ptr<const db::Plan> plan = nullptr);
+
+  /// Plans Q2 with the current optimizer statistics and parameters.
+  Result<db::Plan> OptimizeQ2() const;
+
+  /// Runs both collectors over [from, to) on the monitoring grid.
+  Status CollectMonitors(SimTimeMs from, SimTimeMs to);
+
+  /// Builds the APG for the given plan (default: the paper plan).
+  Result<apg::Apg> BuildApg(std::shared_ptr<const db::Plan> plan = nullptr);
+
+  /// Module PD's what-if probe over this testbed's catalog/params: reverts
+  /// the event, re-optimizes Q2, restores, and returns the fingerprint.
+  std::function<Result<uint64_t>(const SystemEvent&)> MakeWhatIfProber();
+
+ private:
+  db::Executor MakeExecutor();
+};
+
+/// Builds the Figure-1 environment. Fails only on internal inconsistencies
+/// (the topology is validated before return).
+Result<std::unique_ptr<Testbed>> BuildFigure1Testbed(
+    const TestbedOptions& options = {});
+
+}  // namespace diads::workload
+
+#endif  // DIADS_WORKLOAD_TESTBED_H_

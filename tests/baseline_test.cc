@@ -1,0 +1,134 @@
+// Tests for the silo-tool baselines, checking the failure modes Section 5
+// predicts for them: the SAN-only tool implicates every loaded volume and
+// over-weights the data-heavy V2; the DB-only tool pins SAN problems on
+// generic database causes.
+#include <gtest/gtest.h>
+
+#include "baseline/db_only.h"
+#include "baseline/san_only.h"
+#include "workload/scenario.h"
+
+namespace diads::baseline {
+namespace {
+
+using workload::RunScenario;
+using workload::ScenarioId;
+using workload::ScenarioOutput;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Result<ScenarioOutput> s1b = RunScenario(ScenarioId::kS1bBurstyV2, {});
+    ASSERT_TRUE(s1b.ok()) << s1b.status().ToString();
+    s1b_ = new ScenarioOutput(std::move(*s1b));
+    Result<ScenarioOutput> s5 = RunScenario(ScenarioId::kS5LockingWithNoise, {});
+    ASSERT_TRUE(s5.ok()) << s5.status().ToString();
+    s5_ = new ScenarioOutput(std::move(*s5));
+  }
+  static void TearDownTestSuite() {
+    delete s5_;
+    delete s1b_;
+    s5_ = nullptr;
+    s1b_ = nullptr;
+  }
+  static ScenarioOutput* s1b_;
+  static ScenarioOutput* s5_;
+};
+
+ScenarioOutput* BaselineTest::s1b_ = nullptr;
+ScenarioOutput* BaselineTest::s5_ = nullptr;
+
+TEST_F(BaselineTest, SanOnlyImplicatesBothVolumesInScenario1b) {
+  // "a SAN-only diagnosis tool may spot higher I/O loads in both V1 and
+  // V2, and attribute both of these as potential root causes."
+  SanOnlyDiagnoser diagnoser(&s1b_->testbed->topology, &s1b_->testbed->store);
+  Result<std::vector<SanOnlyCause>> causes = diagnoser.Diagnose(
+      s1b_->satisfactory_window, s1b_->unsatisfactory_window);
+  ASSERT_TRUE(causes.ok()) << causes.status().ToString();
+  bool v1 = false, v2 = false;
+  for (const SanOnlyCause& cause : *causes) {
+    if (cause.volume == s1b_->testbed->v1) v1 = true;
+    if (cause.volume == s1b_->testbed->v2) v2 = true;
+  }
+  EXPECT_TRUE(v1);
+  EXPECT_TRUE(v2);  // The false positive DIADS avoids.
+}
+
+TEST_F(BaselineTest, SanOnlyDataShareHeuristicBoostsV2) {
+  // "Even worse, the tool may give more importance to V2 because most of
+  // the data is on V2": with comparable anomaly scores, V2's larger data
+  // share raises its rank score.
+  SanOnlyDiagnoser diagnoser(&s1b_->testbed->topology, &s1b_->testbed->store);
+  std::vector<SanOnlyCause> causes =
+      diagnoser
+          .Diagnose(s1b_->satisfactory_window, s1b_->unsatisfactory_window)
+          .value();
+  const SanOnlyCause* v1_cause = nullptr;
+  const SanOnlyCause* v2_cause = nullptr;
+  for (const SanOnlyCause& cause : causes) {
+    if (cause.volume == s1b_->testbed->v1) v1_cause = &cause;
+    if (cause.volume == s1b_->testbed->v2) v2_cause = &cause;
+  }
+  ASSERT_NE(v1_cause, nullptr);
+  ASSERT_NE(v2_cause, nullptr);
+  EXPECT_GT(v2_cause->data_share, v1_cause->data_share);
+  // The rank bump: V2's rank/anomaly ratio exceeds V1's.
+  EXPECT_GT(v2_cause->rank_score / v2_cause->anomaly_score,
+            v1_cause->rank_score / v1_cause->anomaly_score);
+}
+
+TEST_F(BaselineTest, DbOnlyBlamesGenericCausesForSanProblem) {
+  // "A database-only tool ... would likely give several false positives
+  // like a suboptimal buffer pool setting or a suboptimal choice of
+  // execution plan."
+  DbOnlyDiagnoser diagnoser(&s1b_->testbed->runs, &s1b_->testbed->store,
+                            s1b_->testbed->database);
+  Result<std::vector<DbOnlyCause>> causes = diagnoser.Diagnose("Q2");
+  ASSERT_TRUE(causes.ok()) << causes.status().ToString();
+  ASSERT_FALSE(causes->empty());
+  bool buffer_pool = false, plan_choice = false;
+  for (const DbOnlyCause& cause : *causes) {
+    if (cause.mapped_type == diag::RootCauseType::kBufferPoolPressure) {
+      buffer_pool = true;
+    }
+    if (cause.mapped_type == diag::RootCauseType::kPlanChange) {
+      plan_choice = true;
+    }
+  }
+  EXPECT_TRUE(buffer_pool);
+  EXPECT_TRUE(plan_choice);
+  // And none of them is the actual cause (SAN misconfiguration is not even
+  // in the DB-only vocabulary).
+}
+
+TEST_F(BaselineTest, DbOnlyDoesFindLockContention) {
+  // The silo tool is not useless: a genuinely database-local problem (S5's
+  // locking) is within its reach.
+  DbOnlyDiagnoser diagnoser(&s5_->testbed->runs, &s5_->testbed->store,
+                            s5_->testbed->database);
+  Result<std::vector<DbOnlyCause>> causes = diagnoser.Diagnose("Q2");
+  ASSERT_TRUE(causes.ok());
+  ASSERT_FALSE(causes->empty());
+  EXPECT_EQ(causes->front().mapped_type,
+            diag::RootCauseType::kLockContention);
+}
+
+TEST_F(BaselineTest, SanOnlyRequiresWindows) {
+  SanOnlyDiagnoser diagnoser(&s1b_->testbed->topology, &s1b_->testbed->store);
+  // Degenerate windows yield no baseline samples and no causes rather than
+  // an error.
+  Result<std::vector<SanOnlyCause>> causes =
+      diagnoser.Diagnose(TimeInterval{0, 1}, TimeInterval{1, 2});
+  ASSERT_TRUE(causes.ok());
+  EXPECT_TRUE(causes->empty());
+}
+
+TEST_F(BaselineTest, DbOnlyRequiresLabelledRuns) {
+  db::RunCatalog empty;
+  monitor::TimeSeriesStore store;
+  DbOnlyDiagnoser diagnoser(&empty, &store, ComponentId{0});
+  EXPECT_FALSE(diagnoser.Diagnose("Q2").ok());
+}
+
+}  // namespace
+}  // namespace diads::baseline

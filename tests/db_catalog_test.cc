@@ -1,0 +1,189 @@
+// Unit tests for the database catalog and the TPC-H layout: tablespace ->
+// volume mapping, dual statistics, schema-change event emission.
+#include <gtest/gtest.h>
+
+#include "common/event_log.h"
+#include "db/catalog.h"
+#include "db/tpch.h"
+
+namespace diads::db {
+namespace {
+
+struct CatalogFixture {
+  ComponentRegistry registry;
+  EventLog events;
+  ComponentId v1{0}, v2{1};
+  Catalog catalog{&registry, &events};
+
+  CatalogFixture() {
+    v1 = registry.MustRegister(ComponentKind::kVolume, "V1");
+    v2 = registry.MustRegister(ComponentKind::kVolume, "V2");
+  }
+};
+
+TEST(CatalogTest, TablespaceVolumeMapping) {
+  CatalogFixture f;
+  ASSERT_TRUE(f.catalog
+                  .AddTablespace("ts1", f.v1, StorageMode::kSystemManaged)
+                  .ok());
+  ASSERT_TRUE(f.catalog
+                  .AddTable("t", "ts1", TableStats{1000, 100},
+                            {{"c", 1000, 8}})
+                  .ok());
+  Result<ComponentId> volume = f.catalog.VolumeOfTable("t");
+  ASSERT_TRUE(volume.ok());
+  EXPECT_EQ(*volume, f.v1);
+  EXPECT_FALSE(f.catalog.VolumeOfTable("missing").ok());
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndDanglingRefs) {
+  CatalogFixture f;
+  ASSERT_TRUE(f.catalog
+                  .AddTablespace("ts1", f.v1, StorageMode::kDatabaseManaged)
+                  .ok());
+  EXPECT_FALSE(f.catalog
+                   .AddTablespace("ts1", f.v2, StorageMode::kSystemManaged)
+                   .ok());
+  EXPECT_FALSE(
+      f.catalog.AddTable("t", "nope", TableStats{10, 10}, {}).ok());
+  ASSERT_TRUE(
+      f.catalog.AddTable("t", "ts1", TableStats{10, 10}, {{"c", 5, 4}}).ok());
+  EXPECT_FALSE(
+      f.catalog.AddTable("t", "ts1", TableStats{10, 10}, {}).ok());
+  // Index on a missing column.
+  EXPECT_FALSE(f.catalog.AddIndex("i", "t", "zzz", false, 0.5).ok());
+}
+
+TEST(CatalogTest, PagesDeriveFromStats) {
+  TableStats stats{8192, 100};
+  EXPECT_NEAR(stats.pages(), 100.0, 1e-9);
+}
+
+TEST(CatalogTest, DmlMovesActualNotOptimizer) {
+  CatalogFixture f;
+  ASSERT_TRUE(f.catalog
+                  .AddTablespace("ts1", f.v1, StorageMode::kSystemManaged)
+                  .ok());
+  ASSERT_TRUE(f.catalog
+                  .AddTable("t", "ts1", TableStats{1000, 100}, {{"c", 10, 4}})
+                  .ok());
+  ASSERT_TRUE(f.catalog.ApplyDml(100, "t", 2.0, "").ok());
+  const TableDef* table = f.catalog.FindTable("t").value();
+  EXPECT_DOUBLE_EQ(table->actual_stats.row_count, 2000);
+  EXPECT_DOUBLE_EQ(table->optimizer_stats.row_count, 1000);
+  // ANALYZE syncs them.
+  ASSERT_TRUE(f.catalog.Analyze(200, "t").ok());
+  table = f.catalog.FindTable("t").value();
+  EXPECT_DOUBLE_EQ(table->optimizer_stats.row_count, 2000);
+}
+
+TEST(CatalogTest, SchemaChangesEmitEventsWithProbeAttrs) {
+  CatalogFixture f;
+  ASSERT_TRUE(f.catalog
+                  .AddTablespace("ts1", f.v1, StorageMode::kSystemManaged)
+                  .ok());
+  ASSERT_TRUE(f.catalog
+                  .AddTable("t", "ts1", TableStats{1000, 100}, {{"c", 10, 4}})
+                  .ok());
+  ASSERT_TRUE(f.catalog.AddIndex("t_c_idx", "t", "c", false, 0.5).ok());
+  ASSERT_TRUE(f.catalog.DropIndex(100, "t_c_idx").ok());
+  ASSERT_TRUE(f.catalog.ApplyDml(200, "t", 1.5, "").ok());
+  ASSERT_TRUE(f.catalog.Analyze(300, "t").ok());
+  ASSERT_TRUE(f.catalog.RecreateIndex(400, "t_c_idx").ok());
+
+  ASSERT_EQ(f.events.size(), 4u);
+  EXPECT_EQ(f.events.all()[0].type, EventType::kIndexDropped);
+  EXPECT_EQ(f.events.all()[0].attrs.at("index"), "t_c_idx");
+  EXPECT_EQ(f.events.all()[1].type, EventType::kDmlBatch);
+  EXPECT_EQ(f.events.all()[2].type, EventType::kTableStatsChanged);
+  EXPECT_EQ(f.events.all()[2].attrs.at("old_row_count"), "1000");
+  EXPECT_EQ(f.events.all()[3].type, EventType::kIndexCreated);
+}
+
+TEST(CatalogTest, DropLifecycle) {
+  CatalogFixture f;
+  ASSERT_TRUE(f.catalog
+                  .AddTablespace("ts1", f.v1, StorageMode::kSystemManaged)
+                  .ok());
+  ASSERT_TRUE(f.catalog
+                  .AddTable("t", "ts1", TableStats{1000, 100}, {{"c", 10, 4}})
+                  .ok());
+  ASSERT_TRUE(f.catalog.AddIndex("i", "t", "c", false, 0.5).ok());
+  EXPECT_EQ(f.catalog.IndexesOn("t").size(), 1u);
+  ASSERT_TRUE(f.catalog.DropIndex(1, "i").ok());
+  EXPECT_TRUE(f.catalog.IndexesOn("t").empty());
+  // Double drop fails.
+  EXPECT_FALSE(f.catalog.DropIndex(2, "i").ok());
+  ASSERT_TRUE(f.catalog.RecreateIndex(3, "i").ok());
+  EXPECT_EQ(f.catalog.IndexesOn("t", "c").size(), 1u);
+}
+
+TEST(CatalogTest, SilentMutatorsDoNotLog) {
+  CatalogFixture f;
+  ASSERT_TRUE(f.catalog
+                  .AddTablespace("ts1", f.v1, StorageMode::kSystemManaged)
+                  .ok());
+  ASSERT_TRUE(f.catalog
+                  .AddTable("t", "ts1", TableStats{1000, 100}, {{"c", 10, 4}})
+                  .ok());
+  ASSERT_TRUE(f.catalog.AddIndex("i", "t", "c", false, 0.5).ok());
+  ASSERT_TRUE(f.catalog.SetIndexDroppedSilently("i", true).ok());
+  ASSERT_TRUE(
+      f.catalog.SetOptimizerStatsSilently("t", TableStats{77, 100}).ok());
+  EXPECT_EQ(f.events.size(), 0u);
+  EXPECT_TRUE(f.catalog.IndexesOn("t").empty());
+  EXPECT_DOUBLE_EQ(
+      f.catalog.FindTable("t").value()->optimizer_stats.row_count, 77);
+}
+
+// --- TPC-H layout ----------------------------------------------------------------
+
+TEST(TpchTest, BuildsPaperLayout) {
+  CatalogFixture f;
+  TpchOptions options;
+  options.scale_factor = 1.0;
+  options.volume_v1 = f.v1;
+  options.volume_v2 = f.v2;
+  ASSERT_TRUE(BuildTpchCatalog(options, &f.catalog).ok());
+
+  // partsupp on V1, everything else on V2 (the Figure-1 layout).
+  EXPECT_EQ(*f.catalog.VolumeOfTable("partsupp"), f.v1);
+  for (const char* table : {"part", "supplier", "nation", "region"}) {
+    EXPECT_EQ(*f.catalog.VolumeOfTable(table), f.v2) << table;
+  }
+  // Scale-factor-1 cardinalities.
+  EXPECT_DOUBLE_EQ(
+      f.catalog.FindTable("partsupp").value()->actual_stats.row_count, 800000);
+  EXPECT_DOUBLE_EQ(
+      f.catalog.FindTable("part").value()->actual_stats.row_count, 200000);
+  EXPECT_DOUBLE_EQ(
+      f.catalog.FindTable("region").value()->actual_stats.row_count, 5);
+  // Q2's join-path indexes exist.
+  EXPECT_FALSE(f.catalog.IndexesOn("partsupp", "ps_partkey").empty());
+  EXPECT_FALSE(f.catalog.IndexesOn("partsupp", "ps_suppkey").empty());
+  EXPECT_FALSE(f.catalog.IndexesOn("part", "p_size").empty());
+}
+
+TEST(TpchTest, ScaleFactorScales) {
+  CatalogFixture f;
+  TpchOptions options;
+  options.scale_factor = 0.1;
+  options.volume_v1 = f.v1;
+  options.volume_v2 = f.v2;
+  ASSERT_TRUE(BuildTpchCatalog(options, &f.catalog).ok());
+  EXPECT_DOUBLE_EQ(
+      f.catalog.FindTable("partsupp").value()->actual_stats.row_count, 80000);
+  // Fixed-size tables do not scale.
+  EXPECT_DOUBLE_EQ(
+      f.catalog.FindTable("nation").value()->actual_stats.row_count, 25);
+}
+
+TEST(TpchTest, RejectsNonPositiveScale) {
+  CatalogFixture f;
+  TpchOptions options;
+  options.scale_factor = 0;
+  EXPECT_FALSE(BuildTpchCatalog(options, &f.catalog).ok());
+}
+
+}  // namespace
+}  // namespace diads::db

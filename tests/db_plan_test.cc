@@ -1,0 +1,230 @@
+// Unit tests for plans: builder validation, preorder numbering,
+// fingerprints, blocking semantics, and the structure of the Figure-1
+// paper plan (25 operators, 9 leaves, O8/O22 on partsupp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/paper_plan.h"
+#include "db/plan.h"
+
+namespace diads::db {
+namespace {
+
+Plan SmallPlan() {
+  // Result -> HashJoin(probe=SeqScan a, build=Hash(SeqScan b)).
+  PlanBuilder b("q");
+  const int scan_a = b.AddScan(OpType::kSeqScan, "a", "ta");
+  const int scan_b = b.AddScan(OpType::kSeqScan, "b", "tb");
+  const int hash = b.AddOp(OpType::kHash, {scan_b});
+  const int join = b.AddOp(OpType::kHashJoin, {scan_a, hash});
+  const int result = b.AddOp(OpType::kResult, {join});
+  return b.Build(result).value();
+}
+
+TEST(PlanTest, PreorderNumbering) {
+  Plan plan = SmallPlan();
+  // Preorder: Result=O1, HashJoin=O2, SeqScan a=O3, Hash=O4, SeqScan b=O5.
+  EXPECT_EQ(plan.op(plan.root_index()).op_number, 1);
+  std::set<int> numbers;
+  for (const PlanOp& op : plan.ops()) numbers.insert(op.op_number);
+  EXPECT_EQ(numbers, (std::set<int>{1, 2, 3, 4, 5}));
+  const int scan_a = plan.IndexOfOpNumber(3).value();
+  EXPECT_EQ(plan.op(scan_a).type, OpType::kSeqScan);
+  EXPECT_EQ(plan.op(scan_a).table, "ta");
+}
+
+TEST(PlanTest, ParentAndAncestors) {
+  Plan plan = SmallPlan();
+  const int scan_b = plan.IndexOfOpNumber(5).value();
+  const int hash = plan.IndexOfOpNumber(4).value();
+  const int join = plan.IndexOfOpNumber(2).value();
+  const int root = plan.IndexOfOpNumber(1).value();
+  EXPECT_EQ(plan.ParentOf(scan_b), hash);
+  EXPECT_EQ(plan.ParentOf(root), -1);
+  std::vector<int> ancestors = plan.AncestorsOf(scan_b);
+  ASSERT_EQ(ancestors.size(), 3u);
+  EXPECT_EQ(ancestors[0], hash);
+  EXPECT_EQ(ancestors[1], join);
+  EXPECT_EQ(ancestors[2], root);
+}
+
+TEST(PlanTest, LeavesAreScans) {
+  Plan plan = SmallPlan();
+  std::vector<int> leaves = plan.LeafIndexes();
+  ASSERT_EQ(leaves.size(), 2u);
+  for (int leaf : leaves) {
+    EXPECT_TRUE(plan.op(leaf).is_scan());
+  }
+}
+
+TEST(PlanTest, FingerprintStableAndStructureSensitive) {
+  Plan a = SmallPlan();
+  Plan b = SmallPlan();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // Different estimates, same structure: same fingerprint.
+  PlanBuilder builder("q");
+  const int scan_a = builder.AddScan(OpType::kSeqScan, "a", "ta");
+  const int scan_b = builder.AddScan(OpType::kSeqScan, "b", "tb");
+  builder.SetEstimates(scan_a, 1e6, 1e6, 1e6);
+  const int hash = builder.AddOp(OpType::kHash, {scan_b});
+  const int join = builder.AddOp(OpType::kHashJoin, {scan_a, hash});
+  const int result = builder.AddOp(OpType::kResult, {join});
+  Plan c = builder.Build(result).value();
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+
+  // Different scan target: different fingerprint.
+  PlanBuilder builder2("q");
+  const int scan_a2 = builder2.AddScan(OpType::kSeqScan, "a", "OTHER");
+  const int scan_b2 = builder2.AddScan(OpType::kSeqScan, "b", "tb");
+  const int hash2 = builder2.AddOp(OpType::kHash, {scan_b2});
+  const int join2 = builder2.AddOp(OpType::kHashJoin, {scan_a2, hash2});
+  const int result2 = builder2.AddOp(OpType::kResult, {join2});
+  Plan d = builder2.Build(result2).value();
+  EXPECT_NE(a.Fingerprint(), d.Fingerprint());
+
+  // Swapped children: different fingerprint.
+  PlanBuilder builder3("q");
+  const int scan_a3 = builder3.AddScan(OpType::kSeqScan, "a", "ta");
+  const int scan_b3 = builder3.AddScan(OpType::kSeqScan, "b", "tb");
+  const int hash3 = builder3.AddOp(OpType::kHash, {scan_a3});
+  const int join3 = builder3.AddOp(OpType::kHashJoin, {scan_b3, hash3});
+  const int result3 = builder3.AddOp(OpType::kResult, {join3});
+  Plan e = builder3.Build(result3).value();
+  EXPECT_NE(a.Fingerprint(), e.Fingerprint());
+}
+
+TEST(PlanTest, BuilderRejectsMalformedTrees) {
+  // Dangling op (two roots).
+  PlanBuilder b1("q");
+  b1.AddScan(OpType::kSeqScan, "a", "ta");
+  const int lone = b1.AddScan(OpType::kSeqScan, "b", "tb");
+  EXPECT_FALSE(b1.Build(lone).ok());
+
+  // Child shared by two parents.
+  PlanBuilder b2("q");
+  const int scan = b2.AddScan(OpType::kSeqScan, "a", "ta");
+  const int m1 = b2.AddOp(OpType::kMaterialize, {scan});
+  const int m2 = b2.AddOp(OpType::kMaterialize, {scan});
+  const int join = b2.AddOp(OpType::kNestLoopJoin, {m1, m2});
+  EXPECT_FALSE(b2.Build(join).ok());
+
+  // Bad root index.
+  PlanBuilder b3("q");
+  b3.AddScan(OpType::kSeqScan, "a", "ta");
+  EXPECT_FALSE(b3.Build(7).ok());
+}
+
+TEST(PlanTest, BlockingSemantics) {
+  EXPECT_TRUE(IsBlockingOutput(OpType::kSort));
+  EXPECT_TRUE(IsBlockingOutput(OpType::kAggregate));
+  EXPECT_TRUE(IsBlockingOutput(OpType::kHash));
+  EXPECT_TRUE(IsBlockingOutput(OpType::kMaterialize));
+  EXPECT_FALSE(IsBlockingOutput(OpType::kHashJoin));
+  EXPECT_FALSE(IsBlockingOutput(OpType::kNestLoopJoin));
+  EXPECT_FALSE(IsBlockingOutput(OpType::kSeqScan));
+  // Emission-extends: sorts and aggregates, not hash builds.
+  EXPECT_TRUE(SpanExtendsToOutput(OpType::kSort));
+  EXPECT_TRUE(SpanExtendsToOutput(OpType::kAggregate));
+  EXPECT_FALSE(SpanExtendsToOutput(OpType::kHash));
+  EXPECT_FALSE(SpanExtendsToOutput(OpType::kMaterialize));
+}
+
+TEST(PlanTest, RenderContainsOperators) {
+  Plan plan = SmallPlan();
+  const std::string out = plan.Render();
+  EXPECT_NE(out.find("O1"), std::string::npos);
+  EXPECT_NE(out.find("Hash Join"), std::string::npos);
+  EXPECT_NE(out.find("Seq Scan on ta"), std::string::npos);
+}
+
+// --- The Figure-1 paper plan -----------------------------------------------------
+
+class PaperPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Plan> plan = MakePaperQ2Plan();
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::move(*plan);
+  }
+  Plan plan_;
+};
+
+TEST_F(PaperPlanTest, TwentyFiveOperatorsNineLeaves) {
+  EXPECT_EQ(plan_.size(), 25u);
+  EXPECT_EQ(plan_.LeafIndexes().size(), 9u);
+}
+
+TEST_F(PaperPlanTest, V1LeavesAreO8AndO22) {
+  // The two partsupp scans land exactly at the paper's operator numbers.
+  std::vector<int> partsupp_ops;
+  for (const PlanOp& op : plan_.ops()) {
+    if (op.is_scan() && op.table == "partsupp") {
+      partsupp_ops.push_back(op.op_number);
+    }
+  }
+  std::sort(partsupp_ops.begin(), partsupp_ops.end());
+  EXPECT_EQ(partsupp_ops, (std::vector<int>{8, 22}));
+}
+
+TEST_F(PaperPlanTest, SevenLeavesOnOtherTables) {
+  int other_leaves = 0;
+  for (int leaf : plan_.LeafIndexes()) {
+    if (plan_.op(leaf).table != "partsupp") ++other_leaves;
+  }
+  EXPECT_EQ(other_leaves, 7);
+}
+
+TEST_F(PaperPlanTest, RootIsResultNumberedO1) {
+  const PlanOp& root = plan_.op(plan_.root_index());
+  EXPECT_EQ(root.type, OpType::kResult);
+  EXPECT_EQ(root.op_number, 1);
+}
+
+TEST_F(PaperPlanTest, NarrativeAncestorChains) {
+  // Section 5: the interior operators flagged by event propagation are the
+  // ancestors of O8 up to the sort, and of O22 up to the aggregate.
+  const int o8 = plan_.IndexOfOpNumber(8).value();
+  std::set<int> o8_ancestors;
+  for (int a : plan_.AncestorsOf(o8)) {
+    o8_ancestors.insert(plan_.op(a).op_number);
+  }
+  EXPECT_EQ(o8_ancestors, (std::set<int>{1, 2, 3, 4, 5, 6}));
+
+  const int o22 = plan_.IndexOfOpNumber(22).value();
+  std::set<int> o22_ancestors;
+  for (int a : plan_.AncestorsOf(o22)) {
+    o22_ancestors.insert(plan_.op(a).op_number);
+  }
+  EXPECT_EQ(o22_ancestors, (std::set<int>{1, 2, 3, 16, 17, 18, 19, 20}));
+}
+
+TEST_F(PaperPlanTest, OperatorTypeInventory) {
+  int scans = 0, hashes = 0, joins = 0, sorts = 0, aggs = 0;
+  for (const PlanOp& op : plan_.ops()) {
+    if (op.is_scan()) ++scans;
+    if (op.type == OpType::kHash) ++hashes;
+    if (op.type == OpType::kHashJoin || op.type == OpType::kNestLoopJoin) {
+      ++joins;
+    }
+    if (op.type == OpType::kSort) ++sorts;
+    if (op.type == OpType::kAggregate) ++aggs;
+  }
+  EXPECT_EQ(scans, 9);
+  EXPECT_EQ(hashes, 5);
+  EXPECT_EQ(joins, 8);  // 5 hash joins + 3 nested loops.
+  EXPECT_EQ(sorts, 1);
+  EXPECT_EQ(aggs, 1);
+}
+
+TEST_F(PaperPlanTest, HeavyV1ReaderIsSubqueryScan) {
+  // O22 (the subquery's partsupp probe stream) is the dominant V1 I/O — the
+  // basis of the scenario magnitudes.
+  const int o8 = plan_.IndexOfOpNumber(8).value();
+  const int o22 = plan_.IndexOfOpNumber(22).value();
+  EXPECT_GT(plan_.op(o22).est_pages, plan_.op(o8).est_pages * 5);
+}
+
+}  // namespace
+}  // namespace diads::db

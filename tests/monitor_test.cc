@@ -1,0 +1,309 @@
+// Unit tests for the monitoring substrate: the Figure-4 metric catalog, the
+// time-series store (including the coarse-interval fallback semantics), the
+// noise model with targeted overrides, and the SAN collector.
+#include <gtest/gtest.h>
+
+#include "common/event_log.h"
+#include "common/rng.h"
+#include "monitor/metrics.h"
+#include "monitor/noise.h"
+#include "monitor/san_collector.h"
+#include "monitor/timeseries.h"
+#include "san/perf_model.h"
+#include "san/topology.h"
+
+namespace diads::monitor {
+namespace {
+
+// --- Metric catalog (Figure 4) ------------------------------------------------
+
+TEST(MetricCatalogTest, Figure4Coverage) {
+  // Figure 4 lists 11 database, 10 server, 11 network, 10 storage metrics.
+  int database = 0, server = 0, network = 0, storage = 0;
+  for (const MetricMeta& m : AllMetrics()) {
+    if (!m.in_figure4) continue;
+    switch (m.layer) {
+      case MetricLayer::kDatabase:
+        ++database;
+        break;
+      case MetricLayer::kServer:
+        ++server;
+        break;
+      case MetricLayer::kNetwork:
+        ++network;
+        break;
+      case MetricLayer::kStorage:
+        ++storage;
+        break;
+    }
+  }
+  // Operator/plan start-stop times and record counts live in QueryRunRecord
+  // rather than the time-series store, so the database column carries 8 of
+  // its 11 Figure-4 rows here.
+  EXPECT_EQ(database, 8);
+  EXPECT_EQ(server, 10);
+  EXPECT_EQ(network, 11);
+  EXPECT_EQ(storage, 10);
+}
+
+TEST(MetricCatalogTest, MetaLookupConsistent) {
+  for (const MetricMeta& m : AllMetrics()) {
+    const MetricMeta& round_trip = GetMetricMeta(m.id);
+    EXPECT_EQ(round_trip.id, m.id);
+    EXPECT_STREQ(round_trip.name, m.name);
+  }
+}
+
+TEST(MetricCatalogTest, MetricsForKind) {
+  const std::vector<MetricId> volume_metrics =
+      MetricsForKind(ComponentKind::kVolume);
+  EXPECT_GE(volume_metrics.size(), 10u);
+  const std::vector<MetricId> disk_metrics =
+      MetricsForKind(ComponentKind::kDisk);
+  EXPECT_EQ(disk_metrics.size(), 2u);
+  EXPECT_TRUE(MetricsForKind(ComponentKind::kQuery).empty());
+}
+
+TEST(MetricCatalogTest, Table2ShortNames) {
+  EXPECT_STREQ(MetricShortName(MetricId::kVolPhysWriteOps), "writeIO");
+  EXPECT_STREQ(MetricShortName(MetricId::kVolPhysWriteTimeMs), "writeTime");
+  EXPECT_STREQ(MetricShortName(MetricId::kVolPhysReadOps), "readIO");
+  EXPECT_STREQ(MetricShortName(MetricId::kVolPhysReadTimeMs), "readTime");
+}
+
+// --- TimeSeriesStore -------------------------------------------------------------
+
+TEST(TimeSeriesStoreTest, AppendAndSlice) {
+  TimeSeriesStore store;
+  ComponentId c{1};
+  for (SimTimeMs t : {100, 200, 300, 400}) {
+    ASSERT_TRUE(
+        store.Append(c, MetricId::kVolTotalIos, t, static_cast<double>(t)).ok());
+  }
+  std::vector<Sample> slice =
+      store.Slice(c, MetricId::kVolTotalIos, TimeInterval{150, 350});
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].time, 200);
+  EXPECT_EQ(slice[1].time, 300);
+  EXPECT_EQ(store.total_samples(), 4u);
+}
+
+TEST(TimeSeriesStoreTest, RejectsOutOfOrderWithinSeries) {
+  TimeSeriesStore store;
+  ComponentId c{1};
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 200, 1).ok());
+  EXPECT_FALSE(store.Append(c, MetricId::kVolTotalIos, 100, 2).ok());
+  // Other series are independent.
+  EXPECT_TRUE(store.Append(c, MetricId::kVolBytesRead, 100, 2).ok());
+}
+
+TEST(TimeSeriesStoreTest, MeanInIncludesCoveringTailSample) {
+  // Samples are stamped at collection-interval end: a short run interval
+  // [210, 240) is covered by the sample stamped at 300.
+  TimeSeriesStore store;
+  ComponentId c{1};
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 200, 10).ok());
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 300, 50).ok());
+  Result<double> mean =
+      store.MeanIn(c, MetricId::kVolTotalIos, TimeInterval{210, 240});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(*mean, 50);
+}
+
+TEST(TimeSeriesStoreTest, MeanInAveragesInteriorAndTail) {
+  TimeSeriesStore store;
+  ComponentId c{1};
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 100, 10).ok());
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 200, 20).ok());
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 300, 60).ok());
+  // [50, 250): samples at 100, 200 plus the tail sample at 300.
+  Result<double> mean =
+      store.MeanIn(c, MetricId::kVolTotalIos, TimeInterval{50, 250});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(*mean, 30);
+}
+
+TEST(TimeSeriesStoreTest, MeanInFallsBackToStaleSample) {
+  TimeSeriesStore store;
+  ComponentId c{1};
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 100, 42).ok());
+  Result<double> mean =
+      store.MeanIn(c, MetricId::kVolTotalIos, TimeInterval{500, 600});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(*mean, 42);
+  // And errors when nothing exists at all.
+  EXPECT_FALSE(
+      store.MeanIn(ComponentId{2}, MetricId::kVolTotalIos, TimeInterval{0, 1})
+          .ok());
+}
+
+TEST(TimeSeriesStoreTest, LatestAtOrBefore) {
+  TimeSeriesStore store;
+  ComponentId c{1};
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 100, 1).ok());
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 200, 2).ok());
+  EXPECT_DOUBLE_EQ(store.LatestAtOrBefore(c, MetricId::kVolTotalIos, 150)->value,
+                   1);
+  EXPECT_DOUBLE_EQ(store.LatestAtOrBefore(c, MetricId::kVolTotalIos, 200)->value,
+                   2);
+  EXPECT_FALSE(store.LatestAtOrBefore(c, MetricId::kVolTotalIos, 50).ok());
+}
+
+TEST(TimeSeriesStoreTest, MetricsForComponent) {
+  TimeSeriesStore store;
+  ComponentId c{1};
+  ASSERT_TRUE(store.Append(c, MetricId::kVolTotalIos, 100, 1).ok());
+  ASSERT_TRUE(store.Append(c, MetricId::kVolBytesRead, 100, 1).ok());
+  EXPECT_EQ(store.MetricsFor(c).size(), 2u);
+  EXPECT_TRUE(store.MetricsFor(ComponentId{9}).empty());
+}
+
+// --- NoiseModel ---------------------------------------------------------------------
+
+TEST(NoiseModelTest, DefaultGaussianJitter) {
+  NoiseModel noise(NoiseSpec{0.1, 0, 3.0, 0, 0}, SeededRng(5));
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sum = sum + *noise.Apply(ComponentId{1}, MetricId::kVolTotalIos, 0, 100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(NoiseModelTest, DropoutDropsSamples) {
+  NoiseModel noise(NoiseSpec{0, 0, 3.0, 0.5, 0}, SeededRng(7));
+  int dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!noise.Apply(ComponentId{1}, MetricId::kVolTotalIos, 0, 1.0)) {
+      ++dropped;
+    }
+  }
+  EXPECT_NEAR(dropped / 2000.0, 0.5, 0.05);
+}
+
+TEST(NoiseModelTest, BiasShiftsValues) {
+  NoiseModel noise(NoiseSpec{0, 0, 3.0, 0, 1.5}, SeededRng(9));
+  EXPECT_DOUBLE_EQ(
+      *noise.Apply(ComponentId{1}, MetricId::kVolTotalIos, 0, 10.0), 25.0);
+}
+
+TEST(NoiseModelTest, TargetedOverrideWins) {
+  NoiseModel noise(NoiseSpec{0, 0, 3.0, 0, 0}, SeededRng(11));
+  NoiseOverride override_spec;
+  override_spec.component = ComponentId{7};
+  override_spec.metric = MetricId::kVolPhysWriteTimeMs;
+  override_spec.window = TimeInterval{100, 200};
+  override_spec.spec = NoiseSpec{0, 0, 3.0, 0, 2.0};  // +200%.
+  noise.AddOverride(override_spec);
+
+  // Matching component+metric+time: biased.
+  EXPECT_DOUBLE_EQ(
+      *noise.Apply(ComponentId{7}, MetricId::kVolPhysWriteTimeMs, 150, 10.0),
+      30.0);
+  // Wrong time: clean.
+  EXPECT_DOUBLE_EQ(
+      *noise.Apply(ComponentId{7}, MetricId::kVolPhysWriteTimeMs, 250, 10.0),
+      10.0);
+  // Wrong metric: clean.
+  EXPECT_DOUBLE_EQ(
+      *noise.Apply(ComponentId{7}, MetricId::kVolPhysReadOps, 150, 10.0),
+      10.0);
+  // Wrong component: clean.
+  EXPECT_DOUBLE_EQ(
+      *noise.Apply(ComponentId{8}, MetricId::kVolPhysWriteTimeMs, 150, 10.0),
+      10.0);
+}
+
+TEST(NoiseModelTest, LaterOverrideWinsOnOverlap) {
+  NoiseModel noise(NoiseSpec{0, 0, 3.0, 0, 0}, SeededRng(13));
+  NoiseOverride first;
+  first.window = TimeInterval{0, 100};
+  first.spec = NoiseSpec{0, 0, 3.0, 0, 1.0};
+  noise.AddOverride(first);
+  NoiseOverride second;
+  second.window = TimeInterval{0, 100};
+  second.spec = NoiseSpec{0, 0, 3.0, 0, 3.0};
+  noise.AddOverride(second);
+  EXPECT_DOUBLE_EQ(
+      *noise.Apply(ComponentId{1}, MetricId::kVolTotalIos, 50, 1.0), 4.0);
+}
+
+// --- SanCollector ----------------------------------------------------------------
+
+struct CollectorFixture {
+  ComponentRegistry registry;
+  san::SanTopology topology{&registry};
+  san::SanPerfModel model{&topology};
+  TimeSeriesStore store;
+  NoiseModel noise{NoiseSpec{0, 0, 3.0, 0, 0}, SeededRng(1)};
+  EventLog events;
+  ComponentId volume, server;
+
+  CollectorFixture() {
+    server = topology.AddServer("srv", "Linux").value();
+    ComponentId ss = topology.AddSubsystem("ss", "X").value();
+    ComponentId pool = topology.AddPool("p", ss, san::RaidLevel::kRaid5).value();
+    EXPECT_TRUE(topology.AddDisk("d1", pool).ok());
+    EXPECT_TRUE(topology.AddDisk("d2", pool).ok());
+    volume = topology.AddVolume("V", pool, 100).value();
+  }
+};
+
+TEST(SanCollectorTest, EmitsAllVolumeMetricsPerInterval) {
+  CollectorFixture f;
+  SanCollector collector(&f.topology, &f.model, &f.store, &f.noise, &f.events,
+                         SanCollectorConfig{Minutes(5), 0, 0});
+  ASSERT_TRUE(collector.CollectRange(0, Minutes(15)).ok());
+  // 3 intervals x 12 volume metrics.
+  int volume_samples = 0;
+  for (MetricId metric : f.store.MetricsFor(f.volume)) {
+    volume_samples +=
+        static_cast<int>(f.store.Series(f.volume, metric).size());
+  }
+  EXPECT_EQ(volume_samples, 3 * 12);
+  // Server and disk series exist too.
+  EXPECT_FALSE(f.store.MetricsFor(f.server).empty());
+}
+
+TEST(SanCollectorTest, SamplesReflectLoad) {
+  CollectorFixture f;
+  san::LoadEvent load;
+  load.volume = f.volume;
+  load.interval = TimeInterval{0, Minutes(10)};
+  load.profile.read_iops = 100;
+  ASSERT_TRUE(f.model.AddLoad(load).ok());
+  SanCollector collector(&f.topology, &f.model, &f.store, &f.noise, &f.events,
+                         SanCollectorConfig{Minutes(5), 0, 0});
+  ASSERT_TRUE(collector.CollectRange(0, Minutes(10)).ok());
+  const std::vector<Sample>& series =
+      f.store.Series(f.volume, MetricId::kVolTotalIos);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series[0].value, 100, 1e-6);
+}
+
+TEST(SanCollectorTest, LatencyTriggerLogsEvent) {
+  CollectorFixture f;
+  // Saturate the two-disk pool so read latency exceeds the trigger.
+  san::LoadEvent load;
+  load.volume = f.volume;
+  load.interval = TimeInterval{0, Minutes(10)};
+  load.profile.read_iops = 300;
+  load.profile.write_iops = 100;
+  ASSERT_TRUE(f.model.AddLoad(load).ok());
+  SanCollector collector(&f.topology, &f.model, &f.store, &f.noise, &f.events,
+                         SanCollectorConfig{Minutes(5), 25.0, 0.85});
+  ASSERT_TRUE(collector.CollectRange(0, Minutes(10)).ok());
+  EXPECT_FALSE(f.events
+                   .EventsOfTypeIn(EventType::kVolumePerfDegraded,
+                                   TimeInterval{0, Minutes(10)})
+                   .empty());
+}
+
+TEST(SanCollectorTest, RejectsEmptyRange) {
+  CollectorFixture f;
+  SanCollector collector(&f.topology, &f.model, &f.store, &f.noise, &f.events);
+  EXPECT_FALSE(collector.CollectRange(100, 100).ok());
+}
+
+}  // namespace
+}  // namespace diads::monitor

@@ -1,0 +1,98 @@
+// Tests for the report renderer and CSV exports.
+#include <gtest/gtest.h>
+
+#include "diads/report.h"
+#include "diads/workflow.h"
+#include "workload/scenario.h"
+
+namespace diads::diag {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new workload::ScenarioOutput(
+        workload::RunScenario(workload::ScenarioId::kS1SanMisconfiguration,
+                              {})
+            .value());
+    ctx_ = new DiagnosisContext(scenario_->MakeContext());
+    SymptomsDb symptoms = SymptomsDb::MakeDefault();
+    Workflow workflow(*ctx_, WorkflowConfig{}, &symptoms);
+    report_ = new DiagnosisReport(workflow.Diagnose().value());
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete ctx_;
+    delete scenario_;
+    report_ = nullptr;
+    ctx_ = nullptr;
+    scenario_ = nullptr;
+  }
+  static workload::ScenarioOutput* scenario_;
+  static DiagnosisContext* ctx_;
+  static DiagnosisReport* report_;
+};
+
+workload::ScenarioOutput* ReportTest::scenario_ = nullptr;
+DiagnosisContext* ReportTest::ctx_ = nullptr;
+DiagnosisReport* ReportTest::report_ = nullptr;
+
+TEST_F(ReportTest, FullReportContainsAllSections) {
+  const std::string out = RenderFullReport(*ctx_, *report_);
+  EXPECT_NE(out.find("DIADS diagnosis report"), std::string::npos);
+  EXPECT_NE(out.find("ANSWER:"), std::string::npos);
+  EXPECT_NE(out.find("Recommended action:"), std::string::npos);
+  EXPECT_NE(out.find("Module CO"), std::string::npos);
+  EXPECT_NE(out.find("Module DA"), std::string::npos);
+  EXPECT_NE(out.find("Module CR"), std::string::npos);
+  EXPECT_NE(out.find("Module IA"), std::string::npos);
+  EXPECT_NE(out.find("plans differ"), std::string::npos);
+  // The answer for scenario 1 names the misconfiguration.
+  EXPECT_NE(out.find("SAN misconfiguration"), std::string::npos);
+  EXPECT_NE(out.find("zoning"), std::string::npos);
+}
+
+TEST_F(ReportTest, CausesCsvRoundTrips) {
+  const std::string csv = ExportCausesCsv(*ctx_, *report_);
+  // Header + one line per cause.
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, report_->causes.size() + 1);
+  EXPECT_EQ(csv.find("cause,subject,confidence,band,impact_pct"), 0u);
+  EXPECT_NE(csv.find("V1"), std::string::npos);
+  EXPECT_NE(csv.find("high"), std::string::npos);
+}
+
+TEST_F(ReportTest, OperatorScoresCsvCoversAllOperators) {
+  const std::string csv = ExportOperatorScoresCsv(*ctx_, *report_);
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, report_->co.scores.size() + 1);
+  EXPECT_NE(csv.find("O8,"), std::string::npos);
+  EXPECT_NE(csv.find("partsupp"), std::string::npos);
+}
+
+TEST_F(ReportTest, MetricScoresCsvCoversDaOutput) {
+  const std::string csv = ExportMetricScoresCsv(*ctx_, *report_);
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, report_->da.metrics.size() + 1);
+  EXPECT_NE(csv.find("writeTime"), std::string::npos);
+}
+
+TEST(CsvEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+}  // namespace
+}  // namespace diads::diag

@@ -1,0 +1,255 @@
+// Unit and property tests for the SAN performance model: utilisation
+// accounting, latency inflation, cross-volume interference through shared
+// disks (the paper's central physical mechanism), interval averaging and
+// burst dilution, RAID/rebuild/CPU/port statistics.
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "san/perf_model.h"
+#include "san/topology.h"
+
+namespace diads::san {
+namespace {
+
+/// Pool of 4 disks with volumes V1 and V2 carved from it, plus a second
+/// pool with volume W (isolated).
+struct PerfFixture {
+  ComponentRegistry registry;
+  SanTopology topology{&registry};
+  ComponentId v1, v2, w;
+  ComponentId pool1, pool2;
+  ComponentId disk1;
+  SanPerfModel model{&topology};
+
+  PerfFixture() {
+    ComponentId ss = topology.AddSubsystem("ss", "X").value();
+    pool1 = topology.AddPool("p1", ss, RaidLevel::kRaid5).value();
+    pool2 = topology.AddPool("p2", ss, RaidLevel::kRaid5).value();
+    disk1 = topology.AddDisk("d1", pool1).value();
+    for (int i = 2; i <= 4; ++i) {
+      EXPECT_TRUE(
+          topology.AddDisk("d" + std::to_string(i), pool1).ok());
+    }
+    for (int i = 5; i <= 8; ++i) {
+      EXPECT_TRUE(
+          topology.AddDisk("d" + std::to_string(i), pool2).ok());
+    }
+    v1 = topology.AddVolume("V1", pool1, 100).value();
+    v2 = topology.AddVolume("V2", pool1, 100).value();
+    w = topology.AddVolume("W", pool2, 100).value();
+  }
+
+  LoadEvent Load(ComponentId volume, SimTimeMs begin, SimTimeMs end,
+                 double read_iops, double write_iops,
+                 double seq_fraction = 0.0) {
+    LoadEvent event;
+    event.volume = volume;
+    event.interval = TimeInterval{begin, end};
+    event.profile.read_iops = read_iops;
+    event.profile.write_iops = write_iops;
+    event.profile.seq_fraction = seq_fraction;
+    return event;
+  }
+};
+
+TEST(IoProfileTest, AddBlendsWeighted) {
+  IoProfile a;
+  a.read_iops = 100;
+  a.seq_fraction = 1.0;
+  a.avg_block_kb = 8;
+  IoProfile b;
+  b.read_iops = 100;
+  b.seq_fraction = 0.0;
+  b.avg_block_kb = 16;
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.read_iops, 200);
+  EXPECT_DOUBLE_EQ(a.seq_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(a.avg_block_kb, 12);
+}
+
+TEST(SanPerfModelTest, RejectsBadLoad) {
+  PerfFixture f;
+  LoadEvent empty = f.Load(f.v1, 100, 100, 10, 0);
+  EXPECT_FALSE(f.model.AddLoad(empty).ok());
+  LoadEvent negative = f.Load(f.v1, 0, 100, -5, 0);
+  EXPECT_FALSE(f.model.AddLoad(negative).ok());
+}
+
+TEST(SanPerfModelTest, IdleVolumeHasBaseLatency) {
+  PerfFixture f;
+  const double latency = f.model.VolumeReadLatencyMs(f.v1, 0);
+  // Controller + fabric + (mostly random-read) service, no queueing.
+  EXPECT_GT(latency, 3.0);
+  EXPECT_LT(latency, 8.0);
+}
+
+TEST(SanPerfModelTest, LoadWindowsApplyOnlyInTime) {
+  PerfFixture f;
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 1000, 2000, 200, 0)).ok());
+  EXPECT_DOUBLE_EQ(f.model.VolumeLoadAt(f.v1, 500).total_iops(), 0);
+  EXPECT_DOUBLE_EQ(f.model.VolumeLoadAt(f.v1, 1500).total_iops(), 200);
+  EXPECT_DOUBLE_EQ(f.model.VolumeLoadAt(f.v1, 2000).total_iops(), 0);
+}
+
+TEST(SanPerfModelTest, LatencyIncreasesWithLoad) {
+  PerfFixture f;
+  const double idle = f.model.VolumeReadLatencyMs(f.v1, 1500);
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 1000, 2000, 150, 50)).ok());
+  const double loaded = f.model.VolumeReadLatencyMs(f.v1, 1500);
+  EXPECT_GT(loaded, idle * 1.2);
+}
+
+TEST(SanPerfModelTest, SharedDiskInterference) {
+  // The scenario-1 channel: load on V2 raises V1's latency (same pool),
+  // but load on W (other pool) does not.
+  PerfFixture f;
+  const double before = f.model.VolumeReadLatencyMs(f.v1, 1500);
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.w, 1000, 2000, 0, 150)).ok());
+  const double after_w = f.model.VolumeReadLatencyMs(f.v1, 1500);
+  EXPECT_NEAR(after_w, before, 1e-9);
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v2, 1000, 2000, 0, 150)).ok());
+  const double after_v2 = f.model.VolumeReadLatencyMs(f.v1, 1500);
+  EXPECT_GT(after_v2, before * 1.5);
+}
+
+TEST(SanPerfModelTest, WriteLatencyCachedUntilDestagePressure) {
+  PerfFixture f;
+  const double idle = f.model.VolumeWriteLatencyMs(f.v1, 1500);
+  EXPECT_LT(idle, 1.0);  // Write-back cache acknowledges fast.
+  // Saturate the backend.
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 1000, 2000, 0, 250)).ok());
+  const double pressured = f.model.VolumeWriteLatencyMs(f.v1, 1500);
+  EXPECT_GT(pressured, idle * 3);
+}
+
+TEST(SanPerfModelTest, SequentialCheaperThanRandom) {
+  PerfFixture f;
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 0, 1000, 150, 0, 0.0)).ok());
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v2, 2000, 3000, 150, 0, 1.0)).ok());
+  // Same iops: the sequential window stresses disks far less.
+  EXPECT_GT(f.model.DiskUtilizationAt(f.disk1, 500),
+            3 * f.model.DiskUtilizationAt(f.disk1, 2500));
+}
+
+TEST(SanPerfModelTest, FailedDiskConcentratesLoad) {
+  PerfFixture f;
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 0, 1000, 200, 0)).ok());
+  ComponentId d2 = f.topology.registry().FindByName("d2").value();
+  const double before = f.model.DiskUtilizationAt(d2, 500);
+  ASSERT_TRUE(f.topology.SetDiskFailed(f.disk1, true).ok());
+  const double after = f.model.DiskUtilizationAt(d2, 500);
+  EXPECT_NEAR(after / before, 4.0 / 3.0, 0.05);
+}
+
+TEST(SanPerfModelTest, PoolOverheadRaisesUtilization) {
+  PerfFixture f;
+  const double before = f.model.DiskUtilizationAt(f.disk1, 500);
+  ASSERT_TRUE(
+      f.model.AddPoolOverhead(f.pool1, TimeInterval{0, 1000}, 0.4).ok());
+  EXPECT_NEAR(f.model.DiskUtilizationAt(f.disk1, 500), before + 0.4, 1e-9);
+  EXPECT_FALSE(
+      f.model.AddPoolOverhead(f.pool1, TimeInterval{0, 1000}, 1.5).ok());
+}
+
+TEST(SanPerfModelTest, VolumeStatsAverageExactly) {
+  PerfFixture f;
+  // 100 iops for exactly half of the interval.
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 0, 500, 100, 0)).ok());
+  VolumeIntervalStats stats = f.model.VolumeStats(f.v1, TimeInterval{0, 1000});
+  EXPECT_NEAR(stats.read_iops, 50.0, 1e-6);
+  EXPECT_NEAR(stats.total_ios, 50.0, 1e-6);
+}
+
+TEST(SanPerfModelTest, BurstDilution) {
+  // Section 1.1's noisy-data mechanism: a 30-second burst inside a 5-minute
+  // interval contributes only 10% of its intensity to the average.
+  PerfFixture f;
+  ASSERT_TRUE(
+      f.model.AddLoad(f.Load(f.v1, 0, Seconds(30), 600, 0)).ok());
+  VolumeIntervalStats stats =
+      f.model.VolumeStats(f.v1, TimeInterval{0, Minutes(5)});
+  EXPECT_NEAR(stats.read_iops, 60.0, 1e-6);
+}
+
+TEST(SanPerfModelTest, PhysicalStatsIncludeSharers) {
+  // Table 2's "writeIO" behaviour: V1's physical write ops include V2's
+  // writes because they land on the same disks.
+  PerfFixture f;
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v2, 0, 1000, 0, 100)).ok());
+  VolumeIntervalStats v1_stats =
+      f.model.VolumeStats(f.v1, TimeInterval{0, 1000});
+  EXPECT_DOUBLE_EQ(v1_stats.write_iops, 0);         // V1's own writes: none.
+  EXPECT_GT(v1_stats.physical_write_ops, 100);      // Backend: V2 + RAID5 x4.
+  VolumeIntervalStats w_stats = f.model.VolumeStats(f.w, TimeInterval{0, 1000});
+  EXPECT_DOUBLE_EQ(w_stats.physical_write_ops, 0);  // Other pool: untouched.
+}
+
+TEST(SanPerfModelTest, PortStatsFollowPath) {
+  PerfFixture f;
+  ComponentId port = f.topology
+                         .AddPort("ss-p0", PortOwner::kSubsystem,
+                                  f.topology.AllSubsystems()[0])
+                         .value();
+  LoadEvent event = f.Load(f.v1, 0, 1000, 128, 0);
+  event.profile.avg_block_kb = 8;
+  event.path_ports = {port};
+  ASSERT_TRUE(f.model.AddLoad(event).ok());
+  PortIntervalStats stats = f.model.PortStats(port, TimeInterval{0, 1000});
+  EXPECT_NEAR(stats.mb_rx_per_sec, 1.0, 1e-6);  // 128 iops x 8 KB = 1 MB/s.
+  ComponentId other =
+      f.topology
+          .AddPort("ss-p1", PortOwner::kSubsystem, f.topology.AllSubsystems()[0])
+          .value();
+  PortIntervalStats other_stats =
+      f.model.PortStats(other, TimeInterval{0, 1000});
+  EXPECT_DOUBLE_EQ(other_stats.mb_rx_per_sec, 0);
+}
+
+TEST(SanPerfModelTest, CpuLoadAveragesAndSaturates) {
+  PerfFixture f;
+  ComponentId server = f.topology.AddServer("srv", "Linux").value();
+  ASSERT_TRUE(
+      f.model.AddCpuLoad(server, TimeInterval{0, 500}, 0.6).ok());
+  ASSERT_TRUE(
+      f.model.AddCpuLoad(server, TimeInterval{0, 500}, 0.7).ok());
+  ServerIntervalStats stats = f.model.ServerStats(server, TimeInterval{0, 1000});
+  // 0.6 + 0.7 saturates to 1.0 for half the interval -> 0.5 average.
+  EXPECT_NEAR(stats.cpu_utilization, 0.5, 1e-6);
+}
+
+// Property sweep: latency is monotone non-decreasing in offered write load.
+class LatencyMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyMonotonicityTest, MoreLoadNeverFaster) {
+  PerfFixture f;
+  const double iops = GetParam();
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v2, 0, 1000, 0, iops)).ok());
+  const double read_latency = f.model.VolumeReadLatencyMs(f.v1, 500);
+  const double write_latency = f.model.VolumeWriteLatencyMs(f.v1, 500);
+
+  PerfFixture g;
+  ASSERT_TRUE(g.model.AddLoad(g.Load(g.v2, 0, 1000, 0, iops + 25)).ok());
+  EXPECT_GE(g.model.VolumeReadLatencyMs(g.v1, 500) + 1e-9, read_latency);
+  EXPECT_GE(g.model.VolumeWriteLatencyMs(g.v1, 500) + 1e-9, write_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(WriteLoads, LatencyMonotonicityTest,
+                         ::testing::Values(0.0, 25.0, 50.0, 75.0, 100.0,
+                                           150.0, 200.0, 300.0));
+
+// Property sweep: the latency cap keeps the model finite under overload.
+class OverloadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverloadTest, LatencyStaysBounded) {
+  PerfFixture f;
+  ASSERT_TRUE(f.model.AddLoad(f.Load(f.v1, 0, 1000, GetParam(), GetParam())).ok());
+  const double latency = f.model.VolumeReadLatencyMs(f.v1, 500);
+  EXPECT_LT(latency, 150.0);
+  EXPECT_GT(latency, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExtremeLoads, OverloadTest,
+                         ::testing::Values(500.0, 2000.0, 10000.0));
+
+}  // namespace
+}  // namespace diads::san

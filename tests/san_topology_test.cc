@@ -1,0 +1,255 @@
+// Unit tests for the SAN topology: construction rules, zoning and LUN
+// masking semantics, path resolution through the fabric, disk-sharing
+// queries, and validation.
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "san/config_db.h"
+#include "san/topology.h"
+
+namespace diads::san {
+namespace {
+
+/// A small two-pool SAN used across tests: one server, one edge switch,
+/// one subsystem; pool A (2 disks) holding VA1/VA2, pool B (3 disks)
+/// holding VB1.
+struct MiniSan {
+  ComponentRegistry registry;
+  SanTopology topology{&registry};
+  ComponentId server, hba, hba_port;
+  ComponentId sw, sw_p0, sw_p1;
+  ComponentId subsystem, ss_port;
+  ComponentId pool_a, pool_b;
+  ComponentId va1, va2, vb1;
+  ComponentId disk_a1, disk_a2;
+
+  MiniSan() {
+    server = topology.AddServer("server", "Linux").value();
+    hba = topology.AddHba("hba", server).value();
+    hba_port = topology.AddPort("hba-p0", PortOwner::kHba, hba).value();
+    sw = topology.AddSwitch("edge", false).value();
+    sw_p0 = topology.AddPort("edge-p0", PortOwner::kSwitch, sw).value();
+    sw_p1 = topology.AddPort("edge-p1", PortOwner::kSwitch, sw).value();
+    subsystem = topology.AddSubsystem("ss", "DS6000").value();
+    ss_port = topology.AddPort("ss-p0", PortOwner::kSubsystem, subsystem).value();
+    EXPECT_TRUE(topology.Link(hba_port, sw_p0).ok());
+    EXPECT_TRUE(topology.Link(sw_p1, ss_port).ok());
+    EXPECT_TRUE(topology.AddZone("z", {hba_port, ss_port}).ok());
+    pool_a = topology.AddPool("poolA", subsystem, RaidLevel::kRaid5).value();
+    pool_b = topology.AddPool("poolB", subsystem, RaidLevel::kRaid10).value();
+    disk_a1 = topology.AddDisk("dA1", pool_a).value();
+    disk_a2 = topology.AddDisk("dA2", pool_a).value();
+    EXPECT_TRUE(topology.AddDisk("dB1", pool_b).ok());
+    EXPECT_TRUE(topology.AddDisk("dB2", pool_b).ok());
+    EXPECT_TRUE(topology.AddDisk("dB3", pool_b).ok());
+    va1 = topology.AddVolume("VA1", pool_a, 100).value();
+    va2 = topology.AddVolume("VA2", pool_a, 50).value();
+    vb1 = topology.AddVolume("VB1", pool_b, 200).value();
+    EXPECT_TRUE(topology.MapLun(server, va1).ok());
+    EXPECT_TRUE(topology.MapLun(server, vb1).ok());
+  }
+};
+
+TEST(SanTopologyTest, BuildersValidateParents) {
+  ComponentRegistry registry;
+  SanTopology topology(&registry);
+  ComponentId server = topology.AddServer("s", "Linux").value();
+  // HBA on a non-server is rejected.
+  EXPECT_FALSE(topology.AddHba("h", ComponentId{9999}).ok());
+  ComponentId hba = topology.AddHba("h", server).value();
+  // A pool needs a subsystem, not an HBA.
+  EXPECT_FALSE(topology.AddPool("p", hba, RaidLevel::kRaid5).ok());
+}
+
+TEST(SanTopologyTest, RaidProperties) {
+  EXPECT_DOUBLE_EQ(RaidWritePenalty(RaidLevel::kRaid0), 1.0);
+  EXPECT_DOUBLE_EQ(RaidWritePenalty(RaidLevel::kRaid1), 2.0);
+  EXPECT_DOUBLE_EQ(RaidWritePenalty(RaidLevel::kRaid5), 4.0);
+  EXPECT_DOUBLE_EQ(RaidWritePenalty(RaidLevel::kRaid10), 2.0);
+  EXPECT_STREQ(RaidLevelName(RaidLevel::kRaid5), "RAID5");
+}
+
+TEST(SanTopologyTest, DisksOfVolume) {
+  MiniSan san;
+  EXPECT_EQ(san.topology.DisksOfVolume(san.va1).size(), 2u);
+  EXPECT_EQ(san.topology.DisksOfVolume(san.vb1).size(), 3u);
+}
+
+TEST(SanTopologyTest, VolumesSharingDisks) {
+  MiniSan san;
+  std::vector<ComponentId> sharers = san.topology.VolumesSharingDisks(san.va1);
+  ASSERT_EQ(sharers.size(), 1u);
+  EXPECT_EQ(sharers[0], san.va2);  // Same pool; VB1 is in another pool.
+  EXPECT_TRUE(san.topology.VolumesSharingDisks(san.vb1).empty());
+}
+
+TEST(SanTopologyTest, DiskFailureShrinksActiveSet) {
+  MiniSan san;
+  EXPECT_EQ(san.topology.ActiveDiskCount(san.pool_a), 2);
+  ASSERT_TRUE(san.topology.SetDiskFailed(san.disk_a1, true).ok());
+  EXPECT_EQ(san.topology.ActiveDiskCount(san.pool_a), 1);
+  EXPECT_EQ(san.topology.DisksOfVolume(san.va1).size(), 1u);
+  ASSERT_TRUE(san.topology.SetDiskFailed(san.disk_a1, false).ok());
+  EXPECT_EQ(san.topology.ActiveDiskCount(san.pool_a), 2);
+}
+
+TEST(SanTopologyTest, ResolvePathHappyCase) {
+  MiniSan san;
+  Result<IoPath> path = san.topology.ResolvePath(san.server, san.va1);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->server, san.server);
+  EXPECT_EQ(path->hba, san.hba);
+  ASSERT_EQ(path->switches.size(), 1u);
+  EXPECT_EQ(path->switches[0], san.sw);
+  EXPECT_EQ(path->subsystem, san.subsystem);
+  EXPECT_EQ(path->pool, san.pool_a);
+  EXPECT_EQ(path->volume, san.va1);
+  EXPECT_EQ(path->disks.size(), 2u);
+  // Traversal order: server first, disks last.
+  std::vector<ComponentId> all = path->AllComponents();
+  EXPECT_EQ(all.front(), san.server);
+  EXPECT_EQ(all.back(), path->disks.back());
+}
+
+TEST(SanTopologyTest, LunMaskingBlocksUnmappedVolume) {
+  MiniSan san;
+  // VA2 was never mapped to the server.
+  Result<IoPath> path = san.topology.ResolvePath(san.server, san.va2);
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SanTopologyTest, ZoningBlocksUnzonedRoute) {
+  ComponentRegistry registry;
+  SanTopology topology(&registry);
+  ComponentId server = topology.AddServer("s", "Linux").value();
+  ComponentId hba = topology.AddHba("h", server).value();
+  ComponentId hp = topology.AddPort("hp", PortOwner::kHba, hba).value();
+  ComponentId ss = topology.AddSubsystem("ss", "X").value();
+  ComponentId sp = topology.AddPort("sp", PortOwner::kSubsystem, ss).value();
+  ASSERT_TRUE(topology.Link(hp, sp).ok());
+  ComponentId pool = topology.AddPool("p", ss, RaidLevel::kRaid0).value();
+  ASSERT_TRUE(topology.AddDisk("d", pool).ok());
+  ComponentId vol = topology.AddVolume("v", pool, 10).value();
+  ASSERT_TRUE(topology.MapLun(server, vol).ok());
+  // Cabled + mapped but NOT zoned: no route.
+  EXPECT_FALSE(topology.ResolvePath(server, vol).ok());
+  ASSERT_TRUE(topology.AddZone("z", {hp, sp}).ok());
+  EXPECT_TRUE(topology.ResolvePath(server, vol).ok());
+}
+
+TEST(SanTopologyTest, MultiHopFabricRoute) {
+  // server -> edge1 -> core -> edge2 -> subsystem (the Figure-1 hierarchy).
+  ComponentRegistry registry;
+  SanTopology topology(&registry);
+  ComponentId server = topology.AddServer("s", "Linux").value();
+  ComponentId hba = topology.AddHba("h", server).value();
+  ComponentId hp = topology.AddPort("hp", PortOwner::kHba, hba).value();
+  ComponentId e1 = topology.AddSwitch("e1", false).value();
+  ComponentId core = topology.AddSwitch("core", true).value();
+  ComponentId e2 = topology.AddSwitch("e2", false).value();
+  ComponentId e1a = topology.AddPort("e1a", PortOwner::kSwitch, e1).value();
+  ComponentId e1b = topology.AddPort("e1b", PortOwner::kSwitch, e1).value();
+  ComponentId ca = topology.AddPort("ca", PortOwner::kSwitch, core).value();
+  ComponentId cb = topology.AddPort("cb", PortOwner::kSwitch, core).value();
+  ComponentId e2a = topology.AddPort("e2a", PortOwner::kSwitch, e2).value();
+  ComponentId e2b = topology.AddPort("e2b", PortOwner::kSwitch, e2).value();
+  ComponentId ss = topology.AddSubsystem("ss", "X").value();
+  ComponentId sp = topology.AddPort("sp", PortOwner::kSubsystem, ss).value();
+  ASSERT_TRUE(topology.Link(hp, e1a).ok());
+  ASSERT_TRUE(topology.Link(e1b, ca).ok());
+  ASSERT_TRUE(topology.Link(cb, e2a).ok());
+  ASSERT_TRUE(topology.Link(e2b, sp).ok());
+  ASSERT_TRUE(topology.AddZone("z", {hp, sp}).ok());
+  ComponentId pool = topology.AddPool("p", ss, RaidLevel::kRaid5).value();
+  ASSERT_TRUE(topology.AddDisk("d1", pool).ok());
+  ComponentId vol = topology.AddVolume("v", pool, 10).value();
+  ASSERT_TRUE(topology.MapLun(server, vol).ok());
+
+  Result<IoPath> path = topology.ResolvePath(server, vol);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  // All three switches traversed, edge first.
+  ASSERT_EQ(path->switches.size(), 3u);
+  EXPECT_EQ(path->switches[0], e1);
+  EXPECT_EQ(path->switches[1], core);
+  EXPECT_EQ(path->switches[2], e2);
+}
+
+TEST(SanTopologyTest, ValidateCatchesEmptyPool) {
+  ComponentRegistry registry;
+  SanTopology topology(&registry);
+  ComponentId ss = topology.AddSubsystem("ss", "X").value();
+  ASSERT_TRUE(topology.AddPool("empty", ss, RaidLevel::kRaid5).ok());
+  EXPECT_EQ(topology.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SanTopologyTest, ValidateCatchesVolumeWithAllDisksFailed) {
+  MiniSan san;
+  EXPECT_TRUE(san.topology.Validate().ok());
+  ASSERT_TRUE(san.topology.SetDiskFailed(san.disk_a1, true).ok());
+  ASSERT_TRUE(san.topology.SetDiskFailed(san.disk_a2, true).ok());
+  EXPECT_EQ(san.topology.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SanTopologyTest, SelfLinkRejected) {
+  MiniSan san;
+  EXPECT_FALSE(san.topology.Link(san.hba_port, san.hba_port).ok());
+}
+
+TEST(SanTopologyTest, ZoneExtension) {
+  MiniSan san;
+  EXPECT_FALSE(san.topology.InSameZone(san.sw_p0, san.ss_port));
+  ASSERT_TRUE(san.topology.AddZone("z", {san.sw_p0}).ok());  // Extend "z".
+  EXPECT_TRUE(san.topology.InSameZone(san.sw_p0, san.ss_port));
+}
+
+// --- ConfigDatabase ------------------------------------------------------------
+
+TEST(ConfigDatabaseTest, OperationsMutateAndLog) {
+  MiniSan san;
+  EventLog log;
+  ConfigDatabase config(&san.topology, &log);
+
+  Result<ComponentId> vol =
+      config.ProvisionVolume(1000, "V-new", san.pool_a, 42);
+  ASSERT_TRUE(vol.ok());
+  EXPECT_EQ(san.topology.volume(*vol).pool, san.pool_a);
+  ASSERT_TRUE(
+      config.ChangeZoning(2000, "z2", {san.hba_port, san.ss_port}).ok());
+  ASSERT_TRUE(config.ChangeLunMapping(3000, san.server, *vol).ok());
+  EXPECT_TRUE(san.topology.LunMapped(san.server, *vol));
+  ASSERT_TRUE(config.FailDisk(4000, san.disk_a1).ok());
+  EXPECT_TRUE(san.topology.disk(san.disk_a1).failed);
+  ASSERT_TRUE(config.RecoverDisk(5000, san.disk_a1).ok());
+  ASSERT_TRUE(
+      config.RecordRaidRebuild(TimeInterval{6000, 7000}, san.pool_a).ok());
+
+  ASSERT_EQ(log.size(), 7u);
+  EXPECT_EQ(log.all()[0].type, EventType::kVolumeCreated);
+  EXPECT_EQ(log.all()[1].type, EventType::kZoningChanged);
+  EXPECT_EQ(log.all()[2].type, EventType::kLunMappingChanged);
+  EXPECT_EQ(log.all()[3].type, EventType::kDiskFailed);
+  EXPECT_EQ(log.all()[4].type, EventType::kDiskRecovered);
+  EXPECT_EQ(log.all()[5].type, EventType::kRaidRebuildStarted);
+  EXPECT_EQ(log.all()[6].type, EventType::kRaidRebuildCompleted);
+}
+
+TEST(ConfigDatabaseTest, NewVolumeSharesDisksWithPoolSiblings) {
+  MiniSan san;
+  EventLog log;
+  ConfigDatabase config(&san.topology, &log);
+  Result<ComponentId> v_prime =
+      config.ProvisionVolume(1000, "V-prime", san.pool_a, 150);
+  ASSERT_TRUE(v_prime.ok());
+  // The scenario-1 mechanism: the new volume shares VA1's physical disks.
+  std::vector<ComponentId> sharers = san.topology.VolumesSharingDisks(san.va1);
+  EXPECT_EQ(sharers.size(), 2u);
+  bool found = false;
+  for (ComponentId sharer : sharers) {
+    if (sharer == *v_prime) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace diads::san

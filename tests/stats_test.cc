@@ -1,0 +1,340 @@
+// Unit and property tests for the stats module: descriptive statistics,
+// ECDF, KDE (against analytic ground truth), correlations, anomaly scoring,
+// and the naive-Bayes foil.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/anomaly.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+#include "stats/kde.h"
+#include "stats/naive_bayes.h"
+
+namespace diads::stats {
+namespace {
+
+// --- Descriptive -------------------------------------------------------------
+
+TEST(DescriptiveTest, BasicMoments) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Min(xs), 2);
+  EXPECT_DOUBLE_EQ(Max(xs), 9);
+}
+
+TEST(DescriptiveTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0);
+  EXPECT_DOUBLE_EQ(Median({}), 0);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(DescriptiveTest, MedianAndPercentiles) {
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4, 5}), 3);
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 20);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 30);
+  EXPECT_DOUBLE_EQ(Iqr(xs), 20);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 75), 7.5);
+}
+
+// --- ECDF ----------------------------------------------------------------------
+
+TEST(EcdfTest, StepFunction) {
+  Result<Ecdf> ecdf = Ecdf::Fit({1, 2, 3, 4});
+  ASSERT_TRUE(ecdf.ok());
+  EXPECT_DOUBLE_EQ(ecdf->Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf->Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf->Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf->Cdf(100), 1.0);
+}
+
+TEST(EcdfTest, QuantileInverse) {
+  Result<Ecdf> ecdf = Ecdf::Fit({10, 20, 30, 40, 50});
+  ASSERT_TRUE(ecdf.ok());
+  EXPECT_DOUBLE_EQ(ecdf->Quantile(0), 10);
+  EXPECT_DOUBLE_EQ(ecdf->Quantile(1), 50);
+  EXPECT_DOUBLE_EQ(ecdf->Quantile(0.5), 30);
+}
+
+TEST(EcdfTest, RequiresSamples) {
+  EXPECT_FALSE(Ecdf::Fit({}).ok());
+}
+
+// --- KDE -------------------------------------------------------------------------
+
+TEST(KdeTest, RequiresSamples) {
+  EXPECT_FALSE(Kde::Fit({}).ok());
+  EXPECT_FALSE(Kde::FitWithBandwidth({1.0}, 0.0).ok());
+  EXPECT_FALSE(Kde::FitWithBandwidth({1.0}, -1.0).ok());
+}
+
+TEST(KdeTest, PdfIntegratesToOne) {
+  SeededRng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 50; ++i) samples.push_back(rng.Normal(10, 2));
+  Result<Kde> kde = Kde::Fit(samples);
+  ASSERT_TRUE(kde.ok());
+  // Trapezoid integration over a wide window.
+  double integral = 0;
+  const double lo = 0, hi = 20, step = 0.01;
+  for (double x = lo; x < hi; x += step) {
+    integral += kde->Pdf(x) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, CdfMonotoneAndBounded) {
+  Result<Kde> kde = Kde::Fit({1, 5, 9, 12});
+  ASSERT_TRUE(kde.ok());
+  double prev = -1;
+  for (double x = -10; x <= 25; x += 0.5) {
+    const double c = kde->Cdf(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_LT(kde->Cdf(-10), 0.01);
+  EXPECT_GT(kde->Cdf(25), 0.99);
+}
+
+TEST(KdeTest, CdfMatchesNormalGroundTruth) {
+  SeededRng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) samples.push_back(rng.Normal(0, 1));
+  Result<Kde> kde = Kde::Fit(samples);
+  ASSERT_TRUE(kde.ok());
+  // At large n the KDE CDF approaches the true normal CDF.
+  for (double x : {-1.5, -0.5, 0.0, 0.5, 1.5}) {
+    const double truth = 0.5 * (1 + std::erf(x / std::sqrt(2.0)));
+    EXPECT_NEAR(kde->Cdf(x), truth, 0.02) << "x=" << x;
+  }
+}
+
+TEST(KdeTest, DegenerateSamplesStillWork) {
+  Result<Kde> kde = Kde::Fit({5, 5, 5, 5});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->bandwidth(), 0);
+  EXPECT_LT(kde->Cdf(4.9), 0.01);
+  EXPECT_GT(kde->Cdf(5.1), 0.99);
+  EXPECT_NEAR(kde->Cdf(5.0), 0.5, 0.01);
+}
+
+TEST(KdeTest, BandwidthRules) {
+  SeededRng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(rng.Normal(0, 3));
+  const double silverman = SelectBandwidth(samples, BandwidthRule::kSilverman);
+  const double scott = SelectBandwidth(samples, BandwidthRule::kScott);
+  EXPECT_GT(silverman, 0);
+  EXPECT_GT(scott, 0);
+  // Scott's constant (1.06 sigma) exceeds Silverman's robust variant.
+  EXPECT_LT(silverman, scott);
+}
+
+// Property sweep: the anomaly score prob(S <= u) must increase with u for
+// any sample size.
+class KdeMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdeMonotonicityTest, ScoreIncreasesWithObservation) {
+  SeededRng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> samples;
+  for (int i = 0; i < GetParam(); ++i) samples.push_back(rng.Normal(100, 10));
+  Result<Kde> kde = Kde::Fit(samples);
+  ASSERT_TRUE(kde.ok());
+  double prev = -1;
+  for (double u = 50; u <= 200; u += 10) {
+    const double score = kde->Cdf(u);
+    EXPECT_GE(score, prev);
+    prev = score;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, KdeMonotonicityTest,
+                         ::testing::Values(2, 5, 10, 20, 50, 200));
+
+// --- Correlation ---------------------------------------------------------------
+
+TEST(CorrelationTest, PerfectLinear) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1}), 0);       // Length mismatch.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {1}), 0);          // Too short.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({3, 3, 3}, {1, 2, 3}), 0);  // Constant.
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({3, 3, 3}, {1, 2, 3}), 0);
+}
+
+TEST(CorrelationTest, SpearmanRobustToMonotoneTransform) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));  // Nonlinear but monotone.
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(xs, ys), 1.0);
+}
+
+TEST(CorrelationTest, MidRanksHandleTies) {
+  const std::vector<double> ranks = MidRanks({10, 20, 20, 30});
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(CorrelationTest, IndependentSeriesNearZero) {
+  SeededRng rng(21);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(rng.Normal(0, 1));
+    ys.push_back(rng.Normal(0, 1));
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.05);
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 0.0, 0.05);
+}
+
+// --- Anomaly scoring --------------------------------------------------------------
+
+TEST(AnomalyTest, RequiresData) {
+  EXPECT_FALSE(ScoreAnomaly({}, {1.0}).ok());
+  EXPECT_FALSE(ScoreAnomaly({1.0}, {}).ok());
+}
+
+TEST(AnomalyTest, ClearShiftScoresHigh) {
+  SeededRng rng(23);
+  std::vector<double> baseline;
+  for (int i = 0; i < 20; ++i) baseline.push_back(rng.Normal(100, 5));
+  Result<AnomalyScore> score = ScoreAnomaly(baseline, {150, 160, 155});
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score->score, 0.95);
+  EXPECT_TRUE(score->anomalous);
+}
+
+TEST(AnomalyTest, NoShiftScoresNearHalf) {
+  SeededRng rng(23);
+  std::vector<double> baseline;
+  std::vector<double> observed;
+  for (int i = 0; i < 30; ++i) baseline.push_back(rng.Normal(100, 5));
+  for (int i = 0; i < 10; ++i) observed.push_back(rng.Normal(100, 5));
+  Result<AnomalyScore> score = ScoreAnomaly(baseline, observed);
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(score->score, 0.5, 0.2);
+  EXPECT_FALSE(score->anomalous);
+}
+
+TEST(AnomalyTest, DecreaseScoresLow) {
+  SeededRng rng(29);
+  std::vector<double> baseline;
+  for (int i = 0; i < 20; ++i) baseline.push_back(rng.Normal(100, 5));
+  Result<AnomalyScore> score = ScoreAnomaly(baseline, {50, 55});
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(score->score, 0.05);
+}
+
+TEST(AnomalyTest, TwoSidedDeviationCatchesBothDirections) {
+  SeededRng rng(31);
+  std::vector<double> baseline;
+  for (int i = 0; i < 20; ++i) baseline.push_back(rng.Normal(100, 5));
+  Result<AnomalyScore> up = ScoreDeviation(baseline, {150});
+  Result<AnomalyScore> down = ScoreDeviation(baseline, {50});
+  Result<AnomalyScore> same = ScoreDeviation(baseline, {100});
+  ASSERT_TRUE(up.ok());
+  ASSERT_TRUE(down.ok());
+  ASSERT_TRUE(same.ok());
+  EXPECT_GT(up->score, 0.9);
+  EXPECT_GT(down->score, 0.9);
+  EXPECT_LT(same->score, 0.4);
+}
+
+TEST(AnomalyTest, AggregationModes) {
+  SeededRng rng(37);
+  std::vector<double> baseline;
+  for (int i = 0; i < 20; ++i) baseline.push_back(rng.Normal(100, 5));
+  // One wild observation among normals.
+  const std::vector<double> observed{100, 100, 100, 200};
+  AnomalyConfig mean_config;
+  mean_config.aggregation = AnomalyAggregation::kMean;
+  AnomalyConfig median_config;
+  median_config.aggregation = AnomalyAggregation::kMedian;
+  AnomalyConfig max_config;
+  max_config.aggregation = AnomalyAggregation::kMax;
+  const double mean_score = ScoreAnomaly(baseline, observed, mean_config)->score;
+  const double median_score =
+      ScoreAnomaly(baseline, observed, median_config)->score;
+  const double max_score = ScoreAnomaly(baseline, observed, max_config)->score;
+  EXPECT_LT(median_score, mean_score);  // Median shrugs off the outlier.
+  EXPECT_GT(max_score, 0.99);           // Max latches onto it.
+}
+
+// Property sweep: with few samples (the paper's "few tens") the score for a
+// genuinely shifted observation stays above threshold across seeds.
+class SmallSampleAnomalyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmallSampleAnomalyTest, DetectsTwoSigmaShiftWithFewSamples) {
+  SeededRng rng(static_cast<uint64_t>(1000 + GetParam()));
+  std::vector<double> baseline;
+  for (int i = 0; i < 15; ++i) baseline.push_back(rng.Normal(100, 5));
+  std::vector<double> observed;
+  for (int i = 0; i < 5; ++i) observed.push_back(rng.Normal(125, 5));
+  Result<AnomalyScore> score = ScoreAnomaly(baseline, observed);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score->score, 0.8) << "seed offset " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallSampleAnomalyTest,
+                         ::testing::Range(0, 12));
+
+// --- Naive Bayes ------------------------------------------------------------------
+
+TEST(NaiveBayesTest, RequiresTwoSamplesPerClass) {
+  EXPECT_FALSE(GaussianNaiveBayes::Fit({1.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(GaussianNaiveBayes::Fit({1.0, 2.0}, {3.0}).ok());
+}
+
+TEST(NaiveBayesTest, SeparatesWellSeparatedClasses) {
+  Result<GaussianNaiveBayes> nb =
+      GaussianNaiveBayes::Fit({1, 2, 3, 2, 1}, {10, 11, 12, 11, 10});
+  ASSERT_TRUE(nb.ok());
+  EXPECT_FALSE(nb->Classify(2.0));
+  EXPECT_TRUE(nb->Classify(11.0));
+  EXPECT_LT(nb->PosteriorClass1(1.5), 0.05);
+  EXPECT_GT(nb->PosteriorClass1(11.0), 0.95);
+}
+
+TEST(NaiveBayesTest, PosteriorCrossesAtMidpointForSymmetricClasses) {
+  Result<GaussianNaiveBayes> nb =
+      GaussianNaiveBayes::Fit({0, 1, 2, 1, 0.5}, {10, 11, 12, 11, 10.5});
+  ASSERT_TRUE(nb.ok());
+  const double mid = (nb->mean0() + nb->mean1()) / 2;
+  EXPECT_NEAR(nb->PosteriorClass1(mid), 0.5, 0.1);
+}
+
+TEST(NaiveBayesTest, ConstantClassDoesNotBlowUp) {
+  Result<GaussianNaiveBayes> nb =
+      GaussianNaiveBayes::Fit({5, 5, 5}, {10, 11, 12});
+  ASSERT_TRUE(nb.ok());
+  EXPECT_FALSE(nb->Classify(5.0));
+  EXPECT_TRUE(nb->Classify(11.0));
+}
+
+}  // namespace
+}  // namespace diads::stats

@@ -1,0 +1,132 @@
+// Tests for the symptom expression language: lexing/parsing (including
+// error positions), boolean structure, and name-resolution helpers.
+// Predicate evaluation against real module results is covered by
+// diag_modules_test and workflow_test; here we exercise the language.
+#include <gtest/gtest.h>
+
+#include "diads/symptom_expr.h"
+
+namespace diads::diag {
+namespace {
+
+TEST(SymptomParserTest, SimpleCall) {
+  Result<SymptomExpr> expr = ParseSymptomExpr("op_anomaly_exists()");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr->kind, SymptomExpr::Kind::kCall);
+  EXPECT_EQ(expr->callee, "op_anomaly_exists");
+  EXPECT_TRUE(expr->args.empty());
+  EXPECT_TRUE(expr->children.empty());
+}
+
+TEST(SymptomParserTest, NamedArguments) {
+  Result<SymptomExpr> expr =
+      ParseSymptomExpr("metric_anomaly(component=V1, metric=writeTime)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->args.at("component"), "V1");
+  EXPECT_EQ(expr->args.at("metric"), "writeTime");
+}
+
+TEST(SymptomParserTest, VolumeVariable) {
+  Result<SymptomExpr> expr =
+      ParseSymptomExpr("op_anomaly_majority(volume=$V)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->args.at("volume"), "$V");
+}
+
+TEST(SymptomParserTest, NotAndOrPrecedence) {
+  Result<SymptomExpr> expr = ParseSymptomExpr(
+      "not plan_changed() and op_anomaly_exists() or lock_wait_high()");
+  ASSERT_TRUE(expr.ok());
+  // Or binds loosest: ((not pc) and oae) or lwh.
+  EXPECT_EQ(expr->kind, SymptomExpr::Kind::kOr);
+  ASSERT_EQ(expr->children.size(), 2u);
+  EXPECT_EQ(expr->children[0].kind, SymptomExpr::Kind::kAnd);
+  EXPECT_EQ(expr->children[0].children[0].kind, SymptomExpr::Kind::kNot);
+  EXPECT_EQ(expr->children[1].callee, "lock_wait_high");
+}
+
+TEST(SymptomParserTest, Parentheses) {
+  Result<SymptomExpr> expr = ParseSymptomExpr(
+      "not (plan_changed() or lock_wait_high())");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->kind, SymptomExpr::Kind::kNot);
+  EXPECT_EQ(expr->children[0].kind, SymptomExpr::Kind::kOr);
+}
+
+TEST(SymptomParserTest, TemporalBefore) {
+  Result<SymptomExpr> expr = ParseSymptomExpr(
+      "before(event(type=VolumeCreated), event(type=VolumePerfDegraded))");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->callee, "before");
+  ASSERT_EQ(expr->children.size(), 2u);
+  EXPECT_EQ(expr->children[0].callee, "event");
+  EXPECT_EQ(expr->children[0].args.at("type"), "VolumeCreated");
+  EXPECT_EQ(expr->children[1].args.at("type"), "VolumePerfDegraded");
+}
+
+TEST(SymptomParserTest, RoundTripToString) {
+  const std::string text =
+      "op_anomaly_majority(volume=$V) and not record_count_change()";
+  Result<SymptomExpr> expr = ParseSymptomExpr(text);
+  ASSERT_TRUE(expr.ok());
+  // Reparse the rendering: same structure.
+  Result<SymptomExpr> again = ParseSymptomExpr(expr->ToString());
+  ASSERT_TRUE(again.ok()) << expr->ToString();
+  EXPECT_EQ(again->ToString(), expr->ToString());
+}
+
+TEST(SymptomParserTest, Errors) {
+  // Missing parens.
+  EXPECT_FALSE(ParseSymptomExpr("plan_changed").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ParseSymptomExpr("plan_changed() xyz()").ok());
+  // Unbalanced.
+  EXPECT_FALSE(ParseSymptomExpr("(plan_changed()").ok());
+  // Bad characters.
+  EXPECT_FALSE(ParseSymptomExpr("plan_changed() & other()").ok());
+  // Dangling argument.
+  EXPECT_FALSE(ParseSymptomExpr("event(type=)").ok());
+  // Empty input.
+  EXPECT_FALSE(ParseSymptomExpr("").ok());
+}
+
+TEST(SymptomParserTest, ErrorsMentionPosition) {
+  Result<SymptomExpr> expr = ParseSymptomExpr("plan_changed() !");
+  ASSERT_FALSE(expr.ok());
+  EXPECT_NE(expr.status().message().find("position"), std::string::npos);
+}
+
+TEST(MetricShortNameTest, RoundTrip) {
+  EXPECT_EQ(ParseMetricShortName("writeTime").value(),
+            monitor::MetricId::kVolPhysWriteTimeMs);
+  EXPECT_EQ(ParseMetricShortName("writeIO").value(),
+            monitor::MetricId::kVolPhysWriteOps);
+  EXPECT_EQ(ParseMetricShortName("lockWait").value(),
+            monitor::MetricId::kDbLockWaitMs);
+  // Full Figure-4 names also resolve.
+  EXPECT_EQ(ParseMetricShortName("Buffer Hits").value(),
+            monitor::MetricId::kDbBufferHits);
+  EXPECT_FALSE(ParseMetricShortName("bogus").ok());
+}
+
+TEST(EventTypeNameTest, RoundTripAll) {
+  for (EventType type :
+       {EventType::kVolumeCreated, EventType::kVolumeDeleted,
+        EventType::kZoningChanged, EventType::kLunMappingChanged,
+        EventType::kDiskFailed, EventType::kDiskRecovered,
+        EventType::kRaidRebuildStarted, EventType::kRaidRebuildCompleted,
+        EventType::kExternalWorkloadStarted,
+        EventType::kExternalWorkloadStopped, EventType::kVolumePerfDegraded,
+        EventType::kSubsystemHighLoad, EventType::kIndexCreated,
+        EventType::kIndexDropped, EventType::kDbParamChanged,
+        EventType::kTableStatsChanged, EventType::kDmlBatch,
+        EventType::kTableLockContention}) {
+    Result<EventType> round = ParseEventTypeName(EventTypeName(type));
+    ASSERT_TRUE(round.ok()) << EventTypeName(type);
+    EXPECT_EQ(*round, type);
+  }
+  EXPECT_FALSE(ParseEventTypeName("NotAnEvent").ok());
+}
+
+}  // namespace
+}  // namespace diads::diag
