@@ -1,0 +1,235 @@
+// Serving-layer experiment: diagnoses/sec of the DiagnosisEngine as a
+// function of worker count (1/2/4/8) and result caching (on/off).
+//
+// Workload: a fleet of tenants (Table-1 scenarios), each producing a
+// stream of diagnosis requests — a mix of *fresh incidents* (distinct
+// cache identities, so the module chain must run) and *repeat questions*
+// (dashboard refreshes and retries of an already-diagnosed incident, the
+// cache/coalescing fast path). The engine is warmed with each tenant's
+// first incident before measurement, so "cache on" rows measure a warm
+// cache serving the mixed stream.
+//
+// Workers pay off because a deployed diagnosis blocks on SAN-collector
+// round-trips while pulling monitoring intervals; the in-memory testbed
+// has no wire, so the engine's collector_stall_ms knob restores it
+// (default 100ms per diagnosis; tune with --collector-ms=N). Repeats
+// served from the warm cache skip collection entirely.
+//
+// Output: a human-readable table plus one JSON line per configuration
+// ("[bench-json] {...}") for the bench trajectory to scrape.
+//
+//   $ ./bench_engine_throughput [--collector-ms=N] [--fresh=N]
+//                               [--repeats=N] [--tenants=N] [--seed=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "diads/symptoms_db.h"
+#include "engine/engine.h"
+#include "workload/fleet.h"
+
+using namespace diads;
+
+namespace {
+
+struct BenchOptions {
+  double collector_ms = 100;  ///< Simulated SAN-collector round-trip.
+  int tenants = 4;
+  int fresh_per_tenant = 2;    ///< Distinct incidents per tenant (misses).
+  int repeats_per_tenant = 10; ///< Repeat questions per tenant (hits).
+  uint64_t seed = 42;
+};
+
+struct ConfigResult {
+  int workers = 0;
+  bool cache = false;
+  int requests = 0;
+  double seconds = 0;
+  double per_sec = 0;
+  double hit_rate = 0;
+  uint64_t coalesced = 0;
+  double p95_ms = 0;
+};
+
+/// The measured request stream: per tenant, `fresh` distinct incidents
+/// plus `repeats` copies of incident 0, interleaved across tenants.
+std::vector<engine::DiagnosisRequest> MakeStream(
+    const workload::FleetWorkload& fleet, int fresh, int repeats) {
+  std::vector<engine::DiagnosisRequest> stream;
+  const int per_tenant = fresh + repeats;
+  for (int r = 0; r < per_tenant; ++r) {
+    for (const workload::FleetTenant& tenant : fleet.tenants) {
+      engine::DiagnosisRequest request;
+      request.ctx = tenant.output->MakeContext();
+      // Distinct tags are distinct diagnosis identities. Incident 0 is the
+      // pre-warmed one (repeats hit its cache entry); fresh incidents get
+      // tags 1..fresh, which the engine has never seen.
+      request.tag = tenant.name + "/incident-" +
+                    std::to_string(r < fresh ? r + 1 : 0);
+      stream.push_back(std::move(request));
+    }
+  }
+  return stream;
+}
+
+ConfigResult RunConfig(const workload::FleetWorkload& fleet,
+                       const diag::SymptomsDb& symptoms,
+                       const BenchOptions& bench, int workers,
+                       bool cache_on) {
+  engine::EngineOptions options;
+  options.workers = workers;
+  options.enable_cache = cache_on;
+  options.collector_stall_ms = bench.collector_ms;
+  engine::DiagnosisEngine engine(options, &symptoms);
+
+  // Warm: diagnose each tenant's incident 0 once (not measured).
+  std::vector<engine::DiagnosisRequest> warm =
+      MakeStream(fleet, /*fresh=*/0, /*repeats=*/1);
+  for (engine::DiagnosisResponse& response :
+       engine.BatchDiagnose(std::move(warm))) {
+    if (!response.ok()) {
+      std::fprintf(stderr, "warmup diagnosis failed: %s\n",
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  // Drop warmup samples so latency percentiles cover only the measured
+  // stream; the cache's own counters survive, so `before` still nets
+  // them out.
+  engine.ResetStats();
+  const engine::EngineStatsSnapshot before = engine.Stats();
+
+  std::vector<engine::DiagnosisRequest> stream = MakeStream(
+      fleet, bench.fresh_per_tenant, bench.repeats_per_tenant);
+  // Fresh incidents reuse identity 0's window but not its tag, except
+  // incident-0 repeats, which are exact repeats of the warmed question.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<engine::DiagnosisResponse> responses =
+      engine.BatchDiagnose(std::move(stream));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const engine::DiagnosisResponse& response : responses) {
+    if (!response.ok()) {
+      std::fprintf(stderr, "diagnosis failed: %s\n",
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const engine::EngineStatsSnapshot after = engine.Stats();
+  ConfigResult result;
+  result.workers = workers;
+  result.cache = cache_on;
+  result.requests = static_cast<int>(responses.size());
+  result.seconds = seconds;
+  result.per_sec = seconds > 0 ? result.requests / seconds : 0;
+  const uint64_t hits = after.cache_hits - before.cache_hits;
+  const uint64_t misses = after.cache_misses - before.cache_misses;
+  result.hit_rate =
+      hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0;
+  result.coalesced = after.coalesced - before.coalesced;
+  result.p95_ms = after.request_latency.p95_ms;
+  return result;
+}
+
+int64_t FlagValue(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions bench;
+  bench.collector_ms = static_cast<double>(
+      FlagValue(argc, argv, "collector-ms",
+                static_cast<int64_t>(bench.collector_ms)));
+  bench.tenants =
+      static_cast<int>(FlagValue(argc, argv, "tenants", bench.tenants));
+  bench.fresh_per_tenant = static_cast<int>(
+      FlagValue(argc, argv, "fresh", bench.fresh_per_tenant));
+  bench.repeats_per_tenant = static_cast<int>(
+      FlagValue(argc, argv, "repeats", bench.repeats_per_tenant));
+  bench.seed = static_cast<uint64_t>(FlagValue(
+      argc, argv, "seed", static_cast<int64_t>(bench.seed)));
+
+  workload::FleetOptions fleet_options;
+  fleet_options.tenants = bench.tenants;
+  fleet_options.requests_per_tenant = 1;  // Streams are built separately.
+  fleet_options.seed = bench.seed;
+  fleet_options.scenario_options.satisfactory_runs = 12;
+  fleet_options.scenario_options.unsatisfactory_runs = 6;
+  std::printf("Building a %d-tenant fleet (Table-1 scenarios)...\n",
+              bench.tenants);
+  Result<workload::FleetWorkload> fleet = workload::BuildFleet(fleet_options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet build failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return 1;
+  }
+  const diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  const int stream_size =
+      bench.tenants * (bench.fresh_per_tenant + bench.repeats_per_tenant);
+  std::printf(
+      "Stream: %d requests (%d fresh incidents + %d repeats per tenant), "
+      "simulated collector round-trip %.0fms.\n\n",
+      stream_size, bench.fresh_per_tenant, bench.repeats_per_tenant,
+      bench.collector_ms);
+
+  TablePrinter table({"Workers", "Cache", "Requests", "Wall (s)",
+                      "Diagnoses/s", "Hit rate", "Coalesced", "p95 (ms)"});
+  std::vector<ConfigResult> results;
+  for (bool cache_on : {true, false}) {
+    for (int workers : {1, 2, 4, 8}) {
+      ConfigResult r = RunConfig(*fleet, symptoms, bench, workers, cache_on);
+      results.push_back(r);
+      table.AddRow({StrFormat("%d", r.workers), r.cache ? "on" : "off",
+                    StrFormat("%d", r.requests),
+                    StrFormat("%.2f", r.seconds),
+                    StrFormat("%.1f", r.per_sec),
+                    StrFormat("%.0f%%", r.hit_rate * 100),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(r.coalesced)),
+                    StrFormat("%.1f", r.p95_ms)});
+      std::printf(
+          "[bench-json] {\"bench\":\"engine_throughput\",\"workers\":%d,"
+          "\"cache\":%s,\"requests\":%d,\"wall_sec\":%.3f,"
+          "\"diagnoses_per_sec\":%.2f,\"cache_hit_rate\":%.3f,"
+          "\"coalesced\":%llu,\"p95_ms\":%.2f,\"collector_ms\":%.0f}\n",
+          r.workers, r.cache ? "true" : "false", r.requests, r.seconds,
+          r.per_sec, r.hit_rate, static_cast<unsigned long long>(r.coalesced),
+          r.p95_ms, bench.collector_ms);
+    }
+  }
+  std::printf("\n%s", table.Render().c_str());
+
+  // Headline ratios for the acceptance trajectory.
+  auto find = [&results](int workers, bool cache) -> const ConfigResult* {
+    for (const ConfigResult& r : results) {
+      if (r.workers == workers && r.cache == cache) return &r;
+    }
+    return nullptr;
+  };
+  const ConfigResult* w1 = find(1, true);
+  const ConfigResult* w4 = find(4, true);
+  const ConfigResult* w4_off = find(4, false);
+  if (w1 != nullptr && w4 != nullptr && w4_off != nullptr &&
+      w1->per_sec > 0 && w4_off->per_sec > 0) {
+    std::printf(
+        "\nScaling (warm cache): 1 -> 4 workers = %.2fx diagnoses/sec; "
+        "cache on vs off at 4 workers = %.2fx.\n",
+        w4->per_sec / w1->per_sec, w4->per_sec / w4_off->per_sec);
+  }
+  return 0;
+}

@@ -151,4 +151,62 @@ std::string ExportMetricScoresCsv(const DiagnosisContext& ctx,
   return out;
 }
 
+std::string ReportDigest(const DiagnosisReport& report) {
+  std::string out;
+  out += StrFormat("pd:differ=%d;", report.pd.plans_differ ? 1 : 0);
+  for (uint64_t f : report.pd.satisfactory_fingerprints) {
+    out += StrFormat("s%016llx,", static_cast<unsigned long long>(f));
+  }
+  for (uint64_t f : report.pd.unsatisfactory_fingerprints) {
+    out += StrFormat("u%016llx,", static_cast<unsigned long long>(f));
+  }
+  for (const PlanChangeCandidate& c : report.pd.candidates) {
+    out += StrFormat(
+        "cand(%s@%lld,%s);", EventTypeName(c.event.type),
+        static_cast<long long>(c.event.time),
+        c.could_explain.has_value() ? (*c.could_explain ? "yes" : "no")
+                                    : "unknown");
+  }
+  out += "\nco:";
+  for (const OperatorAnomaly& a : report.co.scores) {
+    out += StrFormat("O%d=%.6f%s,", a.op_number, a.score,
+                     a.anomalous ? "!" : "");
+  }
+  out += "cos=";
+  for (int op : report.co.correlated_operator_set) {
+    out += StrFormat("%d,", op);
+  }
+  out += "\nda:";
+  for (const MetricAnomaly& m : report.da.metrics) {
+    out += StrFormat("c%u/m%d=%.6f/%.6f%s,", m.component.value,
+                     static_cast<int>(m.metric), m.anomaly_score,
+                     m.correlation, m.correlated ? "!" : "");
+  }
+  out += "ccs=";
+  for (ComponentId c : report.da.correlated_component_set) {
+    out += StrFormat("%u,", c.value);
+  }
+  out += "\ncr:";
+  for (const RecordCountAnomaly& a : report.cr.scores) {
+    out += StrFormat("O%d=%.6f%s,", a.op_number, a.deviation_score,
+                     a.significant ? "!" : "");
+  }
+  out += StrFormat("crs_changed=%d;crs=",
+                   report.cr.data_properties_changed ? 1 : 0);
+  for (int op : report.cr.correlated_record_set) {
+    out += StrFormat("%d,", op);
+  }
+  out += "\ncauses:";
+  for (const RootCause& cause : report.causes) {
+    out += StrFormat(
+        "%s/c%u/conf%.4f/%s/impact%s{%s};", RootCauseTypeName(cause.type),
+        cause.subject.value, cause.confidence, ConfidenceBandName(cause.band),
+        cause.impact_pct.has_value() ? StrFormat("%.4f", *cause.impact_pct).c_str()
+                                     : "-",
+        cause.explanation.c_str());
+  }
+  out += "\nsummary:" + report.summary;
+  return out;
+}
+
 }  // namespace diads::diag

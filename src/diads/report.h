@@ -38,6 +38,15 @@ std::string ExportMetricScoresCsv(const DiagnosisContext& ctx,
 /// Escapes one CSV field (quotes fields containing commas/quotes/newlines).
 std::string CsvEscape(const std::string& field);
 
+/// Canonical textual digest of everything decision-relevant in a report:
+/// plan fingerprints and change candidates, every operator/metric/record
+/// score, the COS/CCS/CRS sets, and the ranked causes with confidence,
+/// band, and impact. Two reports digest equal iff the diagnosis is the
+/// same, which is how the serving layer proves that a concurrently
+/// computed (or cached) report is identical to a serial
+/// Workflow::Diagnose run.
+std::string ReportDigest(const DiagnosisReport& report);
+
 }  // namespace diads::diag
 
 #endif  // DIADS_DIADS_REPORT_H_

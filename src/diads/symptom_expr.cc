@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <optional>
+#include <unordered_map>
 
 #include "common/strings.h"
+#include "diads/symptom_index.h"
 
 namespace diads::diag {
 namespace {
@@ -236,6 +238,12 @@ Result<std::string> RequireArg(const SymptomExpr& expr, const char* name) {
   return it->second;
 }
 
+/// Membership of one operator in the COS, via the index when present.
+bool InCos(int op_index, const SymptomEvalContext& eval) {
+  return eval.index != nullptr ? eval.index->InCos(op_index)
+                               : eval.co->InCos(op_index);
+}
+
 /// Fraction of the volume's leaf operators that are in the COS.
 Result<double> CosLeafFraction(ComponentId volume,
                                const SymptomEvalContext& eval) {
@@ -243,14 +251,23 @@ Result<double> CosLeafFraction(ComponentId volume,
   if (leaves.empty()) return 0.0;
   int in_cos = 0;
   for (int leaf : leaves) {
-    if (eval.co->InCos(leaf)) ++in_cos;
+    if (InCos(leaf, eval)) ++in_cos;
   }
   return static_cast<double>(in_cos) / static_cast<double>(leaves.size());
+}
+
+/// Indexed or linear DaResult::Find.
+const MetricAnomaly* FindMetric(ComponentId component,
+                                monitor::MetricId metric,
+                                const SymptomEvalContext& eval) {
+  return eval.index != nullptr ? eval.index->FindMetric(component, metric)
+                               : eval.da->Find(component, metric);
 }
 
 /// Any storage metric of the volume anomalous per Module DA.
 bool VolumeMetricAnomalous(ComponentId volume,
                            const SymptomEvalContext& eval) {
+  if (eval.index != nullptr) return eval.index->AnyMetricAnomalous(volume);
   const double threshold = eval.config->metric_anomaly.threshold;
   for (const MetricAnomaly& m : eval.da->metrics) {
     if (m.component == volume && m.anomaly_score >= threshold) return true;
@@ -260,14 +277,9 @@ bool VolumeMetricAnomalous(ComponentId volume,
 
 bool DbMetricAnomalous(monitor::MetricId metric,
                        const SymptomEvalContext& eval) {
-  const double threshold = eval.config->metric_anomaly.threshold;
-  for (const MetricAnomaly& m : eval.da->metrics) {
-    if (m.component == eval.ctx->database && m.metric == metric &&
-        m.anomaly_score >= threshold) {
-      return true;
-    }
-  }
-  return false;
+  const MetricAnomaly* m = FindMetric(eval.ctx->database, metric, eval);
+  return m != nullptr &&
+         m->anomaly_score >= eval.config->metric_anomaly.threshold;
 }
 
 /// Earliest event of a call's type (used by before()); supports the same
@@ -278,10 +290,10 @@ Result<std::optional<SimTimeMs>> FirstEventTime(
   DIADS_RETURN_IF_ERROR(type_name.status());
   Result<EventType> type = ParseEventTypeName(*type_name);
   DIADS_RETURN_IF_ERROR(type.status());
-  const TimeInterval window = eval.ctx->AnalysisWindow();
+  if (eval.index != nullptr) return eval.index->FirstEventTime(*type);
   std::optional<SimTimeMs> first;
-  for (const SystemEvent& e :
-       eval.ctx->events->EventsOfTypeIn(*type, window)) {
+  for (const SystemEvent& e : eval.ctx->events->EventsOfTypeIn(
+           *type, eval.ctx->AnalysisWindow())) {
     if (!first.has_value() || e.time < *first) first = e.time;
   }
   return first;
@@ -318,7 +330,6 @@ bool NearVolume(ComponentId subject, ComponentId volume,
 Result<bool> EvaluateCall(const SymptomExpr& expr,
                           const SymptomEvalContext& eval) {
   const std::string& f = expr.callee;
-  const TimeInterval window = eval.ctx->AnalysisWindow();
 
   if (f == "op_anomaly_any" || f == "op_anomaly_majority") {
     Result<std::string> vol_name = RequireArg(expr, "volume");
@@ -348,7 +359,7 @@ Result<bool> EvaluateCall(const SymptomExpr& expr,
     DIADS_RETURN_IF_ERROR(metric_name.status());
     Result<monitor::MetricId> metric = ParseMetricShortName(*metric_name);
     DIADS_RETURN_IF_ERROR(metric.status());
-    const MetricAnomaly* m = eval.da->Find(*component, *metric);
+    const MetricAnomaly* m = FindMetric(*component, *metric, eval);
     return m != nullptr &&
            m->anomaly_score >= eval.config->metric_anomaly.threshold;
   }
@@ -357,7 +368,8 @@ Result<bool> EvaluateCall(const SymptomExpr& expr,
     DIADS_RETURN_IF_ERROR(comp_name.status());
     Result<ComponentId> component = ResolveComponent(*comp_name, eval);
     DIADS_RETURN_IF_ERROR(component.status());
-    return eval.da->InCcs(*component);
+    return eval.index != nullptr ? eval.index->InCcs(*component)
+                                 : eval.da->InCcs(*component);
   }
   if (f == "record_count_change") {
     auto it = expr.args.find("volume");
@@ -379,7 +391,12 @@ Result<bool> EvaluateCall(const SymptomExpr& expr,
     DIADS_RETURN_IF_ERROR(type_name.status());
     Result<EventType> type = ParseEventTypeName(*type_name);
     DIADS_RETURN_IF_ERROR(type.status());
-    return !eval.ctx->events->EventsOfTypeIn(*type, window).empty();
+    if (eval.index != nullptr) {
+      return !eval.index->EventsOfType(*type).empty();
+    }
+    return !eval.ctx->events
+                ->EventsOfTypeIn(*type, eval.ctx->AnalysisWindow())
+                .empty();
   }
   if (f == "event_near") {
     Result<std::string> type_name = RequireArg(expr, "type");
@@ -390,11 +407,16 @@ Result<bool> EvaluateCall(const SymptomExpr& expr,
     DIADS_RETURN_IF_ERROR(vol_name.status());
     Result<ComponentId> volume = ResolveComponent(*vol_name, eval);
     DIADS_RETURN_IF_ERROR(volume.status());
-    for (const SystemEvent& e :
-         eval.ctx->events->EventsOfTypeIn(*type, window)) {
-      if (NearVolume(e.subject, *volume, eval)) return true;
-    }
-    return false;
+    auto near_any = [&](const std::vector<SystemEvent>& events) {
+      for (const SystemEvent& e : events) {
+        if (NearVolume(e.subject, *volume, eval)) return true;
+      }
+      return false;
+    };
+    // Bind the index's vector by reference; only the fallback materializes.
+    if (eval.index != nullptr) return near_any(eval.index->EventsOfType(*type));
+    return near_any(eval.ctx->events->EventsOfTypeIn(
+        *type, eval.ctx->AnalysisWindow()));
   }
   if (f == "before") {
     if (expr.children.size() != 2) {
@@ -418,7 +440,7 @@ Result<bool> EvaluateCall(const SymptomExpr& expr,
   if (f == "cpu_high") {
     const ComponentId server = eval.ctx->apg->db_server();
     const MetricAnomaly* m =
-        eval.da->Find(server, monitor::MetricId::kServerCpuPct);
+        FindMetric(server, monitor::MetricId::kServerCpuPct, eval);
     return m != nullptr &&
            m->anomaly_score >= eval.config->metric_anomaly.threshold;
   }
@@ -494,12 +516,22 @@ Result<bool> EvaluateSymptom(const SymptomExpr& expr,
 }
 
 Result<monitor::MetricId> ParseMetricShortName(const std::string& name) {
-  for (const monitor::MetricMeta& meta : monitor::AllMetrics()) {
-    if (name == monitor::MetricShortName(meta.id) || name == meta.name) {
-      return meta.id;
-    }
+  // Built once (thread-safe magic static), read-only afterwards: these
+  // parses run inside every metric predicate evaluation.
+  static const std::unordered_map<std::string, monitor::MetricId>* kByName =
+      [] {
+        auto* map = new std::unordered_map<std::string, monitor::MetricId>();
+        for (const monitor::MetricMeta& meta : monitor::AllMetrics()) {
+          map->emplace(monitor::MetricShortName(meta.id), meta.id);
+          map->emplace(meta.name, meta.id);
+        }
+        return map;
+      }();
+  auto it = kByName->find(name);
+  if (it == kByName->end()) {
+    return Status::NotFound("unknown metric name: " + name);
   }
-  return Status::NotFound("unknown metric name: " + name);
+  return it->second;
 }
 
 Result<EventType> ParseEventTypeName(const std::string& name) {
@@ -515,10 +547,16 @@ Result<EventType> ParseEventTypeName(const std::string& name) {
       EventType::kDbParamChanged,      EventType::kTableStatsChanged,
       EventType::kDmlBatch,            EventType::kTableLockContention,
   };
-  for (EventType type : kAll) {
-    if (name == EventTypeName(type)) return type;
+  static const std::unordered_map<std::string, EventType>* kByName = [] {
+    auto* map = new std::unordered_map<std::string, EventType>();
+    for (EventType type : kAll) map->emplace(EventTypeName(type), type);
+    return map;
+  }();
+  auto it = kByName->find(name);
+  if (it == kByName->end()) {
+    return Status::NotFound("unknown event type: " + name);
   }
-  return Status::NotFound("unknown event type: " + name);
+  return it->second;
 }
 
 }  // namespace diads::diag

@@ -62,6 +62,8 @@ struct SymptomExpr {
 /// Parses an expression; reports the offending position on error.
 Result<SymptomExpr> ParseSymptomExpr(const std::string& text);
 
+class SymptomIndex;
+
 /// Everything a predicate can look at.
 struct SymptomEvalContext {
   const DiagnosisContext* ctx = nullptr;
@@ -72,6 +74,11 @@ struct SymptomEvalContext {
   const CrResult* cr = nullptr;
   /// Binding for the `$V` variable (invalid when the entry is unbound).
   ComponentId bound_volume;
+  /// Optional precomputed lookups (see symptom_index.h). When set, metric,
+  /// membership, and event predicates use hashed lookups instead of
+  /// linear scans; answers are identical either way. RunSymptomsDatabase
+  /// builds one per diagnosis; hand-rolled evaluations may leave it null.
+  const SymptomIndex* index = nullptr;
 };
 
 /// Evaluates an expression to a boolean. Unknown predicates or unresolvable

@@ -1,0 +1,56 @@
+#include "diads/symptom_index.h"
+
+namespace diads::diag {
+namespace {
+
+uint64_t PairKey(ComponentId component, monitor::MetricId metric) {
+  return (static_cast<uint64_t>(component.value) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(metric));
+}
+
+}  // namespace
+
+SymptomIndex SymptomIndex::Build(const DiagnosisContext& ctx,
+                                 const WorkflowConfig& config,
+                                 const CoResult& co, const DaResult& da) {
+  SymptomIndex index;
+  const double threshold = config.metric_anomaly.threshold;
+  for (const MetricAnomaly& m : da.metrics) {
+    // emplace keeps the first entry per pair — DaResult::Find semantics.
+    index.metric_by_pair_.emplace(PairKey(m.component, m.metric), &m);
+    if (m.anomaly_score >= threshold) {
+      index.anomalous_components_.insert(m.component);
+    }
+  }
+  index.ccs_.insert(da.correlated_component_set.begin(),
+                    da.correlated_component_set.end());
+  index.cos_.insert(co.correlated_operator_set.begin(),
+                    co.correlated_operator_set.end());
+  for (const SystemEvent& event : ctx.events->EventsIn(ctx.AnalysisWindow())) {
+    index.events_by_type_[static_cast<int>(event.type)].push_back(event);
+  }
+  return index;
+}
+
+const MetricAnomaly* SymptomIndex::FindMetric(ComponentId component,
+                                              monitor::MetricId metric) const {
+  auto it = metric_by_pair_.find(PairKey(component, metric));
+  return it == metric_by_pair_.end() ? nullptr : it->second;
+}
+
+const std::vector<SystemEvent>& SymptomIndex::EventsOfType(
+    EventType type) const {
+  auto it = events_by_type_.find(static_cast<int>(type));
+  return it == events_by_type_.end() ? no_events_ : it->second;
+}
+
+std::optional<SimTimeMs> SymptomIndex::FirstEventTime(EventType type) const {
+  const std::vector<SystemEvent>& events = EventsOfType(type);
+  std::optional<SimTimeMs> first;
+  for (const SystemEvent& event : events) {
+    if (!first.has_value() || event.time < *first) first = event.time;
+  }
+  return first;
+}
+
+}  // namespace diads::diag

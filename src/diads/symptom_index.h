@@ -1,0 +1,75 @@
+// Precomputed lookup index for symptom evaluation.
+//
+// Module SD evaluates every symptoms-database entry once per candidate
+// volume binding, and every condition consults the module results through
+// linear scans: DaResult::Find walks all scored metrics, volume checks
+// rescan them per volume, event predicates re-filter the whole event log,
+// and COS/CCS membership is a std::find per probe. For one interactive
+// diagnosis that is fine; for a serving engine evaluating the database for
+// every request on every worker it is the hot path.
+//
+// SymptomIndex precomputes, once per diagnosis, exactly the lookups the
+// predicate language performs:
+//
+//   * (component, metric) -> first scored MetricAnomaly (hash map; same
+//     first-match semantics as DaResult::Find),
+//   * component -> has any metric scoring >= the anomaly threshold,
+//   * CCS / COS membership sets,
+//   * event type -> analysis-window events (and first occurrence time).
+//
+// The index borrows from the module results it was built over; keep them
+// alive and unchanged while it is in use. It is immutable after Build, so
+// it is safe to share read-only across worker threads — and every indexed
+// answer is by construction identical to the linear-scan answer, which the
+// symptom_expr tests assert.
+#ifndef DIADS_DIADS_SYMPTOM_INDEX_H_
+#define DIADS_DIADS_SYMPTOM_INDEX_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "diads/diagnosis.h"
+
+namespace diads::diag {
+
+class SymptomIndex {
+ public:
+  /// Builds the index over one diagnosis's module results.
+  static SymptomIndex Build(const DiagnosisContext& ctx,
+                            const WorkflowConfig& config, const CoResult& co,
+                            const DaResult& da);
+
+  /// Indexed DaResult::Find (first scored entry for the pair).
+  const MetricAnomaly* FindMetric(ComponentId component,
+                                  monitor::MetricId metric) const;
+
+  /// Any metric of `component` scored >= the metric anomaly threshold.
+  bool AnyMetricAnomalous(ComponentId component) const {
+    return anomalous_components_.count(component) > 0;
+  }
+
+  bool InCcs(ComponentId component) const {
+    return ccs_.count(component) > 0;
+  }
+  bool InCos(int op_index) const { return cos_.count(op_index) > 0; }
+
+  /// Analysis-window events of one type, in log (time) order.
+  const std::vector<SystemEvent>& EventsOfType(EventType type) const;
+
+  /// Earliest analysis-window occurrence of an event type.
+  std::optional<SimTimeMs> FirstEventTime(EventType type) const;
+
+ private:
+  std::unordered_map<uint64_t, const MetricAnomaly*> metric_by_pair_;
+  std::unordered_set<ComponentId> anomalous_components_;
+  std::unordered_set<ComponentId> ccs_;
+  std::unordered_set<int> cos_;
+  std::unordered_map<int, std::vector<SystemEvent>> events_by_type_;
+  std::vector<SystemEvent> no_events_;
+};
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_SYMPTOM_INDEX_H_

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "diads/symptom_index.h"
 
 namespace diads::diag {
 
@@ -220,6 +221,11 @@ Result<std::vector<RootCause>> RunSymptomsDatabase(
   std::set<ComponentId> bindings;
   for (ComponentId v : ctx.apg->PlanVolumes()) bindings.insert(v);
 
+  // One set of precomputed lookup tables serves every entry evaluation:
+  // entries x volume bindings x conditions otherwise rescans the DA
+  // metrics and the event log per condition.
+  const SymptomIndex index = SymptomIndex::Build(ctx, config, co, da);
+
   std::vector<RootCause> causes;
   for (const RootCauseEntry& entry : db.entries()) {
     std::vector<ComponentId> entry_bindings;
@@ -237,6 +243,7 @@ Result<std::vector<RootCause>> RunSymptomsDatabase(
       eval.da = &da;
       eval.cr = &cr;
       eval.bound_volume = binding;
+      eval.index = &index;
 
       double confidence = 0;
       std::vector<std::string> fired;

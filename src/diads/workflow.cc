@@ -2,10 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/strings.h"
 
 namespace diads::diag {
+namespace {
+
+/// Scoped wall-clock timer writing milliseconds into `*slot` (null-safe).
+class ModuleTimer {
+ public:
+  explicit ModuleTimer(double* slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~ModuleTimer() {
+    if (slot_ == nullptr) return;
+    *slot_ = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+
+ private:
+  double* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+double* Slot(ModuleTimings* timings, double ModuleTimings::*member) {
+  return timings == nullptr ? nullptr : &(timings->*member);
+}
+
+}  // namespace
 
 Workflow::Workflow(DiagnosisContext ctx, WorkflowConfig config,
                    const SymptomsDb* symptoms_db)
@@ -14,47 +39,66 @@ Workflow::Workflow(DiagnosisContext ctx, WorkflowConfig config,
          ctx_.topology && ctx_.catalog);
 }
 
-Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method) const {
+Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
+                                           ModuleTimings* timings) const {
   DiagnosisReport report;
 
   // Query -> Plans.
-  Result<PdResult> pd = RunPlanDiff(ctx_);
-  DIADS_RETURN_IF_ERROR(pd.status());
-  report.pd = std::move(*pd);
+  {
+    ModuleTimer timer(Slot(timings, &ModuleTimings::pd_ms));
+    Result<PdResult> pd = RunPlanDiff(ctx_);
+    DIADS_RETURN_IF_ERROR(pd.status());
+    report.pd = std::move(*pd);
+  }
 
   // Plans -> Operators. (When plans differ the remaining drill-down still
   // runs on the shared plan's runs if any exist; if none exist the plan
   // change itself is the diagnosis.)
-  Result<CoResult> co = RunCorrelatedOperators(ctx_, config_);
-  if (co.ok()) {
-    report.co = std::move(*co);
-  } else if (!report.pd.plans_differ) {
-    return co.status();
+  {
+    ModuleTimer timer(Slot(timings, &ModuleTimings::co_ms));
+    Result<CoResult> co = RunCorrelatedOperators(ctx_, config_);
+    if (co.ok()) {
+      report.co = std::move(*co);
+    } else if (!report.pd.plans_differ) {
+      return co.status();
+    }
   }
 
   // Operators -> Components.
-  Result<DaResult> da = RunDependencyAnalysis(ctx_, config_, report.co);
-  if (da.ok()) report.da = std::move(*da);
+  {
+    ModuleTimer timer(Slot(timings, &ModuleTimings::da_ms));
+    Result<DaResult> da = RunDependencyAnalysis(ctx_, config_, report.co);
+    if (da.ok()) report.da = std::move(*da);
+  }
 
   // Operators -> record counts.
-  Result<CrResult> cr = RunCorrelatedRecords(ctx_, config_, report.co);
-  if (cr.ok()) report.cr = std::move(*cr);
+  {
+    ModuleTimer timer(Slot(timings, &ModuleTimings::cr_ms));
+    Result<CrResult> cr = RunCorrelatedRecords(ctx_, config_, report.co);
+    if (cr.ok()) report.cr = std::move(*cr);
+  }
 
   // Symptoms -> causes.
-  if (symptoms_db_ != nullptr) {
-    Result<std::vector<RootCause>> causes =
-        RunSymptomsDatabase(ctx_, config_, report.pd, report.co, report.da,
-                            report.cr, *symptoms_db_);
-    DIADS_RETURN_IF_ERROR(causes.status());
-    report.causes = std::move(*causes);
-  } else {
-    report.causes =
-        FallbackCauses(ctx_, config_, report.co, report.da, report.cr);
+  {
+    ModuleTimer timer(Slot(timings, &ModuleTimings::sd_ms));
+    if (symptoms_db_ != nullptr) {
+      Result<std::vector<RootCause>> causes =
+          RunSymptomsDatabase(ctx_, config_, report.pd, report.co, report.da,
+                              report.cr, *symptoms_db_);
+      DIADS_RETURN_IF_ERROR(causes.status());
+      report.causes = std::move(*causes);
+    } else {
+      report.causes =
+          FallbackCauses(ctx_, config_, report.co, report.da, report.cr);
+    }
   }
 
   // Impact roll-up.
-  DIADS_RETURN_IF_ERROR(RunImpactAnalysis(ctx_, config_, report.co, report.cr,
-                                          &report.causes, impact_method));
+  {
+    ModuleTimer timer(Slot(timings, &ModuleTimings::ia_ms));
+    DIADS_RETURN_IF_ERROR(RunImpactAnalysis(
+        ctx_, config_, report.co, report.cr, &report.causes, impact_method));
+  }
   report.summary = SummarizeReport(ctx_, report);
   return report;
 }

@@ -25,7 +25,25 @@
 
 namespace diads::diag {
 
+/// Wall-clock milliseconds spent in each module during one Diagnose() call.
+/// Filled by Workflow::Diagnose when a non-null pointer is passed; the
+/// serving layer feeds these into its per-module latency percentiles.
+struct ModuleTimings {
+  double pd_ms = 0, co_ms = 0, da_ms = 0, cr_ms = 0, sd_ms = 0, ia_ms = 0;
+};
+
 /// Batch workflow entry point.
+///
+/// Thread-safety: Diagnose() is const and touches only the read-only state
+/// behind the DiagnosisContext, so one Workflow (or many Workflows sharing
+/// a context and SymptomsDb) may diagnose concurrently from any number of
+/// threads — with one exception: `ctx.plan_whatif_probe` is deployment
+/// code that may temporarily mutate the deployment's catalog, racing any
+/// concurrent diagnosis that reads the same catalog. Callers running
+/// concurrent diagnoses over one deployment must either supply a
+/// thread-safe probe or serialize probe-carrying diagnoses against the
+/// rest (the DiagnosisEngine holds a per-catalog reader/writer lock for
+/// this reason).
 class Workflow {
  public:
   /// `symptoms_db` may be null: DIADS still narrows the search space via
@@ -35,9 +53,11 @@ class Workflow {
   Workflow(DiagnosisContext ctx, WorkflowConfig config,
            const SymptomsDb* symptoms_db);
 
-  /// Runs the full drill-down and roll-up.
+  /// Runs the full drill-down and roll-up. When `timings` is non-null it
+  /// receives the per-module wall-clock breakdown.
   Result<DiagnosisReport> Diagnose(
-      ImpactMethod impact_method = ImpactMethod::kInverseDependency) const;
+      ImpactMethod impact_method = ImpactMethod::kInverseDependency,
+      ModuleTimings* timings = nullptr) const;
 
   const DiagnosisContext& context() const { return ctx_; }
   const WorkflowConfig& config() const { return config_; }

@@ -1,0 +1,106 @@
+#include "engine/cache.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace diads::engine {
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  // splitmix64-style avalanche of the running hash with the next word.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+std::string CacheKey::ToString() const {
+  return StrFormat("%s%s%s@[%lld,%lld)/cfg%016llx", query.c_str(),
+                   tag.empty() ? "" : "#", tag.c_str(),
+                   static_cast<long long>(window_begin),
+                   static_cast<long long>(window_end),
+                   static_cast<unsigned long long>(config_fingerprint));
+}
+
+size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  uint64_t h = 0x51ed270b7a2fd1c5ull;
+  h = Mix(h, std::hash<std::string>()(key.query));
+  h = Mix(h, static_cast<uint64_t>(key.window_begin));
+  h = Mix(h, static_cast<uint64_t>(key.window_end));
+  h = Mix(h, std::hash<std::string>()(key.tag));
+  h = Mix(h, key.config_fingerprint);
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(Options options) {
+  const int shards = std::max(1, options.shards);
+  const size_t capacity = std::max<size_t>(1, options.capacity);
+  shard_capacity_ =
+      (capacity + static_cast<size_t>(shards) - 1) / static_cast<size_t>(shards);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
+  return *shards_[CacheKeyHash()(key) % shards_.size()];
+}
+
+std::shared_ptr<const diag::DiagnosisReport> ResultCache::Get(
+    const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->report;
+}
+
+void ResultCache::Put(const CacheKey& key,
+                      std::shared_ptr<const diag::DiagnosisReport> report) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->report = std::move(report);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, std::move(report)});
+  shard.index[key] = shard.lru.begin();
+}
+
+ResultCache::Counters ResultCache::TotalCounters() const {
+  Counters out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void ResultCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace diads::engine

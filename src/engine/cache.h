@@ -1,0 +1,105 @@
+// Sharded LRU cache of finished diagnosis reports.
+//
+// A fleet-scale diagnosis service sees the same question many times: every
+// dashboard refresh, every administrator of the same tenant, every retry
+// re-asks "why did query Q slow down over window W?". The answer is a pure
+// function of (query, time window, workflow configuration), so the engine
+// memoizes it: repeated diagnoses are served without re-running the module
+// chain (PD -> CO -> DA -> CR -> SD -> IA).
+//
+// Reports are immutable once published (shared_ptr<const DiagnosisReport>),
+// so a cached report can be handed to any number of concurrent readers.
+// The cache is sharded by key hash: each shard has its own mutex and LRU
+// list, so worker threads completing different diagnoses rarely contend.
+#ifndef DIADS_ENGINE_CACHE_H_
+#define DIADS_ENGINE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "diads/diagnosis.h"
+
+namespace diads::engine {
+
+/// Identity of a diagnosis: the query, the diagnosis window, a tenant tag
+/// (two tenants' "Q2" are different queries), and a fingerprint of the
+/// workflow configuration (different thresholds give different reports).
+struct CacheKey {
+  std::string query;
+  SimTimeMs window_begin = 0;
+  SimTimeMs window_end = 0;
+  std::string tag;
+  uint64_t config_fingerprint = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.window_begin == b.window_begin && a.window_end == b.window_end &&
+           a.config_fingerprint == b.config_fingerprint &&
+           a.query == b.query && a.tag == b.tag;
+  }
+  std::string ToString() const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const;
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    size_t capacity = 1024;  ///< Total entries across shards.
+    int shards = 8;
+  };
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  explicit ResultCache(Options options);
+
+  /// Returns the cached report (refreshing its recency) or nullptr.
+  std::shared_ptr<const diag::DiagnosisReport> Get(const CacheKey& key);
+
+  /// Inserts or replaces; evicts the shard's least-recently-used entry when
+  /// the shard is at capacity.
+  void Put(const CacheKey& key,
+           std::shared_ptr<const diag::DiagnosisReport> report);
+
+  /// Aggregated counters across shards.
+  Counters TotalCounters() const;
+
+  void Clear();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  size_t capacity_per_shard() const { return shard_capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const diag::DiagnosisReport> report;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace diads::engine
+
+#endif  // DIADS_ENGINE_CACHE_H_

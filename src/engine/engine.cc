@@ -1,0 +1,296 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace diads::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+uint64_t MixBits(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+uint64_t MixAnomalyConfig(uint64_t h, const stats::AnomalyConfig& config) {
+  h = MixBits(h, static_cast<uint64_t>(config.bandwidth_rule));
+  h = MixBits(h, static_cast<uint64_t>(config.aggregation));
+  h = MixBits(h, DoubleBits(config.threshold));
+  return h;
+}
+
+Status ValidateContext(const diag::DiagnosisContext& ctx) {
+  if (ctx.runs == nullptr || ctx.store == nullptr || ctx.events == nullptr ||
+      ctx.apg == nullptr || ctx.topology == nullptr ||
+      ctx.catalog == nullptr) {
+    return Status::InvalidArgument(
+        "DiagnosisRequest context is missing a required source (runs, "
+        "store, events, apg, topology, catalog)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const diag::WorkflowConfig& config) {
+  uint64_t h = 0xd1a6d005c0ffee00ull;
+  h = MixAnomalyConfig(h, config.operator_anomaly);
+  h = MixAnomalyConfig(h, config.metric_anomaly);
+  h = MixAnomalyConfig(h, config.record_deviation);
+  h = MixBits(h, DoubleBits(config.correlation_threshold));
+  h = MixBits(h, DoubleBits(config.high_confidence));
+  h = MixBits(h, DoubleBits(config.medium_confidence));
+  h = MixBits(h, DoubleBits(config.report_floor));
+  return h;
+}
+
+struct DiagnosisEngine::Waiter {
+  std::shared_ptr<std::promise<DiagnosisResponse>> promise;
+  Clock::time_point submitted;
+  bool coalesced = false;
+};
+
+struct DiagnosisEngine::Inflight {
+  std::vector<Waiter> waiters;
+};
+
+DiagnosisEngine::DiagnosisEngine(EngineOptions options,
+                                 const diag::SymptomsDb* symptoms_db)
+    : options_(options),
+      symptoms_db_(symptoms_db),
+      cache_(ResultCache::Options{options.cache_capacity,
+                                  options.cache_shards}),
+      pool_(ThreadPool::Options{options.workers, options.queue_capacity}) {}
+
+DiagnosisEngine::~DiagnosisEngine() { Shutdown(); }
+
+CacheKey DiagnosisEngine::KeyFor(const DiagnosisRequest& request) {
+  CacheKey key;
+  key.query = request.ctx.query;
+  const TimeInterval window = request.ctx.AnalysisWindow();
+  key.window_begin = window.begin;
+  key.window_end = window.end;
+  key.tag = request.tag;
+  key.config_fingerprint = MixBits(
+      ConfigFingerprint(request.config),
+      static_cast<uint64_t>(request.impact_method));
+  return key;
+}
+
+std::future<DiagnosisResponse> DiagnosisEngine::Submit(
+    DiagnosisRequest request) {
+  stats_.RecordSubmitted();
+  const Clock::time_point submitted = Clock::now();
+  auto promise = std::make_shared<std::promise<DiagnosisResponse>>();
+  std::future<DiagnosisResponse> future = promise->get_future();
+
+  auto fulfill_now = [&](Status status, bool failed_counts) {
+    DiagnosisResponse response;
+    response.status = std::move(status);
+    response.latency_ms = ElapsedMs(submitted);
+    if (failed_counts) stats_.RecordFailed();
+    promise->set_value(std::move(response));
+  };
+
+  const Status valid = ValidateContext(request.ctx);
+  if (!valid.ok()) {
+    fulfill_now(valid, /*failed_counts=*/true);
+    return future;
+  }
+
+  const CacheKey key = KeyFor(request);
+
+  if (options_.enable_cache) {
+    if (std::shared_ptr<const diag::DiagnosisReport> report =
+            cache_.Get(key)) {
+      stats_.RecordCacheHit();
+      DiagnosisResponse response;
+      response.report = std::move(report);
+      response.cache_hit = true;
+      response.latency_ms = ElapsedMs(submitted);
+      stats_.RecordCompleted();
+      stats_.RecordRequestLatency(response.latency_ms);
+      promise->set_value(std::move(response));
+      return future;
+    }
+    stats_.RecordCacheMiss();
+  }
+
+  if (options_.coalesce_identical) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        it->second->waiters.push_back(
+            Waiter{std::move(promise), submitted, /*coalesced=*/true});
+        stats_.RecordCoalesced();
+        return future;
+      }
+      auto entry = std::make_unique<Inflight>();
+      entry->waiters.push_back(
+          Waiter{promise, submitted, /*coalesced=*/false});
+      inflight_.emplace(key, std::move(entry));
+    }
+    const Status submitted_status = pool_.Submit(
+        [this, key, request = std::move(request)]() mutable {
+          Execute(key, std::move(request));
+        });
+    stats_.RecordQueueDepth(pool_.QueueDepth());
+    if (!submitted_status.ok()) {
+      // The pool shut down between the inflight insert and the enqueue:
+      // fail every waiter that piled onto this key.
+      Resolve(key, submitted_status, nullptr);
+    }
+    return future;
+  }
+
+  // No coalescing: the task owns its promise directly.
+  const Status submitted_status = pool_.Submit(
+      [this, key, promise, submitted, request = std::move(request)]() mutable {
+        DiagnosisRequest local = std::move(request);
+        Status status;
+        std::shared_ptr<const diag::DiagnosisReport> report;
+        Compute(&local, &status, &report);
+        if (status.ok() && options_.enable_cache) cache_.Put(key, report);
+        DiagnosisResponse response;
+        response.status = status;
+        response.report = std::move(report);
+        response.latency_ms = ElapsedMs(submitted);
+        if (status.ok()) {
+          stats_.RecordCompleted();
+        } else {
+          stats_.RecordFailed();
+        }
+        stats_.RecordRequestLatency(response.latency_ms);
+        promise->set_value(std::move(response));
+      });
+  stats_.RecordQueueDepth(pool_.QueueDepth());
+  if (!submitted_status.ok()) {
+    stats_.RecordRejected();
+    fulfill_now(submitted_status, /*failed_counts=*/false);
+  }
+  return future;
+}
+
+void DiagnosisEngine::Compute(
+    DiagnosisRequest* request, Status* status,
+    std::shared_ptr<const diag::DiagnosisReport>* report) {
+  if (options_.collector_stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.collector_stall_ms));
+  }
+  // The deployment what-if probe temporarily mutates the deployment's
+  // catalog (it re-optimizes with an event reverted), which would race
+  // every other worker reading that catalog mid-diagnosis. Hold the
+  // catalog's lock for the whole workflow run: exclusively when this
+  // request carries a probe, shared otherwise — distinct tenants have
+  // distinct catalogs and are unaffected.
+  std::shared_ptr<std::shared_mutex> catalog_lock;
+  {
+    std::lock_guard<std::mutex> lock(catalog_locks_mu_);
+    std::shared_ptr<std::shared_mutex>& slot =
+        catalog_locks_[request->ctx.catalog];
+    if (slot == nullptr) slot = std::make_shared<std::shared_mutex>();
+    catalog_lock = slot;
+  }
+  std::shared_lock<std::shared_mutex> read_lock;
+  std::unique_lock<std::shared_mutex> write_lock;
+  if (request->ctx.plan_whatif_probe != nullptr) {
+    write_lock = std::unique_lock<std::shared_mutex>(*catalog_lock);
+  } else {
+    read_lock = std::shared_lock<std::shared_mutex>(*catalog_lock);
+  }
+  diag::Workflow workflow(request->ctx, request->config, symptoms_db_);
+  diag::ModuleTimings timings;
+  Result<diag::DiagnosisReport> result =
+      workflow.Diagnose(request->impact_method, &timings);
+  stats_.RecordModuleLatencies(timings);
+  if (!result.ok()) {
+    *status = result.status();
+    return;
+  }
+  *status = Status::Ok();
+  *report = std::make_shared<const diag::DiagnosisReport>(
+      std::move(result).value());
+}
+
+void DiagnosisEngine::Execute(CacheKey key, DiagnosisRequest request) {
+  Status status;
+  std::shared_ptr<const diag::DiagnosisReport> report;
+  Compute(&request, &status, &report);
+  if (status.ok() && options_.enable_cache) cache_.Put(key, report);
+  Resolve(key, status, std::move(report));
+}
+
+void DiagnosisEngine::Resolve(
+    const CacheKey& key, const Status& status,
+    std::shared_ptr<const diag::DiagnosisReport> report) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    waiters = std::move(it->second->waiters);
+    inflight_.erase(it);
+  }
+  for (Waiter& waiter : waiters) {
+    DiagnosisResponse response;
+    response.status = status;
+    response.report = report;
+    response.coalesced = waiter.coalesced;
+    response.latency_ms = ElapsedMs(waiter.submitted);
+    if (status.ok()) {
+      stats_.RecordCompleted();
+    } else if (status.code() == StatusCode::kFailedPrecondition) {
+      stats_.RecordRejected();
+    } else {
+      stats_.RecordFailed();
+    }
+    stats_.RecordRequestLatency(response.latency_ms);
+    waiter.promise->set_value(std::move(response));
+  }
+}
+
+std::vector<DiagnosisResponse> DiagnosisEngine::BatchDiagnose(
+    std::vector<DiagnosisRequest> requests) {
+  std::vector<std::future<DiagnosisResponse>> futures;
+  futures.reserve(requests.size());
+  for (DiagnosisRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<DiagnosisResponse> responses;
+  responses.reserve(futures.size());
+  for (std::future<DiagnosisResponse>& future : futures) {
+    responses.push_back(future.get());
+  }
+  return responses;
+}
+
+void DiagnosisEngine::Drain() { pool_.Drain(); }
+
+void DiagnosisEngine::Shutdown() { pool_.Shutdown(); }
+
+EngineStatsSnapshot DiagnosisEngine::Stats() const {
+  EngineStatsSnapshot snapshot = stats_.Snapshot(pool_.QueueDepth());
+  snapshot.cache_evictions = cache_.TotalCounters().evictions;
+  return snapshot;
+}
+
+}  // namespace diads::engine

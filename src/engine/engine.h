@@ -1,0 +1,170 @@
+// The concurrent diagnosis engine: DIADS as a served system.
+//
+// The paper's workflow answers one administrator's question about one
+// query. A deployment diagnosing slowdowns across a fleet answers that
+// question continuously for many tenants at once: dashboards poll it,
+// alerting retries it, several administrators investigate the same
+// incident simultaneously. DiagnosisEngine turns the batch
+// Workflow::Diagnose into that service:
+//
+//   * requests are accepted into a bounded queue (backpressure instead of
+//     unbounded memory growth) and executed by a worker pool;
+//   * Submit() returns a std::future so callers overlap their own work
+//     with the diagnosis;
+//   * finished reports are memoized in a sharded LRU cache keyed by
+//     (query, window, tenant tag, config) — a repeat of the same question
+//     is answered without re-running the module chain;
+//   * identical requests already in flight are coalesced: the second
+//     asker waits for the first one's report instead of computing it
+//     twice (single-flight);
+//   * everything is measured (EngineStats): throughput, queue depth,
+//     per-module latency percentiles, cache hit rate.
+//
+// Determinism contract: for a given request, the engine's report is
+// byte-identical (see ReportDigest) to a direct serial
+// Workflow::Diagnose over the same context, whether it was computed,
+// coalesced, or served from cache.
+//
+// The SymptomsDb is shared read-only across all workers. The one piece of
+// request state the engine cannot assume is thread-safe is the
+// deployment-supplied plan what-if probe: it may temporarily mutate the
+// deployment's catalog while re-optimizing, racing other workers that
+// read the same catalog mid-diagnosis. The engine therefore takes a
+// per-catalog reader/writer lock around each diagnosis — probe-carrying
+// requests exclusively, probe-less requests shared — so distinct tenants
+// run fully in parallel and same-tenant readers still overlap.
+#ifndef DIADS_ENGINE_ENGINE_H_
+#define DIADS_ENGINE_ENGINE_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "diads/impact_analysis.h"
+#include "diads/symptoms_db.h"
+#include "diads/workflow.h"
+#include "engine/cache.h"
+#include "engine/stats.h"
+#include "engine/thread_pool.h"
+
+namespace diads::engine {
+
+/// One diagnosis question. The context's pointers must stay valid until
+/// the returned future resolves (for a fleet, the FleetWorkload owns the
+/// scenario state and outlives the engine run).
+struct DiagnosisRequest {
+  diag::DiagnosisContext ctx;
+  diag::WorkflowConfig config;
+  diag::ImpactMethod impact_method = diag::ImpactMethod::kInverseDependency;
+  /// Tenant / deployment disambiguator: two tenants both call their report
+  /// query "Q2", but their diagnoses must not share cache entries.
+  std::string tag;
+};
+
+/// What the future resolves to.
+struct DiagnosisResponse {
+  Status status;  ///< Ok unless the workflow failed or the engine refused.
+  std::shared_ptr<const diag::DiagnosisReport> report;  ///< Null on error.
+  bool cache_hit = false;
+  bool coalesced = false;   ///< Waited on an identical in-flight request.
+  double latency_ms = 0;    ///< Submit to completion, wall clock.
+
+  bool ok() const { return status.ok(); }
+};
+
+struct EngineOptions {
+  int workers = 4;
+  size_t queue_capacity = 128;
+  bool enable_cache = true;
+  size_t cache_capacity = 1024;
+  int cache_shards = 8;
+  /// Join identical in-flight requests instead of recomputing.
+  bool coalesce_identical = true;
+  /// Simulated per-diagnosis stall (milliseconds) modelling the wire
+  /// latency of pulling monitoring intervals from the SAN collectors. The
+  /// in-memory testbed serves monitoring data at memory speed; a real
+  /// deployment blocks on collector round-trips, which is exactly the
+  /// blocking that makes a worker pool pay off. 0 disables (tests use 0;
+  /// serving benchmarks set a few ms). Applied only on the compute path —
+  /// cache hits skip collection entirely.
+  double collector_stall_ms = 0;
+};
+
+class DiagnosisEngine {
+ public:
+  /// `symptoms_db` may be null (fallback causes, as in Workflow); when
+  /// non-null it must outlive the engine and is shared read-only by all
+  /// workers.
+  DiagnosisEngine(EngineOptions options, const diag::SymptomsDb* symptoms_db);
+  ~DiagnosisEngine();  ///< Graceful: drains accepted work, then joins.
+
+  DiagnosisEngine(const DiagnosisEngine&) = delete;
+  DiagnosisEngine& operator=(const DiagnosisEngine&) = delete;
+
+  /// Enqueues a diagnosis. Blocks while the queue is at capacity. After
+  /// Shutdown the future resolves immediately with FailedPrecondition.
+  std::future<DiagnosisResponse> Submit(DiagnosisRequest request);
+
+  /// Fans a fleet of requests across the pool and waits for all of them.
+  /// Responses are in request order.
+  std::vector<DiagnosisResponse> BatchDiagnose(
+      std::vector<DiagnosisRequest> requests);
+
+  /// Blocks until every accepted request has resolved.
+  void Drain();
+
+  /// Stops intake, finishes accepted requests, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Live metrics (queue depth sampled now, cache counters included).
+  EngineStatsSnapshot Stats() const;
+
+  /// Zeroes every counter and latency sample and restarts the throughput
+  /// clock (benchmarks call this after warmup). Cache contents and the
+  /// cache's own counters are untouched.
+  void ResetStats() { stats_.Reset(); }
+
+  /// The cache identity the engine derives for a request.
+  static CacheKey KeyFor(const DiagnosisRequest& request);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Waiter;
+  struct Inflight;
+
+  /// Runs the workflow for one request on a worker thread: applies the
+  /// collector stall, wraps the what-if probe with the engine-wide probe
+  /// lock, records module latencies.
+  void Compute(DiagnosisRequest* request, Status* status,
+               std::shared_ptr<const diag::DiagnosisReport>* report);
+  void Execute(CacheKey key, DiagnosisRequest request);
+  void Resolve(const CacheKey& key, const Status& status,
+               std::shared_ptr<const diag::DiagnosisReport> report);
+
+  EngineOptions options_;
+  const diag::SymptomsDb* symptoms_db_;
+  EngineStats stats_;
+  ResultCache cache_;
+  std::mutex inflight_mu_;
+  std::unordered_map<CacheKey, std::unique_ptr<Inflight>, CacheKeyHash>
+      inflight_;
+  /// Per-deployment-catalog locks (see the class comment): keyed by the
+  /// catalog pointer, created on first use. Keys are never dereferenced.
+  std::mutex catalog_locks_mu_;
+  std::unordered_map<const void*, std::shared_ptr<std::shared_mutex>>
+      catalog_locks_;
+  ThreadPool pool_;  ///< Last member: destroyed (joined) first.
+};
+
+/// Fingerprint of every threshold in a WorkflowConfig; part of CacheKey.
+uint64_t ConfigFingerprint(const diag::WorkflowConfig& config);
+
+}  // namespace diads::engine
+
+#endif  // DIADS_ENGINE_ENGINE_H_

@@ -1,0 +1,201 @@
+#include "engine/stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/strings.h"
+#include "diads/workflow.h"
+
+namespace diads::engine {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::string SummaryJson(const char* name,
+                        const LatencyRecorder::Summary& s) {
+  return StrFormat(
+      "\"%s\":{\"count\":%llu,\"mean_ms\":%.3f,\"p50_ms\":%.3f,"
+      "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f}",
+      name, static_cast<unsigned long long>(s.count), s.mean_ms, s.p50_ms,
+      s.p95_ms, s.p99_ms, s.max_ms);
+}
+
+}  // namespace
+
+void LatencyRecorder::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(ms);
+}
+
+LatencyRecorder::Summary LatencyRecorder::Summarize() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  Summary out;
+  out.count = sorted.size();
+  if (sorted.empty()) return out;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0;
+  for (double v : sorted) total += v;
+  out.mean_ms = total / static_cast<double>(sorted.size());
+  out.p50_ms = PercentileOfSorted(sorted, 50);
+  out.p95_ms = PercentileOfSorted(sorted, 95);
+  out.p99_ms = PercentileOfSorted(sorted, 99);
+  out.max_ms = sorted.back();
+  return out;
+}
+
+void LatencyRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+EngineStats::EngineStats() { start_ns_.store(NowNs()); }
+
+void EngineStats::RecordQueueDepth(size_t depth) {
+  size_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_queue_depth_.compare_exchange_weak(seen, depth)) {
+  }
+}
+
+void EngineStats::RecordModuleLatencies(const diag::ModuleTimings& timings) {
+  pd_.Record(timings.pd_ms);
+  co_.Record(timings.co_ms);
+  da_.Record(timings.da_ms);
+  cr_.Record(timings.cr_ms);
+  sd_.Record(timings.sd_ms);
+  ia_.Record(timings.ia_ms);
+}
+
+EngineStatsSnapshot EngineStats::Snapshot(size_t queue_depth) const {
+  EngineStatsSnapshot out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_depth;
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  out.elapsed_sec =
+      static_cast<double>(NowNs() - start_ns_.load()) / 1e9;
+  out.throughput_per_sec =
+      out.elapsed_sec > 0
+          ? static_cast<double>(out.completed) / out.elapsed_sec
+          : 0;
+  out.request_latency = request_latency_.Summarize();
+  out.pd = pd_.Summarize();
+  out.co = co_.Summarize();
+  out.da = da_.Summarize();
+  out.cr = cr_.Summarize();
+  out.sd = sd_.Summarize();
+  out.ia = ia_.Summarize();
+  return out;
+}
+
+void EngineStats::Reset() {
+  submitted_.store(0);
+  completed_.store(0);
+  failed_.store(0);
+  rejected_.store(0);
+  cache_hits_.store(0);
+  cache_misses_.store(0);
+  coalesced_.store(0);
+  max_queue_depth_.store(0);
+  start_ns_.store(NowNs());
+  request_latency_.Clear();
+  pd_.Clear();
+  co_.Clear();
+  da_.Clear();
+  cr_.Clear();
+  sd_.Clear();
+  ia_.Clear();
+}
+
+std::string EngineStatsSnapshot::Render() const {
+  std::string out;
+  out += StrFormat(
+      "engine: %llu submitted, %llu completed, %llu failed, %llu rejected "
+      "(%.1f diagnoses/sec over %.2fs)\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(rejected), throughput_per_sec,
+      elapsed_sec);
+  out += StrFormat(
+      "cache:  %llu hits, %llu misses, %llu evictions (hit rate %.1f%%), "
+      "%llu coalesced\n",
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      CacheHitRate() * 100.0, static_cast<unsigned long long>(coalesced));
+  out += StrFormat("queue:  depth %zu (max %zu)\n", queue_depth,
+                   max_queue_depth);
+  out += StrFormat(
+      "latency: p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (n=%llu)\n",
+      request_latency.p50_ms, request_latency.p95_ms, request_latency.p99_ms,
+      request_latency.max_ms,
+      static_cast<unsigned long long>(request_latency.count));
+  struct Row {
+    const char* name;
+    const LatencyRecorder::Summary* s;
+  } rows[] = {{"PD", &pd}, {"CO", &co}, {"DA", &da},
+              {"CR", &cr}, {"SD", &sd}, {"IA", &ia}};
+  for (const Row& row : rows) {
+    if (row.s->count == 0) continue;
+    out += StrFormat("module %s: mean %.2fms p95 %.2fms\n", row.name,
+                     row.s->mean_ms, row.s->p95_ms);
+  }
+  return out;
+}
+
+std::string EngineStatsSnapshot::ToJson() const {
+  std::string out = "{";
+  out += StrFormat(
+      "\"submitted\":%llu,\"completed\":%llu,\"failed\":%llu,"
+      "\"rejected\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"cache_evictions\":%llu,\"coalesced\":%llu,\"queue_depth\":%zu,"
+      "\"max_queue_depth\":%zu,\"elapsed_sec\":%.3f,"
+      "\"throughput_per_sec\":%.2f,\"cache_hit_rate\":%.4f,",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(coalesced), queue_depth,
+      max_queue_depth, elapsed_sec, throughput_per_sec, CacheHitRate());
+  out += SummaryJson("request_latency", request_latency);
+  struct Row {
+    const char* name;
+    const LatencyRecorder::Summary* s;
+  } rows[] = {{"pd", &pd}, {"co", &co}, {"da", &da},
+              {"cr", &cr}, {"sd", &sd}, {"ia", &ia}};
+  for (const Row& row : rows) {
+    out += ",";
+    out += SummaryJson(row.name, *row.s);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace diads::engine

@@ -1,0 +1,86 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diads::engine {
+
+ThreadPool::ThreadPool(Options options)
+    : capacity_(std::max<size_t>(1, options.queue_capacity)) {
+  const int workers = std::max(1, options.workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  if (task == nullptr) {
+    return Status::InvalidArgument("ThreadPool::Submit: null task");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || !accepting_; });
+  if (!accepting_) {
+    return Status::FailedPrecondition("ThreadPool is shut down");
+  }
+  queue_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return Status::Ok();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+    // Wake producers blocked on a full queue so they can fail fast, and
+    // idle workers so they observe stopping_.
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+  // Every Shutdown caller returns only once the workers are joined: a
+  // late caller blocks on join_mu_ until the first caller's join is done,
+  // so it can safely destroy the pool afterwards.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping_ and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      not_full_.notify_one();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace diads::engine

@@ -1,0 +1,79 @@
+// Bounded MPMC work queue and worker pool for the diagnosis engine.
+//
+// The pool is deliberately small and boring: a mutex-guarded deque with two
+// condition variables (producers wait while the queue is full, workers wait
+// while it is empty) and an explicit lifecycle:
+//
+//   accepting  -> Submit enqueues (blocking when full, backpressure)
+//   draining   -> Drain() blocks until queued + running tasks hit zero
+//   shut down  -> Shutdown() stops intake, finishes every queued task
+//                 (graceful: work already accepted is never dropped), then
+//                 joins the workers; later Submits fail fast
+//
+// Tasks are type-erased closures; the DiagnosisEngine layers request
+// futures, caching, and accounting on top.
+#ifndef DIADS_ENGINE_THREAD_POOL_H_
+#define DIADS_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads::engine {
+
+class ThreadPool {
+ public:
+  struct Options {
+    int workers = 4;
+    /// Maximum queued (not yet running) tasks; Submit blocks beyond this.
+    size_t queue_capacity = 128;
+  };
+
+  explicit ThreadPool(Options options);
+  ~ThreadPool();  ///< Shutdown(): graceful, finishes accepted work.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Blocks while the queue is at capacity (backpressure);
+  /// returns FailedPrecondition once Shutdown has begun — including for
+  /// submitters that were blocked on a full queue when it began.
+  Status Submit(std::function<void()> task);
+
+  /// Blocks until every accepted task has finished. Does not stop intake;
+  /// tasks submitted concurrently with Drain extend the wait.
+  void Drain();
+
+  /// Stops intake, runs every already-accepted task, joins the workers.
+  /// Idempotent and safe to call concurrently with Submit/Drain.
+  void Shutdown();
+
+  size_t QueueDepth() const;
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;   ///< Workers wait here.
+  std::condition_variable not_full_;    ///< Blocked producers wait here.
+  std::condition_variable all_done_;    ///< Drain/Shutdown wait here.
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;       ///< Tasks currently executing.
+  bool accepting_ = true;    ///< Cleared by Shutdown.
+  bool stopping_ = false;    ///< Workers exit once queue is empty.
+  std::mutex join_mu_;       ///< Serializes the join; late Shutdown callers
+                             ///< block here until the workers are joined.
+  bool joined_ = false;      ///< Guarded by join_mu_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace diads::engine
+
+#endif  // DIADS_ENGINE_THREAD_POOL_H_

@@ -1,0 +1,85 @@
+#include "workload/fleet.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "diads/workflow.h"
+
+namespace diads::workload {
+
+Result<FleetWorkload> BuildFleet(const FleetOptions& options) {
+  FleetOptions opts = options;
+  if (opts.scenarios.empty()) {
+    opts.scenarios = {
+        ScenarioId::kS1SanMisconfiguration,
+        ScenarioId::kS2DualExternalContention,
+        ScenarioId::kS3DataPropertyChange,
+        ScenarioId::kS4ConcurrentDbSan,
+        ScenarioId::kS5LockingWithNoise,
+    };
+  }
+  if (opts.tenants <= 0) {
+    return Status::InvalidArgument("FleetOptions.tenants must be positive");
+  }
+  if (opts.requests_per_tenant <= 0) {
+    return Status::InvalidArgument(
+        "FleetOptions.requests_per_tenant must be positive");
+  }
+
+  FleetWorkload fleet;
+  fleet.tenants.reserve(static_cast<size_t>(opts.tenants));
+  for (int i = 0; i < opts.tenants; ++i) {
+    const ScenarioId id =
+        opts.scenarios[static_cast<size_t>(i) % opts.scenarios.size()];
+    ScenarioOptions scenario_options = opts.scenario_options;
+    // Distinct seeds make tenants statistically independent deployments.
+    scenario_options.seed = opts.seed + static_cast<uint64_t>(i) * 7919;
+    Result<ScenarioOutput> output = RunScenario(id, scenario_options);
+    DIADS_RETURN_IF_ERROR(output.status());
+    FleetTenant tenant;
+    tenant.name = StrFormat("t%02d-%s", i, ScenarioName(id));
+    tenant.scenario = id;
+    tenant.output =
+        std::make_unique<ScenarioOutput>(std::move(output).value());
+    fleet.tenants.push_back(std::move(tenant));
+  }
+
+  for (size_t t = 0; t < fleet.tenants.size(); ++t) {
+    for (int r = 0; r < opts.requests_per_tenant; ++r) {
+      engine::DiagnosisRequest request;
+      request.ctx = fleet.tenants[t].output->MakeContext();
+      request.tag = fleet.tenants[t].name;
+      fleet.requests.push_back(std::move(request));
+      fleet.tenant_of_request.push_back(t);
+    }
+  }
+
+  if (opts.shuffle) {
+    // Shuffle requests and their tenant labels with the same permutation.
+    SeededRng rng(opts.seed ^ 0x5eed5eedull);
+    std::vector<size_t> order(fleet.requests.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    std::vector<engine::DiagnosisRequest> requests;
+    std::vector<size_t> tenant_of_request;
+    requests.reserve(order.size());
+    tenant_of_request.reserve(order.size());
+    for (size_t i : order) {
+      requests.push_back(std::move(fleet.requests[i]));
+      tenant_of_request.push_back(fleet.tenant_of_request[i]);
+    }
+    fleet.requests = std::move(requests);
+    fleet.tenant_of_request = std::move(tenant_of_request);
+  }
+  return fleet;
+}
+
+Result<diag::DiagnosisReport> SerialDiagnosis(
+    const FleetTenant& tenant, const diag::WorkflowConfig& config,
+    const diag::SymptomsDb* symptoms_db, diag::ImpactMethod impact_method) {
+  diag::Workflow workflow(tenant.output->MakeContext(), config, symptoms_db);
+  return workflow.Diagnose(impact_method);
+}
+
+}  // namespace diads::workload

@@ -1,0 +1,77 @@
+// Fleet request generation: many tenants asking DIADS the same question.
+//
+// The serving-layer experiments need a realistic request stream, not one
+// scenario run once. A FleetWorkload instantiates N independent tenants —
+// each a full Figure-1 testbed running one of the Table-1 scenarios with
+// its own seed — and derives a shuffled stream of DiagnosisRequests over
+// them, with repeats: dashboards and retries re-ask the same
+// (query, window) question, which is what the engine's result cache and
+// request coalescing exist for.
+//
+// Ownership: the FleetWorkload owns every tenant's state; the generated
+// requests borrow from it, so keep the FleetWorkload alive until all
+// futures resolve. Each tenant contributes exactly one diagnosis identity
+// (query Q2 over its incident window), so with request coalescing enabled
+// the engine never diagnoses one tenant's testbed from two workers at
+// once — which also keeps deployment-supplied what-if probes (that
+// temporarily mutate the tenant's catalog) race-free.
+#ifndef DIADS_WORKLOAD_FLEET_H_
+#define DIADS_WORKLOAD_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/scenario.h"
+
+namespace diads::workload {
+
+struct FleetOptions {
+  /// Scenario mix; tenants round-robin over it. Default: the five Table-1
+  /// settings (S1-S5).
+  std::vector<ScenarioId> scenarios;
+  int tenants = 5;
+  /// Requests generated per tenant; the first computes, the rest exercise
+  /// the cache / coalescing path.
+  int requests_per_tenant = 4;
+  uint64_t seed = 42;
+  /// Per-tenant scenario sizing (seed is overridden per tenant).
+  ScenarioOptions scenario_options;
+  /// Interleave the request stream across tenants (as concurrent
+  /// administrators would); false keeps per-tenant bursts.
+  bool shuffle = true;
+};
+
+/// One simulated tenant: a scenario run end to end, plus its answer key.
+struct FleetTenant {
+  std::string name;           ///< "t03-S4-concurrent-db-san".
+  ScenarioId scenario;
+  std::unique_ptr<ScenarioOutput> output;
+};
+
+struct FleetWorkload {
+  std::vector<FleetTenant> tenants;
+  /// The request stream, borrowing from `tenants`. request.tag names the
+  /// tenant, so distinct tenants never share cache entries.
+  std::vector<engine::DiagnosisRequest> requests;
+  /// tenant index behind each request (verification: which serial report
+  /// must the engine's response match).
+  std::vector<size_t> tenant_of_request;
+};
+
+/// Builds the tenants (running each scenario end to end) and the request
+/// stream. Errors if any scenario fails to run.
+Result<FleetWorkload> BuildFleet(const FleetOptions& options);
+
+/// The serial ground-truth answer for one tenant: a direct
+/// Workflow::Diagnose over the tenant's context with the same config.
+Result<diag::DiagnosisReport> SerialDiagnosis(
+    const FleetTenant& tenant, const diag::WorkflowConfig& config,
+    const diag::SymptomsDb* symptoms_db,
+    diag::ImpactMethod impact_method =
+        diag::ImpactMethod::kInverseDependency);
+
+}  // namespace diads::workload
+
+#endif  // DIADS_WORKLOAD_FLEET_H_

@@ -1,0 +1,501 @@
+// Tests for the concurrent diagnosis engine: the thread pool's lifecycle,
+// the sharded result cache, the stats recorders, the determinism contract
+// (engine output is report-identical to serial Workflow::Diagnose), and a
+// stress run submitting a shuffled fleet of 100+ requests across scenarios
+// while exercising cache contention and shutdown-while-busy. Run this
+// binary under -fsanitize=thread (cmake -DDIADS_SANITIZE_THREAD=ON) to
+// validate the locking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "diads/report.h"
+#include "diads/workflow.h"
+#include "engine/cache.h"
+#include "engine/engine.h"
+#include "engine/stats.h"
+#include "engine/thread_pool.h"
+#include "workload/fleet.h"
+#include "workload/scenario.h"
+
+namespace diads::engine {
+namespace {
+
+using workload::BuildFleet;
+using workload::FleetOptions;
+using workload::FleetWorkload;
+using workload::RunScenario;
+using workload::ScenarioId;
+using workload::ScenarioOutput;
+using workload::SerialDiagnosis;
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool({/*workers=*/3, /*queue_capacity=*/16});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { ++count; }).ok());
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, BackpressureBlocksThenCompletes) {
+  // One slow worker, capacity 2: submissions beyond the capacity block the
+  // producer instead of growing the queue, and all tasks still run.
+  ThreadPool pool({/*workers=*/1, /*queue_capacity=*/2});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                      ++count;
+                    })
+                    .ok());
+    EXPECT_LE(pool.QueueDepth(), 2u);
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ShutdownFinishesAcceptedWorkAndRejectsNew) {
+  ThreadPool pool({/*workers=*/2, /*queue_capacity=*/64});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(1));
+                      ++count;
+                    })
+                    .ok());
+  }
+  pool.Shutdown();  // Graceful: the 20 accepted tasks all run.
+  EXPECT_EQ(count.load(), 20);
+  Status status = pool.Submit([] {});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool({2, 8});
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+// --- Stats ------------------------------------------------------------------
+
+TEST(LatencyRecorderTest, ExactPercentiles) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.Record(static_cast<double>(i));
+  LatencyRecorder::Summary s = recorder.Summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 50.5);
+  EXPECT_NEAR(s.p50_ms, 50.5, 0.01);
+  EXPECT_NEAR(s.p95_ms, 95.05, 0.01);
+  EXPECT_NEAR(s.p99_ms, 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+}
+
+TEST(EngineStatsTest, SnapshotAndJson) {
+  EngineStats stats;
+  stats.RecordSubmitted();
+  stats.RecordSubmitted();
+  stats.RecordCompleted();
+  stats.RecordCacheHit();
+  stats.RecordCacheMiss();
+  stats.RecordQueueDepth(7);
+  stats.RecordQueueDepth(3);
+  stats.RecordRequestLatency(5.0);
+  EngineStatsSnapshot snap = stats.Snapshot(/*queue_depth=*/1);
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.max_queue_depth, 7u);
+  EXPECT_EQ(snap.queue_depth, 1u);
+  EXPECT_DOUBLE_EQ(snap.CacheHitRate(), 0.5);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"submitted\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit_rate\":0.5"), std::string::npos);
+  EXPECT_FALSE(snap.Render().empty());
+}
+
+// --- ResultCache ------------------------------------------------------------
+
+CacheKey KeyNamed(const std::string& query, SimTimeMs begin = 0,
+                  SimTimeMs end = 100) {
+  CacheKey key;
+  key.query = query;
+  key.window_begin = begin;
+  key.window_end = end;
+  return key;
+}
+
+std::shared_ptr<const diag::DiagnosisReport> ReportStub(
+    const std::string& summary) {
+  auto report = std::make_shared<diag::DiagnosisReport>();
+  report->summary = summary;
+  return report;
+}
+
+TEST(ResultCacheTest, HitMissAccounting) {
+  ResultCache cache({/*capacity=*/8, /*shards=*/2});
+  EXPECT_EQ(cache.Get(KeyNamed("Q2")), nullptr);
+  cache.Put(KeyNamed("Q2"), ReportStub("a"));
+  std::shared_ptr<const diag::DiagnosisReport> hit = cache.Get(KeyNamed("Q2"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->summary, "a");
+  ResultCache::Counters counters = cache.TotalCounters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+  EXPECT_EQ(counters.evictions, 0u);
+}
+
+TEST(ResultCacheTest, DistinctWindowsAreDistinctEntries) {
+  ResultCache cache({8, 2});
+  cache.Put(KeyNamed("Q2", 0, 100), ReportStub("early"));
+  cache.Put(KeyNamed("Q2", 100, 200), ReportStub("late"));
+  ASSERT_NE(cache.Get(KeyNamed("Q2", 0, 100)), nullptr);
+  EXPECT_EQ(cache.Get(KeyNamed("Q2", 0, 100))->summary, "early");
+  EXPECT_EQ(cache.Get(KeyNamed("Q2", 100, 200))->summary, "late");
+}
+
+TEST(ResultCacheTest, LruEvictionWithinShard) {
+  // Single shard, capacity 2: inserting a third entry evicts the least
+  // recently used one.
+  ResultCache cache({/*capacity=*/2, /*shards=*/1});
+  cache.Put(KeyNamed("a"), ReportStub("a"));
+  cache.Put(KeyNamed("b"), ReportStub("b"));
+  ASSERT_NE(cache.Get(KeyNamed("a")), nullptr);  // Refresh "a".
+  cache.Put(KeyNamed("c"), ReportStub("c"));     // Evicts "b".
+  EXPECT_NE(cache.Get(KeyNamed("a")), nullptr);
+  EXPECT_EQ(cache.Get(KeyNamed("b")), nullptr);
+  EXPECT_NE(cache.Get(KeyNamed("c")), nullptr);
+  EXPECT_EQ(cache.TotalCounters().evictions, 1u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccess) {
+  ResultCache cache({64, 8});
+  std::atomic<uint64_t> gets{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &gets, t] {
+      for (int i = 0; i < 200; ++i) {
+        const CacheKey key = KeyNamed("Q" + std::to_string(i % 16));
+        if ((i + t) % 3 == 0) {
+          cache.Put(key, ReportStub("r"));
+        } else {
+          cache.Get(key);
+          ++gets;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ResultCache::Counters counters = cache.TotalCounters();
+  EXPECT_EQ(counters.hits + counters.misses, gets.load());
+  EXPECT_LE(counters.entries, 16u);
+}
+
+// --- DiagnosisEngine: determinism -------------------------------------------
+
+class EngineScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    symptoms_ = new diag::SymptomsDb(diag::SymptomsDb::MakeDefault());
+    Result<ScenarioOutput> scenario =
+        RunScenario(ScenarioId::kS1SanMisconfiguration, {});
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = new ScenarioOutput(std::move(*scenario));
+    diag::Workflow workflow(scenario_->MakeContext(), diag::WorkflowConfig{},
+                            symptoms_);
+    Result<diag::DiagnosisReport> serial = workflow.Diagnose();
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    serial_digest_ = new std::string(diag::ReportDigest(*serial));
+  }
+  static void TearDownTestSuite() {
+    delete serial_digest_;
+    delete scenario_;
+    delete symptoms_;
+    serial_digest_ = nullptr;
+    scenario_ = nullptr;
+    symptoms_ = nullptr;
+  }
+
+  static DiagnosisRequest RequestForScenario() {
+    DiagnosisRequest request;
+    request.ctx = scenario_->MakeContext();
+    request.tag = "tenant-a";
+    return request;
+  }
+
+  static diag::SymptomsDb* symptoms_;
+  static ScenarioOutput* scenario_;
+  static std::string* serial_digest_;
+};
+
+diag::SymptomsDb* EngineScenarioTest::symptoms_ = nullptr;
+ScenarioOutput* EngineScenarioTest::scenario_ = nullptr;
+std::string* EngineScenarioTest::serial_digest_ = nullptr;
+
+TEST_F(EngineScenarioTest, ReportIdenticalToSerialWorkflow) {
+  EngineOptions options;
+  options.workers = 4;
+  DiagnosisEngine engine(options, symptoms_);
+  std::future<DiagnosisResponse> future = engine.Submit(RequestForScenario());
+  DiagnosisResponse response = future.get();
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  ASSERT_NE(response.report, nullptr);
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_EQ(diag::ReportDigest(*response.report), *serial_digest_);
+}
+
+TEST_F(EngineScenarioTest, RepeatIsServedFromCacheAndIdentical) {
+  EngineOptions options;
+  options.workers = 4;
+  DiagnosisEngine engine(options, symptoms_);
+  DiagnosisResponse first = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(first.ok());
+  DiagnosisResponse second = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  // Cache hits share the very report object; no re-diagnosis happened.
+  EXPECT_EQ(second.report.get(), first.report.get());
+  EXPECT_EQ(diag::ReportDigest(*second.report), *serial_digest_);
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(EngineScenarioTest, CacheDisabledStillIdentical) {
+  EngineOptions options;
+  options.workers = 4;
+  options.enable_cache = false;
+  options.coalesce_identical = false;
+  DiagnosisEngine engine(options, symptoms_);
+  DiagnosisResponse first = engine.Submit(RequestForScenario()).get();
+  DiagnosisResponse second = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_NE(second.report.get(), first.report.get());  // Recomputed.
+  EXPECT_EQ(diag::ReportDigest(*first.report), *serial_digest_);
+  EXPECT_EQ(diag::ReportDigest(*second.report), *serial_digest_);
+}
+
+TEST_F(EngineScenarioTest, ConcurrentIdenticalRequestsCoalesce) {
+  EngineOptions options;
+  options.workers = 4;
+  options.enable_cache = false;  // Force the in-flight path, not the cache.
+  DiagnosisEngine engine(options, symptoms_);
+  std::vector<std::future<DiagnosisResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.Submit(RequestForScenario()));
+  }
+  int coalesced = 0;
+  for (std::future<DiagnosisResponse>& future : futures) {
+    DiagnosisResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    EXPECT_EQ(diag::ReportDigest(*response.report), *serial_digest_);
+    if (response.coalesced) ++coalesced;
+  }
+  // At least the requests submitted while the first was queued or running
+  // joined it (timing-dependent, but with 8 instant submissions some must).
+  EXPECT_GT(coalesced, 0);
+  EXPECT_EQ(engine.Stats().coalesced, static_cast<uint64_t>(coalesced));
+}
+
+TEST_F(EngineScenarioTest, RejectsInvalidContext) {
+  DiagnosisEngine engine(EngineOptions{}, symptoms_);
+  DiagnosisRequest request;  // Null sources.
+  DiagnosisResponse response = engine.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Stats().failed, 1u);
+}
+
+TEST_F(EngineScenarioTest, SubmitAfterShutdownResolvesRejected) {
+  DiagnosisEngine engine(EngineOptions{}, symptoms_);
+  engine.Shutdown();
+  DiagnosisResponse response = engine.Submit(RequestForScenario()).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.Stats().rejected, 1u);
+}
+
+TEST_F(EngineScenarioTest, ModuleLatenciesAreRecorded) {
+  DiagnosisEngine engine(EngineOptions{}, symptoms_);
+  ASSERT_TRUE(engine.Submit(RequestForScenario()).get().ok());
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.co.count, 1u);
+  EXPECT_EQ(stats.ia.count, 1u);
+  EXPECT_GE(stats.request_latency.max_ms,
+            stats.co.mean_ms);  // Request covers its modules.
+}
+
+// Plan-change scenarios exercise the deployment what-if probe, which
+// temporarily mutates the tenant catalog; the engine serializes probes and
+// coalesces identical requests, so concurrent submissions stay correct.
+TEST(EngineProbeTest, PlanChangeScenarioDeterministicUnderConcurrency) {
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  Result<ScenarioOutput> scenario =
+      RunScenario(ScenarioId::kS6IndexDrop, {});
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  diag::Workflow workflow(scenario->MakeContext(), diag::WorkflowConfig{},
+                          &symptoms);
+  Result<diag::DiagnosisReport> serial = workflow.Diagnose();
+  ASSERT_TRUE(serial.ok());
+  const std::string serial_digest = diag::ReportDigest(*serial);
+
+  EngineOptions options;
+  options.workers = 4;
+  DiagnosisEngine engine(options, &symptoms);
+  std::vector<std::future<DiagnosisResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    DiagnosisRequest request;
+    request.ctx = scenario->MakeContext();
+    request.tag = "tenant-s6";
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  for (std::future<DiagnosisResponse>& future : futures) {
+    DiagnosisResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    EXPECT_EQ(diag::ReportDigest(*response.report), serial_digest);
+  }
+}
+
+// --- DiagnosisEngine: fleet stress -------------------------------------------
+
+TEST(EngineStressTest, HundredPlusConcurrentRequestsAcrossScenarios) {
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  FleetOptions fleet_options;
+  fleet_options.tenants = 5;               // All five Table-1 scenarios.
+  fleet_options.requests_per_tenant = 24;  // 120 requests total.
+  fleet_options.scenario_options.satisfactory_runs = 16;
+  fleet_options.scenario_options.unsatisfactory_runs = 8;
+  Result<FleetWorkload> fleet = BuildFleet(fleet_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  ASSERT_EQ(fleet->requests.size(), 120u);
+
+  // Serial ground truth per tenant.
+  std::vector<std::string> expected_digest;
+  for (const workload::FleetTenant& tenant : fleet->tenants) {
+    Result<diag::DiagnosisReport> serial =
+        SerialDiagnosis(tenant, diag::WorkflowConfig{}, &symptoms);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    expected_digest.push_back(diag::ReportDigest(*serial));
+  }
+
+  EngineOptions options;
+  options.workers = 4;
+  options.queue_capacity = 32;  // Exercise backpressure too.
+  DiagnosisEngine engine(options, &symptoms);
+  // Two waves: the first one's duplicates mostly coalesce onto in-flight
+  // computations (submission far outpaces diagnosis); after the drain the
+  // second wave is served from the warm cache.
+  const size_t wave1 = 90;
+  std::vector<std::future<DiagnosisResponse>> futures;
+  futures.reserve(fleet->requests.size());
+  for (size_t i = 0; i < wave1; ++i) {
+    futures.push_back(engine.Submit(std::move(fleet->requests[i])));
+  }
+  engine.Drain();
+  for (size_t i = wave1; i < fleet->requests.size(); ++i) {
+    futures.push_back(engine.Submit(std::move(fleet->requests[i])));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    DiagnosisResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    ASSERT_NE(response.report, nullptr);
+    if (i >= wave1) {
+      EXPECT_TRUE(response.cache_hit) << "wave-2 request " << i;
+    }
+    EXPECT_EQ(diag::ReportDigest(*response.report),
+              expected_digest[fleet->tenant_of_request[i]])
+        << "request " << i << " (tenant "
+        << fleet->tenants[fleet->tenant_of_request[i]].name << ")";
+  }
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.submitted, 120u);
+  EXPECT_EQ(stats.completed, 120u);
+  EXPECT_EQ(stats.failed, 0u);
+  // 5 distinct diagnosis identities; nearly everything else hit the cache
+  // or coalesced onto an in-flight computation. (A submission can race
+  // into the tiny window between a cache publish and the in-flight map
+  // cleanup and recompute, so allow a little slack over the ideal 115.)
+  EXPECT_GE(stats.cache_hits + stats.coalesced, 109u);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST(EngineStressTest, ShutdownWhileBusyResolvesEveryFuture) {
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  FleetOptions fleet_options;
+  fleet_options.tenants = 2;
+  fleet_options.requests_per_tenant = 10;
+  fleet_options.scenario_options.satisfactory_runs = 12;
+  fleet_options.scenario_options.unsatisfactory_runs = 6;
+  Result<FleetWorkload> fleet = BuildFleet(fleet_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  EngineOptions options;
+  options.workers = 2;
+  DiagnosisEngine engine(options, &symptoms);
+  std::vector<std::future<DiagnosisResponse>> futures;
+  for (engine::DiagnosisRequest& request : fleet->requests) {
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  engine.Shutdown();  // While requests are queued / running.
+  int completed = 0, rejected = 0;
+  for (std::future<DiagnosisResponse>& future : futures) {
+    DiagnosisResponse response = future.get();  // Must resolve, never hang.
+    if (response.ok()) {
+      ASSERT_NE(response.report, nullptr);
+      ++completed;
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+      ++rejected;
+    }
+  }
+  // Graceful shutdown: everything accepted before Shutdown ran to
+  // completion (Submit had returned for all, so all were accepted).
+  EXPECT_EQ(completed + rejected, 20);
+  EXPECT_EQ(completed, 20);
+}
+
+TEST(EngineBatchTest, BatchDiagnosePreservesOrderAndMatchesSerial) {
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  FleetOptions fleet_options;
+  fleet_options.tenants = 3;
+  fleet_options.requests_per_tenant = 2;
+  fleet_options.scenario_options.satisfactory_runs = 12;
+  fleet_options.scenario_options.unsatisfactory_runs = 6;
+  fleet_options.shuffle = false;
+  Result<FleetWorkload> fleet = BuildFleet(fleet_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  std::vector<std::string> expected_digest;
+  for (const workload::FleetTenant& tenant : fleet->tenants) {
+    Result<diag::DiagnosisReport> serial =
+        SerialDiagnosis(tenant, diag::WorkflowConfig{}, &symptoms);
+    ASSERT_TRUE(serial.ok());
+    expected_digest.push_back(diag::ReportDigest(*serial));
+  }
+
+  EngineOptions options;
+  options.workers = 4;
+  DiagnosisEngine engine(options, &symptoms);
+  std::vector<DiagnosisResponse> responses =
+      engine.BatchDiagnose(std::move(fleet->requests));
+  ASSERT_EQ(responses.size(), 6u);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << responses[i].status.ToString();
+    EXPECT_EQ(diag::ReportDigest(*responses[i].report),
+              expected_digest[fleet->tenant_of_request[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace diads::engine

@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "diads/symptom_expr.h"
+#include "diads/symptom_index.h"
+#include "diads/symptoms_db.h"
+#include "diads/workflow.h"
+#include "workload/scenario.h"
 
 namespace diads::diag {
 namespace {
@@ -126,6 +130,52 @@ TEST(EventTypeNameTest, RoundTripAll) {
     EXPECT_EQ(*round, type);
   }
   EXPECT_FALSE(ParseEventTypeName("NotAnEvent").ok());
+}
+
+// The indexed lookup path (SymptomIndex) must answer every predicate of
+// the default symptoms database exactly as the linear-scan path does, for
+// every volume binding, over real module results.
+TEST(SymptomIndexTest, IndexedEvaluationMatchesLinearScans) {
+  Result<workload::ScenarioOutput> scenario = workload::RunScenario(
+      workload::ScenarioId::kS4ConcurrentDbSan, {});
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const DiagnosisContext ctx = scenario->MakeContext();
+  const WorkflowConfig config;
+  const SymptomsDb db = SymptomsDb::MakeDefault();
+  Workflow workflow(ctx, config, &db);
+  Result<DiagnosisReport> report = workflow.Diagnose();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const SymptomIndex index =
+      SymptomIndex::Build(ctx, config, report->co, report->da);
+  std::vector<ComponentId> bindings = ctx.apg->PlanVolumes();
+  bindings.push_back(ComponentId{});  // Unbound evaluation too.
+  int compared = 0;
+  for (const RootCauseEntry& entry : db.entries()) {
+    for (ComponentId binding : bindings) {
+      if (entry.bind_volumes != binding.valid()) continue;
+      SymptomEvalContext eval;
+      eval.ctx = &ctx;
+      eval.config = &config;
+      eval.pd = &report->pd;
+      eval.co = &report->co;
+      eval.da = &report->da;
+      eval.cr = &report->cr;
+      eval.bound_volume = binding;
+      for (const Condition& condition : entry.conditions) {
+        eval.index = nullptr;
+        Result<bool> linear = EvaluateSymptom(condition.parsed, eval);
+        eval.index = &index;
+        Result<bool> indexed = EvaluateSymptom(condition.parsed, eval);
+        ASSERT_EQ(linear.ok(), indexed.ok()) << condition.expr_text;
+        if (!linear.ok()) continue;
+        EXPECT_EQ(*linear, *indexed)
+            << entry.name << ": " << condition.expr_text;
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 50);  // The default DB exercises every predicate.
 }
 
 }  // namespace
