@@ -18,19 +18,33 @@
 // Output: a human-readable table plus one JSON line per configuration
 // ("[bench-json] {...}") for the bench trajectory to scrape.
 //
+// A second experiment compares collection modes on a skewed backend
+// (every SAN component answers in --async-base-ms, except each tenant's
+// V1 at 10x): "blocking" serializes the per-component round-trips of a
+// diagnosis (max_in_flight=1 — the old collector_stall_ms reality),
+// "async" overlaps them through the scatter/gather layer. Both modes run
+// the same fresh-only stream with the cache off and verify every report
+// digest against the serial ground truth; the headline is the p99
+// diagnosis latency ratio.
+//
 //   $ ./bench_engine_throughput [--collector-ms=N] [--fresh=N]
 //                               [--repeats=N] [--tenants=N] [--seed=N]
+//                               [--async-base-ms=N] [--async-slow-factor=N]
+//                               [--async-timeout-ms=N] [--async-fresh=N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "diads/report.h"
 #include "diads/symptoms_db.h"
 #include "engine/engine.h"
+#include "monitor/async_collector.h"
 #include "workload/fleet.h"
 
 using namespace diads;
@@ -43,6 +57,11 @@ struct BenchOptions {
   int fresh_per_tenant = 2;    ///< Distinct incidents per tenant (misses).
   int repeats_per_tenant = 10; ///< Repeat questions per tenant (hits).
   uint64_t seed = 42;
+  // Async-collection experiment.
+  double async_base_ms = 5;      ///< Per-component round-trip.
+  double async_slow_factor = 10; ///< V1's multiplier (the wedged agent).
+  double async_timeout_ms = 15;  ///< Per-component fetch timeout.
+  int async_fresh = 4;           ///< Fresh incidents per tenant, per mode.
 };
 
 struct ConfigResult {
@@ -148,6 +167,86 @@ int64_t FlagValue(int argc, char** argv, const char* name, int64_t fallback) {
   return fallback;
 }
 
+struct AsyncModeResult {
+  const char* mode = "";
+  int requests = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t fetches = 0;
+  uint64_t timeouts = 0;
+  uint64_t stale = 0;
+};
+
+/// One collection mode of the skewed-backend experiment. `overlapped`
+/// false serializes the per-component round-trips (the blocking-stall
+/// baseline); true overlaps them (max_in_flight = 8). Every response's
+/// digest is checked against the tenant's serial ground truth.
+AsyncModeResult RunAsyncMode(const workload::FleetWorkload& fleet,
+                             const std::vector<std::string>& serial_digests,
+                             const diag::SymptomsDb& symptoms,
+                             const BenchOptions& bench, bool overlapped) {
+  monitor::SimulatedLatencyOptions profile =
+      workload::MakeSkewedLatencyProfile(fleet, bench.async_base_ms,
+                                         bench.async_slow_factor);
+  // Enough backend connections that the engine's full fan-out (workers x
+  // in-flight window) never queues behind the backend itself — timeouts
+  // then isolate the genuinely slow component.
+  profile.connections = 32;
+  auto collector =
+      std::make_shared<monitor::SimulatedSanCollector>(profile);
+  engine::EngineOptions options;
+  options.workers = 4;
+  options.enable_cache = false;       // Every diagnosis collects + computes.
+  options.coalesce_identical = false;
+  options.gather.max_in_flight = overlapped ? 8 : 1;
+  options.gather.timeout_ms = bench.async_timeout_ms;
+  options.gather.max_attempts = 1;
+  engine::DiagnosisEngine engine(options, &symptoms, collector);
+
+  std::vector<engine::DiagnosisRequest> stream =
+      MakeStream(fleet, bench.async_fresh, /*repeats=*/0);
+  std::vector<size_t> tenant_of_request;
+  for (int r = 0; r < bench.async_fresh; ++r) {
+    for (size_t t = 0; t < fleet.tenants.size(); ++t) {
+      tenant_of_request.push_back(t);
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<engine::DiagnosisResponse> responses =
+      engine.BatchDiagnose(std::move(stream));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const engine::DiagnosisResponse& response = responses[i];
+    if (!response.ok()) {
+      std::fprintf(stderr, "async-mode diagnosis failed: %s\n",
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+    if (diag::ReportDigest(*response.report) !=
+        serial_digests[tenant_of_request[i]]) {
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH: request %zu differs from serial "
+                   "diagnosis (mode=%s)\n",
+                   i, overlapped ? "async" : "blocking");
+      std::exit(1);
+    }
+  }
+  const engine::EngineStatsSnapshot stats = engine.Stats();
+  AsyncModeResult result;
+  result.mode = overlapped ? "async" : "blocking";
+  result.requests = static_cast<int>(responses.size());
+  result.seconds = seconds;
+  result.p50_ms = stats.request_latency.p50_ms;
+  result.p99_ms = stats.request_latency.p99_ms;
+  result.fetches = stats.collection_fetches;
+  result.timeouts = stats.collection_timeouts;
+  result.stale = stats.collection_stale;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,6 +262,17 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "repeats", bench.repeats_per_tenant));
   bench.seed = static_cast<uint64_t>(FlagValue(
       argc, argv, "seed", static_cast<int64_t>(bench.seed)));
+  bench.async_base_ms = static_cast<double>(
+      FlagValue(argc, argv, "async-base-ms",
+                static_cast<int64_t>(bench.async_base_ms)));
+  bench.async_slow_factor = static_cast<double>(
+      FlagValue(argc, argv, "async-slow-factor",
+                static_cast<int64_t>(bench.async_slow_factor)));
+  bench.async_timeout_ms = static_cast<double>(
+      FlagValue(argc, argv, "async-timeout-ms",
+                static_cast<int64_t>(bench.async_timeout_ms)));
+  bench.async_fresh = static_cast<int>(
+      FlagValue(argc, argv, "async-fresh", bench.async_fresh));
 
   workload::FleetOptions fleet_options;
   fleet_options.tenants = bench.tenants;
@@ -230,6 +340,63 @@ int main(int argc, char** argv) {
         "\nScaling (warm cache): 1 -> 4 workers = %.2fx diagnoses/sec; "
         "cache on vs off at 4 workers = %.2fx.\n",
         w4->per_sec / w1->per_sec, w4->per_sec / w4_off->per_sec);
+  }
+
+  // --- Async-collection experiment: skewed backend, blocking vs async ----
+  std::printf(
+      "\nAsync collection on a skewed backend: every component answers in "
+      "%.0fms, V1 in %.0fms (%.0fx); fetch timeout %.0fms.\n",
+      bench.async_base_ms, bench.async_base_ms * bench.async_slow_factor,
+      bench.async_slow_factor, bench.async_timeout_ms);
+  std::vector<std::string> serial_digests;
+  for (const workload::FleetTenant& tenant : fleet->tenants) {
+    Result<diag::DiagnosisReport> serial =
+        workload::SerialDiagnosis(tenant, diag::WorkflowConfig{}, &symptoms);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "serial ground truth failed: %s\n",
+                   serial.status().ToString().c_str());
+      return 1;
+    }
+    serial_digests.push_back(diag::ReportDigest(*serial));
+  }
+  TablePrinter async_table({"Mode", "Requests", "Wall (s)", "p50 (ms)",
+                            "p99 (ms)", "Fetches", "Timeouts", "Stale"});
+  std::vector<AsyncModeResult> modes;
+  for (bool overlapped : {false, true}) {
+    AsyncModeResult r =
+        RunAsyncMode(*fleet, serial_digests, symptoms, bench, overlapped);
+    modes.push_back(r);
+    async_table.AddRow(
+        {r.mode, StrFormat("%d", r.requests), StrFormat("%.2f", r.seconds),
+         StrFormat("%.1f", r.p50_ms), StrFormat("%.1f", r.p99_ms),
+         StrFormat("%llu", static_cast<unsigned long long>(r.fetches)),
+         StrFormat("%llu", static_cast<unsigned long long>(r.timeouts)),
+         StrFormat("%llu", static_cast<unsigned long long>(r.stale))});
+    std::printf(
+        "[bench-json] {\"bench\":\"engine_async_collection\","
+        "\"mode\":\"%s\",\"requests\":%d,\"wall_sec\":%.3f,"
+        "\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"fetches\":%llu,"
+        "\"timeouts\":%llu,\"stale\":%llu,\"base_ms\":%.0f,"
+        "\"slow_factor\":%.0f,\"timeout_ms\":%.0f}\n",
+        r.mode, r.requests, r.seconds, r.p50_ms, r.p99_ms,
+        static_cast<unsigned long long>(r.fetches),
+        static_cast<unsigned long long>(r.timeouts),
+        static_cast<unsigned long long>(r.stale), bench.async_base_ms,
+        bench.async_slow_factor, bench.async_timeout_ms);
+  }
+  std::printf("%s", async_table.Render().c_str());
+  if (modes.size() == 2 && modes[1].p99_ms > 0) {
+    const double speedup = modes[0].p99_ms / modes[1].p99_ms;
+    std::printf(
+        "\nOverlapped collection: p99 diagnosis latency %.1fms -> %.1fms "
+        "(%.2fx) vs serialized round-trips; all %d reports "
+        "digest-identical to serial diagnosis.\n",
+        modes[0].p99_ms, modes[1].p99_ms, speedup,
+        modes[0].requests + modes[1].requests);
+    std::printf(
+        "[bench-json] {\"bench\":\"engine_async_collection\","
+        "\"mode\":\"summary\",\"p99_speedup\":%.2f}\n",
+        speedup);
   }
   return 0;
 }

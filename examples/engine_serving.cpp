@@ -1,17 +1,21 @@
 // Serving DIADS at fleet scale: the concurrent diagnosis engine.
 //
 // Builds a small fleet of tenants (each a Figure-1 testbed running one of
-// the Table-1 scenarios), starts a DiagnosisEngine with a worker pool and
-// result cache, fans the fleet's request stream across it, and prints the
-// per-tenant diagnoses plus the engine's serving metrics — the
-// multi-tenant counterpart of examples/quickstart.cpp.
+// the Table-1 scenarios), starts a DiagnosisEngine with a worker pool,
+// result cache, and an async SAN collector (simulated backend: 2ms per
+// component round-trip, each tenant's V1 at 10x — the one wedged agent an
+// overlapped gather hides), fans the fleet's request stream across it,
+// and prints the per-tenant diagnoses plus the engine's serving metrics —
+// the multi-tenant counterpart of examples/quickstart.cpp.
 //
 //   $ ./engine_serving [workers] [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "diads/workflow.h"
 #include "engine/engine.h"
+#include "monitor/async_collector.h"
 #include "workload/fleet.h"
 
 using namespace diads;
@@ -38,7 +42,10 @@ int main(int argc, char** argv) {
   }
 
   const diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
-  engine::DiagnosisEngine engine(engine_options, &symptoms);
+  auto collector = std::make_shared<monitor::SimulatedSanCollector>(
+      workload::MakeSkewedLatencyProfile(*fleet, /*base_ms=*/2,
+                                         /*slow_factor=*/10));
+  engine::DiagnosisEngine engine(engine_options, &symptoms, collector);
   std::printf("Submitting %zu diagnosis requests to %d workers...\n\n",
               fleet->requests.size(), engine_options.workers);
   std::vector<engine::DiagnosisResponse> responses =
@@ -57,10 +64,11 @@ int main(int argc, char** argv) {
     if (seen[t]) continue;
     seen[t] = true;
     const diag::RootCause* top = response.report->TopCause();
-    std::printf("%-28s %s%s\n", fleet->tenants[t].name.c_str(),
+    std::printf("%-28s %s%s%s\n", fleet->tenants[t].name.c_str(),
                 top != nullptr ? diag::RootCauseTypeName(top->type)
                                : "(no cause above the reporting floor)",
-                response.cache_hit ? "  [cache hit]" : "");
+                response.cache_hit ? "  [cache hit]" : "",
+                response.stale_data() ? "  [stale data]" : "");
   }
 
   std::printf("\n%s", engine.Stats().Render().c_str());

@@ -32,6 +32,19 @@ SymptomIndex SymptomIndex::Build(const DiagnosisContext& ctx,
   return index;
 }
 
+std::vector<monitor::SeriesKey> SymptomIndex::CollectMetricKeys(
+    const DiagnosisContext& ctx) {
+  std::vector<monitor::SeriesKey> keys;
+  for (ComponentId component : ctx.apg->AllComponents()) {
+    // The component's advertised metric inventory — in the simulation, the
+    // series its collectors have actually produced.
+    for (monitor::MetricId metric : ctx.store->MetricsFor(component)) {
+      keys.push_back(monitor::SeriesKey{component, metric});
+    }
+  }
+  return keys;
+}
+
 const MetricAnomaly* SymptomIndex::FindMetric(ComponentId component,
                                               monitor::MetricId metric) const {
   auto it = metric_by_pair_.find(PairKey(component, metric));

@@ -41,6 +41,16 @@ class SymptomIndex {
                             const WorkflowConfig& config, const CoResult& co,
                             const DaResult& da);
 
+  /// Every (component, metric) series a diagnosis over `ctx` may consult,
+  /// across all modules: each component on any APG inner/outer dependency
+  /// path, crossed with the metrics that component exports. This is the
+  /// metric-key extraction the async CollectionPlanner batches into
+  /// per-component fetches — the same keys Module DA will score and the
+  /// symptom predicates will probe, deduplicated once up front instead of
+  /// re-derived per module.
+  static std::vector<monitor::SeriesKey> CollectMetricKeys(
+      const DiagnosisContext& ctx);
+
   /// Indexed DaResult::Find (first scored entry for the pair).
   const MetricAnomaly* FindMetric(ComponentId component,
                                   monitor::MetricId metric) const;

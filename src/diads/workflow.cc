@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <utility>
 
 #include "common/strings.h"
+#include "diads/symptom_index.h"
+#include "monitor/collection_planner.h"
 
 namespace diads::diag {
 namespace {
@@ -101,6 +104,41 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
   }
   report.summary = SummarizeReport(ctx_, report);
   return report;
+}
+
+CollectionOutcome Workflow::Collect(
+    const monitor::MetricGatherer& gatherer) const {
+  CollectionOutcome out;
+  const std::vector<monitor::SeriesKey> keys =
+      SymptomIndex::CollectMetricKeys(ctx_);
+  const std::vector<monitor::FetchRequest> plan =
+      monitor::CollectionPlanner::Plan(keys, ctx_.AnalysisWindow(),
+                                       ctx_.store);
+  out.planned_components = plan.size();
+  out.planned_series = monitor::CollectionPlanner::SeriesCount(plan);
+  out.gather = gatherer.Gather(plan);
+  return out;
+}
+
+Result<DiagnosisReport> Workflow::DiagnoseOverCollection(
+    const CollectionOutcome& outcome, ImpactMethod impact_method,
+    ModuleTimings* timings) const {
+  // Diagnose over the collected snapshot: every module reads the fetched
+  // covering slices instead of round-tripping to the store per series.
+  DiagnosisContext collected_ctx = ctx_;
+  collected_ctx.store = &outcome.gather.collected;
+  Workflow collected_workflow(std::move(collected_ctx), config_,
+                              symptoms_db_);
+  return collected_workflow.Diagnose(impact_method, timings);
+}
+
+Result<DiagnosisReport> Workflow::DiagnoseWithCollection(
+    const monitor::MetricGatherer& gatherer, ImpactMethod impact_method,
+    ModuleTimings* timings, CollectionOutcome* outcome) const {
+  CollectionOutcome local_outcome;
+  CollectionOutcome& out = outcome != nullptr ? *outcome : local_outcome;
+  out = Collect(gatherer);
+  return DiagnoseOverCollection(out, impact_method, timings);
 }
 
 std::vector<RootCause> FallbackCauses(const DiagnosisContext& ctx,

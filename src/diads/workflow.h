@@ -22,6 +22,7 @@
 #include "diads/impact_analysis.h"
 #include "diads/plan_diff.h"
 #include "diads/symptoms_db.h"
+#include "monitor/gather.h"
 
 namespace diads::diag {
 
@@ -30,6 +31,17 @@ namespace diads::diag {
 /// serving layer feeds these into its per-module latency percentiles.
 struct ModuleTimings {
   double pd_ms = 0, co_ms = 0, da_ms = 0, cr_ms = 0, sd_ms = 0, ia_ms = 0;
+};
+
+/// What one diagnosis's metric collection did (DiagnoseWithCollection).
+/// Owns the collected snapshot the diagnosis ran over, so it must outlive
+/// nothing — the report copies everything it keeps.
+struct CollectionOutcome {
+  monitor::GatherResult gather;
+  size_t planned_components = 0;  ///< Fetch requests in the plan.
+  size_t planned_series = 0;      ///< (component, metric) keys after dedup.
+
+  bool degraded() const { return gather.degraded(); }
 };
 
 /// Batch workflow entry point.
@@ -58,6 +70,31 @@ class Workflow {
   Result<DiagnosisReport> Diagnose(
       ImpactMethod impact_method = ImpactMethod::kInverseDependency,
       ModuleTimings* timings = nullptr) const;
+
+  /// The collection half of DiagnoseWithCollection: extracts the
+  /// diagnosis window's metric needs (SymptomIndex::CollectMetricKeys),
+  /// batches them into one fetch plan, and issues a single overlapped
+  /// scatter/gather through `gatherer`. Touches only the context's store
+  /// (never the catalog), so callers that serialize diagnoses behind a
+  /// catalog lock can collect before taking it.
+  CollectionOutcome Collect(const monitor::MetricGatherer& gatherer) const;
+
+  /// The diagnosis half: the module chain over a Collect() snapshot.
+  Result<DiagnosisReport> DiagnoseOverCollection(
+      const CollectionOutcome& outcome,
+      ImpactMethod impact_method = ImpactMethod::kInverseDependency,
+      ModuleTimings* timings = nullptr) const;
+
+  /// Collection-aware Diagnose: Collect() then DiagnoseOverCollection().
+  /// Components that time out are served from locally cached series and
+  /// reported via `outcome` (may be null) — the diagnosis itself never
+  /// fails for collection reasons, and its report is
+  /// ReportDigest-identical to a plain Diagnose over the source store.
+  Result<DiagnosisReport> DiagnoseWithCollection(
+      const monitor::MetricGatherer& gatherer,
+      ImpactMethod impact_method = ImpactMethod::kInverseDependency,
+      ModuleTimings* timings = nullptr,
+      CollectionOutcome* outcome = nullptr) const;
 
   const DiagnosisContext& context() const { return ctx_; }
   const WorkflowConfig& config() const { return config_; }

@@ -51,7 +51,8 @@ ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
 }
 
 std::shared_ptr<const diag::DiagnosisReport> ResultCache::Get(
-    const CacheKey& key) {
+    const CacheKey& key,
+    std::shared_ptr<const CollectionSummary>* collection) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -61,16 +62,19 @@ std::shared_ptr<const diag::DiagnosisReport> ResultCache::Get(
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (collection != nullptr) *collection = it->second->collection;
   return it->second->report;
 }
 
 void ResultCache::Put(const CacheKey& key,
-                      std::shared_ptr<const diag::DiagnosisReport> report) {
+                      std::shared_ptr<const diag::DiagnosisReport> report,
+                      std::shared_ptr<const CollectionSummary> collection) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->report = std::move(report);
+    it->second->collection = std::move(collection);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -79,7 +83,7 @@ void ResultCache::Put(const CacheKey& key,
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{key, std::move(report)});
+  shard.lru.push_front(Entry{key, std::move(report), std::move(collection)});
   shard.index[key] = shard.lru.begin();
 }
 

@@ -27,6 +27,24 @@
 
 namespace diads::engine {
 
+/// What one diagnosis's async metric collection did — the stale-data
+/// annotation a dashboard must show next to a root cause diagnosed on
+/// degraded data. Defined here (not engine.h) so cached entries can carry
+/// the summary recorded when they were computed: a cache hit for a
+/// degraded diagnosis must still say so.
+struct CollectionSummary {
+  bool used_async = false;  ///< False on the legacy blocking-stall path.
+  /// Components whose fetches timed out (or were cancelled) and were
+  /// served from locally cached series instead. Sorted.
+  std::vector<ComponentId> stale_components;
+  uint64_t fetches = 0;
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  double gather_ms = 0;  ///< Wall clock of the scatter/gather.
+
+  bool degraded() const { return !stale_components.empty(); }
+};
+
 /// Identity of a diagnosis: the query, the diagnosis window, a tenant tag
 /// (two tenants' "Q2" are different queries), and a fingerprint of the
 /// workflow configuration (different thresholds give different reports).
@@ -65,13 +83,18 @@ class ResultCache {
 
   explicit ResultCache(Options options);
 
-  /// Returns the cached report (refreshing its recency) or nullptr.
-  std::shared_ptr<const diag::DiagnosisReport> Get(const CacheKey& key);
+  /// Returns the cached report (refreshing its recency) or nullptr. When
+  /// `collection` is non-null it receives the entry's collection summary
+  /// (possibly null for entries computed without async collection).
+  std::shared_ptr<const diag::DiagnosisReport> Get(
+      const CacheKey& key,
+      std::shared_ptr<const CollectionSummary>* collection = nullptr);
 
   /// Inserts or replaces; evicts the shard's least-recently-used entry when
   /// the shard is at capacity.
   void Put(const CacheKey& key,
-           std::shared_ptr<const diag::DiagnosisReport> report);
+           std::shared_ptr<const diag::DiagnosisReport> report,
+           std::shared_ptr<const CollectionSummary> collection = nullptr);
 
   /// Aggregated counters across shards.
   Counters TotalCounters() const;
@@ -85,6 +108,7 @@ class ResultCache {
   struct Entry {
     CacheKey key;
     std::shared_ptr<const diag::DiagnosisReport> report;
+    std::shared_ptr<const CollectionSummary> collection;
   };
   struct Shard {
     std::mutex mu;

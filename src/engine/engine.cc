@@ -71,10 +71,13 @@ struct DiagnosisEngine::Inflight {
   std::vector<Waiter> waiters;
 };
 
-DiagnosisEngine::DiagnosisEngine(EngineOptions options,
-                                 const diag::SymptomsDb* symptoms_db)
+DiagnosisEngine::DiagnosisEngine(
+    EngineOptions options, const diag::SymptomsDb* symptoms_db,
+    std::shared_ptr<monitor::AsyncCollector> collector)
     : options_(options),
       symptoms_db_(symptoms_db),
+      collector_(std::move(collector)),
+      gatherer_(collector_.get(), options.gather),
       cache_(ResultCache::Options{options.cache_capacity,
                                   options.cache_shards}),
       pool_(ThreadPool::Options{options.workers, options.queue_capacity}) {}
@@ -118,11 +121,13 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
   const CacheKey key = KeyFor(request);
 
   if (options_.enable_cache) {
+    std::shared_ptr<const CollectionSummary> cached_collection;
     if (std::shared_ptr<const diag::DiagnosisReport> report =
-            cache_.Get(key)) {
+            cache_.Get(key, &cached_collection)) {
       stats_.RecordCacheHit();
       DiagnosisResponse response;
       response.report = std::move(report);
+      response.collection = std::move(cached_collection);
       response.cache_hit = true;
       response.latency_ms = ElapsedMs(submitted);
       stats_.RecordCompleted();
@@ -156,7 +161,7 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
     if (!submitted_status.ok()) {
       // The pool shut down between the inflight insert and the enqueue:
       // fail every waiter that piled onto this key.
-      Resolve(key, submitted_status, nullptr);
+      Resolve(key, submitted_status, nullptr, nullptr);
     }
     return future;
   }
@@ -167,11 +172,15 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
         DiagnosisRequest local = std::move(request);
         Status status;
         std::shared_ptr<const diag::DiagnosisReport> report;
-        Compute(&local, &status, &report);
-        if (status.ok() && options_.enable_cache) cache_.Put(key, report);
+        std::shared_ptr<const CollectionSummary> collection;
+        Compute(&local, &status, &report, &collection);
+        if (status.ok() && options_.enable_cache) {
+          cache_.Put(key, report, collection);
+        }
         DiagnosisResponse response;
         response.status = status;
         response.report = std::move(report);
+        response.collection = std::move(collection);
         response.latency_ms = ElapsedMs(submitted);
         if (status.ok()) {
           stats_.RecordCompleted();
@@ -191,10 +200,30 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
 
 void DiagnosisEngine::Compute(
     DiagnosisRequest* request, Status* status,
-    std::shared_ptr<const diag::DiagnosisReport>* report) {
-  if (options_.collector_stall_ms > 0) {
+    std::shared_ptr<const diag::DiagnosisReport>* report,
+    std::shared_ptr<const CollectionSummary>* collection) {
+  if (collector_ == nullptr && options_.collector_stall_ms > 0) {
+    // Legacy blocking baseline: one serialized stall per diagnosis.
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         options_.collector_stall_ms));
+  }
+  diag::Workflow workflow(request->ctx, request->config, symptoms_db_);
+  diag::CollectionOutcome outcome;
+  if (collector_ != nullptr) {
+    // One overlapped scatter/gather for this diagnosis's whole metric
+    // plan. Collection only reads the tenant's store, so it runs before
+    // the catalog lock below — a slow component must not serialize
+    // same-tenant diagnoses behind wire latency.
+    outcome = workflow.Collect(gatherer_);
+    stats_.RecordCollection(outcome.gather);
+    auto summary = std::make_shared<CollectionSummary>();
+    summary->used_async = true;
+    summary->stale_components = std::move(outcome.gather.stale_components);
+    summary->fetches = outcome.gather.counters.fetches;
+    summary->timeouts = outcome.gather.counters.timeouts;
+    summary->retries = outcome.gather.counters.retries;
+    summary->gather_ms = outcome.gather.counters.gather_ms;
+    *collection = std::move(summary);
   }
   // The deployment what-if probe temporarily mutates the deployment's
   // catalog (it re-optimizes with an event reverted), which would race
@@ -217,10 +246,12 @@ void DiagnosisEngine::Compute(
   } else {
     read_lock = std::shared_lock<std::shared_mutex>(*catalog_lock);
   }
-  diag::Workflow workflow(request->ctx, request->config, symptoms_db_);
   diag::ModuleTimings timings;
   Result<diag::DiagnosisReport> result =
-      workflow.Diagnose(request->impact_method, &timings);
+      collector_ != nullptr
+          ? workflow.DiagnoseOverCollection(outcome, request->impact_method,
+                                            &timings)
+          : workflow.Diagnose(request->impact_method, &timings);
   stats_.RecordModuleLatencies(timings);
   if (!result.ok()) {
     *status = result.status();
@@ -234,14 +265,18 @@ void DiagnosisEngine::Compute(
 void DiagnosisEngine::Execute(CacheKey key, DiagnosisRequest request) {
   Status status;
   std::shared_ptr<const diag::DiagnosisReport> report;
-  Compute(&request, &status, &report);
-  if (status.ok() && options_.enable_cache) cache_.Put(key, report);
-  Resolve(key, status, std::move(report));
+  std::shared_ptr<const CollectionSummary> collection;
+  Compute(&request, &status, &report, &collection);
+  if (status.ok() && options_.enable_cache) {
+    cache_.Put(key, report, collection);
+  }
+  Resolve(key, status, std::move(report), std::move(collection));
 }
 
 void DiagnosisEngine::Resolve(
     const CacheKey& key, const Status& status,
-    std::shared_ptr<const diag::DiagnosisReport> report) {
+    std::shared_ptr<const diag::DiagnosisReport> report,
+    std::shared_ptr<const CollectionSummary> collection) {
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -254,6 +289,7 @@ void DiagnosisEngine::Resolve(
     DiagnosisResponse response;
     response.status = status;
     response.report = report;
+    response.collection = collection;
     response.coalesced = waiter.coalesced;
     response.latency_ms = ElapsedMs(waiter.submitted);
     if (status.ok()) {
@@ -285,7 +321,14 @@ std::vector<DiagnosisResponse> DiagnosisEngine::BatchDiagnose(
 
 void DiagnosisEngine::Drain() { pool_.Drain(); }
 
-void DiagnosisEngine::Shutdown() { pool_.Shutdown(); }
+void DiagnosisEngine::Shutdown() {
+  // Order matters: finish accepted diagnoses first (their gathers are
+  // bounded by per-component timeout * attempts), then cancel and join the
+  // collector's connection threads so nothing leaks and no fetch future
+  // is left unresolved.
+  pool_.Shutdown();
+  if (collector_ != nullptr) collector_->Shutdown();
+}
 
 EngineStatsSnapshot DiagnosisEngine::Stats() const {
   EngineStatsSnapshot snapshot = stats_.Snapshot(pool_.QueueDepth());

@@ -50,6 +50,8 @@
 #include "engine/cache.h"
 #include "engine/stats.h"
 #include "engine/thread_pool.h"
+#include "monitor/async_collector.h"
+#include "monitor/gather.h"
 
 namespace diads::engine {
 
@@ -69,11 +71,22 @@ struct DiagnosisRequest {
 struct DiagnosisResponse {
   Status status;  ///< Ok unless the workflow failed or the engine refused.
   std::shared_ptr<const diag::DiagnosisReport> report;  ///< Null on error.
+  /// Shared with every response for the same computation (coalesced
+  /// waiters, cache hits). Null when the engine has no collector (the
+  /// legacy stall path) and on responses that never reached a worker
+  /// (validation/shutdown rejections); present — with its staleness
+  /// annotation — even when the workflow itself failed after collecting.
+  std::shared_ptr<const CollectionSummary> collection;
   bool cache_hit = false;
   bool coalesced = false;   ///< Waited on an identical in-flight request.
   double latency_ms = 0;    ///< Submit to completion, wall clock.
 
   bool ok() const { return status.ok(); }
+  /// The stale-data annotation: true when this report was diagnosed with
+  /// at least one stale (timed-out) component's data.
+  bool stale_data() const {
+    return collection != nullptr && collection->degraded();
+  }
 };
 
 struct EngineOptions {
@@ -84,22 +97,30 @@ struct EngineOptions {
   int cache_shards = 8;
   /// Join identical in-flight requests instead of recomputing.
   bool coalesce_identical = true;
-  /// Simulated per-diagnosis stall (milliseconds) modelling the wire
-  /// latency of pulling monitoring intervals from the SAN collectors. The
-  /// in-memory testbed serves monitoring data at memory speed; a real
-  /// deployment blocks on collector round-trips, which is exactly the
-  /// blocking that makes a worker pool pay off. 0 disables (tests use 0;
-  /// serving benchmarks set a few ms). Applied only on the compute path —
-  /// cache hits skip collection entirely.
+  /// Legacy blocking-collection baseline: a single per-diagnosis sleep
+  /// (milliseconds) standing in for serialized SAN-collector round-trips.
+  /// Ignored when the engine is constructed with an AsyncCollector — the
+  /// per-component scatter/gather replaces it. 0 disables (tests use 0;
+  /// the blocking rows of bench_engine_throughput set it). Applied only on
+  /// the compute path — cache hits skip collection entirely.
   double collector_stall_ms = 0;
+  /// Scatter/gather policy when an AsyncCollector is installed: bounded
+  /// in-flight fetches, per-component timeout, bounded retries.
+  monitor::GatherOptions gather;
 };
 
 class DiagnosisEngine {
  public:
   /// `symptoms_db` may be null (fallback causes, as in Workflow); when
   /// non-null it must outlive the engine and is shared read-only by all
-  /// workers.
-  DiagnosisEngine(EngineOptions options, const diag::SymptomsDb* symptoms_db);
+  /// workers. `collector` (may be null) switches the compute path from the
+  /// blocking collector_stall_ms sleep to one async scatter/gather per
+  /// diagnosis; the engine co-owns it and shuts it down — after the worker
+  /// pool, so in-flight gathers resolve first — when the engine shuts
+  /// down. Sharing one collector across engines is fine (Shutdown is
+  /// idempotent); just shut the engines down before dropping it.
+  DiagnosisEngine(EngineOptions options, const diag::SymptomsDb* symptoms_db,
+                  std::shared_ptr<monitor::AsyncCollector> collector = nullptr);
   ~DiagnosisEngine();  ///< Graceful: drains accepted work, then joins.
 
   DiagnosisEngine(const DiagnosisEngine&) = delete;
@@ -117,7 +138,11 @@ class DiagnosisEngine {
   /// Blocks until every accepted request has resolved.
   void Drain();
 
-  /// Stops intake, finishes accepted requests, joins the workers.
+  /// Stops intake, finishes accepted requests (including their in-flight
+  /// async collections — a gather is bounded by timeout * attempts per
+  /// component, so this terminates deterministically), joins the workers,
+  /// then shuts the collector down (cancelling any fetches the gathers
+  /// abandoned, and joining its connection threads — nothing leaks).
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
@@ -138,17 +163,22 @@ class DiagnosisEngine {
   struct Waiter;
   struct Inflight;
 
-  /// Runs the workflow for one request on a worker thread: applies the
-  /// collector stall, wraps the what-if probe with the engine-wide probe
-  /// lock, records module latencies.
+  /// Runs the workflow for one request on a worker thread: collects the
+  /// diagnosis window's metrics (async gather, or the legacy stall), wraps
+  /// the what-if probe with the engine-wide probe lock, records module and
+  /// collection latencies.
   void Compute(DiagnosisRequest* request, Status* status,
-               std::shared_ptr<const diag::DiagnosisReport>* report);
+               std::shared_ptr<const diag::DiagnosisReport>* report,
+               std::shared_ptr<const CollectionSummary>* collection);
   void Execute(CacheKey key, DiagnosisRequest request);
   void Resolve(const CacheKey& key, const Status& status,
-               std::shared_ptr<const diag::DiagnosisReport> report);
+               std::shared_ptr<const diag::DiagnosisReport> report,
+               std::shared_ptr<const CollectionSummary> collection);
 
   EngineOptions options_;
   const diag::SymptomsDb* symptoms_db_;
+  std::shared_ptr<monitor::AsyncCollector> collector_;  ///< May be null.
+  monitor::MetricGatherer gatherer_;  ///< Valid only when collector_ set.
   EngineStats stats_;
   ResultCache cache_;
   std::mutex inflight_mu_;

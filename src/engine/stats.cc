@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "diads/workflow.h"
+#include "monitor/gather.h"
 
 namespace diads::engine {
 namespace {
@@ -84,6 +85,22 @@ void EngineStats::RecordModuleLatencies(const diag::ModuleTimings& timings) {
   ia_.Record(timings.ia_ms);
 }
 
+void EngineStats::RecordCollection(const monitor::GatherResult& gather) {
+  collection_fetches_.fetch_add(gather.counters.fetches,
+                                std::memory_order_relaxed);
+  collection_timeouts_.fetch_add(gather.counters.timeouts,
+                                 std::memory_order_relaxed);
+  collection_retries_.fetch_add(gather.counters.retries,
+                                std::memory_order_relaxed);
+  collection_stale_.fetch_add(gather.counters.stale_components,
+                              std::memory_order_relaxed);
+  if (gather.degraded()) {
+    degraded_diagnoses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (double ms : gather.fetch_ms) fetch_latency_.Record(ms);
+  gather_latency_.Record(gather.counters.gather_ms);
+}
+
 EngineStatsSnapshot EngineStats::Snapshot(size_t queue_depth) const {
   EngineStatsSnapshot out;
   out.submitted = submitted_.load(std::memory_order_relaxed);
@@ -101,7 +118,18 @@ EngineStatsSnapshot EngineStats::Snapshot(size_t queue_depth) const {
       out.elapsed_sec > 0
           ? static_cast<double>(out.completed) / out.elapsed_sec
           : 0;
+  out.collection_fetches =
+      collection_fetches_.load(std::memory_order_relaxed);
+  out.collection_timeouts =
+      collection_timeouts_.load(std::memory_order_relaxed);
+  out.collection_retries =
+      collection_retries_.load(std::memory_order_relaxed);
+  out.collection_stale = collection_stale_.load(std::memory_order_relaxed);
+  out.degraded_diagnoses =
+      degraded_diagnoses_.load(std::memory_order_relaxed);
   out.request_latency = request_latency_.Summarize();
+  out.fetch_latency = fetch_latency_.Summarize();
+  out.gather_latency = gather_latency_.Summarize();
   out.pd = pd_.Summarize();
   out.co = co_.Summarize();
   out.da = da_.Summarize();
@@ -119,9 +147,16 @@ void EngineStats::Reset() {
   cache_hits_.store(0);
   cache_misses_.store(0);
   coalesced_.store(0);
+  collection_fetches_.store(0);
+  collection_timeouts_.store(0);
+  collection_retries_.store(0);
+  collection_stale_.store(0);
+  degraded_diagnoses_.store(0);
   max_queue_depth_.store(0);
   start_ns_.store(NowNs());
   request_latency_.Clear();
+  fetch_latency_.Clear();
+  gather_latency_.Clear();
   pd_.Clear();
   co_.Clear();
   da_.Clear();
@@ -154,6 +189,18 @@ std::string EngineStatsSnapshot::Render() const {
       request_latency.p50_ms, request_latency.p95_ms, request_latency.p99_ms,
       request_latency.max_ms,
       static_cast<unsigned long long>(request_latency.count));
+  if (collection_fetches > 0) {
+    out += StrFormat(
+        "collection: %llu fetches (%llu timeouts, %llu retries), "
+        "%llu stale components across %llu degraded diagnoses; "
+        "fetch p95 %.2fms, gather p95 %.2fms\n",
+        static_cast<unsigned long long>(collection_fetches),
+        static_cast<unsigned long long>(collection_timeouts),
+        static_cast<unsigned long long>(collection_retries),
+        static_cast<unsigned long long>(collection_stale),
+        static_cast<unsigned long long>(degraded_diagnoses),
+        fetch_latency.p95_ms, gather_latency.p95_ms);
+  }
   struct Row {
     const char* name;
     const LatencyRecorder::Summary* s;
@@ -184,7 +231,20 @@ std::string EngineStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cache_evictions),
       static_cast<unsigned long long>(coalesced), queue_depth,
       max_queue_depth, elapsed_sec, throughput_per_sec, CacheHitRate());
+  out += StrFormat(
+      "\"collection_fetches\":%llu,\"collection_timeouts\":%llu,"
+      "\"collection_retries\":%llu,\"collection_stale\":%llu,"
+      "\"degraded_diagnoses\":%llu,",
+      static_cast<unsigned long long>(collection_fetches),
+      static_cast<unsigned long long>(collection_timeouts),
+      static_cast<unsigned long long>(collection_retries),
+      static_cast<unsigned long long>(collection_stale),
+      static_cast<unsigned long long>(degraded_diagnoses));
   out += SummaryJson("request_latency", request_latency);
+  out += ",";
+  out += SummaryJson("fetch_latency", fetch_latency);
+  out += ",";
+  out += SummaryJson("gather_latency", gather_latency);
   struct Row {
     const char* name;
     const LatencyRecorder::Summary* s;

@@ -21,6 +21,10 @@ namespace diads::diag {
 struct ModuleTimings;  // diads/workflow.h
 }  // namespace diads::diag
 
+namespace diads::monitor {
+struct GatherResult;  // monitor/gather.h
+}  // namespace diads::monitor
+
 namespace diads::engine {
 
 /// Thread-safe latency accumulator with exact percentiles.
@@ -63,7 +67,15 @@ struct EngineStatsSnapshot {
   size_t max_queue_depth = 0;
   double elapsed_sec = 0;      ///< Since engine start (or stats reset).
   double throughput_per_sec = 0;  ///< completed / elapsed.
+  // Async SAN collection (zero when the engine has no collector).
+  uint64_t collection_fetches = 0;   ///< Fetch attempts issued.
+  uint64_t collection_timeouts = 0;  ///< Attempts past their deadline.
+  uint64_t collection_retries = 0;   ///< Re-issued fetches.
+  uint64_t collection_stale = 0;     ///< Components served stale.
+  uint64_t degraded_diagnoses = 0;   ///< Diagnoses with >= 1 stale component.
   LatencyRecorder::Summary request_latency;  ///< Submit -> report ready.
+  LatencyRecorder::Summary fetch_latency;    ///< Per successful fetch.
+  LatencyRecorder::Summary gather_latency;   ///< Per diagnosis gather.
   LatencyRecorder::Summary pd, co, da, cr, sd, ia;  ///< Per module.
 
   double CacheHitRate() const {
@@ -92,6 +104,8 @@ class EngineStats {
   void RecordQueueDepth(size_t depth);
   void RecordRequestLatency(double ms) { request_latency_.Record(ms); }
   void RecordModuleLatencies(const diag::ModuleTimings& timings);
+  /// Folds one diagnosis's gather (counters + fetch latencies) in.
+  void RecordCollection(const monitor::GatherResult& gather);
 
   /// `queue_depth` is sampled by the caller (the queue owns the live value).
   EngineStatsSnapshot Snapshot(size_t queue_depth) const;
@@ -105,9 +119,13 @@ class EngineStats {
   std::atomic<uint64_t> submitted_{0}, completed_{0}, failed_{0}, rejected_{0};
   std::atomic<uint64_t> cache_hits_{0}, cache_misses_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> collection_fetches_{0}, collection_timeouts_{0};
+  std::atomic<uint64_t> collection_retries_{0}, collection_stale_{0};
+  std::atomic<uint64_t> degraded_diagnoses_{0};
   std::atomic<size_t> max_queue_depth_{0};
   std::atomic<int64_t> start_ns_{0};
   LatencyRecorder request_latency_;
+  LatencyRecorder fetch_latency_, gather_latency_;
   LatencyRecorder pd_, co_, da_, cr_, sd_, ia_;
 };
 

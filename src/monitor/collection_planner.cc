@@ -1,0 +1,35 @@
+#include "monitor/collection_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace diads::monitor {
+
+std::vector<FetchRequest> CollectionPlanner::Plan(
+    const std::vector<SeriesKey>& keys, const TimeInterval& window,
+    const TimeSeriesStore* source) {
+  std::map<ComponentId, std::set<MetricId>> by_component;
+  for (const SeriesKey& key : keys) {
+    by_component[key.component].insert(key.metric);
+  }
+  std::vector<FetchRequest> plan;
+  plan.reserve(by_component.size());
+  for (const auto& [component, metrics] : by_component) {
+    FetchRequest request;
+    request.component = component;
+    request.interval = window;
+    request.metrics.assign(metrics.begin(), metrics.end());
+    request.source = source;
+    plan.push_back(std::move(request));
+  }
+  return plan;
+}
+
+size_t CollectionPlanner::SeriesCount(const std::vector<FetchRequest>& plan) {
+  size_t count = 0;
+  for (const FetchRequest& request : plan) count += request.metrics.size();
+  return count;
+}
+
+}  // namespace diads::monitor

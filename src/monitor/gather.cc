@@ -1,0 +1,122 @@
+#include "monitor/gather.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace diads::monitor {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Appends a batch's series into the collected store. Samples within a
+/// series are time-ordered (covering slices preserve store order), so the
+/// appends cannot fail.
+void Integrate(const MetricBatch& batch, TimeSeriesStore* collected) {
+  for (const MetricSeries& series : batch.series) {
+    for (const Sample& sample : series.samples) {
+      collected->Append(batch.component, series.metric, sample.time,
+                        sample.value);
+    }
+  }
+}
+
+/// Synthesizes a stale batch from the request's locally cached series —
+/// the same BatchFromSource read a fresh fetch performs, so degraded and
+/// fetched data are byte-identical.
+MetricBatch StaleFromLocal(const FetchRequest& request) {
+  MetricBatch batch = BatchFromSource(request);
+  batch.stale = true;
+  return batch;
+}
+
+}  // namespace
+
+MetricGatherer::MetricGatherer(AsyncCollector* collector,
+                               GatherOptions options)
+    : collector_(collector), options_(options) {}
+
+GatherResult MetricGatherer::Gather(
+    const std::vector<FetchRequest>& plan) const {
+  struct InFlight {
+    size_t plan_index = 0;
+    std::future<MetricBatch> future;
+    Clock::time_point deadline;
+    int attempt = 1;
+  };
+
+  GatherResult result;
+  const Clock::time_point start = Clock::now();
+  const bool timeouts_enabled = options_.timeout_ms > 0;
+  const auto timeout =
+      std::chrono::duration<double, std::milli>(options_.timeout_ms);
+  const size_t window = static_cast<size_t>(
+      options_.max_in_flight > 0 ? options_.max_in_flight : 1);
+
+  std::vector<InFlight> in_flight;
+  in_flight.reserve(window);
+  size_t next = 0;
+
+  auto issue = [&](size_t plan_index, int attempt) {
+    InFlight entry;
+    entry.plan_index = plan_index;
+    entry.future = collector_->Fetch(plan[plan_index]);
+    entry.deadline = Clock::now() + std::chrono::duration_cast<
+                                        Clock::duration>(timeout);
+    entry.attempt = attempt;
+    ++result.counters.fetches;
+    in_flight.push_back(std::move(entry));
+  };
+
+  while (next < plan.size() || !in_flight.empty()) {
+    while (next < plan.size() && in_flight.size() < window) {
+      issue(next++, /*attempt=*/1);
+    }
+    // Harvest the oldest in-flight fetch. All others keep progressing in
+    // the backend meanwhile, so waiting here costs no parallelism.
+    InFlight entry = std::move(in_flight.front());
+    in_flight.erase(in_flight.begin());
+    const FetchRequest& request = plan[entry.plan_index];
+
+    bool ready = true;
+    if (timeouts_enabled) {
+      ready = entry.future.wait_until(entry.deadline) ==
+              std::future_status::ready;
+    } else {
+      entry.future.wait();
+    }
+    if (!ready) {
+      ++result.counters.timeouts;
+      // Abandon the attempt (the collector resolves the orphaned promise
+      // whenever it finishes; nobody is listening).
+      if (entry.attempt < options_.max_attempts) {
+        ++result.counters.retries;
+        issue(entry.plan_index, entry.attempt + 1);
+      } else {
+        ++result.counters.stale_components;
+        result.stale_components.push_back(request.component);
+        Integrate(StaleFromLocal(request), &result.collected);
+      }
+      continue;
+    }
+    MetricBatch batch = entry.future.get();
+    if (!batch.ok()) {
+      // Cancelled (collector shutdown) or misconfigured: degrade to the
+      // local series rather than failing the diagnosis.
+      ++result.counters.cancelled;
+      ++result.counters.stale_components;
+      result.stale_components.push_back(request.component);
+      Integrate(StaleFromLocal(request), &result.collected);
+      continue;
+    }
+    result.fetch_ms.push_back(batch.fetch_ms);
+    Integrate(batch, &result.collected);
+  }
+
+  std::sort(result.stale_components.begin(), result.stale_components.end());
+  result.counters.gather_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace diads::monitor

@@ -38,6 +38,24 @@ std::vector<Sample> TimeSeriesStore::Slice(ComponentId component,
   return out;
 }
 
+std::vector<Sample> TimeSeriesStore::CoveringSlice(
+    ComponentId component, MetricId metric,
+    const TimeInterval& interval) const {
+  const std::vector<Sample>& s = Series(component, metric);
+  if (s.empty()) return {};
+  // [lo, hi) is the in-window range; widen by one sample on each side when
+  // one exists (the stale-fallback reading and the tail reading).
+  auto lo = std::lower_bound(
+      s.begin(), s.end(), interval.begin,
+      [](const Sample& a, SimTimeMs t) { return a.time < t; });
+  auto hi = std::lower_bound(
+      s.begin(), s.end(), interval.end,
+      [](const Sample& a, SimTimeMs t) { return a.time < t; });
+  if (lo != s.begin()) --lo;
+  if (hi != s.end()) ++hi;
+  return std::vector<Sample>(lo, hi);
+}
+
 std::vector<double> TimeSeriesStore::ValuesIn(
     ComponentId component, MetricId metric,
     const TimeInterval& interval) const {

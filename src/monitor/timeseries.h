@@ -56,6 +56,15 @@ class TimeSeriesStore {
   std::vector<Sample> Slice(ComponentId component, MetricId metric,
                             const TimeInterval& interval) const;
 
+  /// The samples a collector must ship so that MeanIn / ValuesIn /
+  /// LatestAtOrBefore over any subinterval of `interval` answer identically
+  /// to this store: the in-window slice, plus the newest sample at or
+  /// before interval.begin (MeanIn's stale fallback), plus the first
+  /// sample at or after interval.end (MeanIn's tail reading). Empty iff
+  /// the series is empty.
+  std::vector<Sample> CoveringSlice(ComponentId component, MetricId metric,
+                                    const TimeInterval& interval) const;
+
   /// Values (without timestamps) in the interval.
   std::vector<double> ValuesIn(ComponentId component, MetricId metric,
                                const TimeInterval& interval) const;

@@ -82,4 +82,19 @@ Result<diag::DiagnosisReport> SerialDiagnosis(
   return workflow.Diagnose(impact_method);
 }
 
+monitor::SimulatedLatencyOptions MakeSkewedLatencyProfile(
+    const FleetWorkload& fleet, double base_ms, double slow_factor,
+    const std::string& slow_component_name) {
+  monitor::SimulatedLatencyOptions options;
+  options.base_latency_ms = base_ms;
+  for (const FleetTenant& tenant : fleet.tenants) {
+    const ComponentRegistry& registry =
+        tenant.output->testbed->topology.registry();
+    Result<ComponentId> slow = registry.FindByName(slow_component_name);
+    if (!slow.ok()) continue;
+    options.per_component_ms[slow->value] = base_ms * slow_factor;
+  }
+  return options;
+}
+
 }  // namespace diads::workload

@@ -72,6 +72,16 @@ Result<diag::DiagnosisReport> SerialDiagnosis(
     diag::ImpactMethod impact_method =
         diag::ImpactMethod::kInverseDependency);
 
+/// Simulated-collection latency profile for serving experiments: every
+/// component round-trips at `base_ms`, except each tenant's component
+/// named `slow_component_name` (default "V1", the Table-1 contended
+/// volume), which round-trips at base_ms * slow_factor — the one wedged
+/// SAN agent that an overlapped gather hides and a serialized collection
+/// pays in full. Tenants that lack the name are left at base latency.
+monitor::SimulatedLatencyOptions MakeSkewedLatencyProfile(
+    const FleetWorkload& fleet, double base_ms, double slow_factor,
+    const std::string& slow_component_name = "V1");
+
 }  // namespace diads::workload
 
 #endif  // DIADS_WORKLOAD_FLEET_H_

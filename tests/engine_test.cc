@@ -20,6 +20,7 @@
 #include "engine/engine.h"
 #include "engine/stats.h"
 #include "engine/thread_pool.h"
+#include "monitor/async_collector.h"
 #include "workload/fleet.h"
 #include "workload/scenario.h"
 
@@ -334,6 +335,110 @@ TEST_F(EngineScenarioTest, ModuleLatenciesAreRecorded) {
   EXPECT_EQ(stats.ia.count, 1u);
   EXPECT_GE(stats.request_latency.max_ms,
             stats.co.mean_ms);  // Request covers its modules.
+}
+
+// --- DiagnosisEngine: async collection --------------------------------------
+
+TEST_F(EngineScenarioTest, AsyncCollectionIsDigestIdenticalAndMeasured) {
+  monitor::SimulatedLatencyOptions latency;
+  latency.base_latency_ms = 0.5;
+  auto collector =
+      std::make_shared<monitor::SimulatedSanCollector>(latency);
+  EngineOptions options;
+  options.workers = 2;
+  DiagnosisEngine engine(options, symptoms_, collector);
+  DiagnosisResponse response = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(diag::ReportDigest(*response.report), *serial_digest_);
+  ASSERT_NE(response.collection, nullptr);
+  EXPECT_TRUE(response.collection->used_async);
+  EXPECT_FALSE(response.stale_data());
+  EXPECT_GT(response.collection->fetches, 0u);
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.collection_fetches, response.collection->fetches);
+  EXPECT_EQ(stats.collection_timeouts, 0u);
+  EXPECT_EQ(stats.degraded_diagnoses, 0u);
+  EXPECT_EQ(stats.gather_latency.count, 1u);
+  EXPECT_EQ(stats.fetch_latency.count, response.collection->fetches);
+}
+
+TEST_F(EngineScenarioTest, StaleAnnotationSurvivesTheCache) {
+  // V1's collector never answers: every computed diagnosis degrades, and a
+  // later cache hit must still carry the stale-data annotation.
+  diag::DiagnosisContext ctx = scenario_->MakeContext();
+  Result<ComponentId> v1 = ctx.topology->registry().FindByName("V1");
+  ASSERT_TRUE(v1.ok());
+  monitor::SimulatedLatencyOptions latency;
+  latency.base_latency_ms = 0.5;
+  latency.per_component_ms[v1->value] = 10000;
+  auto collector =
+      std::make_shared<monitor::SimulatedSanCollector>(latency);
+  EngineOptions options;
+  options.workers = 2;
+  options.gather.timeout_ms = 15;
+  options.gather.max_attempts = 1;
+  DiagnosisEngine engine(options, symptoms_, collector);
+
+  DiagnosisResponse computed = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(computed.ok()) << computed.status.ToString();
+  EXPECT_TRUE(computed.stale_data());
+  EXPECT_EQ(diag::ReportDigest(*computed.report), *serial_digest_);
+
+  DiagnosisResponse cached = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.cache_hit);
+  ASSERT_NE(cached.collection, nullptr);
+  EXPECT_TRUE(cached.stale_data());
+  ASSERT_EQ(cached.collection->stale_components.size(), 1u);
+  EXPECT_EQ(cached.collection->stale_components[0], *v1);
+
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.degraded_diagnoses, 1u);  // The cache hit recollects nothing.
+  EXPECT_EQ(stats.collection_stale, 1u);
+}
+
+// The shutdown-while-fetches-in-flight contract: Shutdown() must await
+// accepted diagnoses (whose gathers are mid-flight against a slow
+// simulated backend), resolve every future, and join the collector's
+// connection threads — deterministically, with no leaked threads. Run
+// under TSan to validate the teardown ordering.
+TEST(EngineAsyncShutdownTest, ShutdownWithFetchesInFlightResolvesEverything) {
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  Result<ScenarioOutput> scenario =
+      RunScenario(ScenarioId::kS2DualExternalContention, {});
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+
+  monitor::SimulatedLatencyOptions latency;
+  latency.base_latency_ms = 5;  // Slow enough that fetches are in flight.
+  latency.connections = 2;
+  auto collector =
+      std::make_shared<monitor::SimulatedSanCollector>(latency);
+  EngineOptions options;
+  options.workers = 2;
+  options.enable_cache = false;
+  options.coalesce_identical = false;  // Force every request to compute.
+  options.gather.timeout_ms = 50;
+  DiagnosisEngine engine(options, &symptoms, collector);
+
+  std::vector<std::future<DiagnosisResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    DiagnosisRequest request;
+    request.ctx = scenario->MakeContext();
+    request.tag = "tenant-shutdown";
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  engine.Shutdown();  // While gathers are mid-flight.
+  for (std::future<DiagnosisResponse>& future : futures) {
+    DiagnosisResponse response = future.get();  // Must resolve, never hang.
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    ASSERT_NE(response.report, nullptr);
+  }
+  // The collector was shut down with the engine: later fetches fail fast
+  // rather than landing on dead connection threads.
+  monitor::FetchRequest probe;
+  probe.component = ComponentId{0};
+  probe.source = &scenario->testbed->store;
+  EXPECT_FALSE(collector->Fetch(probe).get().ok());
 }
 
 // Plan-change scenarios exercise the deployment what-if probe, which
