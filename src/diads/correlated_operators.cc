@@ -1,9 +1,11 @@
 #include "diads/correlated_operators.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "diads/model_cache.h"
 
 namespace diads::diag {
 
@@ -37,13 +39,37 @@ Result<CoResult> RunCorrelatedOperators(const DiagnosisContext& ctx,
         "plan");
   }
 
+  // Baseline-model identity shared by every operator of this plan: the
+  // baselines are per-run series, so the run catalog is the source, its
+  // size the append generation, and the satisfactory same-plan run set
+  // the provenance.
+  const TimeInterval window = ctx.AnalysisWindow();
+  const uint64_t config_fp =
+      AnomalyConfigFingerprint(config.operator_anomaly);
+  const uint64_t runs_generation = ctx.runs->size();
+  const uint64_t provenance = RunSetFingerprint(good_p);
+
   CoResult out;
   for (const db::PlanOp& op : ctx.apg->plan().ops()) {
-    const std::vector<double> baseline = OperatorSpans(good_p, op.index);
+    BaselineModelKey key;
+    key.source = ctx.runs;
+    key.series = SeriesIdOfOperator(/*kind=*/1, fp, op.index);
+    key.window_begin = window.begin;
+    key.window_end = window.end;
+    key.config_fingerprint = config_fp;
+    key.provenance_fingerprint = provenance;
+    Result<CachedBaseline> base = GetOrFitBaseline(
+        ctx.model_cache, key, runs_generation,
+        config.operator_anomaly.bandwidth_rule, [&good_p, &op] {
+          ExtractedBaseline e;
+          e.values = OperatorSpans(good_p, op.index);
+          return e;
+        });
+    DIADS_RETURN_IF_ERROR(base.status());
     const std::vector<double> observed = OperatorSpans(bad_p, op.index);
-    if (baseline.size() < 2 || observed.empty()) continue;
-    Result<stats::AnomalyScore> score =
-        stats::ScoreAnomaly(baseline, observed, config.operator_anomaly);
+    if (base->model == nullptr || observed.empty()) continue;
+    Result<stats::AnomalyScore> score = stats::ScoreWithModel(
+        *base->model, observed, config.operator_anomaly);
     DIADS_RETURN_IF_ERROR(score.status());
     OperatorAnomaly a;
     a.op_index = op.index;

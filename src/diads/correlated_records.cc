@@ -1,9 +1,11 @@
 #include "diads/correlated_records.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "diads/model_cache.h"
 
 namespace diads::diag {
 
@@ -17,13 +19,34 @@ Result<CrResult> RunCorrelatedRecords(const DiagnosisContext& ctx,
         "Module CR needs labelled runs on both sides");
   }
 
+  const TimeInterval window = ctx.AnalysisWindow();
+  const uint64_t config_fp =
+      AnomalyConfigFingerprint(config.record_deviation);
+  const uint64_t plan_fp = ctx.apg->plan().Fingerprint();
+  const uint64_t runs_generation = ctx.runs->size();
+  const uint64_t provenance = RunSetFingerprint(good);
+
   CrResult out;
   for (int op_index : co.correlated_operator_set) {
-    const std::vector<double> baseline = OperatorRecordCounts(good, op_index);
+    BaselineModelKey key;
+    key.source = ctx.runs;
+    key.series = SeriesIdOfOperator(/*kind=*/2, plan_fp, op_index);
+    key.window_begin = window.begin;
+    key.window_end = window.end;
+    key.config_fingerprint = config_fp;
+    key.provenance_fingerprint = provenance;
+    Result<CachedBaseline> base = GetOrFitBaseline(
+        ctx.model_cache, key, runs_generation,
+        config.record_deviation.bandwidth_rule, [&good, op_index] {
+          ExtractedBaseline e;
+          e.values = OperatorRecordCounts(good, op_index);
+          return e;
+        });
+    DIADS_RETURN_IF_ERROR(base.status());
     const std::vector<double> observed = OperatorRecordCounts(bad, op_index);
-    if (baseline.size() < 2 || observed.empty()) continue;
-    Result<stats::AnomalyScore> score =
-        stats::ScoreDeviation(baseline, observed, config.record_deviation);
+    if (base->model == nullptr || observed.empty()) continue;
+    Result<stats::AnomalyScore> score = stats::ScoreDeviationWithModel(
+        *base->model, observed, config.record_deviation);
     DIADS_RETURN_IF_ERROR(score.status());
     RecordCountAnomaly a;
     a.op_index = op_index;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/strings.h"
 #include "common/table_printer.h"
+#include "diads/model_cache.h"
 #include "stats/correlation.h"
 
 namespace diads::diag {
@@ -33,35 +35,93 @@ Result<DaResult> RunDependencyAnalysis(const DiagnosisContext& ctx,
     for (ComponentId c : *outer) component_ops[c].insert(op_index);
   }
 
-  DaResult out;
+  // The model cache keys metric-series baselines on the *authoritative*
+  // store: when the engine diagnoses over a per-request collected
+  // snapshot, ctx.store is ephemeral but the tenant's live store
+  // identifies (and generation-stamps) the series. CoveringSlice
+  // guarantees the snapshot's per-run means equal the source store's, so
+  // a baseline extracted from either is the same baseline.
+  const monitor::TimeSeriesStore* authority =
+      ctx.model_authority != nullptr ? ctx.model_authority : ctx.store;
+  const TimeInterval window = ctx.AnalysisWindow();
+  const uint64_t config_fp = AnomalyConfigFingerprint(config.metric_anomaly);
+  const uint64_t provenance = RunSetFingerprint(good);
+
+  // Correlation inputs shared across every (component, metric) pair: the
+  // labelled runs in baseline-then-observation order, and each COS
+  // operator's per-run spans with their mid-ranks (Spearman is Pearson
+  // over mid-ranks, so ranking each side once replaces a re-rank per
+  // (metric, operator) pair).
+  std::vector<const db::QueryRunRecord*> all_runs = good;
+  all_runs.insert(all_runs.end(), bad.begin(), bad.end());
+  struct OpSpanRanks {
+    size_t count = 0;             ///< Runs the operator appeared in.
+    std::vector<double> ranks;    ///< MidRanks of the spans.
+  };
+  std::map<int, OpSpanRanks> op_ranks;
   for (const auto& [component, ops] : component_ops) {
+    (void)component;
+    for (int op_index : ops) {
+      if (op_ranks.count(op_index) != 0) continue;
+      const std::vector<double> spans = OperatorSpans(all_runs, op_index);
+      OpSpanRanks entry;
+      entry.count = spans.size();
+      entry.ranks = stats::MidRanks(spans);
+      op_ranks.emplace(op_index, std::move(entry));
+    }
+  }
+
+  DaResult out;
+  for (const auto& [component_key, ops] : component_ops) {
+    const ComponentId component = component_key;
     // Score every metric the store has for this component.
     for (monitor::MetricId metric : ctx.store->MetricsFor(component)) {
-      int missing_good = 0;
+      BaselineModelKey key;
+      key.source = authority;
+      key.series = SeriesIdOfMetric(component, metric);
+      key.window_begin = window.begin;
+      key.window_end = window.end;
+      key.config_fingerprint = config_fp;
+      key.provenance_fingerprint = provenance;
+      Result<CachedBaseline> base = GetOrFitBaseline(
+          ctx.model_cache, key, authority->Generation(component, metric),
+          config.metric_anomaly.bandwidth_rule, [&ctx, &good, component,
+                                                 metric] {
+            ExtractedBaseline e;
+            e.values = MetricPerRun(*ctx.store, component, metric, good,
+                                    &e.missing);
+            return e;
+          });
+      DIADS_RETURN_IF_ERROR(base.status());
+      const std::vector<double>& baseline = *base->values;
+      const int missing_good = base->missing;
       int missing_bad = 0;
-      const std::vector<double> baseline =
-          MetricPerRun(*ctx.store, component, metric, good, &missing_good);
       const std::vector<double> observed =
           MetricPerRun(*ctx.store, component, metric, bad, &missing_bad);
-      if (baseline.size() < 2 || observed.empty()) continue;
+      if (base->model == nullptr || observed.empty()) continue;
 
-      Result<stats::AnomalyScore> score =
-          stats::ScoreAnomaly(baseline, observed, config.metric_anomaly);
+      Result<stats::AnomalyScore> score = stats::ScoreWithModel(
+          *base->model, observed, config.metric_anomaly);
       DIADS_RETURN_IF_ERROR(score.status());
 
       // Correlation of the metric with the running time of the dependent
-      // COS operators across *all* labelled runs (property (ii)).
+      // COS operators across *all* labelled runs (property (ii)). With no
+      // per-run extraction gaps the metric's all-run series is exactly
+      // baseline-then-observations (all_runs is good-then-bad and
+      // MetricPerRun is per-run), so the concatenation replaces a second
+      // extraction pass.
       double best_corr = 0;
       if (missing_good == 0 && missing_bad == 0) {
-        std::vector<const db::QueryRunRecord*> all_runs = good;
-        all_runs.insert(all_runs.end(), bad.begin(), bad.end());
-        std::vector<double> metric_series =
-            MetricPerRun(*ctx.store, component, metric, all_runs, nullptr);
+        std::vector<double> metric_series = baseline;
+        metric_series.insert(metric_series.end(), observed.begin(),
+                             observed.end());
+        const std::vector<double> metric_ranks =
+            stats::MidRanks(metric_series);
         for (int op_index : ops) {
-          const std::vector<double> spans = OperatorSpans(all_runs, op_index);
-          if (spans.size() != metric_series.size()) continue;
+          const OpSpanRanks& spans = op_ranks.at(op_index);
+          if (spans.count != metric_series.size()) continue;
           const double corr =
-              stats::SpearmanCorrelation(metric_series, spans);
+              stats::PearsonCorrelation(metric_ranks, spans.ranks);
           if (std::fabs(corr) > std::fabs(best_corr)) best_corr = corr;
         }
       }

@@ -27,6 +27,8 @@
 
 namespace diads::diag {
 
+class BaselineModelCache;  // diads/model_cache.h
+
 /// Workflow thresholds. Defaults follow Section 5 (anomaly threshold 0.8)
 /// and Section 4.1 (confidence bands high >= 80%, medium >= 50%).
 struct WorkflowConfig {
@@ -58,6 +60,17 @@ struct DiagnosisContext {
   /// plan fingerprint. Supplied by the deployment (it owns a mutable
   /// catalog copy); nullptr disables what-if probing.
   std::function<Result<uint64_t>(const SystemEvent&)> plan_whatif_probe;
+
+  /// Optional anomaly-model fast path: when non-null, Modules CO/DA/CR
+  /// memoize their fitted baseline KDEs here across diagnoses. Pure
+  /// performance — a hit reproduces the refit's scores bit for bit, so
+  /// reports are ReportDigest-identical with the cache on or off.
+  BaselineModelCache* model_cache = nullptr;
+  /// Identity + generation authority for model-cache keys over metric
+  /// series. Defaults to `store` when null; the engine points it at the
+  /// tenant's live store so diagnoses over per-request collected
+  /// snapshots (whose store pointers are ephemeral) still share models.
+  const monitor::TimeSeriesStore* model_authority = nullptr;
 
   /// The diagnosis window: first labelled run start to last labelled run
   /// end.

@@ -1,0 +1,184 @@
+#include "diads/model_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace diads::diag {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t MixBits64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashDoubles(const std::vector<double>& xs) {
+  uint64_t h = 0xba5e11e5ee0d1234ull ^ xs.size();
+  for (double x : xs) h = MixBits64(h, DoubleBits(x));
+  return h;
+}
+
+uint64_t RunSetFingerprint(
+    const std::vector<const db::QueryRunRecord*>& runs) {
+  uint64_t h = 0x5e7f1d6e57a9b3c1ull ^ runs.size();
+  for (const db::QueryRunRecord* run : runs) {
+    h = MixBits64(h, static_cast<uint64_t>(run->run_id));
+    h = MixBits64(h, static_cast<uint64_t>(run->interval.begin));
+    h = MixBits64(h, static_cast<uint64_t>(run->interval.end));
+  }
+  return h;
+}
+
+uint64_t AnomalyConfigFingerprint(const stats::AnomalyConfig& config) {
+  uint64_t h = 0xa40ca11c0f1d6e55ull;
+  h = MixBits64(h, static_cast<uint64_t>(config.bandwidth_rule));
+  h = MixBits64(h, static_cast<uint64_t>(config.aggregation));
+  h = MixBits64(h, DoubleBits(config.threshold));
+  return h;
+}
+
+uint64_t SeriesIdOfMetric(ComponentId component, monitor::MetricId metric) {
+  return (1ull << 62) | (static_cast<uint64_t>(component.value) << 16) |
+         (static_cast<uint64_t>(metric) & 0xFFFFu);
+}
+
+uint64_t SeriesIdOfOperator(uint64_t kind, uint64_t plan_fingerprint,
+                            int op_index) {
+  uint64_t h = MixBits64(kind, plan_fingerprint);
+  return MixBits64(h, static_cast<uint64_t>(op_index));
+}
+
+size_t BaselineModelKeyHash::operator()(
+    const BaselineModelKey& key) const noexcept {
+  uint64_t h = MixBits64(0xcafef00dd15ea5e5ull,
+                         reinterpret_cast<uintptr_t>(key.source));
+  h = MixBits64(h, key.series);
+  h = MixBits64(h, static_cast<uint64_t>(key.window_begin));
+  h = MixBits64(h, static_cast<uint64_t>(key.window_end));
+  h = MixBits64(h, key.config_fingerprint);
+  h = MixBits64(h, key.provenance_fingerprint);
+  return static_cast<size_t>(h);
+}
+
+BaselineModelCache::BaselineModelCache() : BaselineModelCache(Options{}) {}
+
+BaselineModelCache::BaselineModelCache(Options options) {
+  const int shards = std::max(1, options.shards);
+  shard_capacity_ =
+      std::max<size_t>(1, options.capacity / static_cast<size_t>(shards));
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BaselineModelCache::Shard& BaselineModelCache::ShardFor(
+    const BaselineModelKey& key) {
+  const size_t h = BaselineModelKeyHash{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+std::optional<CachedBaseline> BaselineModelCache::Get(
+    const BaselineModelKey& key, uint64_t generation) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  if (it->second->generation != generation) {
+    // The source advanced past the fit: drop the stale entry so the
+    // recompute replaces it instead of thrashing against it.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.invalidations;
+    ++shard.misses;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->baseline;
+}
+
+void BaselineModelCache::Put(const BaselineModelKey& key, uint64_t generation,
+                             CachedBaseline baseline) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->generation = generation;
+    it->second->baseline = std::move(baseline);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, generation, std::move(baseline)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+BaselineModelCache::Counters BaselineModelCache::TotalCounters() const {
+  Counters out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.invalidations += shard->invalidations;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void BaselineModelCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+Result<CachedBaseline> GetOrFitBaseline(
+    BaselineModelCache* cache, const BaselineModelKey& key,
+    uint64_t generation, stats::BandwidthRule rule,
+    const std::function<ExtractedBaseline()>& extract) {
+  if (cache != nullptr) {
+    if (std::optional<CachedBaseline> cached = cache->Get(key, generation)) {
+      return std::move(*cached);
+    }
+  }
+  ExtractedBaseline extracted = extract();
+  CachedBaseline out;
+  out.missing = extracted.missing;
+  out.values = std::make_shared<const std::vector<double>>(
+      std::move(extracted.values));
+  if (out.values->size() < 2) {
+    // Below the modules' fit threshold: nothing to model, nothing worth
+    // caching (re-extraction is what the cache saves, and a sub-2-sample
+    // series is a skip, not a score).
+    return out;
+  }
+  Result<stats::SortedKde> fit = stats::SortedKde::Fit(*out.values, rule);
+  DIADS_RETURN_IF_ERROR(fit.status());
+  out.model =
+      std::make_shared<const stats::SortedKde>(std::move(fit).value());
+  if (cache != nullptr) cache->Put(key, generation, out);
+  return out;
+}
+
+}  // namespace diads::diag

@@ -1,0 +1,202 @@
+// Sharded cache of extracted baselines and their fitted models, shared
+// across diagnoses.
+//
+// Every Workflow::Diagnose re-derives, per scored series, (a) the baseline
+// sample vector (Module DA: one TimeSeriesStore::MeanIn per satisfactory
+// run; Modules CO/CR: per-run operator stats) and (b) a KDE fitted to it
+// (sort + bandwidth selection). At fleet scale the same tenant is
+// diagnosed over and over — dashboard refreshes, new incidents over
+// overlapping windows, retries — and each diagnosis repeats both steps
+// for baselines that have not changed. This cache memoizes the pair
+// across diagnoses.
+//
+// Keying and invalidation. An entry is identified by
+//   (source identity, series id, diagnosis window, anomaly-config
+//    fingerprint, provenance fingerprint)
+// and validated against the source's append generation:
+//
+//   * source identity is the tenant's authoritative store (Module DA) or
+//     run catalog (CO/CR) — a pointer used purely as identity, so
+//     diagnoses over per-request collected snapshots still share models;
+//   * the provenance fingerprint hashes the labelled-run set the baseline
+//     was extracted over (run ids + intervals), so relabelling or
+//     re-filtering runs can never reuse a stale baseline;
+//   * the generation check (TimeSeriesStore::Generation per series, the
+//     run-catalog size for CO/CR) drops the entry as soon as new samples
+//     are appended — Append-driven invalidation.
+//
+// Correctness (the ReportDigest contract): extraction and
+// SortedKde::Fit are deterministic functions of the source data pinned by
+// (identity, generation) and of the run set pinned by the provenance
+// fingerprint, so a hit returns byte-for-byte the values and model a
+// recompute would produce. Golden tests assert digest equality with the
+// cache on vs off, including across Append-driven invalidation.
+//
+// Thread-safety: sharded like the engine's ResultCache — each shard owns
+// a mutex, an LRU list, and an index. Cached values and models are
+// immutable once published and safe to read concurrently.
+#ifndef DIADS_DIADS_MODEL_CACHE_H_
+#define DIADS_DIADS_MODEL_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "db/run_record.h"
+#include "monitor/metrics.h"
+#include "stats/anomaly.h"
+#include "stats/sorted_kde.h"
+
+namespace diads::diag {
+
+/// One mixing step of the 64-bit fingerprint hash (splitmix-style).
+uint64_t MixBits64(uint64_t h, uint64_t v);
+
+/// Order-sensitive 64-bit fingerprint of a double vector's bit patterns.
+uint64_t HashDoubles(const std::vector<double>& xs);
+
+/// Fingerprint of a labelled-run set: run ids and intervals, in order.
+/// The provenance half of a baseline's identity (the other half is the
+/// source's generation).
+uint64_t RunSetFingerprint(const std::vector<const db::QueryRunRecord*>& runs);
+
+/// Fingerprint of every field of an AnomalyConfig (bandwidth rule,
+/// aggregation, threshold). Part of the model key: different thresholds
+/// do not change the fitted model, but keeping the whole config in the
+/// key keeps the invariant trivial ("one config, one entry").
+uint64_t AnomalyConfigFingerprint(const stats::AnomalyConfig& config);
+
+/// Identity of one cached baseline.
+struct BaselineModelKey {
+  /// The owning data source (a TimeSeriesStore or RunCatalog). Never
+  /// dereferenced — pure identity. Lifetime requirement: a source must
+  /// outlive every cache it is keyed into (or the cache must be
+  /// Clear()ed when a source is torn down) — if a destroyed store's
+  /// address were reused by a new tenant whose generations and run ids
+  /// happened to coincide, its stale entries could match. The engine
+  /// satisfies this the same way its result cache does: tenant state
+  /// (FleetWorkload, scenario testbeds) outlives the engine run.
+  const void* source = nullptr;
+  /// Packed series identity: Module DA packs (component, metric); Modules
+  /// CO/CR pack (kind, plan fingerprint, operator index).
+  uint64_t series = 0;
+  /// The diagnosis window the baseline was extracted over.
+  SimTimeMs window_begin = 0;
+  SimTimeMs window_end = 0;
+  uint64_t config_fingerprint = 0;
+  /// RunSetFingerprint of the runs the baseline was extracted over.
+  uint64_t provenance_fingerprint = 0;
+
+  friend bool operator==(const BaselineModelKey& a,
+                         const BaselineModelKey& b) {
+    return a.source == b.source && a.series == b.series &&
+           a.window_begin == b.window_begin && a.window_end == b.window_end &&
+           a.config_fingerprint == b.config_fingerprint &&
+           a.provenance_fingerprint == b.provenance_fingerprint;
+  }
+};
+
+struct BaselineModelKeyHash {
+  size_t operator()(const BaselineModelKey& key) const noexcept;
+};
+
+/// Packs Module DA's (component, metric) series identity.
+uint64_t SeriesIdOfMetric(ComponentId component, monitor::MetricId metric);
+/// Packs Module CO/CR's per-run operator series identity. `kind`
+/// distinguishes operator-span baselines from record-count baselines.
+uint64_t SeriesIdOfOperator(uint64_t kind, uint64_t plan_fingerprint,
+                            int op_index);
+
+/// What the modules extract per series on a miss (and get back on a hit).
+struct ExtractedBaseline {
+  std::vector<double> values;  ///< Per-run baseline, extraction order.
+  int missing = 0;             ///< Runs that contributed no sample.
+};
+
+/// A cached (or freshly computed) baseline with its fitted model.
+struct CachedBaseline {
+  std::shared_ptr<const std::vector<double>> values;  ///< Extraction order.
+  /// Null iff values.size() < 2 (too small to fit — the modules' skip
+  /// threshold; such baselines are recomputed per diagnosis, not cached).
+  std::shared_ptr<const stats::SortedKde> model;
+  int missing = 0;
+};
+
+class BaselineModelCache {
+ public:
+  struct Options {
+    size_t capacity = 4096;  ///< Total entries across shards.
+    int shards = 16;
+  };
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /// Entries dropped because the source's generation advanced (a strict
+    /// subset of misses).
+    uint64_t invalidations = 0;
+    size_t entries = 0;
+  };
+
+  BaselineModelCache();  ///< Default Options.
+  explicit BaselineModelCache(Options options);
+
+  /// Returns the cached baseline when the key matches and its fit-time
+  /// generation equals `generation`; nullopt otherwise. A generation
+  /// mismatch erases the stale entry (Append-driven invalidation).
+  std::optional<CachedBaseline> Get(const BaselineModelKey& key,
+                                    uint64_t generation);
+
+  /// Inserts or replaces; evicts the shard's LRU entry at capacity.
+  void Put(const BaselineModelKey& key, uint64_t generation,
+           CachedBaseline baseline);
+
+  Counters TotalCounters() const;
+
+  void Clear();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    BaselineModelKey key;
+    uint64_t generation = 0;
+    CachedBaseline baseline;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<BaselineModelKey, std::list<Entry>::iterator,
+                       BaselineModelKeyHash>
+        index;
+    uint64_t hits = 0, misses = 0, evictions = 0, invalidations = 0;
+  };
+
+  Shard& ShardFor(const BaselineModelKey& key);
+
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// The modules' one-stop entry point: returns the cached baseline for
+/// `key` (validated against `generation`) or runs `extract`, fits, caches
+/// (when >= 2 samples), and returns the fresh result. `cache` may be null
+/// — then this is exactly extract + SortedKde::Fit. The result is
+/// byte-identical either way.
+Result<CachedBaseline> GetOrFitBaseline(
+    BaselineModelCache* cache, const BaselineModelKey& key,
+    uint64_t generation, stats::BandwidthRule rule,
+    const std::function<ExtractedBaseline()>& extract);
+
+}  // namespace diads::diag
+
+#endif  // DIADS_DIADS_MODEL_CACHE_H_

@@ -125,7 +125,12 @@ Result<DiagnosisReport> Workflow::DiagnoseOverCollection(
     ModuleTimings* timings) const {
   // Diagnose over the collected snapshot: every module reads the fetched
   // covering slices instead of round-tripping to the store per series.
+  // The model cache keeps keying on the tenant's live store — the
+  // snapshot's pointer is ephemeral, its data digest-identical.
   DiagnosisContext collected_ctx = ctx_;
+  if (collected_ctx.model_authority == nullptr) {
+    collected_ctx.model_authority = ctx_.store;
+  }
   collected_ctx.store = &outcome.gather.collected;
   Workflow collected_workflow(std::move(collected_ctx), config_,
                               symptoms_db_);

@@ -80,6 +80,8 @@ DiagnosisEngine::DiagnosisEngine(
       gatherer_(collector_.get(), options.gather),
       cache_(ResultCache::Options{options.cache_capacity,
                                   options.cache_shards}),
+      model_cache_(diag::BaselineModelCache::Options{
+          options.model_cache_capacity, options.model_cache_shards}),
       pool_(ThreadPool::Options{options.workers, options.queue_capacity}) {}
 
 DiagnosisEngine::~DiagnosisEngine() { Shutdown(); }
@@ -207,6 +209,14 @@ void DiagnosisEngine::Compute(
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         options_.collector_stall_ms));
   }
+  if (options_.enable_model_cache) {
+    // Share fitted baseline models across all diagnoses served by this
+    // engine, keyed on the request's own (authoritative) store.
+    request->ctx.model_cache = &model_cache_;
+    if (request->ctx.model_authority == nullptr) {
+      request->ctx.model_authority = request->ctx.store;
+    }
+  }
   diag::Workflow workflow(request->ctx, request->config, symptoms_db_);
   diag::CollectionOutcome outcome;
   if (collector_ != nullptr) {
@@ -333,6 +343,13 @@ void DiagnosisEngine::Shutdown() {
 EngineStatsSnapshot DiagnosisEngine::Stats() const {
   EngineStatsSnapshot snapshot = stats_.Snapshot(pool_.QueueDepth());
   snapshot.cache_evictions = cache_.TotalCounters().evictions;
+  const diag::BaselineModelCache::Counters models =
+      model_cache_.TotalCounters();
+  snapshot.model_cache_hits = models.hits;
+  snapshot.model_cache_misses = models.misses;
+  snapshot.model_cache_evictions = models.evictions;
+  snapshot.model_cache_invalidations = models.invalidations;
+  snapshot.model_cache_entries = models.entries;
   return snapshot;
 }
 

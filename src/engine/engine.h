@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "diads/impact_analysis.h"
+#include "diads/model_cache.h"
 #include "diads/symptoms_db.h"
 #include "diads/workflow.h"
 #include "engine/cache.h"
@@ -107,6 +108,15 @@ struct EngineOptions {
   /// Scatter/gather policy when an AsyncCollector is installed: bounded
   /// in-flight fetches, per-component timeout, bounded retries.
   monitor::GatherOptions gather;
+  /// Memoize fitted baseline KDEs (Modules CO/DA/CR) across diagnoses in
+  /// a shared BaselineModelCache. Distinct from the *result* cache: the
+  /// result cache answers exact repeats without any compute; the model
+  /// cache speeds up *fresh* diagnoses that share baselines (new incident
+  /// tags, overlapping windows, re-runs after a threshold tweak of an
+  /// unrelated knob). Reports are digest-identical either way.
+  bool enable_model_cache = true;
+  size_t model_cache_capacity = 8192;
+  int model_cache_shards = 16;
 };
 
 class DiagnosisEngine {
@@ -181,6 +191,9 @@ class DiagnosisEngine {
   monitor::MetricGatherer gatherer_;  ///< Valid only when collector_ set.
   EngineStats stats_;
   ResultCache cache_;
+  /// Fitted baseline models shared by all workers (see
+  /// EngineOptions::enable_model_cache).
+  diag::BaselineModelCache model_cache_;
   std::mutex inflight_mu_;
   std::unordered_map<CacheKey, std::unique_ptr<Inflight>, CacheKeyHash>
       inflight_;

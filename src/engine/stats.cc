@@ -182,6 +182,16 @@ std::string EngineStatsSnapshot::Render() const {
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions),
       CacheHitRate() * 100.0, static_cast<unsigned long long>(coalesced));
+  if (model_cache_hits + model_cache_misses > 0) {
+    out += StrFormat(
+        "models: %llu hits, %llu misses, %llu evictions, "
+        "%llu invalidations (hit rate %.1f%%, %zu cached)\n",
+        static_cast<unsigned long long>(model_cache_hits),
+        static_cast<unsigned long long>(model_cache_misses),
+        static_cast<unsigned long long>(model_cache_evictions),
+        static_cast<unsigned long long>(model_cache_invalidations),
+        ModelCacheHitRate() * 100.0, model_cache_entries);
+  }
   out += StrFormat("queue:  depth %zu (max %zu)\n", queue_depth,
                    max_queue_depth);
   out += StrFormat(
@@ -231,6 +241,15 @@ std::string EngineStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cache_evictions),
       static_cast<unsigned long long>(coalesced), queue_depth,
       max_queue_depth, elapsed_sec, throughput_per_sec, CacheHitRate());
+  out += StrFormat(
+      "\"model_cache_hits\":%llu,\"model_cache_misses\":%llu,"
+      "\"model_cache_evictions\":%llu,\"model_cache_invalidations\":%llu,"
+      "\"model_cache_entries\":%zu,\"model_cache_hit_rate\":%.4f,",
+      static_cast<unsigned long long>(model_cache_hits),
+      static_cast<unsigned long long>(model_cache_misses),
+      static_cast<unsigned long long>(model_cache_evictions),
+      static_cast<unsigned long long>(model_cache_invalidations),
+      model_cache_entries, ModelCacheHitRate());
   out += StrFormat(
       "\"collection_fetches\":%llu,\"collection_timeouts\":%llu,"
       "\"collection_retries\":%llu,\"collection_stale\":%llu,"

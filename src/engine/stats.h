@@ -63,6 +63,13 @@ struct EngineStatsSnapshot {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;  ///< Filled by the engine from its cache.
   uint64_t coalesced = 0;      ///< Joined an identical in-flight request.
+  // Baseline-model cache (filled by the engine from its
+  // BaselineModelCache; all zero when the model cache is disabled).
+  uint64_t model_cache_hits = 0;
+  uint64_t model_cache_misses = 0;
+  uint64_t model_cache_evictions = 0;
+  uint64_t model_cache_invalidations = 0;  ///< Append-driven drops.
+  size_t model_cache_entries = 0;
   size_t queue_depth = 0;
   size_t max_queue_depth = 0;
   double elapsed_sec = 0;      ///< Since engine start (or stats reset).
@@ -81,6 +88,12 @@ struct EngineStatsSnapshot {
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+
+  double ModelCacheHitRate() const {
+    const uint64_t total = model_cache_hits + model_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(model_cache_hits) / total;
   }
 
   /// Human-readable multi-line rendering (console dashboards).

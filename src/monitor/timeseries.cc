@@ -10,32 +10,44 @@ const std::vector<Sample>& EmptySeries() {
   return kEmpty;
 }
 
+std::vector<Sample>::const_iterator LowerBoundTime(
+    const std::vector<Sample>& s, SimTimeMs t) {
+  return std::lower_bound(
+      s.begin(), s.end(), t,
+      [](const Sample& a, SimTimeMs tt) { return a.time < tt; });
+}
+
 }  // namespace
 
 Status TimeSeriesStore::Append(ComponentId component, MetricId metric,
                                SimTimeMs time, double value) {
-  std::vector<Sample>& s = series_[SeriesKey{component, metric}];
-  if (!s.empty() && time < s.back().time) {
+  SeriesData& s = series_[SeriesKey{component, metric}];
+  if (!s.samples.empty() && time < s.samples.back().time) {
     return Status::InvalidArgument(
         "samples must be appended in non-decreasing time order");
   }
-  s.push_back(Sample{time, value});
+  s.samples.push_back(Sample{time, value});
+  ++s.generation;
   ++total_samples_;
   return Status::Ok();
+}
+
+SampleSpan TimeSeriesStore::SliceView(ComponentId component, MetricId metric,
+                                      const TimeInterval& interval) const {
+  const std::vector<Sample>& s = Series(component, metric);
+  auto lo = LowerBoundTime(s, interval.begin);
+  auto hi = std::lower_bound(
+      lo, s.end(), interval.end,
+      [](const Sample& a, SimTimeMs t) { return a.time < t; });
+  if (lo == hi) return SampleSpan();
+  return SampleSpan(&*lo, static_cast<size_t>(hi - lo));
 }
 
 std::vector<Sample> TimeSeriesStore::Slice(ComponentId component,
                                            MetricId metric,
                                            const TimeInterval& interval) const {
-  std::vector<Sample> out;
-  const std::vector<Sample>& s = Series(component, metric);
-  auto lo = std::lower_bound(
-      s.begin(), s.end(), interval.begin,
-      [](const Sample& a, SimTimeMs t) { return a.time < t; });
-  for (auto it = lo; it != s.end() && it->time < interval.end; ++it) {
-    out.push_back(*it);
-  }
-  return out;
+  const SampleSpan view = SliceView(component, metric, interval);
+  return std::vector<Sample>(view.begin(), view.end());
 }
 
 std::vector<Sample> TimeSeriesStore::CoveringSlice(
@@ -45,12 +57,8 @@ std::vector<Sample> TimeSeriesStore::CoveringSlice(
   if (s.empty()) return {};
   // [lo, hi) is the in-window range; widen by one sample on each side when
   // one exists (the stale-fallback reading and the tail reading).
-  auto lo = std::lower_bound(
-      s.begin(), s.end(), interval.begin,
-      [](const Sample& a, SimTimeMs t) { return a.time < t; });
-  auto hi = std::lower_bound(
-      s.begin(), s.end(), interval.end,
-      [](const Sample& a, SimTimeMs t) { return a.time < t; });
+  auto lo = LowerBoundTime(s, interval.begin);
+  auto hi = LowerBoundTime(s, interval.end);
   if (lo != s.begin()) --lo;
   if (hi != s.end()) ++hi;
   return std::vector<Sample>(lo, hi);
@@ -59,31 +67,31 @@ std::vector<Sample> TimeSeriesStore::CoveringSlice(
 std::vector<double> TimeSeriesStore::ValuesIn(
     ComponentId component, MetricId metric,
     const TimeInterval& interval) const {
+  const SampleSpan view = SliceView(component, metric, interval);
   std::vector<double> out;
-  for (const Sample& s : Slice(component, metric, interval)) {
-    out.push_back(s.value);
-  }
+  out.reserve(view.size());
+  for (const Sample& s : view) out.push_back(s.value);
   return out;
 }
 
 Result<double> TimeSeriesStore::MeanIn(ComponentId component, MetricId metric,
                                        const TimeInterval& interval) const {
-  std::vector<Sample> slice = Slice(component, metric, interval);
+  const SampleSpan view = SliceView(component, metric, interval);
   // Samples are stamped at the *end* of the collection interval they
   // aggregate, so the sample covering this window's tail lands at the first
   // grid point at or after interval.end. Include it: for a run shorter than
   // the monitoring interval it is often the only reading that reflects the
   // run at all (Section 1.1's coarse-interval reality).
   const std::vector<Sample>& series = Series(component, metric);
-  auto tail = std::lower_bound(
-      series.begin(), series.end(), interval.end,
-      [](const Sample& s, SimTimeMs t) { return s.time < t; });
-  if (tail != series.end()) slice.push_back(*tail);
-  if (!slice.empty()) {
-    double sum = 0;
-    for (const Sample& s : slice) sum += s.value;
-    return sum / static_cast<double>(slice.size());
+  auto tail = LowerBoundTime(series, interval.end);
+  size_t count = view.size();
+  double sum = 0;
+  for (const Sample& s : view) sum += s.value;
+  if (tail != series.end()) {
+    sum += tail->value;
+    ++count;
   }
+  if (count > 0) return sum / static_cast<double>(count);
   // No samples at all in or after the window: report the newest stale one.
   Result<Sample> latest = LatestAtOrBefore(component, metric, interval.begin);
   DIADS_RETURN_IF_ERROR(latest.status());
@@ -107,13 +115,20 @@ const std::vector<Sample>& TimeSeriesStore::Series(ComponentId component,
                                                    MetricId metric) const {
   auto it = series_.find(SeriesKey{component, metric});
   if (it == series_.end()) return EmptySeries();
-  return it->second;
+  return it->second.samples;
+}
+
+uint64_t TimeSeriesStore::Generation(ComponentId component,
+                                     MetricId metric) const {
+  auto it = series_.find(SeriesKey{component, metric});
+  if (it == series_.end()) return 0;
+  return it->second.generation;
 }
 
 std::vector<MetricId> TimeSeriesStore::MetricsFor(ComponentId component) const {
   std::vector<MetricId> out;
-  for (const auto& [key, samples] : series_) {
-    if (key.component == component && !samples.empty()) {
+  for (const auto& [key, series] : series_) {
+    if (key.component == component && !series.samples.empty()) {
       out.push_back(key.metric);
     }
   }

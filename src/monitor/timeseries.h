@@ -9,9 +9,17 @@
 // The diagnosis modules consume per-run aggregates: "the annotation of an
 // operator O consists of the performance data ... collected in the [tb, te]
 // time interval" (Section 3). MeanIn/ValuesIn provide exactly that slicing.
+//
+// Hot-path note: because every series is appended in non-decreasing time
+// order, any interval maps to one contiguous range found with two binary
+// searches. SliceView exposes that range as a non-owning SampleSpan —
+// O(log n) and zero copies — and MeanIn/ValuesIn are built on it. Slice
+// keeps the copying contract for callers that need ownership (snapshots,
+// cross-thread handoff).
 #ifndef DIADS_MONITOR_TIMESERIES_H_
 #define DIADS_MONITOR_TIMESERIES_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +36,26 @@ struct Sample {
   double value = 0;
 };
 
+/// Non-owning view of a contiguous run of samples inside one series.
+/// Valid until the next Append to that series (appends may reallocate).
+class SampleSpan {
+ public:
+  SampleSpan() = default;
+  SampleSpan(const Sample* data, size_t size) : data_(data), size_(size) {}
+
+  const Sample* begin() const { return data_; }
+  const Sample* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Sample& operator[](size_t i) const { return data_[i]; }
+  const Sample& front() const { return data_[0]; }
+  const Sample& back() const { return data_[size_ - 1]; }
+
+ private:
+  const Sample* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Key of one series.
 struct SeriesKey {
   ComponentId component;
@@ -38,10 +66,22 @@ struct SeriesKey {
   }
 };
 
+/// 64-bit mix (splitmix64 finalizer) over the packed (component, metric)
+/// pair. The previous `component * 1000003 ^ metric` collapsed a whole
+/// metric family onto consecutive buckets: XOR-ing the small metric id
+/// into the low bits meant all metrics of one component differed only in
+/// those bits, clustering every family into one neighbourhood of the
+/// table (and colliding outright once the bucket mask ate the high bits).
 struct SeriesKeyHash {
   size_t operator()(const SeriesKey& k) const noexcept {
-    return std::hash<uint32_t>()(k.component.value) * 1000003u ^
-           static_cast<size_t>(k.metric);
+    uint64_t x = (static_cast<uint64_t>(k.component.value) << 32) |
+                 (static_cast<uint64_t>(k.metric) & 0xFFFFFFFFu);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
   }
 };
 
@@ -49,10 +89,17 @@ struct SeriesKeyHash {
 class TimeSeriesStore {
  public:
   /// Appends a sample; time must be non-decreasing within a series.
+  /// Bumps the series' generation counter (model-cache invalidation).
   Status Append(ComponentId component, MetricId metric, SimTimeMs time,
                 double value);
 
-  /// All samples of a series with time in [interval.begin, interval.end).
+  /// All samples of a series with time in [interval.begin, interval.end)
+  /// as a non-owning view: two binary searches, no copy. The view is
+  /// invalidated by the next Append to the same series.
+  SampleSpan SliceView(ComponentId component, MetricId metric,
+                       const TimeInterval& interval) const;
+
+  /// Owning copy of SliceView — for callers that outlive appends.
   std::vector<Sample> Slice(ComponentId component, MetricId metric,
                             const TimeInterval& interval) const;
 
@@ -85,6 +132,11 @@ class TimeSeriesStore {
   const std::vector<Sample>& Series(ComponentId component,
                                     MetricId metric) const;
 
+  /// Monotone per-series append counter: 0 for an absent series,
+  /// incremented by every Append. Cached models fitted from a series are
+  /// valid exactly while its generation is unchanged.
+  uint64_t Generation(ComponentId component, MetricId metric) const;
+
   /// Metrics that have at least one sample for `component`.
   std::vector<MetricId> MetricsFor(ComponentId component) const;
 
@@ -92,7 +144,12 @@ class TimeSeriesStore {
   size_t total_samples() const { return total_samples_; }
 
  private:
-  std::unordered_map<SeriesKey, std::vector<Sample>, SeriesKeyHash> series_;
+  struct SeriesData {
+    std::vector<Sample> samples;
+    uint64_t generation = 0;
+  };
+
+  std::unordered_map<SeriesKey, SeriesData, SeriesKeyHash> series_;
   size_t total_samples_ = 0;
 };
 

@@ -8,6 +8,9 @@
 namespace diads::stats {
 namespace {
 
+// Takes the scores by value so the caller's vector moves straight
+// through: kMean/kMax read it in place and kMedian hands it to Median's
+// in-place sort — no aggregation mode copies the per-observation scores.
 double Aggregate(std::vector<double> scores, AnomalyAggregation how) {
   switch (how) {
     case AnomalyAggregation::kMean:
@@ -20,31 +23,34 @@ double Aggregate(std::vector<double> scores, AnomalyAggregation how) {
   return 0.0;
 }
 
+Result<AnomalyScore> ScoreModelImpl(const SortedKde& model,
+                                    const std::vector<double>& observations,
+                                    const AnomalyConfig& config,
+                                    bool two_sided) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("anomaly scoring requires observations");
+  }
+  std::vector<double> per_obs = model.CdfBatch(observations);
+  if (two_sided) {
+    for (double& p : per_obs) p = 2.0 * std::fabs(p - 0.5);
+  }
+  AnomalyScore out;
+  out.observation_count = per_obs.size();
+  out.score = Aggregate(std::move(per_obs), config.aggregation);
+  out.anomalous = out.score >= config.threshold;
+  out.baseline_count = model.sample_count();
+  return out;
+}
+
 Result<AnomalyScore> ScoreImpl(const std::vector<double>& baseline,
                                const std::vector<double>& observations,
                                const AnomalyConfig& config, bool two_sided) {
   if (baseline.empty()) {
     return Status::InvalidArgument("anomaly scoring requires baseline samples");
   }
-  if (observations.empty()) {
-    return Status::InvalidArgument("anomaly scoring requires observations");
-  }
-  Result<Kde> kde = Kde::Fit(baseline, config.bandwidth_rule);
-  DIADS_RETURN_IF_ERROR(kde.status());
-
-  std::vector<double> per_obs;
-  per_obs.reserve(observations.size());
-  for (double u : observations) {
-    const double p = kde->Cdf(u);
-    per_obs.push_back(two_sided ? 2.0 * std::fabs(p - 0.5) : p);
-  }
-
-  AnomalyScore out;
-  out.score = Aggregate(std::move(per_obs), config.aggregation);
-  out.anomalous = out.score >= config.threshold;
-  out.baseline_count = baseline.size();
-  out.observation_count = observations.size();
-  return out;
+  Result<SortedKde> model = SortedKde::Fit(baseline, config.bandwidth_rule);
+  DIADS_RETURN_IF_ERROR(model.status());
+  return ScoreModelImpl(*model, observations, config, two_sided);
 }
 
 }  // namespace
@@ -59,6 +65,18 @@ Result<AnomalyScore> ScoreDeviation(const std::vector<double>& baseline,
                                     const std::vector<double>& observations,
                                     const AnomalyConfig& config) {
   return ScoreImpl(baseline, observations, config, /*two_sided=*/true);
+}
+
+Result<AnomalyScore> ScoreWithModel(const SortedKde& model,
+                                    const std::vector<double>& observations,
+                                    const AnomalyConfig& config) {
+  return ScoreModelImpl(model, observations, config, /*two_sided=*/false);
+}
+
+Result<AnomalyScore> ScoreDeviationWithModel(
+    const SortedKde& model, const std::vector<double>& observations,
+    const AnomalyConfig& config) {
+  return ScoreModelImpl(model, observations, config, /*two_sided=*/true);
 }
 
 }  // namespace diads::stats

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "stats/kde.h"
+#include "stats/sorted_kde.h"
 
 namespace diads::stats {
 
@@ -53,6 +54,21 @@ Result<AnomalyScore> ScoreAnomaly(const std::vector<double>& baseline,
 Result<AnomalyScore> ScoreDeviation(const std::vector<double>& baseline,
                                     const std::vector<double>& observations,
                                     const AnomalyConfig& config = {});
+
+/// Scores against an already-fitted model — the fast path used with the
+/// baseline-model cache: a fit amortized over many diagnoses produces the
+/// same AnomalyScore, bit for bit, as refitting from the same baseline
+/// (SortedKde::Fit is deterministic and evaluation is a pure function of
+/// the fitted state). ScoreAnomaly/ScoreDeviation above are exactly
+/// Fit + ScoreWithModel/ScoreDeviationWithModel.
+Result<AnomalyScore> ScoreWithModel(const SortedKde& model,
+                                    const std::vector<double>& observations,
+                                    const AnomalyConfig& config = {});
+
+/// Two-sided model-based variant (Module CR).
+Result<AnomalyScore> ScoreDeviationWithModel(
+    const SortedKde& model, const std::vector<double>& observations,
+    const AnomalyConfig& config = {});
 
 }  // namespace diads::stats
 

@@ -13,12 +13,22 @@ double Mean(const std::vector<double>& xs) {
 }
 
 double Variance(const std::vector<double>& xs) {
+  // Single-pass Welford update: SelectBandwidth calls this on every KDE
+  // fit, and the two-scan textbook form (Mean, then squared deviations)
+  // read the baseline twice per fit. Welford is one scan and at least as
+  // numerically stable.
   const size_t n = xs.size();
   if (n < 2) return 0.0;
-  const double mu = Mean(xs);
-  double ss = 0;
-  for (double x : xs) ss += (x - mu) * (x - mu);
-  return ss / static_cast<double>(n - 1);
+  double mean = 0;
+  double m2 = 0;
+  size_t count = 0;
+  for (double x : xs) {
+    ++count;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (x - mean);
+  }
+  return m2 / static_cast<double>(n - 1);
 }
 
 double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
@@ -38,17 +48,26 @@ double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50); }
 double Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
-  if (p <= 0) return xs.front();
-  if (p >= 100) return xs.back();
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  return PercentileOfSorted(xs, p);
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= xs.size()) return xs.back();
-  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
 double Iqr(const std::vector<double>& xs) {
-  return Percentile(xs, 75) - Percentile(xs, 25);
+  // One sorted copy serves both quartiles (Percentile sorts per call).
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, 75) - PercentileOfSorted(sorted, 25);
 }
 
 }  // namespace diads::stats

@@ -20,6 +20,10 @@ double Max(const std::vector<double>& xs);
 double Median(std::vector<double> xs);
 /// Linear-interpolated percentile, p in [0, 100]; 0 for empty input.
 double Percentile(std::vector<double> xs, double p);
+/// Percentile of an already-sorted (ascending) vector — the one shared
+/// interpolation used by Percentile, Iqr, and the KDE bandwidth rules;
+/// they must agree bit for bit, so there is exactly one copy of it.
+double PercentileOfSorted(const std::vector<double>& sorted, double p);
 /// Interquartile range (P75 - P25).
 double Iqr(const std::vector<double>& xs);
 

@@ -289,6 +289,45 @@ TEST_F(EngineScenarioTest, CacheDisabledStillIdentical) {
   EXPECT_EQ(diag::ReportDigest(*second.report), *serial_digest_);
 }
 
+TEST_F(EngineScenarioTest, ModelCacheOnVsOffDigestIdentical) {
+  // Fresh incidents (distinct tags) bypass the result cache, so every
+  // request recomputes the module chain; with the model cache on, the
+  // second one reuses the first one's fitted baselines and must still
+  // produce a byte-identical report.
+  EngineOptions on_options;
+  on_options.workers = 2;
+  on_options.enable_cache = false;
+  on_options.coalesce_identical = false;
+  on_options.enable_model_cache = true;
+  DiagnosisEngine on_engine(on_options, symptoms_);
+  DiagnosisRequest first = RequestForScenario();
+  first.tag = "incident-1";
+  DiagnosisRequest second = RequestForScenario();
+  second.tag = "incident-2";
+  DiagnosisResponse r1 = on_engine.Submit(std::move(first)).get();
+  DiagnosisResponse r2 = on_engine.Submit(std::move(second)).get();
+  ASSERT_TRUE(r1.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status.ToString();
+  EXPECT_EQ(diag::ReportDigest(*r1.report), *serial_digest_);
+  EXPECT_EQ(diag::ReportDigest(*r2.report), *serial_digest_);
+  EngineStatsSnapshot on_stats = on_engine.Stats();
+  EXPECT_GT(on_stats.model_cache_misses, 0u);
+  EXPECT_GT(on_stats.model_cache_hits, 0u);  // Second incident reused.
+  EXPECT_GT(on_stats.ModelCacheHitRate(), 0.0);
+
+  EngineOptions off_options = on_options;
+  off_options.enable_model_cache = false;
+  DiagnosisEngine off_engine(off_options, symptoms_);
+  DiagnosisRequest plain = RequestForScenario();
+  plain.tag = "incident-3";
+  DiagnosisResponse r3 = off_engine.Submit(std::move(plain)).get();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(diag::ReportDigest(*r3.report), *serial_digest_);
+  EngineStatsSnapshot off_stats = off_engine.Stats();
+  EXPECT_EQ(off_stats.model_cache_hits, 0u);
+  EXPECT_EQ(off_stats.model_cache_misses, 0u);
+}
+
 TEST_F(EngineScenarioTest, ConcurrentIdenticalRequestsCoalesce) {
   EngineOptions options;
   options.workers = 4;

@@ -3,6 +3,8 @@
 // noise model with targeted overrides, and the SAN collector.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/event_log.h"
 #include "common/rng.h"
 #include "monitor/metrics.h"
@@ -135,6 +137,94 @@ TEST(TimeSeriesStoreTest, MeanInFallsBackToStaleSample) {
   EXPECT_FALSE(
       store.MeanIn(ComponentId{2}, MetricId::kVolTotalIos, TimeInterval{0, 1})
           .ok());
+}
+
+TEST(TimeSeriesStoreTest, SliceViewMatchesSliceEverywhere) {
+  TimeSeriesStore store;
+  const ComponentId c{3};
+  SeededRng rng(11);
+  SimTimeMs t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<SimTimeMs>(rng.UniformInt(0, 400));  // Allows ties.
+    ASSERT_TRUE(
+        store.Append(c, MetricId::kVolBytesRead, t, rng.Normal(10, 2)).ok());
+  }
+  for (int q = 0; q < 300; ++q) {
+    const SimTimeMs begin = static_cast<SimTimeMs>(rng.UniformInt(-100, t));
+    const SimTimeMs end =
+        begin + static_cast<SimTimeMs>(rng.UniformInt(0, 2000));
+    const TimeInterval interval{begin, end};
+    const std::vector<Sample> copy =
+        store.Slice(c, MetricId::kVolBytesRead, interval);
+    const SampleSpan view = store.SliceView(c, MetricId::kVolBytesRead, interval);
+    ASSERT_EQ(copy.size(), view.size());
+    for (size_t i = 0; i < copy.size(); ++i) {
+      EXPECT_EQ(copy[i].time, view[i].time);
+      EXPECT_EQ(copy[i].value, view[i].value);
+    }
+  }
+  // Absent series and empty windows produce empty views, not UB.
+  EXPECT_TRUE(store.SliceView(ComponentId{99}, MetricId::kVolBytesRead,
+                              TimeInterval{0, 100})
+                  .empty());
+  EXPECT_TRUE(
+      store.SliceView(c, MetricId::kVolBytesRead, TimeInterval{5, 5}).empty());
+}
+
+TEST(TimeSeriesStoreTest, GenerationCountsAppendsPerSeries) {
+  TimeSeriesStore store;
+  const ComponentId a{1}, b{2};
+  EXPECT_EQ(store.Generation(a, MetricId::kVolBytesRead), 0u);
+  ASSERT_TRUE(store.Append(a, MetricId::kVolBytesRead, 10, 1.0).ok());
+  ASSERT_TRUE(store.Append(a, MetricId::kVolBytesRead, 20, 2.0).ok());
+  ASSERT_TRUE(store.Append(a, MetricId::kVolBytesWritten, 10, 3.0).ok());
+  EXPECT_EQ(store.Generation(a, MetricId::kVolBytesRead), 2u);
+  EXPECT_EQ(store.Generation(a, MetricId::kVolBytesWritten), 1u);
+  EXPECT_EQ(store.Generation(b, MetricId::kVolBytesRead), 0u);
+  // A rejected append (time regression) does not advance the generation.
+  EXPECT_FALSE(store.Append(a, MetricId::kVolBytesRead, 5, 4.0).ok());
+  EXPECT_EQ(store.Generation(a, MetricId::kVolBytesRead), 2u);
+}
+
+TEST(SeriesKeyHashTest, SpreadsMetricFamiliesAcrossBuckets) {
+  // The regression this guards: the old hash (component * 1000003 ^ metric)
+  // placed a component's whole metric family on consecutive buckets, so
+  // families collided wholesale under small power-of-two tables. Hash a
+  // realistic key population and require both near-full bucket coverage
+  // and a small maximum load.
+  const int components = 128;
+  const int metrics = 32;
+  const size_t buckets = 4096;  // Power of two: worst case for weak mixing.
+  std::vector<int> load(buckets, 0);
+  SeriesKeyHash hash;
+  for (int c = 0; c < components; ++c) {
+    for (int m = 0; m < metrics; ++m) {
+      const SeriesKey key{ComponentId{static_cast<uint32_t>(c)},
+                          static_cast<MetricId>(m)};
+      ++load[hash(key) % buckets];
+    }
+  }
+  int used = 0;
+  int max_load = 0;
+  for (int l : load) {
+    if (l > 0) ++used;
+    max_load = std::max(max_load, l);
+  }
+  // 4096 keys into 4096 buckets: a uniform hash fills ~63% of buckets and
+  // the expected max load is ~6-7. Allow slack, but far below the old
+  // hash's family-sized pileups (32+ per bucket).
+  EXPECT_GE(used, static_cast<int>(buckets) / 2);
+  EXPECT_LE(max_load, 12);
+  // Adjacent metrics of one component must not land in adjacent buckets.
+  const SeriesKeyHash h;
+  int adjacent = 0;
+  for (int m = 0; m + 1 < metrics; ++m) {
+    const size_t b1 = h(SeriesKey{ComponentId{7}, static_cast<MetricId>(m)});
+    const size_t b2 =
+        h(SeriesKey{ComponentId{7}, static_cast<MetricId>(m + 1)});
+    if (b1 % buckets + 1 == b2 % buckets) ++adjacent;
+  }
+  EXPECT_LE(adjacent, 3);
 }
 
 TEST(TimeSeriesStoreTest, LatestAtOrBefore) {

@@ -12,6 +12,7 @@
 #include "stats/ecdf.h"
 #include "stats/kde.h"
 #include "stats/naive_bayes.h"
+#include "stats/sorted_kde.h"
 
 namespace diads::stats {
 namespace {
@@ -166,6 +167,130 @@ TEST_P(KdeMonotonicityTest, ScoreIncreasesWithObservation) {
 
 INSTANTIATE_TEST_SUITE_P(SampleSizes, KdeMonotonicityTest,
                          ::testing::Values(2, 5, 10, 20, 50, 200));
+
+// --- SortedKde (batched fast path) -------------------------------------------
+
+TEST(DescriptiveTest, WelfordVarianceMatchesTwoPassReference) {
+  SeededRng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    const int n = static_cast<int>(rng.UniformInt(2, 400));
+    const double mean = rng.Uniform(-1e6, 1e6);
+    for (int i = 0; i < n; ++i) xs.push_back(rng.Normal(mean, 3.0));
+    // Two-pass reference in long double.
+    long double mu = 0;
+    for (double x : xs) mu += x;
+    mu /= n;
+    long double ss = 0;
+    for (double x : xs) ss += (x - mu) * (x - mu);
+    const double reference = static_cast<double>(ss / (n - 1));
+    EXPECT_NEAR(Variance(xs), reference,
+                std::max(1e-9, std::fabs(reference)) * 1e-9);
+  }
+}
+
+// Randomized equivalence property from the issue contract: the batched,
+// tail-truncated evaluator must match the naive kernel sum within 1e-9
+// for any fit over the same samples.
+TEST(SortedKdeTest, CdfMatchesNaiveKdeWithin1e9) {
+  SeededRng rng(43);
+  for (int size : {2, 3, 10, 50, 500, 4000}) {
+    std::vector<double> samples;
+    for (int i = 0; i < size; ++i) samples.push_back(rng.Normal(100, 5));
+    Result<Kde> naive = Kde::Fit(samples);
+    Result<SortedKde> sorted = SortedKde::Fit(samples);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(sorted.ok());
+    // Same rule, same samples; summation order may differ by ULPs.
+    EXPECT_NEAR(naive->bandwidth(), sorted->bandwidth(),
+                naive->bandwidth() * 1e-12)
+        << size;
+    // Sweep through the bulk, both tails, and exact sample points.
+    std::vector<double> xs;
+    for (double x = 60; x <= 140; x += 2.5) xs.push_back(x);
+    xs.push_back(samples.front());
+    xs.push_back(-1e9);
+    xs.push_back(1e9);
+    for (int i = 0; i < 50; ++i) xs.push_back(rng.Normal(100, 25));
+    for (double x : xs) {
+      EXPECT_NEAR(sorted->Cdf(x), naive->Cdf(x), 1e-9)
+          << "n=" << size << " x=" << x;
+      EXPECT_NEAR(sorted->Pdf(x), naive->Pdf(x), 1e-9)
+          << "n=" << size << " x=" << x;
+    }
+  }
+}
+
+TEST(SortedKdeTest, CdfBatchBitIdenticalToCdfInInputOrder) {
+  SeededRng rng(47);
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) samples.push_back(rng.Normal(50, 8));
+  Result<SortedKde> kde = SortedKde::Fit(samples);
+  ASSERT_TRUE(kde.ok());
+  // Unsorted observations with duplicates and tail values.
+  std::vector<double> xs{80, 20, 50, 50, 49.7, 1e6, -1e6, 63.2, 12.5};
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.Normal(50, 30));
+  const std::vector<double> batch = kde->CdfBatch(xs);
+  ASSERT_EQ(batch.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    // Bit-identical, not just close: both paths run the same arithmetic.
+    EXPECT_EQ(batch[i], kde->Cdf(xs[i])) << "i=" << i;
+  }
+}
+
+TEST(SortedKdeTest, TailsAreExact) {
+  Result<SortedKde> kde = SortedKde::Fit({10, 20, 30});
+  ASSERT_TRUE(kde.ok());
+  // Far beyond the truncation window the CDF is exactly 0 or 1 — the
+  // prefix-count collapse, not an approximation.
+  EXPECT_EQ(kde->Cdf(-1e12), 0.0);
+  EXPECT_EQ(kde->Cdf(1e12), 1.0);
+}
+
+TEST(SortedKdeTest, DegenerateSamplesStillWork) {
+  Result<SortedKde> kde = SortedKde::Fit({5, 5, 5, 5});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->bandwidth(), 0);
+  EXPECT_LT(kde->Cdf(4.9), 0.01);
+  EXPECT_GT(kde->Cdf(5.1), 0.99);
+  EXPECT_NEAR(kde->Cdf(5.0), 0.5, 0.01);
+}
+
+TEST(SortedKdeTest, RequiresSamplesAndPositiveBandwidth) {
+  EXPECT_FALSE(SortedKde::Fit({}).ok());
+  EXPECT_FALSE(SortedKde::FitWithBandwidth({1.0}, 0.0).ok());
+  EXPECT_FALSE(SortedKde::FitWithBandwidth({1.0}, -1.0).ok());
+}
+
+TEST(AnomalyTest, ModelBasedScoringMatchesDirectScoring) {
+  SeededRng rng(53);
+  std::vector<double> baseline;
+  for (int i = 0; i < 40; ++i) baseline.push_back(rng.Normal(100, 5));
+  const std::vector<double> observed{108, 95, 131, 100.5};
+  for (AnomalyAggregation aggregation :
+       {AnomalyAggregation::kMean, AnomalyAggregation::kMedian,
+        AnomalyAggregation::kMax}) {
+    AnomalyConfig config;
+    config.aggregation = aggregation;
+    Result<SortedKde> model = SortedKde::Fit(baseline, config.bandwidth_rule);
+    ASSERT_TRUE(model.ok());
+    Result<AnomalyScore> direct = ScoreAnomaly(baseline, observed, config);
+    Result<AnomalyScore> via_model = ScoreWithModel(*model, observed, config);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_model.ok());
+    EXPECT_EQ(direct->score, via_model->score);  // Bit-identical.
+    EXPECT_EQ(direct->anomalous, via_model->anomalous);
+    Result<AnomalyScore> direct_dev =
+        ScoreDeviation(baseline, observed, config);
+    Result<AnomalyScore> model_dev =
+        ScoreDeviationWithModel(*model, observed, config);
+    ASSERT_TRUE(direct_dev.ok());
+    ASSERT_TRUE(model_dev.ok());
+    EXPECT_EQ(direct_dev->score, model_dev->score);
+  }
+  EXPECT_FALSE(
+      ScoreWithModel(*SortedKde::Fit(baseline), {}, AnomalyConfig{}).ok());
+}
 
 // --- Correlation ---------------------------------------------------------------
 
