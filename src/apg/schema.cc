@@ -1,0 +1,244 @@
+#include "apg/schema.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace diads::apg {
+namespace {
+
+/// The deterministic dependency-path ordering the builder promises
+/// (mirrors the builder's KindRank; kept in lockstep by the schema tests).
+int KindRank(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kDatabase:
+      return 0;
+    case ComponentKind::kServer:
+      return 1;
+    case ComponentKind::kHba:
+      return 2;
+    case ComponentKind::kFcPort:
+      return 3;
+    case ComponentKind::kFcSwitch:
+      return 4;
+    case ComponentKind::kStorageSubsystem:
+      return 5;
+    case ComponentKind::kStoragePool:
+      return 6;
+    case ComponentKind::kVolume:
+      return 7;
+    case ComponentKind::kDisk:
+      return 8;
+    case ComponentKind::kWorkload:
+      return 9;
+    default:
+      return 10;
+  }
+}
+
+bool IsInnerPathKind(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kDatabase:
+    case ComponentKind::kServer:
+    case ComponentKind::kHba:
+    case ComponentKind::kFcPort:
+    case ComponentKind::kFcSwitch:
+    case ComponentKind::kStorageSubsystem:
+    case ComponentKind::kStoragePool:
+    case ComponentKind::kVolume:
+    case ComponentKind::kDisk:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status Violation(int op_number, const std::string& text) {
+  return Status::Internal(
+      StrFormat("APG schema violation at O%d: %s", op_number, text.c_str()));
+}
+
+}  // namespace
+
+Status ValidateApgSchema(const Apg& apg) {
+  const db::Plan& plan = apg.plan();
+  const ComponentRegistry& registry = apg.topology().registry();
+  if (plan.size() == 0) return Status::Internal("APG over an empty plan");
+  if (!registry.Contains(apg.database()) ||
+      registry.KindOf(apg.database()) != ComponentKind::kDatabase) {
+    return Status::Internal("APG database component is not a kDatabase");
+  }
+  if (!registry.Contains(apg.db_server()) ||
+      registry.KindOf(apg.db_server()) != ComponentKind::kServer) {
+    return Status::Internal("APG db_server component is not a kServer");
+  }
+
+  for (const db::PlanOp& op : plan.ops()) {
+    // (i) Registered operator components, round-tripping through the
+    // reverse lookup.
+    Result<ComponentId> component = apg.OperatorComponent(op.index);
+    DIADS_RETURN_IF_ERROR(component.status());
+    if (!registry.Contains(*component) ||
+        registry.KindOf(*component) != ComponentKind::kPlanOperator) {
+      return Violation(op.op_number,
+                       "operator component missing or not kPlanOperator");
+    }
+    Result<int> round_trip = apg.OpIndexOf(*component);
+    DIADS_RETURN_IF_ERROR(round_trip.status());
+    if (*round_trip != op.index) {
+      return Violation(op.op_number, "operator component round-trip failed");
+    }
+
+    Result<std::vector<ComponentId>> inner_r = apg.InnerPath(op.index);
+    DIADS_RETURN_IF_ERROR(inner_r.status());
+    const std::vector<ComponentId>& inner = *inner_r;
+    Result<std::vector<ComponentId>> outer_r = apg.OuterPath(op.index);
+    DIADS_RETURN_IF_ERROR(outer_r.status());
+    const std::vector<ComponentId>& outer = *outer_r;
+
+    // (iii) Inner-path node kinds, database-first, server present, and (for
+    // leaves) at least one disk.
+    if (!inner.empty()) {
+      for (ComponentId c : inner) {
+        if (!registry.Contains(c)) {
+          return Violation(op.op_number, "unregistered inner-path component");
+        }
+        if (!IsInnerPathKind(registry.KindOf(c))) {
+          return Violation(
+              op.op_number,
+              StrFormat("inner path holds a %s (%s)",
+                        ComponentKindName(registry.KindOf(c)),
+                        registry.NameOf(c).c_str()));
+        }
+      }
+      if (inner.front() != apg.database()) {
+        return Violation(op.op_number,
+                         "inner path does not start at the database");
+      }
+      if (std::find(inner.begin(), inner.end(), apg.db_server()) ==
+          inner.end()) {
+        return Violation(op.op_number,
+                         "inner path is missing the database server");
+      }
+      // (iv) Deterministic kind-rank ordering.
+      for (size_t i = 1; i < inner.size(); ++i) {
+        const int prev = KindRank(registry.KindOf(inner[i - 1]));
+        const int cur = KindRank(registry.KindOf(inner[i]));
+        if (prev > cur ||
+            (prev == cur && !(inner[i - 1] < inner[i]))) {
+          return Violation(op.op_number, "inner path ordering violated");
+        }
+      }
+    }
+
+    // (vi) Outer-path contents: sharer volumes and their bound workloads.
+    std::set<ComponentId> op_volumes;
+    if (op.is_scan()) {
+      Result<ComponentId> volume = apg.VolumeOfOp(op.index);
+      DIADS_RETURN_IF_ERROR(volume.status());
+      op_volumes.insert(*volume);
+    } else {
+      std::function<void(int)> collect = [&](int index) {
+        const db::PlanOp& sub = plan.op(index);
+        if (sub.is_scan()) {
+          Result<ComponentId> volume = apg.VolumeOfOp(index);
+          if (volume.ok()) op_volumes.insert(*volume);
+        }
+        for (int child : sub.children) collect(child);
+      };
+      collect(op.index);
+    }
+    std::set<ComponentId> allowed_outer;
+    for (ComponentId volume : op_volumes) {
+      for (ComponentId sharer : apg.topology().VolumesSharingDisks(volume)) {
+        allowed_outer.insert(sharer);
+        for (const WorkloadBinding& wb : apg.workloads()) {
+          if (wb.volume == sharer) allowed_outer.insert(wb.workload);
+        }
+      }
+    }
+    for (ComponentId c : outer) {
+      if (!registry.Contains(c)) {
+        return Violation(op.op_number, "unregistered outer-path component");
+      }
+      const ComponentKind kind = registry.KindOf(c);
+      if (kind != ComponentKind::kVolume && kind != ComponentKind::kWorkload) {
+        return Violation(op.op_number,
+                         StrFormat("outer path holds a %s",
+                                   ComponentKindName(kind)));
+      }
+      if (allowed_outer.count(c) == 0) {
+        return Violation(op.op_number,
+                         StrFormat("outer path holds non-sharer %s",
+                                   registry.NameOf(c).c_str()));
+      }
+    }
+
+    if (op.is_scan()) {
+      // (ii) Leaf -> volume reachability.
+      if (!op.children.empty()) {
+        return Violation(op.op_number, "scan operator has children");
+      }
+      Result<ComponentId> volume = apg.VolumeOfOp(op.index);
+      DIADS_RETURN_IF_ERROR(volume.status());
+      if (registry.KindOf(*volume) != ComponentKind::kVolume) {
+        return Violation(op.op_number, "scan volume is not a kVolume");
+      }
+      if (std::find(inner.begin(), inner.end(), *volume) == inner.end()) {
+        return Violation(op.op_number,
+                         "scan volume missing from its inner path");
+      }
+      bool has_disk = false;
+      for (ComponentId c : inner) {
+        if (registry.KindOf(c) == ComponentKind::kDisk) has_disk = true;
+      }
+      if (!has_disk) {
+        return Violation(op.op_number, "leaf inner path has no disk");
+      }
+      // Reverse reachability: the volume's leaf set includes this leaf.
+      const std::vector<int> on_volume = apg.LeafOpsOnComponent(*volume);
+      if (std::find(on_volume.begin(), on_volume.end(), op.index) ==
+          on_volume.end()) {
+        return Violation(op.op_number,
+                         "LeafOpsOnComponent does not list the leaf");
+      }
+    } else if (!op.children.empty()) {
+      // (v) Interior paths are the union of the subtree leaves' paths.
+      std::set<ComponentId> expect_inner{apg.database()};
+      std::set<ComponentId> expect_outer;
+      std::function<void(int)> collect = [&](int index) {
+        const db::PlanOp& sub = plan.op(index);
+        if (sub.is_scan()) {
+          Result<std::vector<ComponentId>> leaf_inner = apg.InnerPath(index);
+          Result<std::vector<ComponentId>> leaf_outer = apg.OuterPath(index);
+          if (leaf_inner.ok()) {
+            expect_inner.insert(leaf_inner->begin(), leaf_inner->end());
+          }
+          if (leaf_outer.ok()) {
+            expect_outer.insert(leaf_outer->begin(), leaf_outer->end());
+          }
+        }
+        for (int child : sub.children) collect(child);
+      };
+      collect(op.index);
+      const std::set<ComponentId> got_inner(inner.begin(), inner.end());
+      const std::set<ComponentId> got_outer(outer.begin(), outer.end());
+      if (got_inner != expect_inner) {
+        return Violation(op.op_number,
+                         "interior inner path is not the union of its "
+                         "subtree leaves' paths");
+      }
+      if (got_outer != expect_outer) {
+        return Violation(op.op_number,
+                         "interior outer path is not the union of its "
+                         "subtree leaves' paths");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace diads::apg

@@ -1,0 +1,43 @@
+// APG structural-schema validation.
+//
+// The paper's claim that Annotated Plan Graphs are backend-neutral is only
+// testable if "a well-formed APG" is defined independently of the engine
+// that produced the plan. This file pins that definition down as a set of
+// structural invariants every APG must satisfy — whichever backend built
+// the plan, whatever its operator vocabulary:
+//
+//   (i)   every plan operator has a registered kPlanOperator component;
+//   (ii)  every leaf is a scan, resolves to a kVolume component, and that
+//         volume appears on the leaf's inner dependency path (leaf ->
+//         volume reachability);
+//   (iii) inner paths contain only node kinds that can carry monitoring
+//         data on the physical chain (database, server, HBA, ports,
+//         switches, subsystem, pools, volumes, disks), start at the
+//         database, include the database server, and include at least one
+//         disk for every leaf;
+//   (iv)  inner paths are sorted in the deterministic kind-rank order the
+//         builder promises (database, server, fabric, subsystem, pools,
+//         volumes, disks);
+//   (v)   an interior operator's inner/outer paths equal the union of its
+//         subtree leaves' paths (plus the database);
+//   (vi)  outer paths contain only sharer volumes — volumes sharing at
+//         least one physical disk with a volume the operator reads — and
+//         workloads bound to those sharers.
+//
+// The cross-backend conformance suite holds every (scenario, backend)
+// configuration to this schema.
+#ifndef DIADS_APG_SCHEMA_H_
+#define DIADS_APG_SCHEMA_H_
+
+#include "apg/apg.h"
+#include "common/status.h"
+
+namespace diads::apg {
+
+/// Checks every invariant above; returns the first violation with an
+/// operator-level description, or Ok.
+Status ValidateApgSchema(const Apg& apg);
+
+}  // namespace diads::apg
+
+#endif  // DIADS_APG_SCHEMA_H_

@@ -78,4 +78,13 @@ std::string FormatPercent(double fraction, int digits) {
   return StrFormat("%.*f%%", digits, fraction * 100.0);
 }
 
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : data) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace diads

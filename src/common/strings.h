@@ -3,6 +3,7 @@
 #ifndef DIADS_COMMON_STRINGS_H_
 #define DIADS_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,9 @@ std::string FormatDouble(double v, int digits);
 
 /// Formats a fraction in [0,1] as a percentage, e.g. 0.998 -> "99.8%".
 std::string FormatPercent(double fraction, int digits = 1);
+
+/// FNV-1a 64-bit hash of `data` (standard offset basis and prime).
+uint64_t Fnv1a64(const std::string& data);
 
 }  // namespace diads
 

@@ -1,0 +1,44 @@
+#include "db/backend.h"
+
+#include "db/mysql_backend.h"
+#include "db/postgres_backend.h"
+
+namespace diads::db {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPostgres:
+      return "postgres";
+    case BackendKind::kMysql:
+      return "mysql";
+  }
+  return "?";
+}
+
+Result<BackendKind> BackendKindFromName(const std::string& name) {
+  for (BackendKind kind : AllBackendKinds()) {
+    if (name == BackendKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown backend: " + name);
+}
+
+std::vector<BackendKind> AllBackendKinds() {
+  return {BackendKind::kPostgres, BackendKind::kMysql};
+}
+
+std::string DbBackend::DatabaseComponentName(const std::string& host) const {
+  return std::string(name()) + "@" + host;
+}
+
+std::unique_ptr<DbBackend> MakeDbBackend(BackendKind kind,
+                                         const BackendInit& init) {
+  switch (kind) {
+    case BackendKind::kPostgres:
+      return std::make_unique<PostgresBackend>(init);
+    case BackendKind::kMysql:
+      return std::make_unique<MysqlBackend>(init);
+  }
+  return nullptr;
+}
+
+}  // namespace diads::db

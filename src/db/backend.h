@@ -1,0 +1,147 @@
+// Database-backend abstraction.
+//
+// The paper claims the Annotated Plan Graph abstraction is backend-neutral:
+// an APG ties *any* engine's plan operators to the SAN components they
+// depend on. To make that claim testable the testbed must be able to run
+// the same scenarios against more than one engine. DbBackend factors the
+// engine-specific third of the simulation out of workload/testbed.*:
+//
+//   * plan production — the cost model and plan-operator vocabulary the
+//     optimizer uses (PostgreSQL: random-vs-sequential page costs, hash
+//     joins; MySQL: one io_block_read_cost, nested-loop joins only);
+//   * configuration parameters — each engine's knob vocabulary, including
+//     the "misconfiguration knob" scenario S7 flips (random_page_cost has
+//     no MySQL analogue; io_block_read_cost plays that role there);
+//   * DML / ANALYZE statistics semantics — PostgreSQL leaves optimizer
+//     statistics stale until an explicit ANALYZE; MySQL-style engines
+//     auto-recalculate from sampled dives once enough rows change;
+//   * run recording — the executor's cost-to-milliseconds translation
+//     parameters.
+//
+// Everything downstream of plan production (the shared OpType taxonomy,
+// QueryRunRecord, the monitoring vocabulary, the APG, the diagnosis
+// workflow) is backend-neutral by construction; the conformance tests in
+// tests/backend_conformance_test.cc hold every backend to that contract.
+#ifndef DIADS_DB_BACKEND_H_
+#define DIADS_DB_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "db/catalog.h"
+#include "db/optimizer.h"
+#include "db/plan.h"
+#include "db/query.h"
+
+namespace diads::db {
+
+/// The synthetic engines the testbed can run.
+enum class BackendKind {
+  kPostgres,  ///< The original PostgreSQL-ish engine.
+  kMysql,     ///< MySQL-ish: single I/O cost, index-nested-loop bias.
+};
+
+/// Stable lowercase name ("postgres", "mysql").
+const char* BackendKindName(BackendKind kind);
+Result<BackendKind> BackendKindFromName(const std::string& name);
+std::vector<BackendKind> AllBackendKinds();
+
+/// The engine-appropriate S7 fault: a cost-parameter misconfiguration that
+/// flips the optimizer onto a worse plan.
+struct PlanMisconfigKnob {
+  std::string param;
+  double bad_value = 0;
+};
+
+/// The engine-appropriate S8 fault: a silent data drift large enough that
+/// the post-hoc ANALYZE flips this engine's plan. The threshold is a cost-
+/// model property — PostgreSQL's random-page penalty abandons index plans
+/// after moderate growth, while the MySQL model's flat I/O cost keeps its
+/// index-nested-loop join order optimal until the driving side has grown
+/// far past it.
+struct StatsDriftSpec {
+  std::string table;
+  double factor = 0;
+};
+
+/// One engine. Owns the engine's live parameter state; reads and mutates
+/// the shared Catalog (which must outlive the backend).
+class DbBackend {
+ public:
+  virtual ~DbBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return BackendKindName(kind()); }
+
+  /// Registry name of the database instance, e.g. "postgres@dbserver".
+  virtual std::string DatabaseComponentName(const std::string& host) const;
+
+  // --- Plan production ------------------------------------------------------
+  /// Plans a query with the engine's cost model and current parameters.
+  virtual Result<Plan> OptimizeQuery(const QuerySpec& spec) const = 0;
+
+  /// Re-plans with `param` temporarily set to `value` — Module PD's what-if
+  /// probe for kDbParamChanged events. Never mutates the live parameters.
+  virtual Result<Plan> OptimizeQueryWithParam(const QuerySpec& spec,
+                                              const std::string& param,
+                                              double value) const = 0;
+
+  /// The engine's Figure-1-style fixture plan for TPC-H Q2: same query,
+  /// same nine leaf scans with both partsupp leaves on V1, in the engine's
+  /// native operator vocabulary mapped onto the shared OpType taxonomy.
+  virtual Result<Plan> MakePaperPlan() const = 0;
+
+  // --- Configuration parameters ---------------------------------------------
+  virtual Status SetParam(const std::string& name, double value) = 0;
+  virtual Result<double> GetParam(const std::string& name) const = 0;
+  /// The engine's parameter vocabulary, in a stable order.
+  virtual std::vector<std::string> ParamNames() const = 0;
+  virtual PlanMisconfigKnob MisconfigKnob() const = 0;
+  virtual StatsDriftSpec AnalyzeDriftSpec() const = 0;
+
+  // --- Run recording --------------------------------------------------------
+  /// Executor-facing translation of the engine's current parameters (CPU
+  /// cost units to milliseconds, buffer pool size, ...).
+  virtual DbParams ExecutorParams() const = 0;
+
+  // --- DML / ANALYZE statistics semantics -----------------------------------
+  /// Bulk DML under the engine's statistics-maintenance semantics.
+  /// PostgreSQL: actual stats move, optimizer stats stay stale until
+  /// ANALYZE. MySQL: an InnoDB-style automatic recalculation refreshes
+  /// optimizer stats from sampled dives once cumulative drift passes 10%.
+  virtual Status ApplyDml(SimTimeMs t, const std::string& table,
+                          double factor, const std::string& description) = 0;
+
+  /// Bulk DML that evades statistics maintenance on every engine
+  /// (PostgreSQL: the default; MySQL: STATS_AUTO_RECALC=0 for the table).
+  /// This is what the data-drift faults use — their whole point is a
+  /// plan/data gap the optimizer does not know about.
+  virtual Status ApplyDmlSilently(SimTimeMs t, const std::string& table,
+                                  double factor,
+                                  const std::string& description) = 0;
+
+  /// Explicit statistics refresh (ANALYZE / ANALYZE TABLE).
+  virtual Status Analyze(SimTimeMs t, const std::string& table) = 0;
+};
+
+/// Everything a backend needs at construction. The cross-engine knobs are
+/// scale_factor and buffer_pool_mb; engine-specific parameters are set
+/// after construction through SetParam, in the engine's own vocabulary.
+struct BackendInit {
+  Catalog* catalog = nullptr;      ///< Must outlive the backend.
+  double scale_factor = 1.0;       ///< For fixture-plan estimate calibration.
+  double buffer_pool_mb = 512.0;   ///< Threaded into ExecutorParams().
+  /// PostgreSQL parameter seed. Other engines ignore it entirely — their
+  /// parameters have different names and defaults (see MysqlParams).
+  DbParams postgres_params;
+};
+
+std::unique_ptr<DbBackend> MakeDbBackend(BackendKind kind,
+                                         const BackendInit& init);
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_BACKEND_H_

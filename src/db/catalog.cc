@@ -169,17 +169,26 @@ Status Catalog::ApplyDml(SimTimeMs t, const std::string& table, double factor,
 }
 
 Status Catalog::Analyze(SimTimeMs t, const std::string& table) {
+  return RefreshOptimizerStats(
+      t, table, 0.0,
+      StrFormat("ANALYZE refreshed optimizer statistics for '%s'",
+                table.c_str()));
+}
+
+Status Catalog::RefreshOptimizerStats(SimTimeMs t, const std::string& table,
+                                      double rel_error,
+                                      const std::string& reason) {
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::NotFound("no table named: " + table);
   }
   const double old_rows = it->second.optimizer_stats.row_count;
   it->second.optimizer_stats = it->second.actual_stats;
+  it->second.optimizer_stats.row_count *= (1.0 + rel_error);
   return LogEvent(
       t, EventType::kTableStatsChanged, it->second.id,
-      StrFormat("ANALYZE refreshed optimizer statistics for '%s' "
-                "(row count now %.0f)",
-                table.c_str(), it->second.optimizer_stats.row_count),
+      StrFormat("%s (row count now %.0f)", reason.c_str(),
+                it->second.optimizer_stats.row_count),
       {{"table", table},
        {"old_row_count", StrFormat("%.0f", old_rows)}});
 }

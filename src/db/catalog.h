@@ -120,6 +120,12 @@ class Catalog {
                   const std::string& description);
   /// Refreshes optimizer stats from actual stats; logs kTableStatsChanged.
   Status Analyze(SimTimeMs t, const std::string& table);
+  /// Refreshes optimizer stats from actual stats scaled by (1 + rel_error)
+  /// — the sampled-dive estimate a MySQL-style automatic recalculation
+  /// produces — and logs kTableStatsChanged with `reason`. Analyze() is
+  /// RefreshOptimizerStats with rel_error 0.
+  Status RefreshOptimizerStats(SimTimeMs t, const std::string& table,
+                               double rel_error, const std::string& reason);
 
   // --- Silent what-if mutators --------------------------------------------
   // Used by Module PD's what-if probe, which must temporarily revert a

@@ -1,63 +1,68 @@
-#include "db/optimizer.h"
+#include "db/mysql_optimizer.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <functional>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "common/strings.h"
 
 namespace diads::db {
 
-Status SetParamByName(DbParams* params, const std::string& name,
-                      double value) {
-  if (name == "seq_page_cost") params->seq_page_cost = value;
-  else if (name == "random_page_cost") params->random_page_cost = value;
-  else if (name == "cpu_tuple_cost") params->cpu_tuple_cost = value;
-  else if (name == "cpu_index_tuple_cost") params->cpu_index_tuple_cost = value;
-  else if (name == "cpu_operator_cost") params->cpu_operator_cost = value;
-  else if (name == "work_mem_mb") params->work_mem_mb = value;
+Status SetMysqlParamByName(MysqlParams* params, const std::string& name,
+                           double value) {
+  if (name == "io_block_read_cost") params->io_block_read_cost = value;
+  else if (name == "memory_block_read_cost")
+    params->memory_block_read_cost = value;
+  else if (name == "row_evaluate_cost") params->row_evaluate_cost = value;
+  else if (name == "key_compare_cost") params->key_compare_cost = value;
+  else if (name == "join_buffer_mb") params->join_buffer_mb = value;
+  else if (name == "sort_buffer_mb") params->sort_buffer_mb = value;
+  else if (name == "tmp_table_mb") params->tmp_table_mb = value;
   else if (name == "buffer_pool_mb") params->buffer_pool_mb = value;
-  else if (name == "effective_cache_mb") params->effective_cache_mb = value;
   else return Status::InvalidArgument("unknown parameter: " + name);
   return Status::Ok();
 }
 
-Result<double> GetParamByName(const DbParams& params, const std::string& name) {
-  if (name == "seq_page_cost") return params.seq_page_cost;
-  if (name == "random_page_cost") return params.random_page_cost;
-  if (name == "cpu_tuple_cost") return params.cpu_tuple_cost;
-  if (name == "cpu_index_tuple_cost") return params.cpu_index_tuple_cost;
-  if (name == "cpu_operator_cost") return params.cpu_operator_cost;
-  if (name == "work_mem_mb") return params.work_mem_mb;
+Result<double> GetMysqlParamByName(const MysqlParams& params,
+                                   const std::string& name) {
+  if (name == "io_block_read_cost") return params.io_block_read_cost;
+  if (name == "memory_block_read_cost") return params.memory_block_read_cost;
+  if (name == "row_evaluate_cost") return params.row_evaluate_cost;
+  if (name == "key_compare_cost") return params.key_compare_cost;
+  if (name == "join_buffer_mb") return params.join_buffer_mb;
+  if (name == "sort_buffer_mb") return params.sort_buffer_mb;
+  if (name == "tmp_table_mb") return params.tmp_table_mb;
   if (name == "buffer_pool_mb") return params.buffer_pool_mb;
-  if (name == "effective_cache_mb") return params.effective_cache_mb;
   return Status::InvalidArgument("unknown parameter: " + name);
 }
 
-/// Internal plan node built during enumeration; flattened into a Plan at the
-/// end. Shared pointers let DP states share subtrees cheaply.
-struct Optimizer::Node {
+/// Internal plan node built during enumeration; flattened into a Plan at
+/// the end. Shared pointers let DP states share subtrees cheaply.
+struct MysqlOptimizer::Node {
   OpType type = OpType::kSeqScan;
   std::vector<std::shared_ptr<const Node>> children;
   std::string alias;
   std::string table;
   std::string index_name;
   std::string detail;
+  std::string engine_op;   ///< "ALL", "range", "ref", "eq_ref", "BNL", ...
   double rows = 0;
-  double cost = 0;      ///< Cumulative.
-  double pages = 0;     ///< Page fetches attributable to this op itself.
-  double width = 64;    ///< Bytes per output row (for memory estimates).
+  double cost = 0;         ///< Cumulative.
+  double pages = 0;        ///< Page fetches attributable to this op itself.
+  double width = 64;       ///< Bytes per output row.
 };
 
 namespace {
 
-using NodePtr = std::shared_ptr<const Optimizer::Node>;
+using NodePtr = std::shared_ptr<const MysqlOptimizer::Node>;
 
 struct PlannerCtx {
   const Catalog* catalog;
-  const DbParams* params;
+  const MysqlParams* params;
 };
 
 double ColumnNdv(const PlannerCtx& ctx, const QuerySpec& spec,
@@ -70,60 +75,63 @@ double ColumnNdv(const PlannerCtx& ctx, const QuerySpec& spec,
   return col != nullptr ? std::max(1.0, col->ndv) : 1000;
 }
 
-/// Best access path for one table reference.
+/// Best access path for one table reference: full table scan ("ALL") vs an
+/// index range scan on the filter column. Both pay the same per-page
+/// io_block_read_cost — the absence of a random-access penalty is the
+/// engine's defining cost-model property.
 Result<NodePtr> ScanPath(const PlannerCtx& ctx, const TableRef& ref) {
   Result<const TableDef*> table_r = ctx.catalog->FindTable(ref.table);
   DIADS_RETURN_IF_ERROR(table_r.status());
   const TableDef& table = **table_r;
   const TableStats& stats = table.optimizer_stats;
-  const DbParams& p = *ctx.params;
+  const MysqlParams& p = *ctx.params;
 
   const double out_rows =
       std::max(1.0, stats.row_count * ref.filter_selectivity);
 
-  auto seq = std::make_shared<Optimizer::Node>();
-  seq->type = OpType::kSeqScan;
-  seq->alias = ref.alias;
-  seq->table = ref.table;
-  seq->rows = out_rows;
-  seq->pages = std::max(1.0, stats.pages());
-  seq->cost = seq->pages * p.seq_page_cost +
-              stats.row_count * p.cpu_tuple_cost;
-  seq->width = stats.row_width_bytes;
+  auto all = std::make_shared<MysqlOptimizer::Node>();
+  all->type = OpType::kSeqScan;
+  all->engine_op = "ALL";
+  all->alias = ref.alias;
+  all->table = ref.table;
+  all->rows = out_rows;
+  all->pages = std::max(1.0, stats.pages());
+  all->cost = all->pages * p.io_block_read_cost +
+              stats.row_count * p.row_evaluate_cost;
+  all->width = stats.row_width_bytes;
   if (ref.filter_selectivity < 1.0) {
-    seq->detail = StrFormat("filter on %s, sel=%.4f",
+    all->detail = StrFormat("where %s, sel=%.4f",
                             ref.filter_column.empty()
                                 ? "<non-indexed predicate>"
                                 : ref.filter_column.c_str(),
                             ref.filter_selectivity);
   }
 
-  NodePtr best = seq;
+  NodePtr best = all;
   if (!ref.filter_column.empty()) {
     for (const IndexDef* index : ctx.catalog->IndexesOn(ref.table,
                                                         ref.filter_column)) {
       const double sel = ref.filter_selectivity;
       const double index_pages = index->height + sel * index->leaf_pages;
-      // Heap fetches: clustered index ranges touch few pages; unclustered
-      // ones pay a random page per row (capped by the table size).
       const double heap_pages =
           std::min(stats.pages(),
                    sel * stats.row_count *
                        (index->clustering * 0.1 + (1.0 - index->clustering)));
-      auto idx = std::make_shared<Optimizer::Node>();
-      idx->type = OpType::kIndexScan;
-      idx->alias = ref.alias;
-      idx->table = ref.table;
-      idx->index_name = index->name;
-      idx->rows = out_rows;
-      idx->pages = index_pages + heap_pages;
-      idx->cost = (index_pages + heap_pages) * p.random_page_cost +
-                  sel * stats.row_count * p.cpu_index_tuple_cost +
-                  out_rows * p.cpu_tuple_cost;
-      idx->width = stats.row_width_bytes;
-      idx->detail = StrFormat("%s = ?, sel=%.4f", ref.filter_column.c_str(),
-                              sel);
-      if (idx->cost < best->cost) best = idx;
+      auto range = std::make_shared<MysqlOptimizer::Node>();
+      range->type = OpType::kIndexScan;
+      range->engine_op = "range";
+      range->alias = ref.alias;
+      range->table = ref.table;
+      range->index_name = index->name;
+      range->rows = out_rows;
+      range->pages = index_pages + heap_pages;
+      range->cost = (index_pages + heap_pages) * p.io_block_read_cost +
+                    sel * stats.row_count * p.key_compare_cost +
+                    out_rows * p.row_evaluate_cost;
+      range->width = stats.row_width_bytes;
+      range->detail = StrFormat("%s = ?, sel=%.4f", ref.filter_column.c_str(),
+                                sel);
+      if (range->cost < best->cost) best = range;
     }
   }
   return best;
@@ -159,49 +167,15 @@ double JoinOutputRows(const PlannerCtx& ctx, const QuerySpec& spec,
   return std::max(1.0, outer_rows * inner_rows / std::max(ndv_l, ndv_r));
 }
 
-/// Hash join: HashJoin(outer, Hash(inner)).
-NodePtr MakeHashJoin(const PlannerCtx& ctx, const NodePtr& outer,
-                     const NodePtr& inner, const JoinPredicate& pred,
-                     double out_rows) {
-  const DbParams& p = *ctx.params;
-  auto hash = std::make_shared<Optimizer::Node>();
-  hash->type = OpType::kHash;
-  hash->children = {inner};
-  hash->rows = inner->rows;
-  hash->width = inner->width;
-  double build_cost = inner->rows * p.cpu_operator_cost * 1.5;
-  // Multi-batch penalty when the build side exceeds work_mem.
-  const double build_mb = inner->rows * inner->width / (1024.0 * 1024.0);
-  double spill_pages = 0;
-  if (build_mb > p.work_mem_mb) {
-    spill_pages = 2.0 * build_mb * 1024.0 * 1024.0 / kPageSizeBytes;
-    build_cost += spill_pages * p.seq_page_cost;
-  }
-  hash->cost = inner->cost + build_cost;
-  hash->pages = spill_pages;
-  hash->detail = StrFormat("build %s", inner->alias.c_str());
-
-  auto join = std::make_shared<Optimizer::Node>();
-  join->type = OpType::kHashJoin;
-  join->children = {outer, hash};
-  join->rows = out_rows;
-  join->width = outer->width + inner->width;
-  join->cost = outer->cost + hash->cost +
-               outer->rows * p.cpu_operator_cost +
-               out_rows * p.cpu_tuple_cost;
-  join->detail = StrFormat("%s.%s = %s.%s", pred.left_alias.c_str(),
-                           pred.left_column.c_str(), pred.right_alias.c_str(),
-                           pred.right_column.c_str());
-  return join;
-}
-
-/// Nested loop with an index probe on the inner table's join column.
-Result<NodePtr> MakeIndexNestLoop(const PlannerCtx& ctx, const QuerySpec& spec,
-                                  const NodePtr& outer, const TableRef& inner_ref,
+/// Index nested loop: the engine's preferred join. "eq_ref" when the inner
+/// index is unique (at most one row per probe), "ref" otherwise.
+Result<NodePtr> MakeIndexNestLoop(const PlannerCtx& ctx,
+                                  const QuerySpec& spec, const NodePtr& outer,
+                                  const TableRef& inner_ref,
                                   const JoinPredicate& pred,
                                   const std::string& inner_join_column,
                                   double out_rows) {
-  const DbParams& p = *ctx.params;
+  const MysqlParams& p = *ctx.params;
   std::vector<const IndexDef*> indexes =
       ctx.catalog->IndexesOn(inner_ref.table, inner_join_column);
   if (indexes.empty()) {
@@ -218,91 +192,115 @@ Result<NodePtr> MakeIndexNestLoop(const PlannerCtx& ctx, const QuerySpec& spec,
                                                     : pred.right_alias,
       inner_join_column);
   const double matches_per_probe =
-      std::max(0.1, stats.row_count * inner_ref.filter_selectivity / ndv);
+      index->unique
+          ? std::min(1.0, stats.row_count * inner_ref.filter_selectivity /
+                              std::max(1.0, ndv))
+          : std::max(0.1, stats.row_count * inner_ref.filter_selectivity /
+                              std::max(1.0, ndv));
   const double probes = std::max(1.0, outer->rows);
 
-  // Per-probe: descend the B-tree, then fetch matching heap rows. Repeated
-  // probes hit cached upper levels; charge a fraction of the root-to-leaf
-  // descent plus clustered heap fetches.
+  // Per probe: a partially cached B-tree descent plus heap fetches, all at
+  // the flat io_block_read_cost.
   const double pages_per_probe =
       0.5 * index->height +
       matches_per_probe * (index->clustering * 0.15 +
                            (1.0 - index->clustering) * 1.0);
   const double cost_per_probe =
-      pages_per_probe * p.random_page_cost +
-      matches_per_probe * (p.cpu_index_tuple_cost + p.cpu_tuple_cost);
+      pages_per_probe * p.io_block_read_cost +
+      index->height * p.key_compare_cost +
+      matches_per_probe * p.row_evaluate_cost;
 
-  auto inner = std::make_shared<Optimizer::Node>();
+  auto inner = std::make_shared<MysqlOptimizer::Node>();
   inner->type = OpType::kIndexScan;
+  inner->engine_op = index->unique ? "eq_ref" : "ref";
   inner->alias = inner_ref.alias;
   inner->table = inner_ref.table;
   inner->index_name = index->name;
-  inner->rows = probes * matches_per_probe * inner_ref.filter_selectivity;
+  // matches_per_probe already reflects the inner table's local filter.
+  inner->rows = probes * matches_per_probe;
   inner->pages = probes * pages_per_probe;
   inner->cost = probes * cost_per_probe;
   inner->width = stats.row_width_bytes;
   inner->detail = StrFormat("%s = outer, ~%.1f rows/probe",
                             inner_join_column.c_str(), matches_per_probe);
 
-  auto join = std::make_shared<Optimizer::Node>();
+  auto join = std::make_shared<MysqlOptimizer::Node>();
   join->type = OpType::kNestLoopJoin;
+  join->engine_op = "nested loop";
   join->children = {outer, inner};
   join->rows = out_rows;
   join->width = outer->width + inner->width;
-  join->cost = outer->cost + inner->cost + out_rows * p.cpu_tuple_cost;
+  join->cost = outer->cost + inner->cost + out_rows * p.row_evaluate_cost;
   join->detail = StrFormat("%s.%s = %s.%s", pred.left_alias.c_str(),
                            pred.left_column.c_str(), pred.right_alias.c_str(),
                            pred.right_column.c_str());
   return NodePtr(join);
 }
 
-/// Naive nested loop over a materialized inner (fallback when nothing
-/// better exists; rarely wins on cost).
-NodePtr MakeMaterializedNestLoop(const PlannerCtx& ctx, const NodePtr& outer,
-                                 const NodePtr& inner,
-                                 const std::string& detail, double out_rows) {
-  const DbParams& p = *ctx.params;
-  auto mat = std::make_shared<Optimizer::Node>();
-  mat->type = OpType::kMaterialize;
-  mat->children = {inner};
-  mat->rows = inner->rows;
-  mat->width = inner->width;
-  mat->cost = inner->cost + inner->rows * p.cpu_operator_cost;
+/// Block nested loop: the no-usable-index fallback. The inner side is
+/// rescanned once per join-buffer chunk of the outer, and every
+/// (outer, inner) pair pays a row comparison — the quadratic CPU term that
+/// makes BNL a last resort.
+NodePtr MakeBlockNestLoop(const PlannerCtx& ctx, const NodePtr& outer,
+                          const NodePtr& inner, const std::string& detail,
+                          double out_rows) {
+  const MysqlParams& p = *ctx.params;
+  const double buffer_bytes = std::max(64.0 * 1024.0,
+                                       p.join_buffer_mb * 1024.0 * 1024.0);
+  const double chunks =
+      std::max(1.0, std::ceil(outer->rows * outer->width / buffer_bytes));
 
-  auto join = std::make_shared<Optimizer::Node>();
+  auto buffered = std::make_shared<MysqlOptimizer::Node>();
+  buffered->type = OpType::kMaterialize;
+  buffered->engine_op = "join buffer";
+  buffered->children = {inner};
+  buffered->rows = inner->rows;
+  buffered->width = inner->width;
+  // The rescans: the inner subtree's own cost counts once (in inner->cost);
+  // every additional chunk re-reads the inner's pages.
+  buffered->pages = (chunks - 1.0) * inner->pages;
+  buffered->cost = inner->cost +
+                   (chunks - 1.0) * inner->pages * p.io_block_read_cost +
+                   inner->rows * p.row_evaluate_cost;
+  buffered->detail = StrFormat("%.0f chunk(s)", chunks);
+
+  auto join = std::make_shared<MysqlOptimizer::Node>();
   join->type = OpType::kNestLoopJoin;
-  join->children = {outer, mat};
+  join->engine_op = "BNL";
+  join->children = {outer, buffered};
   join->rows = out_rows;
   join->width = outer->width + inner->width;
-  join->cost = outer->cost + mat->cost +
-               outer->rows * inner->rows * p.cpu_operator_cost +
-               out_rows * p.cpu_tuple_cost;
+  join->cost = outer->cost + buffered->cost +
+               outer->rows * inner->rows * p.row_evaluate_cost * 0.1 +
+               out_rows * p.row_evaluate_cost;
   join->detail = detail;
   return join;
 }
 
-NodePtr MakeSort(const PlannerCtx& ctx, const NodePtr& input,
-                 const std::string& detail) {
-  const DbParams& p = *ctx.params;
-  auto sort = std::make_shared<Optimizer::Node>();
+NodePtr MakeFilesort(const PlannerCtx& ctx, const NodePtr& input,
+                     const std::string& detail) {
+  const MysqlParams& p = *ctx.params;
+  auto sort = std::make_shared<MysqlOptimizer::Node>();
   sort->type = OpType::kSort;
+  sort->engine_op = "filesort";
   sort->children = {input};
   sort->rows = input->rows;
   sort->width = input->width;
   const double n = std::max(2.0, input->rows);
-  double cost = 2.0 * n * std::log2(n) * p.cpu_operator_cost;
+  double cost = n * std::log2(n) * p.key_compare_cost;
   const double bytes = input->rows * input->width;
-  if (bytes > p.work_mem_mb * 1024 * 1024) {
-    // External merge sort: write + read one full pass.
+  if (bytes > p.sort_buffer_mb * 1024 * 1024) {
+    // Merge passes over tmp files, charged at the flat I/O cost.
     sort->pages = 2.0 * bytes / kPageSizeBytes;
-    cost += sort->pages * p.seq_page_cost;
+    cost += sort->pages * p.io_block_read_cost;
   }
   sort->cost = input->cost + cost;
   sort->detail = detail;
   return sort;
 }
 
-/// Plans one query block (no subplan handling) via left-deep DP.
+/// Plans one query block (no subquery handling) with left-deep DP over
+/// INL/BNL candidates.
 Result<NodePtr> PlanBlock(const PlannerCtx& ctx, const QuerySpec& spec) {
   if (spec.tables.empty()) {
     return Status::InvalidArgument("query block has no tables");
@@ -318,16 +316,13 @@ Result<NodePtr> PlanBlock(const PlannerCtx& ctx, const QuerySpec& spec) {
   };
   std::map<uint32_t, DpState> dp;
 
-  // Singletons.
   for (size_t i = 0; i < n; ++i) {
     Result<NodePtr> scan = ScanPath(ctx, spec.tables[i]);
     DIADS_RETURN_IF_ERROR(scan.status());
     dp[1u << i] = DpState{*scan, {spec.tables[i].alias}};
   }
 
-  // Left-deep extension in increasing subset-population order.
   for (size_t size = 1; size < n; ++size) {
-    // Snapshot keys of states with `size` members.
     std::vector<uint32_t> masks;
     for (const auto& [mask, state] : dp) {
       if (static_cast<size_t>(__builtin_popcount(mask)) == size) {
@@ -351,41 +346,35 @@ Result<NodePtr> PlanBlock(const PlannerCtx& ctx, const QuerySpec& spec) {
       for (size_t i = 0; i < n; ++i) {
         if (mask & (1u << i)) continue;
         const TableRef& inner_ref = spec.tables[i];
+        // The singleton states already hold each table's best access path.
+        const NodePtr& inner_scan = dp[1u << i].node;
         bool inner_is_left = false;
         const JoinPredicate* pred = FindConnection(
             spec, outer_state.aliases, inner_ref.alias, &inner_is_left);
         NodePtr candidate;
         if (pred != nullptr) {
-          Result<NodePtr> inner_scan = ScanPath(ctx, inner_ref);
-          DIADS_RETURN_IF_ERROR(inner_scan.status());
           const double out_rows =
               JoinOutputRows(ctx, spec, outer_state.node->rows,
-                             (*inner_scan)->rows, *pred);
-          // Hash join candidate.
-          candidate = MakeHashJoin(ctx, outer_state.node, *inner_scan, *pred,
-                                   out_rows);
-          // Index nested-loop candidate.
+                             inner_scan->rows, *pred);
+          const std::string join_detail =
+              StrFormat("%s.%s = %s.%s", pred->left_alias.c_str(),
+                        pred->left_column.c_str(), pred->right_alias.c_str(),
+                        pred->right_column.c_str());
+          // Block nested loop is always available...
+          candidate = MakeBlockNestLoop(ctx, outer_state.node, inner_scan,
+                                        join_detail, out_rows);
+          // ...but an index on the inner join column beats it essentially
+          // always (the index-nested-loop bias).
           const std::string inner_col =
               inner_is_left ? pred->left_column : pred->right_column;
           Result<NodePtr> inl = MakeIndexNestLoop(
               ctx, spec, outer_state.node, inner_ref, *pred, inner_col,
               out_rows);
           if (inl.ok() && (*inl)->cost < candidate->cost) candidate = *inl;
-          // Materialized nested loop candidate.
-          NodePtr mnl = MakeMaterializedNestLoop(
-              ctx, outer_state.node, *inner_scan,
-              StrFormat("%s.%s = %s.%s", pred->left_alias.c_str(),
-                        pred->left_column.c_str(), pred->right_alias.c_str(),
-                        pred->right_column.c_str()),
-              out_rows);
-          if (mnl->cost < candidate->cost) candidate = mnl;
         } else if (!any_connected) {
-          // Cartesian fallback only when unavoidable.
-          Result<NodePtr> inner_scan = ScanPath(ctx, inner_ref);
-          DIADS_RETURN_IF_ERROR(inner_scan.status());
-          candidate = MakeMaterializedNestLoop(
-              ctx, outer_state.node, *inner_scan, "cartesian",
-              outer_state.node->rows * (*inner_scan)->rows);
+          candidate = MakeBlockNestLoop(
+              ctx, outer_state.node, inner_scan, "cartesian",
+              outer_state.node->rows * inner_scan->rows);
         } else {
           continue;
         }
@@ -410,17 +399,24 @@ Result<NodePtr> PlanBlock(const PlannerCtx& ctx, const QuerySpec& spec) {
   NodePtr result = it->second.node;
 
   if (spec.aggregate) {
-    const DbParams& p = *ctx.params;
-    auto agg = std::make_shared<Optimizer::Node>();
+    const MysqlParams& p = *ctx.params;
+    auto agg = std::make_shared<MysqlOptimizer::Node>();
     agg->type = OpType::kAggregate;
+    agg->engine_op = "tmp table";
     agg->children = {result};
     const double groups = std::min(
         result->rows,
         ColumnNdv(ctx, spec, spec.agg_group_alias, spec.agg_group_column));
     agg->rows = std::max(1.0, groups);
     agg->width = result->width;
-    agg->cost = result->cost + result->rows * p.cpu_operator_cost +
-                agg->rows * p.cpu_tuple_cost;
+    double cost = result->rows * p.row_evaluate_cost +
+                  agg->rows * p.row_evaluate_cost;
+    const double bytes = agg->rows * agg->width;
+    if (bytes > p.tmp_table_mb * 1024 * 1024) {
+      agg->pages = 2.0 * bytes / kPageSizeBytes;
+      cost += agg->pages * p.io_block_read_cost;
+    }
+    agg->cost = result->cost + cost;
     agg->detail = StrFormat("group by %s.%s", spec.agg_group_alias.c_str(),
                             spec.agg_group_column.c_str());
     result = agg;
@@ -430,12 +426,12 @@ Result<NodePtr> PlanBlock(const PlannerCtx& ctx, const QuerySpec& spec) {
 
 }  // namespace
 
-Optimizer::Optimizer(const Catalog* catalog, DbParams params)
+MysqlOptimizer::MysqlOptimizer(const Catalog* catalog, MysqlParams params)
     : catalog_(catalog), params_(params) {
   assert(catalog != nullptr);
 }
 
-Result<Plan> Optimizer::Optimize(const QuerySpec& spec) const {
+Result<Plan> MysqlOptimizer::Optimize(const QuerySpec& spec) const {
   PlannerCtx ctx{catalog_, &params_};
 
   Result<NodePtr> main_r = PlanBlock(ctx, spec);
@@ -443,19 +439,54 @@ Result<Plan> Optimizer::Optimize(const QuerySpec& spec) const {
   NodePtr root = *main_r;
 
   if (spec.subplan != nullptr) {
+    // Derived-table materialisation with an auto-generated lookup key: the
+    // subquery block is evaluated once into a temp table, and the main
+    // block probes it per row through auto_key0.
     Result<NodePtr> sub_r = PlanBlock(ctx, *spec.subplan);
     DIADS_RETURN_IF_ERROR(sub_r.status());
+    const MysqlParams& p = params_;
+
+    auto mat = std::make_shared<Node>();
+    mat->type = OpType::kMaterialize;
+    mat->engine_op = "materialize derived";
+    mat->children = {*sub_r};
+    mat->rows = (*sub_r)->rows;
+    mat->width = (*sub_r)->width;
+    double mat_cost = (*sub_r)->rows * p.row_evaluate_cost;
+    const double bytes = mat->rows * mat->width;
+    if (bytes > p.tmp_table_mb * 1024 * 1024) {
+      mat->pages = 2.0 * bytes / kPageSizeBytes;
+      mat_cost += mat->pages * p.io_block_read_cost;
+    }
+    mat->cost = (*sub_r)->cost + mat_cost;
+    mat->detail = "temp table with auto_key0";
+
     const double out_rows =
         std::max(1.0, root->rows * spec.subplan_join_selectivity);
-    root = MakeHashJoin(ctx, root, *sub_r, spec.subplan_join, out_rows);
+    auto join = std::make_shared<Node>();
+    join->type = OpType::kNestLoopJoin;
+    join->engine_op = "ref<auto_key0>";
+    join->children = {root, mat};
+    join->rows = out_rows;
+    join->width = root->width + mat->width;
+    join->cost = root->cost + mat->cost +
+                 root->rows * (p.key_compare_cost * 2 + p.row_evaluate_cost) +
+                 out_rows * p.row_evaluate_cost;
+    join->detail = StrFormat(
+        "%s.%s = %s.%s", spec.subplan_join.left_alias.c_str(),
+        spec.subplan_join.left_column.c_str(),
+        spec.subplan_join.right_alias.c_str(),
+        spec.subplan_join.right_column.c_str());
+    root = join;
   }
 
   if (spec.sort) {
-    root = MakeSort(ctx, root, "order by result keys");
+    root = MakeFilesort(ctx, root, "order by result keys");
   }
   if (spec.limit > 0) {
     auto limit = std::make_shared<Node>();
     limit->type = OpType::kLimit;
+    limit->engine_op = "limit";
     limit->children = {root};
     limit->rows = std::min<double>(spec.limit, root->rows);
     limit->width = root->width;
@@ -487,6 +518,7 @@ Result<Plan> Optimizer::Optimize(const QuerySpec& spec) const {
       index = builder.AddOp(node->type, children, node->detail);
     }
     builder.SetEstimates(index, node->rows, node->cost, node->pages);
+    builder.SetEngineOp(index, node->engine_op);
     return index;
   };
   const int root_index = emit(root);

@@ -1,0 +1,153 @@
+#include "db/mysql_plan.h"
+
+#include "common/status.h"
+
+namespace diads::db {
+
+Result<Plan> MakeMysqlQ2Plan(double scale_factor) {
+  if (scale_factor <= 0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  const double sf = scale_factor;
+  PlanBuilder b("Q2");
+
+  // --- Main block: one nested-loop chain driven by part --------------------
+  // O8: part, range access on p_size (plus the BRASS residual filter).
+  const int part =
+      b.AddScan(OpType::kIndexScan, "p", "part", "part_size_idx");
+  b.SetDetail(part, "p_size = 15 and p_type like '%BRASS'");
+  b.SetEngineOp(part, "range");
+  b.SetEstimates(part, 800 * sf, 800.0 * sf, 600 * sf);
+
+  // O9: partsupp ref access per qualifying part (V1 leaf #1).
+  const int ps =
+      b.AddScan(OpType::kIndexScan, "ps", "partsupp", "partsupp_partkey_idx");
+  b.SetDetail(ps, "ps_partkey = p.p_partkey, ~4 rows/probe");
+  b.SetEngineOp(ps, "ref");
+  b.SetEstimates(ps, 3200 * sf, 3600.0 * sf, 2000 * sf);
+
+  // O7: nested loop part x partsupp.
+  const int nl_part_ps = b.AddOp(OpType::kNestLoopJoin, {part, ps},
+                                 "ps_partkey = p_partkey");
+  b.SetEngineOp(nl_part_ps, "nested loop");
+  b.SetEstimates(nl_part_ps, 3200 * sf, 4800.0 * sf);
+
+  // O10: supplier primary-key lookup per partsupp row.
+  const int supplier =
+      b.AddScan(OpType::kIndexScan, "s", "supplier", "supplier_pkey");
+  b.SetDetail(supplier, "s_suppkey = ps.ps_suppkey");
+  b.SetEngineOp(supplier, "eq_ref");
+  b.SetEstimates(supplier, 3200 * sf, 7200.0 * sf, 2100 * sf);
+
+  // O6: nested loop with supplier.
+  const int nl_s = b.AddOp(OpType::kNestLoopJoin, {nl_part_ps, supplier},
+                           "ps.ps_suppkey = s.s_suppkey");
+  b.SetEngineOp(nl_s, "nested loop");
+  b.SetEstimates(nl_s, 3200 * sf, 12400.0 * sf);
+
+  // O11: nation primary-key lookup per supplier.
+  const int nation =
+      b.AddScan(OpType::kIndexScan, "n", "nation", "nation_pkey");
+  b.SetDetail(nation, "n_nationkey = s.s_nationkey");
+  b.SetEngineOp(nation, "eq_ref");
+  b.SetEstimates(nation, 3200 * sf, 13000.0 * sf, 3);
+
+  // O5: nested loop with nation.
+  const int nl_n = b.AddOp(OpType::kNestLoopJoin, {nl_s, nation},
+                           "s.s_nationkey = n.n_nationkey");
+  b.SetEngineOp(nl_n, "nested loop");
+  b.SetEstimates(nl_n, 3200 * sf, 13400.0 * sf);
+
+  // O12: region primary-key lookup, EUROPE filter drops 4 of 5 rows.
+  const int region =
+      b.AddScan(OpType::kIndexScan, "r", "region", "region_pkey");
+  b.SetDetail(region, "r_regionkey = n.n_regionkey and r_name = 'EUROPE'");
+  b.SetEngineOp(region, "eq_ref");
+  b.SetEstimates(region, 640 * sf, 13900.0 * sf, 1);
+
+  // O4: main-block root.
+  const int nl_r = b.AddOp(OpType::kNestLoopJoin, {nl_n, region},
+                           "n.n_regionkey = r.r_regionkey");
+  b.SetEngineOp(nl_r, "nested loop");
+  b.SetEstimates(nl_r, 640 * sf, 14100.0 * sf);
+
+  // --- Subquery block: materialised derived table --------------------------
+  // O18: supplier2 full scan drives the partsupp2 probes.
+  const int supplier2 = b.AddScan(OpType::kSeqScan, "s2", "supplier");
+  b.SetEngineOp(supplier2, "ALL");
+  b.SetEstimates(supplier2, 10000 * sf, 1300.0 * sf, 194 * sf);
+
+  // O19: partsupp2 ref access per supplier (V1 leaf #2; the heavy reader).
+  const int ps2 =
+      b.AddScan(OpType::kIndexScan, "ps2", "partsupp", "partsupp_suppkey_idx");
+  b.SetDetail(ps2, "ps2.ps_suppkey = s2.s_suppkey, ~80 rows/probe");
+  b.SetEngineOp(ps2, "ref");
+  b.SetEstimates(ps2, 800000 * sf, 92000.0 * sf, 20000 * sf);
+
+  // O17: nested loop supplier2 x partsupp2.
+  const int nl_s2_ps2 = b.AddOp(OpType::kNestLoopJoin, {supplier2, ps2},
+                                "ps2.ps_suppkey = s2.s_suppkey");
+  b.SetEngineOp(nl_s2_ps2, "nested loop");
+  b.SetEstimates(nl_s2_ps2, 800000 * sf, 173000.0 * sf);
+
+  // O20: nation2 primary-key lookup per joined row (cached descent).
+  const int nation2 =
+      b.AddScan(OpType::kIndexScan, "n2", "nation", "nation_pkey");
+  b.SetDetail(nation2, "n2.n_nationkey = s2.s_nationkey");
+  b.SetEngineOp(nation2, "eq_ref");
+  b.SetEstimates(nation2, 800000 * sf, 177000.0 * sf, 3);
+
+  // O16: nested loop with nation2.
+  const int nl_n2 = b.AddOp(OpType::kNestLoopJoin, {nl_s2_ps2, nation2},
+                            "n2.n_nationkey = s2.s_nationkey");
+  b.SetEngineOp(nl_n2, "nested loop");
+  b.SetEstimates(nl_n2, 800000 * sf, 181000.0 * sf);
+
+  // O21: region2 lookup, EUROPE only.
+  const int region2 =
+      b.AddScan(OpType::kIndexScan, "r2", "region", "region_pkey");
+  b.SetDetail(region2, "r2.r_regionkey = n2.n_regionkey and r2.r_name = "
+                       "'EUROPE'");
+  b.SetEngineOp(region2, "eq_ref");
+  b.SetEstimates(region2, 160000 * sf, 185000.0 * sf, 1);
+
+  // O15: subquery join chain root.
+  const int nl_r2 = b.AddOp(OpType::kNestLoopJoin, {nl_n2, region2},
+                            "n2.n_regionkey = r2.r_regionkey");
+  b.SetEngineOp(nl_r2, "nested loop");
+  b.SetEstimates(nl_r2, 160000 * sf, 186000.0 * sf);
+
+  // O14: min(ps_supplycost) per part, grouped through a tmp table.
+  const int agg = b.AddOp(OpType::kAggregate, {nl_r2},
+                          "min(ps_supplycost) group by ps2.ps_partkey");
+  b.SetEngineOp(agg, "tmp table");
+  b.SetEstimates(agg, 120000 * sf, 188000.0 * sf);
+
+  // O13: the derived table the main block probes through auto_key0.
+  const int mat = b.AddOp(OpType::kMaterialize, {agg},
+                          "temp table with auto_key0");
+  b.SetEngineOp(mat, "materialize derived");
+  b.SetEstimates(mat, 120000 * sf, 189000.0 * sf);
+
+  // --- Top of the plan ------------------------------------------------------
+  // O3: main block probes the derived table per row.
+  const int nl_top = b.AddOp(
+      OpType::kNestLoopJoin, {nl_r, mat},
+      "ps.ps_partkey = ps2.ps_partkey and ps_supplycost = min_cost");
+  b.SetEngineOp(nl_top, "ref<auto_key0>");
+  b.SetEstimates(nl_top, 160 * sf, 203300.0 * sf);
+
+  // O2: filesort for the ORDER BY.
+  const int sort = b.AddOp(OpType::kSort, {nl_top},
+                           "s_acctbal desc, n_name, s_name, p_partkey");
+  b.SetEngineOp(sort, "filesort");
+  b.SetEstimates(sort, 160 * sf, 203400.0 * sf);
+
+  // O1: Result (top 100).
+  const int result = b.AddOp(OpType::kResult, {sort}, "top 100");
+  b.SetEstimates(result, 100, 203400.0 * sf);
+
+  return b.Build(result);
+}
+
+}  // namespace diads::db

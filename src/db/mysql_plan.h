@@ -1,0 +1,53 @@
+// The MySQL-ish Q2 plan fixture.
+//
+// The MySQL analogue of MakePaperQ2Plan(): TPC-H Q2 as the second engine
+// executes it — one left-deep nested-loop chain per block (no hash joins),
+// the subquery materialised into a temp table with an auto-generated key,
+// and a top-level filesort. Same nine leaf scans as the Figure-1 plan, and
+// the same load-bearing structural property: exactly two leaves — the main
+// block's partsupp ref access and the subquery block's partsupp ref access
+// — read volume V1. The tree (children probe-side first, preorder =
+// O-number; engine access type in brackets):
+//
+//   O1  Result
+//   O2   Sort [filesort]                    (top-100 suppliers)
+//   O3    Nested Loop [ref<auto_key0>]      (ps_supplycost = min(...))
+//   O4     Nested Loop [eq_ref]             (n_regionkey = r_regionkey)
+//   O5      Nested Loop [eq_ref]            (s_nationkey = n_nationkey)
+//   O6       Nested Loop [eq_ref]           (ps_suppkey = s_suppkey)
+//   O7        Nested Loop [ref]             (partsupp probe per part)
+//   O8         Index Scan part      [range, V2]  (p_size = 15, BRASS)
+//   O9         Index Scan partsupp  [ref,   V1]  (ps_partkey = p_partkey)
+//   O10       Index Scan supplier   [eq_ref, V2]
+//   O11      Index Scan nation      [eq_ref, V2]
+//   O12     Index Scan region       [eq_ref, V2] (r_name = 'EUROPE')
+//   O13    Materialize [derived]            (subquery temp table)
+//   O14     Aggregate [tmp table]           (min cost group by ps_partkey)
+//   O15      Nested Loop [eq_ref]           (n2_regionkey = r2_regionkey)
+//   O16       Nested Loop [eq_ref]          (s2_nationkey = n2_nationkey)
+//   O17        Nested Loop [ref]            (partsupp2 probe per supplier)
+//   O18         Seq Scan supplier2  [ALL,   V2]
+//   O19         Index Scan partsupp2 [ref,  V1]  (ps_suppkey = s_suppkey)
+//   O20        Index Scan nation2   [eq_ref, V2]
+//   O21       Index Scan region2    [eq_ref, V2] (r_name = 'EUROPE')
+//
+// Under the shared pipelined execution model the blocking operators (Sort,
+// Materialize, Aggregate) split this into the same event-propagation shape
+// as the PostgreSQL fixture: V1 contention stretches the two pipelines
+// holding O9 and O19 — {O2..O12} and {O14..O21} — while the materialise
+// boundary keeps them separable.
+#ifndef DIADS_DB_MYSQL_PLAN_H_
+#define DIADS_DB_MYSQL_PLAN_H_
+
+#include "common/status.h"
+#include "db/plan.h"
+
+namespace diads::db {
+
+/// Builds the MySQL-ish Q2 plan with row/page estimates calibrated for the
+/// BuildTpchCatalog statistics at `scale_factor`.
+Result<Plan> MakeMysqlQ2Plan(double scale_factor = 1.0);
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_MYSQL_PLAN_H_

@@ -2,36 +2,42 @@
 
 namespace diads::db {
 
-Result<Plan> MakePaperQ2Plan() {
+Result<Plan> MakePaperQ2Plan(double scale_factor) {
+  if (scale_factor <= 0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  // Scale-dependent estimates grow linearly with the TPC-H scale factor;
+  // nation and region are fixed-size dimension tables.
+  const double sf = scale_factor;
   PlanBuilder b("Q2");
 
   // --- Main block (probe side of the top hash join) -----------------------
   // O7: part, filtered by p_size = 15 AND p_type LIKE '%BRASS'.
   const int part = b.AddScan(OpType::kIndexScan, "p", "part", "part_size_idx");
   b.SetDetail(part, "p_size = 15 and p_type like '%BRASS'");
-  b.SetEstimates(part, 800, 620.0, 600);
+  b.SetEstimates(part, 800 * sf, 620.0 * sf, 600 * sf);
 
   // O8: partsupp probed per qualifying part (V1 leaf #1).
   const int ps =
       b.AddScan(OpType::kIndexScan, "ps", "partsupp", "partsupp_partkey_idx");
   b.SetDetail(ps, "ps_partkey = p.p_partkey");
-  b.SetEstimates(ps, 3200, 5200.0, 2000);
+  b.SetEstimates(ps, 3200 * sf, 5200.0 * sf, 2000 * sf);
 
   // O6: nested loop part x partsupp.
   const int nl_part_ps = b.AddOp(OpType::kNestLoopJoin, {part, ps},
                                  "ps_partkey = p_partkey");
-  b.SetEstimates(nl_part_ps, 3200, 6100.0);
+  b.SetEstimates(nl_part_ps, 3200 * sf, 6100.0 * sf);
 
   // O10/O9: supplier hash build.
   const int supplier = b.AddScan(OpType::kSeqScan, "s", "supplier");
-  b.SetEstimates(supplier, 10000, 294.0, 194);
+  b.SetEstimates(supplier, 10000 * sf, 294.0 * sf, 194 * sf);
   const int hash_s = b.AddOp(OpType::kHash, {supplier}, "build s");
-  b.SetEstimates(hash_s, 10000, 394.0);
+  b.SetEstimates(hash_s, 10000 * sf, 394.0 * sf);
 
   // O5: join partsupp side with supplier.
   const int hj_s = b.AddOp(OpType::kHashJoin, {nl_part_ps, hash_s},
                            "ps.ps_suppkey = s.s_suppkey");
-  b.SetEstimates(hj_s, 3200, 6700.0);
+  b.SetEstimates(hj_s, 3200 * sf, 6700.0 * sf);
 
   // O13..O15 / O12 / O11: (nation x region) hash build.
   const int nation = b.AddScan(OpType::kSeqScan, "n", "nation");
@@ -50,34 +56,34 @@ Result<Plan> MakePaperQ2Plan() {
   // O4: main block root.
   const int hj_main = b.AddOp(OpType::kHashJoin, {hj_s, hash_nr},
                               "s.s_nationkey = n.n_nationkey");
-  b.SetEstimates(hj_main, 640, 7000.0);
+  b.SetEstimates(hj_main, 640 * sf, 7000.0 * sf);
 
   // --- Subquery block (build side of the top hash join) -------------------
   // O21: supplier2 drives the partsupp2 probes.
   const int supplier2 = b.AddScan(OpType::kSeqScan, "s2", "supplier");
-  b.SetEstimates(supplier2, 10000, 294.0, 194);
+  b.SetEstimates(supplier2, 10000 * sf, 294.0 * sf, 194 * sf);
 
   // O22: partsupp2 probed per supplier (V1 leaf #2; the heavy V1 reader).
   const int ps2 =
       b.AddScan(OpType::kIndexScan, "ps2", "partsupp", "partsupp_suppkey_idx");
   b.SetDetail(ps2, "ps2.ps_suppkey = s2.s_suppkey");
-  b.SetEstimates(ps2, 800000, 92000.0, 20000);
+  b.SetEstimates(ps2, 800000 * sf, 92000.0 * sf, 20000 * sf);
 
   // O20: nested loop supplier2 x partsupp2.
   const int nl_s2_ps2 = b.AddOp(OpType::kNestLoopJoin, {supplier2, ps2},
                                 "ps2.ps_suppkey = s2.s_suppkey");
-  b.SetEstimates(nl_s2_ps2, 800000, 101000.0);
+  b.SetEstimates(nl_s2_ps2, 800000 * sf, 101000.0 * sf);
 
   // O23: nation2 looked up per joined row (primary-key probe, cached).
   const int nation2 =
       b.AddScan(OpType::kIndexScan, "n2", "nation", "nation_pkey");
   b.SetDetail(nation2, "n2.n_nationkey = s2.s_nationkey");
-  b.SetEstimates(nation2, 800000, 4000.0, 3);
+  b.SetEstimates(nation2, 800000 * sf, 4000.0 * sf, 3);
 
   // O19: nested loop with nation2.
   const int nl_n2 = b.AddOp(OpType::kNestLoopJoin, {nl_s2_ps2, nation2},
                             "n2.n_nationkey = s2.s_nationkey");
-  b.SetEstimates(nl_n2, 800000, 108000.0);
+  b.SetEstimates(nl_n2, 800000 * sf, 108000.0 * sf);
 
   // O25/O24: region2 hash build.
   const int region2 = b.AddScan(OpType::kSeqScan, "r2", "region");
@@ -89,32 +95,32 @@ Result<Plan> MakePaperQ2Plan() {
   // O18: restrict the subquery to EUROPE suppliers.
   const int hj_sub = b.AddOp(OpType::kHashJoin, {nl_n2, hash_r2},
                              "n2.n_regionkey = r2.r_regionkey");
-  b.SetEstimates(hj_sub, 160000, 112000.0);
+  b.SetEstimates(hj_sub, 160000 * sf, 112000.0 * sf);
 
   // O17: min(ps_supplycost) per part.
   const int agg = b.AddOp(OpType::kAggregate, {hj_sub},
                           "min(ps_supplycost) group by ps2.ps_partkey");
-  b.SetEstimates(agg, 120000, 114000.0);
+  b.SetEstimates(agg, 120000 * sf, 114000.0 * sf);
 
   // O16: hash build of the subquery result.
   const int hash_sub = b.AddOp(OpType::kHash, {agg}, "build subquery result");
-  b.SetEstimates(hash_sub, 120000, 115000.0);
+  b.SetEstimates(hash_sub, 120000 * sf, 115000.0 * sf);
 
   // --- Top of the plan -----------------------------------------------------
   // O3: main x subquery on partkey + supplycost = min.
   const int hj_top = b.AddOp(
       OpType::kHashJoin, {hj_main, hash_sub},
       "ps.ps_partkey = ps2.ps_partkey and ps_supplycost = min_cost");
-  b.SetEstimates(hj_top, 160, 123000.0);
+  b.SetEstimates(hj_top, 160 * sf, 123000.0 * sf);
 
   // O2: order by s_acctbal desc, n_name, s_name, p_partkey (top 100).
   const int sort = b.AddOp(OpType::kSort, {hj_top},
                            "s_acctbal desc, n_name, s_name, p_partkey");
-  b.SetEstimates(sort, 160, 123100.0);
+  b.SetEstimates(sort, 160 * sf, 123100.0 * sf);
 
   // O1: Result.
   const int result = b.AddOp(OpType::kResult, {sort}, "top 100");
-  b.SetEstimates(result, 100, 123100.0);
+  b.SetEstimates(result, 100, 123100.0 * sf);
 
   return b.Build(result);
 }

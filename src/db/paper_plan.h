@@ -50,8 +50,11 @@
 namespace diads::db {
 
 /// Builds the Figure-1 Q2 plan with row/page estimates calibrated for the
-/// scale-factor-1 BuildTpchCatalog statistics.
-Result<Plan> MakePaperQ2Plan();
+/// BuildTpchCatalog statistics at `scale_factor` (row and page estimates of
+/// the scale-dependent tables — everything but nation/region — scale
+/// linearly, so the executor's actual-vs-planned ratios stay meaningful at
+/// any testbed scale).
+Result<Plan> MakePaperQ2Plan(double scale_factor = 1.0);
 
 }  // namespace diads::db
 

@@ -123,6 +123,7 @@ std::string Plan::Render(bool with_estimates) const {
     const PlanOp& op = ops_[static_cast<size_t>(index)];
     out += StrFormat("%*sO%-3d %s", depth * 2, "", op.op_number,
                      OpTypeName(op.type));
+    if (!op.engine_op.empty()) out += " [" + op.engine_op + "]";
     if (op.is_scan()) {
       out += " on " + op.table;
       if (op.table_alias != op.table && !op.table_alias.empty()) {
@@ -173,6 +174,10 @@ void PlanBuilder::SetEstimates(int index, double rows, double cost,
 
 void PlanBuilder::SetDetail(int index, std::string detail) {
   ops_[static_cast<size_t>(index)].detail = std::move(detail);
+}
+
+void PlanBuilder::SetEngineOp(int index, std::string engine_op) {
+  ops_[static_cast<size_t>(index)].engine_op = std::move(engine_op);
 }
 
 Result<Plan> PlanBuilder::Build(int root_index) {

@@ -64,6 +64,12 @@ struct PlanOp {
   std::string table;
   std::string index_name;
 
+  /// Engine-native operator name ("ref", "ALL", "filesort", ...) for
+  /// backends whose EXPLAIN vocabulary differs from the shared OpType
+  /// taxonomy. Purely descriptive: not part of the fingerprint, so the
+  /// same physical plan shape hashes identically across vocabularies.
+  std::string engine_op;
+
   // Optimizer annotations.
   double est_rows = 0;
   double est_cost = 0;      ///< Cumulative cost in optimizer cost units.
@@ -132,6 +138,9 @@ class PlanBuilder {
 
   /// Sets the human-readable condition/keys text on an op.
   void SetDetail(int index, std::string detail);
+
+  /// Sets the engine-native operator name on an op (see PlanOp::engine_op).
+  void SetEngineOp(int index, std::string engine_op);
 
   /// Finalizes: validates single-rootedness, assigns preorder operator
   /// numbers (root = O1, children visited in order).

@@ -209,4 +209,13 @@ std::string ReportDigest(const DiagnosisReport& report) {
   return out;
 }
 
+uint64_t ReportDigestHash(const DiagnosisReport& report) {
+  return Fnv1a64(ReportDigest(report));
+}
+
+std::string ReportDigestHashHex(const DiagnosisReport& report) {
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(ReportDigestHash(report)));
+}
+
 }  // namespace diads::diag

@@ -47,6 +47,13 @@ std::string CsvEscape(const std::string& field);
 /// Workflow::Diagnose run.
 std::string ReportDigest(const DiagnosisReport& report);
 
+/// FNV-1a 64-bit hash of ReportDigest(report) — the compact fingerprint the
+/// cross-backend conformance goldens record per (scenario, backend)
+/// configuration.
+uint64_t ReportDigestHash(const DiagnosisReport& report);
+/// ReportDigestHash rendered as 16 lowercase hex digits.
+std::string ReportDigestHashHex(const DiagnosisReport& report);
+
 }  // namespace diads::diag
 
 #endif  // DIADS_DIADS_REPORT_H_

@@ -67,7 +67,11 @@ Status FaultInjector::InjectBurstyLoad(ComponentId volume,
 Status FaultInjector::InjectDataPropertyChange(SimTimeMs t,
                                                const std::string& table,
                                                double factor) {
-  return testbed_->catalog.ApplyDml(
+  // The fault models a statistics-maintenance gap: data moved, the
+  // optimizer's view did not. That requires the silent DML path on every
+  // backend (PostgreSQL: no ANALYZE ran; MySQL: a STATS_AUTO_RECALC=0
+  // table, the standard opt-out for exactly these bulk loads).
+  return testbed_->backend->ApplyDmlSilently(
       t, table, factor,
       StrFormat("bulk DML changed data properties of '%s' (x%.2f rows)",
                 table.c_str(), factor));
@@ -145,10 +149,12 @@ Status FaultInjector::InjectIndexDrop(SimTimeMs t,
 
 Status FaultInjector::InjectParamChange(SimTimeMs t, const std::string& param,
                                         double new_value) {
-  Result<double> old_value = db::GetParamByName(testbed_->db_params, param);
+  // The parameter vocabulary is the backend's own — injecting
+  // "random_page_cost" on the MySQL backend is an error, exactly as it
+  // would be on a real server.
+  Result<double> old_value = testbed_->backend->GetParam(param);
   DIADS_RETURN_IF_ERROR(old_value.status());
-  DIADS_RETURN_IF_ERROR(
-      db::SetParamByName(&testbed_->db_params, param, new_value));
+  DIADS_RETURN_IF_ERROR(testbed_->backend->SetParam(param, new_value));
   SystemEvent event;
   event.time = t;
   event.type = EventType::kDbParamChanged;
@@ -162,8 +168,10 @@ Status FaultInjector::InjectParamChange(SimTimeMs t, const std::string& param,
 }
 
 Status FaultInjector::InjectAnalyze(SimTimeMs t, const std::string& table) {
-  // Catalog::Analyze logs kTableStatsChanged with table/old_row_count attrs.
-  return testbed_->catalog.Analyze(t, table);
+  // The backend's explicit statistics refresh; either engine logs
+  // kTableStatsChanged with the table/old_row_count attrs Module PD's
+  // what-if probe keys on.
+  return testbed_->backend->Analyze(t, table);
 }
 
 Status FaultInjector::InjectCpuSaturation(const TimeInterval& window,

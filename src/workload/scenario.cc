@@ -57,7 +57,8 @@ const char* ScenarioDescription(ScenarioId id) {
     case ScenarioId::kS6IndexDrop:
       return "Index drop forces the optimizer onto a slower plan";
     case ScenarioId::kS7ParamChange:
-      return "random_page_cost misconfiguration flips the plan";
+      return "cost-parameter misconfiguration flips the plan "
+             "(random_page_cost on PostgreSQL, io_block_read_cost on MySQL)";
     case ScenarioId::kS8AnalyzeAfterDrift:
       return "ANALYZE after silent data drift changes the plan";
     case ScenarioId::kS9CpuSaturation:
@@ -169,12 +170,19 @@ Result<ScenarioOutput> RunScenario(ScenarioId id,
   std::shared_ptr<const db::Plan> pre_plan = tb->paper_plan;
   if (plan_change_scenario) {
     if (id == ScenarioId::kS8AnalyzeAfterDrift) {
-      // Silent drift before the history: part grew 8x, the optimizer does
-      // not know yet. The satisfactory era runs a stale-statistics plan;
-      // the ANALYZE at the fault point flips the join strategy.
-      DIADS_RETURN_IF_ERROR(tb->catalog.ApplyDml(
-          t0 - Hours(2), "part", 8.0,
-          "silent data drift (part grew 8x) before the run history"));
+      // Silent drift before the history: the table grew, the optimizer
+      // does not know yet. The satisfactory era runs a stale-statistics
+      // plan; the ANALYZE at the fault point flips the join strategy. The
+      // drift size is backend-specific (how much growth the engine's cost
+      // model absorbs before fresh stats change the plan), and the silent
+      // DML path keeps it invisible on every backend (on MySQL this models
+      // a STATS_AUTO_RECALC=0 table).
+      const db::StatsDriftSpec drift = tb->backend->AnalyzeDriftSpec();
+      DIADS_RETURN_IF_ERROR(tb->backend->ApplyDmlSilently(
+          t0 - Hours(2), drift.table, drift.factor,
+          StrFormat("silent data drift (%s grew %.0fx) before the run "
+                    "history",
+                    drift.table.c_str(), drift.factor)));
     }
     DIADS_ASSIGN_OR_RETURN(db::Plan plan, tb->OptimizeQ2());
     pre_plan = std::make_shared<const db::Plan>(std::move(plan));
@@ -243,20 +251,25 @@ Result<ScenarioOutput> RunScenario(ScenarioId id,
           injector.InjectIndexDrop(t_fault, "partsupp_partkey_idx"));
       out.ground_truth = {{diag::RootCauseType::kPlanChange, "", true}};
       break;
-    case ScenarioId::kS7ParamChange:
+    case ScenarioId::kS7ParamChange: {
+      // Each engine has its own plan-flipping misconfiguration knob
+      // (random_page_cost has no MySQL analogue).
+      const db::PlanMisconfigKnob knob = tb->backend->MisconfigKnob();
       DIADS_RETURN_IF_ERROR(
-          injector.InjectParamChange(t_fault, "random_page_cost", 40.0));
+          injector.InjectParamChange(t_fault, knob.param, knob.bad_value));
       out.ground_truth = {{diag::RootCauseType::kPlanChange, "", true}};
       break;
+    }
     case ScenarioId::kS8AnalyzeAfterDrift:
-      DIADS_RETURN_IF_ERROR(injector.InjectAnalyze(t_fault, "part"));
+      DIADS_RETURN_IF_ERROR(injector.InjectAnalyze(
+          t_fault, tb->backend->AnalyzeDriftSpec().table));
       out.ground_truth = {{diag::RootCauseType::kPlanChange, "", true}};
       break;
     case ScenarioId::kS9CpuSaturation:
       DIADS_RETURN_IF_ERROR(
           injector.InjectCpuSaturation(fault_window, 0.72));
-      out.ground_truth = {
-          {diag::RootCauseType::kCpuSaturation, "postgres@dbserver", true}};
+      out.ground_truth = {{diag::RootCauseType::kCpuSaturation,
+                           tb->registry.NameOf(tb->database), true}};
       break;
     case ScenarioId::kS10RaidRebuild:
       DIADS_RETURN_IF_ERROR(

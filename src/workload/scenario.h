@@ -14,7 +14,7 @@
 //   S4  Concurrent DB (data properties) + SAN (misconfig)    (row 4)
 //   S5  Lock contention + spurious V2 contention symptoms    (row 5)
 //   S6  Index drop changes the plan                          (Module PD)
-//   S7  random_page_cost change flips the plan               (Module PD)
+//   S7  cost-parameter change flips the plan                 (Module PD)
 //   S8  ANALYZE after silent data drift changes the plan     (Module PD)
 //   S9  Database server CPU saturation                       (Section 6's
 //   S10 RAID rebuild on V1's pool                             injector list:

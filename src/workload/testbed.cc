@@ -20,16 +20,17 @@ Testbed::Testbed(const TestbedOptions& opts)
                     monitor::SanCollectorConfig{opts.monitoring_interval,
                                                 25.0, 0.85}),
       catalog(&registry, &event_log),
+      backend(db::MakeDbBackend(
+          opts.backend, db::BackendInit{&catalog, opts.scale_factor,
+                                        opts.buffer_pool_mb,
+                                        opts.db_params})),
       buffer_pool(&catalog, opts.buffer_pool_mb),
       locks(),
       activity(),
       db_collector(&activity, &locks, &catalog, ComponentId{}, &store, &noise,
                    opts.monitoring_interval),
-      db_params(opts.db_params),
       runs(),
-      apg_builder(&catalog, &topology, &registry) {
-  db_params.buffer_pool_mb = opts.buffer_pool_mb;
-}
+      apg_builder(&catalog, &topology, &registry) {}
 
 db::Executor Testbed::MakeExecutor() {
   db::ExecutorContext ctx;
@@ -41,7 +42,7 @@ db::Executor Testbed::MakeExecutor() {
   ctx.activity = &activity;
   ctx.db_server = db_server;
   ctx.database = database;
-  ctx.params = db_params;
+  ctx.params = backend->ExecutorParams();
   return db::Executor(ctx, rng.Child(StrFormat("executor-%zu", runs.size())));
 }
 
@@ -54,8 +55,7 @@ Result<int> Testbed::RunQ2(SimTimeMs at, std::shared_ptr<const db::Plan> plan) {
 }
 
 Result<db::Plan> Testbed::OptimizeQ2() const {
-  db::Optimizer optimizer(&catalog, db_params);
-  return optimizer.Optimize(q2_spec);
+  return backend->OptimizeQuery(q2_spec);
 }
 
 Status Testbed::CollectMonitors(SimTimeMs from, SimTimeMs to) {
@@ -107,11 +107,8 @@ Testbed::MakeWhatIfProber() {
           return Status::InvalidArgument(
               "kDbParamChanged event lacks 'param'/'old_value' attributes");
         }
-        db::DbParams reverted = db_params;
-        DIADS_RETURN_IF_ERROR(db::SetParamByName(
-            &reverted, name_it->second, std::stod(old_it->second)));
-        db::Optimizer optimizer(&catalog, reverted);
-        Result<db::Plan> plan = optimizer.Optimize(q2_spec);
+        Result<db::Plan> plan = backend->OptimizeQueryWithParam(
+            q2_spec, name_it->second, std::stod(old_it->second));
         DIADS_RETURN_IF_ERROR(plan.status());
         return plan->Fingerprint();
       }
@@ -251,8 +248,9 @@ Result<std::unique_ptr<Testbed>> BuildFigure1Testbed(
 
   // --- Database -------------------------------------------------------------
   DIADS_ASSIGN_OR_RETURN(
-      tb->database, tb->registry.Register(ComponentKind::kDatabase,
-                                          "postgres@dbserver"));
+      tb->database,
+      tb->registry.Register(ComponentKind::kDatabase,
+                            tb->backend->DatabaseComponentName("dbserver")));
   DIADS_ASSIGN_OR_RETURN(
       tb->query_q2, tb->registry.Register(ComponentKind::kQuery, "Q2"));
   db::TpchOptions tpch;
@@ -262,7 +260,7 @@ Result<std::unique_ptr<Testbed>> BuildFigure1Testbed(
   DIADS_RETURN_IF_ERROR(db::BuildTpchCatalog(tpch, &tb->catalog));
 
   tb->q2_spec = db::MakeTpchQ2Spec();
-  DIADS_ASSIGN_OR_RETURN(db::Plan plan, db::MakePaperQ2Plan());
+  DIADS_ASSIGN_OR_RETURN(db::Plan plan, tb->backend->MakePaperPlan());
   tb->paper_plan = std::make_shared<const db::Plan>(std::move(plan));
 
   // Re-bind the DB collector now that the database component exists.

@@ -1,7 +1,8 @@
 // The Figure-1 testbed.
 //
-// Assembles the complete evaluation environment of Section 5: a PostgreSQL-
-// like database on a RedHat server, connected through an edge/core FC
+// Assembles the complete evaluation environment of Section 5: a database
+// engine (PostgreSQL-like by default; see TestbedOptions::backend for the
+// MySQL-like alternative) on a RedHat server, connected through an edge/core FC
 // fabric to an IBM DS6000-class storage subsystem with two RAID pools —
 // P1 (disks 1-4) carrying volumes V1 and V3, P2 (disks 5-10) carrying V2
 // and V4 — plus a second application server whose workloads drive V3/V4 as
@@ -22,13 +23,13 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "db/backend.h"
 #include "db/buffer_pool.h"
 #include "db/catalog.h"
 #include "db/db_activity.h"
 #include "db/executor.h"
 #include "db/lock_manager.h"
 #include "db/optimizer.h"
-#include "db/paper_plan.h"
 #include "db/query.h"
 #include "db/run_record.h"
 #include "db/tpch.h"
@@ -44,10 +45,15 @@ namespace diads::workload {
 /// Testbed construction knobs.
 struct TestbedOptions {
   uint64_t seed = 42;
+  /// The database engine under test. Every knob below applies to either
+  /// backend; engine-specific parameters live on the backend itself.
+  db::BackendKind backend = db::BackendKind::kPostgres;
   double scale_factor = 1.0;
   SimTimeMs monitoring_interval = Minutes(5);
   /// Small enough that partsupp does not fully fit — its scans do real I/O.
   double buffer_pool_mb = 96.0;
+  /// PostgreSQL parameter seed; ignored by other backends (tune those via
+  /// backend->SetParam in their own vocabulary — see BackendInit).
   db::DbParams db_params;
   /// Production-realistic measurement noise (Section 1.1: coarse intervals
   /// make the data noisy): 12% multiplicative jitter, occasional spikes,
@@ -80,11 +86,14 @@ class Testbed {
   monitor::NoiseModel noise;
   monitor::SanCollector san_collector;
   db::Catalog catalog;
+  /// The engine under test: plan production, parameter vocabulary, DML /
+  /// ANALYZE statistics semantics, executor cost translation. Owns the
+  /// live engine parameters (what db_params used to be).
+  std::unique_ptr<db::DbBackend> backend;
   db::BufferPool buffer_pool;
   db::LockManager locks;
   db::DbActivityModel activity;
   db::DbCollector db_collector;
-  db::DbParams db_params;        ///< Live executor/optimizer parameters.
   db::RunCatalog runs;
   apg::ApgBuilder apg_builder;
 
@@ -107,7 +116,8 @@ class Testbed {
   /// and appends it to the run catalog. Returns the run id.
   Result<int> RunQ2(SimTimeMs at, std::shared_ptr<const db::Plan> plan = nullptr);
 
-  /// Plans Q2 with the current optimizer statistics and parameters.
+  /// Plans Q2 with the backend's optimizer, current statistics, and
+  /// current engine parameters.
   Result<db::Plan> OptimizeQ2() const;
 
   /// Runs both collectors over [from, to) on the monitoring grid.

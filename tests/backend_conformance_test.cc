@@ -1,0 +1,256 @@
+// Cross-backend scenario conformance harness.
+//
+// The headline contract of the backend abstraction: every Table-1 /
+// plan-change scenario must behave identically — in diagnosis outcome, APG
+// structural schema, and recorded ReportDigest — whichever engine the
+// testbed runs. 12 scenarios x 2 backends = 24 diagnosed configurations:
+//
+//   * DiagnosesInjectedRootCause — the full workflow localises the
+//     injected fault with high confidence and ranks it top, per
+//     configuration;
+//   * ApgSatisfiesStructuralSchema — both engines' APGs satisfy the same
+//     node/edge-kind invariants and leaf->volume reachability
+//     (apg/schema.h), and preserve the paper's load-bearing layout: nine
+//     leaves, exactly two on V1;
+//   * GoldenReportDigests — per-(scenario, backend) ReportDigest hashes
+//     match tests/golden_report_digests.txt, so future changes cannot
+//     silently regress either engine (regenerate explicitly with
+//     DIADS_UPDATE_GOLDEN_DIGESTS=1);
+//   * cross-backend parity properties — semantically identical testbeds
+//     expose identical SAN component sets and identical
+//     SeriesKeyHash-keyed metric inventories through either backend
+//     (what CollectionPlanner batches and Module DA scores).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "apg/schema.h"
+#include "diads/symptom_index.h"
+#include "monitor/timeseries.h"
+#include "support/conformance_util.h"
+
+namespace diads {
+namespace {
+
+using db::BackendKind;
+using testsupport::AllConformanceCases;
+using testsupport::AllScenarioIds;
+using testsupport::CaseName;
+using testsupport::DiagnosedScenario;
+using testsupport::GetDiagnosed;
+using workload::GroundTruthCause;
+using workload::MatchesGroundTruth;
+using workload::ScenarioId;
+
+class ConformanceCaseTest
+    : public ::testing::TestWithParam<std::pair<ScenarioId, BackendKind>> {
+ protected:
+  /// nullptr (with a recorded failure) when the configuration fails to
+  /// run — callers ASSERT on it, so one broken configuration fails its
+  /// own tests without taking the rest of the binary down.
+  const DiagnosedScenario* Diagnosed() {
+    Result<const DiagnosedScenario*> d =
+        GetDiagnosed(GetParam().first, GetParam().second);
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    return d.ok() ? *d : nullptr;
+  }
+};
+
+TEST_P(ConformanceCaseTest, DiagnosesInjectedRootCause) {
+  const DiagnosedScenario* d = Diagnosed();
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(testsupport::DiagnosesGroundTruth(*d));
+}
+
+TEST_P(ConformanceCaseTest, ApgSatisfiesStructuralSchema) {
+  const DiagnosedScenario* d_ptr = Diagnosed();
+  ASSERT_NE(d_ptr, nullptr);
+  const DiagnosedScenario& d = *d_ptr;
+  const apg::Apg& apg = *d.scenario.apg;
+  const Status schema = apg::ValidateApgSchema(apg);
+  EXPECT_TRUE(schema.ok()) << schema.ToString();
+
+  // The paper's load-bearing layout survives vocabulary translation: nine
+  // leaf scans, exactly two of them (the partsupp scans) on V1.
+  const ComponentRegistry& registry = d.scenario.testbed->registry;
+  const std::vector<int> leaves = apg.plan().LeafIndexes();
+  EXPECT_EQ(leaves.size(), 9u);
+  int v1_leaves = 0;
+  for (int leaf : leaves) {
+    Result<ComponentId> volume = apg.VolumeOfOp(leaf);
+    ASSERT_TRUE(volume.ok());
+    if (registry.NameOf(*volume) == "V1") {
+      ++v1_leaves;
+      EXPECT_EQ(apg.plan().op(leaf).table, "partsupp");
+    }
+  }
+  EXPECT_EQ(v1_leaves, 2);
+
+  // Both backends read exactly {V1, V2}.
+  std::set<std::string> volumes;
+  for (ComponentId v : apg.PlanVolumes()) volumes.insert(registry.NameOf(v));
+  EXPECT_EQ(volumes, (std::set<std::string>{"V1", "V2"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ConformanceCaseTest, ::testing::ValuesIn(AllConformanceCases()),
+    [](const ::testing::TestParamInfo<std::pair<ScenarioId, BackendKind>>&
+           info) {
+      return CaseName(info.param.first, info.param.second);
+    });
+
+// --- Engine-vocabulary expectations ------------------------------------------
+
+TEST(BackendVocabularyTest, MysqlPlansCarryMysqlVocabulary) {
+  Result<const DiagnosedScenario*> d =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kMysql);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  const db::Plan& plan = (*d)->scenario.apg->plan();
+  bool has_engine_op = false;
+  for (const db::PlanOp& op : plan.ops()) {
+    EXPECT_NE(op.type, db::OpType::kHashJoin) << "MySQL has no hash join";
+    EXPECT_NE(op.type, db::OpType::kHash);
+    EXPECT_NE(op.type, db::OpType::kMergeJoin);
+    if (!op.engine_op.empty()) has_engine_op = true;
+  }
+  EXPECT_TRUE(has_engine_op) << "engine vocabulary annotations missing";
+  // The vocabulary maps into the shared taxonomy: spot-check the markers.
+  std::set<std::string> vocab;
+  for (const db::PlanOp& op : plan.ops()) vocab.insert(op.engine_op);
+  EXPECT_TRUE(vocab.count("ref"));
+  EXPECT_TRUE(vocab.count("eq_ref"));
+  EXPECT_TRUE(vocab.count("filesort"));
+  EXPECT_TRUE(vocab.count("ALL"));
+}
+
+TEST(BackendVocabularyTest, PostgresPlansKeepHashJoins) {
+  Result<const DiagnosedScenario*> d =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kPostgres);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  const db::Plan& plan = (*d)->scenario.apg->plan();
+  bool has_hash_join = false;
+  for (const db::PlanOp& op : plan.ops()) {
+    if (op.type == db::OpType::kHashJoin) has_hash_join = true;
+  }
+  EXPECT_TRUE(has_hash_join);
+  EXPECT_EQ(plan.size(), 25u);
+}
+
+// --- Cross-backend parity properties -----------------------------------------
+
+// Semantically identical testbeds built through either backend expose the
+// same SAN component universe (same names, same ids — the registry orders
+// registration identically), so fleet-level tooling never needs to know
+// the engine.
+TEST(BackendParityTest, SanComponentUniverseIdentical) {
+  Result<const DiagnosedScenario*> pg =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kPostgres);
+  Result<const DiagnosedScenario*> my =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kMysql);
+  ASSERT_TRUE(pg.ok() && my.ok());
+  const ComponentRegistry& pg_reg = (*pg)->scenario.testbed->registry;
+  const ComponentRegistry& my_reg = (*my)->scenario.testbed->registry;
+  for (ComponentKind kind :
+       {ComponentKind::kServer, ComponentKind::kFcSwitch,
+        ComponentKind::kStorageSubsystem, ComponentKind::kStoragePool,
+        ComponentKind::kVolume, ComponentKind::kDisk}) {
+    const std::vector<ComponentId> pg_ids = pg_reg.AllOfKind(kind);
+    const std::vector<ComponentId> my_ids = my_reg.AllOfKind(kind);
+    ASSERT_EQ(pg_ids.size(), my_ids.size())
+        << ComponentKindName(kind) << " count differs";
+    for (size_t i = 0; i < pg_ids.size(); ++i) {
+      EXPECT_EQ(pg_ids[i].value, my_ids[i].value);
+      EXPECT_EQ(pg_reg.NameOf(pg_ids[i]), my_reg.NameOf(my_ids[i]));
+    }
+  }
+  // The database component differs in name (postgres@ vs mysql@) but not
+  // in identity.
+  EXPECT_EQ((*pg)->scenario.testbed->database.value,
+            (*my)->scenario.testbed->database.value);
+}
+
+// Property (satellite): SeriesKeyHash-keyed metric lookups and
+// SymptomIndex::CollectMetricKeys return identical key sets for
+// semantically identical testbeds built through either backend.
+TEST(BackendParityTest, CollectMetricKeysIdenticalAcrossBackends) {
+  Result<const DiagnosedScenario*> pg =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kPostgres);
+  Result<const DiagnosedScenario*> my =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kMysql);
+  ASSERT_TRUE(pg.ok() && my.ok());
+
+  auto keys_of = [](const DiagnosedScenario& d) {
+    diag::DiagnosisContext ctx = d.scenario.MakeContext();
+    std::vector<monitor::SeriesKey> keys =
+        diag::SymptomIndex::CollectMetricKeys(ctx);
+    std::set<std::pair<uint32_t, int>> out;
+    for (const monitor::SeriesKey& key : keys) {
+      out.emplace(key.component.value, static_cast<int>(key.metric));
+    }
+    EXPECT_EQ(out.size(), keys.size()) << "duplicate keys";
+    return out;
+  };
+  const auto pg_keys = keys_of(**pg);
+  const auto my_keys = keys_of(**my);
+  EXPECT_FALSE(pg_keys.empty());
+  EXPECT_EQ(pg_keys, my_keys);
+
+  // Key-set equality above implies SeriesKeyHash equality (the hash is a
+  // stateless function of the key), so sharded stores and caches place
+  // both backends' series the same way. What still needs checking is
+  // residency: every planned key is actually a live series in BOTH
+  // backends' stores, i.e. the collectors produced the same inventory.
+  for (const auto& [component, metric] : pg_keys) {
+    for (const DiagnosedScenario* d : {&**pg, &**my}) {
+      const auto metrics =
+          d->scenario.testbed->store.MetricsFor(ComponentId{component});
+      EXPECT_TRUE(std::find(metrics.begin(), metrics.end(),
+                            static_cast<monitor::MetricId>(metric)) !=
+                  metrics.end());
+    }
+  }
+}
+
+// --- Golden ReportDigests ----------------------------------------------------
+
+TEST(GoldenDigestTest, ReportDigestsMatchGoldenTable) {
+  testsupport::GoldenDigestTable computed;
+  for (const auto& [id, backend] : AllConformanceCases()) {
+    Result<const DiagnosedScenario*> d = GetDiagnosed(id, backend);
+    ASSERT_TRUE(d.ok()) << CaseName(id, backend) << ": "
+                        << d.status().ToString();
+    computed[{workload::ScenarioName(id), db::BackendKindName(backend)}] =
+        (*d)->digest_hash;
+  }
+  testsupport::MaybeDumpComputedDigests(computed);
+
+  const std::string path = testsupport::GoldenDigestPath();
+  if (testsupport::UpdateGoldenDigestsRequested()) {
+    const Status written = testsupport::WriteGoldenDigests(computed, path);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+    GTEST_SKIP() << "golden digests regenerated at " << path;
+  }
+
+  Result<testsupport::GoldenDigestTable> golden =
+      testsupport::LoadGoldenDigests(path);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  ASSERT_FALSE(golden->empty())
+      << "no golden digests checked in; bootstrap with "
+         "DIADS_UPDATE_GOLDEN_DIGESTS=1";
+  EXPECT_EQ(golden->size(), computed.size());
+  for (const auto& [key, hash] : computed) {
+    auto it = golden->find(key);
+    ASSERT_TRUE(it != golden->end())
+        << "no golden digest for " << key.first << "/" << key.second;
+    EXPECT_EQ(it->second, hash)
+        << key.first << " on " << key.second
+        << " drifted from its golden ReportDigest. If the change is "
+           "intentional, regenerate with DIADS_UPDATE_GOLDEN_DIGESTS=1 "
+        << "and review the diff.";
+  }
+}
+
+}  // namespace
+}  // namespace diads

@@ -1,0 +1,178 @@
+#include "support/conformance_util.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace diads::testsupport {
+
+using workload::ScenarioId;
+
+const std::vector<ScenarioId>& AllScenarioIds() {
+  static const std::vector<ScenarioId> ids = {
+      ScenarioId::kS1SanMisconfiguration, ScenarioId::kS1bBurstyV2,
+      ScenarioId::kS2DualExternalContention, ScenarioId::kS3DataPropertyChange,
+      ScenarioId::kS4ConcurrentDbSan, ScenarioId::kS5LockingWithNoise,
+      ScenarioId::kS6IndexDrop, ScenarioId::kS7ParamChange,
+      ScenarioId::kS8AnalyzeAfterDrift, ScenarioId::kS9CpuSaturation,
+      ScenarioId::kS10RaidRebuild, ScenarioId::kS11DiskFailure,
+  };
+  return ids;
+}
+
+std::vector<std::pair<ScenarioId, db::BackendKind>> AllConformanceCases() {
+  std::vector<std::pair<ScenarioId, db::BackendKind>> cases;
+  for (db::BackendKind backend : db::AllBackendKinds()) {
+    for (ScenarioId id : AllScenarioIds()) {
+      cases.emplace_back(id, backend);
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(ScenarioId id, db::BackendKind backend) {
+  std::string name = workload::ScenarioName(id);
+  name += "_";
+  name += db::BackendKindName(backend);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+Result<DiagnosedScenario> DiagnoseScenario(ScenarioId id,
+                                           db::BackendKind backend) {
+  workload::ScenarioOptions options;
+  options.testbed.backend = backend;
+  DIADS_ASSIGN_OR_RETURN(workload::ScenarioOutput scenario,
+                         workload::RunScenario(id, options));
+  diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  diag::Workflow workflow(scenario.MakeContext(), diag::WorkflowConfig{},
+                          &symptoms);
+  DIADS_ASSIGN_OR_RETURN(diag::DiagnosisReport report, workflow.Diagnose());
+  DiagnosedScenario out;
+  out.scenario = std::move(scenario);
+  out.digest = diag::ReportDigest(report);
+  out.digest_hash = diag::ReportDigestHashHex(report);
+  out.report = std::move(report);
+  return out;
+}
+
+Result<const DiagnosedScenario*> GetDiagnosed(ScenarioId id,
+                                              db::BackendKind backend) {
+  // Memoised per binary; intentionally leaked so testbeds stay valid for
+  // every test that borrows from them.
+  static auto* cache =
+      new std::map<std::pair<int, int>, std::unique_ptr<DiagnosedScenario>>();
+  const std::pair<int, int> key{static_cast<int>(id),
+                                static_cast<int>(backend)};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    Result<DiagnosedScenario> diagnosed = DiagnoseScenario(id, backend);
+    DIADS_RETURN_IF_ERROR(diagnosed.status());
+    it = cache->emplace(key, std::make_unique<DiagnosedScenario>(
+                                 std::move(*diagnosed)))
+             .first;
+  }
+  return const_cast<const DiagnosedScenario*>(it->second.get());
+}
+
+::testing::AssertionResult DiagnosesGroundTruth(const DiagnosedScenario& d) {
+  const ComponentRegistry& registry = d.scenario.testbed->registry;
+  for (const workload::GroundTruthCause& truth : d.scenario.ground_truth) {
+    if (!truth.primary) continue;
+    bool found = false;
+    for (const diag::RootCause& cause : d.report.causes) {
+      if (cause.band == diag::ConfidenceBand::kHigh &&
+          workload::MatchesGroundTruth(truth, cause, registry)) {
+        found = true;
+      }
+    }
+    if (!found) {
+      return ::testing::AssertionFailure()
+             << "missing high-confidence cause: "
+             << diag::RootCauseTypeName(truth.type) << " on "
+             << truth.subject_name << "\nreport:\n"
+             << diag::RenderIaResult(d.scenario.MakeContext(),
+                                     d.report.causes);
+    }
+  }
+  if (d.report.causes.empty()) {
+    return ::testing::AssertionFailure() << "report has no causes";
+  }
+  for (const workload::GroundTruthCause& truth : d.scenario.ground_truth) {
+    if (workload::MatchesGroundTruth(truth, d.report.causes.front(),
+                                     registry)) {
+      return ::testing::AssertionSuccess();
+    }
+  }
+  return ::testing::AssertionFailure()
+         << "top cause is not a ground-truth cause: "
+         << diag::RootCauseTypeName(d.report.causes.front().type);
+}
+
+std::string GoldenDigestPath() {
+  return std::string(DIADS_SOURCE_DIR) + "/tests/golden_report_digests.txt";
+}
+
+Result<GoldenDigestTable> LoadGoldenDigests(const std::string& path) {
+  GoldenDigestTable table;
+  std::ifstream in(path);
+  if (!in.is_open()) return table;  // Bootstrap: no goldens yet.
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string scenario, backend, hash;
+    if (!(fields >> scenario >> backend >> hash)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed golden digest line %d: '%s'", line_no,
+                    line.c_str()));
+    }
+    table[{scenario, backend}] = hash;
+  }
+  return table;
+}
+
+std::string FormatGoldenDigests(const GoldenDigestTable& table) {
+  std::string out =
+      "# Golden per-(scenario, backend) ReportDigest hashes.\n"
+      "# One line per conformance configuration: <scenario> <backend> "
+      "<fnv1a64 of ReportDigest>.\n"
+      "# Regenerate with: DIADS_UPDATE_GOLDEN_DIGESTS=1 "
+      "./build/backend_conformance_test\n";
+  for (const auto& [key, hash] : table) {
+    out += key.first + " " + key.second + " " + hash + "\n";
+  }
+  return out;
+}
+
+Status WriteGoldenDigests(const GoldenDigestTable& table,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open golden digest file: " + path);
+  }
+  out << FormatGoldenDigests(table);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed: " + path);
+}
+
+bool UpdateGoldenDigestsRequested() {
+  const char* env = std::getenv("DIADS_UPDATE_GOLDEN_DIGESTS");
+  return env != nullptr && std::string(env) == "1";
+}
+
+void MaybeDumpComputedDigests(const GoldenDigestTable& computed) {
+  const char* path = std::getenv("DIADS_DIGEST_OUT");
+  if (path == nullptr || *path == '\0') return;
+  (void)WriteGoldenDigests(computed, path);
+}
+
+}  // namespace diads::testsupport

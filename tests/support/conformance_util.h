@@ -1,0 +1,99 @@
+// Shared helpers for the cross-backend scenario conformance suite.
+//
+// Running a scenario end to end and diagnosing it is the expensive part of
+// the test pyramid, and with two backends the matrix is 12 x 2 = 24
+// configurations. This support library (linked into the test binaries, not
+// itself a test) provides:
+//
+//   * DiagnoseScenario / GetDiagnosed — run + diagnose one configuration,
+//     memoised per test binary so every assertion family (ground truth,
+//     APG schema, golden digests, narrative checks) shares one run;
+//   * the canonical conformance-case enumeration and naming;
+//   * the golden ReportDigest table: loading the checked-in
+//     tests/golden_report_digests.txt, formatting a computed table, and
+//     the regeneration / CI-artifact environment hooks.
+#ifndef DIADS_TESTS_SUPPORT_CONFORMANCE_UTIL_H_
+#define DIADS_TESTS_SUPPORT_CONFORMANCE_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/backend.h"
+#include "diads/report.h"
+#include "diads/workflow.h"
+#include "workload/scenario.h"
+
+namespace diads::testsupport {
+
+/// One diagnosed (scenario, backend) configuration. The testbed inside
+/// `scenario` owns all referenced state; keep the struct alive while using
+/// the report.
+struct DiagnosedScenario {
+  workload::ScenarioOutput scenario;
+  diag::DiagnosisReport report;
+  std::string digest;       ///< Full ReportDigest text.
+  std::string digest_hash;  ///< ReportDigestHashHex.
+};
+
+/// The 12 Table-1 / plan-change scenarios, in canonical order.
+const std::vector<workload::ScenarioId>& AllScenarioIds();
+
+/// Every (scenario, backend) conformance configuration: 12 x 2 = 24.
+std::vector<std::pair<workload::ScenarioId, db::BackendKind>>
+AllConformanceCases();
+
+/// gtest-safe case name, e.g. "S1_san_misconfiguration_postgres".
+std::string CaseName(workload::ScenarioId id, db::BackendKind backend);
+
+/// Runs scenario `id` on `backend` (default options, seed 42) and
+/// diagnoses it with the default workflow + symptoms database.
+Result<DiagnosedScenario> DiagnoseScenario(workload::ScenarioId id,
+                                           db::BackendKind backend);
+
+/// Memoised DiagnoseScenario: each configuration runs once per binary.
+/// The returned pointer stays valid for the binary's lifetime.
+Result<const DiagnosedScenario*> GetDiagnosed(workload::ScenarioId id,
+                                              db::BackendKind backend);
+
+/// The shared ground-truth predicate both the integration and conformance
+/// suites assert (kept in one place so they cannot drift): every primary
+/// injected cause appears in the report with high confidence, and the
+/// single top-ranked cause matches some ground-truth entry.
+::testing::AssertionResult DiagnosesGroundTruth(const DiagnosedScenario& d);
+
+// --- Golden ReportDigest table ---------------------------------------------
+
+/// (scenario name, backend name) -> digest hash hex.
+using GoldenDigestTable = std::map<std::pair<std::string, std::string>,
+                                   std::string>;
+
+/// The checked-in golden file (under the source tree).
+std::string GoldenDigestPath();
+
+/// Parses the golden file. Missing file yields an empty table + ok status
+/// (the regeneration flow bootstraps it).
+Result<GoldenDigestTable> LoadGoldenDigests(const std::string& path);
+
+/// Renders a table in the golden file format (one "scenario backend hash"
+/// line, sorted, with a header comment).
+std::string FormatGoldenDigests(const GoldenDigestTable& table);
+
+Status WriteGoldenDigests(const GoldenDigestTable& table,
+                          const std::string& path);
+
+/// True when DIADS_UPDATE_GOLDEN_DIGESTS=1: digest mismatches rewrite the
+/// golden file instead of failing (the explicit regeneration flag the CI
+/// drift gate requires).
+bool UpdateGoldenDigestsRequested();
+
+/// When DIADS_DIGEST_OUT names a file, writes the computed table there
+/// (the CI artifact hook). Best effort.
+void MaybeDumpComputedDigests(const GoldenDigestTable& computed);
+
+}  // namespace diads::testsupport
+
+#endif  // DIADS_TESTS_SUPPORT_CONFORMANCE_UTIL_H_

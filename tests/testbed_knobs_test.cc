@@ -1,0 +1,119 @@
+// Testbed construction knobs must thread through uniformly.
+//
+// buffer_pool_mb and scale_factor used to be silently ignored on some
+// paths (the fixture plan's estimates were hard-wired to scale factor 1,
+// so a scaled testbed ran scale-1 workloads). These tests pin the
+// contract on BOTH backends: every knob reaches the catalog, the fixture
+// plan, the buffer pool, the backend's executor translation — and,
+// observably, the simulated run times.
+#include <gtest/gtest.h>
+
+#include "db/run_record.h"
+#include "workload/scenario.h"
+#include "workload/testbed.h"
+
+namespace diads {
+namespace {
+
+using workload::BuildFigure1Testbed;
+using workload::Testbed;
+using workload::TestbedOptions;
+
+class TestbedKnobsTest : public ::testing::TestWithParam<db::BackendKind> {
+ protected:
+  std::unique_ptr<Testbed> Build(TestbedOptions options) {
+    options.backend = GetParam();
+    Result<std::unique_ptr<Testbed>> tb = BuildFigure1Testbed(options);
+    EXPECT_TRUE(tb.ok()) << tb.status().ToString();
+    return std::move(*tb);
+  }
+
+  static double MeanRunMs(Testbed& tb, int count) {
+    double total = 0;
+    for (int i = 0; i < count; ++i) {
+      Result<int> run = tb.RunQ2(Hours(8) + i * Minutes(30));
+      EXPECT_TRUE(run.ok()) << run.status().ToString();
+      total += static_cast<double>((*tb.runs.FindRun(*run))->duration_ms());
+    }
+    return total / count;
+  }
+};
+
+TEST_P(TestbedKnobsTest, ScaleFactorReachesCatalogAndFixturePlan) {
+  auto sf1 = Build({});
+  TestbedOptions scaled;
+  scaled.scale_factor = 2.0;
+  auto sf2 = Build(scaled);
+
+  // Catalog statistics scale.
+  const double rows1 =
+      (*sf1->catalog.FindTable("partsupp"))->actual_stats.row_count;
+  const double rows2 =
+      (*sf2->catalog.FindTable("partsupp"))->actual_stats.row_count;
+  EXPECT_NEAR(rows2, 2.0 * rows1, 1.0);
+
+  // The fixture plan's estimates scale with it — structure unchanged.
+  EXPECT_EQ(sf1->paper_plan->Fingerprint(), sf2->paper_plan->Fingerprint());
+  double pages1 = 0, pages2 = 0;
+  for (const db::PlanOp& op : sf1->paper_plan->ops()) pages1 += op.est_pages;
+  for (const db::PlanOp& op : sf2->paper_plan->ops()) pages2 += op.est_pages;
+  EXPECT_GT(pages2, 1.8 * pages1);
+
+  // And the workload actually grows: scale-2 runs do more work.
+  EXPECT_GT(MeanRunMs(*sf2, 3), 1.2 * MeanRunMs(*sf1, 3));
+}
+
+TEST_P(TestbedKnobsTest, BufferPoolSizeReachesPoolBackendAndRuns) {
+  TestbedOptions small;
+  small.buffer_pool_mb = 16.0;
+  TestbedOptions large;
+  large.buffer_pool_mb = 2048.0;
+  auto tb_small = Build(small);
+  auto tb_large = Build(large);
+
+  EXPECT_EQ(tb_small->buffer_pool.size_mb(), 16.0);
+  EXPECT_EQ(tb_large->buffer_pool.size_mb(), 2048.0);
+
+  // The backend's executor translation carries the same value — one knob,
+  // one truth, either engine.
+  EXPECT_EQ(tb_small->backend->ExecutorParams().buffer_pool_mb, 16.0);
+  EXPECT_EQ(tb_large->backend->ExecutorParams().buffer_pool_mb, 2048.0);
+  EXPECT_EQ(*tb_small->backend->GetParam("buffer_pool_mb"), 16.0);
+
+  // Partsupp goes from mostly-missing to fully cached.
+  EXPECT_LT(tb_small->buffer_pool.HitRate("partsupp") + 0.05,
+            tb_large->buffer_pool.HitRate("partsupp"));
+
+  // A starved cache means real I/O: runs visibly slower.
+  EXPECT_GT(MeanRunMs(*tb_small, 3), 1.2 * MeanRunMs(*tb_large, 3));
+}
+
+TEST_P(TestbedKnobsTest, ScenarioOptionsCarryTheKnobs) {
+  // The scenario layer forwards its TestbedOptions verbatim (only the seed
+  // is overridden), so scenario-level experiments can sweep these knobs.
+  workload::ScenarioOptions options;
+  options.testbed.backend = GetParam();
+  options.testbed.scale_factor = 1.5;
+  options.testbed.buffer_pool_mb = 48.0;
+  options.satisfactory_runs = 2;
+  options.unsatisfactory_runs = 2;
+  Result<workload::ScenarioOutput> out = workload::RunScenario(
+      workload::ScenarioId::kS1SanMisconfiguration, options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->testbed->options.scale_factor, 1.5);
+  EXPECT_EQ(out->testbed->buffer_pool.size_mb(), 48.0);
+  EXPECT_NEAR(
+      (*out->testbed->catalog.FindTable("partsupp"))->actual_stats.row_count,
+      1.5 * 800000, 1.0);
+  EXPECT_EQ(out->testbed->backend->kind(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothBackends, TestbedKnobsTest,
+    ::testing::Values(db::BackendKind::kPostgres, db::BackendKind::kMysql),
+    [](const ::testing::TestParamInfo<db::BackendKind>& info) {
+      return std::string(db::BackendKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace diads
