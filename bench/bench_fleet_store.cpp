@@ -1,0 +1,309 @@
+// Fleet-store experiment: cross-tenant root-cause queries answered from
+// the sharded FleetStore vs brute-force re-diagnosis.
+//
+// Population: a workload::BuildFleet fleet of tenants (Table-1 scenario
+// mix), each diagnosed once through the engine with the fleet store
+// attached — the publish path a production deployment runs continuously.
+// Then two ways to answer the three cross-tenant questions
+//
+//   Q1  tenants sharing component "V1" with an anomalous metric,
+//   Q2  top-K components by number of implicated tenants,
+//   Q3  root-cause co-occurrence across the fleet:
+//
+//   * store:  FleetQuery over published verdicts — zero module execution;
+//   * brute:  re-diagnose every tenant serially (the only option without
+//             the store, since module verdicts are per-diagnosis) and
+//             aggregate the raw reports.
+//
+// The two answers are verified equal on every run — a mismatch hard-fails
+// the binary (exit 1), same contract as the digest checks in the other
+// benches. The headline is the wall-clock ratio (brute-force one sweep vs
+// one full three-query round from the store); the acceptance gate is
+// >= 10x, the measured gap is typically 3-5 orders of magnitude.
+//
+//   $ ./bench_fleet_store [--tenants=N] [--seed=N] [--query-rounds=N]
+//                         [--brute-sweeps=N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "diads/report.h"
+#include "diads/symptoms_db.h"
+#include "engine/engine.h"
+#include "fleet/query.h"
+#include "fleet/store.h"
+#include "workload/fleet.h"
+
+using namespace diads;
+
+namespace {
+
+struct BenchOptions {
+  int tenants = 8;
+  uint64_t seed = 42;
+  int query_rounds = 200;  ///< Measured three-query rounds from the store.
+  int brute_sweeps = 1;    ///< Measured brute-force re-diagnosis sweeps.
+};
+
+struct FleetAnswers {
+  std::vector<std::string> sharing_v1;
+  std::vector<std::string> implicated_components;  ///< Ranked top-5 names.
+  std::vector<int> implicated_counts;
+  std::map<std::pair<int, int>, int> cooccurrence;
+
+  bool operator==(const FleetAnswers& other) const {
+    return sharing_v1 == other.sharing_v1 &&
+           implicated_components == other.implicated_components &&
+           implicated_counts == other.implicated_counts &&
+           cooccurrence == other.cooccurrence;
+  }
+};
+
+/// One full query round from the store.
+FleetAnswers AnswerFromStore(const fleet::FleetQuery& query) {
+  FleetAnswers out;
+  out.sharing_v1 = query.TenantsSharingComponent("V1");
+  for (const fleet::FleetQuery::ImplicatedComponent& row :
+       query.TopImplicatedComponents(5)) {
+    out.implicated_components.push_back(row.component);
+    out.implicated_counts.push_back(row.tenants);
+  }
+  for (const fleet::FleetQuery::CauseCooccurrence& row :
+       query.RootCauseCooccurrence()) {
+    out.cooccurrence[{static_cast<int>(row.a), static_cast<int>(row.b)}] =
+        row.tenants;
+  }
+  return out;
+}
+
+/// The brute-force answer: re-diagnose every tenant, aggregate reports.
+/// (Same aggregation semantics as FleetQuery, rebuilt from the raw
+/// DiagnosisReport vocabulary.)
+FleetAnswers AnswerByReDiagnosis(const workload::FleetWorkload& fleet,
+                                 const diag::SymptomsDb& symptoms) {
+  struct Agg {
+    std::set<std::string> tenants;
+    double max_confidence = 0;
+  };
+  std::set<std::string> sharing;
+  std::map<std::string, Agg> implicated;
+  std::map<std::string, std::set<int>> tenant_types;
+  for (const workload::FleetTenant& tenant : fleet.tenants) {
+    Result<diag::DiagnosisReport> report = workload::SerialDiagnosis(
+        tenant, diag::WorkflowConfig{}, &symptoms);
+    if (!report.ok()) {
+      std::fprintf(stderr, "brute-force diagnosis failed for %s: %s\n",
+                   tenant.name.c_str(),
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+    const ComponentRegistry& registry = tenant.output->testbed->registry;
+    for (const diag::MetricAnomaly& row : report->da.metrics) {
+      if (registry.Contains(row.component) &&
+          registry.NameOf(row.component) == "V1" &&
+          row.anomaly_score >= 0.8) {
+        sharing.insert(tenant.name);
+      }
+    }
+    for (const diag::RootCause& cause : report->causes) {
+      if (!cause.subject.valid() || !registry.Contains(cause.subject)) {
+        tenant_types[tenant.name].insert(static_cast<int>(cause.type));
+        continue;
+      }
+      Agg& agg = implicated[registry.NameOf(cause.subject)];
+      agg.tenants.insert(tenant.name);
+      agg.max_confidence = std::max(agg.max_confidence, cause.confidence);
+      tenant_types[tenant.name].insert(static_cast<int>(cause.type));
+    }
+  }
+  FleetAnswers out;
+  out.sharing_v1.assign(sharing.begin(), sharing.end());
+  struct Ranked {
+    std::string component;
+    int tenants;
+    double max_confidence;
+  };
+  std::vector<Ranked> ranked;
+  for (const auto& [component, agg] : implicated) {
+    ranked.push_back(Ranked{component, static_cast<int>(agg.tenants.size()),
+                            agg.max_confidence});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.tenants != b.tenants) return a.tenants > b.tenants;
+              if (a.max_confidence != b.max_confidence) {
+                return a.max_confidence > b.max_confidence;
+              }
+              return a.component < b.component;
+            });
+  if (ranked.size() > 5) ranked.resize(5);
+  for (const Ranked& row : ranked) {
+    out.implicated_components.push_back(row.component);
+    out.implicated_counts.push_back(row.tenants);
+  }
+  for (const auto& [tenant, types] : tenant_types) {
+    for (auto a = types.begin(); a != types.end(); ++a) {
+      for (auto b = a; b != types.end(); ++b) {
+        ++out.cooccurrence[{*a, *b}];
+      }
+    }
+  }
+  return out;
+}
+
+int64_t FlagValue(int argc, char** argv, const char* name,
+                  int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double Ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions bench;
+  bench.tenants =
+      static_cast<int>(FlagValue(argc, argv, "tenants", bench.tenants));
+  bench.seed = static_cast<uint64_t>(
+      FlagValue(argc, argv, "seed", static_cast<int64_t>(bench.seed)));
+  bench.query_rounds = static_cast<int>(
+      FlagValue(argc, argv, "query-rounds", bench.query_rounds));
+  bench.brute_sweeps = static_cast<int>(
+      FlagValue(argc, argv, "brute-sweeps", bench.brute_sweeps));
+
+  std::printf("building fleet: %d tenants (Table-1 scenario mix)...\n",
+              bench.tenants);
+  workload::FleetOptions fleet_options;
+  fleet_options.tenants = bench.tenants;
+  fleet_options.requests_per_tenant = 1;
+  fleet_options.seed = bench.seed;
+  fleet_options.shuffle = false;
+  Result<workload::FleetWorkload> fleet = workload::BuildFleet(fleet_options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "BuildFleet failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return 1;
+  }
+  const diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+
+  // Publish path: every tenant diagnosed once through the engine with the
+  // store attached (timed — this is the standing cost a deployment pays).
+  fleet::FleetStore store;
+  engine::EngineOptions engine_options;
+  engine_options.workers = 4;
+  engine_options.fleet_store = &store;
+  const auto publish_start = std::chrono::steady_clock::now();
+  {
+    engine::DiagnosisEngine engine(engine_options, &symptoms);
+    for (engine::DiagnosisResponse& response :
+         engine.BatchDiagnose(std::move(fleet->requests))) {
+      if (!response.ok()) {
+        std::fprintf(stderr, "fleet diagnosis failed: %s\n",
+                     response.status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  const double publish_ms = Ms(publish_start);
+
+  // Brute force: re-diagnose + aggregate, --brute-sweeps times.
+  const auto brute_start = std::chrono::steady_clock::now();
+  FleetAnswers brute;
+  for (int sweep = 0; sweep < bench.brute_sweeps; ++sweep) {
+    brute = AnswerByReDiagnosis(*fleet, symptoms);
+  }
+  const double brute_ms = Ms(brute_start) / bench.brute_sweeps;
+
+  // Store: the same three questions, --query-rounds times.
+  fleet::FleetQuery query(&store);
+  FleetAnswers from_store = AnswerFromStore(query);  // Warm + verify copy.
+  const auto query_start = std::chrono::steady_clock::now();
+  for (int round = 0; round < bench.query_rounds; ++round) {
+    FleetAnswers answers = AnswerFromStore(query);
+    if (!(answers == from_store)) {
+      std::fprintf(stderr,
+                   "FATAL: store answers changed between rounds\n");
+      return 1;
+    }
+  }
+  const double query_ms = Ms(query_start) / bench.query_rounds;
+
+  // Equivalence gate: the store's answers must equal brute force exactly.
+  if (!(from_store == brute)) {
+    std::fprintf(stderr,
+                 "FATAL: fleet-store answers differ from brute-force "
+                 "re-diagnosis\n");
+    std::fprintf(stderr, "  store sharing V1:");
+    for (const std::string& t : from_store.sharing_v1) {
+      std::fprintf(stderr, " %s", t.c_str());
+    }
+    std::fprintf(stderr, "\n  brute sharing V1:");
+    for (const std::string& t : brute.sharing_v1) {
+      std::fprintf(stderr, " %s", t.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  const double speedup = query_ms > 0 ? brute_ms / query_ms : 0;
+  const fleet::FleetStore::Counters counters = store.TotalCounters();
+
+  TablePrinter table({"mode", "ms/round", "speedup"});
+  table.AddRow({"re-diagnosis (brute force)", StrFormat("%.3f", brute_ms),
+                "1.0x"});
+  table.AddRow({"fleet store (3 queries)", StrFormat("%.4f", query_ms),
+                StrFormat("%.0fx", speedup)});
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf("fleet publish (engine, %d tenants): %.1f ms total\n",
+              bench.tenants, publish_ms);
+  std::printf("%s", counters.Render().c_str());
+  const std::vector<uint64_t> shard_publishes = store.ShardPublishCounts();
+  std::printf("shard publish distribution:");
+  for (uint64_t count : shard_publishes) {
+    std::printf(" %llu", static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  std::printf("answers: %zu tenants share V1, top component %s (%d "
+              "tenants), %zu co-occurrence cells\n",
+              from_store.sharing_v1.size(),
+              from_store.implicated_components.empty()
+                  ? "(none)"
+                  : from_store.implicated_components[0].c_str(),
+              from_store.implicated_counts.empty()
+                  ? 0
+                  : from_store.implicated_counts[0],
+              from_store.cooccurrence.size());
+
+  std::printf(
+      "[bench-json] {\"bench\":\"fleet_store\",\"mode\":\"brute\","
+      "\"tenants\":%d,\"ms_per_round\":%.4f}\n",
+      bench.tenants, brute_ms);
+  std::printf(
+      "[bench-json] {\"bench\":\"fleet_store\",\"mode\":\"store\","
+      "\"tenants\":%d,\"ms_per_round\":%.4f,\"publish_ms\":%.2f,"
+      "\"rows\":%zu}\n",
+      bench.tenants, query_ms, publish_ms, counters.entries);
+  std::printf(
+      "[bench-json] {\"bench\":\"fleet_store\",\"mode\":\"summary\","
+      "\"tenants\":%d,\"query_speedup\":%.1f,\"verified\":true}\n",
+      bench.tenants, speedup);
+  return 0;
+}

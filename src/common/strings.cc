@@ -79,12 +79,32 @@ std::string FormatPercent(double fraction, int digits) {
 }
 
 uint64_t Fnv1a64(const std::string& data) {
-  uint64_t h = 14695981039346656037ull;
+  return Fnv1a64Fold(kFnv1a64OffsetBasis, data);
+}
+
+uint64_t Fnv1a64Fold(uint64_t h, const std::string& data) {
   for (char c : data) {
     h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
     h *= 1099511628211ull;
   }
   return h;
+}
+
+uint64_t Fnv1a64FoldWord(uint64_t h, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (i * 8)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t SplitMix64Finish(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
 }
 
 }  // namespace diads

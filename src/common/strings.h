@@ -39,6 +39,18 @@ std::string FormatPercent(double fraction, int digits = 1);
 /// FNV-1a 64-bit hash of `data` (standard offset basis and prime).
 uint64_t Fnv1a64(const std::string& data);
 
+/// Incremental FNV-1a: folds more data into a running hash. Seed with
+/// kFnv1a64OffsetBasis (or a previous fold's result) to hash composite
+/// keys field by field.
+inline constexpr uint64_t kFnv1a64OffsetBasis = 14695981039346656037ull;
+uint64_t Fnv1a64Fold(uint64_t h, const std::string& data);
+uint64_t Fnv1a64FoldWord(uint64_t h, uint64_t word);  ///< Little-endian.
+
+/// splitmix64 finalizer: avalanches a 64-bit value. Finish composite-key
+/// hashes with this so structured inputs (shared prefixes, small deltas)
+/// still spread uniformly across buckets/shards.
+uint64_t SplitMix64Finish(uint64_t x);
+
 }  // namespace diads
 
 #endif  // DIADS_COMMON_STRINGS_H_

@@ -41,8 +41,7 @@ Result<DaResult> RunDependencyAnalysis(const DiagnosisContext& ctx,
   // identifies (and generation-stamps) the series. CoveringSlice
   // guarantees the snapshot's per-run means equal the source store's, so
   // a baseline extracted from either is the same baseline.
-  const monitor::TimeSeriesStore* authority =
-      ctx.model_authority != nullptr ? ctx.model_authority : ctx.store;
+  const monitor::TimeSeriesStore* authority = ctx.Authority();
   const TimeInterval window = ctx.AnalysisWindow();
   const uint64_t config_fp = AnomalyConfigFingerprint(config.metric_anomaly);
   const uint64_t provenance = RunSetFingerprint(good);

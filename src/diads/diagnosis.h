@@ -72,6 +72,15 @@ struct DiagnosisContext {
   /// snapshots (whose store pointers are ephemeral) still share models.
   const monitor::TimeSeriesStore* model_authority = nullptr;
 
+  /// The effective authority: `model_authority` when set, else `store`.
+  /// The single fallback rule every generation consumer must share —
+  /// model-cache keys, the engine's result-cache stamps, and fleet
+  /// verdict stamps all validate against this store's append counters,
+  /// and they only agree because they all call this.
+  const monitor::TimeSeriesStore* Authority() const {
+    return model_authority != nullptr ? model_authority : store;
+  }
+
   /// The diagnosis window: first labelled run start to last labelled run
   /// end.
   TimeInterval AnalysisWindow() const;

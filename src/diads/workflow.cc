@@ -128,9 +128,7 @@ Result<DiagnosisReport> Workflow::DiagnoseOverCollection(
   // The model cache keeps keying on the tenant's live store — the
   // snapshot's pointer is ephemeral, its data digest-identical.
   DiagnosisContext collected_ctx = ctx_;
-  if (collected_ctx.model_authority == nullptr) {
-    collected_ctx.model_authority = ctx_.store;
-  }
+  collected_ctx.model_authority = ctx_.Authority();
   collected_ctx.store = &outcome.gather.collected;
   Workflow collected_workflow(std::move(collected_ctx), config_,
                               symptoms_db_);

@@ -52,11 +52,24 @@ ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
 
 std::shared_ptr<const diag::DiagnosisReport> ResultCache::Get(
     const CacheKey& key,
-    std::shared_ptr<const CollectionSummary>* collection) {
+    std::shared_ptr<const CollectionSummary>* collection,
+    bool validate_generation, const void* authority,
+    uint64_t store_generation) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (validate_generation &&
+      (it->second->authority != authority ||
+       it->second->store_generation != store_generation)) {
+    // The report predates the store's current data (or was computed from a
+    // different store entirely): drop it so it can never be served stale.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.invalidations;
     ++shard.misses;
     return nullptr;
   }
@@ -68,13 +81,18 @@ std::shared_ptr<const diag::DiagnosisReport> ResultCache::Get(
 
 void ResultCache::Put(const CacheKey& key,
                       std::shared_ptr<const diag::DiagnosisReport> report,
-                      std::shared_ptr<const CollectionSummary> collection) {
+                      std::shared_ptr<const CollectionSummary> collection,
+                      const void* authority, uint64_t store_generation,
+                      std::vector<ComponentId> components) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->report = std::move(report);
     it->second->collection = std::move(collection);
+    it->second->authority = authority;
+    it->second->store_generation = store_generation;
+    it->second->components = std::move(components);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -83,8 +101,42 @@ void ResultCache::Put(const CacheKey& key,
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{key, std::move(report), std::move(collection)});
+  shard.lru.push_front(Entry{key, std::move(report), std::move(collection),
+                             authority, store_generation,
+                             std::move(components)});
   shard.index[key] = shard.lru.begin();
+}
+
+template <typename Pred>
+size_t ResultCache::EraseIf(Pred pred) {
+  size_t erased = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (pred(*it)) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->invalidations;
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return erased;
+}
+
+size_t ResultCache::InvalidateTag(const std::string& tag) {
+  return EraseIf([&](const Entry& entry) { return entry.key.tag == tag; });
+}
+
+size_t ResultCache::InvalidateTagComponent(const std::string& tag,
+                                           ComponentId component) {
+  return EraseIf([&](const Entry& entry) {
+    return entry.key.tag == tag &&
+           std::binary_search(entry.components.begin(),
+                              entry.components.end(), component);
+  });
 }
 
 ResultCache::Counters ResultCache::TotalCounters() const {
@@ -94,6 +146,7 @@ ResultCache::Counters ResultCache::TotalCounters() const {
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.evictions += shard->evictions;
+    out.invalidations += shard->invalidations;
     out.entries += shard->lru.size();
   }
   return out;

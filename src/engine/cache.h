@@ -78,6 +78,10 @@ class ResultCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Entries dropped because they went stale (generation mismatch on
+    /// Get) or were explicitly invalidated (InvalidateTag /
+    /// InvalidateTagComponent). Generation drops also count as misses.
+    uint64_t invalidations = 0;
     size_t entries = 0;
   };
 
@@ -86,15 +90,36 @@ class ResultCache {
   /// Returns the cached report (refreshing its recency) or nullptr. When
   /// `collection` is non-null it receives the entry's collection summary
   /// (possibly null for entries computed without async collection).
+  ///
+  /// When `validate_generation` is set, a hit additionally requires the
+  /// entry's recorded (authority, store_generation) stamp to equal the
+  /// caller's — the entry was computed from exactly the data the caller
+  /// sees now. A mismatch erases the entry (Append-driven invalidation)
+  /// and misses: a query after new monitoring data arrives is never
+  /// served the stale report.
   std::shared_ptr<const diag::DiagnosisReport> Get(
       const CacheKey& key,
-      std::shared_ptr<const CollectionSummary>* collection = nullptr);
+      std::shared_ptr<const CollectionSummary>* collection = nullptr,
+      bool validate_generation = false, const void* authority = nullptr,
+      uint64_t store_generation = 0);
 
   /// Inserts or replaces; evicts the shard's least-recently-used entry when
-  /// the shard is at capacity.
+  /// the shard is at capacity. `authority` / `store_generation` stamp the
+  /// monitoring data the report was computed from (see Get); `components`
+  /// lists the components the report touched (scored metrics + cause
+  /// subjects), the index InvalidateTagComponent matches against.
   void Put(const CacheKey& key,
            std::shared_ptr<const diag::DiagnosisReport> report,
-           std::shared_ptr<const CollectionSummary> collection = nullptr);
+           std::shared_ptr<const CollectionSummary> collection = nullptr,
+           const void* authority = nullptr, uint64_t store_generation = 0,
+           std::vector<ComponentId> components = {});
+
+  /// Explicit invalidation: drops every entry of a tenant tag, or only
+  /// the tag's entries whose report touched `component`. Returns the
+  /// number of entries erased.
+  size_t InvalidateTag(const std::string& tag);
+  size_t InvalidateTagComponent(const std::string& tag,
+                                ComponentId component);
 
   /// Aggregated counters across shards.
   Counters TotalCounters() const;
@@ -109,16 +134,26 @@ class ResultCache {
     CacheKey key;
     std::shared_ptr<const diag::DiagnosisReport> report;
     std::shared_ptr<const CollectionSummary> collection;
+    /// The monitoring-data identity the report was computed from: the
+    /// authoritative TimeSeriesStore (pointer as pure identity, never
+    /// dereferenced) and its store-wide append generation at compute
+    /// time. Null authority = unstamped (legacy Put); such entries always
+    /// fail validation when the caller requests it.
+    const void* authority = nullptr;
+    uint64_t store_generation = 0;
+    std::vector<ComponentId> components;  ///< Sorted, deduped.
   };
   struct Shard {
     std::mutex mu;
     std::list<Entry> lru;  ///< Front = most recently used.
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
         index;
-    uint64_t hits = 0, misses = 0, evictions = 0;
+    uint64_t hits = 0, misses = 0, evictions = 0, invalidations = 0;
   };
 
   Shard& ShardFor(const CacheKey& key);
+  template <typename Pred>
+  size_t EraseIf(Pred pred);
 
   size_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,9 +1,13 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
+
+#include "fleet/store.h"
+#include "fleet/verdict.h"
 
 namespace diads::engine {
 namespace {
@@ -34,6 +38,31 @@ uint64_t MixAnomalyConfig(uint64_t h, const stats::AnomalyConfig& config) {
   h = MixBits(h, static_cast<uint64_t>(config.aggregation));
   h = MixBits(h, DoubleBits(config.threshold));
   return h;
+}
+
+/// The tenant store whose append counters stamp this request's cached
+/// results and fleet verdicts — DiagnosisContext::Authority(), the same
+/// rule the model cache keys on, so the stamp a Submit-time Get
+/// validates against is the stamp the worker's Put recorded.
+const monitor::TimeSeriesStore* AuthorityOf(const DiagnosisRequest& request) {
+  return request.ctx.Authority();
+}
+
+/// Components a report touched: every Module DA scored component plus
+/// every cause subject. Sorted + deduped (InvalidateTagComponent binary-
+/// searches it).
+std::vector<ComponentId> ComponentsOf(const diag::DiagnosisReport& report) {
+  std::vector<ComponentId> out;
+  out.reserve(report.da.metrics.size() + report.causes.size());
+  for (const diag::MetricAnomaly& metric : report.da.metrics) {
+    out.push_back(metric.component);
+  }
+  for (const diag::RootCause& cause : report.causes) {
+    if (cause.subject.valid()) out.push_back(cause.subject);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 Status ValidateContext(const diag::DiagnosisContext& ctx) {
@@ -124,9 +153,35 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
 
   if (options_.enable_cache) {
     std::shared_ptr<const CollectionSummary> cached_collection;
+    const monitor::TimeSeriesStore* authority = AuthorityOf(request);
+    const uint64_t generation = authority->StoreGeneration();
     if (std::shared_ptr<const diag::DiagnosisReport> report =
-            cache_.Get(key, &cached_collection)) {
+            cache_.Get(key, &cached_collection,
+                       options_.invalidate_results_on_append, authority,
+                       generation)) {
       stats_.RecordCacheHit();
+      // Normally the computation that filled this entry already
+      // published its verdict, but an explicit FleetStore invalidation
+      // (with no new monitoring data) leaves the store empty while the
+      // cache keeps hitting — so repopulate when the tenant-level row is
+      // missing or older. Checking the tenant row alone suffices because
+      // every store invalidation path (InvalidateTenant,
+      // InvalidateComponent, DropStale) drops it along with the targeted
+      // rows. Only safe with generation-validated hits: they guarantee
+      // this report reflects the store's current data, so the fresh
+      // stamps are truthful. (Legacy mode keeps the gap: a stale hit
+      // must not pose as a fresh verdict.)
+      if (options_.fleet_store != nullptr &&
+          options_.invalidate_results_on_append) {
+        const fleet::FleetStore::Row row = options_.fleet_store->Get(
+            fleet::FleetKey{request.tag, "", key.window_begin,
+                            key.window_end});
+        if (row.record == nullptr || row.generation < generation) {
+          options_.fleet_store->Publish(
+              fleet::ExtractVerdict(request.ctx, *report, request.tag));
+          stats_.RecordFleetPublish();
+        }
+      }
       DiagnosisResponse response;
       response.report = std::move(report);
       response.collection = std::move(cached_collection);
@@ -172,12 +227,14 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
   const Status submitted_status = pool_.Submit(
       [this, key, promise, submitted, request = std::move(request)]() mutable {
         DiagnosisRequest local = std::move(request);
+        const monitor::TimeSeriesStore* authority = AuthorityOf(local);
+        const uint64_t generation = authority->StoreGeneration();
         Status status;
         std::shared_ptr<const diag::DiagnosisReport> report;
         std::shared_ptr<const CollectionSummary> collection;
         Compute(&local, &status, &report, &collection);
-        if (status.ok() && options_.enable_cache) {
-          cache_.Put(key, report, collection);
+        if (status.ok()) {
+          AfterCompute(key, local, report, collection, authority, generation);
         }
         DiagnosisResponse response;
         response.status = status;
@@ -213,9 +270,7 @@ void DiagnosisEngine::Compute(
     // Share fitted baseline models across all diagnoses served by this
     // engine, keyed on the request's own (authoritative) store.
     request->ctx.model_cache = &model_cache_;
-    if (request->ctx.model_authority == nullptr) {
-      request->ctx.model_authority = request->ctx.store;
-    }
+    request->ctx.model_authority = request->ctx.Authority();
   }
   diag::Workflow workflow(request->ctx, request->config, symptoms_db_);
   diag::CollectionOutcome outcome;
@@ -273,14 +328,53 @@ void DiagnosisEngine::Compute(
 }
 
 void DiagnosisEngine::Execute(CacheKey key, DiagnosisRequest request) {
+  const monitor::TimeSeriesStore* authority = AuthorityOf(request);
+  const uint64_t generation = authority->StoreGeneration();
   Status status;
   std::shared_ptr<const diag::DiagnosisReport> report;
   std::shared_ptr<const CollectionSummary> collection;
   Compute(&request, &status, &report, &collection);
-  if (status.ok() && options_.enable_cache) {
-    cache_.Put(key, report, collection);
+  if (status.ok()) {
+    AfterCompute(key, request, report, collection, authority, generation);
   }
   Resolve(key, status, std::move(report), std::move(collection));
+}
+
+void DiagnosisEngine::AfterCompute(
+    const CacheKey& key, const DiagnosisRequest& request,
+    const std::shared_ptr<const diag::DiagnosisReport>& report,
+    const std::shared_ptr<const CollectionSummary>& collection,
+    const monitor::TimeSeriesStore* authority, uint64_t generation) {
+  if (options_.enable_cache) {
+    // The generation stamp was read *before* the workflow ran: if samples
+    // arrived mid-computation the entry is conservatively already stale
+    // and the next generation-validated Get recomputes.
+    cache_.Put(key, report, collection, authority, generation,
+               ComponentsOf(*report));
+  }
+  if (options_.fleet_store != nullptr) {
+    // ExtractVerdict stamps rows with the authority's *current*
+    // generations, so publish only while the store still sits at the
+    // pre-compute generation — otherwise a verdict derived from old data
+    // would carry a fresh stamp, could supersede a genuinely fresh one,
+    // and would survive DropStale. When the store moved on, skip: the
+    // next diagnosis of this tenant is a guaranteed cache miss at the
+    // new generation and republishes.
+    if (authority->StoreGeneration() == generation) {
+      options_.fleet_store->Publish(
+          fleet::ExtractVerdict(request.ctx, *report, request.tag));
+      stats_.RecordFleetPublish();
+    }
+  }
+}
+
+size_t DiagnosisEngine::InvalidateTenantResults(const std::string& tag) {
+  return cache_.InvalidateTag(tag);
+}
+
+size_t DiagnosisEngine::InvalidateComponentResults(const std::string& tag,
+                                                   ComponentId component) {
+  return cache_.InvalidateTagComponent(tag, component);
 }
 
 void DiagnosisEngine::Resolve(
@@ -342,7 +436,9 @@ void DiagnosisEngine::Shutdown() {
 
 EngineStatsSnapshot DiagnosisEngine::Stats() const {
   EngineStatsSnapshot snapshot = stats_.Snapshot(pool_.QueueDepth());
-  snapshot.cache_evictions = cache_.TotalCounters().evictions;
+  const ResultCache::Counters cache = cache_.TotalCounters();
+  snapshot.cache_evictions = cache.evictions;
+  snapshot.cache_invalidations = cache.invalidations;
   const diag::BaselineModelCache::Counters models =
       model_cache_.TotalCounters();
   snapshot.model_cache_hits = models.hits;

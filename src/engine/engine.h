@@ -54,6 +54,10 @@
 #include "monitor/async_collector.h"
 #include "monitor/gather.h"
 
+namespace diads::fleet {
+class FleetStore;  // fleet/store.h
+}  // namespace diads::fleet
+
 namespace diads::engine {
 
 /// One diagnosis question. The context's pointers must stay valid until
@@ -117,6 +121,26 @@ struct EngineOptions {
   bool enable_model_cache = true;
   size_t model_cache_capacity = 8192;
   int model_cache_shards = 16;
+  /// Fleet-wide symptom store (may be null). When set, every successfully
+  /// *computed* diagnosis is lowered to a fleet::TenantVerdict
+  /// (ExtractVerdict over the request's context) and published after
+  /// completion; coalesced waiters were already published by the
+  /// computation they joined, and a generation-validated cache hit
+  /// republishes only when the store's tenant row is missing or older
+  /// (repopulation after an explicit fleet-store invalidation). Not
+  /// owned; must outlive the engine. Publishing never changes the report
+  /// (ReportDigest is identical with the store attached or not).
+  fleet::FleetStore* fleet_store = nullptr;
+  /// Generation-validate result-cache hits: a cached report is served
+  /// only while the tenant store's StoreGeneration still equals the value
+  /// recorded when the report was computed, so a query issued after new
+  /// monitoring data arrives recomputes instead of serving stale. Uses
+  /// the same append counters the model cache invalidates on. Scope: the
+  /// guarantee covers appends that happen-before Submit (the store is
+  /// not thread-safe against appends racing an in-flight diagnosis, so a
+  /// coalesced waiter may legally share the report of a computation
+  /// started before its Submit).
+  bool invalidate_results_on_append = true;
 };
 
 class DiagnosisEngine {
@@ -156,6 +180,15 @@ class DiagnosisEngine {
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
+  /// Explicit result-cache invalidation, the dashboard-serving
+  /// counterpart of the Append-driven path: drops every cached report of
+  /// a tenant tag, or only those whose report touched `component`.
+  /// Returns the number of entries dropped. (The fleet store has its own
+  /// invalidation surface — see fleet::FleetStore.)
+  size_t InvalidateTenantResults(const std::string& tag);
+  size_t InvalidateComponentResults(const std::string& tag,
+                                    ComponentId component);
+
   /// Live metrics (queue depth sampled now, cache counters included).
   EngineStatsSnapshot Stats() const;
 
@@ -181,6 +214,14 @@ class DiagnosisEngine {
                std::shared_ptr<const diag::DiagnosisReport>* report,
                std::shared_ptr<const CollectionSummary>* collection);
   void Execute(CacheKey key, DiagnosisRequest request);
+  /// Post-compute bookkeeping for a successful diagnosis: cache insert
+  /// (stamped with the tenant store's pre-compute generation and the
+  /// report's touched components) and fleet-store publish.
+  void AfterCompute(const CacheKey& key, const DiagnosisRequest& request,
+                    const std::shared_ptr<const diag::DiagnosisReport>& report,
+                    const std::shared_ptr<const CollectionSummary>& collection,
+                    const monitor::TimeSeriesStore* authority,
+                    uint64_t generation);
   void Resolve(const CacheKey& key, const Status& status,
                std::shared_ptr<const diag::DiagnosisReport> report,
                std::shared_ptr<const CollectionSummary> collection);

@@ -110,6 +110,7 @@ EngineStatsSnapshot EngineStats::Snapshot(size_t queue_depth) const {
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.fleet_publishes = fleet_publishes_.load(std::memory_order_relaxed);
   out.queue_depth = queue_depth;
   out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   out.elapsed_sec =
@@ -147,6 +148,7 @@ void EngineStats::Reset() {
   cache_hits_.store(0);
   cache_misses_.store(0);
   coalesced_.store(0);
+  fleet_publishes_.store(0);
   collection_fetches_.store(0);
   collection_timeouts_.store(0);
   collection_retries_.store(0);
@@ -176,12 +178,17 @@ std::string EngineStatsSnapshot::Render() const {
       static_cast<unsigned long long>(rejected), throughput_per_sec,
       elapsed_sec);
   out += StrFormat(
-      "cache:  %llu hits, %llu misses, %llu evictions (hit rate %.1f%%), "
-      "%llu coalesced\n",
+      "cache:  %llu hits, %llu misses, %llu evictions, "
+      "%llu invalidations (hit rate %.1f%%), %llu coalesced\n",
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(cache_invalidations),
       CacheHitRate() * 100.0, static_cast<unsigned long long>(coalesced));
+  if (fleet_publishes > 0) {
+    out += StrFormat("fleet:  %llu verdicts published\n",
+                     static_cast<unsigned long long>(fleet_publishes));
+  }
   if (model_cache_hits + model_cache_misses > 0) {
     out += StrFormat(
         "models: %llu hits, %llu misses, %llu evictions, "
@@ -229,7 +236,8 @@ std::string EngineStatsSnapshot::ToJson() const {
   out += StrFormat(
       "\"submitted\":%llu,\"completed\":%llu,\"failed\":%llu,"
       "\"rejected\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
-      "\"cache_evictions\":%llu,\"coalesced\":%llu,\"queue_depth\":%zu,"
+      "\"cache_evictions\":%llu,\"cache_invalidations\":%llu,"
+      "\"coalesced\":%llu,\"fleet_publishes\":%llu,\"queue_depth\":%zu,"
       "\"max_queue_depth\":%zu,\"elapsed_sec\":%.3f,"
       "\"throughput_per_sec\":%.2f,\"cache_hit_rate\":%.4f,",
       static_cast<unsigned long long>(submitted),
@@ -239,7 +247,9 @@ std::string EngineStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions),
-      static_cast<unsigned long long>(coalesced), queue_depth,
+      static_cast<unsigned long long>(cache_invalidations),
+      static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(fleet_publishes), queue_depth,
       max_queue_depth, elapsed_sec, throughput_per_sec, CacheHitRate());
   out += StrFormat(
       "\"model_cache_hits\":%llu,\"model_cache_misses\":%llu,"

@@ -62,7 +62,12 @@ struct EngineStatsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;  ///< Filled by the engine from its cache.
+  /// Result-cache entries dropped stale (generation mismatch) or by
+  /// explicit per-tenant/per-component invalidation. From the cache.
+  uint64_t cache_invalidations = 0;
   uint64_t coalesced = 0;      ///< Joined an identical in-flight request.
+  /// Verdicts published into the fleet store (0 without a fleet store).
+  uint64_t fleet_publishes = 0;
   // Baseline-model cache (filled by the engine from its
   // BaselineModelCache; all zero when the model cache is disabled).
   uint64_t model_cache_hits = 0;
@@ -114,6 +119,9 @@ class EngineStats {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordCoalesced() { coalesced_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordFleetPublish() {
+    fleet_publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordQueueDepth(size_t depth);
   void RecordRequestLatency(double ms) { request_latency_.Record(ms); }
   void RecordModuleLatencies(const diag::ModuleTimings& timings);
@@ -131,7 +139,7 @@ class EngineStats {
  private:
   std::atomic<uint64_t> submitted_{0}, completed_{0}, failed_{0}, rejected_{0};
   std::atomic<uint64_t> cache_hits_{0}, cache_misses_{0};
-  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> coalesced_{0}, fleet_publishes_{0};
   std::atomic<uint64_t> collection_fetches_{0}, collection_timeouts_{0};
   std::atomic<uint64_t> collection_retries_{0}, collection_stale_{0};
   std::atomic<uint64_t> degraded_diagnoses_{0};

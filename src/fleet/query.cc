@@ -1,0 +1,137 @@
+#include "fleet/query.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace diads::fleet {
+namespace {
+
+std::vector<std::string> SortedUnique(std::set<std::string> names) {
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+// ConfidenceBand orders kHigh < kMedium < kLow, so "at or above min_band"
+// is a <= on the underlying value.
+bool AtLeast(diag::ConfidenceBand band, diag::ConfidenceBand min_band) {
+  return static_cast<int>(band) <= static_cast<int>(min_band);
+}
+
+}  // namespace
+
+std::vector<std::string> FleetQuery::TenantsSharingComponent(
+    const std::string& component, std::optional<monitor::MetricId> metric,
+    double min_score) const {
+  store_->RecordQuery();
+  std::set<std::string> tenants;
+  store_->ForEachRow([&](const FleetKey& key, uint64_t,
+                         const ComponentVerdict* verdict,
+                         const TenantRecord*) {
+    if (verdict == nullptr || key.component != component) return;
+    // Some *scored* metric must clear the bar: a component row that only
+    // exists because a cause named it (no Module DA metrics) never
+    // matches, even at min_score <= 0 — same universe the brute-force
+    // oracle (raw DA rows) draws from.
+    for (const MetricVerdict& m : verdict->metrics) {
+      if ((!metric.has_value() || m.metric == *metric) &&
+          m.anomaly_score >= min_score) {
+        tenants.insert(key.tenant);
+        return;
+      }
+    }
+  });
+  return SortedUnique(std::move(tenants));
+}
+
+std::vector<std::string> FleetQuery::TenantsImplicating(
+    const std::string& component, diag::ConfidenceBand min_band) const {
+  store_->RecordQuery();
+  std::set<std::string> tenants;
+  store_->ForEachRow([&](const FleetKey& key, uint64_t,
+                         const ComponentVerdict*,
+                         const TenantRecord* record) {
+    if (record == nullptr) return;
+    for (const CauseVerdict& cause : record->causes) {
+      if (cause.subject == component && AtLeast(cause.band, min_band)) {
+        tenants.insert(key.tenant);
+        return;
+      }
+    }
+  });
+  return SortedUnique(std::move(tenants));
+}
+
+std::vector<FleetQuery::ImplicatedComponent>
+FleetQuery::TopImplicatedComponents(size_t k,
+                                    diag::ConfidenceBand min_band) const {
+  store_->RecordQuery();
+  struct Aggregate {
+    std::set<std::string> tenants;
+    double max_confidence = 0;
+  };
+  std::map<std::string, Aggregate> by_component;
+  store_->ForEachRow([&](const FleetKey& key, uint64_t,
+                         const ComponentVerdict*,
+                         const TenantRecord* record) {
+    if (record == nullptr) return;
+    for (const CauseVerdict& cause : record->causes) {
+      if (cause.subject.empty() || !AtLeast(cause.band, min_band)) continue;
+      Aggregate& agg = by_component[cause.subject];
+      agg.tenants.insert(key.tenant);
+      agg.max_confidence = std::max(agg.max_confidence, cause.confidence);
+    }
+  });
+  std::vector<ImplicatedComponent> out;
+  out.reserve(by_component.size());
+  for (auto& [component, agg] : by_component) {
+    ImplicatedComponent entry;
+    entry.component = component;
+    entry.tenants = static_cast<int>(agg.tenants.size());
+    entry.max_confidence = agg.max_confidence;
+    entry.tenant_names = SortedUnique(std::move(agg.tenants));
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ImplicatedComponent& a, const ImplicatedComponent& b) {
+              if (a.tenants != b.tenants) return a.tenants > b.tenants;
+              if (a.max_confidence != b.max_confidence) {
+                return a.max_confidence > b.max_confidence;
+              }
+              return a.component < b.component;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<FleetQuery::CauseCooccurrence>
+FleetQuery::RootCauseCooccurrence() const {
+  store_->RecordQuery();
+  // Per tenant: the set of cause types reported across its windows.
+  std::map<std::string, std::set<int>> types_of_tenant;
+  store_->ForEachRow([&](const FleetKey& key, uint64_t,
+                         const ComponentVerdict*,
+                         const TenantRecord* record) {
+    if (record == nullptr) return;
+    for (const CauseVerdict& cause : record->causes) {
+      types_of_tenant[key.tenant].insert(static_cast<int>(cause.type));
+    }
+  });
+  std::map<std::pair<int, int>, int> pairs;
+  for (const auto& [tenant, types] : types_of_tenant) {
+    for (auto a = types.begin(); a != types.end(); ++a) {
+      for (auto b = a; b != types.end(); ++b) {
+        ++pairs[{*a, *b}];
+      }
+    }
+  }
+  std::vector<CauseCooccurrence> out;
+  out.reserve(pairs.size());
+  for (const auto& [pair, count] : pairs) {
+    out.push_back(CauseCooccurrence{
+        static_cast<diag::RootCauseType>(pair.first),
+        static_cast<diag::RootCauseType>(pair.second), count});
+  }
+  return out;
+}
+
+}  // namespace diads::fleet

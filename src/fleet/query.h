@@ -1,0 +1,81 @@
+// Cross-tenant root-cause queries over the fleet store.
+//
+// Every query here is answered purely from published verdicts — zero
+// module re-execution, no tenant state touched — which is the point: a
+// fleet operator triaging a shared-infrastructure incident ("is this SAN
+// pool hurting anyone else?") gets the answer in microseconds instead of
+// one full re-diagnosis per tenant. The property test asserts each answer
+// is byte-equal to the brute-force aggregate over per-tenant
+// re-diagnoses; bench_fleet_store measures the gap.
+//
+// Semantics shared by all queries:
+//   * a tenant counts once no matter how many windows it has published;
+//   * all result orderings are deterministic (documented per query), so
+//     answers are directly comparable across runs and against the
+//     brute-force oracle;
+//   * each evaluation counts into the store's `queries` counter.
+#ifndef DIADS_FLEET_QUERY_H_
+#define DIADS_FLEET_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/store.h"
+
+namespace diads::fleet {
+
+class FleetQuery {
+ public:
+  /// `store` must outlive the query object.
+  explicit FleetQuery(const FleetStore* store) : store_(store) {}
+
+  /// Tenants whose published verdict for `component` shows a Module-DA-
+  /// scored metric `metric` (any metric when nullopt) with an anomaly
+  /// score at or above `min_score` — "who else shares this contended
+  /// pool?". Components that were only named by a cause (never scored)
+  /// do not match at any threshold. Sorted by tenant name, deduped.
+  std::vector<std::string> TenantsSharingComponent(
+      const std::string& component,
+      std::optional<monitor::MetricId> metric = std::nullopt,
+      double min_score = 0.8) const;
+
+  /// Tenants whose diagnosis reported a root cause naming `component` at
+  /// or above `min_band` (kHigh restricts to high-confidence causes; the
+  /// kLow default accepts any reported cause). Sorted by tenant name,
+  /// deduped.
+  std::vector<std::string> TenantsImplicating(
+      const std::string& component,
+      diag::ConfidenceBand min_band = diag::ConfidenceBand::kLow) const;
+
+  struct ImplicatedComponent {
+    std::string component;
+    int tenants = 0;          ///< Distinct tenants implicating it.
+    double max_confidence = 0;
+    std::vector<std::string> tenant_names;  ///< Sorted.
+  };
+  /// The top-K components by number of implicated tenants (a tenant
+  /// implicates a component when a reported cause at or above `min_band`
+  /// names it). Ordered by tenant count desc, then max confidence desc,
+  /// then name asc.
+  std::vector<ImplicatedComponent> TopImplicatedComponents(
+      size_t k,
+      diag::ConfidenceBand min_band = diag::ConfidenceBand::kLow) const;
+
+  struct CauseCooccurrence {
+    diag::RootCauseType a;  ///< a <= b; a == b rows are per-type counts.
+    diag::RootCauseType b;
+    int tenants = 0;  ///< Tenants whose diagnosis reported both types.
+  };
+  /// Root-cause co-occurrence across the fleet: for every unordered pair
+  /// of reported cause types (including the diagonal), how many tenants
+  /// reported both. Only non-zero rows, ordered by (a, b).
+  std::vector<CauseCooccurrence> RootCauseCooccurrence() const;
+
+ private:
+  const FleetStore* store_;
+};
+
+}  // namespace diads::fleet
+
+#endif  // DIADS_FLEET_QUERY_H_

@@ -1,0 +1,116 @@
+#include "fleet/verdict.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "san/topology.h"
+
+namespace diads::fleet {
+namespace {
+
+int DistinctCount(const std::vector<uint64_t>& fingerprints) {
+  std::set<uint64_t> distinct(fingerprints.begin(), fingerprints.end());
+  return static_cast<int>(distinct.size());
+}
+
+}  // namespace
+
+TenantVerdict ExtractVerdict(const diag::DiagnosisContext& ctx,
+                             const diag::DiagnosisReport& report,
+                             const std::string& tenant) {
+  TenantVerdict out;
+  out.tenant = tenant;
+  out.query = ctx.query;
+  const TimeInterval window = ctx.AnalysisWindow();
+  out.window_begin = window.begin;
+  out.window_end = window.end;
+
+  const ComponentRegistry& registry = ctx.topology->registry();
+  const monitor::TimeSeriesStore* authority = ctx.Authority();
+  out.store_generation = authority->StoreGeneration();
+
+  out.plan_diff.plans_differ = report.pd.plans_differ;
+  out.plan_diff.satisfactory_plans =
+      DistinctCount(report.pd.satisfactory_fingerprints);
+  out.plan_diff.unsatisfactory_plans =
+      DistinctCount(report.pd.unsatisfactory_fingerprints);
+  out.plan_diff.candidates = static_cast<int>(report.pd.candidates.size());
+  for (const diag::PlanChangeCandidate& candidate : report.pd.candidates) {
+    if (candidate.could_explain.value_or(false)) {
+      ++out.plan_diff.explaining_candidates;
+    }
+  }
+
+  // Keyed by name so the merge below is deterministic regardless of the
+  // tenant's registration order.
+  std::map<std::string, ComponentVerdict> components;
+  auto verdict_for = [&](ComponentId id) -> ComponentVerdict* {
+    if (!registry.Contains(id)) return nullptr;
+    const std::string& name = registry.NameOf(id);
+    auto [it, inserted] = components.try_emplace(name);
+    if (inserted) {
+      it->second.component = name;
+      it->second.kind = registry.KindOf(id);
+      it->second.in_ccs = report.da.InCcs(id);
+      it->second.generation = authority->ComponentGeneration(id);
+    }
+    return &it->second;
+  };
+
+  for (const diag::MetricAnomaly& anomaly : report.da.metrics) {
+    ComponentVerdict* verdict = verdict_for(anomaly.component);
+    if (verdict == nullptr) continue;
+    verdict->max_anomaly = std::max(verdict->max_anomaly,
+                                    anomaly.anomaly_score);
+    // DaResult may score a (component, metric) pair more than once; keep
+    // the strongest reading, as DaResult::Find does.
+    auto it = std::find_if(
+        verdict->metrics.begin(), verdict->metrics.end(),
+        [&](const MetricVerdict& m) { return m.metric == anomaly.metric; });
+    if (it == verdict->metrics.end()) {
+      verdict->metrics.push_back(MetricVerdict{
+          anomaly.metric, anomaly.anomaly_score, anomaly.correlation,
+          anomaly.correlated});
+    } else if (anomaly.anomaly_score > it->anomaly_score) {
+      it->anomaly_score = anomaly.anomaly_score;
+      it->correlation = anomaly.correlation;
+      it->correlated = it->correlated || anomaly.correlated;
+    } else {
+      it->correlated = it->correlated || anomaly.correlated;
+    }
+  }
+
+  out.causes.reserve(report.causes.size());
+  for (const diag::RootCause& cause : report.causes) {
+    CauseVerdict lowered;
+    lowered.type = cause.type;
+    lowered.confidence = cause.confidence;
+    lowered.band = cause.band;
+    lowered.impact_pct = cause.impact_pct.value_or(-1);
+    if (ComponentVerdict* verdict = verdict_for(cause.subject)) {
+      lowered.subject = verdict->component;
+      verdict->cause_subject = true;
+      verdict->best_cause_confidence =
+          std::max(verdict->best_cause_confidence, cause.confidence);
+      verdict->cause_types.push_back(cause.type);
+    }
+    out.causes.push_back(std::move(lowered));
+  }
+
+  out.components.reserve(components.size());
+  for (auto& [name, verdict] : components) {
+    std::sort(verdict.metrics.begin(), verdict.metrics.end(),
+              [](const MetricVerdict& a, const MetricVerdict& b) {
+                return a.metric < b.metric;
+              });
+    std::sort(verdict.cause_types.begin(), verdict.cause_types.end());
+    verdict.cause_types.erase(
+        std::unique(verdict.cause_types.begin(), verdict.cause_types.end()),
+        verdict.cause_types.end());
+    out.components.push_back(std::move(verdict));
+  }
+  return out;
+}
+
+}  // namespace diads::fleet

@@ -28,8 +28,15 @@ Status TimeSeriesStore::Append(ComponentId component, MetricId metric,
   }
   s.samples.push_back(Sample{time, value});
   ++s.generation;
+  ++component_generation_[component];
+  ++store_generation_;
   ++total_samples_;
   return Status::Ok();
+}
+
+uint64_t TimeSeriesStore::ComponentGeneration(ComponentId component) const {
+  auto it = component_generation_.find(component);
+  return it == component_generation_.end() ? 0 : it->second;
 }
 
 SampleSpan TimeSeriesStore::SliceView(ComponentId component, MetricId metric,

@@ -137,6 +137,18 @@ class TimeSeriesStore {
   /// valid exactly while its generation is unchanged.
   uint64_t Generation(ComponentId component, MetricId metric) const;
 
+  /// Monotone per-component append counter: the sum of Generation() over
+  /// the component's series, maintained incrementally. Fleet-store entries
+  /// and per-component cache invalidation stamp this — a component's
+  /// published verdict is valid exactly while no series of that component
+  /// has been appended to.
+  uint64_t ComponentGeneration(ComponentId component) const;
+
+  /// Monotone store-wide append counter (total appends ever). Diagnosis
+  /// results derived from this store are valid exactly while it is
+  /// unchanged — the result-cache's Append-driven invalidation stamp.
+  uint64_t StoreGeneration() const { return store_generation_; }
+
   /// Metrics that have at least one sample for `component`.
   std::vector<MetricId> MetricsFor(ComponentId component) const;
 
@@ -150,6 +162,8 @@ class TimeSeriesStore {
   };
 
   std::unordered_map<SeriesKey, SeriesData, SeriesKeyHash> series_;
+  std::unordered_map<ComponentId, uint64_t> component_generation_;
+  uint64_t store_generation_ = 0;
   size_t total_samples_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "workload/fleet.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/rng.h"
@@ -73,6 +74,60 @@ Result<FleetWorkload> BuildFleet(const FleetOptions& options) {
     fleet.tenant_of_request = std::move(tenant_of_request);
   }
   return fleet;
+}
+
+Result<FleetWorkload> BuildSharedFaultFleet(
+    const SharedFaultFleetOptions& options) {
+  if (options.faulted_tenants <= 0) {
+    return Status::InvalidArgument(
+        "SharedFaultFleetOptions.faulted_tenants must be positive");
+  }
+  if (options.background_tenants < 0) {
+    return Status::InvalidArgument(
+        "SharedFaultFleetOptions.background_tenants must be >= 0");
+  }
+  const int total = options.faulted_tenants + options.background_tenants;
+  FleetWorkload fleet;
+  fleet.tenants.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const bool faulted = i < options.faulted_tenants;
+    const ScenarioId id =
+        faulted ? options.fault_scenario : options.background_scenario;
+    ScenarioOptions scenario_options = options.scenario_options;
+    scenario_options.seed = options.seed + static_cast<uint64_t>(i) * 7919;
+    scenario_options.testbed.backend = options.backend;
+    Result<ScenarioOutput> output = RunScenario(id, scenario_options);
+    DIADS_RETURN_IF_ERROR(output.status());
+    FleetTenant tenant;
+    tenant.name = StrFormat("t%02d-%s", i, ScenarioName(id));
+    tenant.scenario = id;
+    tenant.output =
+        std::make_unique<ScenarioOutput>(std::move(output).value());
+    fleet.tenants.push_back(std::move(tenant));
+  }
+  for (size_t t = 0; t < fleet.tenants.size(); ++t) {
+    engine::DiagnosisRequest request;
+    request.ctx = fleet.tenants[t].output->MakeContext();
+    request.tag = fleet.tenants[t].name;
+    fleet.requests.push_back(std::move(request));
+    fleet.tenant_of_request.push_back(t);
+  }
+  return fleet;
+}
+
+std::vector<std::string> TenantsWithGroundTruthSubject(
+    const FleetWorkload& fleet, const std::string& subject) {
+  std::vector<std::string> out;
+  for (const FleetTenant& tenant : fleet.tenants) {
+    for (const GroundTruthCause& truth : tenant.output->ground_truth) {
+      if (truth.primary && truth.subject_name == subject) {
+        out.push_back(tenant.name);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Result<diag::DiagnosisReport> SerialDiagnosis(

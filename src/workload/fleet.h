@@ -64,6 +64,39 @@ struct FleetWorkload {
 /// stream. Errors if any scenario fails to run.
 Result<FleetWorkload> BuildFleet(const FleetOptions& options);
 
+/// A fleet stressed by shared infrastructure: `faulted_tenants` tenants
+/// run the same infrastructure-fault scenario (S9 CPU saturation, S10
+/// RAID rebuild, S11 disk failure — each tenant's copy of the shared
+/// pool/server template takes the same hit, the way one SAN incident
+/// surfaces in every tenant it backs), while `background_tenants` tenants
+/// run an unrelated database-side scenario and must NOT be implicated by
+/// the shared fault. This is the population the fleet store's
+/// cross-tenant implicated-set queries are verified against.
+struct SharedFaultFleetOptions {
+  ScenarioId fault_scenario = ScenarioId::kS10RaidRebuild;
+  ScenarioId background_scenario = ScenarioId::kS3DataPropertyChange;
+  int faulted_tenants = 2;
+  int background_tenants = 2;
+  db::BackendKind backend = db::BackendKind::kPostgres;
+  uint64_t seed = 42;
+  /// Per-tenant sizing; seed and testbed.backend are overridden per the
+  /// fields above. Tenant 0 (faulted) runs with seed == `seed` exactly,
+  /// so at the defaults its diagnosis digest matches the checked-in
+  /// conformance golden for (fault_scenario, backend).
+  ScenarioOptions scenario_options;
+};
+
+/// Builds the shared-fault fleet: faulted tenants first (t00..), then the
+/// background tenants, one request per tenant, in tenant order.
+Result<FleetWorkload> BuildSharedFaultFleet(
+    const SharedFaultFleetOptions& options);
+
+/// Names of the tenants whose primary ground truth names `subject`
+/// (registry name, e.g. "V1") — the answer key for implicated-set
+/// queries. Sorted by tenant name.
+std::vector<std::string> TenantsWithGroundTruthSubject(
+    const FleetWorkload& fleet, const std::string& subject);
+
 /// The serial ground-truth answer for one tenant: a direct
 /// Workflow::Diagnose over the tenant's context with the same config.
 Result<diag::DiagnosisReport> SerialDiagnosis(

@@ -20,6 +20,8 @@
 #include "engine/engine.h"
 #include "engine/stats.h"
 #include "engine/thread_pool.h"
+#include "fleet/query.h"
+#include "fleet/store.h"
 #include "monitor/async_collector.h"
 #include "workload/fleet.h"
 #include "workload/scenario.h"
@@ -639,6 +641,188 @@ TEST(EngineBatchTest, BatchDiagnosePreservesOrderAndMatchesSerial) {
     EXPECT_EQ(diag::ReportDigest(*responses[i].report),
               expected_digest[fleet->tenant_of_request[i]]);
   }
+}
+
+// --- Result-cache invalidation ----------------------------------------------
+
+// Own fixture (not EngineScenarioTest): these tests append to the
+// tenant's store, which must not perturb the shared scenario the
+// determinism tests compare against.
+class EngineInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::ScenarioOptions options;
+    options.satisfactory_runs = 12;
+    options.unsatisfactory_runs = 6;
+    Result<ScenarioOutput> scenario =
+        RunScenario(ScenarioId::kS1SanMisconfiguration, options);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::make_unique<ScenarioOutput>(std::move(*scenario));
+    symptoms_ = std::make_unique<diag::SymptomsDb>(
+        diag::SymptomsDb::MakeDefault());
+  }
+
+  DiagnosisRequest Request(const std::string& tag) {
+    DiagnosisRequest request;
+    request.ctx = scenario_->MakeContext();
+    request.tag = tag;
+    return request;
+  }
+
+  /// Appends one sample past the end of every existing V1 reading — the
+  /// "new monitoring interval arrived" event.
+  void AppendToV1() {
+    workload::Testbed& testbed = *scenario_->testbed;
+    const auto& series = testbed.store.Series(
+        testbed.v1, monitor::MetricId::kVolTotalIos);
+    const SimTimeMs at = series.empty() ? 0 : series.back().time + 1;
+    ASSERT_TRUE(
+        testbed.store.Append(testbed.v1, monitor::MetricId::kVolTotalIos,
+                             at, 123.0)
+            .ok());
+  }
+
+  std::unique_ptr<ScenarioOutput> scenario_;
+  std::unique_ptr<diag::SymptomsDb> symptoms_;
+};
+
+TEST_F(EngineInvalidationTest, PostAppendQueryIsNeverServedStaleReport) {
+  EngineOptions options;
+  options.workers = 2;
+  DiagnosisEngine engine(options, symptoms_.get());
+
+  DiagnosisResponse first = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  DiagnosisResponse repeat = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.cache_hit);
+
+  // New monitoring data arrives: the cached report is now stale. The same
+  // question must recompute, never serve the old object.
+  AppendToV1();
+  DiagnosisResponse fresh = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(fresh.ok()) << fresh.status.ToString();
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_NE(fresh.report.get(), first.report.get());
+
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+
+  // The recomputed answer equals a serial diagnosis over the *current*
+  // (post-append) data — the report is fresh, not merely different.
+  diag::Workflow workflow(scenario_->MakeContext(), diag::WorkflowConfig{},
+                          symptoms_.get());
+  Result<diag::DiagnosisReport> serial = workflow.Diagnose();
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(diag::ReportDigest(*fresh.report), diag::ReportDigest(*serial));
+
+  // And the post-append entry is itself cacheable again.
+  DiagnosisResponse cached = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.cache_hit);
+}
+
+TEST_F(EngineInvalidationTest, LegacyModeServesCachedReportAcrossAppend) {
+  // With generation validation off, the old TTL-free LRU behavior holds:
+  // the repeat after an Append is still the cached (stale) object. This
+  // pins the knob so the default's value is visible.
+  EngineOptions options;
+  options.workers = 2;
+  options.invalidate_results_on_append = false;
+  DiagnosisEngine engine(options, symptoms_.get());
+
+  DiagnosisResponse first = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(first.ok());
+  AppendToV1();
+  DiagnosisResponse repeat = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.report.get(), first.report.get());
+  EXPECT_EQ(engine.Stats().cache_invalidations, 0u);
+}
+
+TEST_F(EngineInvalidationTest, ExplicitTenantInvalidationIsScopedToTag) {
+  EngineOptions options;
+  options.workers = 2;
+  DiagnosisEngine engine(options, symptoms_.get());
+  ASSERT_TRUE(engine.Submit(Request("tenant-a")).get().ok());
+  ASSERT_TRUE(engine.Submit(Request("tenant-b")).get().ok());
+
+  EXPECT_EQ(engine.InvalidateTenantResults("tenant-a"), 1u);
+
+  DiagnosisResponse a = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a.cache_hit);  // Dropped.
+  DiagnosisResponse b = engine.Submit(Request("tenant-b")).get();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b.cache_hit);  // Untouched.
+  EXPECT_EQ(engine.Stats().cache_invalidations, 1u);
+}
+
+TEST_F(EngineInvalidationTest, CacheHitRepopulatesInvalidatedFleetStore) {
+  // An explicit fleet-store invalidation with no new monitoring data must
+  // not make the tenant vanish from fleet queries forever: the next
+  // (generation-valid) cache hit republishes the verdict.
+  fleet::FleetStore store;
+  EngineOptions options;
+  options.workers = 2;
+  options.fleet_store = &store;
+  DiagnosisEngine engine(options, symptoms_.get());
+
+  ASSERT_TRUE(engine.Submit(Request("tenant-a")).get().ok());
+  EXPECT_EQ(engine.Stats().fleet_publishes, 1u);
+  ASSERT_GT(store.TotalCounters().entries, 0u);
+
+  ASSERT_GT(store.InvalidateTenant("tenant-a"), 0u);
+  ASSERT_EQ(store.TotalCounters().entries, 0u);
+
+  DiagnosisResponse hit = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(engine.Stats().fleet_publishes, 2u);
+  EXPECT_GT(store.TotalCounters().entries, 0u);
+
+  // A further hit with the store already populated does not republish.
+  DiagnosisResponse again = engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(engine.Stats().fleet_publishes, 2u);
+
+  // Component-level invalidation also repopulates on the next hit: the
+  // store drops the tenant row alongside the component's, which is the
+  // signal the cache-hit path checks.
+  ASSERT_GT(store.InvalidateComponent("tenant-a", "V1"), 0u);
+  DiagnosisResponse after_component =
+      engine.Submit(Request("tenant-a")).get();
+  ASSERT_TRUE(after_component.ok());
+  EXPECT_TRUE(after_component.cache_hit);
+  EXPECT_EQ(engine.Stats().fleet_publishes, 3u);
+  fleet::FleetQuery query(&store);
+  EXPECT_EQ(query.TenantsSharingComponent("V1"),
+            (std::vector<std::string>{"tenant-a"}));
+}
+
+TEST_F(EngineInvalidationTest, ExplicitComponentInvalidationMatchesReport) {
+  EngineOptions options;
+  options.workers = 2;
+  DiagnosisEngine engine(options, symptoms_.get());
+  ASSERT_TRUE(engine.Submit(Request("tenant-a")).get().ok());
+
+  // A component the S1 report never touched: no entry matches.
+  EXPECT_EQ(engine.InvalidateComponentResults("tenant-a",
+                                              ComponentId{0xFFFFFFF0u}),
+            0u);
+  EXPECT_TRUE(engine.Submit(Request("tenant-a")).get().cache_hit);
+
+  // V1 is scored by Module DA and named by the root cause: the entry
+  // whose report touched it drops.
+  EXPECT_EQ(engine.InvalidateComponentResults("tenant-a",
+                                              scenario_->testbed->v1),
+            1u);
+  EXPECT_FALSE(engine.Submit(Request("tenant-a")).get().cache_hit);
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Cross-backend fleet conformance: the S9-S11 shared-infrastructure
+// scenarios run as multi-tenant fleets on BOTH backends. For each
+// (scenario, backend) configuration a shared-fault fleet is diagnosed
+// through the engine with the fleet store attached, then:
+//
+//   * every tenant's report still diagnoses its injected root cause
+//     (the shared testsupport::DiagnosesGroundTruth predicate);
+//   * the fleet store's implicated-tenant set for the faulted component
+//     is byte-equal to the per-tenant ground-truth answer key;
+//   * every report is ReportDigest-identical to a serial diagnosis (the
+//     fleet store being attached must not perturb any diagnosis), and
+//     tenant 0 — which runs at the canonical seed — still matches the
+//     checked-in golden digest for its (scenario, backend) cell.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diads/report.h"
+#include "diads/symptoms_db.h"
+#include "engine/engine.h"
+#include "fleet/query.h"
+#include "fleet/store.h"
+#include "support/conformance_util.h"
+#include "workload/fleet.h"
+
+namespace diads {
+namespace {
+
+using workload::BuildSharedFaultFleet;
+using workload::FleetWorkload;
+using workload::ScenarioId;
+using workload::SharedFaultFleetOptions;
+
+struct FleetCase {
+  ScenarioId scenario;
+  db::BackendKind backend;
+};
+
+class FleetConformanceTest : public ::testing::TestWithParam<FleetCase> {};
+
+std::string FleetCaseName(
+    const ::testing::TestParamInfo<FleetCase>& info) {
+  return testsupport::CaseName(info.param.scenario, info.param.backend);
+}
+
+TEST_P(FleetConformanceTest, ImplicatedTenantSetMatchesGroundTruth) {
+  const FleetCase& test_case = GetParam();
+  SharedFaultFleetOptions options;
+  options.fault_scenario = test_case.scenario;
+  options.background_scenario = ScenarioId::kS3DataPropertyChange;
+  options.faulted_tenants = 2;
+  options.background_tenants = 1;
+  options.backend = test_case.backend;
+  Result<FleetWorkload> fleet = BuildSharedFaultFleet(options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  ASSERT_EQ(fleet->tenants.size(), 3u);
+
+  const diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  fleet::FleetStore store;
+  engine::EngineOptions engine_options;
+  engine_options.workers = 3;
+  engine_options.fleet_store = &store;
+  engine::DiagnosisEngine engine(engine_options, &symptoms);
+  std::vector<engine::DiagnosisRequest> requests;
+  for (const engine::DiagnosisRequest& request : fleet->requests) {
+    requests.push_back(request);
+  }
+  std::vector<engine::DiagnosisResponse> responses =
+      engine.BatchDiagnose(std::move(requests));
+  ASSERT_EQ(responses.size(), fleet->tenants.size());
+
+  // Every tenant still diagnoses its own injected cause, and its report
+  // is byte-identical to a serial diagnosis without the fleet store.
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const workload::FleetTenant& tenant =
+        fleet->tenants[fleet->tenant_of_request[i]];
+    ASSERT_TRUE(responses[i].ok())
+        << tenant.name << ": " << responses[i].status.ToString();
+    EXPECT_TRUE(testsupport::DiagnosesGroundTruth(*tenant.output,
+                                                  *responses[i].report))
+        << tenant.name;
+    Result<diag::DiagnosisReport> serial = workload::SerialDiagnosis(
+        tenant, diag::WorkflowConfig{}, &symptoms);
+    ASSERT_TRUE(serial.ok()) << tenant.name;
+    EXPECT_EQ(diag::ReportDigest(*responses[i].report),
+              diag::ReportDigest(*serial))
+        << tenant.name << ": fleet store perturbed the diagnosis";
+  }
+  EXPECT_EQ(engine.Stats().fleet_publishes, fleet->tenants.size());
+
+  // The faulted component (every faulted tenant's primary ground-truth
+  // subject) implicates exactly the faulted tenants — answered from the
+  // store, no module re-ran.
+  const std::string subject =
+      fleet->tenants[0].output->ground_truth.front().subject_name;
+  ASSERT_FALSE(subject.empty());
+  const std::vector<std::string> expected =
+      workload::TenantsWithGroundTruthSubject(*fleet, subject);
+  ASSERT_EQ(expected.size(), 2u) << "answer key should be the faulted pair";
+  // High-band filter: background tenants may carry medium-confidence
+  // echoes of the shared component (S3's data change propagates to the
+  // SAN), but only the faulted tenants implicate it with high confidence
+  // — the same bar DiagnosesGroundTruth holds the reports to.
+  fleet::FleetQuery query(&store);
+  EXPECT_EQ(
+      query.TenantsImplicating(subject, diag::ConfidenceBand::kHigh),
+      expected);
+
+  // The background tenant's own subject is implicated by it alone, so the
+  // store separates the shared fault from the tenant-local one.
+  const std::string background_subject =
+      fleet->tenants[2].output->ground_truth.front().subject_name;
+  if (!background_subject.empty() && background_subject != subject) {
+    EXPECT_EQ(query.TenantsImplicating(background_subject,
+                                       diag::ConfidenceBand::kHigh),
+              workload::TenantsWithGroundTruthSubject(*fleet,
+                                                      background_subject));
+  }
+
+  // Tenant 0 runs at the canonical seed/options: its digest must equal
+  // the checked-in conformance golden for this (scenario, backend) cell —
+  // the fleet store being enabled changes nothing, byte for byte.
+  Result<testsupport::GoldenDigestTable> golden =
+      testsupport::LoadGoldenDigests(testsupport::GoldenDigestPath());
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  const auto golden_it = golden->find(
+      {workload::ScenarioName(test_case.scenario),
+       db::BackendKindName(test_case.backend)});
+  ASSERT_NE(golden_it, golden->end())
+      << "no golden digest for this configuration";
+  EXPECT_EQ(diag::ReportDigestHashHex(*responses[0].report),
+            golden_it->second)
+      << "tenant 0's digest drifted from the conformance golden";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SharedInfrastructure, FleetConformanceTest,
+    ::testing::Values(
+        FleetCase{ScenarioId::kS9CpuSaturation, db::BackendKind::kPostgres},
+        FleetCase{ScenarioId::kS9CpuSaturation, db::BackendKind::kMysql},
+        FleetCase{ScenarioId::kS10RaidRebuild, db::BackendKind::kPostgres},
+        FleetCase{ScenarioId::kS10RaidRebuild, db::BackendKind::kMysql},
+        FleetCase{ScenarioId::kS11DiskFailure, db::BackendKind::kPostgres},
+        FleetCase{ScenarioId::kS11DiskFailure, db::BackendKind::kMysql}),
+    FleetCaseName);
+
+}  // namespace
+}  // namespace diads

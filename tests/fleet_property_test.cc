@@ -1,0 +1,284 @@
+// Property test: every FleetQuery answer over engine-published verdicts
+// equals the brute-force answer computed by re-diagnosing each tenant
+// serially and aggregating the raw reports — byte-equal implicated-tenant
+// sets and identical rankings.
+//
+// The brute-force oracle below deliberately reimplements the aggregation
+// from the DiagnosisReport vocabulary (ComponentIds + registry lookups),
+// sharing no code with fleet::ExtractVerdict / fleet::FleetQuery, so a
+// bug in the lowering or the store cannot cancel itself out.
+//
+// Fleets are randomized per iteration: seed, tenant count, scenario mix,
+// and backend all vary, driven by a seeded RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "diads/report.h"
+#include "diads/symptoms_db.h"
+#include "engine/engine.h"
+#include "fleet/query.h"
+#include "fleet/store.h"
+#include "workload/fleet.h"
+
+namespace diads {
+namespace {
+
+using workload::BuildFleet;
+using workload::FleetOptions;
+using workload::FleetWorkload;
+using workload::ScenarioId;
+
+constexpr double kShareThreshold = 0.8;
+
+/// One tenant's serial ground truth: the report plus its registry.
+struct SerialTenant {
+  std::string name;
+  const ComponentRegistry* registry = nullptr;
+  diag::DiagnosisReport report;
+};
+
+std::string NameOrEmpty(const ComponentRegistry& registry, ComponentId id) {
+  return registry.Contains(id) ? registry.NameOf(id) : std::string();
+}
+
+/// Brute force "tenants sharing component X with an anomalous metric":
+/// straight off each report's Module DA rows.
+std::vector<std::string> BruteTenantsSharing(
+    const std::vector<SerialTenant>& tenants, const std::string& component,
+    std::optional<monitor::MetricId> metric, double min_score) {
+  std::set<std::string> out;
+  for (const SerialTenant& tenant : tenants) {
+    for (const diag::MetricAnomaly& row : tenant.report.da.metrics) {
+      if (NameOrEmpty(*tenant.registry, row.component) != component) continue;
+      if (metric.has_value() && row.metric != *metric) continue;
+      if (row.anomaly_score >= min_score) {
+        out.insert(tenant.name);
+        break;
+      }
+    }
+  }
+  return std::vector<std::string>(out.begin(), out.end());
+}
+
+bool BandAtLeast(diag::ConfidenceBand band, diag::ConfidenceBand min_band) {
+  return static_cast<int>(band) <= static_cast<int>(min_band);
+}
+
+std::vector<std::string> BruteTenantsImplicating(
+    const std::vector<SerialTenant>& tenants, const std::string& component,
+    diag::ConfidenceBand min_band) {
+  std::set<std::string> out;
+  for (const SerialTenant& tenant : tenants) {
+    for (const diag::RootCause& cause : tenant.report.causes) {
+      if (NameOrEmpty(*tenant.registry, cause.subject) == component &&
+          BandAtLeast(cause.band, min_band)) {
+        out.insert(tenant.name);
+        break;
+      }
+    }
+  }
+  return std::vector<std::string>(out.begin(), out.end());
+}
+
+struct BruteImplicated {
+  std::string component;
+  int tenants = 0;
+  double max_confidence = 0;
+  std::vector<std::string> tenant_names;
+};
+
+std::vector<BruteImplicated> BruteTopImplicated(
+    const std::vector<SerialTenant>& tenants, size_t k,
+    diag::ConfidenceBand min_band) {
+  struct Agg {
+    std::set<std::string> names;
+    double max_confidence = 0;
+  };
+  std::map<std::string, Agg> by_component;
+  for (const SerialTenant& tenant : tenants) {
+    for (const diag::RootCause& cause : tenant.report.causes) {
+      const std::string subject =
+          NameOrEmpty(*tenant.registry, cause.subject);
+      if (subject.empty() || !BandAtLeast(cause.band, min_band)) continue;
+      Agg& agg = by_component[subject];
+      agg.names.insert(tenant.name);
+      agg.max_confidence = std::max(agg.max_confidence, cause.confidence);
+    }
+  }
+  std::vector<BruteImplicated> out;
+  for (auto& [component, agg] : by_component) {
+    BruteImplicated row;
+    row.component = component;
+    row.tenants = static_cast<int>(agg.names.size());
+    row.max_confidence = agg.max_confidence;
+    row.tenant_names.assign(agg.names.begin(), agg.names.end());
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BruteImplicated& a, const BruteImplicated& b) {
+              if (a.tenants != b.tenants) return a.tenants > b.tenants;
+              if (a.max_confidence != b.max_confidence) {
+                return a.max_confidence > b.max_confidence;
+              }
+              return a.component < b.component;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::map<std::pair<int, int>, int> BruteCooccurrence(
+    const std::vector<SerialTenant>& tenants) {
+  std::map<std::pair<int, int>, int> out;
+  for (const SerialTenant& tenant : tenants) {
+    std::set<int> types;
+    for (const diag::RootCause& cause : tenant.report.causes) {
+      types.insert(static_cast<int>(cause.type));
+    }
+    for (auto a = types.begin(); a != types.end(); ++a) {
+      for (auto b = a; b != types.end(); ++b) ++out[{*a, *b}];
+    }
+  }
+  return out;
+}
+
+/// All component names any tenant's report mentions (DA rows + cause
+/// subjects) — the query universe the property sweeps.
+std::set<std::string> AllMentionedComponents(
+    const std::vector<SerialTenant>& tenants) {
+  std::set<std::string> out;
+  for (const SerialTenant& tenant : tenants) {
+    for (const diag::MetricAnomaly& row : tenant.report.da.metrics) {
+      const std::string name = NameOrEmpty(*tenant.registry, row.component);
+      if (!name.empty()) out.insert(name);
+    }
+    for (const diag::RootCause& cause : tenant.report.causes) {
+      const std::string name = NameOrEmpty(*tenant.registry, cause.subject);
+      if (!name.empty()) out.insert(name);
+    }
+  }
+  return out;
+}
+
+TEST(FleetPropertyTest, QueriesEqualBruteForceReDiagnosis) {
+  const diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  SeededRng rng(0xf1ee7u);
+
+  const std::vector<std::vector<ScenarioId>> mixes = {
+      {ScenarioId::kS1SanMisconfiguration, ScenarioId::kS3DataPropertyChange},
+      {ScenarioId::kS10RaidRebuild, ScenarioId::kS2DualExternalContention,
+       ScenarioId::kS5LockingWithNoise},
+      {ScenarioId::kS9CpuSaturation, ScenarioId::kS4ConcurrentDbSan},
+  };
+
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    FleetOptions options;
+    options.scenarios = mixes[static_cast<size_t>(iteration) % mixes.size()];
+    options.tenants = 2 + static_cast<int>(rng.Uniform(0, 3));  // 2-4.
+    options.requests_per_tenant = 1;
+    options.seed = 1000 + static_cast<uint64_t>(rng.Uniform(0, 100000));
+    options.shuffle = false;
+    options.scenario_options.satisfactory_runs = 10;
+    options.scenario_options.unsatisfactory_runs = 5;
+    options.scenario_options.testbed.backend =
+        iteration % 2 == 0 ? db::BackendKind::kPostgres
+                           : db::BackendKind::kMysql;
+    Result<FleetWorkload> fleet = BuildFleet(options);
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    SCOPED_TRACE("iteration " + std::to_string(iteration) + " seed " +
+                 std::to_string(options.seed));
+
+    // Engine-published store (the system under test).
+    fleet::FleetStore store;
+    engine::EngineOptions engine_options;
+    engine_options.workers = 4;
+    engine_options.fleet_store = &store;
+    {
+      engine::DiagnosisEngine engine(engine_options, &symptoms);
+      std::vector<engine::DiagnosisResponse> responses =
+          engine.BatchDiagnose(std::move(fleet->requests));
+      for (const engine::DiagnosisResponse& response : responses) {
+        ASSERT_TRUE(response.ok()) << response.status.ToString();
+      }
+      EXPECT_EQ(engine.Stats().fleet_publishes, fleet->tenants.size());
+    }
+
+    // Brute force: re-diagnose every tenant serially.
+    std::vector<SerialTenant> serial;
+    for (const workload::FleetTenant& tenant : fleet->tenants) {
+      Result<diag::DiagnosisReport> report =
+          SerialDiagnosis(tenant, diag::WorkflowConfig{}, &symptoms);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      serial.push_back(SerialTenant{tenant.name,
+                                    &tenant.output->testbed->registry,
+                                    std::move(*report)});
+    }
+
+    fleet::FleetQuery query(&store);
+
+    // Q1: tenants sharing component X with anomalous metric M — swept
+    // over every mentioned component, any-metric and one specific metric.
+    for (const std::string& component : AllMentionedComponents(serial)) {
+      // min_score 0 exercises the cause-only-component boundary: rows a
+      // cause named but Module DA never scored must not match.
+      for (double min_score : {kShareThreshold, 0.0}) {
+        EXPECT_EQ(query.TenantsSharingComponent(component, std::nullopt,
+                                                min_score),
+                  BruteTenantsSharing(serial, component, std::nullopt,
+                                      min_score))
+            << "component " << component << " min_score " << min_score;
+      }
+      EXPECT_EQ(
+          query.TenantsSharingComponent(
+              component, monitor::MetricId::kVolReadLatencyMs, 0.5),
+          BruteTenantsSharing(serial, component,
+                              monitor::MetricId::kVolReadLatencyMs, 0.5))
+          << "component " << component << " (read-latency)";
+      for (diag::ConfidenceBand band :
+           {diag::ConfidenceBand::kHigh, diag::ConfidenceBand::kLow}) {
+        EXPECT_EQ(query.TenantsImplicating(component, band),
+                  BruteTenantsImplicating(serial, component, band))
+            << "component " << component << " (implicated, band "
+            << static_cast<int>(band) << ")";
+      }
+    }
+
+    // Q2: top-K implicated components — identical full ranking, at both
+    // the any-cause and high-confidence-only bars.
+    for (diag::ConfidenceBand band :
+         {diag::ConfidenceBand::kHigh, diag::ConfidenceBand::kLow}) {
+      for (size_t k : {size_t{1}, size_t{3}, size_t{100}}) {
+        const std::vector<fleet::FleetQuery::ImplicatedComponent> got =
+            query.TopImplicatedComponents(k, band);
+        const std::vector<BruteImplicated> want =
+            BruteTopImplicated(serial, k, band);
+        ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].component, want[i].component) << "k=" << k;
+          EXPECT_EQ(got[i].tenants, want[i].tenants) << "k=" << k;
+          EXPECT_DOUBLE_EQ(got[i].max_confidence, want[i].max_confidence);
+          EXPECT_EQ(got[i].tenant_names, want[i].tenant_names) << "k=" << k;
+        }
+      }
+    }
+
+    // Q3: root-cause co-occurrence — identical non-zero cells.
+    std::map<std::pair<int, int>, int> got_pairs;
+    for (const fleet::FleetQuery::CauseCooccurrence& row :
+         query.RootCauseCooccurrence()) {
+      got_pairs[{static_cast<int>(row.a), static_cast<int>(row.b)}] =
+          row.tenants;
+    }
+    EXPECT_EQ(got_pairs, BruteCooccurrence(serial));
+  }
+}
+
+}  // namespace
+}  // namespace diads

@@ -81,12 +81,14 @@ Result<const DiagnosedScenario*> GetDiagnosed(ScenarioId id,
   return const_cast<const DiagnosedScenario*>(it->second.get());
 }
 
-::testing::AssertionResult DiagnosesGroundTruth(const DiagnosedScenario& d) {
-  const ComponentRegistry& registry = d.scenario.testbed->registry;
-  for (const workload::GroundTruthCause& truth : d.scenario.ground_truth) {
+::testing::AssertionResult DiagnosesGroundTruth(
+    const workload::ScenarioOutput& scenario,
+    const diag::DiagnosisReport& report) {
+  const ComponentRegistry& registry = scenario.testbed->registry;
+  for (const workload::GroundTruthCause& truth : scenario.ground_truth) {
     if (!truth.primary) continue;
     bool found = false;
-    for (const diag::RootCause& cause : d.report.causes) {
+    for (const diag::RootCause& cause : report.causes) {
       if (cause.band == diag::ConfidenceBand::kHigh &&
           workload::MatchesGroundTruth(truth, cause, registry)) {
         found = true;
@@ -97,22 +99,25 @@ Result<const DiagnosedScenario*> GetDiagnosed(ScenarioId id,
              << "missing high-confidence cause: "
              << diag::RootCauseTypeName(truth.type) << " on "
              << truth.subject_name << "\nreport:\n"
-             << diag::RenderIaResult(d.scenario.MakeContext(),
-                                     d.report.causes);
+             << diag::RenderIaResult(scenario.MakeContext(), report.causes);
     }
   }
-  if (d.report.causes.empty()) {
+  if (report.causes.empty()) {
     return ::testing::AssertionFailure() << "report has no causes";
   }
-  for (const workload::GroundTruthCause& truth : d.scenario.ground_truth) {
-    if (workload::MatchesGroundTruth(truth, d.report.causes.front(),
+  for (const workload::GroundTruthCause& truth : scenario.ground_truth) {
+    if (workload::MatchesGroundTruth(truth, report.causes.front(),
                                      registry)) {
       return ::testing::AssertionSuccess();
     }
   }
   return ::testing::AssertionFailure()
          << "top cause is not a ground-truth cause: "
-         << diag::RootCauseTypeName(d.report.causes.front().type);
+         << diag::RootCauseTypeName(report.causes.front().type);
+}
+
+::testing::AssertionResult DiagnosesGroundTruth(const DiagnosedScenario& d) {
+  return DiagnosesGroundTruth(d.scenario, d.report);
 }
 
 std::string GoldenDigestPath() {

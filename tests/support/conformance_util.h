@@ -62,7 +62,12 @@ Result<const DiagnosedScenario*> GetDiagnosed(workload::ScenarioId id,
 /// The shared ground-truth predicate both the integration and conformance
 /// suites assert (kept in one place so they cannot drift): every primary
 /// injected cause appears in the report with high confidence, and the
-/// single top-ranked cause matches some ground-truth entry.
+/// single top-ranked cause matches some ground-truth entry. The
+/// (scenario, report) overload serves callers that diagnosed through the
+/// engine (the fleet conformance suite) rather than DiagnoseScenario.
+::testing::AssertionResult DiagnosesGroundTruth(
+    const workload::ScenarioOutput& scenario,
+    const diag::DiagnosisReport& report);
 ::testing::AssertionResult DiagnosesGroundTruth(const DiagnosedScenario& d);
 
 // --- Golden ReportDigest table ---------------------------------------------
