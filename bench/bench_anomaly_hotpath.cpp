@@ -45,6 +45,7 @@
 #include "stats/anomaly.h"
 #include "stats/kde.h"
 #include "stats/sorted_kde.h"
+#include "support/bench_json.h"
 
 using namespace diads;
 
@@ -348,13 +349,16 @@ int main(int argc, char** argv) {
                         StrFormat("%.1f", row.batched_us),
                         StrFormat("%.1fx", row.speedup),
                         StrFormat("%.1e", row.max_abs_diff)});
-      std::printf(
-          "[bench-json] {\"bench\":\"anomaly_hotpath\","
-          "\"experiment\":\"kde_eval\",\"baseline\":%d,\"observations\":%d,"
-          "\"regime\":\"%s\",\"naive_us\":%.2f,\"batched_us\":%.2f,"
-          "\"speedup\":%.2f,\"max_abs_diff\":%.3e}\n",
-          row.baseline, bench.observations, row.regime, row.naive_us,
-          row.batched_us, row.speedup, row.max_abs_diff);
+      diads::bench::BenchJson("anomaly_hotpath")
+          .Str("experiment", "kde_eval")
+          .Int("baseline", row.baseline)
+          .Int("observations", bench.observations)
+          .Str("regime", row.regime)
+          .Num("naive_us", row.naive_us, 2)
+          .Num("batched_us", row.batched_us, 2)
+          .Num("speedup", row.speedup, 2)
+          .Sci("max_abs_diff", row.max_abs_diff, 3)
+          .Emit();
     }
   }
   std::printf("\n%s\n", kde_table.Render().c_str());
@@ -372,12 +376,14 @@ int main(int argc, char** argv) {
                       StrFormat("%.1f", row.refit_us),
                       StrFormat("%.1f", row.cached_us),
                       StrFormat("%.1fx", row.speedup)});
-    std::printf(
-        "[bench-json] {\"bench\":\"anomaly_hotpath\","
-        "\"experiment\":\"model_fit\",\"baseline\":%d,\"observations\":%d,"
-        "\"refit_us\":%.2f,\"cached_us\":%.2f,\"speedup\":%.2f}\n",
-        row.baseline, bench.observations, row.refit_us, row.cached_us,
-        row.speedup);
+    diads::bench::BenchJson("anomaly_hotpath")
+        .Str("experiment", "model_fit")
+        .Int("baseline", row.baseline)
+        .Int("observations", bench.observations)
+        .Num("refit_us", row.refit_us, 2)
+        .Num("cached_us", row.cached_us, 2)
+        .Num("speedup", row.speedup, 2)
+        .Emit();
   }
   std::printf("\n%s\n", fit_table.Render().c_str());
 
@@ -389,23 +395,26 @@ int main(int argc, char** argv) {
       "view-based MeanIn %.3fus per query.\n",
       slice_row.series, slice_row.windows, slice_row.copy_us,
       slice_row.view_us, slice_row.speedup, slice_row.mean_us);
-  std::printf(
-      "[bench-json] {\"bench\":\"anomaly_hotpath\","
-      "\"experiment\":\"store_slice\",\"series\":%d,\"windows\":%d,"
-      "\"copy_us\":%.3f,\"view_us\":%.3f,\"mean_us\":%.3f,"
-      "\"speedup\":%.2f}\n",
-      slice_row.series, slice_row.windows, slice_row.copy_us,
-      slice_row.view_us, slice_row.mean_us, slice_row.speedup);
+  diads::bench::BenchJson("anomaly_hotpath")
+      .Str("experiment", "store_slice")
+      .Int("series", slice_row.series)
+      .Int("windows", slice_row.windows)
+      .Num("copy_us", slice_row.copy_us, 3)
+      .Num("view_us", slice_row.view_us, 3)
+      .Num("mean_us", slice_row.mean_us, 3)
+      .Num("speedup", slice_row.speedup, 2)
+      .Emit();
 
   // --- Headline ------------------------------------------------------------
   std::printf(
       "\nBatched KDE evaluation at 10k baseline samples: %.1fx (shifted "
       "observations), %.1fx (mixed).\n",
       speedup_10k_shifted, speedup_10k_mixed);
-  std::printf(
-      "[bench-json] {\"bench\":\"anomaly_hotpath\","
-      "\"experiment\":\"summary\",\"baseline\":10000,"
-      "\"speedup_shifted\":%.2f,\"speedup_mixed\":%.2f}\n",
-      speedup_10k_shifted, speedup_10k_mixed);
+  diads::bench::BenchJson("anomaly_hotpath")
+      .Str("experiment", "summary")
+      .Int("baseline", 10000)
+      .Num("speedup_shifted", speedup_10k_shifted, 2)
+      .Num("speedup_mixed", speedup_10k_mixed, 2)
+      .Emit();
   return 0;
 }

@@ -35,12 +35,20 @@
 // is the second pass over the same engine (all hits). Every report is
 // digest-verified against the serial ground truth.
 //
+// A fourth experiment measures the span tracer's overhead: the same
+// fresh-only compute-bound stream (no collector stall, result cache off)
+// with the tracer attached vs detached, alternated passes, min-of-N wall
+// time per mode. The summary row's overhead_pct is CI-gated (< 5%):
+// tracing must stay cheap enough to leave on in production.
+//
 //   $ ./bench_engine_throughput [--collector-ms=N] [--fresh=N]
 //                               [--repeats=N] [--tenants=N] [--seed=N]
 //                               [--async-base-ms=N] [--async-slow-factor=N]
 //                               [--async-timeout-ms=N] [--async-fresh=N]
 //                               [--mc-good-runs=N] [--mc-bad-runs=N]
-//                               [--mc-fresh=N]
+//                               [--mc-fresh=N] [--trace-fresh=N]
+//                               [--trace-passes=N]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +63,8 @@
 #include "diads/symptoms_db.h"
 #include "engine/engine.h"
 #include "monitor/async_collector.h"
+#include "obs/trace.h"
+#include "support/bench_json.h"
 #include "workload/fleet.h"
 
 using namespace diads;
@@ -78,6 +88,9 @@ struct BenchOptions {
   int mc_good_runs = 96;         ///< Satisfactory runs per tenant.
   int mc_bad_runs = 24;          ///< Unsatisfactory runs per tenant.
   int mc_fresh = 6;              ///< Fresh incidents per tenant, per pass.
+  // Tracing-overhead experiment.
+  int trace_fresh = 6;           ///< Fresh incidents per tenant, per pass.
+  int trace_passes = 3;          ///< Passes per mode (min wall time wins).
 };
 
 struct ConfigResult {
@@ -363,6 +376,10 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "mc-bad-runs", bench.mc_bad_runs));
   bench.mc_fresh = static_cast<int>(
       FlagValue(argc, argv, "mc-fresh", bench.mc_fresh));
+  bench.trace_fresh = static_cast<int>(
+      FlagValue(argc, argv, "trace-fresh", bench.trace_fresh));
+  bench.trace_passes = static_cast<int>(
+      FlagValue(argc, argv, "trace-passes", bench.trace_passes));
 
   workload::FleetOptions fleet_options;
   fleet_options.tenants = bench.tenants;
@@ -402,14 +419,17 @@ int main(int argc, char** argv) {
                     StrFormat("%llu",
                               static_cast<unsigned long long>(r.coalesced)),
                     StrFormat("%.1f", r.p95_ms)});
-      std::printf(
-          "[bench-json] {\"bench\":\"engine_throughput\",\"workers\":%d,"
-          "\"cache\":%s,\"requests\":%d,\"wall_sec\":%.3f,"
-          "\"diagnoses_per_sec\":%.2f,\"cache_hit_rate\":%.3f,"
-          "\"coalesced\":%llu,\"p95_ms\":%.2f,\"collector_ms\":%.0f}\n",
-          r.workers, r.cache ? "true" : "false", r.requests, r.seconds,
-          r.per_sec, r.hit_rate, static_cast<unsigned long long>(r.coalesced),
-          r.p95_ms, bench.collector_ms);
+      diads::bench::BenchJson("engine_throughput")
+          .Int("workers", r.workers)
+          .Bool("cache", r.cache)
+          .Int("requests", r.requests)
+          .Num("wall_sec", r.seconds, 3)
+          .Num("diagnoses_per_sec", r.per_sec, 2)
+          .Num("cache_hit_rate", r.hit_rate, 3)
+          .Uint("coalesced", r.coalesced)
+          .Num("p95_ms", r.p95_ms, 2)
+          .Num("collector_ms", bench.collector_ms, 0)
+          .Emit();
     }
   }
   std::printf("\n%s", table.Render().c_str());
@@ -462,17 +482,19 @@ int main(int argc, char** argv) {
          StrFormat("%llu", static_cast<unsigned long long>(r.fetches)),
          StrFormat("%llu", static_cast<unsigned long long>(r.timeouts)),
          StrFormat("%llu", static_cast<unsigned long long>(r.stale))});
-    std::printf(
-        "[bench-json] {\"bench\":\"engine_async_collection\","
-        "\"mode\":\"%s\",\"requests\":%d,\"wall_sec\":%.3f,"
-        "\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"fetches\":%llu,"
-        "\"timeouts\":%llu,\"stale\":%llu,\"base_ms\":%.0f,"
-        "\"slow_factor\":%.0f,\"timeout_ms\":%.0f}\n",
-        r.mode, r.requests, r.seconds, r.p50_ms, r.p99_ms,
-        static_cast<unsigned long long>(r.fetches),
-        static_cast<unsigned long long>(r.timeouts),
-        static_cast<unsigned long long>(r.stale), bench.async_base_ms,
-        bench.async_slow_factor, bench.async_timeout_ms);
+    diads::bench::BenchJson("engine_async_collection")
+        .Str("mode", r.mode)
+        .Int("requests", r.requests)
+        .Num("wall_sec", r.seconds, 3)
+        .Num("p50_ms", r.p50_ms, 2)
+        .Num("p99_ms", r.p99_ms, 2)
+        .Uint("fetches", r.fetches)
+        .Uint("timeouts", r.timeouts)
+        .Uint("stale", r.stale)
+        .Num("base_ms", bench.async_base_ms, 0)
+        .Num("slow_factor", bench.async_slow_factor, 0)
+        .Num("timeout_ms", bench.async_timeout_ms, 0)
+        .Emit();
   }
   std::printf("%s", async_table.Render().c_str());
   if (modes.size() == 2 && modes[1].p99_ms > 0) {
@@ -483,10 +505,10 @@ int main(int argc, char** argv) {
         "digest-identical to serial diagnosis.\n",
         modes[0].p99_ms, modes[1].p99_ms, speedup,
         modes[0].requests + modes[1].requests);
-    std::printf(
-        "[bench-json] {\"bench\":\"engine_async_collection\","
-        "\"mode\":\"summary\",\"p99_speedup\":%.2f}\n",
-        speedup);
+    diads::bench::BenchJson("engine_async_collection")
+        .Str("mode", "summary")
+        .Num("p99_speedup", speedup, 2)
+        .Emit();
   }
 
   // --- Model-cache experiment: cold vs warm fitted-baseline models --------
@@ -545,15 +567,18 @@ int main(int argc, char** argv) {
          StrFormat("%llu", static_cast<unsigned long long>(r.model_hits)),
          StrFormat("%llu", static_cast<unsigned long long>(r.model_misses)),
          StrFormat("%.0f%%", r.model_hit_rate * 100)});
-    std::printf(
-        "[bench-json] {\"bench\":\"engine_model_cache\",\"mode\":\"%s\","
-        "\"requests\":%d,\"wall_sec\":%.3f,\"diagnoses_per_sec\":%.2f,"
-        "\"p95_ms\":%.2f,\"model_hits\":%llu,\"model_misses\":%llu,"
-        "\"model_hit_rate\":%.3f,\"good_runs\":%d,\"bad_runs\":%d}\n",
-        r.mode, r.requests, r.seconds, r.per_sec, r.p95_ms,
-        static_cast<unsigned long long>(r.model_hits),
-        static_cast<unsigned long long>(r.model_misses), r.model_hit_rate,
-        bench.mc_good_runs, bench.mc_bad_runs);
+    diads::bench::BenchJson("engine_model_cache")
+        .Str("mode", r.mode)
+        .Int("requests", r.requests)
+        .Num("wall_sec", r.seconds, 3)
+        .Num("diagnoses_per_sec", r.per_sec, 2)
+        .Num("p95_ms", r.p95_ms, 2)
+        .Uint("model_hits", r.model_hits)
+        .Uint("model_misses", r.model_misses)
+        .Num("model_hit_rate", r.model_hit_rate, 3)
+        .Int("good_runs", bench.mc_good_runs)
+        .Int("bad_runs", bench.mc_bad_runs)
+        .Emit();
   }
   std::printf("%s", mc_table.Render().c_str());
   if (mc_results.size() == 3 && mc_results[0].per_sec > 0) {
@@ -565,11 +590,72 @@ int main(int argc, char** argv) {
         "diagnosis.\n",
         mc_results[0].per_sec, mc_results[2].per_sec, warm_speedup,
         mc_results[2].model_hit_rate * 100);
-    std::printf(
-        "[bench-json] {\"bench\":\"engine_model_cache\","
-        "\"mode\":\"summary\",\"warm_speedup\":%.2f,"
-        "\"warm_hit_rate\":%.3f}\n",
-        warm_speedup, mc_results[2].model_hit_rate);
+    diads::bench::BenchJson("engine_model_cache")
+        .Str("mode", "summary")
+        .Num("warm_speedup", warm_speedup, 2)
+        .Num("warm_hit_rate", mc_results[2].model_hit_rate, 3)
+        .Emit();
   }
-  return 0;
+
+  // --- Tracing-overhead experiment: tracer attached vs detached -----------
+  std::printf(
+      "\nSpan tracer overhead on a compute-bound stream (%d fresh "
+      "incidents per tenant, no collector stall, result cache off, "
+      "min of %d alternated passes per mode):\n",
+      bench.trace_fresh, bench.trace_passes);
+  engine::EngineOptions trace_options;
+  trace_options.workers = 4;
+  trace_options.enable_cache = false;
+  trace_options.coalesce_identical = false;
+  double best[2] = {1e300, 1e300};  // [0]=off, [1]=on.
+  size_t traced_spans = 0;
+  bool trace_digests_ok = true;
+  for (int pass = 0; pass < 2 * bench.trace_passes; ++pass) {
+    const bool traced = (pass % 2) == 1;  // Alternate off/on.
+    obs::Tracer tracer;
+    engine::EngineOptions options = trace_options;
+    options.tracer = traced ? &tracer : nullptr;
+    engine::DiagnosisEngine engine(options, &symptoms);
+    std::vector<engine::DiagnosisRequest> stream =
+        MakeStream(*fleet, bench.trace_fresh, /*repeats=*/0);
+    const size_t requests = stream.size();
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<engine::DiagnosisResponse> responses =
+        engine.BatchDiagnose(std::move(stream));
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    for (size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].ok()) {
+        std::fprintf(stderr, "tracing-pass diagnosis failed: %s\n",
+                     responses[i].status.ToString().c_str());
+        return 1;
+      }
+      if (diag::ReportDigest(*responses[i].report) !=
+          serial_digests[i % fleet->tenants.size()]) {
+        trace_digests_ok = false;
+      }
+    }
+    best[traced] = std::min(best[traced], seconds);
+    if (traced) traced_spans = tracer.span_count();
+    std::printf("  pass %d (%s): %zu requests in %.3fs\n", pass,
+                traced ? "traced" : "untraced", requests, seconds);
+  }
+  const double overhead_pct =
+      best[0] > 0 ? (best[1] - best[0]) / best[0] * 100.0 : 0.0;
+  std::printf(
+      "\nTracer overhead: %.3fs untraced vs %.3fs traced (min wall) = "
+      "%.2f%%; %zu spans per traced pass; digests %s.\n",
+      best[0], best[1], overhead_pct, traced_spans,
+      trace_digests_ok ? "identical to serial diagnosis"
+                       : "MISMATCHED (tracing is not digest-neutral!)");
+  diads::bench::BenchJson("engine_tracing")
+      .Str("mode", "summary")
+      .Num("wall_sec_untraced", best[0], 3)
+      .Num("wall_sec_traced", best[1], 3)
+      .Num("overhead_pct", overhead_pct, 2)
+      .Uint("spans", traced_spans)
+      .Bool("verified", trace_digests_ok)
+      .Emit();
+  return trace_digests_ok ? 0 : 1;
 }

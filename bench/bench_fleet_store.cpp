@@ -40,6 +40,7 @@
 #include "engine/engine.h"
 #include "fleet/query.h"
 #include "fleet/store.h"
+#include "support/bench_json.h"
 #include "workload/fleet.h"
 
 using namespace diads;
@@ -292,18 +293,23 @@ int main(int argc, char** argv) {
                   : from_store.implicated_counts[0],
               from_store.cooccurrence.size());
 
-  std::printf(
-      "[bench-json] {\"bench\":\"fleet_store\",\"mode\":\"brute\","
-      "\"tenants\":%d,\"ms_per_round\":%.4f}\n",
-      bench.tenants, brute_ms);
-  std::printf(
-      "[bench-json] {\"bench\":\"fleet_store\",\"mode\":\"store\","
-      "\"tenants\":%d,\"ms_per_round\":%.4f,\"publish_ms\":%.2f,"
-      "\"rows\":%zu}\n",
-      bench.tenants, query_ms, publish_ms, counters.entries);
-  std::printf(
-      "[bench-json] {\"bench\":\"fleet_store\",\"mode\":\"summary\","
-      "\"tenants\":%d,\"query_speedup\":%.1f,\"verified\":true}\n",
-      bench.tenants, speedup);
+  diads::bench::BenchJson("fleet_store")
+      .Str("mode", "brute")
+      .Int("tenants", bench.tenants)
+      .Num("ms_per_round", brute_ms, 4)
+      .Emit();
+  diads::bench::BenchJson("fleet_store")
+      .Str("mode", "store")
+      .Int("tenants", bench.tenants)
+      .Num("ms_per_round", query_ms, 4)
+      .Num("publish_ms", publish_ms, 2)
+      .Uint("rows", counters.entries)
+      .Emit();
+  diads::bench::BenchJson("fleet_store")
+      .Str("mode", "summary")
+      .Int("tenants", bench.tenants)
+      .Num("query_speedup", speedup, 1)
+      .Bool("verified", true)
+      .Emit();
   return 0;
 }

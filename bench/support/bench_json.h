@@ -1,0 +1,128 @@
+// Shared "[bench-json] {...}" emitter for the benchmark drivers.
+//
+// Every bench that feeds the acceptance trajectory prints one JSON object
+// per measured row, prefixed with "[bench-json] " so CI can grep them out
+// of the human-readable output. Before this header each bench hand-rolled
+// its printf format string — easy to unbalance a brace or emit a bare NaN
+// (invalid JSON) when a denominator is zero. The builder below owns the
+// quoting/formatting rules in one place:
+//
+//   BenchJson("engine_async_collection")
+//       .Str("mode", "summary")
+//       .Num("p99_speedup", speedup, 2)
+//       .Emit();
+//
+// prints
+//
+//   [bench-json] {"bench":"engine_async_collection","mode":"summary",
+//                 "p99_speedup":3.41}
+//
+// (one line). Field order follows call order; "bench" is always first.
+// Non-finite doubles are emitted as 0 with an extra "<key>_nonfinite":true
+// marker rather than breaking the line's parseability.
+//
+// For simple single-measurement rows there is also the standardized
+// (bench, metric, unit, value) shape:
+//
+//   EmitBenchMetric("fleet_store", "query_p99", "ms", p99);
+#ifndef DIADS_BENCH_SUPPORT_BENCH_JSON_H_
+#define DIADS_BENCH_SUPPORT_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+
+namespace diads::bench {
+
+/// One "[bench-json]" line under construction.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench) {
+    body_ = "\"bench\":" + Quoted(bench);
+  }
+
+  BenchJson& Str(const char* key, const std::string& value) {
+    return Raw(key, Quoted(value));
+  }
+
+  BenchJson& Bool(const char* key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  BenchJson& Int(const char* key, int64_t value) {
+    return Raw(key, StrFormat("%lld", static_cast<long long>(value)));
+  }
+
+  BenchJson& Uint(const char* key, uint64_t value) {
+    return Raw(key, StrFormat("%llu",
+                              static_cast<unsigned long long>(value)));
+  }
+
+  /// Fixed-point double with `precision` digits after the point (matching
+  /// the printf("%.Nf") the benches always used, so trajectory diffs stay
+  /// quiet). Non-finite values become 0 plus a "<key>_nonfinite" marker.
+  BenchJson& Num(const char* key, double value, int precision = 3) {
+    if (!std::isfinite(value)) {
+      Raw(key, "0");
+      return Raw((std::string(key) + "_nonfinite").c_str(), "true");
+    }
+    return Raw(key, StrFormat("%.*f", precision, value));
+  }
+
+  /// Scientific-notation double (for error magnitudes spanning decades).
+  /// JSON numbers allow the exponent form printf emits.
+  BenchJson& Sci(const char* key, double value, int precision = 3) {
+    if (!std::isfinite(value)) {
+      Raw(key, "0");
+      return Raw((std::string(key) + "_nonfinite").c_str(), "true");
+    }
+    return Raw(key, StrFormat("%.*e", precision, value));
+  }
+
+  /// Prints the line to stdout.
+  void Emit() const {
+    std::printf("[bench-json] {%s}\n", body_.c_str());
+  }
+
+ private:
+  BenchJson& Raw(const char* key, const std::string& rendered) {
+    body_ += ',';
+    body_ += Quoted(key);
+    body_ += ':';
+    body_ += rendered;
+    return *this;
+  }
+
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string body_;
+};
+
+/// The standardized single-measurement shape: bench, metric, unit, value.
+inline void EmitBenchMetric(const std::string& bench,
+                            const std::string& metric,
+                            const std::string& unit, double value,
+                            int precision = 3) {
+  BenchJson(bench).Str("metric", metric).Str("unit", unit)
+      .Num("value", value, precision).Emit();
+}
+
+}  // namespace diads::bench
+
+#endif  // DIADS_BENCH_SUPPORT_BENCH_JSON_H_

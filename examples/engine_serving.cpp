@@ -8,27 +8,79 @@
 // and prints the per-tenant diagnoses plus the engine's serving metrics —
 // the multi-tenant counterpart of examples/quickstart.cpp.
 //
-//   $ ./engine_serving [workers] [seed]
+// With --trace-out the run records every diagnosis as a span tree
+// (submit -> queue wait -> gather -> per-component fetches -> workflow
+// modules -> fleet publish) and writes a Chrome trace-event JSON you can
+// open at chrome://tracing or https://ui.perfetto.dev. With --metrics-out
+// it scrapes the unified metrics registry (engine + fleet-store sources)
+// into a JSON snapshot, plus Prometheus text exposition alongside at
+// <path>.prom. The engine's own health series (throughput, queue depth,
+// latency quantiles) are appended into a dedicated TimeSeriesStore — the
+// self-monitoring loop that lets DIADS be pointed at itself.
+//
+//   $ ./engine_serving [workers] [seed] [--trace-out=trace.json]
+//                      [--metrics-out=metrics.json]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "diads/workflow.h"
 #include "engine/engine.h"
+#include "engine/metrics_export.h"
+#include "engine/self_monitor.h"
+#include "fleet/metrics.h"
+#include "fleet/store.h"
 #include "monitor/async_collector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/fleet.h"
 
 using namespace diads;
 
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   engine::EngineOptions engine_options;
-  if (argc > 1) engine_options.workers = std::atoi(argv[1]);
-
   workload::FleetOptions fleet_options;
   fleet_options.tenants = 5;
   fleet_options.requests_per_tenant = 4;
-  if (argc > 2) {
-    fleet_options.seed = static_cast<uint64_t>(std::atoll(argv[2]));
+
+  std::string trace_out;
+  std::string metrics_out;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (positional == 0) {
+      engine_options.workers = std::atoi(arg);
+      ++positional;
+    } else if (positional == 1) {
+      fleet_options.seed = static_cast<uint64_t>(std::atoll(arg));
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
   }
 
   std::printf("Building a %d-tenant fleet (Table-1 scenarios)...\n",
@@ -45,11 +97,31 @@ int main(int argc, char** argv) {
   auto collector = std::make_shared<monitor::SimulatedSanCollector>(
       workload::MakeSkewedLatencyProfile(*fleet, /*base_ms=*/2,
                                          /*slow_factor=*/10));
+  fleet::FleetStore fleet_store;
+  obs::Tracer tracer;
+  engine_options.fleet_store = &fleet_store;
+  if (!trace_out.empty()) engine_options.tracer = &tracer;
+
   engine::DiagnosisEngine engine(engine_options, &symptoms, collector);
+
+  // Unified registry: every engine + fleet-store counter, one scrape.
+  obs::MetricsRegistry registry;
+  engine::RegisterEngineMetrics(&registry, &engine);
+  fleet::RegisterFleetStoreMetrics(&registry, &fleet_store);
+
+  // Self-monitoring: the engine's own health as ordinary time series in a
+  // dedicated store, at the paper's 5-minute monitoring interval.
+  monitor::TimeSeriesStore engine_health;
+  const ComponentId self{0};
+  SimTimeMs sim_now = 0;
+  engine::SampleEngineHealth(engine, self, sim_now, &engine_health);
+
   std::printf("Submitting %zu diagnosis requests to %d workers...\n\n",
               fleet->requests.size(), engine_options.workers);
   std::vector<engine::DiagnosisResponse> responses =
       engine.BatchDiagnose(std::move(fleet->requests));
+  sim_now += 5 * 60 * 1000;
+  engine::SampleEngineHealth(engine, self, sim_now, &engine_health);
 
   // One line per tenant: the first response carrying its report.
   std::vector<bool> seen(fleet->tenants.size(), false);
@@ -71,6 +143,33 @@ int main(int argc, char** argv) {
                 response.stale_data() ? "  [stale data]" : "");
   }
 
+  // Where did the first computed diagnosis spend its time?
+  for (const engine::DiagnosisResponse& response : responses) {
+    if (response.ok() && response.cost != nullptr &&
+        !response.cost->result_cache_hit && !response.cost->coalesced) {
+      std::printf("\nCost profile of one cold diagnosis:\n%s",
+                  response.cost->Render().c_str());
+      break;
+    }
+  }
+
   std::printf("\n%s", engine.Stats().Render().c_str());
+  std::printf("engine health store: %zu series, %zu samples "
+              "(self-monitoring tenant)\n",
+              engine_health.series_count(), engine_health.total_samples());
+
+  if (!trace_out.empty()) {
+    if (!WriteFile(trace_out, tracer.ExportChromeTrace())) return 1;
+    std::printf("wrote %zu spans to %s\n", tracer.span_count(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteFile(metrics_out, registry.ToJson())) return 1;
+    if (!WriteFile(metrics_out + ".prom", registry.RenderPrometheus())) {
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s (+ .prom)\n",
+                metrics_out.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,323 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace diads {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    Result<JsonValue> value = ParseValue(/*depth=*/0);
+    DIADS_RETURN_IF_ERROR(value.status());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        Result<std::string> s = ParseString();
+        DIADS_RETURN_IF_ERROR(s.status());
+        return JsonValue::String(std::move(*s));
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null());
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Error(StrFormat("unexpected character '%c'", c));
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const char* word, JsonValue value) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(StrFormat("invalid literal (expected '%s')", word));
+      }
+    }
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      return Error("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // No leading zeros.
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) return Error("number out of range");
+    return JsonValue::Number(value);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // The backslash.
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape digit");
+            }
+          }
+          // UTF-8 encode (surrogate pairs folded naively: a lone
+          // surrogate is kept as its replacement bytes — the validator
+          // cares about structure, not text round-tripping).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error(StrFormat("invalid escape '\\%c'", esc));
+      }
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    while (true) {
+      SkipWs();
+      Result<JsonValue> item = ParseValue(depth + 1);
+      DIADS_RETURN_IF_ERROR(item.status());
+      items.push_back(std::move(*item));
+      SkipWs();
+      if (Consume(']')) return JsonValue::Array(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::unordered_set<std::string> seen;
+    SkipWs();
+    if (Consume('}')) return JsonValue::Object(std::move(members));
+    while (true) {
+      SkipWs();
+      Result<std::string> key = ParseString();
+      DIADS_RETURN_IF_ERROR(key.status());
+      if (!seen.insert(*key).second) {
+        return Error(StrFormat("duplicate object key \"%s\"", key->c_str()));
+      }
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWs();
+      Result<JsonValue> value = ParseValue(depth + 1);
+      DIADS_RETURN_IF_ERROR(value.status());
+      members.emplace_back(std::move(*key), std::move(*value));
+      SkipWs();
+      if (Consume('}')) return JsonValue::Object(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::String(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Status ValidateJson(const std::string& text) {
+  return ParseJson(text).status();
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace diads

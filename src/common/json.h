@@ -1,0 +1,82 @@
+// Minimal JSON parser / validator.
+//
+// The repo emits JSON in several places — EngineStats::ToJson, the
+// unified metrics registry snapshot, Chrome trace exports, bench
+// "[bench-json]" lines — and the tests must assert those strings are
+// *well-formed*, not just that they contain expected substrings. This is
+// a small strict recursive-descent parser (RFC 8259 grammar: objects,
+// arrays, strings with escapes, numbers, true/false/null) that builds a
+// navigable JsonValue tree. It is a test/validation utility, not a
+// serving-path dependency: nothing hot parses JSON.
+#ifndef DIADS_COMMON_JSON_H_
+#define DIADS_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diads {
+
+/// A parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  /// Object members in document order (duplicate keys are rejected at
+  /// parse time, so lookup is unambiguous).
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return members_;
+  }
+
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  /// True when the object has `key` (false for non-objects).
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  static JsonValue Null();
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document. Trailing non-whitespace, duplicate
+/// object keys, unescaped control characters, and malformed numbers are
+/// all errors (strict mode keeps the emitters honest).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Convenience: Ok iff `text` parses as one complete JSON document.
+Status ValidateJson(const std::string& text);
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace diads
+
+#endif  // DIADS_COMMON_JSON_H_

@@ -64,7 +64,8 @@ Result<CoResult> RunCorrelatedOperators(const DiagnosisContext& ctx,
           ExtractedBaseline e;
           e.values = OperatorSpans(good_p, op.index);
           return e;
-        });
+        },
+        ctx.model_lookups);
     DIADS_RETURN_IF_ERROR(base.status());
     const std::vector<double> observed = OperatorSpans(bad_p, op.index);
     if (base->model == nullptr || observed.empty()) continue;

@@ -41,7 +41,8 @@ Result<CrResult> RunCorrelatedRecords(const DiagnosisContext& ctx,
           ExtractedBaseline e;
           e.values = OperatorRecordCounts(good, op_index);
           return e;
-        });
+        },
+        ctx.model_lookups);
     DIADS_RETURN_IF_ERROR(base.status());
     const std::vector<double> observed = OperatorRecordCounts(bad, op_index);
     if (base->model == nullptr || observed.empty()) continue;

@@ -90,7 +90,8 @@ Result<DaResult> RunDependencyAnalysis(const DiagnosisContext& ctx,
             e.values = MetricPerRun(*ctx.store, component, metric, good,
                                     &e.missing);
             return e;
-          });
+          },
+          ctx.model_lookups);
       DIADS_RETURN_IF_ERROR(base.status());
       const std::vector<double>& baseline = *base->values;
       const int missing_good = base->missing;

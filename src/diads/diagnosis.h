@@ -22,6 +22,8 @@
 #include "db/run_record.h"
 #include "monitor/metrics.h"
 #include "monitor/timeseries.h"
+#include "obs/cost_profile.h"
+#include "obs/trace.h"
 #include "san/topology.h"
 #include "stats/anomaly.h"
 
@@ -71,6 +73,17 @@ struct DiagnosisContext {
   /// tenant's live store so diagnoses over per-request collected
   /// snapshots (whose store pointers are ephemeral) still share models.
   const monitor::TimeSeriesStore* model_authority = nullptr;
+
+  /// Observability plumbing. Both are strictly write-only side channels:
+  /// nothing the workflow computes reads them, so enabling tracing or
+  /// lookup accounting cannot change a report (ReportDigest-neutral).
+  ///
+  /// Trace context for this diagnosis; modules open child spans under it.
+  /// Disabled (no-op) by default.
+  obs::TraceContext trace;
+  /// When non-null, GetOrFitBaseline attributes its cache hits/misses to
+  /// this diagnosis here (feeds the per-diagnosis CostProfile).
+  obs::ModelLookupCounters* model_lookups = nullptr;
 
   /// The effective authority: `model_authority` when set, else `store`.
   /// The single fallback rule every generation consumer must share —

@@ -156,12 +156,15 @@ void BaselineModelCache::Clear() {
 Result<CachedBaseline> GetOrFitBaseline(
     BaselineModelCache* cache, const BaselineModelKey& key,
     uint64_t generation, stats::BandwidthRule rule,
-    const std::function<ExtractedBaseline()>& extract) {
+    const std::function<ExtractedBaseline()>& extract,
+    obs::ModelLookupCounters* lookups) {
   if (cache != nullptr) {
     if (std::optional<CachedBaseline> cached = cache->Get(key, generation)) {
+      if (lookups != nullptr) ++lookups->hits;
       return std::move(*cached);
     }
   }
+  if (lookups != nullptr) ++lookups->misses;
   ExtractedBaseline extracted = extract();
   CachedBaseline out;
   out.missing = extracted.missing;

@@ -52,6 +52,7 @@
 #include "common/status.h"
 #include "db/run_record.h"
 #include "monitor/metrics.h"
+#include "obs/cost_profile.h"
 #include "stats/anomaly.h"
 #include "stats/sorted_kde.h"
 
@@ -192,10 +193,16 @@ class BaselineModelCache {
 /// (when >= 2 samples), and returns the fresh result. `cache` may be null
 /// — then this is exactly extract + SortedKde::Fit. The result is
 /// byte-identical either way.
+///
+/// When `lookups` is non-null the hit/miss outcome is also attributed
+/// there (per-diagnosis accounting for the cost profile; the cache's own
+/// global stats are updated regardless). A null-cache call counts as a
+/// miss: the caller paid for a fit.
 Result<CachedBaseline> GetOrFitBaseline(
     BaselineModelCache* cache, const BaselineModelKey& key,
     uint64_t generation, stats::BandwidthRule rule,
-    const std::function<ExtractedBaseline()>& extract);
+    const std::function<ExtractedBaseline()>& extract,
+    obs::ModelLookupCounters* lookups = nullptr);
 
 }  // namespace diads::diag
 

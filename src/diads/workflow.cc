@@ -48,6 +48,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
 
   // Query -> Plans.
   {
+    obs::SpanHandle span = ctx_.trace.StartSpan("module:PD", "workflow");
     ModuleTimer timer(Slot(timings, &ModuleTimings::pd_ms));
     Result<PdResult> pd = RunPlanDiff(ctx_);
     DIADS_RETURN_IF_ERROR(pd.status());
@@ -58,6 +59,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
   // runs on the shared plan's runs if any exist; if none exist the plan
   // change itself is the diagnosis.)
   {
+    obs::SpanHandle span = ctx_.trace.StartSpan("module:CO", "workflow");
     ModuleTimer timer(Slot(timings, &ModuleTimings::co_ms));
     Result<CoResult> co = RunCorrelatedOperators(ctx_, config_);
     if (co.ok()) {
@@ -69,6 +71,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
 
   // Operators -> Components.
   {
+    obs::SpanHandle span = ctx_.trace.StartSpan("module:DA", "workflow");
     ModuleTimer timer(Slot(timings, &ModuleTimings::da_ms));
     Result<DaResult> da = RunDependencyAnalysis(ctx_, config_, report.co);
     if (da.ok()) report.da = std::move(*da);
@@ -76,6 +79,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
 
   // Operators -> record counts.
   {
+    obs::SpanHandle span = ctx_.trace.StartSpan("module:CR", "workflow");
     ModuleTimer timer(Slot(timings, &ModuleTimings::cr_ms));
     Result<CrResult> cr = RunCorrelatedRecords(ctx_, config_, report.co);
     if (cr.ok()) report.cr = std::move(*cr);
@@ -83,6 +87,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
 
   // Symptoms -> causes.
   {
+    obs::SpanHandle span = ctx_.trace.StartSpan("module:SD", "workflow");
     ModuleTimer timer(Slot(timings, &ModuleTimings::sd_ms));
     if (symptoms_db_ != nullptr) {
       Result<std::vector<RootCause>> causes =
@@ -98,6 +103,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
 
   // Impact roll-up.
   {
+    obs::SpanHandle span = ctx_.trace.StartSpan("module:IA", "workflow");
     ModuleTimer timer(Slot(timings, &ModuleTimings::ia_ms));
     DIADS_RETURN_IF_ERROR(RunImpactAnalysis(
         ctx_, config_, report.co, report.cr, &report.causes, impact_method));
@@ -109,6 +115,7 @@ Result<DiagnosisReport> Workflow::Diagnose(ImpactMethod impact_method,
 CollectionOutcome Workflow::Collect(
     const monitor::MetricGatherer& gatherer) const {
   CollectionOutcome out;
+  obs::SpanHandle span = ctx_.trace.StartSpan("gather", "collect");
   const std::vector<monitor::SeriesKey> keys =
       SymptomIndex::CollectMetricKeys(ctx_);
   const std::vector<monitor::FetchRequest> plan =
@@ -116,7 +123,13 @@ CollectionOutcome Workflow::Collect(
                                        ctx_.store);
   out.planned_components = plan.size();
   out.planned_series = monitor::CollectionPlanner::SeriesCount(plan);
-  out.gather = gatherer.Gather(plan);
+  out.gather = gatherer.Gather(plan, ctx_.trace.Under(span));
+  if (span.active()) {
+    span.Note("components", static_cast<uint64_t>(out.planned_components));
+    span.Note("series", static_cast<uint64_t>(out.planned_series));
+    span.Note("samples", out.gather.counters.samples_collected);
+    span.Note("stale", out.gather.counters.stale_components);
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/strings.h"
 #include "fleet/store.h"
 #include "fleet/verdict.h"
 
@@ -94,6 +95,9 @@ struct DiagnosisEngine::Waiter {
   std::shared_ptr<std::promise<DiagnosisResponse>> promise;
   Clock::time_point submitted;
   bool coalesced = false;
+  /// The waiter's "diagnosis" root span; closed when the waiter resolves
+  /// (inert when tracing is off).
+  obs::SpanHandle span;
 };
 
 struct DiagnosisEngine::Inflight {
@@ -132,6 +136,17 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
     DiagnosisRequest request) {
   stats_.RecordSubmitted();
   const Clock::time_point submitted = Clock::now();
+  // One root span per Submit. The request's TraceContext parents every
+  // serving-path child (cache lookup, queue wait, gather, modules,
+  // publish); the handle itself travels to whichever path resolves this
+  // request and is closed there.
+  obs::SpanHandle root;
+  if (options_.tracer != nullptr) {
+    root = options_.tracer->Root().StartSpan("diagnosis", "engine");
+    root.Note("tag", request.tag);
+    root.Note("query", request.ctx.query);
+    request.ctx.trace = obs::TraceContext(options_.tracer, root.id());
+  }
   auto promise = std::make_shared<std::promise<DiagnosisResponse>>();
   std::future<DiagnosisResponse> future = promise->get_future();
 
@@ -145,6 +160,7 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
 
   const Status valid = ValidateContext(request.ctx);
   if (!valid.ok()) {
+    root.Note("outcome", "invalid");
     fulfill_now(valid, /*failed_counts=*/true);
     return future;
   }
@@ -152,6 +168,8 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
   const CacheKey key = KeyFor(request);
 
   if (options_.enable_cache) {
+    obs::SpanHandle cache_span =
+        request.ctx.trace.StartSpan("result_cache", "cache");
     std::shared_ptr<const CollectionSummary> cached_collection;
     const monitor::TimeSeriesStore* authority = AuthorityOf(request);
     const uint64_t generation = authority->StoreGeneration();
@@ -159,6 +177,8 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
             cache_.Get(key, &cached_collection,
                        options_.invalidate_results_on_append, authority,
                        generation)) {
+      cache_span.Note("outcome", "hit");
+      cache_span.End();
       stats_.RecordCacheHit();
       // Normally the computation that filled this entry already
       // published its verdict, but an explicit FleetStore invalidation
@@ -187,11 +207,18 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
       response.collection = std::move(cached_collection);
       response.cache_hit = true;
       response.latency_ms = ElapsedMs(submitted);
+      auto profile = std::make_shared<obs::CostProfile>();
+      profile->result_cache_hit = true;
+      profile->total_ms = response.latency_ms;
+      response.cost = std::move(profile);
+      root.Note("outcome", "cache_hit");
       stats_.RecordCompleted();
       stats_.RecordRequestLatency(response.latency_ms);
       promise->set_value(std::move(response));
       return future;
     }
+    cache_span.Note("outcome", "miss");
+    cache_span.End();
     stats_.RecordCacheMiss();
   }
 
@@ -200,52 +227,78 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
       std::lock_guard<std::mutex> lock(inflight_mu_);
       auto it = inflight_.find(key);
       if (it != inflight_.end()) {
-        it->second->waiters.push_back(
-            Waiter{std::move(promise), submitted, /*coalesced=*/true});
+        root.Note("outcome", "coalesced");
+        it->second->waiters.push_back(Waiter{std::move(promise), submitted,
+                                             /*coalesced=*/true,
+                                             std::move(root)});
         stats_.RecordCoalesced();
         return future;
       }
       auto entry = std::make_unique<Inflight>();
       entry->waiters.push_back(
-          Waiter{promise, submitted, /*coalesced=*/false});
+          Waiter{promise, submitted, /*coalesced=*/false, std::move(root)});
       inflight_.emplace(key, std::move(entry));
     }
+    // The queue-wait span lives in a shared_ptr because the pool's task
+    // type (std::function) requires copyable callables. It closes at
+    // worker pickup; the measured wait feeds the cost profile.
+    auto queue_span = std::make_shared<obs::SpanHandle>(
+        request.ctx.trace.StartSpan("queue_wait", "engine"));
+    const Clock::time_point enqueued = Clock::now();
     const Status submitted_status = pool_.Submit(
-        [this, key, request = std::move(request)]() mutable {
-          Execute(key, std::move(request));
+        [this, key, queue_span, enqueued,
+         request = std::move(request)]() mutable {
+          queue_span->End();
+          Execute(key, std::move(request), ElapsedMs(enqueued));
         });
     stats_.RecordQueueDepth(pool_.QueueDepth());
     if (!submitted_status.ok()) {
       // The pool shut down between the inflight insert and the enqueue:
       // fail every waiter that piled onto this key.
-      Resolve(key, submitted_status, nullptr, nullptr);
+      Resolve(key, submitted_status, nullptr, nullptr, nullptr);
     }
     return future;
   }
 
-  // No coalescing: the task owns its promise directly.
+  // No coalescing: the task owns its promise directly (and its root span,
+  // boxed for the same copyability reason as the queue span).
+  auto root_holder = std::make_shared<obs::SpanHandle>(std::move(root));
+  auto queue_span = std::make_shared<obs::SpanHandle>(
+      request.ctx.trace.StartSpan("queue_wait", "engine"));
+  const Clock::time_point enqueued = Clock::now();
   const Status submitted_status = pool_.Submit(
-      [this, key, promise, submitted, request = std::move(request)]() mutable {
+      [this, key, promise, submitted, enqueued, queue_span, root_holder,
+       request = std::move(request)]() mutable {
+        queue_span->End();
+        const double queue_wait_ms = ElapsedMs(enqueued);
         DiagnosisRequest local = std::move(request);
         const monitor::TimeSeriesStore* authority = AuthorityOf(local);
         const uint64_t generation = authority->StoreGeneration();
         Status status;
         std::shared_ptr<const diag::DiagnosisReport> report;
         std::shared_ptr<const CollectionSummary> collection;
-        Compute(&local, &status, &report, &collection);
-        if (status.ok()) {
-          AfterCompute(key, local, report, collection, authority, generation);
-        }
+        auto profile = std::make_shared<obs::CostProfile>();
+        profile->queue_wait_ms = queue_wait_ms;
+        Compute(&local, &status, &report, &collection, profile.get());
         DiagnosisResponse response;
+        response.latency_ms = ElapsedMs(submitted);
+        profile->total_ms = response.latency_ms;
+        std::shared_ptr<const obs::CostProfile> cost = std::move(profile);
+        if (status.ok()) {
+          AfterCompute(key, local, report, collection, authority, generation,
+                       cost);
+        }
         response.status = status;
         response.report = std::move(report);
         response.collection = std::move(collection);
-        response.latency_ms = ElapsedMs(submitted);
+        response.cost = std::move(cost);
         if (status.ok()) {
           stats_.RecordCompleted();
         } else {
           stats_.RecordFailed();
         }
+        root_holder->Note("outcome", status.ok() ? "ok" : "error");
+        root_holder->End();
         stats_.RecordRequestLatency(response.latency_ms);
         promise->set_value(std::move(response));
       });
@@ -260,7 +313,8 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
 void DiagnosisEngine::Compute(
     DiagnosisRequest* request, Status* status,
     std::shared_ptr<const diag::DiagnosisReport>* report,
-    std::shared_ptr<const CollectionSummary>* collection) {
+    std::shared_ptr<const CollectionSummary>* collection,
+    obs::CostProfile* profile) {
   if (collector_ == nullptr && options_.collector_stall_ms > 0) {
     // Legacy blocking baseline: one serialized stall per diagnosis.
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -272,6 +326,11 @@ void DiagnosisEngine::Compute(
     request->ctx.model_cache = &model_cache_;
     request->ctx.model_authority = request->ctx.Authority();
   }
+  // Per-diagnosis model-cache attribution (global cache stats cannot say
+  // which diagnosis paid for which fit). Lives on this stack frame; the
+  // workflow only reads the pointer synchronously.
+  obs::ModelLookupCounters model_lookups;
+  request->ctx.model_lookups = &model_lookups;
   diag::Workflow workflow(request->ctx, request->config, symptoms_db_);
   diag::CollectionOutcome outcome;
   if (collector_ != nullptr) {
@@ -288,6 +347,21 @@ void DiagnosisEngine::Compute(
     summary->timeouts = outcome.gather.counters.timeouts;
     summary->retries = outcome.gather.counters.retries;
     summary->gather_ms = outcome.gather.counters.gather_ms;
+    if (profile != nullptr) {
+      profile->gather_ms = outcome.gather.counters.gather_ms;
+      profile->fetches_issued = outcome.gather.counters.fetches;
+      profile->fetch_timeouts = outcome.gather.counters.timeouts;
+      profile->fetch_retries = outcome.gather.counters.retries;
+      profile->samples_collected = outcome.gather.counters.samples_collected;
+      profile->bytes_collected = outcome.gather.counters.bytes_collected;
+      const ComponentRegistry& registry =
+          request->ctx.topology->registry();
+      for (ComponentId component : summary->stale_components) {
+        profile->stale_components.push_back(
+            registry.Contains(component) ? registry.NameOf(component)
+                                         : "?");
+      }
+    }
     *collection = std::move(summary);
   }
   // The deployment what-if probe temporarily mutates the deployment's
@@ -318,6 +392,20 @@ void DiagnosisEngine::Compute(
                                             &timings)
           : workflow.Diagnose(request->impact_method, &timings);
   stats_.RecordModuleLatencies(timings);
+  if (profile != nullptr) {
+    profile->module_ms = {{"PD", timings.pd_ms}, {"CO", timings.co_ms},
+                          {"DA", timings.da_ms}, {"CR", timings.cr_ms},
+                          {"SD", timings.sd_ms}, {"IA", timings.ia_ms}};
+    profile->model_cache_hits = model_lookups.hits;
+    profile->model_cache_misses = model_lookups.misses;
+  }
+  // The per-diagnosis model-cache verdict as a zero-duration marker (the
+  // lookups themselves are interleaved through CO/DA/CR).
+  request->ctx.trace.Instant(
+      "model_cache", "cache",
+      {{"hits", StrFormat("%llu", (unsigned long long)model_lookups.hits)},
+       {"misses",
+        StrFormat("%llu", (unsigned long long)model_lookups.misses)}});
   if (!result.ok()) {
     *status = result.status();
     return;
@@ -327,24 +415,36 @@ void DiagnosisEngine::Compute(
       std::move(result).value());
 }
 
-void DiagnosisEngine::Execute(CacheKey key, DiagnosisRequest request) {
+void DiagnosisEngine::Execute(CacheKey key, DiagnosisRequest request,
+                              double queue_wait_ms) {
+  const Clock::time_point started = Clock::now();
   const monitor::TimeSeriesStore* authority = AuthorityOf(request);
   const uint64_t generation = authority->StoreGeneration();
   Status status;
   std::shared_ptr<const diag::DiagnosisReport> report;
   std::shared_ptr<const CollectionSummary> collection;
-  Compute(&request, &status, &report, &collection);
+  auto profile = std::make_shared<obs::CostProfile>();
+  profile->queue_wait_ms = queue_wait_ms;
+  Compute(&request, &status, &report, &collection, profile.get());
+  // Accepted -> response ready, from the computing request's viewpoint
+  // (coalesced waiters report their own latency_ms but share this
+  // profile).
+  profile->total_ms = queue_wait_ms + ElapsedMs(started);
+  std::shared_ptr<const obs::CostProfile> cost = std::move(profile);
   if (status.ok()) {
-    AfterCompute(key, request, report, collection, authority, generation);
+    AfterCompute(key, request, report, collection, authority, generation,
+                 cost);
   }
-  Resolve(key, status, std::move(report), std::move(collection));
+  Resolve(key, status, std::move(report), std::move(collection),
+          std::move(cost));
 }
 
 void DiagnosisEngine::AfterCompute(
     const CacheKey& key, const DiagnosisRequest& request,
     const std::shared_ptr<const diag::DiagnosisReport>& report,
     const std::shared_ptr<const CollectionSummary>& collection,
-    const monitor::TimeSeriesStore* authority, uint64_t generation) {
+    const monitor::TimeSeriesStore* authority, uint64_t generation,
+    const std::shared_ptr<const obs::CostProfile>& cost) {
   if (options_.enable_cache) {
     // The generation stamp was read *before* the workflow ran: if samples
     // arrived mid-computation the entry is conservatively already stale
@@ -361,8 +461,12 @@ void DiagnosisEngine::AfterCompute(
     // next diagnosis of this tenant is a guaranteed cache miss at the
     // new generation and republishes.
     if (authority->StoreGeneration() == generation) {
-      options_.fleet_store->Publish(
-          fleet::ExtractVerdict(request.ctx, *report, request.tag));
+      obs::SpanHandle span =
+          request.ctx.trace.StartSpan("fleet_publish", "engine");
+      fleet::TenantVerdict verdict =
+          fleet::ExtractVerdict(request.ctx, *report, request.tag);
+      verdict.cost = cost;
+      options_.fleet_store->Publish(verdict);
       stats_.RecordFleetPublish();
     }
   }
@@ -380,7 +484,8 @@ size_t DiagnosisEngine::InvalidateComponentResults(const std::string& tag,
 void DiagnosisEngine::Resolve(
     const CacheKey& key, const Status& status,
     std::shared_ptr<const diag::DiagnosisReport> report,
-    std::shared_ptr<const CollectionSummary> collection) {
+    std::shared_ptr<const CollectionSummary> collection,
+    std::shared_ptr<const obs::CostProfile> cost) {
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -394,6 +499,7 @@ void DiagnosisEngine::Resolve(
     response.status = status;
     response.report = report;
     response.collection = collection;
+    response.cost = cost;
     response.coalesced = waiter.coalesced;
     response.latency_ms = ElapsedMs(waiter.submitted);
     if (status.ok()) {
@@ -403,6 +509,8 @@ void DiagnosisEngine::Resolve(
     } else {
       stats_.RecordFailed();
     }
+    waiter.span.Note("outcome", status.ok() ? "ok" : "error");
+    waiter.span.End();
     stats_.RecordRequestLatency(response.latency_ms);
     waiter.promise->set_value(std::move(response));
   }

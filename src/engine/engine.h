@@ -53,6 +53,8 @@
 #include "engine/thread_pool.h"
 #include "monitor/async_collector.h"
 #include "monitor/gather.h"
+#include "obs/cost_profile.h"
+#include "obs/trace.h"
 
 namespace diads::fleet {
 class FleetStore;  // fleet/store.h
@@ -85,6 +87,12 @@ struct DiagnosisResponse {
   bool cache_hit = false;
   bool coalesced = false;   ///< Waited on an identical in-flight request.
   double latency_ms = 0;    ///< Submit to completion, wall clock.
+  /// Where this diagnosis's time went (queue / gather / modules, cache
+  /// outcomes, gather volume). Shared across coalesced waiters — it
+  /// describes the computation this response rode on. Null only for
+  /// responses that never reached a worker (validation / shutdown
+  /// rejections). Never feeds the report: ReportDigest-neutral.
+  std::shared_ptr<const obs::CostProfile> cost;
 
   bool ok() const { return status.ok(); }
   /// The stale-data annotation: true when this report was diagnosed with
@@ -141,6 +149,14 @@ struct EngineOptions {
   /// coalesced waiter may legally share the report of a computation
   /// started before its Submit).
   bool invalidate_results_on_append = true;
+  /// End-to-end span tracer (may be null = tracing off, the default).
+  /// When set, every Submit opens a "diagnosis" root span and the serving
+  /// path hangs its children off it: result_cache lookup, queue_wait,
+  /// gather (with per-component fetch spans), each workflow module, the
+  /// model-cache outcome, fleet_publish. Not owned; must outlive the
+  /// engine. Tracing is observation-only: reports are ReportDigest-
+  /// identical with the tracer attached or not.
+  obs::Tracer* tracer = nullptr;
 };
 
 class DiagnosisEngine {
@@ -209,22 +225,27 @@ class DiagnosisEngine {
   /// Runs the workflow for one request on a worker thread: collects the
   /// diagnosis window's metrics (async gather, or the legacy stall), wraps
   /// the what-if probe with the engine-wide probe lock, records module and
-  /// collection latencies.
+  /// collection latencies. Fills `profile` (may be null) with the gather
+  /// volume, module breakdown, and model-cache outcomes as it goes.
   void Compute(DiagnosisRequest* request, Status* status,
                std::shared_ptr<const diag::DiagnosisReport>* report,
-               std::shared_ptr<const CollectionSummary>* collection);
-  void Execute(CacheKey key, DiagnosisRequest request);
+               std::shared_ptr<const CollectionSummary>* collection,
+               obs::CostProfile* profile);
+  void Execute(CacheKey key, DiagnosisRequest request, double queue_wait_ms);
   /// Post-compute bookkeeping for a successful diagnosis: cache insert
   /// (stamped with the tenant store's pre-compute generation and the
-  /// report's touched components) and fleet-store publish.
+  /// report's touched components) and fleet-store publish (the verdict
+  /// carries `cost`).
   void AfterCompute(const CacheKey& key, const DiagnosisRequest& request,
                     const std::shared_ptr<const diag::DiagnosisReport>& report,
                     const std::shared_ptr<const CollectionSummary>& collection,
                     const monitor::TimeSeriesStore* authority,
-                    uint64_t generation);
+                    uint64_t generation,
+                    const std::shared_ptr<const obs::CostProfile>& cost);
   void Resolve(const CacheKey& key, const Status& status,
                std::shared_ptr<const diag::DiagnosisReport> report,
-               std::shared_ptr<const CollectionSummary> collection);
+               std::shared_ptr<const CollectionSummary> collection,
+               std::shared_ptr<const obs::CostProfile> cost);
 
   EngineOptions options_;
   const diag::SymptomsDb* symptoms_db_;

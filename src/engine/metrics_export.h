@@ -1,0 +1,33 @@
+// Engine -> unified metrics registry bridge.
+//
+// EngineStats keeps its atomics where the hot path wants them; this
+// bridge registers a scrape-time source that lowers a full
+// EngineStatsSnapshot into the registry's sample space — every counter
+// the snapshot carries (serving, result cache, model cache, async
+// collection) plus queue/throughput gauges and the latency summaries as
+// quantile-labelled gauges. obs_test asserts the mapping is lossless
+// ("no counter lost": every EngineStatsSnapshot field has a sample).
+#ifndef DIADS_ENGINE_METRICS_EXPORT_H_
+#define DIADS_ENGINE_METRICS_EXPORT_H_
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+
+namespace diads::engine {
+
+/// Registers a scrape-time source for `engine`'s stats. The engine must
+/// outlive the registry's last Collect/Render call. `labels` (e.g.
+/// {{"engine","serving"}}) are attached to every emitted sample.
+void RegisterEngineMetrics(obs::MetricsRegistry* registry,
+                           const DiagnosisEngine* engine,
+                           obs::Labels labels = {});
+
+/// The snapshot-lowering itself (shared with tests): emits every field of
+/// `snapshot` into `emitter`.
+void EmitEngineSnapshot(const EngineStatsSnapshot& snapshot,
+                        const obs::Labels& labels,
+                        obs::MetricsEmitter& emitter);
+
+}  // namespace diads::engine
+
+#endif  // DIADS_ENGINE_METRICS_EXPORT_H_

@@ -1,0 +1,37 @@
+#include "fleet/metrics.h"
+
+namespace diads::fleet {
+
+void EmitFleetStoreCounters(const FleetStore::Counters& counters,
+                            const obs::Labels& labels,
+                            obs::MetricsEmitter& emitter) {
+  emitter.Counter("diads_fleet_publishes_total", "Publish() calls", labels,
+                  counters.publishes);
+  emitter.Counter("diads_fleet_rows_inserted_total",
+                  "New (tenant, component, window) rows", labels,
+                  counters.rows_inserted);
+  emitter.Counter("diads_fleet_rows_superseded_total",
+                  "Rows replaced by an equal-or-newer generation", labels,
+                  counters.rows_superseded);
+  emitter.Counter("diads_fleet_rows_stale_dropped_total",
+                  "Publishes refused for carrying an older generation",
+                  labels, counters.rows_stale_dropped);
+  emitter.Counter("diads_fleet_invalidations_total",
+                  "Rows erased by Invalidate*/DropStale", labels,
+                  counters.invalidations);
+  emitter.Counter("diads_fleet_queries_total",
+                  "Cross-tenant query evaluations", labels,
+                  counters.queries);
+  emitter.Gauge("diads_fleet_entries", "Live rows across shards", labels,
+                static_cast<double>(counters.entries));
+}
+
+void RegisterFleetStoreMetrics(obs::MetricsRegistry* registry,
+                               const FleetStore* store, obs::Labels labels) {
+  registry->AddSource(
+      [store, labels = std::move(labels)](obs::MetricsEmitter& emitter) {
+        EmitFleetStoreCounters(store->TotalCounters(), labels, emitter);
+      });
+}
+
+}  // namespace diads::fleet

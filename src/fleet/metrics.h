@@ -1,0 +1,26 @@
+// FleetStore -> unified metrics registry bridge (the fleet-side sibling
+// of engine/metrics_export.h). Scrape-time source over
+// FleetStore::TotalCounters — nothing new is counted, the store's exact
+// per-row accounting just becomes scrapeable.
+#ifndef DIADS_FLEET_METRICS_H_
+#define DIADS_FLEET_METRICS_H_
+
+#include "fleet/store.h"
+#include "obs/metrics.h"
+
+namespace diads::fleet {
+
+/// Registers a scrape-time source for `store`'s counters. The store must
+/// outlive the registry's last Collect/Render call.
+void RegisterFleetStoreMetrics(obs::MetricsRegistry* registry,
+                               const FleetStore* store,
+                               obs::Labels labels = {});
+
+/// The lowering itself (shared with tests).
+void EmitFleetStoreCounters(const FleetStore::Counters& counters,
+                            const obs::Labels& labels,
+                            obs::MetricsEmitter& emitter);
+
+}  // namespace diads::fleet
+
+#endif  // DIADS_FLEET_METRICS_H_

@@ -64,7 +64,8 @@ void FleetStore::Publish(const TenantVerdict& verdict) {
                   verdict.window_end},
          verdict.store_generation, nullptr,
          std::make_shared<const TenantRecord>(TenantRecord{
-             verdict.query, verdict.plan_diff, verdict.causes}));
+             verdict.query, verdict.plan_diff, verdict.causes,
+             verdict.cost}));
   for (const ComponentVerdict& component : verdict.components) {
     Upsert(FleetKey{verdict.tenant, component.component,
                     verdict.window_begin, verdict.window_end},

@@ -73,6 +73,10 @@ struct TenantRecord {
   std::string query;
   PlanDiffSummary plan_diff;
   std::vector<CauseVerdict> causes;  ///< Ranked as reported.
+  /// The publishing diagnosis's cost profile (null when the verdict was
+  /// extracted outside the serving path) — lets fleet queries answer
+  /// "which tenants' diagnoses are slow, and why" from stored rows.
+  std::shared_ptr<const obs::CostProfile> cost;
 };
 
 class FleetStore {

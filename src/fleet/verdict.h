@@ -83,6 +83,10 @@ struct TenantVerdict {
   PlanDiffSummary plan_diff;
   std::vector<CauseVerdict> causes;           ///< Ranked as reported.
   std::vector<ComponentVerdict> components;   ///< Sorted by name.
+  /// What the diagnosis *cost* (set by the engine just before publish;
+  /// null for verdicts extracted outside the serving path). Observability
+  /// metadata only — verdict content and digests never read it.
+  std::shared_ptr<const obs::CostProfile> cost;
 };
 
 /// Lowers a finished diagnosis into its storable verdict. Component names

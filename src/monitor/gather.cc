@@ -4,20 +4,31 @@
 #include <chrono>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/strings.h"
+
 namespace diads::monitor {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Appends a batch's series into the collected store. Samples within a
-/// series are time-ordered (covering slices preserve store order), so the
-/// appends cannot fail.
-void Integrate(const MetricBatch& batch, TimeSeriesStore* collected) {
+/// Appends a batch's series into the collected store, accumulating the
+/// integrated volume into `counters`. Samples within a series are
+/// time-ordered (covering slices preserve store order), so the appends
+/// cannot fail.
+void Integrate(const MetricBatch& batch, TimeSeriesStore* collected,
+               GatherCounters* counters) {
   for (const MetricSeries& series : batch.series) {
     for (const Sample& sample : series.samples) {
       collected->Append(batch.component, series.metric, sample.time,
                         sample.value);
     }
+    counters->samples_collected += series.samples.size();
+    // Approximate wire size: one (time, value) pair per sample plus a
+    // small per-series header. Good enough for "which diagnosis moved
+    // how much data" attribution; nothing bills by it.
+    counters->bytes_collected +=
+        series.samples.size() * sizeof(Sample) + sizeof(MetricSeries);
   }
 }
 
@@ -30,19 +41,33 @@ MetricBatch StaleFromLocal(const FetchRequest& request) {
   return batch;
 }
 
+/// The structured degradation warning the serving stats could never
+/// answer: *which* component went stale, and why.
+void WarnStale(const FetchRequest& request, const char* reason,
+               int attempts) {
+  LogWarning("monitor.gather",
+             StrFormat("component C%u degraded to stale local data "
+                       "(%s after %d attempt%s, window [%s, %s])",
+                       request.component.value, reason, attempts,
+                       attempts == 1 ? "" : "s",
+                       FormatSimTime(request.interval.begin).c_str(),
+                       FormatSimTime(request.interval.end).c_str()));
+}
+
 }  // namespace
 
 MetricGatherer::MetricGatherer(AsyncCollector* collector,
                                GatherOptions options)
     : collector_(collector), options_(options) {}
 
-GatherResult MetricGatherer::Gather(
-    const std::vector<FetchRequest>& plan) const {
+GatherResult MetricGatherer::Gather(const std::vector<FetchRequest>& plan,
+                                    const obs::TraceContext& trace) const {
   struct InFlight {
     size_t plan_index = 0;
     std::future<MetricBatch> future;
     Clock::time_point deadline;
     int attempt = 1;
+    obs::SpanHandle span;
   };
 
   GatherResult result;
@@ -60,6 +85,13 @@ GatherResult MetricGatherer::Gather(
   auto issue = [&](size_t plan_index, int attempt) {
     InFlight entry;
     entry.plan_index = plan_index;
+    if (trace.enabled()) {
+      entry.span = trace.StartSpan(
+          StrFormat("fetch:C%u", plan[plan_index].component.value),
+          "collect");
+      entry.span.Note("attempt", static_cast<uint64_t>(attempt));
+      entry.span.NoteWindow(plan[plan_index].interval);
+    }
     entry.future = collector_->Fetch(plan[plan_index]);
     entry.deadline = Clock::now() + std::chrono::duration_cast<
                                         Clock::duration>(timeout);
@@ -87,6 +119,8 @@ GatherResult MetricGatherer::Gather(
     }
     if (!ready) {
       ++result.counters.timeouts;
+      entry.span.Note("outcome", "timeout");
+      entry.span.End();
       // Abandon the attempt (the collector resolves the orphaned promise
       // whenever it finishes; nobody is listening).
       if (entry.attempt < options_.max_attempts) {
@@ -95,7 +129,9 @@ GatherResult MetricGatherer::Gather(
       } else {
         ++result.counters.stale_components;
         result.stale_components.push_back(request.component);
-        Integrate(StaleFromLocal(request), &result.collected);
+        Integrate(StaleFromLocal(request), &result.collected,
+                  &result.counters);
+        WarnStale(request, "timeout", entry.attempt);
       }
       continue;
     }
@@ -106,11 +142,18 @@ GatherResult MetricGatherer::Gather(
       ++result.counters.cancelled;
       ++result.counters.stale_components;
       result.stale_components.push_back(request.component);
-      Integrate(StaleFromLocal(request), &result.collected);
+      Integrate(StaleFromLocal(request), &result.collected,
+                &result.counters);
+      entry.span.Note("outcome", "cancelled");
+      entry.span.End();
+      WarnStale(request, "fetch cancelled", entry.attempt);
       continue;
     }
     result.fetch_ms.push_back(batch.fetch_ms);
-    Integrate(batch, &result.collected);
+    Integrate(batch, &result.collected, &result.counters);
+    entry.span.Note("outcome", "ok");
+    entry.span.Note("fetch_ms", batch.fetch_ms);
+    entry.span.End();
   }
 
   std::sort(result.stale_components.begin(), result.stale_components.end());

@@ -20,6 +20,7 @@
 
 #include "monitor/async_collector.h"
 #include "monitor/timeseries.h"
+#include "obs/trace.h"
 
 namespace diads::monitor {
 
@@ -39,6 +40,8 @@ struct GatherCounters {
   uint64_t retries = 0;           ///< Re-issues after a timed-out attempt.
   uint64_t cancelled = 0;         ///< Fetches the collector resolved not-ok.
   uint64_t stale_components = 0;  ///< Components degraded to local data.
+  uint64_t samples_collected = 0; ///< Metric samples integrated (incl. stale).
+  uint64_t bytes_collected = 0;   ///< Approximate integrated payload bytes.
   double gather_ms = 0;           ///< Wall clock of the whole gather.
 };
 
@@ -60,9 +63,16 @@ class MetricGatherer {
   MetricGatherer(AsyncCollector* collector, GatherOptions options);
 
   /// Executes a plan. Never fails: timed-out or cancelled components come
-  /// back stale from their request's source store. Thread-safe (no state
-  /// mutated across calls); each engine worker gathers independently.
-  GatherResult Gather(const std::vector<FetchRequest>& plan) const;
+  /// back stale from their request's source store (each degradation is
+  /// logged as a structured "monitor.gather" warning naming the affected
+  /// component). Thread-safe (no state mutated across calls); each engine
+  /// worker gathers independently.
+  ///
+  /// When `trace` is enabled, every fetch attempt becomes a child span
+  /// ("fetch:C<id>", with attempt number and outcome); a disabled context
+  /// costs nothing.
+  GatherResult Gather(const std::vector<FetchRequest>& plan,
+                      const obs::TraceContext& trace = {}) const;
 
   const GatherOptions& options() const { return options_; }
 

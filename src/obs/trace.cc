@@ -1,0 +1,227 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace diads::obs {
+namespace {
+
+uint64_t ThisThreadHash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+const std::string* Span::FindArg(const std::string& key) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+SpanHandle& SpanHandle::operator=(SpanHandle&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    parent_ = other.parent_;
+    start_ns_ = other.start_ns_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void SpanHandle::Note(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, value);
+}
+
+void SpanHandle::Note(const std::string& key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, StrFormat("%llu", (unsigned long long)value));
+}
+
+void SpanHandle::Note(const std::string& key, double value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, StrFormat("%.3f", value));
+}
+
+void SpanHandle::NoteWindow(const TimeInterval& window) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back("window",
+                     StrFormat("[%s, %s]", FormatSimTime(window.begin).c_str(),
+                               FormatSimTime(window.end).c_str()));
+}
+
+void SpanHandle::End() {
+  if (tracer_ == nullptr) return;
+  Span span;
+  span.id = id_;
+  span.parent = parent_;
+  span.name = std::move(name_);
+  span.category = std::move(category_);
+  span.start_ns = start_ns_;
+  span.end_ns = tracer_->NowNs();
+  span.thread_hash = ThisThreadHash();
+  span.args = std::move(args_);
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->File(std::move(span));
+}
+
+SpanHandle TraceContext::StartSpan(const std::string& name,
+                                   const std::string& category) const {
+  SpanHandle handle;
+  if (tracer_ == nullptr) return handle;
+  handle.tracer_ = tracer_;
+  handle.id_ = tracer_->NextId();
+  handle.parent_ = parent_;
+  handle.start_ns_ = tracer_->NowNs();
+  handle.name_ = name;
+  handle.category_ = category;
+  return handle;
+}
+
+void TraceContext::Instant(
+    const std::string& name, const std::string& category,
+    std::vector<std::pair<std::string, std::string>> args) const {
+  if (tracer_ == nullptr) return;
+  Span span;
+  span.id = tracer_->NextId();
+  span.parent = parent_;
+  span.name = name;
+  span.category = category;
+  span.start_ns = tracer_->NowNs();
+  span.end_ns = span.start_ns;
+  span.thread_hash = ThisThreadHash();
+  span.args = std::move(args);
+  tracer_->File(std::move(span));
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::File(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  const std::vector<Span> spans = Spans();
+  // Map thread hashes to small stable tids so the trace viewer shows a
+  // handful of named rows instead of 64-bit hash lanes.
+  std::unordered_map<uint64_t, int> tids;
+  for (const Span& span : spans) {
+    tids.emplace(span.thread_hash, static_cast<int>(tids.size()) + 1);
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [hash, tid] : tids) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"worker-%d\"}}",
+        tid, tid);
+  }
+  for (const Span& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    const double ts_us = static_cast<double>(span.start_ns) / 1e3;
+    const double dur_us =
+        static_cast<double>(span.end_ns - span.start_ns) / 1e3;
+    out += StrFormat(
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":%s,\"cat\":%s,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+        tids[span.thread_hash], JsonQuote(span.name).c_str(),
+        JsonQuote(span.category).c_str(), ts_us, dur_us);
+    out += StrFormat("\"span_id\":\"%llu\",\"parent_id\":\"%llu\"",
+                     (unsigned long long)span.id,
+                     (unsigned long long)span.parent);
+    // Duplicate arg keys (a Note repeated, or shadowing the id fields)
+    // would make the export invalid JSON under the strict parser: last
+    // Note wins, ids are reserved.
+    std::vector<std::pair<std::string, std::string>> dedup;
+    for (const auto& [key, value] : span.args) {
+      if (key == "span_id" || key == "parent_id") continue;
+      auto slot = std::find_if(dedup.begin(), dedup.end(),
+                               [&](const auto& kv) { return kv.first == key; });
+      if (slot == dedup.end()) {
+        dedup.emplace_back(key, value);
+      } else {
+        slot->second = value;
+      }
+    }
+    for (const auto& [key, value] : dedup) {
+      out += StrFormat(",%s:%s", JsonQuote(key).c_str(),
+                       JsonQuote(value).c_str());
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string CheckSpanNesting(const std::vector<Span>& spans,
+                             int64_t slack_ns) {
+  std::unordered_map<SpanId, const Span*> by_id;
+  for (const Span& span : spans) {
+    if (span.id == 0) return StrFormat("span \"%s\" has id 0",
+                                       span.name.c_str());
+    if (!by_id.emplace(span.id, &span).second) {
+      return StrFormat("duplicate span id %llu", (unsigned long long)span.id);
+    }
+  }
+  for (const Span& span : spans) {
+    if (span.end_ns < span.start_ns) {
+      return StrFormat("span \"%s\" ends before it starts",
+                       span.name.c_str());
+    }
+    if (span.parent == 0) continue;
+    auto it = by_id.find(span.parent);
+    if (it == by_id.end()) {
+      return StrFormat("span \"%s\" has dangling parent id %llu",
+                       span.name.c_str(), (unsigned long long)span.parent);
+    }
+    const Span& parent = *it->second;
+    if (span.start_ns + slack_ns < parent.start_ns ||
+        span.end_ns > parent.end_ns + slack_ns) {
+      return StrFormat(
+          "span \"%s\" [%lld, %lld] escapes parent \"%s\" [%lld, %lld]",
+          span.name.c_str(), (long long)span.start_ns,
+          (long long)span.end_ns, parent.name.c_str(),
+          (long long)parent.start_ns, (long long)parent.end_ns);
+    }
+  }
+  return "";
+}
+
+}  // namespace diads::obs

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
 #include "diads/report.h"
 #include "diads/symptom_index.h"
 #include "diads/workflow.h"
@@ -287,6 +288,45 @@ TEST_F(GatherTest, TimeoutDegradesToStaleLocalData) {
   EXPECT_EQ(
       result.collected.Series(Comp(3), MetricId::kVolTotalIos).size(), 6u);
   EXPECT_EQ(result.collected.series_count(), 8u);
+}
+
+TEST_F(GatherTest, TimeoutDegradationLogsAffectedComponent) {
+  SimulatedLatencyOptions latency;
+  latency.base_latency_ms = 1;
+  latency.per_component_ms[3] = 10000;  // Component 3 always times out.
+  SimulatedSanCollector collector(latency);
+  GatherOptions options;
+  options.max_in_flight = 8;
+  options.timeout_ms = 25;
+  options.max_attempts = 2;
+  MetricGatherer gatherer(&collector, options);
+
+  const LogLevel previous = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  CaptureLogSink capture;
+  GatherResult result;
+  {
+    ScopedLogSink scoped(&capture);
+    result = gatherer.Gather(EightComponentPlan());
+  }
+  SetLogLevel(previous);
+
+  ASSERT_TRUE(result.degraded());
+  const std::vector<LogRecord> warnings = capture.RecordsFor("monitor.gather");
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].level, LogLevel::kWarning);
+  // The warning names the affected component, the reason, and the attempt
+  // count — the triad the serving stats alone could never answer.
+  EXPECT_NE(warnings[0].message.find("component C3"), std::string::npos)
+      << warnings[0].message;
+  EXPECT_NE(warnings[0].message.find("stale local data"), std::string::npos)
+      << warnings[0].message;
+  EXPECT_NE(warnings[0].message.find("timeout"), std::string::npos)
+      << warnings[0].message;
+  EXPECT_NE(warnings[0].message.find("2 attempts"), std::string::npos)
+      << warnings[0].message;
+  // Healthy components stay silent.
+  EXPECT_EQ(capture.size(), 1u);
 }
 
 TEST_F(GatherTest, CollectorShutdownMidGatherDegradesInsteadOfFailing) {

@@ -10,10 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "diads/report.h"
 #include "diads/workflow.h"
 #include "engine/cache.h"
@@ -436,6 +440,163 @@ TEST_F(EngineScenarioTest, StaleAnnotationSurvivesTheCache) {
   EngineStatsSnapshot stats = engine.Stats();
   EXPECT_EQ(stats.degraded_diagnoses, 1u);  // The cache hit recollects nothing.
   EXPECT_EQ(stats.collection_stale, 1u);
+}
+
+// --- DiagnosisEngine: tracing + cost profiles -------------------------------
+
+TEST_F(EngineScenarioTest, TraceCoversColdDiagnosisEndToEnd) {
+  // One cold diagnosis through the full serving path (async collector +
+  // fleet store + tracer) must leave a span tree covering queue wait,
+  // result-cache lookup, the scatter/gather with per-component fetches,
+  // every workflow module, the model-cache outcome, and the fleet
+  // publish — with consistent parent/child nesting.
+  monitor::SimulatedLatencyOptions latency;
+  latency.base_latency_ms = 0.5;
+  auto collector =
+      std::make_shared<monitor::SimulatedSanCollector>(latency);
+  fleet::FleetStore store;
+  obs::Tracer tracer;
+  EngineOptions options;
+  options.workers = 2;
+  options.fleet_store = &store;
+  options.tracer = &tracer;
+  DiagnosisEngine engine(options, symptoms_, collector);
+
+  DiagnosisResponse response = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(diag::ReportDigest(*response.report), *serial_digest_);
+
+  const std::vector<obs::Span> spans = tracer.Spans();
+  EXPECT_EQ(CheckSpanNesting(spans, /*slack_ns=*/1000000), "");
+
+  std::set<std::string> names;
+  for (const obs::Span& span : spans) names.insert(span.name);
+  for (const char* required :
+       {"diagnosis", "queue_wait", "result_cache", "gather", "module:PD",
+        "module:CO", "module:DA", "module:CR", "module:SD", "module:IA",
+        "model_cache", "fleet_publish"}) {
+    EXPECT_TRUE(names.count(required) != 0)
+        << "trace is missing span " << required;
+  }
+  bool saw_fetch = false;
+  for (const std::string& name : names) {
+    if (name.rfind("fetch:C", 0) == 0) saw_fetch = true;
+  }
+  EXPECT_TRUE(saw_fetch) << "no per-component fetch spans";
+
+  // The root span carries the request identity and the outcome.
+  const obs::Span* root = nullptr;
+  for (const obs::Span& span : spans) {
+    if (span.name == "diagnosis") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+  ASSERT_NE(root->FindArg("tag"), nullptr);
+  EXPECT_EQ(*root->FindArg("tag"), "tenant-a");
+  ASSERT_NE(root->FindArg("outcome"), nullptr);
+  EXPECT_EQ(*root->FindArg("outcome"), "ok");
+
+  // Gather and module spans nest under the root (directly or via a
+  // parent chain) — spot-check the gather's parentage.
+  std::map<obs::SpanId, const obs::Span*> by_id;
+  for (const obs::Span& span : spans) by_id[span.id] = &span;
+  for (const obs::Span& span : spans) {
+    if (span.name != "gather") continue;
+    obs::SpanId ancestor = span.parent;
+    bool reaches_root = false;
+    while (ancestor != 0) {
+      if (ancestor == root->id) { reaches_root = true; break; }
+      auto it = by_id.find(ancestor);
+      ASSERT_NE(it, by_id.end());
+      ancestor = it->second->parent;
+    }
+    EXPECT_TRUE(reaches_root) << "gather span not under the diagnosis root";
+  }
+
+  // Chrome export of a real serving trace stays strictly parseable.
+  EXPECT_TRUE(ValidateJson(tracer.ExportChromeTrace()).ok());
+}
+
+TEST_F(EngineScenarioTest, TracingIsDigestNeutral) {
+  // Same scenario, tracer detached vs attached: byte-identical digests.
+  // (The 24-config conformance matrix runs untraced; bench_engine_throughput
+  // CI-gates the same property across a whole fleet.)
+  std::string untraced_digest;
+  {
+    EngineOptions options;
+    options.workers = 2;
+    DiagnosisEngine engine(options, symptoms_);
+    DiagnosisResponse response = engine.Submit(RequestForScenario()).get();
+    ASSERT_TRUE(response.ok());
+    untraced_digest = diag::ReportDigest(*response.report);
+  }
+  obs::Tracer tracer;
+  EngineOptions options;
+  options.workers = 2;
+  options.tracer = &tracer;
+  DiagnosisEngine engine(options, symptoms_);
+  DiagnosisResponse response = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(diag::ReportDigest(*response.report), untraced_digest);
+  EXPECT_EQ(untraced_digest, *serial_digest_);
+  EXPECT_GT(tracer.span_count(), 0u);
+}
+
+TEST_F(EngineScenarioTest, ColdAndCachedResponsesCarryCostProfiles) {
+  monitor::SimulatedLatencyOptions latency;
+  latency.base_latency_ms = 0.5;
+  auto collector =
+      std::make_shared<monitor::SimulatedSanCollector>(latency);
+  EngineOptions options;
+  options.workers = 2;
+  DiagnosisEngine engine(options, symptoms_, collector);
+
+  DiagnosisResponse cold = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(cold.ok()) << cold.status.ToString();
+  ASSERT_NE(cold.cost, nullptr);
+  EXPECT_FALSE(cold.cost->result_cache_hit);
+  EXPECT_FALSE(cold.cost->coalesced);
+  ASSERT_EQ(cold.cost->module_ms.size(), 6u);
+  EXPECT_EQ(cold.cost->module_ms[0].first, "PD");
+  EXPECT_EQ(cold.cost->module_ms[5].first, "IA");
+  EXPECT_GT(cold.cost->gather_ms, 0.0);
+  EXPECT_GT(cold.cost->fetches_issued, 0u);
+  EXPECT_GT(cold.cost->samples_collected, 0u);
+  EXPECT_GT(cold.cost->bytes_collected, 0u);
+  EXPECT_TRUE(cold.cost->stale_components.empty());
+  EXPECT_GE(cold.cost->queue_wait_ms, 0.0);
+  // Total covers the parts it decomposes into.
+  EXPECT_GE(cold.cost->total_ms,
+            cold.cost->gather_ms + cold.cost->ModuleTotalMs());
+  // The profile is digest-neutral metadata: it must parse as JSON.
+  EXPECT_TRUE(ValidateJson(cold.cost->ToJson()).ok());
+
+  DiagnosisResponse cached = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.cache_hit);
+  ASSERT_NE(cached.cost, nullptr);
+  EXPECT_TRUE(cached.cost->result_cache_hit);
+  EXPECT_EQ(cached.cost->fetches_issued, 0u);  // Nothing recollected.
+}
+
+TEST_F(EngineScenarioTest, FleetVerdictCarriesCostProfile) {
+  fleet::FleetStore store;
+  EngineOptions options;
+  options.workers = 2;
+  options.fleet_store = &store;
+  DiagnosisEngine engine(options, symptoms_);
+  DiagnosisResponse response = engine.Submit(RequestForScenario()).get();
+  ASSERT_TRUE(response.ok());
+  ASSERT_NE(response.cost, nullptr);
+
+  bool saw_cost = false;
+  for (const fleet::FleetStore::Row& row : store.Snapshot()) {
+    if (row.record == nullptr || row.record->cost == nullptr) continue;
+    saw_cost = true;
+    // The published profile is the same shared object the response holds.
+    EXPECT_EQ(row.record->cost.get(), response.cost.get());
+  }
+  EXPECT_TRUE(saw_cost) << "no published row carries a cost profile";
 }
 
 // The shutdown-while-fetches-in-flight contract: Shutdown() must await

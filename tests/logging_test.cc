@@ -1,0 +1,151 @@
+// Structured logging: levels, component prefixes, sim-time stamps, and the
+// pluggable sink tests use to assert on what the library logged.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace diads {
+namespace {
+
+/// Restores the global level on scope exit so tests don't leak state.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(GetLogLevel()) {
+    SetLogLevel(level);
+  }
+  ~ScopedLogLevel() { SetLogLevel(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST(LoggingTest, CaptureSinkReceivesRecords) {
+  ScopedLogLevel level(LogLevel::kDebug);
+  CaptureLogSink capture;
+  ScopedLogSink scoped(&capture);
+
+  LogWarning("monitor.gather", "component C3 degraded");
+  LogInfo("engine", "worker pool started");
+
+  ASSERT_EQ(capture.size(), 2u);
+  const std::vector<LogRecord> records = capture.Records();
+  EXPECT_EQ(records[0].level, LogLevel::kWarning);
+  EXPECT_EQ(records[0].component, "monitor.gather");
+  EXPECT_EQ(records[0].message, "component C3 degraded");
+  EXPECT_EQ(records[1].level, LogLevel::kInfo);
+  EXPECT_EQ(records[1].component, "engine");
+  EXPECT_TRUE(capture.ContainsMessage("degraded"));
+  EXPECT_FALSE(capture.ContainsMessage("no such message"));
+}
+
+TEST(LoggingTest, LevelThresholdFilters) {
+  ScopedLogLevel level(LogLevel::kWarning);
+  CaptureLogSink capture;
+  ScopedLogSink scoped(&capture);
+
+  LogDebug("engine", "dropped");
+  LogInfo("engine", "dropped");
+  LogWarning("engine", "kept");
+  LogError("engine", "kept too");
+
+  ASSERT_EQ(capture.size(), 2u);
+  EXPECT_EQ(capture.Records()[0].level, LogLevel::kWarning);
+  EXPECT_EQ(capture.Records()[1].level, LogLevel::kError);
+}
+
+TEST(LoggingTest, RecordsForFiltersByComponent) {
+  ScopedLogLevel level(LogLevel::kInfo);
+  CaptureLogSink capture;
+  ScopedLogSink scoped(&capture);
+
+  LogInfo("monitor.gather", "a");
+  LogInfo("engine", "b");
+  LogInfo("monitor.gather", "c");
+
+  const std::vector<LogRecord> gather = capture.RecordsFor("monitor.gather");
+  ASSERT_EQ(gather.size(), 2u);
+  EXPECT_EQ(gather[0].message, "a");
+  EXPECT_EQ(gather[1].message, "c");
+  EXPECT_EQ(capture.RecordsFor("engine").size(), 1u);
+  EXPECT_TRUE(capture.RecordsFor("nothing").empty());
+}
+
+TEST(LoggingTest, SimTimeStampRoundTrips) {
+  ScopedLogLevel level(LogLevel::kInfo);
+  CaptureLogSink capture;
+  ScopedLogSink scoped(&capture);
+
+  // Day 0, 02:05:00 in sim time.
+  const SimTimeMs t = (2 * 3600 + 5 * 60) * 1000;
+  LogRecordTo(LogLevel::kWarning, "monitor.gather", "stale window", t);
+  LogRecordTo(LogLevel::kInfo, "engine", "no sim context");
+
+  ASSERT_EQ(capture.size(), 2u);
+  EXPECT_EQ(capture.Records()[0].sim_time, t);
+  EXPECT_LT(capture.Records()[1].sim_time, 0);
+  // Wall stamp is filled in by the logger.
+  EXPECT_GT(capture.Records()[0].wall_ns, 0);
+}
+
+TEST(LoggingTest, FormatIncludesLevelComponentAndSimTime) {
+  LogRecord record;
+  record.level = LogLevel::kWarning;
+  record.component = "monitor.gather";
+  record.message = "component C3 degraded";
+  record.sim_time = (2 * 3600 + 5 * 60) * 1000;
+
+  const std::string line = record.Format();
+  EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+  EXPECT_NE(line.find("monitor.gather"), std::string::npos) << line;
+  EXPECT_NE(line.find("02:05:00"), std::string::npos) << line;
+  EXPECT_NE(line.find("component C3 degraded"), std::string::npos) << line;
+
+  record.sim_time = -1;
+  record.component.clear();
+  const std::string bare = record.Format();
+  EXPECT_NE(bare.find("WARN"), std::string::npos) << bare;
+  EXPECT_NE(bare.find("component C3 degraded"), std::string::npos) << bare;
+}
+
+TEST(LoggingTest, ScopedSinkRestoresPrevious) {
+  ScopedLogLevel level(LogLevel::kInfo);
+  CaptureLogSink outer;
+  ScopedLogSink outer_scope(&outer);
+  {
+    CaptureLogSink inner;
+    ScopedLogSink inner_scope(&inner);
+    LogInfo("engine", "inner line");
+    EXPECT_EQ(inner.size(), 1u);
+    EXPECT_EQ(outer.size(), 0u);
+  }
+  LogInfo("engine", "outer line");
+  EXPECT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer.Records()[0].message, "outer line");
+}
+
+TEST(LoggingTest, ConcurrentWritesAreAllCaptured) {
+  ScopedLogLevel level(LogLevel::kInfo);
+  CaptureLogSink capture;
+  ScopedLogSink scoped(&capture);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogInfo("worker" + std::to_string(t), "line");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(capture.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace diads
