@@ -1,0 +1,56 @@
+#include "detect/metrics.h"
+
+#include <utility>
+
+namespace diads::detect {
+
+void EmitDetectorSnapshot(const DetectorStats& stats,
+                          const obs::Labels& labels,
+                          obs::MetricsEmitter& emitter) {
+  emitter.Counter("diads_detect_appends_observed_total",
+                  "Appends seen by the detector", labels,
+                  stats.appends_observed);
+  emitter.Counter("diads_detect_appends_scored_total",
+                  "Appends scored post-calibration", labels,
+                  stats.appends_scored);
+  emitter.Counter("diads_detect_series_calibrated_total",
+                  "Series sketches that finished calibration", labels,
+                  stats.series_calibrated);
+  emitter.Counter("diads_detect_band_crossings_total",
+                  "Samples above both the band and the ceiling", labels,
+                  stats.band_crossings);
+  emitter.Counter("diads_detect_confirmations_total",
+                  "Series confirmed anomalous", labels,
+                  stats.confirmations);
+  emitter.Counter("diads_detect_incidents_total", "Incidents opened",
+                  labels, stats.incidents_opened);
+  emitter.Counter("diads_detect_incidents_closed_total",
+                  "Incidents closed after band re-entry", labels,
+                  stats.incidents_closed);
+  emitter.Counter("diads_detect_suppressed_active_total",
+                  "Confirmations deduped onto an active incident", labels,
+                  stats.suppressed_active);
+  emitter.Counter("diads_detect_suppressed_cooldown_total",
+                  "Incident openings deferred by cooldown", labels,
+                  stats.suppressed_cooldown);
+  emitter.Counter("diads_detect_diagnoses_submitted_total",
+                  "Diagnoses auto-submitted to the engine", labels,
+                  stats.diagnoses_submitted);
+  emitter.Gauge("diads_detect_series_tracked", "Series with sketch state",
+                labels, static_cast<double>(stats.series_tracked));
+  emitter.Gauge("diads_detect_active_incidents", "Incidents open now",
+                labels, static_cast<double>(stats.active_incidents));
+  emitter.Gauge("diads_detect_watched_tenants", "Stores being watched",
+                labels, static_cast<double>(stats.watched_tenants));
+}
+
+void RegisterDetectorMetrics(obs::MetricsRegistry* registry,
+                             const SlowdownDetector* detector,
+                             obs::Labels labels) {
+  registry->AddSource(
+      [detector, labels = std::move(labels)](obs::MetricsEmitter& emitter) {
+        EmitDetectorSnapshot(detector->Stats(), labels, emitter);
+      });
+}
+
+}  // namespace diads::detect

@@ -1,0 +1,103 @@
+#include "detect/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/sorted_kde.h"
+
+namespace diads::detect {
+namespace {
+
+/// Inverts a monotone CDF at probability `p` by bisection over the fitted
+/// sample range widened by the KDE's own tail window. ~40 iterations pin
+/// the answer far below any threshold-relevant precision.
+double QuantileOf(const stats::SortedKde& kde, double p) {
+  const std::vector<double>& s = kde.sorted_samples();
+  double lo = s.front() - stats::SortedKde::kTailSigmas * kde.bandwidth();
+  double hi = s.back() + stats::SortedKde::kTailSigmas * kde.bandwidth();
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (kde.Cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+SeriesSketch::SeriesSketch(const SketchOptions& options) : options_(options) {
+  if (options_.calibration_samples < 2) options_.calibration_samples = 2;
+  buffer_.reserve(static_cast<size_t>(options_.calibration_samples));
+}
+
+double SeriesSketch::effective_sigma() const {
+  const double sigma = std::sqrt(std::max(var_, 0.0));
+  return std::max(sigma, options_.sigma_abs_floor +
+                             options_.sigma_rel_floor * std::fabs(mean_));
+}
+
+double SeriesSketch::upper_band() const {
+  if (!calibrated_) return 0;
+  return mean_ + options_.band_sigmas * effective_sigma();
+}
+
+double SeriesSketch::threshold() const {
+  return std::max(upper_band(), ceiling_);
+}
+
+void SeriesSketch::Calibrate() {
+  double sum = 0;
+  for (double v : buffer_) sum += v;
+  mean_ = sum / static_cast<double>(buffer_.size());
+  double ss = 0;
+  for (double v : buffer_) ss += (v - mean_) * (v - mean_);
+  var_ = ss / static_cast<double>(buffer_.size());
+  // The bandwidth floor in SelectBandwidthSorted keeps this fit valid even
+  // for an all-constant buffer.
+  Result<stats::SortedKde> kde = stats::SortedKde::Fit(buffer_);
+  if (kde.ok()) {
+    ceiling_ = QuantileOf(*kde, options_.quantile);
+  } else {
+    ceiling_ = upper_band();
+  }
+  calibrated_ = true;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+SampleVerdict SeriesSketch::Observe(double value) {
+  ++observed_;
+  if (!calibrated_) {
+    buffer_.push_back(value);
+    if (static_cast<int>(buffer_.size()) >= options_.calibration_samples) {
+      Calibrate();
+    }
+    return SampleVerdict::kCalibrating;
+  }
+  if (value > threshold()) return SampleVerdict::kCrossing;
+  // In band: fold into the EWMA mean/variance...
+  const double alpha = options_.ewma_alpha;
+  const double delta = value - mean_;
+  mean_ += alpha * delta;
+  var_ = (1 - alpha) * (var_ + alpha * delta * delta);
+  // ...and nudge the ceiling with the Robbins-Monro quantile rule
+  // (tau = the target probability): samples above it push it up fast,
+  // samples below let it decay slowly, so it tracks the running
+  // `quantile` of the in-band distribution.
+  const double step = options_.quantile_step * effective_sigma();
+  if (value > ceiling_) {
+    ceiling_ += step * options_.quantile;
+  } else {
+    ceiling_ -= step * (1.0 - options_.quantile);
+  }
+  // Never let the ceiling decay through the band: the band is the other
+  // half of the crossing predicate and the ceiling's job is only to sit
+  // above the high mode.
+  ceiling_ = std::max(ceiling_, mean_);
+  return SampleVerdict::kInBand;
+}
+
+}  // namespace diads::detect

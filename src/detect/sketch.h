@@ -1,0 +1,96 @@
+// Per-series incremental slowdown sketch.
+//
+// The request-driven workflow fits baseline KDEs over a whole satisfactory
+// window at diagnosis time; the always-on detector cannot afford that per
+// append. SeriesSketch is the O(1)-amortized alternative: each series
+// carries a few dozen bytes of state, scored on every append.
+//
+//   * Calibration: the first `calibration_samples` values are buffered;
+//     when full, a SortedKde is fitted over them (the same kernel + the
+//     bandwidth floor the diagnosis modules use, so constant series fit
+//     cleanly) and its CDF is inverted by bisection at `quantile` — the
+//     kernel-smoothed "normal-range ceiling" for this series. Production
+//     monitoring series are bimodal (idle intervals vs run-load
+//     intervals); the KDE quantile sits above the *high* mode, which a
+//     mean/variance band alone would not give.
+//   * Steady state: an EWMA mean/variance band is maintained over in-band
+//     samples, and the quantile ceiling is nudged with a Robbins-Monro
+//     update (step scaled by the band sigma). A sample is a *crossing*
+//     when it exceeds BOTH the EWMA upper band and the quantile ceiling.
+//   * Guarded update: crossing samples are NOT folded into the band or
+//     the ceiling, so a sustained fault does not teach the sketch that
+//     the fault is the new normal — the band stays at baseline and the
+//     series can later be observed re-entering it.
+//
+// One-sided by design: the paper's question is "why did my query slow
+// down", and every injected fault pushes load/latency/queueing metrics up.
+// Digest-neutrality: the sketch only ever *reads* appended values; nothing
+// the diagnosis workflow consumes depends on it.
+#ifndef DIADS_DETECT_SKETCH_H_
+#define DIADS_DETECT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace diads::detect {
+
+struct SketchOptions {
+  /// Samples buffered before the KDE calibration fit. At the paper's
+  /// 5-minute interval, 24 samples = 2 hours — enough to cover the idle
+  /// pre-roll plus several run periods of a report workload.
+  int calibration_samples = 24;
+  /// EWMA rate for the mean/variance band (per in-band sample).
+  double ewma_alpha = 0.15;
+  /// Band half-width in (floored) sigmas.
+  double band_sigmas = 4.0;
+  /// Calibrated ceiling quantile.
+  double quantile = 0.995;
+  /// Sigma floors: effective sigma is max(sigma, abs + rel * |mean|), so
+  /// a near-constant series does not alarm on measurement noise.
+  double sigma_rel_floor = 0.10;
+  double sigma_abs_floor = 1e-9;
+  /// Robbins-Monro step for the ceiling, as a fraction of effective sigma.
+  double quantile_step = 0.05;
+};
+
+enum class SampleVerdict {
+  kCalibrating,  ///< Still buffering; never a crossing.
+  kInBand,
+  kCrossing,  ///< Above both the EWMA band and the quantile ceiling.
+};
+
+class SeriesSketch {
+ public:
+  explicit SeriesSketch(const SketchOptions& options = SketchOptions());
+
+  /// Scores one appended value and folds it into the sketch state
+  /// (guarded: crossings are scored but not absorbed).
+  SampleVerdict Observe(double value);
+
+  bool calibrated() const { return calibrated_; }
+  uint64_t observed() const { return observed_; }
+  double mean() const { return mean_; }
+  /// The floored sigma the band uses.
+  double effective_sigma() const;
+  /// mean + band_sigmas * effective_sigma (0 until calibrated).
+  double upper_band() const;
+  /// The calibrated / nudged quantile ceiling (0 until calibrated).
+  double ceiling() const { return ceiling_; }
+  /// The crossing threshold: max(upper_band, ceiling).
+  double threshold() const;
+
+ private:
+  void Calibrate();
+
+  SketchOptions options_;
+  std::vector<double> buffer_;  ///< Cleared after calibration.
+  bool calibrated_ = false;
+  uint64_t observed_ = 0;
+  double mean_ = 0;
+  double var_ = 0;
+  double ceiling_ = 0;
+};
+
+}  // namespace diads::detect
+
+#endif  // DIADS_DETECT_SKETCH_H_

@@ -135,6 +135,7 @@ CacheKey DiagnosisEngine::KeyFor(const DiagnosisRequest& request) {
 std::future<DiagnosisResponse> DiagnosisEngine::Submit(
     DiagnosisRequest request) {
   stats_.RecordSubmitted();
+  if (request.incident != nullptr) stats_.RecordAutoSubmitted();
   const Clock::time_point submitted = Clock::now();
   // One root span per Submit. The request's TraceContext parents every
   // serving-path child (cache lookup, queue wait, gather, modules,
@@ -197,8 +198,10 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
             fleet::FleetKey{request.tag, "", key.window_begin,
                             key.window_end});
         if (row.record == nullptr || row.generation < generation) {
-          options_.fleet_store->Publish(
-              fleet::ExtractVerdict(request.ctx, *report, request.tag));
+          fleet::TenantVerdict verdict =
+              fleet::ExtractVerdict(request.ctx, *report, request.tag);
+          verdict.incident = request.incident;
+          options_.fleet_store->Publish(verdict);
           stats_.RecordFleetPublish();
         }
       }
@@ -466,6 +469,7 @@ void DiagnosisEngine::AfterCompute(
       fleet::TenantVerdict verdict =
           fleet::ExtractVerdict(request.ctx, *report, request.tag);
       verdict.cost = cost;
+      verdict.incident = request.incident;
       options_.fleet_store->Publish(verdict);
       stats_.RecordFleetPublish();
     }

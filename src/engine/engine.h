@@ -57,7 +57,8 @@
 #include "obs/trace.h"
 
 namespace diads::fleet {
-class FleetStore;  // fleet/store.h
+class FleetStore;      // fleet/store.h
+struct IncidentStamp;  // fleet/verdict.h
 }  // namespace diads::fleet
 
 namespace diads::engine {
@@ -72,6 +73,14 @@ struct DiagnosisRequest {
   /// Tenant / deployment disambiguator: two tenants both call their report
   /// query "Q2", but their diagnoses must not share cache entries.
   std::string tag;
+  /// Set by the SlowdownDetector's auto-submit path: the detected incident
+  /// this request answers. The engine counts it (EngineStats::
+  /// auto_submitted) and stamps it onto the published fleet verdict.
+  /// Deliberately NOT part of the cache key: an administrator asking the
+  /// detector's question joins the detector's in-flight computation (and
+  /// vice versa), which is the dedup/coalescing contract. Never read by
+  /// the workflow — reports are ReportDigest-identical with or without it.
+  std::shared_ptr<const fleet::IncidentStamp> incident;
 };
 
 /// What the future resolves to.

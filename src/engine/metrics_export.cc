@@ -37,6 +37,9 @@ void EmitEngineSnapshot(const EngineStatsSnapshot& snapshot,
   emitter.Counter("diads_engine_coalesced_total",
                   "Requests joined onto an identical in-flight request",
                   labels, snapshot.coalesced);
+  emitter.Counter("diads_engine_auto_submitted_total",
+                  "Requests auto-submitted by the slowdown detector",
+                  labels, snapshot.auto_submitted);
   emitter.Counter("diads_engine_fleet_publishes_total",
                   "Verdicts published into the fleet store", labels,
                   snapshot.fleet_publishes);

@@ -110,6 +110,7 @@ EngineStatsSnapshot EngineStats::Snapshot(size_t queue_depth) const {
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.auto_submitted = auto_submitted_.load(std::memory_order_relaxed);
   out.fleet_publishes = fleet_publishes_.load(std::memory_order_relaxed);
   out.queue_depth = queue_depth;
   out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
@@ -148,6 +149,7 @@ void EngineStats::Reset() {
   cache_hits_.store(0);
   cache_misses_.store(0);
   coalesced_.store(0);
+  auto_submitted_.store(0);
   fleet_publishes_.store(0);
   collection_fetches_.store(0);
   collection_timeouts_.store(0);
@@ -188,6 +190,10 @@ std::string EngineStatsSnapshot::Render() const {
   if (fleet_publishes > 0) {
     out += StrFormat("fleet:  %llu verdicts published\n",
                      static_cast<unsigned long long>(fleet_publishes));
+  }
+  if (auto_submitted > 0) {
+    out += StrFormat("detect: %llu auto-submitted diagnoses\n",
+                     static_cast<unsigned long long>(auto_submitted));
   }
   if (model_cache_hits + model_cache_misses > 0) {
     out += StrFormat(
@@ -237,7 +243,8 @@ std::string EngineStatsSnapshot::ToJson() const {
       "\"submitted\":%llu,\"completed\":%llu,\"failed\":%llu,"
       "\"rejected\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"cache_evictions\":%llu,\"cache_invalidations\":%llu,"
-      "\"coalesced\":%llu,\"fleet_publishes\":%llu,\"queue_depth\":%zu,"
+      "\"coalesced\":%llu,\"auto_submitted\":%llu,"
+      "\"fleet_publishes\":%llu,\"queue_depth\":%zu,"
       "\"max_queue_depth\":%zu,\"elapsed_sec\":%.3f,"
       "\"throughput_per_sec\":%.2f,\"cache_hit_rate\":%.4f,",
       static_cast<unsigned long long>(submitted),
@@ -249,6 +256,7 @@ std::string EngineStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cache_evictions),
       static_cast<unsigned long long>(cache_invalidations),
       static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(auto_submitted),
       static_cast<unsigned long long>(fleet_publishes), queue_depth,
       max_queue_depth, elapsed_sec, throughput_per_sec, CacheHitRate());
   out += StrFormat(

@@ -66,6 +66,9 @@ struct EngineStatsSnapshot {
   /// explicit per-tenant/per-component invalidation. From the cache.
   uint64_t cache_invalidations = 0;
   uint64_t coalesced = 0;      ///< Joined an identical in-flight request.
+  /// Requests carrying a detector incident (SlowdownDetector auto-submit)
+  /// rather than an administrator's question. Subset of `submitted`.
+  uint64_t auto_submitted = 0;
   /// Verdicts published into the fleet store (0 without a fleet store).
   uint64_t fleet_publishes = 0;
   // Baseline-model cache (filled by the engine from its
@@ -119,6 +122,9 @@ class EngineStats {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordCoalesced() { coalesced_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordAutoSubmitted() {
+    auto_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordFleetPublish() {
     fleet_publishes_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -140,6 +146,7 @@ class EngineStats {
   std::atomic<uint64_t> submitted_{0}, completed_{0}, failed_{0}, rejected_{0};
   std::atomic<uint64_t> cache_hits_{0}, cache_misses_{0};
   std::atomic<uint64_t> coalesced_{0}, fleet_publishes_{0};
+  std::atomic<uint64_t> auto_submitted_{0};
   std::atomic<uint64_t> collection_fetches_{0}, collection_timeouts_{0};
   std::atomic<uint64_t> collection_retries_{0}, collection_stale_{0};
   std::atomic<uint64_t> degraded_diagnoses_{0};

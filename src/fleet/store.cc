@@ -65,7 +65,7 @@ void FleetStore::Publish(const TenantVerdict& verdict) {
          verdict.store_generation, nullptr,
          std::make_shared<const TenantRecord>(TenantRecord{
              verdict.query, verdict.plan_diff, verdict.causes,
-             verdict.cost}));
+             verdict.cost, verdict.incident}));
   for (const ComponentVerdict& component : verdict.components) {
     Upsert(FleetKey{verdict.tenant, component.component,
                     verdict.window_begin, verdict.window_end},

@@ -77,6 +77,10 @@ struct TenantRecord {
   /// extracted outside the serving path) — lets fleet queries answer
   /// "which tenants' diagnoses are slow, and why" from stored rows.
   std::shared_ptr<const obs::CostProfile> cost;
+  /// The detected incident the diagnosis answered (null for
+  /// administrator-driven publishes) — lets fleet queries tell
+  /// auto-triggered verdicts apart and read their detection provenance.
+  std::shared_ptr<const IncidentStamp> incident;
 };
 
 class FleetStore {

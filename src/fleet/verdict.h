@@ -72,6 +72,24 @@ struct PlanDiffSummary {
   int explaining_candidates = 0; ///< could_explain == true.
 };
 
+/// Provenance of an auto-submitted diagnosis: which detected incident
+/// asked the question. Attached by the engine when a DiagnosisRequest
+/// carries one (the SlowdownDetector's auto-submit path) and stamped onto
+/// the published TenantVerdict. Observability metadata only — verdict
+/// content and digests never read it, so an auto-triggered diagnosis is
+/// byte-identical to the same question asked by an administrator.
+struct IncidentStamp {
+  /// Detector-wide monotone incident number — the "fresh generation
+  /// stamp" distinguishing a re-crossing from a still-active incident.
+  uint64_t sequence = 0;
+  /// Registry name of the component whose series confirmed ("" when the
+  /// detector could not resolve one).
+  std::string subject;
+  monitor::MetricId metric = monitor::MetricId::kVolTotalIos;
+  SimTimeMs onset_time = 0;      ///< First crossing sample of the streak.
+  SimTimeMs confirmed_time = 0;  ///< Sample that confirmed the incident.
+};
+
 /// One completed diagnosis, ready for the fleet store.
 struct TenantVerdict {
   std::string tenant;  ///< The engine request tag.
@@ -87,6 +105,10 @@ struct TenantVerdict {
   /// null for verdicts extracted outside the serving path). Observability
   /// metadata only — verdict content and digests never read it.
   std::shared_ptr<const obs::CostProfile> cost;
+  /// The detected incident this diagnosis answered (set by the engine for
+  /// auto-submitted requests; null for administrator-driven ones). Same
+  /// metadata-only contract as `cost`.
+  std::shared_ptr<const IncidentStamp> incident;
 };
 
 /// Lowers a finished diagnosis into its storable verdict. Component names

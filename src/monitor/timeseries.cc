@@ -26,11 +26,16 @@ Status TimeSeriesStore::Append(ComponentId component, MetricId metric,
     return Status::InvalidArgument(
         "samples must be appended in non-decreasing time order");
   }
+  if (s.ordinal == kUnassignedOrdinal) s.ordinal = next_ordinal_++;
   s.samples.push_back(Sample{time, value});
   ++s.generation;
   ++component_generation_[component];
   ++store_generation_;
   ++total_samples_;
+  if (listener_ != nullptr) {
+    listener_->OnAppend(component, metric, s.samples.back(), s.generation,
+                        s.ordinal);
+  }
   return Status::Ok();
 }
 
@@ -141,6 +146,15 @@ std::vector<MetricId> TimeSeriesStore::MetricsFor(ComponentId component) const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void TimeSeriesStore::ForEachSeries(
+    const std::function<void(ComponentId, MetricId,
+                             const std::vector<Sample>&)>& fn) const {
+  for (const auto& [key, series] : series_) {
+    if (series.samples.empty()) continue;
+    fn(key.component, key.metric, series.samples);
+  }
 }
 
 }  // namespace diads::monitor

@@ -20,6 +20,7 @@
 #define DIADS_MONITOR_TIMESERIES_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -85,6 +86,25 @@ struct SeriesKeyHash {
   }
 };
 
+/// Observes successful appends to one TimeSeriesStore (the online
+/// detection hook). The callback runs synchronously on the appending
+/// thread, *after* the sample is stored and every generation counter is
+/// bumped, so a listener reading Generation() sees the post-append value.
+/// Listeners must only observe: mutating the store from OnAppend is
+/// undefined (the store is mid-append and not re-entrant).
+class AppendListener {
+ public:
+  virtual ~AppendListener() = default;
+  /// `series_ordinal` is the dense 0-based index the store assigned to
+  /// this series when it was created, stable for the store's lifetime
+  /// (the store is append-only, so ordinals are never reused). It lets a
+  /// listener keep per-series state in a flat array indexed directly,
+  /// instead of re-hashing (component, metric) on every append.
+  virtual void OnAppend(ComponentId component, MetricId metric,
+                        const Sample& sample, uint64_t series_generation,
+                        uint32_t series_ordinal) = 0;
+};
+
 /// Append-only store of monitoring samples.
 class TimeSeriesStore {
  public:
@@ -92,6 +112,13 @@ class TimeSeriesStore {
   /// Bumps the series' generation counter (model-cache invalidation).
   Status Append(ComponentId component, MetricId metric, SimTimeMs time,
                 double value);
+
+  /// Installs (or, with nullptr, clears) the append listener. At most one
+  /// per store; not owned, must outlive its installation. The store is
+  /// not thread-safe, so the listener inherits the store's threading
+  /// contract: it is invoked on whichever single thread appends.
+  void SetAppendListener(AppendListener* listener) { listener_ = listener; }
+  AppendListener* append_listener() const { return listener_; }
 
   /// All samples of a series with time in [interval.begin, interval.end)
   /// as a non-owning view: two binary searches, no copy. The view is
@@ -152,6 +179,13 @@ class TimeSeriesStore {
   /// Metrics that have at least one sample for `component`.
   std::vector<MetricId> MetricsFor(ComponentId component) const;
 
+  /// Visits every non-empty series (iteration order is unspecified; sort
+  /// on the key if determinism matters). The visited sample vectors are
+  /// valid only during the call.
+  void ForEachSeries(
+      const std::function<void(ComponentId, MetricId,
+                               const std::vector<Sample>&)>& fn) const;
+
   size_t series_count() const { return series_.size(); }
   size_t total_samples() const { return total_samples_; }
 
@@ -159,12 +193,18 @@ class TimeSeriesStore {
   struct SeriesData {
     std::vector<Sample> samples;
     uint64_t generation = 0;
+    /// Dense creation-order index (see AppendListener::OnAppend);
+    /// assigned on first Append touching the series.
+    uint32_t ordinal = kUnassignedOrdinal;
   };
+  static constexpr uint32_t kUnassignedOrdinal = 0xFFFFFFFFu;
 
   std::unordered_map<SeriesKey, SeriesData, SeriesKeyHash> series_;
   std::unordered_map<ComponentId, uint64_t> component_generation_;
   uint64_t store_generation_ = 0;
   size_t total_samples_ = 0;
+  uint32_t next_ordinal_ = 0;
+  AppendListener* listener_ = nullptr;
 };
 
 }  // namespace diads::monitor

@@ -1,0 +1,83 @@
+#include "workload/detect_replay.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace diads::workload {
+namespace {
+
+struct ReplaySample {
+  SimTimeMs time = 0;
+  ComponentId component;
+  monitor::MetricId metric = monitor::MetricId::kVolTotalIos;
+  double value = 0;
+};
+
+}  // namespace
+
+Result<DetectionReplayResult> ReplayScenarioDetection(
+    const ScenarioOutput& scenario, const std::string& tenant_name,
+    engine::DiagnosisEngine* engine, const DetectionReplayOptions& options) {
+  if (scenario.testbed == nullptr) {
+    return Status::InvalidArgument("scenario has no testbed");
+  }
+
+  // Flatten the batch-collected store into the stream a live deployment
+  // would have appended. The sort key breaks same-instant ties by
+  // (component, metric) so the replay order is deterministic regardless
+  // of the store's hash-map iteration order.
+  std::vector<ReplaySample> stream;
+  scenario.testbed->store.ForEachSeries(
+      [&](ComponentId component, monitor::MetricId metric,
+          const std::vector<monitor::Sample>& samples) {
+        for (const monitor::Sample& sample : samples) {
+          if (options.cutoff >= 0 && sample.time > options.cutoff) continue;
+          stream.push_back(
+              ReplaySample{sample.time, component, metric, sample.value});
+        }
+      });
+  std::sort(stream.begin(), stream.end(),
+            [](const ReplaySample& a, const ReplaySample& b) {
+              return std::make_tuple(a.time, a.component.value,
+                                     static_cast<int>(a.metric)) <
+                     std::make_tuple(b.time, b.component.value,
+                                     static_cast<int>(b.metric));
+            });
+
+  detect::SlowdownDetector detector(options.detector, engine,
+                                    options.tracer);
+  monitor::TimeSeriesStore replica;
+  detect::SlowdownDetector::RequestFactory factory;
+  if (engine != nullptr) {
+    factory = [&scenario, tenant_name, &options]() {
+      engine::DiagnosisRequest request;
+      request.ctx = scenario.MakeContext();
+      request.config = options.config;
+      request.impact_method = options.impact_method;
+      request.tag = tenant_name;
+      return request;
+    };
+  }
+  DIADS_RETURN_IF_ERROR(
+      detector.Watch(tenant_name, &replica, std::move(factory)));
+
+  DetectionReplayResult out;
+  for (const ReplaySample& sample : stream) {
+    DIADS_RETURN_IF_ERROR(replica.Append(sample.component, sample.metric,
+                                         sample.time, sample.value));
+    ++out.samples_replayed;
+  }
+
+  detector.WaitForDiagnoses();
+  detector.Unwatch(&replica);
+  out.stats = detector.Stats();
+  out.incidents = detector.Incidents();
+  out.responses = detector.TakeResponses();
+  if (!out.incidents.empty()) {
+    out.detection_latency = out.incidents.front().confirmed_time -
+                            scenario.satisfactory_window.end;
+  }
+  return out;
+}
+
+}  // namespace diads::workload

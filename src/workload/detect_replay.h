@@ -1,0 +1,65 @@
+// Streaming-detection replay over a finished scenario.
+//
+// RunScenario populates its monitoring store in one batch at the end
+// (CollectMonitors over the whole span), but a deployed detector sees the
+// same samples one append at a time, in time order. ReplayScenarioDetection
+// reconstructs that live view: it drains the scenario store's samples,
+// globally sorts them by (time, component, metric) — a deterministic
+// merge of what the per-component collectors would have interleaved — and
+// re-appends them into a fresh replica store watched by a SlowdownDetector.
+//
+// The auto-submitted diagnosis question, however, is asked over the
+// scenario's *canonical* context (ScenarioOutput::MakeContext), exactly as
+// an administrator would ask it — so its report digest is comparable
+// byte-for-byte with the request-driven golden table. The replica exists
+// only to drive the sketches.
+//
+// `cutoff` truncates the replay: the quiet-fleet (false-positive)
+// experiments stop at satisfactory_window.end, before any fault onset.
+#ifndef DIADS_WORKLOAD_DETECT_REPLAY_H_
+#define DIADS_WORKLOAD_DETECT_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "workload/scenario.h"
+
+namespace diads::workload {
+
+struct DetectionReplayOptions {
+  detect::DetectorOptions detector;
+  /// Replay only samples with time <= cutoff; < 0 replays everything.
+  SimTimeMs cutoff = -1;
+  /// Workflow config of the auto-submitted diagnosis (defaults match the
+  /// conformance suite's request-driven runs).
+  diag::WorkflowConfig config;
+  diag::ImpactMethod impact_method = diag::ImpactMethod::kInverseDependency;
+  /// Optional span sink for detect_incident spans.
+  obs::Tracer* tracer = nullptr;
+};
+
+struct DetectionReplayResult {
+  detect::DetectorStats stats;
+  std::vector<detect::Incident> incidents;
+  size_t samples_replayed = 0;
+  /// Auto-submitted diagnosis responses, in submit order (empty when the
+  /// caller passed no engine or nothing confirmed).
+  std::vector<engine::DiagnosisResponse> responses;
+  /// Sim time from the end of the satisfactory window to the first
+  /// incident's confirming sample; -1 when no incident was raised.
+  SimTimeMs detection_latency = -1;
+};
+
+/// Replays `scenario`'s monitoring stream through a fresh SlowdownDetector
+/// watching a replica store, auto-submitting diagnoses tagged
+/// `tenant_name` to `engine` (may be null: incidents only). The scenario
+/// must outlive the call (responses borrow its context).
+Result<DetectionReplayResult> ReplayScenarioDetection(
+    const ScenarioOutput& scenario, const std::string& tenant_name,
+    engine::DiagnosisEngine* engine,
+    const DetectionReplayOptions& options = {});
+
+}  // namespace diads::workload
+
+#endif  // DIADS_WORKLOAD_DETECT_REPLAY_H_

@@ -1,0 +1,148 @@
+// Detection conformance: the always-on detector against the golden
+// request-driven diagnosis table.
+//
+// Three contracts, per the determinism story:
+//   * Trigger: replaying every scenario's monitoring stream through a
+//     SlowdownDetector raises an incident after the fault onset — the
+//     machine notices every Table-1 / plan-change slowdown by itself.
+//   * Digest parity: the diagnosis the incident auto-submits is
+//     byte-identical (ReportDigest hash) to the request-driven diagnosis
+//     of the same configuration — the one the golden table pins. Auto
+//     and admin ask the same question; they must get the same answer.
+//   * Quiet fleet: replaying only the satisfactory era (every BuildFleet
+//     tenant, plus each scenario standalone) raises zero incidents —
+//     detection is calibrated against the testbed's noise model, not
+//     just its faults.
+//
+// Replays also must never perturb the canonical store (the detector
+// watches a replica): asserted via the store generation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/backend.h"
+#include "diads/report.h"
+#include "engine/engine.h"
+#include "support/conformance_util.h"
+#include "workload/detect_replay.h"
+#include "workload/fleet.h"
+#include "workload/scenario.h"
+
+namespace diads::testsupport {
+namespace {
+
+using workload::DetectionReplayOptions;
+using workload::DetectionReplayResult;
+using workload::ReplayScenarioDetection;
+using workload::ScenarioId;
+
+diag::SymptomsDb* Symptoms() {
+  static auto* symptoms =
+      new diag::SymptomsDb(diag::SymptomsDb::MakeDefault());
+  return symptoms;
+}
+
+/// Replays `diagnosed`'s scenario through a fresh detector + engine and
+/// checks trigger + digest parity against its request-driven report.
+void ExpectDetectsAndMatchesDigest(const DiagnosedScenario& diagnosed,
+                                   db::BackendKind backend) {
+  const uint64_t generation_before =
+      diagnosed.scenario.testbed->store.StoreGeneration();
+
+  engine::EngineOptions options;
+  options.workers = 2;
+  engine::DiagnosisEngine engine(options, Symptoms());
+  const std::string tenant =
+      CaseName(diagnosed.scenario.id, backend) + "-auto";
+  Result<DetectionReplayResult> replay =
+      ReplayScenarioDetection(diagnosed.scenario, tenant, &engine);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  // Trigger: the fault onset raised an incident, after the quiet era.
+  ASSERT_GE(replay->incidents.size(), 1u) << "fault onset not detected";
+  EXPECT_GT(replay->incidents[0].confirmed_time,
+            diagnosed.scenario.satisfactory_window.end)
+      << "incident confirmed before the fault onset (false positive)";
+  EXPECT_GT(replay->detection_latency, 0);
+
+  // Digest parity with the request-driven (golden-pinned) diagnosis.
+  ASSERT_GE(replay->responses.size(), 1u);
+  const engine::DiagnosisResponse& response = replay->responses[0];
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  ASSERT_NE(response.report, nullptr);
+  EXPECT_EQ(diag::ReportDigestHashHex(*response.report),
+            diagnosed.digest_hash)
+      << "auto-submitted diagnosis diverged from the request-driven one";
+
+  // The canonical store was never appended to by the replay.
+  EXPECT_EQ(diagnosed.scenario.testbed->store.StoreGeneration(),
+            generation_before);
+}
+
+TEST(DetectionConformanceTest, EveryScenarioAutoTriggersWithGoldenDigest) {
+  for (ScenarioId id : AllScenarioIds()) {
+    SCOPED_TRACE(workload::ScenarioName(id));
+    Result<const DiagnosedScenario*> diagnosed =
+        GetDiagnosed(id, db::BackendKind::kPostgres);
+    ASSERT_TRUE(diagnosed.ok()) << diagnosed.status().ToString();
+    ExpectDetectsAndMatchesDigest(**diagnosed, db::BackendKind::kPostgres);
+  }
+}
+
+TEST(DetectionConformanceTest, MysqlSpotChecksAutoTrigger) {
+  // The full 12x2 matrix is backend_conformance_test's job; detection
+  // replays one SAN-side and one plan-change configuration on the second
+  // backend to pin the cross-backend behaviour.
+  for (ScenarioId id :
+       {ScenarioId::kS1SanMisconfiguration, ScenarioId::kS6IndexDrop}) {
+    SCOPED_TRACE(workload::ScenarioName(id));
+    Result<const DiagnosedScenario*> diagnosed =
+        GetDiagnosed(id, db::BackendKind::kMysql);
+    ASSERT_TRUE(diagnosed.ok()) << diagnosed.status().ToString();
+    ExpectDetectsAndMatchesDigest(**diagnosed, db::BackendKind::kMysql);
+  }
+}
+
+TEST(DetectionConformanceTest, QuietScenarioErasRaiseNoIncidents) {
+  // Standalone: every scenario truncated at its satisfactory end.
+  for (ScenarioId id : AllScenarioIds()) {
+    SCOPED_TRACE(workload::ScenarioName(id));
+    Result<const DiagnosedScenario*> diagnosed =
+        GetDiagnosed(id, db::BackendKind::kPostgres);
+    ASSERT_TRUE(diagnosed.ok()) << diagnosed.status().ToString();
+    DetectionReplayOptions options;
+    options.cutoff = (*diagnosed)->scenario.satisfactory_window.end;
+    Result<DetectionReplayResult> replay = ReplayScenarioDetection(
+        (*diagnosed)->scenario, "quiet", /*engine=*/nullptr, options);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_EQ(replay->incidents.size(), 0u)
+        << "false positive in the satisfactory era";
+    EXPECT_GT(replay->stats.series_calibrated, 0u);
+  }
+}
+
+TEST(DetectionConformanceTest, QuietFleetRaisesNoIncidents) {
+  // The CI gate's shape: a healthy multi-tenant fleet (the default
+  // 5-tenant S1-S5 mix), each tenant watched up to its fault onset —
+  // zero incidents, zero engine traffic.
+  Result<workload::FleetWorkload> fleet =
+      workload::BuildFleet(workload::FleetOptions{});
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  uint64_t incidents = 0;
+  uint64_t calibrated = 0;
+  for (const workload::FleetTenant& tenant : fleet->tenants) {
+    DetectionReplayOptions options;
+    options.cutoff = tenant.output->satisfactory_window.end;
+    Result<DetectionReplayResult> replay = ReplayScenarioDetection(
+        *tenant.output, tenant.name, /*engine=*/nullptr, options);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    incidents += replay->incidents.size();
+    calibrated += replay->stats.series_calibrated;
+  }
+  EXPECT_EQ(incidents, 0u);
+  EXPECT_GT(calibrated, 0u);
+}
+
+}  // namespace
+}  // namespace diads::testsupport

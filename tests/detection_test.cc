@@ -1,0 +1,408 @@
+// Tests for the always-on slowdown detector: the SeriesSketch's guarded
+// band/ceiling arithmetic, the per-series confirmation state machine, the
+// tenant incident discipline (dedup under an active incident, sim-time
+// cooldown, fresh sequence stamps after recovery), the engine auto-submit
+// path (stats, fleet verdict stamping), and a multi-tenant concurrency
+// test with appender threads racing the detector and the engine. Run this
+// binary under -fsanitize=thread (cmake -DDIADS_SANITIZE_THREAD=ON) to
+// validate the locking — CI's TSan job does.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "detect/detector.h"
+#include "detect/sketch.h"
+#include "engine/engine.h"
+#include "engine/stats.h"
+#include "fleet/store.h"
+#include "monitor/timeseries.h"
+#include "workload/detect_replay.h"
+#include "workload/scenario.h"
+
+namespace diads::detect {
+namespace {
+
+using workload::RunScenario;
+using workload::ScenarioId;
+using workload::ScenarioOutput;
+
+// --- SeriesSketch -----------------------------------------------------------
+
+SketchOptions SmallSketch() {
+  SketchOptions options;
+  options.calibration_samples = 8;
+  return options;
+}
+
+TEST(SeriesSketchTest, CalibratesAfterBufferedSamples) {
+  SeriesSketch sketch(SmallSketch());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(sketch.calibrated());
+    EXPECT_EQ(sketch.Observe(10.0 + 0.1 * i), SampleVerdict::kCalibrating);
+  }
+  EXPECT_TRUE(sketch.calibrated());
+  EXPECT_NEAR(sketch.mean(), 10.35, 0.01);
+  EXPECT_GT(sketch.threshold(), sketch.mean());
+}
+
+TEST(SeriesSketchTest, StationarySamplesStayInBand) {
+  SeriesSketch sketch(SmallSketch());
+  for (int i = 0; i < 8; ++i) sketch.Observe(10.0 + 0.1 * (i % 3));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sketch.Observe(10.0 + 0.1 * (i % 3)), SampleVerdict::kInBand);
+  }
+}
+
+TEST(SeriesSketchTest, LargeShiftCrosses) {
+  SeriesSketch sketch(SmallSketch());
+  for (int i = 0; i < 8; ++i) sketch.Observe(10.0);
+  EXPECT_EQ(sketch.Observe(100.0), SampleVerdict::kCrossing);
+}
+
+TEST(SeriesSketchTest, GuardedUpdateKeepsBaselineUnderSustainedFault) {
+  // A sustained fault must not teach the sketch that the fault is the
+  // new normal: crossings are scored, never absorbed.
+  SeriesSketch sketch(SmallSketch());
+  for (int i = 0; i < 8; ++i) sketch.Observe(10.0);
+  const double mean_before = sketch.mean();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sketch.Observe(100.0), SampleVerdict::kCrossing);
+  }
+  EXPECT_DOUBLE_EQ(sketch.mean(), mean_before);
+  // And the series can be observed re-entering the band afterwards.
+  EXPECT_EQ(sketch.Observe(10.0), SampleVerdict::kInBand);
+}
+
+TEST(SeriesSketchTest, BimodalCalibrationKeepsHighModeInBand) {
+  // Idle/run-load alternation: the KDE ceiling sits above the high mode,
+  // so routine run-load samples are not crossings even though they are
+  // far above the idle-dominated mean.
+  SeriesSketch sketch(SmallSketch());
+  // 6 idle samples at ~2, 2 run-load samples at ~60 (the 1-in-3..6 duty
+  // cycle of a periodic report workload).
+  const double calib[] = {2.0, 2.2, 60.0, 1.9, 2.1, 58.0, 2.0, 2.05};
+  for (double v : calib) sketch.Observe(v);
+  EXPECT_EQ(sketch.Observe(59.0), SampleVerdict::kInBand);
+  EXPECT_EQ(sketch.Observe(2.0), SampleVerdict::kInBand);
+  // A genuine shift well above the high mode still crosses.
+  EXPECT_EQ(sketch.Observe(200.0), SampleVerdict::kCrossing);
+}
+
+TEST(SeriesSketchTest, ConstantSeriesTolerated) {
+  // The KDE bandwidth floor and the sigma floors keep an all-constant
+  // series from alarming on itself.
+  SeriesSketch sketch(SmallSketch());
+  for (int i = 0; i < 8; ++i) sketch.Observe(5.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sketch.Observe(5.0), SampleVerdict::kInBand);
+  }
+}
+
+// --- SlowdownDetector state machine -----------------------------------------
+
+// Small knobs so synthetic tests confirm/recover in a handful of samples:
+// 4-of-8 confirmation, recovery after 4 clean samples, 30-minute cooldown.
+DetectorOptions SmallDetector() {
+  DetectorOptions options;
+  options.sketch.calibration_samples = 8;
+  options.confirmation_samples = 4;
+  options.window_samples = 8;
+  options.recovery_samples = 4;
+  options.cooldown = Minutes(30);
+  return options;
+}
+
+constexpr ComponentId kComponent{7};
+constexpr monitor::MetricId kMetric = monitor::MetricId::kVolTotalIos;
+
+/// Appends `count` samples at 5-minute spacing starting at *cursor,
+/// advancing it.
+void AppendRun(monitor::TimeSeriesStore* store, SimTimeMs* cursor,
+               int count, double value) {
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(store->Append(kComponent, kMetric, *cursor, value).ok());
+    *cursor += Minutes(5);
+  }
+}
+
+TEST(SlowdownDetectorTest, WatchValidation) {
+  SlowdownDetector detector(SmallDetector());
+  EXPECT_FALSE(detector.Watch("t", nullptr, nullptr).ok());
+  monitor::TimeSeriesStore store;
+  ASSERT_TRUE(detector.Watch("t", &store, nullptr).ok());
+  EXPECT_FALSE(detector.Watch("t2", &store, nullptr).ok());
+  detector.Unwatch(&store);
+  EXPECT_EQ(store.append_listener(), nullptr);
+  ASSERT_TRUE(detector.Watch("t3", &store, nullptr).ok());
+}
+
+TEST(SlowdownDetectorTest, SustainedFaultOpensExactlyOneIncident) {
+  SlowdownDetector detector(SmallDetector());
+  monitor::TimeSeriesStore store;
+  ASSERT_TRUE(detector.Watch("tenant-a", &store, nullptr).ok());
+
+  SimTimeMs cursor = 0;
+  AppendRun(&store, &cursor, 8, 10.0);   // Calibration.
+  AppendRun(&store, &cursor, 4, 10.0);   // Healthy steady state.
+  EXPECT_EQ(detector.Stats().incidents_opened, 0u);
+  AppendRun(&store, &cursor, 30, 100.0);  // Sustained fault.
+
+  const DetectorStats stats = detector.Stats();
+  EXPECT_EQ(stats.incidents_opened, 1u);
+  EXPECT_EQ(stats.active_incidents, 1u);
+  EXPECT_EQ(stats.confirmations, 1u);
+  // Every post-confirmation crossing deduped onto the active incident.
+  EXPECT_GT(stats.suppressed_active, 0u);
+
+  const std::vector<Incident> incidents = detector.Incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].sequence, 1u);
+  EXPECT_EQ(incidents[0].tenant, "tenant-a");
+  EXPECT_EQ(incidents[0].component, kComponent);
+  EXPECT_EQ(incidents[0].metric, kMetric);
+  // The incident's onset is the first crossing of the confirming
+  // cluster; it confirmed on the 4th.
+  EXPECT_EQ(incidents[0].onset_time, Minutes(5) * 12);
+  EXPECT_EQ(incidents[0].confirmed_time, Minutes(5) * 15);
+  EXPECT_GT(incidents[0].value, incidents[0].threshold);
+}
+
+TEST(SlowdownDetectorTest, RecoveryThenRecrossingOpensFreshIncident) {
+  SlowdownDetector detector(SmallDetector());
+  monitor::TimeSeriesStore store;
+  ASSERT_TRUE(detector.Watch("tenant-a", &store, nullptr).ok());
+
+  SimTimeMs cursor = 0;
+  AppendRun(&store, &cursor, 8, 10.0);   // Calibration.
+  AppendRun(&store, &cursor, 6, 100.0);  // Fault -> incident #1.
+  EXPECT_EQ(detector.Stats().incidents_opened, 1u);
+
+  // Band re-entry: recovery_samples clean samples close the incident.
+  AppendRun(&store, &cursor, 4, 10.0);
+  {
+    const DetectorStats stats = detector.Stats();
+    EXPECT_EQ(stats.incidents_closed, 1u);
+    EXPECT_EQ(stats.active_incidents, 0u);
+  }
+
+  // Idle past the cooldown, then re-cross: a *new* incident with a fresh
+  // (monotonically higher) sequence stamp.
+  AppendRun(&store, &cursor, 6, 10.0);  // 30 idle minutes.
+  AppendRun(&store, &cursor, 6, 100.0);
+  const DetectorStats stats = detector.Stats();
+  EXPECT_EQ(stats.incidents_opened, 2u);
+  EXPECT_EQ(stats.confirmations, 2u);
+  const std::vector<Incident> incidents = detector.Incidents();
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_EQ(incidents[0].sequence, 1u);
+  EXPECT_EQ(incidents[1].sequence, 2u);
+  EXPECT_GT(incidents[1].onset_time, incidents[0].confirmed_time);
+}
+
+TEST(SlowdownDetectorTest, CooldownSuppressesImmediateReopen) {
+  DetectorOptions options = SmallDetector();
+  options.cooldown = Minutes(120);
+  SlowdownDetector detector(options);
+  monitor::TimeSeriesStore store;
+  ASSERT_TRUE(detector.Watch("tenant-a", &store, nullptr).ok());
+
+  SimTimeMs cursor = 0;
+  AppendRun(&store, &cursor, 8, 10.0);   // Calibration.
+  AppendRun(&store, &cursor, 6, 100.0);  // Incident #1 (opens at 55min).
+  AppendRun(&store, &cursor, 4, 10.0);   // Recovery closes it.
+  // Re-crossing confirms again at 105min — well inside the 120-minute
+  // cooldown window anchored at the first opening: suppressed, not
+  // reopened.
+  AppendRun(&store, &cursor, 4, 100.0);
+  const DetectorStats stats = detector.Stats();
+  EXPECT_EQ(stats.incidents_opened, 1u);
+  EXPECT_GT(stats.suppressed_cooldown, 0u);
+  EXPECT_EQ(stats.confirmations, 2u);
+}
+
+TEST(SlowdownDetectorTest, TenantsAreIndependent) {
+  SlowdownDetector detector(SmallDetector());
+  monitor::TimeSeriesStore store_a;
+  monitor::TimeSeriesStore store_b;
+  ASSERT_TRUE(detector.Watch("tenant-a", &store_a, nullptr).ok());
+  ASSERT_TRUE(detector.Watch("tenant-b", &store_b, nullptr).ok());
+
+  SimTimeMs cursor_a = 0;
+  SimTimeMs cursor_b = 0;
+  AppendRun(&store_a, &cursor_a, 8, 10.0);
+  AppendRun(&store_b, &cursor_b, 8, 10.0);
+  AppendRun(&store_a, &cursor_a, 6, 100.0);  // Only tenant A faults.
+  AppendRun(&store_b, &cursor_b, 6, 10.0);
+
+  const std::vector<Incident> incidents = detector.Incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].tenant, "tenant-a");
+  EXPECT_EQ(detector.Stats().watched_tenants, 2u);
+}
+
+// --- Auto-submit integration ------------------------------------------------
+
+class DetectionEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    symptoms_ = new diag::SymptomsDb(diag::SymptomsDb::MakeDefault());
+    Result<ScenarioOutput> scenario =
+        RunScenario(ScenarioId::kS1SanMisconfiguration);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = new ScenarioOutput(std::move(*scenario));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+    delete symptoms_;
+    symptoms_ = nullptr;
+  }
+
+  static diag::SymptomsDb* symptoms_;
+  static ScenarioOutput* scenario_;
+};
+
+diag::SymptomsDb* DetectionEngineTest::symptoms_ = nullptr;
+ScenarioOutput* DetectionEngineTest::scenario_ = nullptr;
+
+TEST_F(DetectionEngineTest, SustainedFaultAutoSubmitsExactlyOnce) {
+  fleet::FleetStore fleet_store;
+  engine::EngineOptions options;
+  options.workers = 2;
+  options.fleet_store = &fleet_store;
+  engine::DiagnosisEngine engine(options, symptoms_);
+
+  workload::DetectionReplayOptions replay_options;
+  Result<workload::DetectionReplayResult> replay =
+      workload::ReplayScenarioDetection(*scenario_, "tenant-s1", &engine,
+                                        replay_options);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+
+  // One sustained fault, one incident, one auto-diagnosis.
+  EXPECT_EQ(replay->incidents.size(), 1u);
+  EXPECT_EQ(replay->stats.diagnoses_submitted, 1u);
+  ASSERT_EQ(replay->responses.size(), 1u);
+  EXPECT_TRUE(replay->responses[0].ok())
+      << replay->responses[0].status.ToString();
+  EXPECT_GT(replay->detection_latency, 0);
+
+  const engine::EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.auto_submitted, 1u);
+
+  // The published tenant verdict carries the incident stamp.
+  int stamped = 0;
+  fleet_store.ForEachRow([&](const fleet::FleetKey&, uint64_t,
+                             const fleet::ComponentVerdict*,
+                             const fleet::TenantRecord* record) {
+    if (record == nullptr) return;
+    ASSERT_NE(record->incident, nullptr);
+    EXPECT_EQ(record->incident->sequence, replay->incidents[0].sequence);
+    EXPECT_FALSE(record->incident->subject.empty());
+    EXPECT_EQ(record->incident->confirmed_time,
+              replay->incidents[0].confirmed_time);
+    ++stamped;
+  });
+  EXPECT_EQ(stamped, 1);
+}
+
+TEST_F(DetectionEngineTest, QuietReplayRaisesNothing) {
+  // Truncated at the end of the satisfactory era: no incident, no
+  // engine traffic.
+  engine::DiagnosisEngine engine(engine::EngineOptions{}, symptoms_);
+  workload::DetectionReplayOptions replay_options;
+  replay_options.cutoff = scenario_->satisfactory_window.end;
+  Result<workload::DetectionReplayResult> replay =
+      workload::ReplayScenarioDetection(*scenario_, "tenant-s1", &engine,
+                                        replay_options);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->incidents.size(), 0u);
+  EXPECT_EQ(replay->stats.diagnoses_submitted, 0u);
+  EXPECT_EQ(engine.Stats().auto_submitted, 0u);
+  EXPECT_EQ(replay->detection_latency, -1);
+}
+
+// --- Concurrency: appenders racing the detector and the engine --------------
+
+TEST_F(DetectionEngineTest, ConcurrentTenantsRaceDetectorAndEngine) {
+  // Four tenants, each with its own replica store and its own appending
+  // thread (the store contract: one appender per store), all sharing one
+  // detector and one engine. Every tenant calibrates, then crosses, so
+  // every thread races series creation, confirmation, incident opening,
+  // and Engine::Submit against the others. Run under TSan in CI.
+  fleet::FleetStore fleet_store;
+  engine::EngineOptions options;
+  options.workers = 3;
+  options.fleet_store = &fleet_store;
+  engine::DiagnosisEngine engine(options, symptoms_);
+  SlowdownDetector detector(SmallDetector(), &engine);
+
+  constexpr int kTenants = 4;
+  std::vector<std::unique_ptr<monitor::TimeSeriesStore>> stores;
+  for (int i = 0; i < kTenants; ++i) {
+    stores.push_back(std::make_unique<monitor::TimeSeriesStore>());
+    const std::string tenant = "tenant-" + std::to_string(i);
+    ASSERT_TRUE(detector
+                    .Watch(tenant, stores.back().get(),
+                           [tenant]() {
+                             engine::DiagnosisRequest request;
+                             request.ctx = scenario_->MakeContext();
+                             request.tag = tenant;
+                             return request;
+                           })
+                    .ok());
+  }
+
+  std::vector<std::thread> appenders;
+  for (int i = 0; i < kTenants; ++i) {
+    appenders.emplace_back([&, i] {
+      monitor::TimeSeriesStore* store = stores[i].get();
+      SimTimeMs cursor = 0;
+      // Two series per tenant so series-map insertion races too.
+      for (int n = 0; n < 8; ++n) {
+        ASSERT_TRUE(store->Append(kComponent, kMetric, cursor, 10.0).ok());
+        ASSERT_TRUE(store
+                        ->Append(ComponentId{11}, monitor::MetricId::kVolBytesRead,
+                                 cursor, 5.0)
+                        .ok());
+        cursor += Minutes(5);
+      }
+      for (int n = 0; n < 10; ++n) {
+        ASSERT_TRUE(store->Append(kComponent, kMetric, cursor, 100.0).ok());
+        ASSERT_TRUE(store
+                        ->Append(ComponentId{11}, monitor::MetricId::kVolBytesRead,
+                                 cursor, 5.0)
+                        .ok());
+        cursor += Minutes(5);
+      }
+    });
+  }
+  for (std::thread& t : appenders) t.join();
+
+  EXPECT_EQ(detector.WaitForDiagnoses(), static_cast<size_t>(kTenants));
+  const DetectorStats stats = detector.Stats();
+  EXPECT_EQ(stats.incidents_opened, static_cast<uint64_t>(kTenants));
+  EXPECT_EQ(stats.diagnoses_submitted, static_cast<uint64_t>(kTenants));
+  EXPECT_EQ(stats.series_tracked, static_cast<uint64_t>(2 * kTenants));
+  const std::vector<engine::DiagnosisResponse> responses =
+      detector.TakeResponses();
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kTenants));
+  for (const engine::DiagnosisResponse& response : responses) {
+    EXPECT_TRUE(response.ok()) << response.status.ToString();
+  }
+  // Sequence stamps are unique and dense: 1..kTenants in some order.
+  std::vector<Incident> incidents = detector.Incidents();
+  ASSERT_EQ(incidents.size(), static_cast<size_t>(kTenants));
+  uint64_t sequence_sum = 0;
+  for (const Incident& incident : incidents) sequence_sum += incident.sequence;
+  EXPECT_EQ(sequence_sum, static_cast<uint64_t>(kTenants * (kTenants + 1) / 2));
+  EXPECT_EQ(engine.Stats().auto_submitted, static_cast<uint64_t>(kTenants));
+
+  for (auto& store : stores) detector.Unwatch(store.get());
+}
+
+}  // namespace
+}  // namespace diads::detect
