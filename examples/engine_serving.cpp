@@ -24,8 +24,26 @@
 // land as "detect_incident" spans in the trace export and the detector's
 // diads_detect_* families join the metrics scrape.
 //
+// With --flood the fleet is replaced by the adversarial mix: one tenant
+// bursts deadline-carrying requests at the engine while four victims ask
+// their own questions, the result cache and coalescing are disabled so
+// the flood actually floods, and the per-tenant admission table shows
+// who was admitted, refused (tenant share), or shed (deadline).
+//
+// With --log-dir=DIR the fleet store is crash-durable: existing segments
+// are replayed into the store before serving (replay stats printed), and
+// every publish is appended to the log.
+//
+// Exit codes: 0 = every request served; 3 = some requests were refused
+// by tenant-share admission (kResourceExhausted); 4 = some queued
+// requests were shed past their deadline (kDeadlineExceeded); 5 = some
+// requests failed outright; 1 = setup/run error; 2 = bad arguments.
+// (3/4 report load-management outcomes, not malfunctions: under --flood
+// they are the expected result.)
+//
 //   $ ./engine_serving [workers] [seed] [--trace-out=trace.json]
-//                      [--metrics-out=metrics.json] [--detect]
+//                      [--metrics-out=metrics.json] [--detect] [--flood]
+//                      [--log-dir=DIR]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,12 +52,15 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
+#include "common/table_printer.h"
 #include "detect/detector.h"
 #include "detect/metrics.h"
 #include "diads/workflow.h"
 #include "engine/engine.h"
 #include "engine/metrics_export.h"
 #include "engine/self_monitor.h"
+#include "fleet/log.h"
 #include "fleet/metrics.h"
 #include "fleet/store.h"
 #include "monitor/async_collector.h"
@@ -90,7 +111,9 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string metrics_out;
+  std::string log_dir;
   bool detect_mode = false;
+  bool flood_mode = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -98,8 +121,12 @@ int main(int argc, char** argv) {
       trace_out = arg + 12;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--log-dir=", 10) == 0) {
+      log_dir = arg + 10;
     } else if (std::strcmp(arg, "--detect") == 0) {
       detect_mode = true;
+    } else if (std::strcmp(arg, "--flood") == 0) {
+      flood_mode = true;
     } else if (positional == 0) {
       engine_options.workers = std::atoi(arg);
       ++positional;
@@ -112,10 +139,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("Building a %d-tenant fleet (Table-1 scenarios)...\n",
-              fleet_options.tenants);
-  Result<workload::FleetWorkload> fleet =
-      workload::BuildFleet(fleet_options);
+  Result<workload::FleetWorkload> fleet = [&] {
+    if (!flood_mode) {
+      std::printf("Building a %d-tenant fleet (Table-1 scenarios)...\n",
+                  fleet_options.tenants);
+      return workload::BuildFleet(fleet_options);
+    }
+    // Adversarial mix: a flooding tenant bursts deadline-carrying
+    // requests ahead of four victims. Cache and coalescing off so the
+    // identical flood requests all genuinely occupy the queue.
+    workload::FloodingFleetOptions flood_options;
+    flood_options.seed = fleet_options.seed;
+    flood_options.flood_requests = 24;
+    flood_options.requests_per_victim = 2;
+    flood_options.flood_deadline_ms = 2000;
+    engine_options.enable_cache = false;
+    engine_options.coalesce_identical = false;
+    engine_options.queue_capacity = 16;
+    engine_options.fairness.tenant_share_fraction = 0.5;
+    std::printf(
+        "Building the flooding fleet (1 flooder x %d requests, "
+        "%d victims x %d)...\n",
+        flood_options.flood_requests, flood_options.victim_tenants,
+        flood_options.requests_per_victim);
+    return workload::BuildFloodingFleet(flood_options);
+  }();
   if (!fleet.ok()) {
     std::fprintf(stderr, "fleet build failed: %s\n",
                  fleet.status().ToString().c_str());
@@ -131,12 +179,35 @@ int main(int argc, char** argv) {
   engine_options.fleet_store = &fleet_store;
   if (!trace_out.empty()) engine_options.tracer = &tracer;
 
+  // Crash-durable fleet store: replay whatever a previous run (or crash)
+  // left in the log, then attach so this run's publishes are appended.
+  std::unique_ptr<fleet::SegmentLog> fleet_log;
+  if (!log_dir.empty()) {
+    const fleet::ReplayStats replay =
+        fleet::RecoverFromLog(log_dir, &fleet_store);
+    std::printf("%s", replay.Render().c_str());
+    fleet::LogOptions log_options;
+    log_options.dir = log_dir;
+    Result<std::unique_ptr<fleet::SegmentLog>> opened =
+        fleet::SegmentLog::Open(std::move(log_options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "fleet log open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    fleet_log = std::move(opened).value();
+    fleet_store.AttachLog(fleet_log.get());
+  }
+
   engine::DiagnosisEngine engine(engine_options, &symptoms, collector);
 
   // Unified registry: every engine + fleet-store counter, one scrape.
   obs::MetricsRegistry registry;
   engine::RegisterEngineMetrics(&registry, &engine);
   fleet::RegisterFleetStoreMetrics(&registry, &fleet_store);
+  if (fleet_log != nullptr) {
+    fleet::RegisterFleetLogMetrics(&registry, fleet_log.get());
+  }
 
   // Self-monitoring: the engine's own health as ordinary time series in a
   // dedicated store, at the paper's 5-minute monitoring interval.
@@ -152,13 +223,30 @@ int main(int argc, char** argv) {
   sim_now += 5 * 60 * 1000;
   engine::SampleEngineHealth(engine, self, sim_now, &engine_health);
 
-  // One line per tenant: the first response carrying its report.
+  // One line per tenant: the first response carrying its report. Load-
+  // management refusals (admission, deadline shed) are reported as such,
+  // not as failures — their counts decide the exit code below.
+  size_t admission_rejected = 0, deadline_shed = 0, hard_failures = 0;
   std::vector<bool> seen(fleet->tenants.size(), false);
   for (size_t i = 0; i < responses.size(); ++i) {
     const engine::DiagnosisResponse& response = responses[i];
     const size_t t = fleet->tenant_of_request[i];
     if (!response.ok()) {
-      std::printf("%-28s FAILED: %s\n", fleet->tenants[t].name.c_str(),
+      const char* outcome = "FAILED";
+      switch (response.status.code()) {
+        case StatusCode::kResourceExhausted:
+          ++admission_rejected;
+          outcome = "REFUSED (admission)";
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++deadline_shed;
+          outcome = "SHED (deadline)";
+          break;
+        default:
+          ++hard_failures;
+          break;
+      }
+      std::printf("%-28s %s: %s\n", fleet->tenants[t].name.c_str(), outcome,
                   response.status.ToString().c_str());
       continue;
     }
@@ -170,6 +258,34 @@ int main(int argc, char** argv) {
                                : "(no cause above the reporting floor)",
                 response.cache_hit ? "  [cache hit]" : "",
                 response.stale_data() ? "  [stale data]" : "");
+  }
+
+  // Per-tenant admission accounting: who flooded, who was protected.
+  {
+    const std::vector<engine::TenantAdmissionRow> rows =
+        engine.TenantAdmission();
+    bool any_activity = false;
+    for (const engine::TenantAdmissionRow& row : rows) {
+      if (row.rejected_share + row.shed_deadline > 0) any_activity = true;
+    }
+    if (flood_mode || any_activity) {
+      TablePrinter table({"tenant", "weight", "submitted", "admitted",
+                          "rejected", "shed", "dispatched"});
+      for (const engine::TenantAdmissionRow& row : rows) {
+        table.AddRow({row.tenant.empty() ? "(untagged)" : row.tenant,
+                      StrFormat("%.1f", row.weight),
+                      StrFormat("%llu", (unsigned long long)row.submitted),
+                      StrFormat("%llu", (unsigned long long)row.admitted),
+                      StrFormat("%llu",
+                                (unsigned long long)row.rejected_share),
+                      StrFormat("%llu",
+                                (unsigned long long)row.shed_deadline),
+                      StrFormat("%llu",
+                                (unsigned long long)row.dispatched)});
+      }
+      std::printf("\nPer-tenant admission summary:\n%s",
+                  table.Render().c_str());
+    }
   }
 
   // Where did the first computed diagnosis spend its time?
@@ -239,5 +355,17 @@ int main(int argc, char** argv) {
     std::printf("wrote metrics snapshot to %s (+ .prom)\n",
                 metrics_out.c_str());
   }
+
+  if (fleet_log != nullptr) {
+    fleet_store.DetachLog();
+    std::printf("\n%s", fleet_log->Counters().Render().c_str());
+  }
+
+  // Distinct exit codes so callers (and CI) can tell load-management
+  // refusals from genuine failures. Precedence: hard failure > shed >
+  // admission-refused. The default invocation serves everything → 0.
+  if (hard_failures > 0) return 5;
+  if (deadline_shed > 0) return 4;
+  if (admission_rejected > 0) return 3;
   return 0;
 }

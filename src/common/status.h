@@ -22,6 +22,14 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  /// Admission refused: the caller exceeded its resource share (serving-
+  /// layer admission control, not a permanent failure — back off, retry).
+  kResourceExhausted,
+  /// The request's deadline passed before the work ran; it was shed.
+  kDeadlineExceeded,
+  /// The serving component is shutting down; queued work was failed
+  /// explicitly rather than silently drained.
+  kShutdown,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -58,6 +66,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Shutdown(std::string msg) {
+    return Status(StatusCode::kShutdown, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -66,6 +66,21 @@ std::vector<ComponentId> ComponentsOf(const diag::DiagnosisReport& report) {
   return out;
 }
 
+/// Trace-span outcome label for a terminal status.
+const char* OutcomeNote(const Status& status) {
+  if (status.ok()) return "ok";
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return "shed";
+    case StatusCode::kShutdown:
+      return "shutdown";
+    case StatusCode::kResourceExhausted:
+      return "rejected";
+    default:
+      return "error";
+  }
+}
+
 Status ValidateContext(const diag::DiagnosisContext& ctx) {
   if (ctx.runs == nullptr || ctx.store == nullptr || ctx.events == nullptr ||
       ctx.apg == nullptr || ctx.topology == nullptr ||
@@ -115,7 +130,8 @@ DiagnosisEngine::DiagnosisEngine(
                                   options.cache_shards}),
       model_cache_(diag::BaselineModelCache::Options{
           options.model_cache_capacity, options.model_cache_shards}),
-      pool_(ThreadPool::Options{options.workers, options.queue_capacity}) {}
+      pool_(ThreadPool::Options{options.workers, options.queue_capacity,
+                                options.fairness}) {}
 
 DiagnosisEngine::~DiagnosisEngine() { Shutdown(); }
 
@@ -159,7 +175,10 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
     promise->set_value(std::move(response));
   };
 
-  const Status valid = ValidateContext(request.ctx);
+  Status valid = ValidateContext(request.ctx);
+  if (valid.ok() && request.cost <= 0) {
+    valid = Status::InvalidArgument("DiagnosisRequest cost must be > 0");
+  }
   if (!valid.ok()) {
     root.Note("outcome", "invalid");
     fulfill_now(valid, /*failed_counts=*/true);
@@ -248,16 +267,26 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
     auto queue_span = std::make_shared<obs::SpanHandle>(
         request.ctx.trace.StartSpan("queue_wait", "engine"));
     const Clock::time_point enqueued = Clock::now();
-    const Status submitted_status = pool_.Submit(
-        [this, key, queue_span, enqueued,
-         request = std::move(request)]() mutable {
-          queue_span->End();
-          Execute(key, std::move(request), ElapsedMs(enqueued));
-        });
+    QueueTask task = TaskSpecFor(request, submitted);
+    // Deadline shedding / shutdown cancellation reaches every waiter that
+    // piled onto this key; later identical Submits opened a fresh
+    // computation (the inflight entry is erased by Resolve).
+    task.cancel = [this, key, queue_span](const Status& status) {
+      queue_span->Note("outcome", OutcomeNote(status));
+      queue_span->End();
+      Resolve(key, status, nullptr, nullptr, nullptr);
+    };
+    task.run = [this, key, queue_span, enqueued,
+                request = std::move(request)]() mutable {
+      queue_span->End();
+      Execute(key, std::move(request), ElapsedMs(enqueued));
+    };
+    const Status submitted_status = pool_.Submit(std::move(task));
     stats_.RecordQueueDepth(pool_.QueueDepth());
     if (!submitted_status.ok()) {
-      // The pool shut down between the inflight insert and the enqueue:
-      // fail every waiter that piled onto this key.
+      // The pool refused the enqueue (admission share, or it shut down
+      // between the inflight insert and the enqueue): fail every waiter
+      // that piled onto this key.
       Resolve(key, submitted_status, nullptr, nullptr, nullptr);
     }
     return future;
@@ -269,7 +298,21 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
   auto queue_span = std::make_shared<obs::SpanHandle>(
       request.ctx.trace.StartSpan("queue_wait", "engine"));
   const Clock::time_point enqueued = Clock::now();
-  const Status submitted_status = pool_.Submit(
+  QueueTask task = TaskSpecFor(request, submitted);
+  task.cancel = [this, promise, submitted, queue_span,
+                 root_holder](const Status& status) {
+    queue_span->Note("outcome", OutcomeNote(status));
+    queue_span->End();
+    DiagnosisResponse response;
+    response.status = status;
+    response.latency_ms = ElapsedMs(submitted);
+    RecordTerminal(status);
+    root_holder->Note("outcome", OutcomeNote(status));
+    root_holder->End();
+    stats_.RecordRequestLatency(response.latency_ms);
+    promise->set_value(std::move(response));
+  };
+  task.run =
       [this, key, promise, submitted, enqueued, queue_span, root_holder,
        request = std::move(request)]() mutable {
         queue_span->End();
@@ -304,13 +347,52 @@ std::future<DiagnosisResponse> DiagnosisEngine::Submit(
         root_holder->End();
         stats_.RecordRequestLatency(response.latency_ms);
         promise->set_value(std::move(response));
-      });
+      };
+  const Status submitted_status = pool_.Submit(std::move(task));
   stats_.RecordQueueDepth(pool_.QueueDepth());
   if (!submitted_status.ok()) {
     stats_.RecordRejected();
+    root_holder->Note("outcome", OutcomeNote(submitted_status));
+    root_holder->End();
     fulfill_now(submitted_status, /*failed_counts=*/false);
   }
   return future;
+}
+
+QueueTask DiagnosisEngine::TaskSpecFor(const DiagnosisRequest& request,
+                                       Clock::time_point submitted) {
+  QueueTask task;
+  task.tenant = request.tag;
+  task.cost = request.cost;
+  task.priority = request.priority;
+  if (request.deadline_ms > 0) {
+    task.has_deadline = true;
+    task.deadline =
+        submitted + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            request.deadline_ms));
+  }
+  return task;
+}
+
+void DiagnosisEngine::RecordTerminal(const Status& status) {
+  if (status.ok()) {
+    stats_.RecordCompleted();
+    return;
+  }
+  switch (status.code()) {
+    // Refusals of the serving layer, not workflow failures: shutdown,
+    // admission. (Deadline sheds count as failed — the caller asked and
+    // was never answered — and are separately visible as shed_deadline.)
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kShutdown:
+    case StatusCode::kResourceExhausted:
+      stats_.RecordRejected();
+      break;
+    default:
+      stats_.RecordFailed();
+      break;
+  }
 }
 
 void DiagnosisEngine::Compute(
@@ -506,14 +588,8 @@ void DiagnosisEngine::Resolve(
     response.cost = cost;
     response.coalesced = waiter.coalesced;
     response.latency_ms = ElapsedMs(waiter.submitted);
-    if (status.ok()) {
-      stats_.RecordCompleted();
-    } else if (status.code() == StatusCode::kFailedPrecondition) {
-      stats_.RecordRejected();
-    } else {
-      stats_.RecordFailed();
-    }
-    waiter.span.Note("outcome", status.ok() ? "ok" : "error");
+    RecordTerminal(status);
+    waiter.span.Note("outcome", OutcomeNote(status));
     waiter.span.End();
     stats_.RecordRequestLatency(response.latency_ms);
     waiter.promise->set_value(std::move(response));
@@ -546,8 +622,19 @@ void DiagnosisEngine::Shutdown() {
   if (collector_ != nullptr) collector_->Shutdown();
 }
 
+std::vector<TenantAdmissionRow> DiagnosisEngine::TenantAdmission() const {
+  return pool_.TenantRows();
+}
+
 EngineStatsSnapshot DiagnosisEngine::Stats() const {
   EngineStatsSnapshot snapshot = stats_.Snapshot(pool_.QueueDepth());
+  const FairQueueCounters queue = pool_.QueueCounters();
+  snapshot.admitted = queue.admitted;
+  snapshot.rejected_share = queue.rejected_share;
+  snapshot.shed_deadline = queue.shed_deadline;
+  snapshot.cancelled_shutdown = queue.cancelled_shutdown;
+  snapshot.starvation_avoided = queue.starvation_avoided;
+  snapshot.queued_cost = pool_.QueuedCost();
   const ResultCache::Counters cache = cache_.TotalCounters();
   snapshot.cache_evictions = cache.evictions;
   snapshot.cache_invalidations = cache.invalidations;

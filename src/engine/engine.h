@@ -9,6 +9,11 @@
 //
 //   * requests are accepted into a bounded queue (backpressure instead of
 //     unbounded memory growth) and executed by a worker pool;
+//   * the queue is tenant-fair (see fair_queue.h): per-tenant sub-queues
+//     with deficit-round-robin dispatch, share-based admission control
+//     (a flooding tenant is refused with kResourceExhausted instead of
+//     starving everyone), and deadline shedding (expired requests resolve
+//     kDeadlineExceeded without consuming a worker);
 //   * Submit() returns a std::future so callers overlap their own work
 //     with the diagnosis;
 //   * finished reports are memoized in a sharded LRU cache keyed by
@@ -81,6 +86,21 @@ struct DiagnosisRequest {
   /// vice versa), which is the dedup/coalescing contract. Never read by
   /// the workflow — reports are ReportDigest-identical with or without it.
   std::shared_ptr<const fleet::IncidentStamp> incident;
+  /// Admission/scheduling metadata. None of it reaches the workflow:
+  /// reports stay ReportDigest-identical whatever the scheduling was.
+  /// Priority widens or narrows the tenant's admission share (an urgent
+  /// incident diagnosis may burst past it; a dashboard prefetch is
+  /// squeezed out first).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Relative queue cost in share/deficit units (a fleet-wide rollup
+  /// costs more than a single-query question). Must be > 0.
+  double cost = 1.0;
+  /// Freshness deadline in milliseconds from Submit; 0 = none. A request
+  /// still queued when it expires is shed (kDeadlineExceeded) without
+  /// consuming a worker — the asker (a poll loop, an alert retry) has
+  /// already moved on. Cache hits and coalesced joins resolve immediately
+  /// and never shed.
+  double deadline_ms = 0;
 };
 
 /// What the future resolves to.
@@ -158,6 +178,12 @@ struct EngineOptions {
   /// coalesced waiter may legally share the report of a computation
   /// started before its Submit).
   bool invalidate_results_on_append = true;
+  /// Tenant-fair admission + dispatch discipline for the work queue
+  /// (weights, share fractions, DRR quantum — see fair_queue.h). Enabled
+  /// by default; disable for the legacy single-FIFO behavior that
+  /// bench_fairness uses as its baseline. Scheduling never changes report
+  /// bytes, only which requests run when (and which are refused or shed).
+  FairnessOptions fairness;
   /// End-to-end span tracer (may be null = tracing off, the default).
   /// When set, every Submit opens a "diagnosis" root span and the serving
   /// path hangs its children off it: result_cache lookup, queue_wait,
@@ -185,8 +211,11 @@ class DiagnosisEngine {
   DiagnosisEngine(const DiagnosisEngine&) = delete;
   DiagnosisEngine& operator=(const DiagnosisEngine&) = delete;
 
-  /// Enqueues a diagnosis. Blocks while the queue is at capacity. After
-  /// Shutdown the future resolves immediately with FailedPrecondition.
+  /// Enqueues a diagnosis. Blocks while the queue is at capacity, but a
+  /// request pushing its tenant past its queue share is refused
+  /// immediately (kResourceExhausted). A queued request whose deadline
+  /// expires resolves kDeadlineExceeded without running. After Shutdown
+  /// the future resolves immediately with kShutdown.
   std::future<DiagnosisResponse> Submit(DiagnosisRequest request);
 
   /// Fans a fleet of requests across the pool and waits for all of them.
@@ -197,10 +226,12 @@ class DiagnosisEngine {
   /// Blocks until every accepted request has resolved.
   void Drain();
 
-  /// Stops intake, finishes accepted requests (including their in-flight
-  /// async collections — a gather is bounded by timeout * attempts per
-  /// component, so this terminates deterministically), joins the workers,
-  /// then shuts the collector down (cancelling any fetches the gathers
+  /// Stops intake, finishes requests already RUNNING on a worker
+  /// (including their in-flight async collections — a gather is bounded
+  /// by timeout * attempts per component, so this terminates
+  /// deterministically), fails every still-QUEUED request explicitly with
+  /// kShutdown (futures resolve, nothing hangs), joins the workers, then
+  /// shuts the collector down (cancelling any fetches the gathers
   /// abandoned, and joining its connection threads — nothing leaks).
   /// Idempotent; also run by the destructor.
   void Shutdown();
@@ -216,6 +247,11 @@ class DiagnosisEngine {
 
   /// Live metrics (queue depth sampled now, cache counters included).
   EngineStatsSnapshot Stats() const;
+
+  /// Per-tenant admission/dispatch accounting (submitted, admitted,
+  /// rejected, shed, dispatched, queued cost), sorted by tenant tag —
+  /// the data behind an operator's "who is flooding us" table.
+  std::vector<TenantAdmissionRow> TenantAdmission() const;
 
   /// Zeroes every counter and latency sample and restarts the throughput
   /// clock (benchmarks call this after warmup). Cache contents and the
@@ -255,6 +291,14 @@ class DiagnosisEngine {
                std::shared_ptr<const diag::DiagnosisReport> report,
                std::shared_ptr<const CollectionSummary> collection,
                std::shared_ptr<const obs::CostProfile> cost);
+  /// Books a terminal status into the completed / rejected / failed
+  /// counters (rejected covers shutdown and admission refusals).
+  void RecordTerminal(const Status& status);
+  /// Scheduling metadata (tenant, cost, priority, deadline) for the
+  /// pool task carrying `request`, with the deadline anchored at
+  /// `submitted`.
+  static QueueTask TaskSpecFor(const DiagnosisRequest& request,
+                               std::chrono::steady_clock::time_point submitted);
 
   EngineOptions options_;
   const diag::SymptomsDb* symptoms_db_;

@@ -34,6 +34,27 @@ void EmitEngineSnapshot(const EngineStatsSnapshot& snapshot,
                   snapshot.failed);
   emitter.Counter("diads_engine_rejected_total",
                   "Requests refused (shutdown)", labels, snapshot.rejected);
+  // Fair-queue admission / shedding.
+  emitter.Counter("diads_engine_admitted_total",
+                  "Requests accepted past tenant-share admission", labels,
+                  snapshot.admitted);
+  emitter.Counter("diads_engine_rejected_share_total",
+                  "Requests refused because the tenant's queue share was "
+                  "full",
+                  labels, snapshot.rejected_share);
+  emitter.Counter("diads_engine_shed_deadline_total",
+                  "Queued requests dropped past their deadline", labels,
+                  snapshot.shed_deadline);
+  emitter.Counter("diads_engine_cancelled_shutdown_total",
+                  "Queued requests failed explicitly by shutdown", labels,
+                  snapshot.cancelled_shutdown);
+  emitter.Counter("diads_engine_starvation_avoided_total",
+                  "Dispatches where fair queueing overtook a flooding "
+                  "tenant's earlier request",
+                  labels, snapshot.starvation_avoided);
+  emitter.Gauge("diads_engine_queued_cost",
+                "Cost units currently enqueued", labels,
+                snapshot.queued_cost);
   emitter.Counter("diads_engine_coalesced_total",
                   "Requests joined onto an identical in-flight request",
                   labels, snapshot.coalesced);

@@ -207,6 +207,18 @@ std::string EngineStatsSnapshot::Render() const {
   }
   out += StrFormat("queue:  depth %zu (max %zu)\n", queue_depth,
                    max_queue_depth);
+  if (rejected_share + shed_deadline + cancelled_shutdown +
+          starvation_avoided >
+      0) {
+    out += StrFormat(
+        "admission: %llu admitted, %llu rejected (share), %llu shed "
+        "(deadline), %llu cancelled (shutdown), %llu starvations avoided\n",
+        static_cast<unsigned long long>(admitted),
+        static_cast<unsigned long long>(rejected_share),
+        static_cast<unsigned long long>(shed_deadline),
+        static_cast<unsigned long long>(cancelled_shutdown),
+        static_cast<unsigned long long>(starvation_avoided));
+  }
   out += StrFormat(
       "latency: p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (n=%llu)\n",
       request_latency.p50_ms, request_latency.p95_ms, request_latency.p99_ms,
@@ -259,6 +271,15 @@ std::string EngineStatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(auto_submitted),
       static_cast<unsigned long long>(fleet_publishes), queue_depth,
       max_queue_depth, elapsed_sec, throughput_per_sec, CacheHitRate());
+  out += StrFormat(
+      "\"admitted\":%llu,\"rejected_share\":%llu,\"shed_deadline\":%llu,"
+      "\"cancelled_shutdown\":%llu,\"starvation_avoided\":%llu,"
+      "\"queued_cost\":%.2f,",
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(rejected_share),
+      static_cast<unsigned long long>(shed_deadline),
+      static_cast<unsigned long long>(cancelled_shutdown),
+      static_cast<unsigned long long>(starvation_avoided), queued_cost);
   out += StrFormat(
       "\"model_cache_hits\":%llu,\"model_cache_misses\":%llu,"
       "\"model_cache_evictions\":%llu,\"model_cache_invalidations\":%llu,"

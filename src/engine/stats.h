@@ -59,6 +59,16 @@ struct EngineStatsSnapshot {
   uint64_t completed = 0;
   uint64_t failed = 0;
   uint64_t rejected = 0;       ///< Submitted after shutdown began.
+  // Fair-queue admission/dispatch outcomes (filled by the engine from its
+  // ThreadPool; all zero for a queue that never rejected or shed).
+  uint64_t admitted = 0;            ///< Tasks accepted past admission.
+  uint64_t rejected_share = 0;      ///< Refused: tenant queue share full.
+  uint64_t shed_deadline = 0;       ///< Dropped expired before running.
+  uint64_t cancelled_shutdown = 0;  ///< Queued work failed by Shutdown.
+  /// Dispatches where fair queueing let a request overtake an
+  /// earlier-arrived request of another (flooding) tenant.
+  uint64_t starvation_avoided = 0;
+  double queued_cost = 0;           ///< Cost currently enqueued.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;  ///< Filled by the engine from its cache.

@@ -4,9 +4,21 @@
 #include <utility>
 
 namespace diads::engine {
+namespace {
+
+void CancelAll(std::vector<QueueTask>& tasks, const Status& status) {
+  for (QueueTask& task : tasks) {
+    if (task.cancel) task.cancel(status);
+  }
+  tasks.clear();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(Options options)
-    : capacity_(std::max<size_t>(1, options.queue_capacity)) {
+    : capacity_(std::max<size_t>(1, options.queue_capacity)),
+      queue_(options.fairness,
+             static_cast<double>(std::max<size_t>(1, options.queue_capacity))) {
   const int workers = std::max(1, options.workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -16,19 +28,51 @@ ThreadPool::ThreadPool(Options options)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+Status ThreadPool::Submit(QueueTask task) {
+  if (task.run == nullptr) {
+    return Status::InvalidArgument("ThreadPool::Submit: null task");
+  }
+  if (task.cost <= 0) {
+    return Status::InvalidArgument("ThreadPool::Submit: cost must be > 0");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!accepting_) {
+    return Status::Shutdown("ThreadPool is shut down");
+  }
+  // Share admission is checked before blocking: a tenant over its share
+  // gets an immediate typed refusal instead of consuming a backpressure
+  // slot that fair tenants are waiting for.
+  if (queue_.Admit(task) == AdmissionResult::kRejectedTenantShare) {
+    queue_.RecordAdmission(task, AdmissionResult::kRejectedTenantShare);
+    return Status::ResourceExhausted(
+        "tenant '" + task.tenant + "' queue share is full (" +
+        RequestPriorityName(task.priority) + " priority)");
+  }
+  not_full_.wait(lock, [this] { return queue_.size() < capacity_ || !accepting_; });
+  if (!accepting_) {
+    return Status::Shutdown("ThreadPool is shut down");
+  }
+  // Same-tenant producers may have refilled the share while we were
+  // blocked on global capacity; the share bound must hold at enqueue time.
+  if (queue_.Admit(task) == AdmissionResult::kRejectedTenantShare) {
+    queue_.RecordAdmission(task, AdmissionResult::kRejectedTenantShare);
+    return Status::ResourceExhausted(
+        "tenant '" + task.tenant + "' queue share is full (" +
+        RequestPriorityName(task.priority) + " priority)");
+  }
+  queue_.RecordAdmission(task, AdmissionResult::kAdmitted);
+  queue_.Push(std::move(task));
+  not_empty_.notify_one();
+  return Status::Ok();
+}
+
 Status ThreadPool::Submit(std::function<void()> task) {
   if (task == nullptr) {
     return Status::InvalidArgument("ThreadPool::Submit: null task");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return queue_.size() < capacity_ || !accepting_; });
-  if (!accepting_) {
-    return Status::FailedPrecondition("ThreadPool is shut down");
-  }
-  queue_.push_back(std::move(task));
-  not_empty_.notify_one();
-  return Status::Ok();
+  QueueTask spec;
+  spec.run = std::move(task);
+  return Submit(std::move(spec));
 }
 
 void ThreadPool::Drain() {
@@ -37,15 +81,21 @@ void ThreadPool::Drain() {
 }
 
 void ThreadPool::Shutdown() {
+  std::vector<QueueTask> cancelled;
   {
     std::unique_lock<std::mutex> lock(mu_);
     accepting_ = false;
     stopping_ = true;
+    cancelled = queue_.DrainAll();
     // Wake producers blocked on a full queue so they can fail fast, and
     // idle workers so they observe stopping_.
     not_full_.notify_all();
     not_empty_.notify_all();
+    if (queue_.empty() && running_ == 0) all_done_.notify_all();
   }
+  // Queued-but-not-running work is failed explicitly, outside the lock
+  // (cancel callbacks resolve engine futures and may take other locks).
+  CancelAll(cancelled, Status::Shutdown("engine shutting down"));
   // Every Shutdown caller returns only once the workers are joined: a
   // late caller blocks on join_mu_ until the first caller's join is done,
   // so it can safely destroy the pool afterwards.
@@ -62,19 +112,49 @@ size_t ThreadPool::QueueDepth() const {
   return queue_.size();
 }
 
+double ThreadPool::QueuedCost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.total_cost();
+}
+
+FairQueueCounters ThreadPool::QueueCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.counters();
+}
+
+std::vector<TenantAdmissionRow> ThreadPool::TenantRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.TenantRows();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueueTask task;
+    std::vector<QueueTask> shed;
+    bool got = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) return;  // stopping_ and nothing left to run.
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++running_;
-      not_full_.notify_one();
+      if (queue_.empty() && stopping_) return;
+      got = queue_.Pop(&task, std::chrono::steady_clock::now(), &shed);
+      if (got) ++running_;
+      if (got || !shed.empty()) not_full_.notify_all();
+      if (!got) {
+        // Pop shed every remaining item: the queue may have just become
+        // empty without any dispatch.
+        if (queue_.empty() && running_ == 0) all_done_.notify_all();
+        if (queue_.empty() && stopping_) {
+          lock.unlock();
+          CancelAll(shed, Status::DeadlineExceeded(
+                              "deadline expired before diagnosis started"));
+          return;
+        }
+      }
     }
-    task();
+    CancelAll(shed, Status::DeadlineExceeded(
+                        "deadline expired before diagnosis started"));
+    if (!got) continue;
+    task.run();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_;

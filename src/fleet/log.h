@@ -1,0 +1,176 @@
+// Crash-durable append-only segment log for the fleet store.
+//
+// The FleetStore is an in-memory index: a process crash loses every
+// published verdict, and after restart each cross-tenant question costs a
+// full re-diagnosis per tenant — the exact fleet regime the store exists
+// to avoid. The SegmentLog makes publishes durable the boring way
+// databases do:
+//
+//   * every published TenantVerdict is serialized and appended as one
+//     framed record: [u32 payload_len][u32 crc32(payload)][payload].
+//     The CRC (IEEE 802.3, see common/crc32.h) is what lets replay tell
+//     a valid record from a torn or bit-flipped tail after a crash;
+//   * the log is segmented: a fresh segment starts at every Open (the
+//     previous process may have died mid-write; its possibly-torn tail
+//     is never appended to), when a segment outgrows segment_max_bytes,
+//     and when the published verdict's diagnosis window enters a new
+//     retention bucket. Segment names encode (sequence, window bucket),
+//     so replay order is lexical filename order and retention can
+//     reason about windows without opening files;
+//   * retention is per-window: keep the newest `retain_windows` window
+//     buckets, delete whole segments older than that — compaction by
+//     unlink, no rewrite, mirroring how the store itself ages verdicts
+//     out by generation rather than TTL.
+//
+// Recovery (RecoverFromLog) replays every segment in order and
+// re-publishes each valid record into a FleetStore. Replay NEVER
+// crashes on a corrupt log: a record whose frame is torn, whose length
+// is implausible, or whose CRC mismatches ends that segment's replay
+// (later segments still replay — their records are newer, and the
+// store's monotone-generation Upsert keeps ordering honest) and is
+// counted in ReplayStats.records_dropped. Rows restored this way answer
+// every FleetQuery byte-identically to the pre-crash store, minus
+// records provably lost in the torn tail.
+//
+// The verdict's observability-only `cost` profile is deliberately not
+// serialized (it is null after recovery): no FleetQuery reads it, so
+// query answers stay byte-equal — the same metadata-only contract
+// TenantVerdict::cost already documents.
+//
+// Thread-safety: Append/Counters are safe to call concurrently (one
+// internal mutex — the log is the serialization point publishes already
+// funnel through). Open/Replay/retention race with nothing by contract:
+// recover first, then attach.
+#ifndef DIADS_FLEET_LOG_H_
+#define DIADS_FLEET_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/verdict.h"
+
+namespace diads::fleet {
+
+class FleetStore;  // fleet/store.h
+
+struct LogOptions {
+  /// Directory holding the segment files (created if missing).
+  std::string dir;
+  /// Roll to a new segment once the current one exceeds this many bytes.
+  size_t segment_max_bytes = 4 * 1024 * 1024;
+  /// Width of one retention window bucket, in sim-time ms over the
+  /// verdict's window_end. 0 = a single bucket (no window-driven rolls,
+  /// retention never expires anything).
+  SimTimeMs window_span_ms = 0;
+  /// Keep segments of the newest N window buckets; delete older ones.
+  /// 0 = keep everything.
+  size_t retain_windows = 0;
+  /// fsync after every append (crash-durable to the platter, slow).
+  /// Off by default: the fleet store tolerates losing the final records
+  /// of a crash — that is exactly what ReplayStats reports.
+  bool sync_each_append = false;
+};
+
+/// Counters for the write side of the log.
+struct LogCounters {
+  uint64_t appends = 0;           ///< Records appended.
+  uint64_t append_failures = 0;   ///< I/O errors (record not written).
+  uint64_t bytes_written = 0;     ///< Frame + payload bytes.
+  uint64_t segments_created = 0;  ///< Including the Open segment.
+  uint64_t segments_deleted = 0;  ///< Removed by retention.
+
+  std::string Render() const;  ///< Human-readable one-liner block.
+  std::string ToJson() const;  ///< One-line JSON object.
+};
+
+/// What one replay saw. records_dropped counts suffixes abandoned for
+/// cause: a torn frame, an implausible length, or a CRC mismatch each
+/// count once per segment (everything after the first bad byte of a
+/// segment is unreadable — there is no resync marker).
+struct ReplayStats {
+  uint64_t segments_scanned = 0;
+  uint64_t records_replayed = 0;
+  uint64_t records_dropped = 0;    ///< Corrupt/torn suffixes abandoned.
+  uint64_t bytes_scanned = 0;
+  uint64_t decode_failures = 0;    ///< CRC-valid but unparseable payload.
+
+  std::string Render() const;
+  std::string ToJson() const;
+};
+
+/// Serializes a verdict to the log's record payload (format v1). Exposed
+/// for tests; Append frames and writes it.
+std::string EncodeVerdict(const TenantVerdict& verdict);
+
+/// Decodes a record payload. Returns InvalidArgument on version mismatch
+/// or a truncated/overrun payload (never crashes on garbage).
+Result<TenantVerdict> DecodeVerdict(const std::string& payload);
+
+class SegmentLog {
+ public:
+  /// Creates the directory if needed, scans existing segment names to
+  /// continue the sequence numbering, and starts a FRESH segment (an
+  /// existing tail, possibly torn by a crash, is never appended to).
+  static Result<std::unique_ptr<SegmentLog>> Open(LogOptions options);
+
+  ~SegmentLog();
+
+  SegmentLog(const SegmentLog&) = delete;
+  SegmentLog& operator=(const SegmentLog&) = delete;
+
+  /// Appends one verdict as a framed record, rolling the segment on size
+  /// or window-bucket change, then enforces retention. Returns Internal
+  /// on I/O failure (the store stays usable; the record is not durable).
+  Status Append(const TenantVerdict& verdict);
+
+  /// Flushes (and with sync_each_append, fsyncs) the current segment.
+  Status Flush();
+
+  LogCounters Counters() const;
+
+  const LogOptions& options() const { return options_; }
+
+  /// Live segment file names (sorted = replay order). Test/ops surface.
+  static std::vector<std::string> ListSegments(const std::string& dir);
+
+  /// Replays every segment under `dir` in order, invoking `visit` for
+  /// each valid record. Never fails on corruption — corrupt suffixes are
+  /// counted and skipped; a missing directory is just an empty log.
+  static ReplayStats Replay(
+      const std::string& dir,
+      const std::function<void(TenantVerdict&&)>& visit);
+
+ private:
+  explicit SegmentLog(LogOptions options);
+
+  /// The retention bucket of a verdict (window_end / window_span_ms).
+  int64_t BucketOf(SimTimeMs window_end) const;
+  Status RollSegment(int64_t bucket);   ///< Opens seg-<seq>-w<bucket>.
+  void EnforceRetention();              ///< Deletes expired buckets.
+
+  LogOptions options_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;     ///< Current segment (guarded by mu_).
+  std::string file_path_;
+  size_t file_bytes_ = 0;
+  uint64_t next_sequence_ = 0;
+  int64_t current_bucket_ = 0;
+  bool have_segment_ = false;
+  LogCounters counters_;
+};
+
+/// Replays `dir` into `store` (via Publish, so the store's monotone-
+/// generation rule arbitrates duplicate or out-of-order records exactly
+/// as live publishes would). Call BEFORE FleetStore::AttachLog — an
+/// attached log would re-append every replayed record.
+ReplayStats RecoverFromLog(const std::string& dir, FleetStore* store);
+
+}  // namespace diads::fleet
+
+#endif  // DIADS_FLEET_LOG_H_

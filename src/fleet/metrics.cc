@@ -34,4 +34,50 @@ void RegisterFleetStoreMetrics(obs::MetricsRegistry* registry,
       });
 }
 
+void EmitFleetLogCounters(const LogCounters& counters,
+                          const obs::Labels& labels,
+                          obs::MetricsEmitter& emitter) {
+  emitter.Counter("diads_fleet_log_appends_total",
+                  "Verdict records appended to the segment log", labels,
+                  counters.appends);
+  emitter.Counter("diads_fleet_log_append_failures_total",
+                  "Appends lost to I/O errors (record not durable)", labels,
+                  counters.append_failures);
+  emitter.Counter("diads_fleet_log_bytes_written_total",
+                  "Frame + payload bytes appended", labels,
+                  counters.bytes_written);
+  emitter.Counter("diads_fleet_log_segments_created_total",
+                  "Segment files opened", labels, counters.segments_created);
+  emitter.Counter("diads_fleet_log_segments_deleted_total",
+                  "Segment files removed by window retention", labels,
+                  counters.segments_deleted);
+}
+
+void EmitReplayStats(const ReplayStats& stats, const obs::Labels& labels,
+                     obs::MetricsEmitter& emitter) {
+  emitter.Counter("diads_fleet_replay_segments_scanned_total",
+                  "Segments scanned during recovery", labels,
+                  stats.segments_scanned);
+  emitter.Counter("diads_fleet_replay_records_total",
+                  "Verdict records restored during recovery", labels,
+                  stats.records_replayed);
+  emitter.Counter("diads_fleet_replay_records_dropped_total",
+                  "Torn or corrupt record suffixes abandoned", labels,
+                  stats.records_dropped);
+  emitter.Counter("diads_fleet_replay_decode_failures_total",
+                  "CRC-valid but unparseable records skipped", labels,
+                  stats.decode_failures);
+  emitter.Counter("diads_fleet_replay_bytes_scanned_total",
+                  "Bytes scanned during recovery", labels,
+                  stats.bytes_scanned);
+}
+
+void RegisterFleetLogMetrics(obs::MetricsRegistry* registry,
+                             const SegmentLog* log, obs::Labels labels) {
+  registry->AddSource(
+      [log, labels = std::move(labels)](obs::MetricsEmitter& emitter) {
+        EmitFleetLogCounters(log->Counters(), labels, emitter);
+      });
+}
+
 }  // namespace diads::fleet

@@ -5,6 +5,7 @@
 #ifndef DIADS_FLEET_METRICS_H_
 #define DIADS_FLEET_METRICS_H_
 
+#include "fleet/log.h"
 #include "fleet/store.h"
 #include "obs/metrics.h"
 
@@ -20,6 +21,18 @@ void RegisterFleetStoreMetrics(obs::MetricsRegistry* registry,
 void EmitFleetStoreCounters(const FleetStore::Counters& counters,
                             const obs::Labels& labels,
                             obs::MetricsEmitter& emitter);
+
+/// Same bridge for the durability log's write-side counters (and, when a
+/// recovery ran, the replay outcome as one-shot constants).
+void RegisterFleetLogMetrics(obs::MetricsRegistry* registry,
+                             const SegmentLog* log, obs::Labels labels = {});
+
+void EmitFleetLogCounters(const LogCounters& counters,
+                          const obs::Labels& labels,
+                          obs::MetricsEmitter& emitter);
+
+void EmitReplayStats(const ReplayStats& stats, const obs::Labels& labels,
+                     obs::MetricsEmitter& emitter);
 
 }  // namespace diads::fleet
 

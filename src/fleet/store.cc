@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "fleet/log.h"
 
 namespace diads::fleet {
 
@@ -72,6 +73,19 @@ void FleetStore::Publish(const TenantVerdict& verdict) {
            component.generation,
            std::make_shared<const ComponentVerdict>(component), nullptr);
   }
+  // Durability last: the in-memory rows are live either way, and the log
+  // counts its own append failures.
+  if (SegmentLog* log = log_.load(std::memory_order_acquire)) {
+    (void)log->Append(verdict);
+  }
+}
+
+void FleetStore::AttachLog(SegmentLog* log) {
+  log_.store(log, std::memory_order_release);
+}
+
+void FleetStore::DetachLog() {
+  log_.store(nullptr, std::memory_order_release);
 }
 
 std::vector<FleetStore::Row> FleetStore::Snapshot() const {

@@ -46,6 +46,8 @@
 
 namespace diads::fleet {
 
+class SegmentLog;  // fleet/log.h
+
 /// Identity of one stored row. component == "" is the tenant-level
 /// diagnosis row (ranked causes + plan diff) for that window.
 struct FleetKey {
@@ -118,6 +120,15 @@ class FleetStore {
   /// with a newer generation wins — the publish of a stale verdict is
   /// dropped, never served.
   void Publish(const TenantVerdict& verdict);
+
+  /// Durability hook: while attached, every Publish is also appended to
+  /// the segment log (after the in-memory upserts; append failures are
+  /// counted by the log, the store stays usable). Not owned — detach (or
+  /// destroy the store) before dropping the log. Attach AFTER
+  /// RecoverFromLog has replayed: an attached log re-appends every
+  /// publish, including replayed ones.
+  void AttachLog(SegmentLog* log);
+  void DetachLog();
 
   /// One live row. Exactly one of `component` / `record` is set.
   struct Row {
@@ -206,6 +217,9 @@ class FleetStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> publishes_{0};
   mutable std::atomic<uint64_t> queries_{0};
+  /// Attached durability log (null = in-memory only). Atomic so Publish
+  /// reads it without a lock; the log serializes its own appends.
+  std::atomic<SegmentLog*> log_{nullptr};
 };
 
 }  // namespace diads::fleet

@@ -115,6 +115,71 @@ Result<FleetWorkload> BuildSharedFaultFleet(
   return fleet;
 }
 
+Result<FleetWorkload> BuildFloodingFleet(const FloodingFleetOptions& options) {
+  FloodingFleetOptions opts = options;
+  if (opts.victim_scenarios.empty()) {
+    opts.victim_scenarios = {
+        ScenarioId::kS2DualExternalContention,
+        ScenarioId::kS3DataPropertyChange,
+        ScenarioId::kS4ConcurrentDbSan,
+        ScenarioId::kS5LockingWithNoise,
+    };
+  }
+  if (opts.victim_tenants <= 0) {
+    return Status::InvalidArgument(
+        "FloodingFleetOptions.victim_tenants must be positive");
+  }
+  if (opts.flood_requests <= 0 || opts.requests_per_victim <= 0) {
+    return Status::InvalidArgument(
+        "FloodingFleetOptions request counts must be positive");
+  }
+
+  FleetWorkload fleet;
+  fleet.tenants.reserve(static_cast<size_t>(opts.victim_tenants) + 1);
+  for (int i = 0; i <= opts.victim_tenants; ++i) {
+    const bool flooder = i == 0;
+    const ScenarioId id =
+        flooder ? opts.flood_scenario
+                : opts.victim_scenarios[static_cast<size_t>(i - 1) %
+                                        opts.victim_scenarios.size()];
+    ScenarioOptions scenario_options = opts.scenario_options;
+    scenario_options.seed = opts.seed + static_cast<uint64_t>(i) * 7919;
+    Result<ScenarioOutput> output = RunScenario(id, scenario_options);
+    DIADS_RETURN_IF_ERROR(output.status());
+    FleetTenant tenant;
+    tenant.name = StrFormat(flooder ? "t%02d-flood-%s" : "t%02d-%s", i,
+                            ScenarioName(id));
+    tenant.scenario = id;
+    tenant.output =
+        std::make_unique<ScenarioOutput>(std::move(output).value());
+    fleet.tenants.push_back(std::move(tenant));
+  }
+
+  // Flood burst first: by the time the first victim request arrives the
+  // queue is as deep in flood work as it will ever be.
+  for (int r = 0; r < opts.flood_requests; ++r) {
+    engine::DiagnosisRequest request;
+    request.ctx = fleet.tenants[0].output->MakeContext();
+    request.tag = fleet.tenants[0].name;
+    request.priority = opts.flood_priority;
+    request.deadline_ms = opts.flood_deadline_ms;
+    fleet.requests.push_back(std::move(request));
+    fleet.tenant_of_request.push_back(0);
+  }
+  // Victims round-robin, so no single victim monopolizes the tail either.
+  for (int r = 0; r < opts.requests_per_victim; ++r) {
+    for (int v = 1; v <= opts.victim_tenants; ++v) {
+      const size_t t = static_cast<size_t>(v);
+      engine::DiagnosisRequest request;
+      request.ctx = fleet.tenants[t].output->MakeContext();
+      request.tag = fleet.tenants[t].name;
+      fleet.requests.push_back(std::move(request));
+      fleet.tenant_of_request.push_back(t);
+    }
+  }
+  return fleet;
+}
+
 std::vector<std::string> TenantsWithGroundTruthSubject(
     const FleetWorkload& fleet, const std::string& subject) {
   std::vector<std::string> out;

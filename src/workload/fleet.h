@@ -91,6 +91,41 @@ struct SharedFaultFleetOptions {
 Result<FleetWorkload> BuildSharedFaultFleet(
     const SharedFaultFleetOptions& options);
 
+/// An adversarial serving mix: one tenant floods the engine with a burst
+/// of requests while a handful of well-behaved victim tenants each ask a
+/// few questions of their own. Under FIFO dispatch every victim request
+/// waits behind the whole remaining flood; under weighted fair queueing
+/// the victims' sub-queues are served round-robin against the flood's —
+/// this is the population bench_fairness measures victim p99 over, and
+/// the admission/shedding counters are exercised by giving the flood
+/// requests deadlines (set by the caller via `flood_deadline_ms`).
+struct FloodingFleetOptions {
+  /// The flooding tenant's scenario (tenant index 0, tag "t00-flood-*").
+  ScenarioId flood_scenario = ScenarioId::kS1SanMisconfiguration;
+  /// Victim scenario mix; victims round-robin over it. Default: S2-S5.
+  std::vector<ScenarioId> victim_scenarios;
+  int victim_tenants = 4;
+  /// Burst size: flood requests generated FIRST in the stream, so they
+  /// occupy the queue before any victim arrives (worst case for FIFO).
+  int flood_requests = 48;
+  int requests_per_victim = 3;
+  /// Deadline stamped onto each flood request (0 = none). Victims never
+  /// carry deadlines.
+  double flood_deadline_ms = 0;
+  /// Priority of the flood's requests (victims stay kNormal).
+  engine::RequestPriority flood_priority = engine::RequestPriority::kNormal;
+  uint64_t seed = 42;
+  /// Per-tenant sizing (seed is overridden per tenant).
+  ScenarioOptions scenario_options;
+};
+
+/// Builds the flooding fleet: tenant 0 is the flooder, tenants 1.. are
+/// victims; the request stream is the flood burst followed by the
+/// victims' requests round-robin. Run it with the result cache and
+/// coalescing disabled — otherwise the engine collapses the identical
+/// flood requests and nothing floods.
+Result<FleetWorkload> BuildFloodingFleet(const FloodingFleetOptions& options);
+
 /// Names of the tenants whose primary ground truth names `subject`
 /// (registry name, e.g. "V1") — the answer key for implicated-set
 /// queries. Sorted by tenant name.

@@ -289,6 +289,12 @@ engine::EngineStatsSnapshot SentinelSnapshot() {
   s.completed = static_cast<uint64_t>(next++);
   s.failed = static_cast<uint64_t>(next++);
   s.rejected = static_cast<uint64_t>(next++);
+  s.admitted = static_cast<uint64_t>(next++);
+  s.rejected_share = static_cast<uint64_t>(next++);
+  s.shed_deadline = static_cast<uint64_t>(next++);
+  s.cancelled_shutdown = static_cast<uint64_t>(next++);
+  s.starvation_avoided = static_cast<uint64_t>(next++);
+  s.queued_cost = next++;
   s.cache_hits = static_cast<uint64_t>(next++);
   s.cache_misses = static_cast<uint64_t>(next++);
   s.cache_evictions = static_cast<uint64_t>(next++);
@@ -317,10 +323,10 @@ TEST(MetricsBridgeTest, NoEngineCounterLost) {
   RecordingEmitter emitter;
   engine::EmitEngineSnapshot(snapshot, {}, emitter);
 
-  // Every sentinel value must surface in some emitted sample: 24 distinct
-  // sentinels were planted above (counters, cache blocks, gather stats,
-  // queue/throughput gauges).
-  for (double sentinel = 1000; sentinel < 1024; sentinel += 1) {
+  // Every sentinel value must surface in some emitted sample: 30 distinct
+  // sentinels were planted above (counters, admission/shedding counters,
+  // cache blocks, gather stats, queue/throughput gauges).
+  for (double sentinel = 1000; sentinel < 1030; sentinel += 1) {
     EXPECT_TRUE(emitter.SawValue(sentinel))
         << "snapshot field with sentinel " << sentinel
         << " was dropped by EmitEngineSnapshot";
