@@ -1,0 +1,214 @@
+// Topology-scale experiment: generation, failure-aware multipath
+// resolution, APG construction, and a full Workflow::Diagnose over a
+// generated fabric that crosses 1000 registry components.
+//
+// Four sections, the last two CI-gated on wall-clock budgets:
+//
+//   * Generation: GenerateFabricTopology(LargeFabricSpec()) into a fresh
+//     registry — components created, generation time, and the hard floor
+//     that the spec really crosses 1000 components.
+//   * Resolution: ResolvePaths over every generated LUN mapping, three
+//     ways — cold (first resolution), warm (cached), and re-resolved
+//     after a failure flip invalidates the cache (the failover path). The
+//     fabric-A HBA of every server is failed and recovered around the
+//     re-resolution, so the timing covers the failure-aware BFS, not a
+//     cache readback.
+//   * APG at scale: the F1 failover scenario on the multipath testbed
+//     with the LargeFabricSpec() fabric generated into the same registry
+//     (TestbedOptions::add_scale_fabric) — BuildApg timed, min of
+//     --reps, gated by --max-apg-ms.
+//   * Diagnosis at scale: full Workflow::Diagnose over that scenario,
+//     gated by --max-diagnose-ms, and the report must still rank the
+//     injected HBA failure first (the scale fabric is idle structure; it
+//     must not distort the diagnosis).
+//
+// A violated gate hard-fails the binary (exit 1). "[bench-json]" rows
+// carry the numbers for CI artifacts.
+//
+//   $ ./bench_topology_scale [--reps=N] [--max-apg-ms=N]
+//                            [--max-diagnose-ms=N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "diads/report.h"
+#include "diads/symptoms_db.h"
+#include "diads/workflow.h"
+#include "san/generator.h"
+#include "san/topology.h"
+#include "support/bench_json.h"
+#include "workload/scenario.h"
+#include "workload/testbed.h"
+
+using namespace diads;
+
+namespace {
+
+int64_t FlagValue(int argc, char** argv, const char* name,
+                  int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double Ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = static_cast<int>(FlagValue(argc, argv, "reps", 3));
+  const double max_apg_ms =
+      static_cast<double>(FlagValue(argc, argv, "max-apg-ms", 1000));
+  const double max_diagnose_ms =
+      static_cast<double>(FlagValue(argc, argv, "max-diagnose-ms", 5000));
+
+  // --- Generation ----------------------------------------------------------
+  ComponentRegistry registry;
+  san::SanTopology topology(&registry);
+  const auto gen_start = std::chrono::steady_clock::now();
+  Result<san::GeneratedFabric> fabric =
+      san::GenerateFabricTopology(&topology, san::LargeFabricSpec());
+  const double generate_ms = Ms(gen_start);
+  if (!fabric.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 fabric.status().ToString().c_str());
+    return 1;
+  }
+  const bool scale_ok = fabric->component_count >= 1000;
+  std::printf("generated %zu components (%zu servers, %zu volumes, %zu "
+              "mappings) in %.1f ms\n",
+              fabric->component_count, fabric->servers.size(),
+              fabric->volumes.size(), fabric->mappings.size(), generate_ms);
+  bench::BenchJson("topology_scale")
+      .Str("mode", "generate")
+      .Uint("components", fabric->component_count)
+      .Uint("mappings", fabric->mappings.size())
+      .Num("generate_ms", generate_ms, 1)
+      .Emit();
+
+  // --- Resolution: cold / warm / post-failure re-resolution ----------------
+  auto resolve_all = [&]() -> double {
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& [server, volume] : fabric->mappings) {
+      Result<std::vector<san::IoPath>> paths =
+          topology.ResolvePaths(server, volume);
+      if (!paths.ok()) {
+        std::fprintf(stderr, "resolution failed: %s\n",
+                     paths.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return Ms(start);
+  };
+  const double cold_ms = resolve_all();
+  const double warm_ms = resolve_all();
+  // Failure-aware re-resolution: failing every fabric-0 HBA invalidates the
+  // path cache, so the next sweep re-runs the BFS with the failure state
+  // applied (every mapping survives on its fabric-1 route).
+  for (const auto& hbas : fabric->server_hbas) {
+    if (!topology.SetHbaFailed(hbas[0], true).ok()) return 1;
+  }
+  const double failover_ms = resolve_all();
+  for (const auto& hbas : fabric->server_hbas) {
+    if (!topology.SetHbaFailed(hbas[0], false).ok()) return 1;
+  }
+  std::printf("resolution over %zu mappings: cold %.1f ms, warm %.2f ms, "
+              "post-failure %.1f ms\n",
+              fabric->mappings.size(), cold_ms, warm_ms, failover_ms);
+  bench::BenchJson("topology_scale")
+      .Str("mode", "resolve")
+      .Num("cold_ms", cold_ms, 2)
+      .Num("warm_ms", warm_ms, 3)
+      .Num("failover_ms", failover_ms, 2)
+      .Emit();
+
+  // --- APG + full diagnosis at 1000+ components ----------------------------
+  workload::ScenarioOptions scenario_options;
+  scenario_options.testbed.add_scale_fabric = true;
+  Result<workload::ScenarioOutput> scenario = workload::RunScenario(
+      workload::ScenarioId::kF1HbaFailover, scenario_options);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "F1 scenario at scale failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  const size_t total_components = scenario->testbed->registry.size();
+  std::printf("F1 testbed at scale: %zu registry components\n",
+              total_components);
+
+  double apg_ms = -1;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<apg::Apg> apg = scenario->testbed->BuildApg();
+    const double elapsed = Ms(start);
+    if (!apg.ok()) {
+      std::fprintf(stderr, "BuildApg failed: %s\n",
+                   apg.status().ToString().c_str());
+      return 1;
+    }
+    if (apg_ms < 0 || elapsed < apg_ms) apg_ms = elapsed;
+  }
+
+  const diag::SymptomsDb symptoms = diag::SymptomsDb::MakeDefault();
+  diag::DiagnosisContext ctx = scenario->MakeContext();
+  diag::Workflow workflow(ctx, diag::WorkflowConfig{}, &symptoms);
+  double diagnose_ms = -1;
+  bool top_ranked = false;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<diag::DiagnosisReport> report = workflow.Diagnose();
+    const double elapsed = Ms(start);
+    if (!report.ok()) {
+      std::fprintf(stderr, "Diagnose failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (diagnose_ms < 0 || elapsed < diagnose_ms) diagnose_ms = elapsed;
+    top_ranked =
+        !report->causes.empty() && !scenario->ground_truth.empty() &&
+        workload::MatchesGroundTruth(scenario->ground_truth.front(),
+                                     report->causes.front(),
+                                     scenario->testbed->registry);
+  }
+
+  const bool apg_ok = apg_ms <= max_apg_ms;
+  const bool diagnose_ok = diagnose_ms <= max_diagnose_ms;
+  std::printf("APG build %.1f ms (budget %.0f), diagnosis %.1f ms (budget "
+              "%.0f), top-ranked root cause: %s\n",
+              apg_ms, max_apg_ms, diagnose_ms, max_diagnose_ms,
+              top_ranked ? "yes" : "NO");
+
+  const bool pass = scale_ok && apg_ok && diagnose_ok && top_ranked;
+  bench::BenchJson("topology_scale")
+      .Str("mode", "summary")
+      .Uint("components", total_components)
+      .Num("apg_ms", apg_ms, 1)
+      .Num("max_apg_ms", max_apg_ms, 0)
+      .Num("diagnose_ms", diagnose_ms, 1)
+      .Num("max_diagnose_ms", max_diagnose_ms, 0)
+      .Bool("top_ranked", top_ranked)
+      .Bool("pass", pass)
+      .Emit();
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "GATE FAILED: components>=1000=%d apg=%.1f/%.0fms "
+                 "diagnose=%.1f/%.0fms top_ranked=%d\n",
+                 scale_ok ? 1 : 0, apg_ms, max_apg_ms, diagnose_ms,
+                 max_diagnose_ms, top_ranked ? 1 : 0);
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}

@@ -171,12 +171,17 @@ Result<Apg> ApgBuilder::Build(std::shared_ptr<const db::Plan> plan,
     DIADS_RETURN_IF_ERROR(volume.status());
     apg.op_volume_[static_cast<size_t>(op.index)] = *volume;
 
-    Result<san::IoPath> path = topology_->ResolvePath(db_server, *volume);
-    DIADS_RETURN_IF_ERROR(path.status());
+    // Union over every surviving multipath route: the APG must cover all
+    // components the I/O may touch, not just the active path.
+    Result<std::vector<san::IoPath>> paths =
+        topology_->ResolvePaths(db_server, *volume);
+    DIADS_RETURN_IF_ERROR(paths.status());
 
     std::set<ComponentId> inner;
     inner.insert(database);
-    for (ComponentId c : path->AllComponents()) inner.insert(c);
+    for (const san::IoPath& path : *paths) {
+      for (ComponentId c : path.AllComponents()) inner.insert(c);
+    }
     apg.inner_[static_cast<size_t>(op.index)] =
         SortPath(inner, topology_->registry());
 

@@ -42,6 +42,28 @@ const char* EventTypeName(EventType type) {
       return "DmlBatch";
     case EventType::kTableLockContention:
       return "TableLockContention";
+    case EventType::kHbaFailed:
+      return "HbaFailed";
+    case EventType::kHbaRecovered:
+      return "HbaRecovered";
+    case EventType::kPortFailed:
+      return "PortFailed";
+    case EventType::kPortRecovered:
+      return "PortRecovered";
+    case EventType::kSwitchFailed:
+      return "SwitchFailed";
+    case EventType::kSwitchRecovered:
+      return "SwitchRecovered";
+    case EventType::kLinkFailed:
+      return "LinkFailed";
+    case EventType::kLinkRecovered:
+      return "LinkRecovered";
+    case EventType::kPortDegraded:
+      return "PortDegraded";
+    case EventType::kPathFailover:
+      return "PathFailover";
+    case EventType::kRetryStormDetected:
+      return "RetryStormDetected";
   }
   return "Unknown";
 }

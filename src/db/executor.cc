@@ -310,20 +310,27 @@ Result<QueryRunRecord> Executor::Execute(std::shared_ptr<const Plan> plan,
         static_cast<double>(pipeline_span[pi].duration()) / 1000.0;
     for (int scan : pipeline_scans[pi]) {
       OpWork& w = work[static_cast<size_t>(scan)];
-      san::LoadEvent load;
-      load.volume = w.volume;
-      load.interval = pipeline_span[pi];
-      load.profile.read_iops = w.physical_reads / std::max(1e-3, dur_s);
-      load.profile.seq_fraction = w.seq_fraction;
-      load.profile.avg_block_kb = 8.0;
-      load.source = ctx_.database;
-      Result<san::IoPath> path =
-          ctx_.topology->ResolvePath(ctx_.db_server, w.volume);
-      if (path.ok()) {
-        load.path_ports = path->ports;
-        load.path_switches = path->switches;
+      const double read_iops = w.physical_reads / std::max(1e-3, dur_s);
+      // The multipath driver round-robins I/O across every surviving route,
+      // so the scan's demand is split evenly over them. With one path this
+      // degenerates to the single LoadEvent of the single-route model.
+      Result<std::vector<san::IoPath>> paths =
+          ctx_.topology->ResolvePaths(ctx_.db_server, w.volume);
+      const size_t n_paths = paths.ok() ? paths->size() : 1;
+      for (size_t pp = 0; pp < n_paths; ++pp) {
+        san::LoadEvent load;
+        load.volume = w.volume;
+        load.interval = pipeline_span[pi];
+        load.profile.read_iops = read_iops / static_cast<double>(n_paths);
+        load.profile.seq_fraction = w.seq_fraction;
+        load.profile.avg_block_kb = 8.0;
+        load.source = ctx_.database;
+        if (paths.ok()) {
+          load.path_ports = (*paths)[pp].ports;
+          load.path_switches = (*paths)[pp].switches;
+        }
+        DIADS_RETURN_IF_ERROR(ctx_.perf_model->AddLoad(std::move(load)));
       }
-      DIADS_RETURN_IF_ERROR(ctx_.perf_model->AddLoad(std::move(load)));
     }
     const double cpu_util =
         std::min(1.0, pipeline_cpu[pi] /

@@ -115,6 +115,12 @@ const char* RootCauseTypeName(RootCauseType type) {
       return "Buffer pool pressure";
     case RootCauseType::kCpuSaturation:
       return "Database server CPU saturation";
+    case RootCauseType::kHbaFailure:
+      return "HBA failure masked by path failover";
+    case RootCauseType::kMultipathImbalance:
+      return "Asymmetric multipath load imbalance";
+    case RootCauseType::kRetryStorm:
+      return "I/O retry storm cascade";
   }
   return "?";
 }

@@ -193,6 +193,10 @@ enum class RootCauseType {
   kDiskFailure,
   kBufferPoolPressure,
   kCpuSaturation,
+  // Fabric/multipath causes (appended; values are stable in digests).
+  kHbaFailure,
+  kMultipathImbalance,
+  kRetryStorm,
 };
 
 const char* RootCauseTypeName(RootCauseType type);

@@ -79,9 +79,23 @@ std::vector<int> OperatorsAffectedBy(const DiagnosisContext& ctx,
       }
       break;
     }
+    case RootCauseType::kRetryStorm: {
+      // op(R) = leaves reading the retrying volume.
+      if (registry.Contains(cause.subject)) {
+        for (int leaf : ctx.apg->LeafOpsOnComponent(cause.subject)) {
+          ops.insert(leaf);
+        }
+      }
+      break;
+    }
     case RootCauseType::kBufferPoolPressure:
     case RootCauseType::kCpuSaturation:
-    case RootCauseType::kPlanChange: {
+    case RootCauseType::kPlanChange:
+    // Fabric faults: the failed HBA / degraded port may be gone from the
+    // post-fault APG (I/O rerouted around it), so LeafOpsOnComponent would
+    // attribute zero impact; fall back to the COS like CPU saturation.
+    case RootCauseType::kHbaFailure:
+    case RootCauseType::kMultipathImbalance: {
       for (int op_index : co.correlated_operator_set) ops.insert(op_index);
       break;
     }

@@ -80,6 +80,19 @@ std::string RenderFullReport(const DiagnosisContext& ctx,
         out += "move the competing job off the database server or cap its "
                "CPU share.";
         break;
+      case RootCauseType::kHbaFailure:
+        out += "replace the failed HBA; the surviving path is carrying the "
+               "full load and is congested.";
+        break;
+      case RootCauseType::kMultipathImbalance:
+        out += "replace or re-seat the degraded port/SFP, or rebalance the "
+               "multipath weights away from it.";
+        break;
+      case RootCauseType::kRetryStorm:
+        out += "raise the driver retry backoff and shed load on the volume "
+               "until the queue drains; retries are amplifying the original "
+               "slowdown.";
+        break;
     }
     out += "\n\n";
   }

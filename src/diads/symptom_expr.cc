@@ -444,6 +444,30 @@ Result<bool> EvaluateCall(const SymptomExpr& expr,
     return m != nullptr &&
            m->anomaly_score >= eval.config->metric_anomaly.threshold;
   }
+  if (f == "fabric_component_anomalous") {
+    // Any FC port or switch in the APG with an anomalous metric: the
+    // surviving-path congestion signature of HBA failure and multipath
+    // imbalance (the fault itself stops reporting; its neighbours heat up).
+    const ComponentRegistry& registry = eval.ctx->topology->registry();
+    for (ComponentId component : eval.ctx->apg->AllComponents()) {
+      if (!registry.Contains(component)) continue;
+      const ComponentKind kind = registry.KindOf(component);
+      if (kind != ComponentKind::kFcPort && kind != ComponentKind::kFcSwitch) {
+        continue;
+      }
+      if (eval.index != nullptr) {
+        if (eval.index->AnyMetricAnomalous(component)) return true;
+      } else {
+        const double threshold = eval.config->metric_anomaly.threshold;
+        for (const MetricAnomaly& m : eval.da->metrics) {
+          if (m.component == component && m.anomaly_score >= threshold) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
   if (f == "plan_changed") return eval.pd->plans_differ;
   if (f == "no_plan_change") return !eval.pd->plans_differ;
   if (f == "plan_change_explained") {
@@ -546,6 +570,12 @@ Result<EventType> ParseEventTypeName(const std::string& name) {
       EventType::kIndexCreated,        EventType::kIndexDropped,
       EventType::kDbParamChanged,      EventType::kTableStatsChanged,
       EventType::kDmlBatch,            EventType::kTableLockContention,
+      EventType::kHbaFailed,           EventType::kHbaRecovered,
+      EventType::kPortFailed,          EventType::kPortRecovered,
+      EventType::kSwitchFailed,        EventType::kSwitchRecovered,
+      EventType::kLinkFailed,          EventType::kLinkRecovered,
+      EventType::kPortDegraded,        EventType::kPathFailover,
+      EventType::kRetryStormDetected,
   };
   static const std::unordered_map<std::string, EventType>* kByName = [] {
     auto* map = new std::unordered_map<std::string, EventType>();

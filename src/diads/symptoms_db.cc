@@ -169,6 +169,50 @@ SymptomsDb SymptomsDb::MakeDefault() {
                        {"not record_count_change()", 10},
                        {"not lock_wait_high()", 10},
                    }));
+
+  // Scenario F1's root cause: an HBA died, the multipath driver failed I/O
+  // over to the surviving fabric, and the now-overloaded path congests. The
+  // application never saw the failure — only the slowdown.
+  must(db.AddEntry("hba-failure", RootCauseType::kHbaFailure,
+                   /*bind_volumes=*/false,
+                   {
+                       {"event(type=HbaFailed)", 40},
+                       {"event(type=PathFailover)", 25},
+                       {"before(event(type=HbaFailed), "
+                        "event(type=VolumePerfDegraded))",
+                        15},
+                       {"op_anomaly_exists()", 10},
+                       {"no_plan_change()", 10},
+                   }));
+
+  // Scenario F2's root cause: one path of a multipath set degraded (bad
+  // SFP, CRC retries) but kept routing, so half the I/O crawls through a
+  // throttled port while the driver keeps round-robining onto it.
+  must(db.AddEntry("multipath-imbalance",
+                   RootCauseType::kMultipathImbalance,
+                   /*bind_volumes=*/false,
+                   {
+                       {"event(type=PortDegraded)", 62},
+                       {"before(event(type=PortDegraded), "
+                        "event(type=VolumePerfDegraded))",
+                        16},
+                       {"fabric_component_anomalous()", 14},
+                       {"op_anomaly_exists()", 8},
+                   }));
+
+  // Scenario F4's root cause: timeouts spawn retries which deepen the queue
+  // which spawns more timeouts — the snowball. The retry-storm trigger
+  // always fires *after* the first latency degradation it amplifies.
+  must(db.AddEntry(
+      "retry-storm", RootCauseType::kRetryStorm, /*bind_volumes=*/true,
+      {
+          {"event_near(type=RetryStormDetected, volume=$V)", 45},
+          {"before(event(type=VolumePerfDegraded), "
+           "event(type=RetryStormDetected))",
+           35},
+          {"volume_metric_anomaly(volume=$V)", 10},
+          {"op_anomaly_majority(volume=$V)", 10},
+      }));
   return db;
 }
 
@@ -201,6 +245,18 @@ ComponentId CauseSubject(const RootCauseEntry& entry, ComponentId bound_volume,
       const std::vector<SystemEvent> events =
           ctx.events->EventsOfTypeIn(EventType::kTableLockContention,
                                      ctx.AnalysisWindow());
+      if (!events.empty()) return events.front().subject;
+      return ctx.database;
+    }
+    case RootCauseType::kHbaFailure: {
+      const std::vector<SystemEvent> events = ctx.events->EventsOfTypeIn(
+          EventType::kHbaFailed, ctx.AnalysisWindow());
+      if (!events.empty()) return events.front().subject;
+      return ctx.database;
+    }
+    case RootCauseType::kMultipathImbalance: {
+      const std::vector<SystemEvent> events = ctx.events->EventsOfTypeIn(
+          EventType::kPortDegraded, ctx.AnalysisWindow());
       if (!events.empty()) return events.front().subject;
       return ctx.database;
     }

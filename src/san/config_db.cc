@@ -60,6 +60,132 @@ Status ConfigDatabase::RecoverDisk(SimTimeMs t, ComponentId disk) {
                             topology_->registry().NameOf(disk).c_str()));
 }
 
+std::vector<ConfigDatabase::ActivePath> ConfigDatabase::SnapshotActivePaths()
+    const {
+  std::vector<ActivePath> out;
+  for (const auto& [server, volume] : topology_->LunMappings()) {
+    ActivePath entry;
+    entry.server = server;
+    entry.volume = volume;
+    Result<IoPath> path = topology_->ResolvePath(server, volume);
+    if (path.ok()) entry.ports = path->ports;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Status ConfigDatabase::LogFailovers(SimTimeMs t,
+                                    const std::vector<ActivePath>& before) {
+  for (const ActivePath& prev : before) {
+    if (prev.ports.empty()) continue;  // Was already unreachable.
+    Result<IoPath> now = topology_->ResolvePath(prev.server, prev.volume);
+    if (!now.ok() || now->ports == prev.ports) continue;
+    DIADS_RETURN_IF_ERROR(LogEvent(
+        t, EventType::kPathFailover, prev.volume,
+        StrFormat("LUN '%s' for server '%s' failed over from port '%s' to "
+                  "port '%s'",
+                  topology_->registry().NameOf(prev.volume).c_str(),
+                  topology_->registry().NameOf(prev.server).c_str(),
+                  topology_->registry().NameOf(prev.ports.front()).c_str(),
+                  topology_->registry().NameOf(now->ports.front()).c_str())));
+  }
+  return Status::Ok();
+}
+
+Status ConfigDatabase::FailHba(SimTimeMs t, ComponentId hba) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetHbaFailed(hba, true));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kHbaFailed, hba,
+               StrFormat("HBA '%s' failed",
+                         topology_->registry().NameOf(hba).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::RecoverHba(SimTimeMs t, ComponentId hba) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetHbaFailed(hba, false));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kHbaRecovered, hba,
+               StrFormat("HBA '%s' recovered",
+                         topology_->registry().NameOf(hba).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::FailPort(SimTimeMs t, ComponentId port) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetPortFailed(port, true));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kPortFailed, port,
+               StrFormat("FC port '%s' failed",
+                         topology_->registry().NameOf(port).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::RecoverPort(SimTimeMs t, ComponentId port) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetPortFailed(port, false));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kPortRecovered, port,
+               StrFormat("FC port '%s' recovered",
+                         topology_->registry().NameOf(port).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::FailSwitch(SimTimeMs t, ComponentId fc_switch) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetSwitchFailed(fc_switch, true));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kSwitchFailed, fc_switch,
+               StrFormat("FC switch '%s' failed",
+                         topology_->registry().NameOf(fc_switch).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::RecoverSwitch(SimTimeMs t, ComponentId fc_switch) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetSwitchFailed(fc_switch, false));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kSwitchRecovered, fc_switch,
+               StrFormat("FC switch '%s' recovered",
+                         topology_->registry().NameOf(fc_switch).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::FailLink(SimTimeMs t, ComponentId port_a,
+                                ComponentId port_b) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetLinkFailed(port_a, port_b, true));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kLinkFailed, port_a,
+               StrFormat("link '%s' <-> '%s' failed",
+                         topology_->registry().NameOf(port_a).c_str(),
+                         topology_->registry().NameOf(port_b).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::RecoverLink(SimTimeMs t, ComponentId port_a,
+                                   ComponentId port_b) {
+  std::vector<ActivePath> before = SnapshotActivePaths();
+  DIADS_RETURN_IF_ERROR(topology_->SetLinkFailed(port_a, port_b, false));
+  DIADS_RETURN_IF_ERROR(
+      LogEvent(t, EventType::kLinkRecovered, port_a,
+               StrFormat("link '%s' <-> '%s' recovered",
+                         topology_->registry().NameOf(port_a).c_str(),
+                         topology_->registry().NameOf(port_b).c_str())));
+  return LogFailovers(t, before);
+}
+
+Status ConfigDatabase::DegradePort(SimTimeMs t, ComponentId port,
+                                   double capacity_factor) {
+  DIADS_RETURN_IF_ERROR(topology_->SetPortDegraded(port, capacity_factor));
+  return LogEvent(
+      t, EventType::kPortDegraded, port,
+      StrFormat("FC port '%s' degraded to %.0f%% capacity",
+                topology_->registry().NameOf(port).c_str(),
+                capacity_factor * 100.0));
+}
+
 Status ConfigDatabase::RecordRaidRebuild(const TimeInterval& window,
                                          ComponentId pool) {
   DIADS_RETURN_IF_ERROR(

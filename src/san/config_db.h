@@ -44,6 +44,36 @@ class ConfigDatabase {
   /// Marks a disk recovered and logs kDiskRecovered.
   Status RecoverDisk(SimTimeMs t, ComponentId disk);
 
+  // --- Fabric failure state ------------------------------------------------
+  // Each flip mutates the topology's failure state AND logs its
+  // configuration-change event (Module CO's candidate causes). The flip
+  // additionally applies the multipath failover policy: every lun-mapped
+  // (server, volume) whose active path crossed the flipped component is
+  // re-resolved, and if a surviving route exists a kPathFailover event is
+  // logged against the volume — the driver-level path switch that *masks*
+  // the fault from the application while DIADS still sees both events.
+
+  /// Marks an HBA failed and logs kHbaFailed (+ failovers).
+  Status FailHba(SimTimeMs t, ComponentId hba);
+  /// Marks an HBA recovered and logs kHbaRecovered (+ failbacks).
+  Status RecoverHba(SimTimeMs t, ComponentId hba);
+  /// Marks an FC port failed and logs kPortFailed (+ failovers).
+  Status FailPort(SimTimeMs t, ComponentId port);
+  /// Marks an FC port recovered and logs kPortRecovered (+ failbacks).
+  Status RecoverPort(SimTimeMs t, ComponentId port);
+  /// Marks a switch failed and logs kSwitchFailed (+ failovers).
+  Status FailSwitch(SimTimeMs t, ComponentId fc_switch);
+  /// Marks a switch recovered and logs kSwitchRecovered (+ failbacks).
+  Status RecoverSwitch(SimTimeMs t, ComponentId fc_switch);
+  /// Marks the link between two ports failed and logs kLinkFailed
+  /// (+ failovers), subject = port_a.
+  Status FailLink(SimTimeMs t, ComponentId port_a, ComponentId port_b);
+  /// Recovers the link and logs kLinkRecovered (+ failbacks).
+  Status RecoverLink(SimTimeMs t, ComponentId port_a, ComponentId port_b);
+  /// Reduces a port's capacity factor and logs kPortDegraded. No failover:
+  /// a degraded port keeps routing, which is the multipath-imbalance trap.
+  Status DegradePort(SimTimeMs t, ComponentId port, double capacity_factor);
+
   /// Logs the start/completion of a RAID rebuild on a pool. The performance
   /// impact itself is injected through the SanPerfModel by the fault
   /// injector; the config DB records the events DIADS can correlate.
@@ -58,8 +88,22 @@ class ConfigDatabase {
   const EventLog& event_log() const { return *event_log_; }
 
  private:
+  /// One lun mapping's active (first) path before a failure flip.
+  struct ActivePath {
+    ComponentId server;
+    ComponentId volume;
+    std::vector<ComponentId> ports;  ///< Empty when it did not resolve.
+  };
+
   Status LogEvent(SimTimeMs t, EventType type, ComponentId subject,
                   std::string description);
+
+  /// Active path of every lun mapping, in LunMappings order.
+  std::vector<ActivePath> SnapshotActivePaths() const;
+
+  /// Re-resolves every snapshotted mapping and logs kPathFailover for each
+  /// whose active port chain changed but still resolves.
+  Status LogFailovers(SimTimeMs t, const std::vector<ActivePath>& before);
 
   SanTopology* topology_;
   EventLog* event_log_;

@@ -1,0 +1,275 @@
+#include "san/generator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace diads::san {
+
+const char* FabricStyleName(FabricStyle style) {
+  switch (style) {
+    case FabricStyle::kStar:
+      return "star";
+    case FabricStyle::kHierarchicalStar:
+      return "hierarchical-star";
+    case FabricStyle::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One fabric's switch plumbing: the switches plus an attachment policy
+/// (which switch the i-th device plugs into).
+struct FabricPlan {
+  std::vector<ComponentId> switches;      ///< Core/root first.
+  std::vector<ComponentId> attach_points; ///< Round-robin targets.
+};
+
+/// Adds a port on `owner` named after its running per-switch port counter.
+Result<ComponentId> AddSwitchPort(SanTopology* topo, ComponentId sw,
+                                  const std::string& sw_name, int* port_seq,
+                                  double gbps) {
+  return topo->AddPort(StrFormat("%s-p%d", sw_name.c_str(), (*port_seq)++),
+                       PortOwner::kSwitch, sw, gbps);
+}
+
+Result<FabricPlan> BuildFabricSwitches(SanTopology* topo,
+                                       const FabricSpec& spec, int fabric,
+                                       std::vector<int>* port_seq,
+                                       std::vector<std::string>* sw_names) {
+  FabricPlan plan;
+  auto add_switch = [&](const std::string& name,
+                        bool is_core) -> Result<ComponentId> {
+    Result<ComponentId> sw = topo->AddSwitch(name, is_core);
+    DIADS_RETURN_IF_ERROR(sw.status());
+    plan.switches.push_back(*sw);
+    sw_names->push_back(name);
+    port_seq->push_back(0);
+    return *sw;
+  };
+  auto link_switches = [&](size_t parent_idx,
+                           size_t child_idx) -> Status {
+    Result<ComponentId> up = AddSwitchPort(
+        topo, plan.switches[parent_idx], (*sw_names)[parent_idx],
+        &(*port_seq)[parent_idx], spec.port_gbps);
+    DIADS_RETURN_IF_ERROR(up.status());
+    Result<ComponentId> down = AddSwitchPort(
+        topo, plan.switches[child_idx], (*sw_names)[child_idx],
+        &(*port_seq)[child_idx], spec.port_gbps);
+    DIADS_RETURN_IF_ERROR(down.status());
+    return topo->Link(*up, *down);
+  };
+  const std::string base =
+      StrFormat("%s-f%d", spec.prefix.c_str(), fabric);
+
+  switch (spec.style) {
+    case FabricStyle::kStar: {
+      DIADS_RETURN_IF_ERROR(
+          add_switch(StrFormat("%s-sw", base.c_str()), true).status());
+      plan.attach_points.push_back(plan.switches[0]);
+      break;
+    }
+    case FabricStyle::kHierarchicalStar: {
+      DIADS_RETURN_IF_ERROR(
+          add_switch(StrFormat("%s-core", base.c_str()), true).status());
+      for (int e = 0; e < std::max(1, spec.fanout); ++e) {
+        Result<ComponentId> edge =
+            add_switch(StrFormat("%s-edge%d", base.c_str(), e), false);
+        DIADS_RETURN_IF_ERROR(edge.status());
+        DIADS_RETURN_IF_ERROR(link_switches(0, plan.switches.size() - 1));
+        plan.attach_points.push_back(*edge);
+      }
+      break;
+    }
+    case FabricStyle::kTree: {
+      // Level 0 is the root; level k has fanout^k switches, each cabled to
+      // its parent (index / fanout) in level k-1. Devices attach to leaves.
+      const int tiers = std::max(1, spec.tiers);
+      const int fanout = std::max(1, spec.fanout);
+      size_t level_begin = 0;
+      size_t level_count = 1;
+      DIADS_RETURN_IF_ERROR(
+          add_switch(StrFormat("%s-t0-sw0", base.c_str()), true).status());
+      for (int t = 1; t < tiers; ++t) {
+        const size_t parent_begin = level_begin;
+        level_begin = plan.switches.size();
+        const size_t n = level_count * static_cast<size_t>(fanout);
+        for (size_t s = 0; s < n; ++s) {
+          DIADS_RETURN_IF_ERROR(
+              add_switch(StrFormat("%s-t%d-sw%zu", base.c_str(), t, s),
+                         /*is_core=*/false)
+                  .status());
+          DIADS_RETURN_IF_ERROR(link_switches(
+              parent_begin + s / static_cast<size_t>(fanout),
+              plan.switches.size() - 1));
+        }
+        level_count = n;
+      }
+      for (size_t s = level_begin; s < plan.switches.size(); ++s) {
+        plan.attach_points.push_back(plan.switches[s]);
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<GeneratedFabric> GenerateFabricTopology(SanTopology* topology,
+                                               const FabricSpec& spec) {
+  if (spec.redundancy < 1) {
+    return Status::InvalidArgument("fabric redundancy must be >= 1");
+  }
+  if (spec.servers < 1 || spec.subsystems < 1) {
+    return Status::InvalidArgument(
+        "generated fabric needs at least one server and one subsystem");
+  }
+  GeneratedFabric out;
+  const size_t registry_before = topology->registry().size();
+
+  // --- Switch fabrics -------------------------------------------------------
+  // One independent switch complex per redundancy rank; nothing is shared
+  // between fabrics, so a single switch failure is confined to its rank.
+  std::vector<FabricPlan> fabrics;
+  std::vector<std::vector<int>> port_seqs(
+      static_cast<size_t>(spec.redundancy));
+  std::vector<std::vector<std::string>> sw_names(
+      static_cast<size_t>(spec.redundancy));
+  for (int r = 0; r < spec.redundancy; ++r) {
+    Result<FabricPlan> plan = BuildFabricSwitches(
+        topology, spec, r, &port_seqs[static_cast<size_t>(r)],
+        &sw_names[static_cast<size_t>(r)]);
+    DIADS_RETURN_IF_ERROR(plan.status());
+    fabrics.push_back(std::move(*plan));
+    out.fabric_switches.push_back(fabrics.back().switches);
+  }
+  // Round-robin attachment of the i-th device of fabric r, cabling the
+  // device port to a fresh port on the chosen switch.
+  std::vector<int> attach_counter(static_cast<size_t>(spec.redundancy), 0);
+  auto attach = [&](int r, ComponentId device_port) -> Status {
+    const auto rr = static_cast<size_t>(r);
+    FabricPlan& plan = fabrics[rr];
+    const size_t pick = static_cast<size_t>(attach_counter[rr]++) %
+                        plan.attach_points.size();
+    // attach_points are the trailing entries of `switches`; find its index
+    // to address the matching name/port-counter slots.
+    const size_t sw_idx = static_cast<size_t>(
+        std::find(plan.switches.begin(), plan.switches.end(),
+                  plan.attach_points[pick]) -
+        plan.switches.begin());
+    Result<ComponentId> sw_port = AddSwitchPort(
+        topology, plan.switches[sw_idx], sw_names[rr][sw_idx],
+        &port_seqs[rr][sw_idx], spec.port_gbps);
+    DIADS_RETURN_IF_ERROR(sw_port.status());
+    return topology->Link(device_port, *sw_port);
+  };
+
+  // --- Servers: one HBA (with one port) per fabric --------------------------
+  std::vector<std::vector<ComponentId>> hba_ports_by_fabric(
+      static_cast<size_t>(spec.redundancy));
+  for (int i = 0; i < spec.servers; ++i) {
+    Result<ComponentId> server = topology->AddServer(
+        StrFormat("%s-srv%d", spec.prefix.c_str(), i), "RedHat Linux");
+    DIADS_RETURN_IF_ERROR(server.status());
+    out.servers.push_back(*server);
+    out.server_hbas.emplace_back();
+    for (int r = 0; r < spec.redundancy; ++r) {
+      Result<ComponentId> hba = topology->AddHba(
+          StrFormat("%s-srv%d-hba%d", spec.prefix.c_str(), i, r), *server);
+      DIADS_RETURN_IF_ERROR(hba.status());
+      out.server_hbas.back().push_back(*hba);
+      Result<ComponentId> port = topology->AddPort(
+          StrFormat("%s-srv%d-hba%d-p0", spec.prefix.c_str(), i, r),
+          PortOwner::kHba, *hba, spec.port_gbps);
+      DIADS_RETURN_IF_ERROR(port.status());
+      hba_ports_by_fabric[static_cast<size_t>(r)].push_back(*port);
+      DIADS_RETURN_IF_ERROR(attach(r, *port));
+    }
+  }
+
+  // --- Subsystems: one port per fabric, plus uniform storage ----------------
+  std::vector<std::vector<ComponentId>> ss_ports_by_fabric(
+      static_cast<size_t>(spec.redundancy));
+  int volume_seq = 0;
+  for (int s = 0; s < spec.subsystems; ++s) {
+    Result<ComponentId> ss = topology->AddSubsystem(
+        StrFormat("%s-ss%d", spec.prefix.c_str(), s), "IBM DS8000");
+    DIADS_RETURN_IF_ERROR(ss.status());
+    out.subsystems.push_back(*ss);
+    for (int r = 0; r < spec.redundancy; ++r) {
+      Result<ComponentId> port = topology->AddPort(
+          StrFormat("%s-ss%d-f%d-p0", spec.prefix.c_str(), s, r),
+          PortOwner::kSubsystem, *ss, spec.port_gbps);
+      DIADS_RETURN_IF_ERROR(port.status());
+      ss_ports_by_fabric[static_cast<size_t>(r)].push_back(*port);
+      DIADS_RETURN_IF_ERROR(attach(r, *port));
+    }
+    for (int p = 0; p < spec.pools_per_subsystem; ++p) {
+      Result<ComponentId> pool = topology->AddPool(
+          StrFormat("%s-ss%d-pool%d", spec.prefix.c_str(), s, p), *ss,
+          RaidLevel::kRaid5);
+      DIADS_RETURN_IF_ERROR(pool.status());
+      out.pools.push_back(*pool);
+      for (int d = 0; d < spec.disks_per_pool; ++d) {
+        DIADS_RETURN_IF_ERROR(
+            topology
+                ->AddDisk(StrFormat("%s-ss%d-pool%d-d%d",
+                                    spec.prefix.c_str(), s, p, d),
+                          *pool)
+                .status());
+      }
+      for (int v = 0; v < spec.volumes_per_pool; ++v) {
+        Result<ComponentId> volume = topology->AddVolume(
+            StrFormat("%s-vol%d", spec.prefix.c_str(), volume_seq++), *pool,
+            spec.volume_gb);
+        DIADS_RETURN_IF_ERROR(volume.status());
+        out.volumes.push_back(*volume);
+      }
+    }
+  }
+
+  // --- Zoning: one zone per fabric over its HBA + subsystem ports -----------
+  for (int r = 0; r < spec.redundancy; ++r) {
+    std::vector<ComponentId> members = hba_ports_by_fabric[
+        static_cast<size_t>(r)];
+    for (ComponentId p : ss_ports_by_fabric[static_cast<size_t>(r)]) {
+      members.push_back(p);
+    }
+    DIADS_RETURN_IF_ERROR(topology->AddZone(
+        StrFormat("%s-f%d-zone", spec.prefix.c_str(), r), members));
+  }
+
+  // --- LUN mapping ----------------------------------------------------------
+  if (spec.map_luns) {
+    for (size_t j = 0; j < out.volumes.size(); ++j) {
+      const ComponentId server = out.servers[j % out.servers.size()];
+      DIADS_RETURN_IF_ERROR(topology->MapLun(server, out.volumes[j]));
+      out.mappings.emplace_back(server, out.volumes[j]);
+    }
+  }
+
+  if (spec.pools_per_subsystem > 0) {
+    DIADS_RETURN_IF_ERROR(topology->Validate());
+  }
+  out.component_count = topology->registry().size() - registry_before;
+  return out;
+}
+
+FabricSpec LargeFabricSpec() {
+  FabricSpec spec;
+  spec.style = FabricStyle::kHierarchicalStar;
+  spec.redundancy = 2;
+  spec.fanout = 8;
+  spec.servers = 60;
+  spec.subsystems = 8;
+  spec.pools_per_subsystem = 4;
+  spec.disks_per_pool = 12;
+  spec.volumes_per_pool = 4;
+  spec.prefix = "scale";
+  return spec;
+}
+
+}  // namespace diads::san

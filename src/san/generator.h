@@ -1,0 +1,91 @@
+// Parameterized SAN fabric generator.
+//
+// Builds families of multipath topologies — star, hierarchical star, or
+// switch trees, replicated across R redundant fabrics — so scenarios and
+// benchmarks can scale from the hand-built Figure-1 testbed (a dozen
+// components) to production-sized fabrics (1000+ components) without
+// hand-enumerating ports and cables. Generation is a pure function of the
+// spec: identical specs yield identical names, ids, cabling, zoning, and
+// LUN mappings, so generated testbeds are as reproducible as Figure-1.
+//
+// Redundancy contract: with `redundancy` R >= 2, every server reaches every
+// mapped volume through R fabric-disjoint routes (one HBA per fabric, one
+// subsystem port per fabric, no shared switches or cables), so any single
+// HBA, port, or switch failure leaves at least one surviving route. The
+// generated-topology property test pins exactly that guarantee.
+#ifndef DIADS_SAN_GENERATOR_H_
+#define DIADS_SAN_GENERATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "san/topology.h"
+
+namespace diads::san {
+
+/// Shape of one fabric (replicated `redundancy` times).
+enum class FabricStyle {
+  kStar,              ///< One switch; everything attaches to it.
+  kHierarchicalStar,  ///< One core; `fanout` edge switches attach devices.
+  kTree,              ///< `tiers` levels, each switch with `fanout` children;
+                      ///< devices attach to the leaf tier.
+};
+
+const char* FabricStyleName(FabricStyle style);
+
+struct FabricSpec {
+  FabricStyle style = FabricStyle::kHierarchicalStar;
+  /// Number of independent fabrics (multipath width). Each server gets one
+  /// HBA per fabric; each subsystem gets one port per fabric.
+  int redundancy = 2;
+  /// Switch levels per fabric (kTree only; kStar is 1, kHierarchicalStar 2).
+  int tiers = 2;
+  /// Edge switches per core (kHierarchicalStar) / children per switch (kTree).
+  int fanout = 4;
+  int servers = 2;
+  int subsystems = 1;
+  /// Storage shape. `pools_per_subsystem` 0 leaves storage to the caller
+  /// (used when a testbed needs hand-placed pools like Figure-1's P1/P2).
+  int pools_per_subsystem = 1;
+  int disks_per_pool = 8;
+  /// 0 leaves volume carving to the caller.
+  int volumes_per_pool = 2;
+  double volume_gb = 200.0;
+  double port_gbps = 4.0;
+  /// Round-robin volume -> server LUN mapping (volume j to server j mod N).
+  bool map_luns = true;
+  /// Name prefix for every generated component.
+  std::string prefix = "gen";
+};
+
+/// Handles into the generated components.
+struct GeneratedFabric {
+  std::vector<ComponentId> servers;
+  /// server_hbas[i][r] = server i's HBA on fabric r.
+  std::vector<std::vector<ComponentId>> server_hbas;
+  std::vector<ComponentId> subsystems;
+  std::vector<ComponentId> pools;
+  std::vector<ComponentId> volumes;
+  /// fabric_switches[r] = fabric r's switches, core/root first.
+  std::vector<std::vector<ComponentId>> fabric_switches;
+  /// LUN mappings created (server, volume), in creation order.
+  std::vector<std::pair<ComponentId, ComponentId>> mappings;
+  /// Registry components added by this generation.
+  size_t component_count = 0;
+};
+
+/// Generates a fabric into `topology` per `spec`. The topology is validated
+/// before return when the spec includes storage.
+Result<GeneratedFabric> GenerateFabricTopology(SanTopology* topology,
+                                               const FabricSpec& spec);
+
+/// A hierarchical-star spec whose generation crosses 1000 registry
+/// components (the scale gate bench_topology_scale runs against).
+FabricSpec LargeFabricSpec();
+
+}  // namespace diads::san
+
+#endif  // DIADS_SAN_GENERATOR_H_

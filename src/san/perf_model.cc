@@ -37,10 +37,33 @@ Status SanPerfModel::AddLoad(LoadEvent event) {
     return Status::InvalidArgument("load event iops must be non-negative");
   }
   const size_t index = events_.size();
-  events_by_volume_[event.volume].push_back(index);
-  events_by_pool_[topology_->volume(event.volume).pool].push_back(index);
+  if (event.volume.valid()) {
+    events_by_volume_[event.volume].push_back(index);
+    events_by_pool_[topology_->volume(event.volume).pool].push_back(index);
+  }
+  for (ComponentId p : event.path_ports) {
+    events_by_port_[p].push_back(index);
+  }
   events_.push_back(std::move(event));
   return Status::Ok();
+}
+
+Status SanPerfModel::AddFabricLoad(const TimeInterval& interval,
+                                   double mb_per_sec,
+                                   std::vector<ComponentId> path_ports,
+                                   ComponentId source) {
+  if (mb_per_sec < 0) {
+    return Status::InvalidArgument("fabric load must be non-negative");
+  }
+  LoadEvent event;
+  event.interval = interval;
+  event.source = source;
+  event.path_ports = std::move(path_ports);
+  // Large sequential reads: 64 KB blocks, so iops = MB/s * 16.
+  event.profile.read_iops = mb_per_sec * 16.0;
+  event.profile.seq_fraction = 1.0;
+  event.profile.avg_block_kb = 64.0;
+  return AddLoad(std::move(event));
 }
 
 Status SanPerfModel::AddPoolOverhead(ComponentId pool,
@@ -143,6 +166,45 @@ double SanPerfModel::DiskUtilizationAt(ComponentId disk, SimTimeMs t) const {
   return std::min(d.read_busy + d.write_busy, 1.5);
 }
 
+double SanPerfModel::PortUtilizationAt(ComponentId port, SimTimeMs t) const {
+  auto it = events_by_port_.find(port);
+  if (it == events_by_port_.end()) return 0.0;
+  double mb_s = 0;
+  for (size_t idx : it->second) {
+    const LoadEvent& e = events_[idx];
+    if (!e.interval.Contains(t)) continue;
+    mb_s += (e.profile.read_iops + e.profile.write_iops) *
+            e.profile.avg_block_kb / 1024.0;
+  }
+  if (mb_s <= 0) return 0.0;
+  const double capacity = topology_->port(port).EffectiveMbPerSec();
+  if (capacity <= 0) return 1.0;
+  return mb_s / capacity;
+}
+
+double SanPerfModel::FabricLatencyMs(ComponentId volume, SimTimeMs t) const {
+  double max_util = 0;
+  auto it = events_by_volume_.find(volume);
+  if (it != events_by_volume_.end()) {
+    for (size_t idx : it->second) {
+      const LoadEvent& e = events_[idx];
+      if (!e.interval.Contains(t)) continue;
+      for (ComponentId p : e.path_ports) {
+        max_util = std::max(max_util, PortUtilizationAt(p, t));
+      }
+    }
+  }
+  // Exactly 0.0 congestion at or below the threshold: lightly loaded
+  // fabrics reduce to the constant params_.fabric_latency_ms.
+  if (max_util <= params_.fabric_congestion_threshold) {
+    return params_.fabric_latency_ms;
+  }
+  const double over = (std::min(max_util, 1.0) -
+                       params_.fabric_congestion_threshold) /
+                      (1.0 - params_.fabric_congestion_threshold);
+  return params_.fabric_latency_ms + params_.fabric_congestion_ms * over * over;
+}
+
 double SanPerfModel::VolumeReadLatencyMs(ComponentId volume, SimTimeMs t,
                                          const IoProfile& extra_self) const {
   const VolumeInfo& vol = topology_->volume(volume);
@@ -162,7 +224,7 @@ double SanPerfModel::VolumeReadLatencyMs(ComponentId volume, SimTimeMs t,
   if (own.total_iops() <= 0) own.read_iops = 1.0;
   const double service = ReadServiceMs(own);
   (void)vol;
-  return params_.controller_overhead_ms + params_.fabric_latency_ms +
+  return params_.controller_overhead_ms + FabricLatencyMs(volume, t) +
          service * QueueInflation(rho);
 }
 
@@ -180,7 +242,7 @@ double SanPerfModel::VolumeWriteLatencyMs(ComponentId volume, SimTimeMs t,
 
   // Write-back cache: fast acknowledge until destaging falls behind, then
   // back-pressure grows quadratically with backend over-utilisation.
-  double latency = params_.write_cache_ms + params_.fabric_latency_ms;
+  double latency = params_.write_cache_ms + FabricLatencyMs(volume, t);
   if (rho > params_.destage_threshold) {
     const double over = (rho - params_.destage_threshold) /
                         (1.0 - params_.destage_threshold);
@@ -322,21 +384,16 @@ PortIntervalStats SanPerfModel::PortStats(ComponentId port,
   // Attribute each load event's byte stream to the ports along its path.
   // Reads flow subsystem -> server (rx at HBA port), writes the reverse; at
   // the port level we report both directions symmetrically.
-  for (const LoadEvent& e : events_) {
+  auto it = events_by_port_.find(port);
+  if (it == events_by_port_.end()) return out;
+  for (size_t idx : it->second) {
+    const LoadEvent& e = events_[idx];
     const double overlap = [&] {
       const TimeInterval inter = e.interval.Intersect(interval);
       return static_cast<double>(inter.duration()) /
              static_cast<double>(interval.duration());
     }();
     if (overlap <= 0) continue;
-    bool on_path = false;
-    for (ComponentId p : e.path_ports) {
-      if (p == port) {
-        on_path = true;
-        break;
-      }
-    }
-    if (!on_path) continue;
     const double read_mb_s =
         e.profile.read_iops * e.profile.avg_block_kb / 1024.0;
     const double write_mb_s =

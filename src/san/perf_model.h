@@ -45,7 +45,9 @@ struct IoProfile {
 
 /// One registered demand: `profile` applies to `volume` during `interval`.
 /// `source` identifies the generating query/workload (used to attribute
-/// fabric traffic to ports along `path_ports`/`path_switches`).
+/// fabric traffic to ports along `path_ports`/`path_switches`). A
+/// pure-fabric stream (RAID rebuild crossing an inter-switch link) leaves
+/// `volume` invalid: it contributes port traffic but no disk demand.
 struct LoadEvent {
   ComponentId volume;
   TimeInterval interval;
@@ -71,6 +73,13 @@ struct PerfParams {
   double destage_threshold = 0.60;
   double destage_pressure_scale = 18.0;
   double max_queue_inflation = 14.0;   ///< Cap on 1/(1-rho).
+  /// Port utilisation above which fabric congestion adds latency. Below
+  /// the threshold the congestion term is exactly 0.0, so lightly loaded
+  /// fabrics (every Figure-1 scenario) see `fabric_latency_ms` unchanged.
+  double fabric_congestion_threshold = 0.55;
+  /// Congestion latency at 100% port utilisation (grows quadratically from
+  /// the threshold).
+  double fabric_congestion_ms = 60.0;
 };
 
 /// Interval-averaged statistics for one volume.
@@ -118,8 +127,17 @@ class SanPerfModel {
   /// `topology` must outlive the model.
   explicit SanPerfModel(const SanTopology* topology, PerfParams params = {});
 
-  /// Registers an I/O demand. Events may be added in any time order.
+  /// Registers an I/O demand. Events may be added in any time order. An
+  /// event with an invalid `volume` is a pure fabric stream: it loads the
+  /// ports along `path_ports` without adding disk demand anywhere.
   Status AddLoad(LoadEvent event);
+
+  /// Registers a pure fabric byte stream (e.g. rebuild traffic crossing an
+  /// inter-switch link): `mb_per_sec` sequential traffic over the given
+  /// ports for the interval.
+  Status AddFabricLoad(const TimeInterval& interval, double mb_per_sec,
+                       std::vector<ComponentId> path_ports,
+                       ComponentId source = {});
 
   /// Registers direct backend overhead on every disk of `pool` (RAID
   /// rebuild, scrubbing): `utilization` is added to each disk's rho.
@@ -144,6 +162,17 @@ class SanPerfModel {
                              const IoProfile& extra_self = {}) const;
   double VolumeWriteLatencyMs(ComponentId volume, SimTimeMs t,
                               const IoProfile& extra_self = {}) const;
+
+  /// Fraction of a port's effective bandwidth (gbps x capacity_factor)
+  /// consumed by all load events crossing it at time t.
+  double PortUtilizationAt(ComponentId port, SimTimeMs t) const;
+
+  /// Fabric latency seen by `volume` at time t: the base fabric hop cost
+  /// plus a congestion term that is exactly 0.0 until the most-utilised
+  /// port on any of the volume's active paths crosses
+  /// `fabric_congestion_threshold` — the hinge the multipath/failover
+  /// scenarios ride and the Figure-1 scenarios never touch.
+  double FabricLatencyMs(ComponentId volume, SimTimeMs t) const;
 
   // --- Interval-averaged queries (for monitoring collectors) -------------
   VolumeIntervalStats VolumeStats(ComponentId volume,
@@ -198,6 +227,9 @@ class SanPerfModel {
   std::vector<LoadEvent> events_;
   std::unordered_map<ComponentId, std::vector<size_t>> events_by_volume_;
   std::unordered_map<ComponentId, std::vector<size_t>> events_by_pool_;
+  /// Indices of events crossing each port, in insertion order (the same
+  /// order a full-events scan visits them, so float sums are unchanged).
+  std::unordered_map<ComponentId, std::vector<size_t>> events_by_port_;
   std::vector<CpuLoad> cpu_loads_;
   std::vector<PoolOverhead> pool_overheads_;
 };

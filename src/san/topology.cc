@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 
 #include "common/strings.h"
 
@@ -11,6 +10,11 @@ namespace {
 
 uint64_t PackPair(ComponentId a, ComponentId b) {
   return (static_cast<uint64_t>(a.value) << 32) | b.value;
+}
+
+/// Order-independent packing for undirected links.
+uint64_t PackLink(ComponentId a, ComponentId b) {
+  return a < b ? PackPair(a, b) : PackPair(b, a);
 }
 
 }  // namespace
@@ -56,8 +60,15 @@ std::vector<ComponentId> IoPath::AllComponents() const {
   return out;
 }
 
-SanTopology::SanTopology(ComponentRegistry* registry) : registry_(registry) {
+SanTopology::SanTopology(ComponentRegistry* registry)
+    : registry_(registry), scratch_(std::make_unique<ResolveScratch>()) {
   assert(registry != nullptr);
+}
+
+void SanTopology::BumpGeneration() {
+  ++generation_;
+  std::lock_guard<std::mutex> lock(scratch_->mu);
+  scratch_->paths.clear();
 }
 
 Status SanTopology::ExpectKind(ComponentId id, ComponentKind kind) const {
@@ -212,6 +223,7 @@ Status SanTopology::Link(ComponentId port_a, ComponentId port_b) {
   }
   ports_.at(port_a).links.push_back(port_b);
   ports_.at(port_b).links.push_back(port_a);
+  BumpGeneration();
   return Status::Ok();
 }
 
@@ -223,6 +235,7 @@ Status SanTopology::AddZone(const std::string& zone_name,
   for (Zone& z : zones_) {
     if (z.name == zone_name) {
       z.member_ports.insert(zone_ports.begin(), zone_ports.end());
+      BumpGeneration();
       return Status::Ok();
     }
   }
@@ -230,6 +243,7 @@ Status SanTopology::AddZone(const std::string& zone_name,
   z.name = zone_name;
   z.member_ports.insert(zone_ports.begin(), zone_ports.end());
   zones_.push_back(std::move(z));
+  BumpGeneration();
   return Status::Ok();
 }
 
@@ -237,13 +251,70 @@ Status SanTopology::MapLun(ComponentId server, ComponentId volume) {
   DIADS_RETURN_IF_ERROR(ExpectKind(server, ComponentKind::kServer));
   DIADS_RETURN_IF_ERROR(ExpectKind(volume, ComponentKind::kVolume));
   lun_map_.insert(PackPair(server, volume));
+  BumpGeneration();
   return Status::Ok();
 }
 
 Status SanTopology::SetDiskFailed(ComponentId disk, bool failed) {
   DIADS_RETURN_IF_ERROR(ExpectKind(disk, ComponentKind::kDisk));
   disks_.at(disk).failed = failed;
+  BumpGeneration();
   return Status::Ok();
+}
+
+Status SanTopology::SetHbaFailed(ComponentId hba, bool failed) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(hba, ComponentKind::kHba));
+  hbas_.at(hba).failed = failed;
+  BumpGeneration();
+  return Status::Ok();
+}
+
+Status SanTopology::SetPortFailed(ComponentId port, bool failed) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(port, ComponentKind::kFcPort));
+  ports_.at(port).failed = failed;
+  BumpGeneration();
+  return Status::Ok();
+}
+
+Status SanTopology::SetSwitchFailed(ComponentId fc_switch, bool failed) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(fc_switch, ComponentKind::kFcSwitch));
+  switches_.at(fc_switch).failed = failed;
+  BumpGeneration();
+  return Status::Ok();
+}
+
+Status SanTopology::SetLinkFailed(ComponentId port_a, ComponentId port_b,
+                                  bool failed) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(port_a, ComponentKind::kFcPort));
+  DIADS_RETURN_IF_ERROR(ExpectKind(port_b, ComponentKind::kFcPort));
+  const std::vector<ComponentId>& links = ports_.at(port_a).links;
+  if (std::find(links.begin(), links.end(), port_b) == links.end()) {
+    return Status::NotFound(StrFormat(
+        "no link between ports '%s' and '%s'",
+        registry_->NameOf(port_a).c_str(), registry_->NameOf(port_b).c_str()));
+  }
+  if (failed) {
+    failed_links_.insert(PackLink(port_a, port_b));
+  } else {
+    failed_links_.erase(PackLink(port_a, port_b));
+  }
+  BumpGeneration();
+  return Status::Ok();
+}
+
+Status SanTopology::SetPortDegraded(ComponentId port, double capacity_factor) {
+  DIADS_RETURN_IF_ERROR(ExpectKind(port, ComponentKind::kFcPort));
+  if (capacity_factor <= 0.0 || capacity_factor > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("capacity factor %.3f outside (0, 1]", capacity_factor));
+  }
+  ports_.at(port).capacity_factor = capacity_factor;
+  BumpGeneration();
+  return Status::Ok();
+}
+
+bool SanTopology::LinkFailed(ComponentId port_a, ComponentId port_b) const {
+  return failed_links_.count(PackLink(port_a, port_b)) > 0;
 }
 
 const ServerInfo& SanTopology::server(ComponentId id) const {
@@ -333,8 +404,89 @@ bool SanTopology::InSameZone(ComponentId port_a, ComponentId port_b) const {
   return false;
 }
 
-Result<IoPath> SanTopology::ResolvePath(ComponentId server_id,
-                                        ComponentId volume_id) const {
+bool SanTopology::PortBlocked(const FcPortInfo& port) const {
+  if (port.failed) return true;
+  if (port.owner_kind == PortOwner::kSwitch &&
+      switches_.at(port.owner).failed) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<ComponentId> SanTopology::ShortestChain(
+    ComponentId start, ComponentId subsystem,
+    const std::unordered_set<ComponentId>& used) const {
+  // Level-synchronous BFS over physical links plus intra-switch port
+  // fanout (a frame entering a switch can leave through any of its ports),
+  // skipping failed ports/switches/links and ports already claimed by an
+  // accepted route. Each level's nodes are expanded in the order they were
+  // discovered, with each node's neighbours visited in ascending
+  // ComponentId order and parents assigned first-wins; by induction that
+  // discovery order is exactly the lexicographic order of the port chains,
+  // so the first zoned subsystem port found has the lexicographically
+  // smallest shortest chain — resolution never depends on insertion order.
+  ResolveScratch& s = *scratch_;
+  const size_t need = registry_->size();
+  if (s.seen.size() < need) {
+    s.seen.resize(need, 0);
+    s.parent.resize(need, ComponentId{});
+  }
+  const uint64_t epoch = ++s.epoch;
+  auto visit = [&](ComponentId id, ComponentId from) {
+    if (s.seen[id.value] == epoch) return false;
+    s.seen[id.value] = epoch;
+    s.parent[id.value] = from;
+    return true;
+  };
+
+  std::vector<ComponentId> level{start};
+  visit(start, start);
+  std::vector<ComponentId> next_level;
+  std::vector<ComponentId> neighbours;
+  while (!level.empty()) {
+    // Check this level for a zoned subsystem port (first in discovery
+    // order == lexicographically smallest chain).
+    for (ComponentId cur : level) {
+      const FcPortInfo& cur_port = ports_.at(cur);
+      if (cur_port.owner_kind == PortOwner::kSubsystem &&
+          cur_port.owner == subsystem && InSameZone(start, cur)) {
+        std::vector<ComponentId> chain;
+        for (ComponentId p = cur; p != start; p = s.parent[p.value]) {
+          chain.push_back(p);
+        }
+        chain.push_back(start);
+        std::reverse(chain.begin(), chain.end());
+        return chain;
+      }
+    }
+    next_level.clear();
+    for (ComponentId cur : level) {
+      const FcPortInfo& cur_port = ports_.at(cur);
+      neighbours.clear();
+      for (ComponentId next : cur_port.links) {
+        if (!LinkFailed(cur, next)) neighbours.push_back(next);
+      }
+      if (cur_port.owner_kind == PortOwner::kSwitch &&
+          !switches_.at(cur_port.owner).failed) {
+        const std::vector<ComponentId>& siblings =
+            switches_.at(cur_port.owner).ports;
+        neighbours.insert(neighbours.end(), siblings.begin(),
+                          siblings.end());
+      }
+      std::sort(neighbours.begin(), neighbours.end());
+      for (ComponentId next : neighbours) {
+        if (used.count(next) > 0) continue;
+        if (PortBlocked(ports_.at(next))) continue;
+        if (visit(next, cur)) next_level.push_back(next);
+      }
+    }
+    level.swap(next_level);
+  }
+  return {};
+}
+
+Result<std::vector<IoPath>> SanTopology::ResolvePaths(
+    ComponentId server_id, ComponentId volume_id) const {
   DIADS_RETURN_IF_ERROR(ExpectKind(server_id, ComponentKind::kServer));
   DIADS_RETURN_IF_ERROR(ExpectKind(volume_id, ComponentKind::kVolume));
   if (!LunMapped(server_id, volume_id)) {
@@ -346,67 +498,81 @@ Result<IoPath> SanTopology::ResolvePath(ComponentId server_id,
   const VolumeInfo& vol = volumes_.at(volume_id);
   const PoolInfo& pool_info = pools_.at(vol.pool);
   const SubsystemInfo& subsys = subsystems_.at(pool_info.subsystem);
+  if (ActiveDiskCount(pool_info.id) == 0) {
+    return Status::NotFound(
+        StrFormat("no surviving disk backs volume '%s'",
+                  registry_->NameOf(volume_id).c_str()));
+  }
 
-  // BFS from each HBA port over physical links to a port of the volume's
-  // subsystem. Zoning is checked between the originating HBA port and the
-  // terminating subsystem port (standard single-initiator zoning semantics).
-  const ServerInfo& srv = servers_.at(server_id);
-  for (ComponentId hba_id : srv.hbas) {
-    for (ComponentId start : hbas_.at(hba_id).ports) {
-      std::unordered_map<ComponentId, ComponentId> parent;
-      std::deque<ComponentId> queue{start};
-      parent[start] = start;
-      while (!queue.empty()) {
-        ComponentId cur = queue.front();
-        queue.pop_front();
-        const FcPortInfo& cur_port = ports_.at(cur);
-        if (cur_port.owner_kind == PortOwner::kSubsystem &&
-            cur_port.owner == subsys.id && InSameZone(start, cur)) {
-          // Reconstruct the port chain start..cur.
-          std::vector<ComponentId> chain;
-          for (ComponentId p = cur; p != start; p = parent.at(p)) {
-            chain.push_back(p);
-          }
-          chain.push_back(start);
-          std::reverse(chain.begin(), chain.end());
+  std::lock_guard<std::mutex> lock(scratch_->mu);
+  const uint64_t key = PackPair(server_id, volume_id);
+  auto cached = scratch_->paths.find(key);
+  if (cached != scratch_->paths.end()) return cached->second;
 
-          IoPath path;
-          path.server = server_id;
-          path.hba = hba_id;
-          path.ports = chain;
-          for (ComponentId p : chain) {
-            const FcPortInfo& info = ports_.at(p);
-            if (info.owner_kind == PortOwner::kSwitch &&
-                (path.switches.empty() ||
-                 path.switches.back() != info.owner)) {
-              path.switches.push_back(info.owner);
-            }
-          }
-          path.subsystem = subsys.id;
-          path.pool = pool_info.id;
-          path.volume = volume_id;
-          path.disks = DisksOfVolume(volume_id);
-          return path;
-        }
-        // Expand: physical links, plus intra-switch port fanout (a frame
-        // entering a switch can leave through any of its ports).
-        for (ComponentId next : cur_port.links) {
-          if (parent.emplace(next, cur).second) queue.push_back(next);
-        }
-        if (cur_port.owner_kind == PortOwner::kSwitch) {
-          for (ComponentId sibling : switches_.at(cur_port.owner).ports) {
-            if (parent.emplace(sibling, cur).second) {
-              queue.push_back(sibling);
-            }
-          }
+  // Greedy disjoint-route selection: HBAs and their ports in ascending
+  // ComponentId order, one shortest chain per surviving HBA port, with
+  // every claimed fabric port excluded from later searches — so the routes
+  // are pairwise port-disjoint and the enumeration is deterministic.
+  std::vector<ComponentId> hba_ids = servers_.at(server_id).hbas;
+  std::sort(hba_ids.begin(), hba_ids.end());
+  std::unordered_set<ComponentId> used;
+  std::vector<IoPath> routes;
+  for (ComponentId hba_id : hba_ids) {
+    const HbaInfo& hba_info = hbas_.at(hba_id);
+    if (hba_info.failed) continue;
+    std::vector<ComponentId> starts = hba_info.ports;
+    std::sort(starts.begin(), starts.end());
+    for (ComponentId start : starts) {
+      if (used.count(start) > 0 || PortBlocked(ports_.at(start))) continue;
+      std::vector<ComponentId> chain =
+          ShortestChain(start, subsys.id, used);
+      if (chain.empty()) continue;
+      IoPath path;
+      path.server = server_id;
+      path.hba = hba_id;
+      path.ports = chain;
+      for (ComponentId p : chain) {
+        const FcPortInfo& info = ports_.at(p);
+        if (info.owner_kind == PortOwner::kSwitch &&
+            (path.switches.empty() || path.switches.back() != info.owner)) {
+          path.switches.push_back(info.owner);
         }
       }
+      path.subsystem = subsys.id;
+      path.pool = pool_info.id;
+      path.volume = volume_id;
+      path.disks = DisksOfVolume(volume_id);
+      used.insert(chain.begin(), chain.end());
+      routes.push_back(std::move(path));
     }
   }
-  return Status::NotFound(StrFormat(
-      "no zoned fabric route from server '%s' to volume '%s'",
-      registry_->NameOf(server_id).c_str(),
-      registry_->NameOf(volume_id).c_str()));
+  if (routes.empty()) {
+    return Status::NotFound(StrFormat(
+        "no surviving zoned fabric route from server '%s' to volume '%s'",
+        registry_->NameOf(server_id).c_str(),
+        registry_->NameOf(volume_id).c_str()));
+  }
+  scratch_->paths.emplace(key, routes);
+  return routes;
+}
+
+Result<IoPath> SanTopology::ResolvePath(ComponentId server_id,
+                                        ComponentId volume_id) const {
+  Result<std::vector<IoPath>> paths = ResolvePaths(server_id, volume_id);
+  DIADS_RETURN_IF_ERROR(paths.status());
+  return paths->front();
+}
+
+std::vector<std::pair<ComponentId, ComponentId>> SanTopology::LunMappings()
+    const {
+  std::vector<std::pair<ComponentId, ComponentId>> out;
+  out.reserve(lun_map_.size());
+  for (uint64_t packed : lun_map_) {
+    out.emplace_back(ComponentId{static_cast<uint32_t>(packed >> 32)},
+                     ComponentId{static_cast<uint32_t>(packed)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Status SanTopology::Validate() const {

@@ -17,9 +17,12 @@
 #ifndef DIADS_SAN_TOPOLOGY_H_
 #define DIADS_SAN_TOPOLOGY_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -51,6 +54,7 @@ struct HbaInfo {
   ComponentId id;
   ComponentId server;
   std::vector<ComponentId> ports;
+  bool failed = false;  ///< A failed HBA originates no routes.
 };
 
 /// Where an FC port lives.
@@ -63,12 +67,22 @@ struct FcPortInfo {
   double gbps = 4.0;
   /// Ports this port is cabled to (physical links).
   std::vector<ComponentId> links;
+  bool failed = false;  ///< A failed port carries no routes.
+  /// Fraction of nominal bandwidth still available (1.0 = healthy). A
+  /// degraded port (< 1.0) still routes — the degradation surfaces through
+  /// the performance model's utilisation, not through resolution.
+  double capacity_factor = 1.0;
+
+  bool degraded() const { return capacity_factor < 1.0; }
+  /// Effective bandwidth in MB/s (1 Gbps ~ 125 MB/s of payload).
+  double EffectiveMbPerSec() const { return gbps * 125.0 * capacity_factor; }
 };
 
 struct FcSwitchInfo {
   ComponentId id;
   bool is_core = false;  ///< Core vs. edge switch in the fabric hierarchy.
   std::vector<ComponentId> ports;
+  bool failed = false;  ///< A failed switch blocks all of its ports.
 };
 
 struct SubsystemInfo {
@@ -167,6 +181,29 @@ class SanTopology {
   /// over the surviving disks.
   Status SetDiskFailed(ComponentId disk, bool failed);
 
+  // --- Failure state (fabric) ---------------------------------------------
+  // Every flip invalidates cached path resolutions; prefer routing these
+  // through ConfigDatabase so Module CO sees the configuration-change event.
+
+  /// Marks an HBA failed/recovered; a failed HBA originates no routes.
+  Status SetHbaFailed(ComponentId hba, bool failed);
+
+  /// Marks an FC port failed/recovered; a failed port carries no routes.
+  Status SetPortFailed(ComponentId port, bool failed);
+
+  /// Marks a switch failed/recovered; all of its ports stop routing.
+  Status SetSwitchFailed(ComponentId fc_switch, bool failed);
+
+  /// Marks the physical link between two cabled ports failed/recovered.
+  Status SetLinkFailed(ComponentId port_a, ComponentId port_b, bool failed);
+
+  /// Sets a port's remaining-capacity factor in (0, 1]; < 1 models a
+  /// renegotiated/degraded link. The port keeps routing.
+  Status SetPortDegraded(ComponentId port, double capacity_factor);
+
+  /// True if the link between the two ports is marked failed.
+  bool LinkFailed(ComponentId port_a, ComponentId port_b) const;
+
   // --- Accessors ----------------------------------------------------------
   const ComponentRegistry& registry() const { return *registry_; }
   ComponentRegistry* mutable_registry() { return registry_; }
@@ -204,17 +241,61 @@ class SanTopology {
   /// True if zoning allows the two ports to communicate.
   bool InSameZone(ComponentId port_a, ComponentId port_b) const;
 
-  /// Resolves the physical I/O path from `server` to `volume`, honouring
-  /// cabling, zoning, and LUN masking. Fails with kFailedPrecondition when
-  /// configuration forbids access and kNotFound when no cabled route exists.
+  /// All lun-mapped (server, volume) pairs, sorted by (server, volume) id —
+  /// the deterministic iteration order failover policies re-resolve in.
+  std::vector<std::pair<ComponentId, ComponentId>> LunMappings() const;
+
+  /// Resolves every surviving zone-permitted route from `server` to
+  /// `volume`, honouring cabling, zoning, LUN masking, and failure state
+  /// (failed HBAs/ports/switches/links never appear on a route; degraded
+  /// ports still do). Routes are port-disjoint, each the shortest chain from
+  /// its HBA port with ties broken toward the lexicographically smallest
+  /// ComponentId port chain, enumerated over HBAs and HBA ports in ascending
+  /// id order — so resolution is a pure deterministic function of topology
+  /// state, never of insertion order. Fails with kFailedPrecondition when
+  /// configuration forbids access and kNotFound when no surviving route (or
+  /// no surviving disk) exists.
+  Result<std::vector<IoPath>> ResolvePaths(ComponentId server,
+                                           ComponentId volume) const;
+
+  /// First (preferred) route of ResolvePaths — the multipath driver's active
+  /// path. Same error semantics as ResolvePaths.
   Result<IoPath> ResolvePath(ComponentId server, ComponentId volume) const;
+
+  /// Monotone counter bumped by every topology mutation or failure-state
+  /// flip; cached resolutions are valid only within one generation.
+  uint64_t generation() const { return generation_; }
 
   /// Structural validation: every volume's pool has disks, every HBA has a
   /// cabled port, etc. Returns the first problem found.
   Status Validate() const;
 
  private:
+  /// Path-resolution cache + BFS scratch. Heap-allocated so the topology
+  /// stays movable (std::mutex is not). The mutex makes const ResolvePaths
+  /// safe to call from concurrent diagnosis workers; mutations (which are
+  /// single-threaded by contract) clear the cache under the same lock.
+  struct ResolveScratch {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<IoPath>> paths;
+    // Dense per-port BFS state, epoch-validated so a resolution never pays
+    // a per-call hash-map allocation (the 1000+ component hot spot).
+    std::vector<ComponentId> parent;
+    std::vector<uint64_t> seen;
+    uint64_t epoch = 0;
+  };
+
   Status ExpectKind(ComponentId id, ComponentKind kind) const;
+  /// True when the port (or its owning switch) is failed.
+  bool PortBlocked(const FcPortInfo& port) const;
+  /// Invalidate cached resolutions (every mutation calls this).
+  void BumpGeneration();
+  /// Lexicographically-least shortest port chain start -> a surviving port
+  /// of `subsystem` zoned with `start`, avoiding `used` ports. Empty when
+  /// unreachable. Caller holds scratch->mu.
+  std::vector<ComponentId> ShortestChain(
+      ComponentId start, ComponentId subsystem,
+      const std::unordered_set<ComponentId>& used) const;
 
   ComponentRegistry* registry_;
   std::unordered_map<ComponentId, ServerInfo> servers_;
@@ -227,6 +308,9 @@ class SanTopology {
   std::unordered_map<ComponentId, DiskInfo> disks_;
   std::vector<Zone> zones_;
   std::unordered_set<uint64_t> lun_map_;  ///< (server,volume) packed pairs.
+  std::unordered_set<uint64_t> failed_links_;  ///< Packed (min,max) port pairs.
+  uint64_t generation_ = 0;
+  std::unique_ptr<ResolveScratch> scratch_;
 };
 
 }  // namespace diads::san

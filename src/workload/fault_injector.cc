@@ -180,4 +180,78 @@ Status FaultInjector::InjectCpuSaturation(const TimeInterval& window,
                                          utilization);
 }
 
+Status FaultInjector::InjectFabricStream(const TimeInterval& window,
+                                         double mb_per_sec,
+                                         std::vector<ComponentId> ports) {
+  return testbed_->perf_model.AddFabricLoad(window, mb_per_sec,
+                                            std::move(ports));
+}
+
+Status FaultInjector::InjectPathProbes(ComponentId volume,
+                                       const TimeInterval& window) {
+  Testbed& tb = *testbed_;
+  DIADS_ASSIGN_OR_RETURN(std::vector<san::IoPath> paths,
+                         tb.topology.ResolvePaths(tb.db_server, volume));
+  for (const san::IoPath& path : paths) {
+    san::LoadEvent event;
+    event.volume = volume;
+    event.interval = window;
+    event.profile.read_iops = 1.0;  // Negligible disk demand; the point is
+    event.profile.avg_block_kb = 8.0;  // keeping the path "warm".
+    event.path_ports = path.ports;
+    event.path_switches = path.switches;
+    DIADS_RETURN_IF_ERROR(tb.perf_model.AddLoad(std::move(event)));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::InjectHbaFailure(SimTimeMs t, ComponentId hba) {
+  return testbed_->config_db.FailHba(t, hba);
+}
+
+Status FaultInjector::InjectPortDegradation(SimTimeMs t, ComponentId port,
+                                            double capacity_factor) {
+  return testbed_->config_db.DegradePort(t, port, capacity_factor);
+}
+
+Status FaultInjector::InjectRetrySnowball(ComponentId volume,
+                                          const TimeInterval& window,
+                                          SimTimeMs escalation) {
+  Testbed& tb = *testbed_;
+  const std::string name = tb.registry.NameOf(volume);
+  // The original (unmonitored) queue pressure: write-heavy enough that the
+  // volume's interval-averaged latency crosses the collector's 25 ms
+  // degraded-volume trigger well before the storm alarm fires (the
+  // retry-storm symptom keys on that ordering).
+  san::IoProfile base;
+  base.read_iops = 40.0;
+  base.write_iops = 160.0;
+  base.seq_fraction = 0.25;
+  DIADS_RETURN_IF_ERROR(workloads_.StartSteady(
+      volume, window, base, /*log_events=*/false,
+      StrFormat("queue pressure on %s", name.c_str())));
+
+  // Timed-out I/Os get reissued: extra demand on an already-saturated
+  // volume, which is what makes the storm feed itself.
+  const SimTimeMs storm_t = window.begin + escalation;
+  san::IoProfile retries;
+  retries.read_iops = 55.0;
+  retries.write_iops = 70.0;
+  retries.seq_fraction = 0.1;
+  DIADS_RETURN_IF_ERROR(workloads_.StartSteady(
+      volume, TimeInterval{storm_t, window.end}, retries,
+      /*log_events=*/false,
+      StrFormat("retry amplification on %s", name.c_str())));
+
+  // The one observable: the multipath driver's retry-storm alarm.
+  SystemEvent event;
+  event.time = storm_t;
+  event.type = EventType::kRetryStormDetected;
+  event.subject = volume;
+  event.description = StrFormat(
+      "I/O retry storm detected on %s (timed-out requests reissued)",
+      name.c_str());
+  return tb.event_log.Append(std::move(event));
+}
+
 }  // namespace diads::workload

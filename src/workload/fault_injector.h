@@ -14,6 +14,7 @@
 #define DIADS_WORKLOAD_FAULT_INJECTOR_H_
 
 #include <string>
+#include <vector>
 
 #include "workload/external_workload.h"
 #include "workload/testbed.h"
@@ -84,6 +85,40 @@ class FaultInjector {
   /// Database server CPU saturation from a competing job.
   Status InjectCpuSaturation(const TimeInterval& window,
                              double utilization = 0.85);
+
+  // --- Failover scenario family (F1-F4) -------------------------------------
+
+  /// A pure fabric byte stream (mirror / replication / rebuild traffic) of
+  /// `mb_per_sec` across an explicit port chain. Like scenario 1's
+  /// unmonitored workload, the stream itself logs nothing — only its
+  /// congestion side-effects are observable.
+  Status InjectFabricStream(const TimeInterval& window, double mb_per_sec,
+                            std::vector<ComponentId> ports);
+
+  /// Multipath-driver path-health probes for a db-server volume: one
+  /// negligible (1 IOPS) volume-bound load event per currently-resolved
+  /// path, carrying that path's ports. Congestion on any path thereby shows
+  /// in the volume's latency continuously — not only while a query happens
+  /// to run — matching real multipath drivers, which probe every path
+  /// periodically. Paths are resolved at call time; call again after a
+  /// failover to probe the surviving set.
+  Status InjectPathProbes(ComponentId volume, const TimeInterval& window);
+
+  /// F1: HBA hardware failure. The config database logs the failure and
+  /// whatever path failovers it forces.
+  Status InjectHbaFailure(SimTimeMs t, ComponentId hba);
+
+  /// F2: a port negotiates down to `capacity_factor` of its bandwidth
+  /// (flaky SFP / link renegotiation). Logged; routing is unchanged.
+  Status InjectPortDegradation(SimTimeMs t, ComponentId port,
+                               double capacity_factor);
+
+  /// F4: a retry snowball on `volume` — unmonitored queue pressure from
+  /// `window.begin`, then an escalation step `escalation` later as
+  /// timed-out I/Os are reissued, with the driver's retry-storm alarm
+  /// logged at the escalation point.
+  Status InjectRetrySnowball(ComponentId volume, const TimeInterval& window,
+                             SimTimeMs escalation = Minutes(15));
 
  private:
   Testbed* testbed_;

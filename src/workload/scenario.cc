@@ -32,6 +32,14 @@ const char* ScenarioName(ScenarioId id) {
       return "S10-raid-rebuild";
     case ScenarioId::kS11DiskFailure:
       return "S11-disk-failure";
+    case ScenarioId::kF1HbaFailover:
+      return "F1-hba-failover";
+    case ScenarioId::kF2MultipathImbalance:
+      return "F2-multipath-imbalance";
+    case ScenarioId::kF3IslRebuildCrosstalk:
+      return "F3-isl-rebuild-crosstalk";
+    case ScenarioId::kF4RetrySnowball:
+      return "F4-retry-snowball";
   }
   return "?";
 }
@@ -67,6 +75,18 @@ const char* ScenarioDescription(ScenarioId id) {
       return "RAID rebuild on V1's pool steals backend bandwidth";
     case ScenarioId::kS11DiskFailure:
       return "Disk failure concentrates V1's load on the surviving disks";
+    case ScenarioId::kF1HbaFailover:
+      return "HBA failure masked by path failover; the surviving path "
+             "congests under the folded-over traffic";
+    case ScenarioId::kF2MultipathImbalance:
+      return "A port negotiates down to half bandwidth, unbalancing the "
+             "multipath split without any routing change";
+    case ScenarioId::kF3IslRebuildCrosstalk:
+      return "RAID rebuild whose replication stream crosses the shared "
+             "inter-switch link of the active fabric";
+    case ScenarioId::kF4RetrySnowball:
+      return "Timed-out I/Os get reissued into an already-slow volume, "
+             "snowballing into a retry storm";
   }
   return "?";
 }
@@ -147,8 +167,14 @@ Result<ScenarioOutput> RunScenario(ScenarioId id,
                                    const ScenarioOptions& options) {
   ScenarioOptions opts = options;
   opts.testbed.seed = options.seed;
+  const bool multipath_scenario = id == ScenarioId::kF1HbaFailover ||
+                                  id == ScenarioId::kF2MultipathImbalance ||
+                                  id == ScenarioId::kF3IslRebuildCrosstalk ||
+                                  id == ScenarioId::kF4RetrySnowball;
   DIADS_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> tb,
-                         BuildFigure1Testbed(opts.testbed));
+                         multipath_scenario
+                             ? BuildMultipathTestbed(opts.testbed)
+                             : BuildFigure1Testbed(opts.testbed));
   ExternalWorkloadGen workloads(tb.get());
   FaultInjector injector(tb.get());
 
@@ -289,6 +315,92 @@ Result<ScenarioOutput> RunScenario(ScenarioId id,
                           {diag::RootCauseType::kRaidRebuild, "V1", true}};
       break;
     }
+    case ScenarioId::kF1HbaFailover: {
+      // A mirror stream of 106.25 MB/s rides V1's resolved paths the whole
+      // time. Split across both 1 Gbps fabrics it is 0.425 utilization per
+      // path — below the congestion threshold, so the satisfactory era is
+      // genuinely quiet. (Load events may be registered in any time order;
+      // a sub-threshold stream adds exactly nothing to past run latencies.)
+      DIADS_ASSIGN_OR_RETURN(
+          std::vector<san::IoPath> pre_paths,
+          tb->topology.ResolvePaths(tb->db_server, tb->v1));
+      const TimeInterval pre_window{t0 - Hours(1), t_fault};
+      for (const san::IoPath& path : pre_paths) {
+        DIADS_RETURN_IF_ERROR(injector.InjectFabricStream(
+            pre_window, 106.25 / static_cast<double>(pre_paths.size()),
+            path.ports));
+      }
+      DIADS_RETURN_IF_ERROR(injector.InjectPathProbes(tb->v1, pre_window));
+      // The fault: hba0 dies. The config database logs the failure plus the
+      // path failovers it forces; queries keep running — the failure is
+      // masked — but the whole stream folds onto the surviving fabric-B
+      // path: 0.85 utilization, past the congestion threshold.
+      DIADS_RETURN_IF_ERROR(injector.InjectHbaFailure(t_fault, tb->db_hba0));
+      DIADS_ASSIGN_OR_RETURN(
+          std::vector<san::IoPath> post_paths,
+          tb->topology.ResolvePaths(tb->db_server, tb->v1));
+      for (const san::IoPath& path : post_paths) {
+        DIADS_RETURN_IF_ERROR(injector.InjectFabricStream(
+            fault_window, 106.25 / static_cast<double>(post_paths.size()),
+            path.ports));
+      }
+      DIADS_RETURN_IF_ERROR(injector.InjectPathProbes(tb->v1, fault_window));
+      out.ground_truth = {
+          {diag::RootCauseType::kHbaFailure, "dbserver-hba0", true}};
+      break;
+    }
+    case ScenarioId::kF2MultipathImbalance: {
+      // At the fault point the fabric-A subsystem port negotiates down to
+      // half bandwidth just as a balanced 106.25 MB/s replication cycle
+      // starts across both paths: path B runs at a comfortable 0.425
+      // utilization while the degraded port grinds at 0.85 of its reduced
+      // capacity. (Port capacity, like S11's disk failure, has no time
+      // dimension in the topology, so the stream is confined to the fault
+      // window to keep the satisfactory era's intervals clean.)
+      DIADS_ASSIGN_OR_RETURN(
+          std::vector<san::IoPath> paths,
+          tb->topology.ResolvePaths(tb->db_server, tb->v1));
+      for (const san::IoPath& path : paths) {
+        DIADS_RETURN_IF_ERROR(injector.InjectFabricStream(
+            fault_window, 106.25 / static_cast<double>(paths.size()),
+            path.ports));
+      }
+      DIADS_RETURN_IF_ERROR(injector.InjectPathProbes(
+          tb->v1, TimeInterval{t0 - Hours(1), horizon}));
+      DIADS_RETURN_IF_ERROR(injector.InjectPortDegradation(
+          t_fault, tb->subsystem_port0, 0.5));
+      out.ground_truth = {
+          {diag::RootCauseType::kMultipathImbalance, "ds6000-pA", true}};
+      break;
+    }
+    case ScenarioId::kF3IslRebuildCrosstalk: {
+      // RAID rebuild on V2's pool, whose replication stream crosses fabric
+      // A's inter-switch link — the one fabric segment every path-A flow
+      // shares — so the rebuild hurts twice: backend bandwidth on P2's
+      // disks, congestion on the active fabric.
+      // 87.5 MB/s on a 1 Gbps ISL = 0.7 utilization: a moderate ~7 ms
+      // congestion tax on every path-A flow — enough to show up on the ISL
+      // port counters, not enough to drown out the rebuild itself.
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectRaidRebuild(tb->pool2, fault_window, 0.45));
+      DIADS_RETURN_IF_ERROR(injector.InjectFabricStream(
+          fault_window, 87.5, {tb->isl_a0, tb->isl_a1}));
+      // Path probes keep the ISL's utilization visible in both volumes'
+      // fabric latency (congestion is charged through volume-bound events
+      // that carry path ports; the raw stream alone only moves the port
+      // counters).
+      DIADS_RETURN_IF_ERROR(injector.InjectPathProbes(
+          tb->v1, TimeInterval{t0 - Hours(1), horizon}));
+      DIADS_RETURN_IF_ERROR(injector.InjectPathProbes(
+          tb->v2, TimeInterval{t0 - Hours(1), horizon}));
+      out.ground_truth = {{diag::RootCauseType::kRaidRebuild, "V2", true}};
+      break;
+    }
+    case ScenarioId::kF4RetrySnowball:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectRetrySnowball(tb->v1, fault_window, Minutes(15)));
+      out.ground_truth = {{diag::RootCauseType::kRetryStorm, "V1", true}};
+      break;
   }
 
   // Post-fault plan: re-optimized for plan-change scenarios.

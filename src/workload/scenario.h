@@ -22,6 +22,12 @@
 //                                                             or volume
 //                                                             contention,
 //                                                             RAID rebuilds")
+//
+// The F family runs on the dual-fabric multipath testbed instead:
+//   F1  HBA failure masked by path failover; the surviving path congests
+//   F2  A degraded port unbalances the multipath split
+//   F3  RAID rebuild whose replication stream crosses a shared ISL
+//   F4  I/O retry storm snowballs an ordinary slowdown
 #ifndef DIADS_WORKLOAD_SCENARIO_H_
 #define DIADS_WORKLOAD_SCENARIO_H_
 
@@ -49,6 +55,12 @@ enum class ScenarioId {
   kS9CpuSaturation,
   kS10RaidRebuild,
   kS11DiskFailure,
+  // Failover family: runs on the dual-fabric multipath testbed
+  // (BuildMultipathTestbed) instead of Figure-1.
+  kF1HbaFailover,
+  kF2MultipathImbalance,
+  kF3IslRebuildCrosstalk,
+  kF4RetrySnowball,
 };
 
 const char* ScenarioName(ScenarioId id);

@@ -55,6 +55,11 @@ struct TestbedOptions {
   /// PostgreSQL parameter seed; ignored by other backends (tune those via
   /// backend->SetParam in their own vocabulary — see BackendInit).
   db::DbParams db_params;
+  /// Multipath testbed only: additionally generate LargeFabricSpec() into
+  /// the same registry/topology, pushing it past 1000 components — the
+  /// bench_topology_scale configuration. The generated fabric is idle
+  /// background structure; the monitored workload stays on the core testbed.
+  bool add_scale_fabric = false;
   /// Production-realistic measurement noise (Section 1.1: coarse intervals
   /// make the data noisy): 12% multiplicative jitter, occasional spikes,
   /// and dropped samples (a dropped sample makes DIADS fall back to the
@@ -104,6 +109,15 @@ class Testbed {
   ComponentId subsystem, subsystem_port0, subsystem_port1;
   ComponentId pool1, pool2;
   ComponentId v1, v2, v3, v4;
+  // --- Multipath testbed components (BuildMultipathTestbed only) ----------
+  // Invalid on the Figure-1 testbed. The db server gets one HBA per fabric
+  // (db_hba_port is the fabric-A port); each fabric is a host switch and a
+  // storage switch joined by an inter-switch link (isl_*).
+  ComponentId db_hba0, db_hba1;
+  ComponentId db_hba1_port;
+  ComponentId fabric_a_host_switch, fabric_a_storage_switch;
+  ComponentId fabric_b_host_switch, fabric_b_storage_switch;
+  ComponentId isl_a0, isl_a1, isl_b0, isl_b1;
   ComponentId database;   ///< The kDatabase component.
   ComponentId query_q2;   ///< The kQuery component.
   ComponentId workload_v3, workload_v4;  ///< Ambient background workloads.
@@ -137,6 +151,18 @@ class Testbed {
 /// Builds the Figure-1 environment. Fails only on internal inconsistencies
 /// (the topology is validated before return).
 Result<std::unique_ptr<Testbed>> BuildFigure1Testbed(
+    const TestbedOptions& options = {});
+
+/// Builds the dual-fabric multipath environment for the failover scenario
+/// family (F1-F4): the same TPC-H catalog, Q2 paper plan, and P1/P2 storage
+/// layout as Figure-1, but the db server reaches the subsystem through TWO
+/// independent fabrics (one HBA per fabric, each a host switch and a
+/// storage switch joined by an inter-switch link) over 1 Gbps ports — slow
+/// enough that losing or degrading one path pushes the survivor past the
+/// congestion threshold. With options.add_scale_fabric the topology
+/// additionally carries the generated 1000+-component LargeFabricSpec()
+/// fabric as idle structure (the scale-bench configuration).
+Result<std::unique_ptr<Testbed>> BuildMultipathTestbed(
     const TestbedOptions& options = {});
 
 }  // namespace diads::workload

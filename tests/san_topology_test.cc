@@ -203,6 +203,203 @@ TEST(SanTopologyTest, ZoneExtension) {
   EXPECT_TRUE(san.topology.InSameZone(san.sw_p0, san.ss_port));
 }
 
+// --- Failure-aware multipath resolution ----------------------------------------
+
+/// Dual-fabric multipath SAN: one server with two HBAs, each reaching the
+/// subsystem through its own switch and subsystem port (fabric A via hba0,
+/// fabric B via hba1), one RAID pool with two disks backing one volume.
+struct MultipathMiniSan {
+  ComponentRegistry registry;
+  SanTopology topology{&registry};
+  ComponentId server, hba0, hba1, h0p, h1p;
+  ComponentId sw_a, a0, a1, sw_b, b0, b1;
+  ComponentId subsystem, ss_pa, ss_pb;
+  ComponentId pool, d1, d2, vol;
+
+  MultipathMiniSan() {
+    server = topology.AddServer("server", "Linux").value();
+    hba0 = topology.AddHba("hba0", server).value();
+    h0p = topology.AddPort("hba0-p0", PortOwner::kHba, hba0).value();
+    hba1 = topology.AddHba("hba1", server).value();
+    h1p = topology.AddPort("hba1-p0", PortOwner::kHba, hba1).value();
+    sw_a = topology.AddSwitch("swA", false).value();
+    a0 = topology.AddPort("swA-p0", PortOwner::kSwitch, sw_a).value();
+    a1 = topology.AddPort("swA-p1", PortOwner::kSwitch, sw_a).value();
+    sw_b = topology.AddSwitch("swB", false).value();
+    b0 = topology.AddPort("swB-p0", PortOwner::kSwitch, sw_b).value();
+    b1 = topology.AddPort("swB-p1", PortOwner::kSwitch, sw_b).value();
+    subsystem = topology.AddSubsystem("ss", "DS6000").value();
+    ss_pa = topology.AddPort("ss-pA", PortOwner::kSubsystem, subsystem).value();
+    ss_pb = topology.AddPort("ss-pB", PortOwner::kSubsystem, subsystem).value();
+    EXPECT_TRUE(topology.Link(h0p, a0).ok());
+    EXPECT_TRUE(topology.Link(a1, ss_pa).ok());
+    EXPECT_TRUE(topology.Link(h1p, b0).ok());
+    EXPECT_TRUE(topology.Link(b1, ss_pb).ok());
+    EXPECT_TRUE(topology.AddZone("zA", {h0p, ss_pa}).ok());
+    EXPECT_TRUE(topology.AddZone("zB", {h1p, ss_pb}).ok());
+    pool = topology.AddPool("pool", subsystem, RaidLevel::kRaid5).value();
+    d1 = topology.AddDisk("d1", pool).value();
+    d2 = topology.AddDisk("d2", pool).value();
+    vol = topology.AddVolume("V", pool, 100).value();
+    EXPECT_TRUE(topology.MapLun(server, vol).ok());
+  }
+};
+
+TEST(MultipathResolutionTest, ResolvesOneDisjointRoutePerFabric) {
+  MultipathMiniSan san;
+  Result<std::vector<IoPath>> paths =
+      san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok()) << paths.status().ToString();
+  ASSERT_EQ(paths->size(), 2u);
+  // HBAs enumerate in ascending id order: hba0's fabric-A route first.
+  EXPECT_EQ((*paths)[0].hba, san.hba0);
+  EXPECT_EQ((*paths)[0].ports,
+            (std::vector<ComponentId>{san.h0p, san.a0, san.a1, san.ss_pa}));
+  EXPECT_EQ((*paths)[1].hba, san.hba1);
+  EXPECT_EQ((*paths)[1].ports,
+            (std::vector<ComponentId>{san.h1p, san.b0, san.b1, san.ss_pb}));
+  // Port-disjoint by construction.
+  for (ComponentId p : (*paths)[0].ports) {
+    for (ComponentId q : (*paths)[1].ports) EXPECT_NE(p, q);
+  }
+}
+
+TEST(MultipathResolutionTest, FailedHbaOriginatesNoRoutes) {
+  MultipathMiniSan san;
+  ASSERT_TRUE(san.topology.SetHbaFailed(san.hba0, true).ok());
+  Result<std::vector<IoPath>> paths =
+      san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ((*paths)[0].hba, san.hba1);
+  // Both HBAs down: no surviving route at all.
+  ASSERT_TRUE(san.topology.SetHbaFailed(san.hba1, true).ok());
+  EXPECT_EQ(san.topology.ResolvePaths(san.server, san.vol).status().code(),
+            StatusCode::kNotFound);
+  // Recovery restores both routes.
+  ASSERT_TRUE(san.topology.SetHbaFailed(san.hba0, false).ok());
+  ASSERT_TRUE(san.topology.SetHbaFailed(san.hba1, false).ok());
+  paths = san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);
+}
+
+TEST(MultipathResolutionTest, ResolutionIsNotStaleAfterFailureEvents) {
+  // The original bug: ResolvePath cached a route, then kept returning it
+  // after the components on it were marked failed.
+  MultipathMiniSan san;
+  Result<IoPath> before = san.topology.ResolvePath(san.server, san.vol);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->hba, san.hba0);
+  ASSERT_TRUE(san.topology.SetPortFailed(san.ss_pa, true).ok());
+  Result<IoPath> after = san.topology.ResolvePath(san.server, san.vol);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->hba, san.hba1);  // Re-resolved, not the stale fabric-A route.
+  for (ComponentId p : after->ports) EXPECT_NE(p, san.ss_pa);
+}
+
+TEST(MultipathResolutionTest, FailedSwitchBlocksAllItsPorts) {
+  MultipathMiniSan san;
+  ASSERT_TRUE(san.topology.SetSwitchFailed(san.sw_a, true).ok());
+  Result<std::vector<IoPath>> paths =
+      san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ((*paths)[0].hba, san.hba1);
+  ASSERT_TRUE(san.topology.SetSwitchFailed(san.sw_b, true).ok());
+  EXPECT_EQ(san.topology.ResolvePaths(san.server, san.vol).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MultipathResolutionTest, FailedLinkBlocksRouteAndRecoveryRestoresIt) {
+  MultipathMiniSan san;
+  ASSERT_TRUE(san.topology.SetLinkFailed(san.h0p, san.a0, true).ok());
+  EXPECT_TRUE(san.topology.LinkFailed(san.a0, san.h0p));  // Symmetric.
+  Result<std::vector<IoPath>> paths =
+      san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ((*paths)[0].hba, san.hba1);
+  ASSERT_TRUE(san.topology.SetLinkFailed(san.h0p, san.a0, false).ok());
+  paths = san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);
+}
+
+TEST(MultipathResolutionTest, AllDisksFailedIsNotFound) {
+  MultipathMiniSan san;
+  ASSERT_TRUE(san.topology.SetDiskFailed(san.d1, true).ok());
+  Result<std::vector<IoPath>> paths =
+      san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());  // One surviving disk still backs the volume.
+  EXPECT_EQ((*paths)[0].disks, std::vector<ComponentId>{san.d2});
+  ASSERT_TRUE(san.topology.SetDiskFailed(san.d2, true).ok());
+  EXPECT_EQ(san.topology.ResolvePaths(san.server, san.vol).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MultipathResolutionTest, DegradedPortStillRoutes) {
+  MultipathMiniSan san;
+  ASSERT_TRUE(san.topology.SetPortDegraded(san.ss_pa, 0.5).ok());
+  Result<std::vector<IoPath>> paths =
+      san.topology.ResolvePaths(san.server, san.vol);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);  // Degradation is a perf-model concern.
+  EXPECT_TRUE(san.topology.port(san.ss_pa).degraded());
+  EXPECT_DOUBLE_EQ(san.topology.port(san.ss_pa).EffectiveMbPerSec(),
+                   4.0 * 125.0 * 0.5);
+}
+
+TEST(MultipathResolutionTest, FailureFlipsBumpGeneration) {
+  MultipathMiniSan san;
+  uint64_t g = san.topology.generation();
+  ASSERT_TRUE(san.topology.SetPortFailed(san.ss_pa, true).ok());
+  EXPECT_GT(san.topology.generation(), g);
+  g = san.topology.generation();
+  ASSERT_TRUE(san.topology.SetHbaFailed(san.hba0, true).ok());
+  EXPECT_GT(san.topology.generation(), g);
+}
+
+TEST(MultipathResolutionTest, TieBreakIsLowestIdChainNotInsertionOrder) {
+  // Diamond: one HBA port reaches the subsystem through two equal-length
+  // chains. The links of the higher-id chain are cabled FIRST — an
+  // insertion-order-dependent BFS would pick it; the contract requires the
+  // lexicographically smallest port chain.
+  ComponentRegistry registry;
+  SanTopology topology(&registry);
+  ComponentId server = topology.AddServer("s", "Linux").value();
+  ComponentId hba = topology.AddHba("h", server).value();
+  ComponentId hp = topology.AddPort("hp", PortOwner::kHba, hba).value();
+  ComponentId sw1 = topology.AddSwitch("sw1", false).value();
+  ComponentId p1in = topology.AddPort("sw1-in", PortOwner::kSwitch, sw1).value();
+  ComponentId p1out =
+      topology.AddPort("sw1-out", PortOwner::kSwitch, sw1).value();
+  ComponentId sw2 = topology.AddSwitch("sw2", false).value();
+  ComponentId p2in = topology.AddPort("sw2-in", PortOwner::kSwitch, sw2).value();
+  ComponentId p2out =
+      topology.AddPort("sw2-out", PortOwner::kSwitch, sw2).value();
+  ComponentId ss = topology.AddSubsystem("ss", "X").value();
+  ComponentId sa = topology.AddPort("ss-a", PortOwner::kSubsystem, ss).value();
+  ComponentId sb = topology.AddPort("ss-b", PortOwner::kSubsystem, ss).value();
+  // Cable the sw2 (higher-id) diamond arm before the sw1 arm.
+  ASSERT_TRUE(topology.Link(hp, p2in).ok());
+  ASSERT_TRUE(topology.Link(p2out, sb).ok());
+  ASSERT_TRUE(topology.Link(hp, p1in).ok());
+  ASSERT_TRUE(topology.Link(p1out, sa).ok());
+  ASSERT_TRUE(topology.AddZone("z", {hp, sa, sb}).ok());
+  ComponentId pool = topology.AddPool("p", ss, RaidLevel::kRaid0).value();
+  ASSERT_TRUE(topology.AddDisk("d", pool).ok());
+  ComponentId vol = topology.AddVolume("v", pool, 10).value();
+  ASSERT_TRUE(topology.MapLun(server, vol).ok());
+
+  Result<IoPath> path = topology.ResolvePath(server, vol);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->ports, (std::vector<ComponentId>{hp, p1in, p1out, sa}))
+      << "active path must be the lexicographically smallest chain";
+  ASSERT_EQ(path->switches.size(), 1u);
+  EXPECT_EQ(path->switches[0], sw1);
+}
+
 // --- ConfigDatabase ------------------------------------------------------------
 
 TEST(ConfigDatabaseTest, OperationsMutateAndLog) {
@@ -249,6 +446,70 @@ TEST(ConfigDatabaseTest, NewVolumeSharesDisksWithPoolSiblings) {
     if (sharer == *v_prime) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(ConfigDatabaseTest, FailHbaLogsConfigEventAndPathFailover) {
+  MultipathMiniSan san;
+  EventLog log;
+  ConfigDatabase config(&san.topology, &log);
+  // The active path for V runs over hba0 (fabric A); failing that HBA must
+  // log the configuration change AND the driver-level path switch that
+  // masks it, so Module CO sees both candidate causes.
+  ASSERT_TRUE(config.FailHba(1000, san.hba0).ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.all()[0].type, EventType::kHbaFailed);
+  EXPECT_EQ(log.all()[0].subject, san.hba0);
+  EXPECT_EQ(log.all()[1].type, EventType::kPathFailover);
+  EXPECT_EQ(log.all()[1].subject, san.vol);
+  EXPECT_TRUE(san.topology.hba(san.hba0).failed);
+  // Recovery logs the flip back plus the failback path switch.
+  ASSERT_TRUE(config.RecoverHba(2000, san.hba0).ok());
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.all()[2].type, EventType::kHbaRecovered);
+  EXPECT_EQ(log.all()[3].type, EventType::kPathFailover);
+  EXPECT_FALSE(san.topology.hba(san.hba0).failed);
+}
+
+TEST(ConfigDatabaseTest, FabricFailureFlipsAreLogged) {
+  MultipathMiniSan san;
+  EventLog log;
+  ConfigDatabase config(&san.topology, &log);
+  ASSERT_TRUE(config.FailPort(1000, san.ss_pa).ok());
+  ASSERT_TRUE(config.RecoverPort(2000, san.ss_pa).ok());
+  ASSERT_TRUE(config.FailSwitch(3000, san.sw_b).ok());
+  ASSERT_TRUE(config.RecoverSwitch(4000, san.sw_b).ok());
+  ASSERT_TRUE(config.FailLink(5000, san.h0p, san.a0).ok());
+  ASSERT_TRUE(config.RecoverLink(6000, san.h0p, san.a0).ok());
+  // Failing ss_pa / the hba0 link kills the active fabric-A path, so each
+  // flip pairs with a kPathFailover (and each recovery with the failback).
+  // sw_b carries only the standby route: its flips move no active path and
+  // log no failover.
+  std::vector<EventType> want = {
+      EventType::kPortFailed,      EventType::kPathFailover,
+      EventType::kPortRecovered,   EventType::kPathFailover,
+      EventType::kSwitchFailed,    EventType::kSwitchRecovered,
+      EventType::kLinkFailed,      EventType::kPathFailover,
+      EventType::kLinkRecovered,   EventType::kPathFailover};
+  ASSERT_EQ(log.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(log.all()[i].type, want[i]) << "event " << i;
+  }
+  EXPECT_FALSE(san.topology.port(san.ss_pa).failed);
+  EXPECT_FALSE(san.topology.fc_switch(san.sw_b).failed);
+  EXPECT_FALSE(san.topology.LinkFailed(san.h0p, san.a0));
+}
+
+TEST(ConfigDatabaseTest, DegradePortLogsNoFailover) {
+  MultipathMiniSan san;
+  EventLog log;
+  ConfigDatabase config(&san.topology, &log);
+  // A degraded port keeps routing — the multipath-imbalance trap: the event
+  // fires but the active path does NOT move.
+  ASSERT_TRUE(config.DegradePort(1000, san.ss_pa, 0.25).ok());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.all()[0].type, EventType::kPortDegraded);
+  EXPECT_EQ(log.all()[0].subject, san.ss_pa);
+  EXPECT_DOUBLE_EQ(san.topology.port(san.ss_pa).capacity_factor, 0.25);
 }
 
 }  // namespace

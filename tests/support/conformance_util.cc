@@ -20,6 +20,8 @@ const std::vector<ScenarioId>& AllScenarioIds() {
       ScenarioId::kS6IndexDrop, ScenarioId::kS7ParamChange,
       ScenarioId::kS8AnalyzeAfterDrift, ScenarioId::kS9CpuSaturation,
       ScenarioId::kS10RaidRebuild, ScenarioId::kS11DiskFailure,
+      ScenarioId::kF1HbaFailover, ScenarioId::kF2MultipathImbalance,
+      ScenarioId::kF3IslRebuildCrosstalk, ScenarioId::kF4RetrySnowball,
   };
   return ids;
 }

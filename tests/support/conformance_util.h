@@ -1,7 +1,7 @@
 // Shared helpers for the cross-backend scenario conformance suite.
 //
 // Running a scenario end to end and diagnosing it is the expensive part of
-// the test pyramid, and with two backends the matrix is 12 x 2 = 24
+// the test pyramid, and with two backends the matrix is 16 x 2 = 32
 // configurations. This support library (linked into the test binaries, not
 // itself a test) provides:
 //
@@ -39,10 +39,11 @@ struct DiagnosedScenario {
   std::string digest_hash;  ///< ReportDigestHashHex.
 };
 
-/// The 12 Table-1 / plan-change scenarios, in canonical order.
+/// The 12 Table-1 / plan-change scenarios plus the 4 multipath failover
+/// scenarios, in canonical order.
 const std::vector<workload::ScenarioId>& AllScenarioIds();
 
-/// Every (scenario, backend) conformance configuration: 12 x 2 = 24.
+/// Every (scenario, backend) conformance configuration: 16 x 2 = 32.
 std::vector<std::pair<workload::ScenarioId, db::BackendKind>>
 AllConformanceCases();
 
