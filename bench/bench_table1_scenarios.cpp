@@ -39,9 +39,12 @@ struct ScenarioVerdict {
   double slowdown = 0;
 };
 
-Result<ScenarioVerdict> Evaluate(workload::ScenarioId id, uint64_t seed) {
+Result<ScenarioVerdict> Evaluate(
+    workload::ScenarioId id, uint64_t seed,
+    db::BackendKind backend = db::BackendKind::kPostgres) {
   workload::ScenarioOptions options;
   options.seed = seed;
+  options.testbed.backend = backend;
   DIADS_ASSIGN_OR_RETURN(workload::ScenarioOutput scenario,
                          workload::RunScenario(id, options));
   diag::DiagnosisContext ctx = scenario.MakeContext();
@@ -181,7 +184,58 @@ int main(int argc, char** argv) {
               failures == 0 ? "all five correct" :
               StrFormat("%d of 5 incorrect", failures).c_str());
 
+  // --- Column-store scenario sweep -----------------------------------------
+  // The same workflow on the columnar engine: two representative backend-
+  // neutral scenarios plus the column-store-native faults (segment
+  // compression drift, stale zone maps). Each row is emitted as a
+  // [bench-json] line so CI archives the verdicts.
+  struct ColumnarCase {
+    workload::ScenarioId id;
+  };
+  const workload::ScenarioId columnar_scenarios[] = {
+      workload::ScenarioId::kS1SanMisconfiguration,
+      workload::ScenarioId::kS6IndexDrop,
+      workload::ScenarioId::kC1CompressionDrift,
+      workload::ScenarioId::kC2ZoneMapStale,
+  };
+  std::printf("\n=== Column-store backend scenario sweep ===\n");
+  TablePrinter columnar_table({"Scenario", "Injected ground truth",
+                               "DIADS top causes (confidence/band, impact)",
+                               "Slowdown", "Diagnosis"});
+  int columnar_failures = 0;
+  for (workload::ScenarioId id : columnar_scenarios) {
+    Result<ScenarioVerdict> verdict =
+        Evaluate(id, 42, db::BackendKind::kColumnar);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "%s (columnar) failed: %s\n",
+                   workload::ScenarioName(id),
+                   verdict.status().ToString().c_str());
+      ++columnar_failures;
+      continue;
+    }
+    columnar_table.AddRow({verdict->name, verdict->truth,
+                           verdict->top_causes,
+                           StrFormat("%.2fx", verdict->slowdown),
+                           verdict->correct ? "CORRECT" : "INCORRECT"});
+    if (!verdict->correct) ++columnar_failures;
+    std::printf(
+        "[bench-json] {\"bench\": \"table1_scenarios\", \"mode\": "
+        "\"columnar\", \"scenario\": \"%s\", \"correct\": %s, "
+        "\"slowdown\": %.3f}\n",
+        verdict->name.c_str(), verdict->correct ? "true" : "false",
+        verdict->slowdown);
+  }
+  std::printf("%s", columnar_table.Render().c_str());
+  std::printf(
+      "[bench-json] {\"bench\": \"table1_scenarios\", \"mode\": "
+      "\"summary\", \"table1_failures\": %d, \"columnar_failures\": %d, "
+      "\"columnar_cases\": %d}\n",
+      failures, columnar_failures,
+      static_cast<int>(std::size(columnar_scenarios)));
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // CI gates on the sweep: any misdiagnosis on either engine fails the
+  // binary outright.
+  return (failures > 0 || columnar_failures > 0) ? 1 : 0;
 }

@@ -64,6 +64,10 @@ const char* EventTypeName(EventType type) {
       return "PathFailover";
     case EventType::kRetryStormDetected:
       return "RetryStormDetected";
+    case EventType::kCompressionRatioDrifted:
+      return "CompressionRatioDrifted";
+    case EventType::kZoneMapStale:
+      return "ZoneMapStale";
   }
   return "Unknown";
 }

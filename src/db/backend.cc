@@ -1,5 +1,6 @@
 #include "db/backend.h"
 
+#include "db/columnar_backend.h"
 #include "db/mysql_backend.h"
 #include "db/postgres_backend.h"
 
@@ -11,6 +12,8 @@ const char* BackendKindName(BackendKind kind) {
       return "postgres";
     case BackendKind::kMysql:
       return "mysql";
+    case BackendKind::kColumnar:
+      return "columnar";
   }
   return "?";
 }
@@ -23,7 +26,8 @@ Result<BackendKind> BackendKindFromName(const std::string& name) {
 }
 
 std::vector<BackendKind> AllBackendKinds() {
-  return {BackendKind::kPostgres, BackendKind::kMysql};
+  return {BackendKind::kPostgres, BackendKind::kMysql,
+          BackendKind::kColumnar};
 }
 
 std::string DbBackend::DatabaseComponentName(const std::string& host) const {
@@ -37,6 +41,8 @@ std::unique_ptr<DbBackend> MakeDbBackend(BackendKind kind,
       return std::make_unique<PostgresBackend>(init);
     case BackendKind::kMysql:
       return std::make_unique<MysqlBackend>(init);
+    case BackendKind::kColumnar:
+      return std::make_unique<ColumnarBackend>(init);
   }
   return nullptr;
 }

@@ -8,13 +8,20 @@
 //
 //   * plan production — the cost model and plan-operator vocabulary the
 //     optimizer uses (PostgreSQL: random-vs-sequential page costs, hash
-//     joins; MySQL: one io_block_read_cost, nested-loop joins only);
+//     joins; MySQL: one io_block_read_cost, nested-loop joins only;
+//     columnar: vectorized scans with zone-map pruning, hash joins only);
 //   * configuration parameters — each engine's knob vocabulary, including
-//     the "misconfiguration knob" scenario S7 flips (random_page_cost has
-//     no MySQL analogue; io_block_read_cost plays that role there);
+//     the "misconfiguration knob" scenario S7 flips. The vocabularies are
+//     pairwise disjoint except buffer_pool_mb, and every Set/GetParam
+//     rejects the other engines' names: random_page_cost exists only on
+//     PostgreSQL, io_block_read_cost only on MySQL, and the zone-map /
+//     batch knobs (vector_batch_rows, zone_map_consult_cost, ...) only on
+//     the columnar engine;
 //   * DML / ANALYZE statistics semantics — PostgreSQL leaves optimizer
 //     statistics stale until an explicit ANALYZE; MySQL-style engines
-//     auto-recalculate from sampled dives once enough rows change;
+//     auto-recalculate from sampled dives once ~10% of the rows change;
+//     the columnar engine reorganizes segments (recompress + zone-map
+//     rebuild + stats refresh) once churn passes its 30% threshold;
 //   * run recording — the executor's cost-to-milliseconds translation
 //     parameters.
 //
@@ -42,9 +49,10 @@ namespace diads::db {
 enum class BackendKind {
   kPostgres,  ///< The original PostgreSQL-ish engine.
   kMysql,     ///< MySQL-ish: single I/O cost, index-nested-loop bias.
+  kColumnar,  ///< Column-store-ish: vectorized scans, zone maps, hash joins.
 };
 
-/// Stable lowercase name ("postgres", "mysql").
+/// Stable lowercase name ("postgres", "mysql", "columnar").
 const char* BackendKindName(BackendKind kind);
 Result<BackendKind> BackendKindFromName(const std::string& name);
 std::vector<BackendKind> AllBackendKinds();
@@ -59,9 +67,9 @@ struct PlanMisconfigKnob {
 /// The engine-appropriate S8 fault: a silent data drift large enough that
 /// the post-hoc ANALYZE flips this engine's plan. The threshold is a cost-
 /// model property — PostgreSQL's random-page penalty abandons index plans
-/// after moderate growth, while the MySQL model's flat I/O cost keeps its
-/// index-nested-loop join order optimal until the driving side has grown
-/// far past it.
+/// after moderate growth, while the MySQL model's flat I/O cost and the
+/// columnar model's hash-join insensitivity to access-path randomness keep
+/// their join orders optimal until the driving side has grown far past it.
 struct StatsDriftSpec {
   std::string table;
   double factor = 0;
@@ -135,7 +143,8 @@ struct BackendInit {
   double scale_factor = 1.0;       ///< For fixture-plan estimate calibration.
   double buffer_pool_mb = 512.0;   ///< Threaded into ExecutorParams().
   /// PostgreSQL parameter seed. Other engines ignore it entirely — their
-  /// parameters have different names and defaults (see MysqlParams).
+  /// parameters have different names and defaults (see MysqlParams and
+  /// ColumnarParams).
   DbParams postgres_params;
 };
 

@@ -213,6 +213,32 @@ Status Catalog::SetOptimizerStatsSilently(const std::string& table,
   return Status::Ok();
 }
 
+Status Catalog::SetTableStorageBloatSilently(const std::string& table,
+                                             double bloat) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named: " + table);
+  }
+  if (bloat <= 0) {
+    return Status::InvalidArgument("storage bloat must be positive");
+  }
+  it->second.storage_bloat = bloat;
+  return Status::Ok();
+}
+
+Status Catalog::SetIndexScanBloatSilently(const std::string& index_name,
+                                          double bloat) {
+  auto it = indexes_.find(index_name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index named: " + index_name);
+  }
+  if (bloat <= 0) {
+    return Status::InvalidArgument("scan bloat must be positive");
+  }
+  it->second.scan_bloat = bloat;
+  return Status::Ok();
+}
+
 Result<const TablespaceDef*> Catalog::FindTablespace(
     const std::string& name) const {
   auto it = tablespaces_.find(name);

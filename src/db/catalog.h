@@ -71,6 +71,12 @@ struct TableDef {
   TableStats optimizer_stats;  ///< What ANALYZE last saw.
   TableStats actual_stats;     ///< Ground truth.
   std::vector<ColumnStats> columns;
+  /// Physical-read multiplier on every scan of this table, invisible to the
+  /// optimizer (which plans from row counts). 1.0 = healthy. Column-store
+  /// compression-ratio drift raises it: the same logical rows occupy more
+  /// on-disk segment pages than the stored statistics assume, so the
+  /// executor reads est_pages x storage_bloat without any row-count change.
+  double storage_bloat = 1.0;
 
   const ColumnStats* FindColumn(const std::string& column) const;
 };
@@ -87,6 +93,12 @@ struct IndexDef {
   /// clustering means an index range scan touches few heap pages.
   double clustering = 0.8;
   bool dropped = false;
+  /// Physical-read multiplier on scans *through this index* (kIndexScan
+  /// only), invisible to the optimizer. 1.0 = healthy. Column-store zone-map
+  /// staleness raises it: stale min/max summaries stop excluding segments,
+  /// so a "pruned" scan touches far more pages than planned — without
+  /// changing the plan or any row count.
+  double scan_bloat = 1.0;
 };
 
 /// The catalog. Registers every tablespace/table/index as a component so
@@ -133,6 +145,12 @@ class Catalog {
   // log with synthetic events.
   Status SetIndexDroppedSilently(const std::string& index_name, bool dropped);
   Status SetOptimizerStatsSilently(const std::string& table, TableStats stats);
+  /// Physical-layout degradation state (see TableDef::storage_bloat /
+  /// IndexDef::scan_bloat). Silent for the same reason: the fault injectors
+  /// that use these log their own observable events — the state change
+  /// itself is exactly what a real system would *not* log.
+  Status SetTableStorageBloatSilently(const std::string& table, double bloat);
+  Status SetIndexScanBloatSilently(const std::string& index_name, double bloat);
 
   // --- Lookup -------------------------------------------------------------
   Result<const TablespaceDef*> FindTablespace(const std::string& name) const;

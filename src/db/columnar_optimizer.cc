@@ -1,0 +1,462 @@
+#include "db/columnar_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace diads::db {
+
+Status SetColumnarParamByName(ColumnarParams* params, const std::string& name,
+                              double value) {
+  if (name == "segment_read_cost") params->segment_read_cost = value;
+  else if (name == "compression_codec_cost")
+    params->compression_codec_cost = value;
+  else if (name == "tuple_reconstruct_cost")
+    params->tuple_reconstruct_cost = value;
+  else if (name == "vector_batch_rows") params->vector_batch_rows = value;
+  else if (name == "batch_dispatch_cost") params->batch_dispatch_cost = value;
+  else if (name == "zone_map_consult_cost")
+    params->zone_map_consult_cost = value;
+  else if (name == "zone_map_refresh_threshold")
+    params->zone_map_refresh_threshold = value;
+  else if (name == "buffer_pool_mb") params->buffer_pool_mb = value;
+  else return Status::InvalidArgument("unknown parameter: " + name);
+  return Status::Ok();
+}
+
+Result<double> GetColumnarParamByName(const ColumnarParams& params,
+                                      const std::string& name) {
+  if (name == "segment_read_cost") return params.segment_read_cost;
+  if (name == "compression_codec_cost") return params.compression_codec_cost;
+  if (name == "tuple_reconstruct_cost") return params.tuple_reconstruct_cost;
+  if (name == "vector_batch_rows") return params.vector_batch_rows;
+  if (name == "batch_dispatch_cost") return params.batch_dispatch_cost;
+  if (name == "zone_map_consult_cost") return params.zone_map_consult_cost;
+  if (name == "zone_map_refresh_threshold")
+    return params.zone_map_refresh_threshold;
+  if (name == "buffer_pool_mb") return params.buffer_pool_mb;
+  return Status::InvalidArgument("unknown parameter: " + name);
+}
+
+/// Internal plan node built during enumeration; flattened into a Plan at
+/// the end. Shared pointers let DP states share subtrees cheaply.
+struct ColumnarOptimizer::Node {
+  OpType type = OpType::kSeqScan;
+  std::vector<std::shared_ptr<const Node>> children;
+  std::string alias;
+  std::string table;
+  std::string index_name;
+  std::string detail;
+  std::string engine_op;   ///< "vector scan", "zone-pruned scan", ...
+  double rows = 0;
+  double cost = 0;         ///< Cumulative.
+  double pages = 0;        ///< Segment pages attributable to this op itself.
+  double width = 64;       ///< Bytes per output row (projected columns).
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const ColumnarOptimizer::Node>;
+
+struct PlannerCtx {
+  const Catalog* catalog;
+  const ColumnarParams* params;
+};
+
+/// Fraction of a table's pages a scan actually touches: only the columns
+/// the query references are decompressed (Q2 projects a handful of the
+/// TPC-H columns), so page math is scaled down uniformly.
+constexpr double kColumnProjection = 0.35;
+
+double ColumnNdv(const PlannerCtx& ctx, const QuerySpec& spec,
+                 const std::string& alias, const std::string& column) {
+  const TableRef* ref = spec.FindAlias(alias);
+  if (ref == nullptr) return 1000;
+  Result<const TableDef*> table = ctx.catalog->FindTable(ref->table);
+  if (!table.ok()) return 1000;
+  const ColumnStats* col = (*table)->FindColumn(column);
+  return col != nullptr ? std::max(1.0, col->ndv) : 1000;
+}
+
+double Batches(const ColumnarParams& p, double rows) {
+  return std::ceil(std::max(1.0, rows) / std::max(1.0, p.vector_batch_rows));
+}
+
+/// Columns of `alias` used in any join predicate — candidates for
+/// semi-join zone pruning.
+std::vector<std::string> JoinColumnsOf(const QuerySpec& spec,
+                                       const std::string& alias) {
+  std::vector<std::string> out;
+  for (const JoinPredicate& j : spec.joins) {
+    if (j.left_alias == alias) out.push_back(j.left_column);
+    if (j.right_alias == alias) out.push_back(j.right_column);
+  }
+  return out;
+}
+
+/// Best access path for one table reference: a full vector scan vs a
+/// zone-pruned scan through the best available zone map. Both paths are
+/// decompression-dominated; pruning trades per-zone min/max consults for
+/// skipped segments, and pays off in proportion to the column's physical
+/// clustering.
+Result<NodePtr> ScanPath(const PlannerCtx& ctx, const QuerySpec& spec,
+                         const TableRef& ref) {
+  Result<const TableDef*> table_r = ctx.catalog->FindTable(ref.table);
+  DIADS_RETURN_IF_ERROR(table_r.status());
+  const TableDef& table = **table_r;
+  const TableStats& stats = table.optimizer_stats;
+  const ColumnarParams& p = *ctx.params;
+
+  const double out_rows =
+      std::max(1.0, stats.row_count * ref.filter_selectivity);
+  const double zones = Batches(p, stats.row_count);
+  const double full_pages = std::max(1.0, stats.pages() * kColumnProjection);
+
+  auto full = std::make_shared<ColumnarOptimizer::Node>();
+  full->type = OpType::kSeqScan;
+  full->engine_op = "vector scan";
+  full->alias = ref.alias;
+  full->table = ref.table;
+  full->rows = out_rows;
+  full->pages = full_pages;
+  full->cost = full_pages * p.segment_read_cost +
+               stats.row_count * p.compression_codec_cost +
+               zones * p.batch_dispatch_cost +
+               out_rows * p.tuple_reconstruct_cost;
+  full->width = stats.row_width_bytes * kColumnProjection;
+  if (ref.filter_selectivity < 1.0) {
+    full->detail = StrFormat("where %s, sel=%.4f",
+                             ref.filter_column.empty()
+                                 ? "<non-indexed predicate>"
+                                 : ref.filter_column.c_str(),
+                             ref.filter_selectivity);
+  }
+
+  // Zone-pruned candidates: (zone map, surviving segment fraction, why).
+  struct PruneOption {
+    const IndexDef* zone_map;
+    double fraction;
+    std::string why;
+  };
+  std::vector<PruneOption> options;
+  if (!ref.filter_column.empty()) {
+    for (const IndexDef* zm : ctx.catalog->IndexesOn(ref.table,
+                                                     ref.filter_column)) {
+      // A predicate gives explicit value bounds, so zone min/max pruning
+      // approaches the selectivity on a well-clustered column and decays
+      // to nothing on a shuffled one.
+      const double fraction = std::max(
+          0.05, 1.0 - zm->clustering * (1.0 - ref.filter_selectivity));
+      options.push_back({zm, fraction,
+                         StrFormat("%s zones", ref.filter_column.c_str())});
+    }
+  }
+  for (const std::string& column : JoinColumnsOf(spec, ref.alias)) {
+    for (const IndexDef* zm : ctx.catalog->IndexesOn(ref.table, column)) {
+      // Semi-join pushdown. Unique-key zone maps never prune: the key
+      // values spread across every segment, so each zone's min/max spans
+      // the whole domain.
+      if (zm->unique) continue;
+      const double fraction = std::max(0.05, 1.0 - zm->clustering);
+      options.push_back(
+          {zm, fraction, StrFormat("%s join zones", column.c_str())});
+    }
+  }
+
+  NodePtr best = full;
+  for (const PruneOption& option : options) {
+    const double scanned_rows = option.fraction * stats.row_count;
+    auto pruned = std::make_shared<ColumnarOptimizer::Node>();
+    pruned->type = OpType::kIndexScan;
+    pruned->engine_op = "zone-pruned scan";
+    pruned->alias = ref.alias;
+    pruned->table = ref.table;
+    pruned->index_name = option.zone_map->name;
+    pruned->rows = out_rows;
+    pruned->pages =
+        std::max(1.0, option.fraction * stats.pages() * kColumnProjection);
+    pruned->cost = zones * p.zone_map_consult_cost +
+                   pruned->pages * p.segment_read_cost +
+                   scanned_rows * p.compression_codec_cost +
+                   Batches(p, scanned_rows) * p.batch_dispatch_cost +
+                   out_rows * p.tuple_reconstruct_cost;
+    pruned->width = stats.row_width_bytes * kColumnProjection;
+    pruned->detail = StrFormat("%s prune to ~%.0f%% of segments",
+                               option.why.c_str(), option.fraction * 100.0);
+    if (pruned->cost < best->cost) best = pruned;
+  }
+  return best;
+}
+
+/// The join predicate (if any) connecting `alias` to any alias in `joined`.
+const JoinPredicate* FindConnection(const QuerySpec& spec,
+                                    const std::vector<std::string>& joined,
+                                    const std::string& alias) {
+  for (const JoinPredicate& j : spec.joins) {
+    for (const std::string& a : joined) {
+      if ((j.left_alias == a && j.right_alias == alias) ||
+          (j.right_alias == a && j.left_alias == alias)) {
+        return &j;
+      }
+    }
+  }
+  return nullptr;
+}
+
+double JoinOutputRows(const PlannerCtx& ctx, const QuerySpec& spec,
+                      double outer_rows, double inner_rows,
+                      const JoinPredicate& pred) {
+  const double ndv_l =
+      ColumnNdv(ctx, spec, pred.left_alias, pred.left_column);
+  const double ndv_r =
+      ColumnNdv(ctx, spec, pred.right_alias, pred.right_column);
+  return std::max(1.0, outer_rows * inner_rows / std::max(ndv_l, ndv_r));
+}
+
+/// Vectorized hash join, the engine's only join: a blocking hash build
+/// over the newly joined side, probed in batches by the outer.
+NodePtr MakeHashJoin(const PlannerCtx& ctx, const NodePtr& outer,
+                     const NodePtr& inner, const std::string& detail,
+                     double out_rows) {
+  const ColumnarParams& p = *ctx.params;
+
+  auto build = std::make_shared<ColumnarOptimizer::Node>();
+  build->type = OpType::kHash;
+  build->engine_op = "hash build";
+  build->children = {inner};
+  build->rows = inner->rows;
+  build->width = inner->width;
+  build->cost = inner->cost + inner->rows * p.tuple_reconstruct_cost;
+
+  auto join = std::make_shared<ColumnarOptimizer::Node>();
+  join->type = OpType::kHashJoin;
+  join->engine_op = "vectorized hash join";
+  join->children = {outer, build};
+  join->rows = out_rows;
+  join->width = outer->width + inner->width;
+  join->cost = outer->cost + build->cost +
+               Batches(p, outer->rows) * p.batch_dispatch_cost +
+               outer->rows * 0.25 * p.tuple_reconstruct_cost +
+               out_rows * p.tuple_reconstruct_cost;
+  join->detail = detail;
+  return join;
+}
+
+/// Plans one query block (no subquery handling) with left-deep DP over
+/// hash-join orders.
+Result<NodePtr> PlanBlock(const PlannerCtx& ctx, const QuerySpec& spec) {
+  if (spec.tables.empty()) {
+    return Status::InvalidArgument("query block has no tables");
+  }
+  if (spec.tables.size() > 16) {
+    return Status::InvalidArgument("too many tables in block (max 16)");
+  }
+  const size_t n = spec.tables.size();
+
+  struct DpState {
+    NodePtr node;
+    std::vector<std::string> aliases;
+  };
+  std::map<uint32_t, DpState> dp;
+
+  for (size_t i = 0; i < n; ++i) {
+    Result<NodePtr> scan = ScanPath(ctx, spec, spec.tables[i]);
+    DIADS_RETURN_IF_ERROR(scan.status());
+    dp[1u << i] = DpState{*scan, {spec.tables[i].alias}};
+  }
+
+  for (size_t size = 1; size < n; ++size) {
+    std::vector<uint32_t> masks;
+    for (const auto& [mask, state] : dp) {
+      if (static_cast<size_t>(__builtin_popcount(mask)) == size) {
+        masks.push_back(mask);
+      }
+    }
+    for (uint32_t mask : masks) {
+      const DpState& outer_state = dp[mask];
+      // A cartesian extension is allowed only when nothing better exists:
+      // no remaining table joins this subset (disconnected join graph, or
+      // no predicates at all).
+      bool any_connected = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) continue;
+        if (FindConnection(spec, outer_state.aliases,
+                           spec.tables[i].alias) != nullptr) {
+          any_connected = true;
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) continue;
+        const TableRef& inner_ref = spec.tables[i];
+        // The singleton states already hold each table's best access path.
+        const NodePtr& inner_scan = dp[1u << i].node;
+        const JoinPredicate* pred =
+            FindConnection(spec, outer_state.aliases, inner_ref.alias);
+        NodePtr candidate;
+        if (pred != nullptr) {
+          const double out_rows =
+              JoinOutputRows(ctx, spec, outer_state.node->rows,
+                             inner_scan->rows, *pred);
+          candidate = MakeHashJoin(
+              ctx, outer_state.node, inner_scan,
+              StrFormat("%s.%s = %s.%s", pred->left_alias.c_str(),
+                        pred->left_column.c_str(), pred->right_alias.c_str(),
+                        pred->right_column.c_str()),
+              out_rows);
+        } else if (!any_connected) {
+          candidate = MakeHashJoin(ctx, outer_state.node, inner_scan,
+                                   "cartesian",
+                                   outer_state.node->rows * inner_scan->rows);
+        } else {
+          continue;
+        }
+        const uint32_t new_mask = mask | (1u << i);
+        auto it = dp.find(new_mask);
+        if (it == dp.end() || candidate->cost < it->second.node->cost) {
+          DpState state;
+          state.node = candidate;
+          state.aliases = outer_state.aliases;
+          state.aliases.push_back(inner_ref.alias);
+          dp[new_mask] = std::move(state);
+        }
+      }
+    }
+  }
+
+  const uint32_t full = n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1);
+  auto it = dp.find(full);
+  if (it == dp.end()) {
+    return Status::Internal("join enumeration failed to cover all tables");
+  }
+  NodePtr result = it->second.node;
+
+  if (spec.aggregate) {
+    const ColumnarParams& p = *ctx.params;
+    auto agg = std::make_shared<ColumnarOptimizer::Node>();
+    agg->type = OpType::kAggregate;
+    agg->engine_op = "vectorized hash agg";
+    agg->children = {result};
+    const double groups = std::min(
+        result->rows,
+        ColumnNdv(ctx, spec, spec.agg_group_alias, spec.agg_group_column));
+    agg->rows = std::max(1.0, groups);
+    agg->width = result->width;
+    agg->cost = result->cost +
+                Batches(p, result->rows) * p.batch_dispatch_cost +
+                result->rows * 0.5 * p.tuple_reconstruct_cost +
+                agg->rows * p.tuple_reconstruct_cost;
+    agg->detail = StrFormat("group by %s.%s", spec.agg_group_alias.c_str(),
+                            spec.agg_group_column.c_str());
+    result = agg;
+  }
+  return result;
+}
+
+}  // namespace
+
+ColumnarOptimizer::ColumnarOptimizer(const Catalog* catalog,
+                                     ColumnarParams params)
+    : catalog_(catalog), params_(params) {
+  assert(catalog != nullptr);
+}
+
+Result<Plan> ColumnarOptimizer::Optimize(const QuerySpec& spec) const {
+  PlannerCtx ctx{catalog_, &params_};
+
+  Result<NodePtr> main_r = PlanBlock(ctx, spec);
+  DIADS_RETURN_IF_ERROR(main_r.status());
+  NodePtr root = *main_r;
+
+  if (spec.subplan != nullptr) {
+    // Late materialization of the decorrelated block: the subquery's
+    // result is buffered as a column block and hash-joined back into the
+    // main block — there is no per-row probing machinery to do anything
+    // else with it.
+    Result<NodePtr> sub_r = PlanBlock(ctx, *spec.subplan);
+    DIADS_RETURN_IF_ERROR(sub_r.status());
+    const ColumnarParams& p = params_;
+
+    auto mat = std::make_shared<Node>();
+    mat->type = OpType::kMaterialize;
+    mat->engine_op = "late materialize";
+    mat->children = {*sub_r};
+    mat->rows = (*sub_r)->rows;
+    mat->width = (*sub_r)->width;
+    mat->cost = (*sub_r)->cost +
+                (*sub_r)->rows * 0.5 * p.tuple_reconstruct_cost;
+    mat->detail = "column block buffer";
+
+    const double out_rows =
+        std::max(1.0, root->rows * spec.subplan_join_selectivity);
+    root = MakeHashJoin(
+        ctx, root, mat,
+        StrFormat("%s.%s = %s.%s", spec.subplan_join.left_alias.c_str(),
+                  spec.subplan_join.left_column.c_str(),
+                  spec.subplan_join.right_alias.c_str(),
+                  spec.subplan_join.right_column.c_str()),
+        out_rows);
+  }
+
+  if (spec.sort) {
+    const ColumnarParams& p = params_;
+    auto sort = std::make_shared<Node>();
+    sort->type = OpType::kSort;
+    sort->engine_op = "vectorized merge sort";
+    sort->children = {root};
+    sort->rows = root->rows;
+    sort->width = root->width;
+    const double n = std::max(2.0, root->rows);
+    sort->cost =
+        root->cost + n * std::log2(n) * 0.5 * p.tuple_reconstruct_cost;
+    sort->detail = "order by result keys";
+    root = sort;
+  }
+  if (spec.limit > 0) {
+    auto limit = std::make_shared<Node>();
+    limit->type = OpType::kLimit;
+    limit->engine_op = "limit";
+    limit->children = {root};
+    limit->rows = std::min<double>(spec.limit, root->rows);
+    limit->width = root->width;
+    limit->cost = root->cost;
+    limit->detail = StrFormat("limit %d", spec.limit);
+    root = limit;
+  }
+  auto result_node = std::make_shared<Node>();
+  result_node->type = OpType::kResult;
+  result_node->children = {root};
+  result_node->rows = root->rows;
+  result_node->width = root->width;
+  result_node->cost = root->cost;
+  root = result_node;
+
+  // Flatten the node tree into a Plan (children added before parents).
+  PlanBuilder builder(spec.name);
+  std::function<int(const NodePtr&)> emit = [&](const NodePtr& node) -> int {
+    std::vector<int> children;
+    children.reserve(node->children.size());
+    for (const NodePtr& child : node->children) children.push_back(emit(child));
+    int index;
+    if (node->type == OpType::kSeqScan || node->type == OpType::kIndexScan) {
+      assert(children.empty());
+      index = builder.AddScan(node->type, node->alias, node->table,
+                              node->index_name);
+      builder.SetDetail(index, node->detail);
+    } else {
+      index = builder.AddOp(node->type, children, node->detail);
+    }
+    builder.SetEstimates(index, node->rows, node->cost, node->pages);
+    builder.SetEngineOp(index, node->engine_op);
+    return index;
+  };
+  const int root_index = emit(root);
+  return builder.Build(root_index);
+}
+
+}  // namespace diads::db

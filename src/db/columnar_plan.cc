@@ -1,0 +1,192 @@
+#include "db/columnar_plan.h"
+
+#include "common/status.h"
+
+namespace diads::db {
+
+Result<Plan> MakeColumnarQ2Plan(double scale_factor) {
+  if (scale_factor <= 0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  const double sf = scale_factor;
+  PlanBuilder b("Q2");
+
+  // --- Main block: hash-join chain driven by part --------------------------
+  // O8: part, zone-pruned on the p_size zone maps (clustering 0.3 leaves
+  // ~70% of the segments alive — columnar pruning on a weakly clustered
+  // column is real but modest).
+  const int part =
+      b.AddScan(OpType::kIndexScan, "p", "part", "part_size_idx");
+  b.SetDetail(part, "p_size zones prune to ~70% of segments; p_type like "
+                    "'%BRASS'");
+  b.SetEngineOp(part, "zone-pruned scan");
+  b.SetEstimates(part, 800 * sf, 1550.0 * sf, 930 * sf);
+
+  // O10: partsupp, zone-pruned through the ps_partkey zone maps to ~10% of
+  // segments (V1 leaf #1). Emits every row of the surviving segments; the
+  // join does the rest.
+  const int ps =
+      b.AddScan(OpType::kIndexScan, "ps", "partsupp", "partsupp_partkey_idx");
+  b.SetDetail(ps, "ps_partkey join zones prune to ~10% of segments");
+  b.SetEngineOp(ps, "zone-pruned scan");
+  b.SetEstimates(ps, 80000 * sf, 940.0 * sf, 492 * sf);
+
+  // O9: hash build over the pruned partsupp block.
+  const int ps_hash = b.AddOp(OpType::kHash, {ps}, "");
+  b.SetEngineOp(ps_hash, "hash build");
+  b.SetEstimates(ps_hash, 80000 * sf, 2540.0 * sf);
+
+  // O7: part probes the partsupp hash in batches.
+  const int hj_p_ps = b.AddOp(OpType::kHashJoin, {part, ps_hash},
+                              "p.p_partkey = ps.ps_partkey");
+  b.SetEngineOp(hj_p_ps, "vectorized hash join");
+  b.SetEstimates(hj_p_ps, 3200 * sf, 4220.0 * sf);
+
+  // O12: supplier full vector scan (its only non-unique zone map is on
+  // s_nationkey, which this block does not constrain tightly enough to
+  // beat a straight scan of so small a table).
+  const int supplier = b.AddScan(OpType::kSeqScan, "s", "supplier");
+  b.SetEngineOp(supplier, "vector scan");
+  b.SetEstimates(supplier, 10000 * sf, 310.0 * sf, 68 * sf);
+
+  // O11: hash build over supplier.
+  const int s_hash = b.AddOp(OpType::kHash, {supplier}, "");
+  b.SetEngineOp(s_hash, "hash build");
+  b.SetEstimates(s_hash, 10000 * sf, 510.0 * sf);
+
+  // O6: join with supplier.
+  const int hj_s = b.AddOp(OpType::kHashJoin, {hj_p_ps, s_hash},
+                           "ps.ps_suppkey = s.s_suppkey");
+  b.SetEngineOp(hj_s, "vectorized hash join");
+  b.SetEstimates(hj_s, 3200 * sf, 4900.0 * sf);
+
+  // O14: nation vector scan (25 rows; one batch).
+  const int nation = b.AddScan(OpType::kSeqScan, "n", "nation");
+  b.SetEngineOp(nation, "vector scan");
+  b.SetEstimates(nation, 25, 2.0, 1);
+
+  // O13: hash build over nation.
+  const int n_hash = b.AddOp(OpType::kHash, {nation}, "");
+  b.SetEngineOp(n_hash, "hash build");
+  b.SetEstimates(n_hash, 25, 3.0);
+
+  // O5: join with nation.
+  const int hj_n = b.AddOp(OpType::kHashJoin, {hj_s, n_hash},
+                           "s.s_nationkey = n.n_nationkey");
+  b.SetEngineOp(hj_n, "vectorized hash join");
+  b.SetEstimates(hj_n, 3200 * sf, 4990.0 * sf);
+
+  // O16: region vector scan, EUROPE filter leaves one row.
+  const int region = b.AddScan(OpType::kSeqScan, "r", "region");
+  b.SetDetail(region, "r_name = 'EUROPE'");
+  b.SetEngineOp(region, "vector scan");
+  b.SetEstimates(region, 1, 2.0, 1);
+
+  // O15: hash build over region.
+  const int r_hash = b.AddOp(OpType::kHash, {region}, "");
+  b.SetEngineOp(r_hash, "hash build");
+  b.SetEstimates(r_hash, 1, 3.0);
+
+  // O4: main-block root.
+  const int hj_r = b.AddOp(OpType::kHashJoin, {hj_n, r_hash},
+                           "n.n_regionkey = r.r_regionkey");
+  b.SetEngineOp(hj_r, "vectorized hash join");
+  b.SetEstimates(hj_r, 640 * sf, 5080.0 * sf);
+
+  // --- Subquery block: late-materialized column block ----------------------
+  // O23: partsupp2, zone-pruned through the ps_suppkey zone maps — the
+  // weakly clustered column leaves ~60% of the segments alive, so this is
+  // the engine's heavy V1 reader (V1 leaf #2).
+  const int ps2 =
+      b.AddScan(OpType::kIndexScan, "ps2", "partsupp", "partsupp_suppkey_idx");
+  b.SetDetail(ps2, "ps_suppkey join zones prune to ~60% of segments");
+  b.SetEngineOp(ps2, "zone-pruned scan");
+  b.SetEstimates(ps2, 480000 * sf, 5040.0 * sf, 2950 * sf);
+
+  // O25: supplier2 vector scan drives the build side.
+  const int supplier2 = b.AddScan(OpType::kSeqScan, "s2", "supplier");
+  b.SetEngineOp(supplier2, "vector scan");
+  b.SetEstimates(supplier2, 10000 * sf, 310.0 * sf, 68 * sf);
+
+  // O24: hash build over supplier2.
+  const int s2_hash = b.AddOp(OpType::kHash, {supplier2}, "");
+  b.SetEngineOp(s2_hash, "hash build");
+  b.SetEstimates(s2_hash, 10000 * sf, 510.0 * sf);
+
+  // O22: partsupp2 probes the supplier2 hash in batches.
+  const int hj_ps2_s2 = b.AddOp(OpType::kHashJoin, {ps2, s2_hash},
+                                "ps2.ps_suppkey = s2.s_suppkey");
+  b.SetEngineOp(hj_ps2_s2, "vectorized hash join");
+  b.SetEstimates(hj_ps2_s2, 480000 * sf, 17600.0 * sf);
+
+  // O27: nation2 vector scan.
+  const int nation2 = b.AddScan(OpType::kSeqScan, "n2", "nation");
+  b.SetEngineOp(nation2, "vector scan");
+  b.SetEstimates(nation2, 25, 2.0, 1);
+
+  // O26: hash build over nation2.
+  const int n2_hash = b.AddOp(OpType::kHash, {nation2}, "");
+  b.SetEngineOp(n2_hash, "hash build");
+  b.SetEstimates(n2_hash, 25, 3.0);
+
+  // O21: join with nation2.
+  const int hj_n2 = b.AddOp(OpType::kHashJoin, {hj_ps2_s2, n2_hash},
+                            "s2.s_nationkey = n2.n_nationkey");
+  b.SetEngineOp(hj_n2, "vectorized hash join");
+  b.SetEstimates(hj_n2, 480000 * sf, 29700.0 * sf);
+
+  // O29: region2 vector scan, EUROPE only.
+  const int region2 = b.AddScan(OpType::kSeqScan, "r2", "region");
+  b.SetDetail(region2, "r2.r_name = 'EUROPE'");
+  b.SetEngineOp(region2, "vector scan");
+  b.SetEstimates(region2, 1, 2.0, 1);
+
+  // O28: hash build over region2.
+  const int r2_hash = b.AddOp(OpType::kHash, {region2}, "");
+  b.SetEngineOp(r2_hash, "hash build");
+  b.SetEstimates(r2_hash, 1, 3.0);
+
+  // O20: subquery join chain root.
+  const int hj_r2 = b.AddOp(OpType::kHashJoin, {hj_n2, r2_hash},
+                            "n2.n_regionkey = r2.r_regionkey");
+  b.SetEngineOp(hj_r2, "vectorized hash join");
+  b.SetEstimates(hj_r2, 96000 * sf, 34100.0 * sf);
+
+  // O19: min(ps_supplycost) per part through a vectorized hash aggregate.
+  const int agg = b.AddOp(OpType::kAggregate, {hj_r2},
+                          "min(ps_supplycost) group by ps2.ps_partkey");
+  b.SetEngineOp(agg, "vectorized hash agg");
+  b.SetEstimates(agg, 96000 * sf, 37000.0 * sf);
+
+  // O18: the late-materialized column block the main block joins against.
+  const int mat = b.AddOp(OpType::kMaterialize, {agg}, "column block buffer");
+  b.SetEngineOp(mat, "late materialize");
+  b.SetEstimates(mat, 96000 * sf, 38000.0 * sf);
+
+  // O17: hash build over the subquery block.
+  const int mat_hash = b.AddOp(OpType::kHash, {mat}, "");
+  b.SetEngineOp(mat_hash, "hash build");
+  b.SetEstimates(mat_hash, 96000 * sf, 39900.0 * sf);
+
+  // --- Top of the plan ------------------------------------------------------
+  // O3: main block probes the subquery block.
+  const int hj_top = b.AddOp(
+      OpType::kHashJoin, {hj_r, mat_hash},
+      "ps.ps_partkey = ps2.ps_partkey and ps_supplycost = min_cost");
+  b.SetEngineOp(hj_top, "vectorized hash join");
+  b.SetEstimates(hj_top, 160 * sf, 45200.0 * sf);
+
+  // O2: vectorized merge sort for the ORDER BY.
+  const int sort = b.AddOp(OpType::kSort, {hj_top},
+                           "s_acctbal desc, n_name, s_name, p_partkey");
+  b.SetEngineOp(sort, "vectorized merge sort");
+  b.SetEstimates(sort, 160 * sf, 45250.0 * sf);
+
+  // O1: Result (top 100).
+  const int result = b.AddOp(OpType::kResult, {sort}, "top 100");
+  b.SetEstimates(result, 100, 45250.0 * sf);
+
+  return b.Build(result);
+}
+
+}  // namespace diads::db

@@ -1,0 +1,62 @@
+// The column-store-ish Q2 plan fixture.
+//
+// The columnar analogue of MakePaperQ2Plan(): TPC-H Q2 as the third engine
+// executes it — vectorized hash joins only (build on the newly joined
+// side), zone-pruned or full vector scans at the leaves, a vectorized hash
+// aggregate, and the subquery late-materialized into a column block that
+// is hash-joined back. Same nine leaf scans as the Figure-1 plan, and the
+// same load-bearing structural property: exactly two leaves — the main
+// block's partsupp scan and the subquery block's partsupp scan — read
+// volume V1. The tree (probe-side child first, preorder = O-number;
+// engine access type in brackets):
+//
+//   O1  Result
+//   O2   Sort [vectorized merge sort]       (top-100 suppliers)
+//   O3    Hash Join [vectorized hash join]  (ps_supplycost = min(...))
+//   O4     Hash Join                        (n_regionkey = r_regionkey)
+//   O5      Hash Join                       (s_nationkey = n_nationkey)
+//   O6       Hash Join                      (ps_suppkey = s_suppkey)
+//   O7        Hash Join                     (p_partkey = ps_partkey)
+//   O8         Index Scan part     [zone-pruned, V2]  (p_size zones)
+//   O9         Hash [hash build]
+//   O10         Index Scan partsupp [zone-pruned, V1] (ps_partkey zones)
+//   O11       Hash [hash build]
+//   O12        Seq Scan supplier   [vector scan, V2]
+//   O13      Hash [hash build]
+//   O14       Seq Scan nation      [vector scan, V2]
+//   O15     Hash [hash build]
+//   O16      Seq Scan region       [vector scan, V2]  (r_name = 'EUROPE')
+//   O17    Hash [hash build]
+//   O18     Materialize [late materialize]  (subquery column block)
+//   O19      Aggregate [vectorized hash agg] (min cost by ps2.ps_partkey)
+//   O20       Hash Join                     (n2_regionkey = r2_regionkey)
+//   O21        Hash Join                    (s2_nationkey = n2_nationkey)
+//   O22         Hash Join                   (ps2_suppkey = s2_suppkey)
+//   O23          Index Scan partsupp2 [zone-pruned, V1] (ps_suppkey zones)
+//   O24          Hash [hash build]
+//   O25           Seq Scan supplier2 [vector scan, V2]
+//   O26        Hash [hash build]
+//   O27         Seq Scan nation2    [vector scan, V2]
+//   O28      Hash [hash build]
+//   O29       Seq Scan region2     [vector scan, V2]  (r2_name = 'EUROPE')
+//
+// Under the shared pipelined execution model the blocking operators (every
+// Hash build, the Sort, the Materialize/Aggregate pair) split this into
+// the same event-propagation shape as the other fixtures: V1 contention
+// stretches the pipelines holding O10 and O23 while the build boundaries
+// keep them separable.
+#ifndef DIADS_DB_COLUMNAR_PLAN_H_
+#define DIADS_DB_COLUMNAR_PLAN_H_
+
+#include "common/status.h"
+#include "db/plan.h"
+
+namespace diads::db {
+
+/// Builds the column-store-ish Q2 plan with row/page estimates calibrated
+/// for the BuildTpchCatalog statistics at `scale_factor`.
+Result<Plan> MakeColumnarQ2Plan(double scale_factor = 1.0);
+
+}  // namespace diads::db
+
+#endif  // DIADS_DB_COLUMNAR_PLAN_H_

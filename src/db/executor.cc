@@ -52,11 +52,20 @@ Result<std::vector<Executor::OpWork>> Executor::ComputeActualRows(
             (*table)->actual_stats.row_count /
             std::max(1.0, (*table)->optimizer_stats.row_count);
         ratio *= table_ratio;
+        // Physical-layout degradation inflates page reads only: compression
+        // drift and stale zone maps make the same logical rows touch more
+        // segment pages, while actual_rows (and so Module CR's record
+        // counts) stay exactly where the plan put them.
+        double bloat = (*table)->storage_bloat;
+        if (op.type == OpType::kIndexScan) {
+          Result<const IndexDef*> via = ctx_.catalog->FindIndex(op.index_name);
+          if (via.ok()) bloat *= (*via)->scan_bloat;
+        }
         const double jitter = std::max(0.8, rng_.Normal(1.0, 0.015));
         work[static_cast<size_t>(index)].actual_rows =
             std::max(0.0, planned * table_ratio * jitter);
         work[static_cast<size_t>(index)].physical_reads =
-            op.est_pages * table_ratio * jitter;
+            op.est_pages * table_ratio * bloat * jitter;
       } else {
         work[static_cast<size_t>(index)].actual_rows = op.est_rows;
         work[static_cast<size_t>(index)].physical_reads = op.est_pages;

@@ -121,6 +121,10 @@ const char* RootCauseTypeName(RootCauseType type) {
       return "Asymmetric multipath load imbalance";
     case RootCauseType::kRetryStorm:
       return "I/O retry storm cascade";
+    case RootCauseType::kCompressionRatioDrift:
+      return "Compression ratio drift inflating scan I/O";
+    case RootCauseType::kZoneMapStaleness:
+      return "Stale zone maps defeating segment pruning";
   }
   return "?";
 }

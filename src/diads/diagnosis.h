@@ -197,6 +197,10 @@ enum class RootCauseType {
   kHbaFailure,
   kMultipathImbalance,
   kRetryStorm,
+  // Column-store storage-layout causes (appended; values are stable in
+  // digests).
+  kCompressionRatioDrift,
+  kZoneMapStaleness,
 };
 
 const char* RootCauseTypeName(RootCauseType type);

@@ -57,9 +57,13 @@ std::vector<int> OperatorsAffectedBy(const DiagnosisContext& ctx,
       }
       break;
     }
-    case RootCauseType::kLockContention: {
-      // op(R) = leaves scanning the locked table (subject), falling back to
-      // all COS leaves when the table is unknown.
+    case RootCauseType::kLockContention:
+    // Storage-layout degradation is table-scoped exactly like lock
+    // contention: the drifted/stale table's leaves pay the extra reads.
+    case RootCauseType::kCompressionRatioDrift:
+    case RootCauseType::kZoneMapStaleness: {
+      // op(R) = leaves scanning the affected table (subject), falling back
+      // to all COS leaves when the table is unknown.
       bool found = false;
       if (registry.Contains(cause.subject) &&
           registry.KindOf(cause.subject) == ComponentKind::kTable) {

@@ -93,6 +93,17 @@ std::string RenderFullReport(const DiagnosisContext& ctx,
                "until the queue drains; retries are amplifying the original "
                "slowdown.";
         break;
+      case RootCauseType::kCompressionRatioDrift:
+        out += "reorganize (recompress) the drifted table's segments; churn "
+               "has degraded the compression ratio, so every scan reads far "
+               "more pages for the same rows.";
+        break;
+      case RootCauseType::kZoneMapStaleness:
+        out += "rebuild the table's zone maps (or lower "
+               "zone_map_refresh_threshold); stale min/max metadata is "
+               "defeating segment pruning, so scans touch segments they "
+               "should skip.";
+        break;
     }
     out += "\n\n";
   }

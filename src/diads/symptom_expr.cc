@@ -575,7 +575,8 @@ Result<EventType> ParseEventTypeName(const std::string& name) {
       EventType::kSwitchFailed,        EventType::kSwitchRecovered,
       EventType::kLinkFailed,          EventType::kLinkRecovered,
       EventType::kPortDegraded,        EventType::kPathFailover,
-      EventType::kRetryStormDetected,
+      EventType::kRetryStormDetected,  EventType::kCompressionRatioDrifted,
+      EventType::kZoneMapStale,
   };
   static const std::unordered_map<std::string, EventType>* kByName = [] {
     auto* map = new std::unordered_map<std::string, EventType>();

@@ -213,6 +213,42 @@ SymptomsDb SymptomsDb::MakeDefault() {
           {"volume_metric_anomaly(volume=$V)", 10},
           {"op_anomaly_majority(volume=$V)", 10},
       }));
+
+  // Scenario C1's root cause (columnar engine): churny DML degraded the
+  // segment compression ratio, so every scan of the table reads more pages
+  // for the same logical rows. The engine's churn monitor logs the drift;
+  // the bulk of the weight is gated on that event so the entry stays below
+  // the report floor on engines that have no segments at all.
+  must(db.AddEntry(
+      "compression-ratio-drift", RootCauseType::kCompressionRatioDrift,
+      /*bind_volumes=*/false,
+      {
+          {"event(type=CompressionRatioDrifted)", 40},
+          {"event(type=CompressionRatioDrifted) and no_plan_change()", 15},
+          {"event(type=CompressionRatioDrifted) and "
+           "not record_count_change()",
+           15},
+          {"event(type=CompressionRatioDrifted) and db_blocks_read_high()",
+           10},
+          {"op_anomaly_exists()", 12},
+          {"db_blocks_read_high()", 8},
+      }));
+
+  // Scenario C2's root cause (columnar engine): stale zone maps stop
+  // pruning, so zone-pruned scans — and only those — read segments they
+  // should skip. Gated the same way as C1; the two are distinguished by
+  // which engine event fired, exactly as a DBA would tell them apart.
+  must(db.AddEntry(
+      "zone-map-staleness", RootCauseType::kZoneMapStaleness,
+      /*bind_volumes=*/false,
+      {
+          {"event(type=ZoneMapStale)", 40},
+          {"event(type=ZoneMapStale) and no_plan_change()", 15},
+          {"event(type=ZoneMapStale) and not record_count_change()", 15},
+          {"event(type=ZoneMapStale) and db_blocks_read_high()", 10},
+          {"op_anomaly_exists()", 12},
+          {"db_blocks_read_high()", 8},
+      }));
   return db;
 }
 
@@ -257,6 +293,18 @@ ComponentId CauseSubject(const RootCauseEntry& entry, ComponentId bound_volume,
     case RootCauseType::kMultipathImbalance: {
       const std::vector<SystemEvent> events = ctx.events->EventsOfTypeIn(
           EventType::kPortDegraded, ctx.AnalysisWindow());
+      if (!events.empty()) return events.front().subject;
+      return ctx.database;
+    }
+    case RootCauseType::kCompressionRatioDrift: {
+      const std::vector<SystemEvent> events = ctx.events->EventsOfTypeIn(
+          EventType::kCompressionRatioDrifted, ctx.AnalysisWindow());
+      if (!events.empty()) return events.front().subject;
+      return ctx.database;
+    }
+    case RootCauseType::kZoneMapStaleness: {
+      const std::vector<SystemEvent> events = ctx.events->EventsOfTypeIn(
+          EventType::kZoneMapStale, ctx.AnalysisWindow());
       if (!events.empty()) return events.front().subject;
       return ctx.database;
     }

@@ -214,6 +214,65 @@ Status FaultInjector::InjectPortDegradation(SimTimeMs t, ComponentId port,
   return testbed_->config_db.DegradePort(t, port, capacity_factor);
 }
 
+Status FaultInjector::InjectCompressionDrift(SimTimeMs t,
+                                             const std::string& table,
+                                             double bloat) {
+  Testbed& tb = *testbed_;
+  // The storage-layout change itself: every scan of the table now reads
+  // `bloat` times the pages for the same logical rows. Row counts and
+  // optimizer statistics are untouched — the optimizer keeps the same plan
+  // and the same estimates, which is exactly the gap DIADS has to close.
+  DIADS_RETURN_IF_ERROR(tb.catalog.SetTableStorageBloatSilently(table, bloat));
+
+  Result<const db::TableDef*> def = tb.catalog.FindTable(table);
+  DIADS_RETURN_IF_ERROR(def.status());
+  // The engine's churn monitor notices the ratio moving (it tracks bytes
+  // written vs bytes stored); it logs the drift but cannot say what the
+  // drift costs any particular query.
+  SystemEvent event;
+  event.time = t;
+  event.type = EventType::kCompressionRatioDrifted;
+  event.subject = (*def)->id;
+  event.description = StrFormat(
+      "segment compression ratio on '%s' degraded under churny DML "
+      "(~%.1fx pages per logical row)",
+      table.c_str(), bloat);
+  event.attrs["table"] = table;
+  event.attrs["bloat"] = FormatDouble(bloat, 3);
+  return tb.event_log.Append(std::move(event));
+}
+
+Status FaultInjector::InjectZoneMapStaleness(SimTimeMs t,
+                                             const std::string& table,
+                                             double bloat) {
+  Testbed& tb = *testbed_;
+  // Stale min/max metadata only hurts the scans that consult it: every
+  // zone map on the table stops pruning, so zone-pruned scans read `bloat`
+  // times the segments. Full vector scans never consult zone maps and are
+  // unaffected — that operator-level asymmetry is C2's fingerprint.
+  std::vector<const db::IndexDef*> zone_maps = tb.catalog.IndexesOn(table, "");
+  if (zone_maps.empty()) {
+    return Status::InvalidArgument("no zone maps on table: " + table);
+  }
+  for (const db::IndexDef* zm : zone_maps) {
+    DIADS_RETURN_IF_ERROR(
+        tb.catalog.SetIndexScanBloatSilently(zm->name, bloat));
+  }
+
+  Result<const db::TableDef*> def = tb.catalog.FindTable(table);
+  DIADS_RETURN_IF_ERROR(def.status());
+  SystemEvent event;
+  event.time = t;
+  event.type = EventType::kZoneMapStale;
+  event.subject = (*def)->id;
+  event.description = StrFormat(
+      "zone maps on '%s' stale after unsorted loads; segment pruning "
+      "ineffective (%zu zone maps affected)",
+      table.c_str(), zone_maps.size());
+  event.attrs["table"] = table;
+  return tb.event_log.Append(std::move(event));
+}
+
 Status FaultInjector::InjectRetrySnowball(ComponentId volume,
                                           const TimeInterval& window,
                                           SimTimeMs escalation) {

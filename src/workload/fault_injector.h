@@ -113,6 +113,24 @@ class FaultInjector {
   Status InjectPortDegradation(SimTimeMs t, ComponentId port,
                                double capacity_factor);
 
+  // --- Column-store storage-layout faults (C1-C2) ---------------------------
+
+  /// C1: compression-ratio drift on `table`. Churny DML has degraded the
+  /// segment compression ratio, so every scan of the table reads `bloat`
+  /// times the pages for the same logical rows — row counts (and the plan)
+  /// are untouched. The engine's own churn monitor logs the drift; only a
+  /// segment reorganization would heal it.
+  Status InjectCompressionDrift(SimTimeMs t, const std::string& table,
+                                double bloat = 2.2);
+
+  /// C2: zone-map staleness on `table`. The min/max metadata no longer
+  /// matches the segments, so zone-pruned scans (and only those) read
+  /// `bloat` times the segments they should — full vector scans are
+  /// unaffected, which is what distinguishes this from C1 at the operator
+  /// level.
+  Status InjectZoneMapStaleness(SimTimeMs t, const std::string& table,
+                                double bloat = 2.5);
+
   /// F4: a retry snowball on `volume` — unmonitored queue pressure from
   /// `window.begin`, then an escalation step `escalation` later as
   /// timed-out I/Os are reissued, with the driver's retry-storm alarm

@@ -40,6 +40,10 @@ const char* ScenarioName(ScenarioId id) {
       return "F3-isl-rebuild-crosstalk";
     case ScenarioId::kF4RetrySnowball:
       return "F4-retry-snowball";
+    case ScenarioId::kC1CompressionDrift:
+      return "C1-compression-drift";
+    case ScenarioId::kC2ZoneMapStale:
+      return "C2-zone-map-stale";
   }
   return "?";
 }
@@ -66,7 +70,8 @@ const char* ScenarioDescription(ScenarioId id) {
       return "Index drop forces the optimizer onto a slower plan";
     case ScenarioId::kS7ParamChange:
       return "cost-parameter misconfiguration flips the plan "
-             "(random_page_cost on PostgreSQL, io_block_read_cost on MySQL)";
+             "(random_page_cost on PostgreSQL, io_block_read_cost on MySQL, "
+             "zone_map_consult_cost on the columnar engine)";
     case ScenarioId::kS8AnalyzeAfterDrift:
       return "ANALYZE after silent data drift changes the plan";
     case ScenarioId::kS9CpuSaturation:
@@ -87,6 +92,13 @@ const char* ScenarioDescription(ScenarioId id) {
     case ScenarioId::kF4RetrySnowball:
       return "Timed-out I/Os get reissued into an already-slow volume, "
              "snowballing into a retry storm";
+    case ScenarioId::kC1CompressionDrift:
+      return "Segment compression ratio drifts under churny DML, inflating "
+             "every scan of the table without changing a single row count";
+    case ScenarioId::kC2ZoneMapStale:
+      return "Stale zone maps defeat segment pruning: zone-pruned scans "
+             "read segments they should skip, full vector scans are "
+             "unaffected";
   }
   return "?";
 }
@@ -171,6 +183,15 @@ Result<ScenarioOutput> RunScenario(ScenarioId id,
                                   id == ScenarioId::kF2MultipathImbalance ||
                                   id == ScenarioId::kF3IslRebuildCrosstalk ||
                                   id == ScenarioId::kF4RetrySnowball;
+  const bool columnar_scenario = id == ScenarioId::kC1CompressionDrift ||
+                                 id == ScenarioId::kC2ZoneMapStale;
+  if (columnar_scenario &&
+      opts.testbed.backend != db::BackendKind::kColumnar) {
+    return Status::InvalidArgument(
+        StrFormat("%s is column-store-native; backend '%s' has no segments",
+                  ScenarioName(id),
+                  db::BackendKindName(opts.testbed.backend)));
+  }
   DIADS_ASSIGN_OR_RETURN(std::unique_ptr<Testbed> tb,
                          multipath_scenario
                              ? BuildMultipathTestbed(opts.testbed)
@@ -400,6 +421,20 @@ Result<ScenarioOutput> RunScenario(ScenarioId id,
       DIADS_RETURN_IF_ERROR(
           injector.InjectRetrySnowball(tb->v1, fault_window, Minutes(15)));
       out.ground_truth = {{diag::RootCauseType::kRetryStorm, "V1", true}};
+      break;
+    case ScenarioId::kC1CompressionDrift:
+      // partsupp carries both heavy leaves (the paper plan's V1 hot spot),
+      // so the drift inflates exactly the scans whose I/O dominates Q2.
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectCompressionDrift(t_fault, "partsupp", 2.2));
+      out.ground_truth = {{diag::RootCauseType::kCompressionRatioDrift,
+                           "table:partsupp", true}};
+      break;
+    case ScenarioId::kC2ZoneMapStale:
+      DIADS_RETURN_IF_ERROR(
+          injector.InjectZoneMapStaleness(t_fault, "partsupp", 2.5));
+      out.ground_truth = {{diag::RootCauseType::kZoneMapStaleness,
+                           "table:partsupp", true}};
       break;
   }
 

@@ -28,6 +28,12 @@
 //   F2  A degraded port unbalances the multipath split
 //   F3  RAID rebuild whose replication stream crosses a shared ISL
 //   F4  I/O retry storm snowballs an ordinary slowdown
+//
+// The C family is column-store-native and only runs when the testbed's
+// backend is the columnar engine (other engines have no segments to
+// degrade; RunScenario rejects the combination):
+//   C1  Compression-ratio drift inflates every scan of a table
+//   C2  Stale zone maps defeat segment pruning on zone-pruned scans
 #ifndef DIADS_WORKLOAD_SCENARIO_H_
 #define DIADS_WORKLOAD_SCENARIO_H_
 
@@ -61,6 +67,9 @@ enum class ScenarioId {
   kF2MultipathImbalance,
   kF3IslRebuildCrosstalk,
   kF4RetrySnowball,
+  // Column-store family: requires TestbedOptions::backend == kColumnar.
+  kC1CompressionDrift,
+  kC2ZoneMapStale,
 };
 
 const char* ScenarioName(ScenarioId id);

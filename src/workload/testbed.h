@@ -2,7 +2,8 @@
 //
 // Assembles the complete evaluation environment of Section 5: a database
 // engine (PostgreSQL-like by default; see TestbedOptions::backend for the
-// MySQL-like alternative) on a RedHat server, connected through an edge/core FC
+// MySQL-like and column-store alternatives) on a RedHat server, connected
+// through an edge/core FC
 // fabric to an IBM DS6000-class storage subsystem with two RAID pools —
 // P1 (disks 1-4) carrying volumes V1 and V3, P2 (disks 5-10) carrying V2
 // and V4 — plus a second application server whose workloads drive V3/V4 as
@@ -45,15 +46,17 @@ namespace diads::workload {
 /// Testbed construction knobs.
 struct TestbedOptions {
   uint64_t seed = 42;
-  /// The database engine under test. Every knob below applies to either
-  /// backend; engine-specific parameters live on the backend itself.
+  /// The database engine under test (postgres, mysql, or columnar). Every
+  /// knob below applies to every backend; engine-specific parameters live
+  /// on the backend itself (see AllBackendKinds and BackendInit).
   db::BackendKind backend = db::BackendKind::kPostgres;
   double scale_factor = 1.0;
   SimTimeMs monitoring_interval = Minutes(5);
   /// Small enough that partsupp does not fully fit — its scans do real I/O.
   double buffer_pool_mb = 96.0;
-  /// PostgreSQL parameter seed; ignored by other backends (tune those via
-  /// backend->SetParam in their own vocabulary — see BackendInit).
+  /// PostgreSQL parameter seed; ignored by the MySQL-like and columnar
+  /// backends (tune those via backend->SetParam in their own vocabularies —
+  /// see BackendInit).
   db::DbParams db_params;
   /// Multipath testbed only: additionally generate LargeFabricSpec() into
   /// the same registry/topology, pushing it past 1000 components — the

@@ -3,7 +3,8 @@
 // The headline contract of the backend abstraction: every Table-1 /
 // plan-change scenario must behave identically — in diagnosis outcome, APG
 // structural schema, and recorded ReportDigest — whichever engine the
-// testbed runs. 12 scenarios x 2 backends = 24 diagnosed configurations:
+// testbed runs. 16 backend-neutral scenarios x 3 backends plus the two
+// column-store-native scenarios = 50 diagnosed configurations:
 //
 //   * DiagnosesInjectedRootCause — the full workflow localises the
 //     injected fault with high confidence and ranks it top, per
@@ -125,6 +126,25 @@ TEST(BackendVocabularyTest, MysqlPlansCarryMysqlVocabulary) {
   EXPECT_TRUE(vocab.count("ALL"));
 }
 
+TEST(BackendVocabularyTest, ColumnarPlansCarryColumnarVocabulary) {
+  Result<const DiagnosedScenario*> d =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kColumnar);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  const db::Plan& plan = (*d)->scenario.apg->plan();
+  for (const db::PlanOp& op : plan.ops()) {
+    EXPECT_NE(op.type, db::OpType::kNestLoopJoin)
+        << "the column store joins by hashing only";
+    EXPECT_NE(op.type, db::OpType::kMergeJoin);
+  }
+  std::set<std::string> vocab;
+  for (const db::PlanOp& op : plan.ops()) vocab.insert(op.engine_op);
+  EXPECT_TRUE(vocab.count("vector scan"));
+  EXPECT_TRUE(vocab.count("zone-pruned scan"));
+  EXPECT_TRUE(vocab.count("vectorized hash join"));
+  EXPECT_TRUE(vocab.count("hash build"));
+  EXPECT_TRUE(vocab.count("late materialize"));
+}
+
 TEST(BackendVocabularyTest, PostgresPlansKeepHashJoins) {
   Result<const DiagnosedScenario*> d =
       GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kPostgres);
@@ -140,47 +160,51 @@ TEST(BackendVocabularyTest, PostgresPlansKeepHashJoins) {
 
 // --- Cross-backend parity properties -----------------------------------------
 
-// Semantically identical testbeds built through either backend expose the
+// Semantically identical testbeds built through any backend expose the
 // same SAN component universe (same names, same ids — the registry orders
 // registration identically), so fleet-level tooling never needs to know
-// the engine.
+// the engine. Generalised over AllBackendKinds(): every backend is
+// compared against the first, so adding a fourth engine extends the
+// property automatically.
 TEST(BackendParityTest, SanComponentUniverseIdentical) {
-  Result<const DiagnosedScenario*> pg =
-      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kPostgres);
-  Result<const DiagnosedScenario*> my =
-      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kMysql);
-  ASSERT_TRUE(pg.ok() && my.ok());
-  const ComponentRegistry& pg_reg = (*pg)->scenario.testbed->registry;
-  const ComponentRegistry& my_reg = (*my)->scenario.testbed->registry;
-  for (ComponentKind kind :
-       {ComponentKind::kServer, ComponentKind::kFcSwitch,
-        ComponentKind::kStorageSubsystem, ComponentKind::kStoragePool,
-        ComponentKind::kVolume, ComponentKind::kDisk}) {
-    const std::vector<ComponentId> pg_ids = pg_reg.AllOfKind(kind);
-    const std::vector<ComponentId> my_ids = my_reg.AllOfKind(kind);
-    ASSERT_EQ(pg_ids.size(), my_ids.size())
-        << ComponentKindName(kind) << " count differs";
-    for (size_t i = 0; i < pg_ids.size(); ++i) {
-      EXPECT_EQ(pg_ids[i].value, my_ids[i].value);
-      EXPECT_EQ(pg_reg.NameOf(pg_ids[i]), my_reg.NameOf(my_ids[i]));
+  const std::vector<BackendKind> kinds = db::AllBackendKinds();
+  ASSERT_GE(kinds.size(), 3u);
+  Result<const DiagnosedScenario*> base =
+      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, kinds[0]);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const ComponentRegistry& base_reg = (*base)->scenario.testbed->registry;
+  for (size_t k = 1; k < kinds.size(); ++k) {
+    SCOPED_TRACE(db::BackendKindName(kinds[k]));
+    Result<const DiagnosedScenario*> other =
+        GetDiagnosed(ScenarioId::kS1SanMisconfiguration, kinds[k]);
+    ASSERT_TRUE(other.ok()) << other.status().ToString();
+    const ComponentRegistry& other_reg =
+        (*other)->scenario.testbed->registry;
+    for (ComponentKind kind :
+         {ComponentKind::kServer, ComponentKind::kFcSwitch,
+          ComponentKind::kStorageSubsystem, ComponentKind::kStoragePool,
+          ComponentKind::kVolume, ComponentKind::kDisk}) {
+      const std::vector<ComponentId> base_ids = base_reg.AllOfKind(kind);
+      const std::vector<ComponentId> other_ids = other_reg.AllOfKind(kind);
+      ASSERT_EQ(base_ids.size(), other_ids.size())
+          << ComponentKindName(kind) << " count differs";
+      for (size_t i = 0; i < base_ids.size(); ++i) {
+        EXPECT_EQ(base_ids[i].value, other_ids[i].value);
+        EXPECT_EQ(base_reg.NameOf(base_ids[i]),
+                  other_reg.NameOf(other_ids[i]));
+      }
     }
+    // The database component differs in name (postgres@ vs mysql@ vs
+    // columnar@) but not in identity.
+    EXPECT_EQ((*base)->scenario.testbed->database.value,
+              (*other)->scenario.testbed->database.value);
   }
-  // The database component differs in name (postgres@ vs mysql@) but not
-  // in identity.
-  EXPECT_EQ((*pg)->scenario.testbed->database.value,
-            (*my)->scenario.testbed->database.value);
 }
 
 // Property (satellite): SeriesKeyHash-keyed metric lookups and
 // SymptomIndex::CollectMetricKeys return identical key sets for
-// semantically identical testbeds built through either backend.
+// semantically identical testbeds built through any backend.
 TEST(BackendParityTest, CollectMetricKeysIdenticalAcrossBackends) {
-  Result<const DiagnosedScenario*> pg =
-      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kPostgres);
-  Result<const DiagnosedScenario*> my =
-      GetDiagnosed(ScenarioId::kS1SanMisconfiguration, BackendKind::kMysql);
-  ASSERT_TRUE(pg.ok() && my.ok());
-
   auto keys_of = [](const DiagnosedScenario& d) {
     diag::DiagnosisContext ctx = d.scenario.MakeContext();
     std::vector<monitor::SeriesKey> keys =
@@ -192,18 +216,29 @@ TEST(BackendParityTest, CollectMetricKeysIdenticalAcrossBackends) {
     EXPECT_EQ(out.size(), keys.size()) << "duplicate keys";
     return out;
   };
-  const auto pg_keys = keys_of(**pg);
-  const auto my_keys = keys_of(**my);
-  EXPECT_FALSE(pg_keys.empty());
-  EXPECT_EQ(pg_keys, my_keys);
+
+  std::vector<const DiagnosedScenario*> diagnosed;
+  for (BackendKind kind : db::AllBackendKinds()) {
+    Result<const DiagnosedScenario*> d =
+        GetDiagnosed(ScenarioId::kS1SanMisconfiguration, kind);
+    ASSERT_TRUE(d.ok()) << db::BackendKindName(kind) << ": "
+                        << d.status().ToString();
+    diagnosed.push_back(*d);
+  }
+  const auto base_keys = keys_of(*diagnosed[0]);
+  EXPECT_FALSE(base_keys.empty());
+  for (size_t k = 1; k < diagnosed.size(); ++k) {
+    SCOPED_TRACE(db::BackendKindName(db::AllBackendKinds()[k]));
+    EXPECT_EQ(base_keys, keys_of(*diagnosed[k]));
+  }
 
   // Key-set equality above implies SeriesKeyHash equality (the hash is a
   // stateless function of the key), so sharded stores and caches place
-  // both backends' series the same way. What still needs checking is
-  // residency: every planned key is actually a live series in BOTH
-  // backends' stores, i.e. the collectors produced the same inventory.
-  for (const auto& [component, metric] : pg_keys) {
-    for (const DiagnosedScenario* d : {&**pg, &**my}) {
+  // every backend's series the same way. What still needs checking is
+  // residency: every planned key is actually a live series in EVERY
+  // backend's store, i.e. the collectors produced the same inventory.
+  for (const auto& [component, metric] : base_keys) {
+    for (const DiagnosedScenario* d : diagnosed) {
       const auto metrics =
           d->scenario.testbed->store.MetricsFor(ComponentId{component});
       EXPECT_TRUE(std::find(metrics.begin(), metrics.end(),

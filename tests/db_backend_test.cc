@@ -1,13 +1,16 @@
-// Unit tests for the DbBackend abstraction and the MySQL-ish engine:
-// parameter vocabularies, cost-model character (flat I/O cost,
-// index-nested-loop bias, BNL fallback), plan fixtures, what-if
-// re-optimisation, and the engines' diverging DML/ANALYZE statistics
-// semantics.
+// Unit tests for the DbBackend abstraction and the non-default engines:
+// parameter vocabularies (pairwise disjoint except buffer_pool_mb),
+// cost-model character (MySQL's flat I/O cost, index-nested-loop bias and
+// BNL fallback; the column store's vectorized scans and zone-map pruning),
+// plan fixtures, what-if re-optimisation, and the engines' diverging
+// DML/ANALYZE statistics semantics.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "db/backend.h"
+#include "db/columnar_backend.h"
+#include "db/columnar_plan.h"
 #include "db/mysql_backend.h"
 #include "db/mysql_optimizer.h"
 #include "db/mysql_plan.h"
@@ -64,20 +67,37 @@ TEST_F(BackendTest, DatabaseComponentNamesAreEngineSpecific) {
             "postgres@dbserver");
   EXPECT_EQ(Make(BackendKind::kMysql)->DatabaseComponentName("dbserver"),
             "mysql@dbserver");
+  EXPECT_EQ(Make(BackendKind::kColumnar)->DatabaseComponentName("dbserver"),
+            "columnar@dbserver");
 }
 
 TEST_F(BackendTest, ParamVocabulariesAreDisjointWhereTheEnginesDiffer) {
   auto pg = Make(BackendKind::kPostgres);
   auto my = Make(BackendKind::kMysql);
+  auto col = Make(BackendKind::kColumnar);
   // random_page_cost exists only on PostgreSQL; io_block_read_cost only on
-  // MySQL — each engine rejects the other's knob.
+  // MySQL; the zone-map / batch knobs only on the columnar engine — each
+  // engine rejects the others' knobs.
   EXPECT_TRUE(pg->GetParam("random_page_cost").ok());
   EXPECT_FALSE(my->GetParam("random_page_cost").ok());
   EXPECT_FALSE(my->SetParam("random_page_cost", 40.0).ok());
+  EXPECT_FALSE(col->GetParam("random_page_cost").ok());
+  EXPECT_FALSE(col->SetParam("random_page_cost", 40.0).ok());
   EXPECT_TRUE(my->GetParam("io_block_read_cost").ok());
   EXPECT_FALSE(pg->GetParam("io_block_read_cost").ok());
-  // Every advertised name is readable on its own engine.
+  EXPECT_FALSE(col->GetParam("io_block_read_cost").ok());
+  EXPECT_TRUE(col->GetParam("vector_batch_rows").ok());
+  EXPECT_TRUE(col->GetParam("zone_map_consult_cost").ok());
   for (const auto& backend : {pg.get(), my.get()}) {
+    EXPECT_FALSE(backend->GetParam("vector_batch_rows").ok())
+        << backend->name();
+    EXPECT_FALSE(backend->SetParam("vector_batch_rows", 1024.0).ok())
+        << backend->name();
+    EXPECT_FALSE(backend->GetParam("zone_map_consult_cost").ok())
+        << backend->name();
+  }
+  // Every advertised name is readable on its own engine.
+  for (const auto& backend : {pg.get(), my.get(), col.get()}) {
     for (const std::string& name : backend->ParamNames()) {
       EXPECT_TRUE(backend->GetParam(name).ok()) << name;
     }
@@ -138,6 +158,46 @@ TEST_F(BackendTest, MysqlMisconfigKnobFlipsThePlanAndWhatIfRevertsIt) {
   EXPECT_EQ(my->OptimizeQuery(spec)->Fingerprint(), flipped);
 }
 
+TEST_F(BackendTest, ColumnarOptimizerUsesColumnarVocabulary) {
+  auto col = Make(BackendKind::kColumnar);
+  Result<Plan> plan = col->OptimizeQuery(MakeTpchQ2Spec());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::set<std::string> vocab;
+  for (const PlanOp& op : plan->ops()) {
+    EXPECT_NE(op.type, OpType::kNestLoopJoin)
+        << "the column store joins by hashing only";
+    EXPECT_NE(op.type, OpType::kMergeJoin);
+    vocab.insert(op.engine_op);
+  }
+  EXPECT_TRUE(vocab.count("vector scan"));
+  EXPECT_TRUE(vocab.count("zone-pruned scan"));
+  EXPECT_TRUE(vocab.count("vectorized hash join"));
+  EXPECT_TRUE(vocab.count("late materialize")) << "subplan must materialize";
+}
+
+TEST_F(BackendTest, ColumnarMisconfigKnobFlipsThePlanAndWhatIfRevertsIt) {
+  auto col = Make(BackendKind::kColumnar);
+  const QuerySpec spec = MakeTpchQ2Spec();
+  const uint64_t base = col->OptimizeQuery(spec)->Fingerprint();
+  const PlanMisconfigKnob knob = col->MisconfigKnob();
+  const double old_value = *col->GetParam(knob.param);
+  ASSERT_TRUE(col->SetParam(knob.param, knob.bad_value).ok());
+  const uint64_t flipped = col->OptimizeQuery(spec)->Fingerprint();
+  EXPECT_NE(flipped, base)
+      << "an expensive zone-map consult must abandon pruned scans";
+  // Module PD's what-if: re-optimising with the old value reproduces the
+  // satisfactory-era plan without touching the live parameters.
+  Result<Plan> what_if = col->OptimizeQueryWithParam(spec, knob.param,
+                                                     old_value);
+  ASSERT_TRUE(what_if.ok());
+  EXPECT_EQ(what_if->Fingerprint(), base);
+  EXPECT_EQ(col->OptimizeQuery(spec)->Fingerprint(), flipped);
+  // And the revert round-trip: restoring the live parameter restores the
+  // original plan exactly.
+  ASSERT_TRUE(col->SetParam(knob.param, old_value).ok());
+  EXPECT_EQ(col->OptimizeQuery(spec)->Fingerprint(), base);
+}
+
 TEST_F(BackendTest, FixturePlansShareTheStructuralContract) {
   for (BackendKind kind : AllBackendKinds()) {
     auto backend = Make(kind);
@@ -151,9 +211,31 @@ TEST_F(BackendTest, FixturePlansShareTheStructuralContract) {
     }
     EXPECT_EQ(partsupp_leaves, 2) << backend->name();
   }
-  // The vocabularies differ: fingerprints must not collide.
-  EXPECT_NE(Make(BackendKind::kPostgres)->MakePaperPlan()->Fingerprint(),
-            Make(BackendKind::kMysql)->MakePaperPlan()->Fingerprint());
+  // The vocabularies differ: no pair of engines may collide.
+  std::vector<uint64_t> fingerprints;
+  for (BackendKind kind : AllBackendKinds()) {
+    fingerprints.push_back(Make(kind)->MakePaperPlan()->Fingerprint());
+  }
+  for (size_t i = 0; i < fingerprints.size(); ++i) {
+    for (size_t j = i + 1; j < fingerprints.size(); ++j) {
+      EXPECT_NE(fingerprints[i], fingerprints[j])
+          << BackendKindName(AllBackendKinds()[i]) << " vs "
+          << BackendKindName(AllBackendKinds()[j]);
+    }
+  }
+}
+
+TEST_F(BackendTest, ColumnarFixtureScalesWithScaleFactor) {
+  Result<Plan> sf1 = MakeColumnarQ2Plan(1.0);
+  Result<Plan> sf2 = MakeColumnarQ2Plan(2.0);
+  ASSERT_TRUE(sf1.ok() && sf2.ok());
+  EXPECT_EQ(sf1->Fingerprint(), sf2->Fingerprint())
+      << "scale changes estimates, not structure";
+  double pages1 = 0, pages2 = 0;
+  for (const PlanOp& op : sf1->ops()) pages1 += op.est_pages;
+  for (const PlanOp& op : sf2->ops()) pages2 += op.est_pages;
+  EXPECT_GT(pages2, 1.8 * pages1);
+  EXPECT_FALSE(MakeColumnarQ2Plan(0.0).ok());
 }
 
 TEST_F(BackendTest, MysqlFixtureScalesWithScaleFactor) {
@@ -245,6 +327,51 @@ TEST_F(BackendTest, MysqlSilentDmlNeverRecalculates) {
   }
 }
 
+TEST_F(BackendTest, ColumnarDmlReorganizesSegmentsPastChurnThreshold) {
+  auto col = Make(BackendKind::kColumnar);
+  const double before =
+      (*catalog_->FindTable("partsupp"))->optimizer_stats.row_count;
+
+  // Below the 30% churn threshold: no reorganization, stats stay stale.
+  ASSERT_TRUE(col->ApplyDml(Hours(1), "partsupp", 1.1, "small load").ok());
+  EXPECT_EQ((*catalog_->FindTable("partsupp"))->optimizer_stats.row_count,
+            before);
+
+  // Inject physical-layout damage, then push cumulative churn past 30%:
+  // the reorganization rewrites the segments (healing the bloat) and
+  // refreshes statistics from segment metadata.
+  ASSERT_TRUE(
+      catalog_->SetTableStorageBloatSilently("partsupp", 2.2).ok());
+  ASSERT_TRUE(col->ApplyDml(Hours(2), "partsupp", 1.25, "more load").ok());
+  const TableDef& table = **catalog_->FindTable("partsupp");
+  EXPECT_EQ(table.storage_bloat, 1.0) << "reorganization must heal bloat";
+  const double actual = table.actual_stats.row_count;
+  EXPECT_NE(table.optimizer_stats.row_count, before);
+  EXPECT_NEAR(table.optimizer_stats.row_count, actual, 0.02 * actual);
+  bool reorg_logged = false;
+  for (const SystemEvent& event : event_log_.all()) {
+    if (event.type == EventType::kTableStatsChanged) reorg_logged = true;
+  }
+  EXPECT_TRUE(reorg_logged);
+}
+
+TEST_F(BackendTest, ColumnarAnalyzeRefreshesStatsButNotSegments) {
+  auto col = Make(BackendKind::kColumnar);
+  ASSERT_TRUE(
+      catalog_->SetTableStorageBloatSilently("partsupp", 2.2).ok());
+  ASSERT_TRUE(
+      catalog_->SetIndexScanBloatSilently("partsupp_partkey_idx", 2.5).ok());
+  ASSERT_TRUE(col->ApplyDmlSilently(Hours(1), "partsupp", 1.2, "load").ok());
+  ASSERT_TRUE(col->Analyze(Hours(2), "partsupp").ok());
+  const TableDef& table = **catalog_->FindTable("partsupp");
+  // Statistics snapped to the truth...
+  EXPECT_NEAR(table.optimizer_stats.row_count, table.actual_stats.row_count,
+              1.0);
+  // ...but an ANALYZE rewrites no segments: the layout damage survives.
+  EXPECT_EQ(table.storage_bloat, 2.2);
+  EXPECT_EQ((*catalog_->FindIndex("partsupp_partkey_idx"))->scan_bloat, 2.5);
+}
+
 TEST_F(BackendTest, AnalyzeDriftSpecFlipsEachEnginesPlan) {
   for (BackendKind kind : AllBackendKinds()) {
     // Fresh catalog per engine (the drift mutates shared state).
@@ -295,6 +422,16 @@ TEST_F(BackendTest, ExecutorParamsReflectEngineCostModel) {
   const DbParams pg_params = pg->ExecutorParams();
   EXPECT_GT(pg_params.random_page_cost, pg_params.seq_page_cost)
       << "PostgreSQL keeps its random-access premium";
+
+  auto col = Make(BackendKind::kColumnar);
+  const DbParams col_params = col->ExecutorParams();
+  EXPECT_EQ(col_params.seq_page_cost, col_params.random_page_cost)
+      << "columnar I/O is sequential segment streaming either way";
+  // Batch dispatch amortizes over the batch: the per-operator cost falls
+  // as batches grow.
+  ASSERT_TRUE(col->SetParam("vector_batch_rows", 8192.0).ok());
+  EXPECT_LT(col->ExecutorParams().cpu_operator_cost,
+            col_params.cpu_operator_cost);
 }
 
 }  // namespace

@@ -91,9 +91,9 @@ TEST(DetectionConformanceTest, EveryScenarioAutoTriggersWithGoldenDigest) {
 }
 
 TEST(DetectionConformanceTest, MysqlSpotChecksAutoTrigger) {
-  // The full 12x2 matrix is backend_conformance_test's job; detection
-  // replays one SAN-side and one plan-change configuration on the second
-  // backend to pin the cross-backend behaviour.
+  // The full 50-configuration matrix is backend_conformance_test's job;
+  // detection replays one SAN-side and one plan-change configuration per
+  // non-default backend to pin the cross-backend behaviour.
   for (ScenarioId id :
        {ScenarioId::kS1SanMisconfiguration, ScenarioId::kS6IndexDrop}) {
     SCOPED_TRACE(workload::ScenarioName(id));
@@ -101,6 +101,21 @@ TEST(DetectionConformanceTest, MysqlSpotChecksAutoTrigger) {
         GetDiagnosed(id, db::BackendKind::kMysql);
     ASSERT_TRUE(diagnosed.ok()) << diagnosed.status().ToString();
     ExpectDetectsAndMatchesDigest(**diagnosed, db::BackendKind::kMysql);
+  }
+}
+
+TEST(DetectionConformanceTest, ColumnarSpotChecksAutoTrigger) {
+  // Third backend: the same SAN-side + plan-change pair, plus one
+  // column-store-native fault — the detector must notice a slowdown whose
+  // mechanism (segment bloat) exists on no other engine.
+  for (ScenarioId id :
+       {ScenarioId::kS1SanMisconfiguration, ScenarioId::kS6IndexDrop,
+        ScenarioId::kC1CompressionDrift}) {
+    SCOPED_TRACE(workload::ScenarioName(id));
+    Result<const DiagnosedScenario*> diagnosed =
+        GetDiagnosed(id, db::BackendKind::kColumnar);
+    ASSERT_TRUE(diagnosed.ok()) << diagnosed.status().ToString();
+    ExpectDetectsAndMatchesDigest(**diagnosed, db::BackendKind::kColumnar);
   }
 }
 

@@ -187,9 +187,11 @@ TEST(FleetPropertyTest, QueriesEqualBruteForceReDiagnosis) {
     options.shuffle = false;
     options.scenario_options.satisfactory_runs = 10;
     options.scenario_options.unsatisfactory_runs = 5;
+    // Cycle through all three engines so the fleet properties hold on
+    // every backend (the property is backend-neutral by construction).
+    const std::vector<db::BackendKind> kinds = db::AllBackendKinds();
     options.scenario_options.testbed.backend =
-        iteration % 2 == 0 ? db::BackendKind::kPostgres
-                           : db::BackendKind::kMysql;
+        kinds[static_cast<size_t>(iteration) % kinds.size()];
     Result<FleetWorkload> fleet = BuildFleet(options);
     ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
     SCOPED_TRACE("iteration " + std::to_string(iteration) + " seed " +

@@ -33,6 +33,11 @@ std::vector<std::pair<ScenarioId, db::BackendKind>> AllConformanceCases() {
       cases.emplace_back(id, backend);
     }
   }
+  // The column-store-native scenarios only exist on the columnar engine
+  // (RunScenario rejects them elsewhere — no segments to degrade).
+  cases.emplace_back(ScenarioId::kC1CompressionDrift,
+                     db::BackendKind::kColumnar);
+  cases.emplace_back(ScenarioId::kC2ZoneMapStale, db::BackendKind::kColumnar);
   return cases;
 }
 

@@ -1,9 +1,10 @@
 // Shared helpers for the cross-backend scenario conformance suite.
 //
 // Running a scenario end to end and diagnosing it is the expensive part of
-// the test pyramid, and with two backends the matrix is 16 x 2 = 32
-// configurations. This support library (linked into the test binaries, not
-// itself a test) provides:
+// the test pyramid, and with three backends the matrix is 16 x 3 = 48
+// configurations, plus the two column-store-native scenarios that only run
+// on the columnar engine: 50 in total. This support library (linked into
+// the test binaries, not itself a test) provides:
 //
 //   * DiagnoseScenario / GetDiagnosed — run + diagnose one configuration,
 //     memoised per test binary so every assertion family (ground truth,
@@ -40,10 +41,14 @@ struct DiagnosedScenario {
 };
 
 /// The 12 Table-1 / plan-change scenarios plus the 4 multipath failover
-/// scenarios, in canonical order.
+/// scenarios, in canonical order. These are the backend-neutral scenarios:
+/// every backend runs all of them. The column-store-native C family is NOT
+/// here (it only runs on the columnar engine; see AllConformanceCases).
 const std::vector<workload::ScenarioId>& AllScenarioIds();
 
-/// Every (scenario, backend) conformance configuration: 16 x 2 = 32.
+/// Every (scenario, backend) conformance configuration: the 16 backend-
+/// neutral scenarios x all backends, plus (C1, columnar) and (C2,
+/// columnar) — 16 x 3 + 2 = 50.
 std::vector<std::pair<workload::ScenarioId, db::BackendKind>>
 AllConformanceCases();
 
